@@ -1,0 +1,144 @@
+// Ablation A3 (DESIGN.md): the cost of forward expansion in path queries —
+// the effect behind the paper's Q8 discussion ("our query processor obtains
+// indirectly related resource views by forward expansion; that causes the
+// processing of a large number of intermediate results when compared to
+// the final result size").
+//
+// Two experiments:
+//   1. Name-index prefilter (planner rule R2) on vs. off: with the rule
+//      off, every name step scans all catalog entries with per-view
+//      wildcard matching.
+//   2. Frontier-size sweep: the wider the step-1 result, the more views
+//      forward expansion touches, largely independent of the final result
+//      size.
+
+#include "bench/harness.h"
+
+using namespace idm;
+using namespace idm::bench;
+
+namespace {
+
+struct Probe {
+  size_t results;
+  size_t expanded;
+  double ms;
+};
+
+Probe RunQuery(const iql::Dataspace& ds, const iql::QueryProcessor& processor,
+               const std::string& iql, int runs = 5) {
+  (void)ds;
+  Probe probe{};
+  for (int i = 0; i < runs + 1; ++i) {
+    auto result = processor.Execute(iql);
+    if (!result.ok()) {
+      std::fprintf(stderr, "FAILED %s: %s\n", iql.c_str(),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (i == 0) continue;  // warmup
+    probe.results = result->size();
+    probe.expanded = result->expanded_views;
+    probe.ms += result->elapsed_micros / 1000.0;
+  }
+  probe.ms /= runs;
+  return probe;
+}
+
+}  // namespace
+
+int main() {
+  Pipeline pipeline = BuildPipeline(workload::DataspaceSpec::PaperScale());
+  const iql::Dataspace& ds = *pipeline.ds;
+
+  iql::QueryProcessor::Options with_index;
+  iql::QueryProcessor::Options without_index;
+  without_index.use_name_index = false;
+  iql::QueryProcessor indexed(&ds.module(), &ds.classes(), pipeline.ds->clock(),
+                              with_index);
+  iql::QueryProcessor scanning(&ds.module(), &ds.classes(),
+                               pipeline.ds->clock(), without_index);
+
+  std::printf("\nAblation A3.1: name-index prefilter (rule R2) on vs off\n");
+  Rule(100);
+  std::printf("%-52s %10s | %10s %10s\n", "query", "#results", "R2 on [ms]",
+              "R2 off [ms]");
+  Rule(100);
+  const char* queries[] = {
+      "//papers//*Vision/*[\"Franklin\"]",
+      "//VLDB200?//?onclusion*/*[\"systems\"]",
+      "//Projects//*.tex",
+      "//PIM//Introduction[class=\"latex_section\" and \"Mike Franklin\"]",
+  };
+  for (const char* iql : queries) {
+    Probe on = RunQuery(ds, indexed, iql);
+    Probe off = RunQuery(ds, scanning, iql);
+    std::printf("%-52s %10zu | %10.2f %10.2f\n", iql, on.results, on.ms, off.ms);
+  }
+  Rule(100);
+
+  std::printf("\nAblation A3.2: forward-expansion work vs frontier width\n");
+  std::printf("(the paper's Q8 effect: intermediate results >> final results)\n");
+  Rule(100);
+  std::printf("%-52s %10s %12s %10s\n", "query", "#results", "expanded",
+              "mean [ms]");
+  Rule(100);
+  const char* sweeps[] = {
+      // Narrow frontier: one folder.
+      "//OLAP//*[class=\"figure\"]",
+      // Medium frontier: every VLDB folder.
+      "//VLDB200?//*[class=\"figure\"]",
+      // Wide frontier: every emailmessage (the Q8 left arm).
+      "//*[class = \"emailmessage\"]//*.tex",
+      // The full Q8 join.
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, A.name = B.name )",
+  };
+  for (const char* iql : sweeps) {
+    Probe probe = RunQuery(ds, indexed, iql);
+    std::printf("%-52.52s %10zu %12zu %10.2f\n", iql, probe.results,
+                probe.expanded, probe.ms);
+  }
+  Rule(100);
+
+  // A3.3: the paper's proposed fix, implemented — backward expansion (R6)
+  // vs. the prototype's forward expansion, on the Q8 shape.
+  iql::QueryProcessor::Options forward_opts;
+  forward_opts.expansion = iql::QueryProcessor::Expansion::kForward;
+  iql::QueryProcessor forward(&ds.module(), &ds.classes(), pipeline.ds->clock(),
+                              forward_opts);
+  iql::QueryProcessor::Options backward_opts;
+  backward_opts.expansion = iql::QueryProcessor::Expansion::kBackward;
+  iql::QueryProcessor backward(&ds.module(), &ds.classes(),
+                               pipeline.ds->clock(), backward_opts);
+
+  std::printf("\nAblation A3.3: forward vs backward expansion (paper Section 7.2:\n");
+  std::printf("'we plan to investigate ... backward or bidirectional expansion')\n");
+  Rule(100);
+  std::printf("%-44s | %10s %12s | %10s %12s\n", "query (Q8 components)",
+              "fwd [ms]", "fwd expand", "bwd [ms]", "bwd expand");
+  Rule(100);
+  const char* q8_parts[] = {
+      "//*[class = \"emailmessage\"]//*.tex",
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, A.name = B.name )",
+  };
+  for (const char* iql : q8_parts) {
+    Probe fwd = RunQuery(ds, forward, iql);
+    Probe bwd = RunQuery(ds, backward, iql);
+    if (fwd.results != bwd.results) {
+      std::printf("MISMATCH on %s\n", iql);
+      return 1;
+    }
+    std::printf("%-44.44s | %10.2f %12zu | %10.2f %12zu\n", iql, fwd.ms,
+                fwd.expanded, bwd.ms, bwd.expanded);
+  }
+  Rule(100);
+
+  std::printf("\nReading: 'expanded' counts views touched by BFS over the\n");
+  std::printf("group replica; for the Q8 shape it exceeds the result size by\n");
+  std::printf("orders of magnitude, matching the paper's explanation of why\n");
+  std::printf("Q8 is the slowest query (and why they propose backward or\n");
+  std::printf("bidirectional expansion as future work).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces paper Figure 5: indexing times per data source, broken into
+// Catalog Insert / Component Indexing / Data Source Access.
+//
+// Times combine measured wall-clock with the *simulated* latency charged by
+// each source's cost model (the IMAP substitute models a remote server at
+// ~40 ms/request). Absolute values differ from the paper's Java prototype;
+// the shape under test is: email indexing is dominated by data source
+// access, filesystem indexing is dominated by local index/catalog work.
+
+#include "bench/harness.h"
+
+using namespace idm;
+using namespace idm::bench;
+
+int main() {
+  Pipeline pipeline = BuildPipeline(workload::DataspaceSpec::PaperScale());
+
+  std::printf("\nFigure 5: Indexing times [min] (paper values in parentheses)\n");
+  Rule(96);
+  std::printf("%-14s %18s %22s %22s %12s\n", "Data Source", "Catalog Insert",
+              "Component Indexing", "Data Source Access", "Total");
+  Rule(96);
+  auto row = [](const char* name, const rvm::PhaseTimes& t, double p_cat,
+                double p_idx, double p_src, double p_total) {
+    std::printf("%-14s %10s (%4.1f) %14s (%4.1f) %14s (%5.1f) %6s (%5.1f)\n",
+                name, Min(t.catalog_insert).c_str(), p_cat,
+                Min(t.component_indexing).c_str(), p_idx,
+                Min(t.data_source_access).c_str(), p_src,
+                Min(t.total()).c_str(), p_total);
+  };
+  // Paper Figure 5 (approximate bar readings): filesystem ~22 min total,
+  // roughly half component indexing; email ~68 min dominated by access.
+  const rvm::PhaseTimes& fs = pipeline.fs_stats.times;
+  const rvm::PhaseTimes& mail = pipeline.mail_stats.times;
+  row("Filesystem", fs, 5.0, 11.0, 6.0, 22.0);
+  row("Email / IMAP", mail, 0.5, 3.5, 64.0, 68.0);
+  Rule(96);
+
+  std::printf("\nShape checks (paper Section 7.2, 'Indexing'):\n");
+  double mail_access_share =
+      static_cast<double>(mail.data_source_access) / mail.total();
+  std::printf("  email time dominated by data source access (%.0f%%): %s\n",
+              100 * mail_access_share, mail_access_share > 0.5 ? "YES" : "NO");
+  double fs_local_share =
+      static_cast<double>(fs.catalog_insert + fs.component_indexing) /
+      fs.total();
+  std::printf("  filesystem time dominated by local catalog+indexing (%.0f%%): %s\n",
+              100 * fs_local_share, fs_local_share > 0.5 ? "YES" : "NO");
+  std::printf("  email catalog time negligible (few views): %s\n",
+              mail.catalog_insert * 20 < mail.total() ? "YES" : "NO");
+  return 0;
+}

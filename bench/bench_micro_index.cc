@@ -1,0 +1,123 @@
+// Microbenchmarks of the index substrate (google-benchmark): inverted
+// index build/lookup, tuple-index range scans, name-index wildcard lookups,
+// group-store reachability. These are the primitives behind Fig. 5/6.
+
+#include <benchmark/benchmark.h>
+
+#include "core/view_class.h"
+#include "index/catalog.h"
+#include "index/group_store.h"
+#include "index/inverted_index.h"
+#include "index/name_index.h"
+#include "index/tuple_index.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace idm;
+using index::DocId;
+
+std::vector<std::string> MakeDocs(size_t n, size_t words) {
+  Rng rng(99);
+  workload::TextGenerator text(&rng);
+  std::vector<std::string> docs;
+  docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) docs.push_back(text.Words(words));
+  return docs;
+}
+
+void BM_InvertedIndexAdd(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), 120);
+  for (auto _ : state) {
+    index::InvertedIndex idx;
+    for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+    benchmark::DoNotOptimize(idx.term_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InvertedIndexAdd)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_InvertedIndexPhrase(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), 120);
+  index::InvertedIndex idx;
+  for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.PhraseQuery("the data"));
+  }
+}
+BENCHMARK(BM_InvertedIndexPhrase)->Arg(1000)->Arg(10000);
+
+void BM_InvertedIndexTerm(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), 120);
+  index::InvertedIndex idx;
+  for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.TermQuery("database"));
+  }
+}
+BENCHMARK(BM_InvertedIndexTerm)->Arg(1000)->Arg(10000);
+
+void BM_TupleIndexScan(benchmark::State& state) {
+  index::TupleIndex idx;
+  Rng rng(7);
+  for (DocId id = 0; id < static_cast<DocId>(state.range(0)); ++id) {
+    idx.Add(id, core::TupleComponent::MakeUnchecked(
+                    core::FileSystemSchema(),
+                    {core::Value::Int(rng.UniformRange(0, 1 << 20)),
+                     core::Value::Date(rng.UniformRange(0, 1 << 30)),
+                     core::Value::Date(rng.UniformRange(0, 1 << 30))}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.Scan("size", index::CompareOp::kGt,
+                                      core::Value::Int(1 << 19)));
+  }
+}
+BENCHMARK(BM_TupleIndexScan)->Arg(1000)->Arg(100000);
+
+void BM_NameIndexWildcard(benchmark::State& state) {
+  index::NameIndex idx;
+  Rng rng(13);
+  workload::TextGenerator text(&rng);
+  for (DocId id = 0; id < static_cast<DocId>(state.range(0)); ++id) {
+    idx.Add(id, text.Words(2) + (id % 7 == 0 ? ".tex" : ".txt"));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.LookupPattern("*.tex"));
+  }
+}
+BENCHMARK(BM_NameIndexWildcard)->Arg(1000)->Arg(100000);
+
+void BM_GroupStoreDescendants(benchmark::State& state) {
+  // A wide tree: fanout 10, as deep as the node budget allows.
+  index::GroupStore store;
+  size_t n = static_cast<size_t>(state.range(0));
+  for (DocId id = 0; id * 10 + 10 < n; ++id) {
+    std::vector<DocId> children;
+    for (int c = 1; c <= 10; ++c) children.push_back(id * 10 + c);
+    store.SetChildren(id, std::move(children));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Descendants({0}));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GroupStoreDescendants)->Arg(1000)->Arg(100000);
+
+void BM_CatalogRegister(benchmark::State& state) {
+  for (auto _ : state) {
+    index::Catalog catalog;
+    uint32_t src = catalog.InternSource("fs");
+    for (int i = 0; i < state.range(0); ++i) {
+      catalog.Register("vfs:/folder/file" + std::to_string(i), "file", src,
+                       false);
+    }
+    benchmark::DoNotOptimize(catalog.live_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CatalogRegister)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#include "bench/harness.h"
+
+#include <chrono>
+
+#include "util/string_util.h"
+
+namespace idm::bench {
+
+Pipeline BuildPipeline(const workload::DataspaceSpec& spec,
+                       iql::Dataspace::Config config) {
+  Pipeline pipeline;
+  pipeline.ds = std::make_unique<iql::Dataspace>(config);
+  auto t0 = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[harness] generating synthetic dataspace (seed %llu)...\n",
+               static_cast<unsigned long long>(spec.seed));
+  pipeline.built = workload::Generate(spec, pipeline.ds->clock());
+  pipeline.generate_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::fprintf(stderr, "[harness] indexing Filesystem source...\n");
+  auto fs_stats = pipeline.ds->AddFileSystem("Filesystem", pipeline.built.fs);
+  if (!fs_stats.ok()) {
+    std::fprintf(stderr, "[harness] FATAL: %s\n",
+                 fs_stats.status().ToString().c_str());
+    std::abort();
+  }
+  pipeline.fs_stats = *fs_stats;
+  std::fprintf(stderr, "[harness] indexing Email / IMAP source...\n");
+  auto mail_stats = pipeline.ds->AddImap("Email / IMAP", pipeline.built.imap);
+  if (!mail_stats.ok()) {
+    std::fprintf(stderr, "[harness] FATAL: %s\n",
+                 mail_stats.status().ToString().c_str());
+    std::abort();
+  }
+  pipeline.mail_stats = *mail_stats;
+  return pipeline;
+}
+
+const std::vector<PaperQuery>& Table4Queries() {
+  // paper_seconds are read off Figure 6 (approximate bar heights).
+  static const std::vector<PaperQuery> kQueries = {
+      {"Q1", "\"database\"", 941, 0.09},
+      {"Q2", "\"database tuning\"", 39, 0.05},
+      {"Q3", "[size > 420000 and lastmodified < @12.06.2005]", 88, 0.07},
+      {"Q4", "//papers//*Vision/*[\"Franklin\"]", 2, 0.05},
+      {"Q5", "//VLDB200?//?onclusion*/*[\"systems\"]", 2, 0.05},
+      {"Q6",
+       "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])",
+       31, 0.10},
+      {"Q7",
+       "join( //VLDB2006//*[class=\"texref\"] as A, "
+       "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+       "A.name=B.tuple.label)",
+       21, 0.15},
+      {"Q8",
+       "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+       "//papers//*.tex as B, A.name = B.name )",
+       16, 0.50},
+  };
+  return kQueries;
+}
+
+std::string Mb(uint64_t bytes) { return BytesToMb(bytes); }
+
+std::string Sec(Micros micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", micros / 1e6);
+  return buf;
+}
+
+std::string Min(Micros micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", micros / 6e7);
+  return buf;
+}
+
+void Rule(int n) {
+  for (int i = 0; i < n; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace idm::bench

@@ -1,0 +1,56 @@
+// Shared support for the reproduction benches: builds the paper-scale
+// pipeline (generate → register → index) once per binary and provides the
+// Table 4 query set and formatting helpers.
+
+#ifndef IDM_BENCH_HARNESS_H_
+#define IDM_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iql/dataspace.h"
+#include "workload/generator.h"
+
+namespace idm::bench {
+
+/// The generated-and-indexed PDSMS used by the table/figure benches.
+struct Pipeline {
+  std::unique_ptr<iql::Dataspace> ds;
+  workload::BuiltDataspace built;
+  rvm::SourceIndexStats fs_stats;
+  rvm::SourceIndexStats mail_stats;
+  double generate_seconds = 0;
+};
+
+/// Builds the pipeline. Prints progress to stderr.
+Pipeline BuildPipeline(const workload::DataspaceSpec& spec,
+                       iql::Dataspace::Config config = {});
+
+/// One evaluation query: our analog of a Table 4 row, with the numbers the
+/// paper reports for comparison (times read off Figure 6, approximate).
+struct PaperQuery {
+  const char* id;
+  const char* iql;
+  size_t paper_results;
+  double paper_seconds;
+};
+
+/// The eight Table 4 queries (analog expressions over the synthetic
+/// dataspace; identical shapes and operators).
+const std::vector<PaperQuery>& Table4Queries();
+
+/// Bytes → "12.5" MB string.
+std::string Mb(uint64_t bytes);
+
+/// Microseconds → seconds/minutes strings.
+std::string Sec(Micros micros);
+std::string Min(Micros micros);
+
+/// Prints a horizontal rule of width \p n.
+void Rule(int n);
+
+}  // namespace idm::bench
+
+#endif  // IDM_BENCH_HARNESS_H_

@@ -1,0 +1,88 @@
+// active_xml: the ActiveXML use-case (paper §4.3.1) — intensional data in
+// iDM. An XML document embeds a web-service call; the call's result is an
+// intensional component, computed only when somebody asks for it.
+//
+//   $ ./examples/active_xml
+
+#include <cstdio>
+
+#include "core/graph.h"
+#include "core/service.h"
+#include "xml/xml.h"
+#include "xml/xml_views.h"
+
+using namespace idm;
+
+int main() {
+  // The paper's example document: <dep> contains a service call.
+  const char* kDocument =
+      "<dep><sc>web.server.com/GetDepartments()</sc></dep>";
+
+  // The "remote host": a service registry entry standing in for the web
+  // service (in a networked deployment this would be an HTTP call).
+  auto services = std::make_shared<core::ServiceRegistry>();
+  services->Register(
+      "web.server.com/GetDepartments",
+      [](const std::string&) -> Result<std::string> {
+        return std::string(
+            "<deplist>"
+            "<entry><name>Accounting</name></entry>"
+            "<entry><name>Research</name></entry>"
+            "</deplist>");
+      });
+
+  // --- Variant 1: eager resolution (ActiveXML semantics) -------------------
+  auto parsed = xml::Parse(kDocument);
+  if (!parsed.ok()) return 1;
+  std::printf("before the call:\n  %s\n\n", xml::Serialize(*parsed).c_str());
+  if (Status s = xml::ResolveActiveXml(&*parsed, *services); !s.ok()) {
+    std::printf("resolution failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("after executing the service call (result inserted):\n  %s\n\n",
+              xml::Serialize(*parsed).c_str());
+
+  // --- Variant 2: lazy iDM views (intensional components, §4.3) ------------
+  auto reparsed = xml::Parse(kDocument);
+  auto doc = std::make_shared<const xml::XmlDocument>(
+      std::move(reparsed).value());
+  core::ViewPtr view = xml::ActiveXmlToViews(doc, "axml:dep", services);
+  std::printf("lazy iDM instantiation: %llu service call(s) made so far\n",
+              static_cast<unsigned long long>(services->call_count()));
+
+  // Navigating the group component triggers the call — and only then.
+  auto roots = view->GetGroupComponent().SequenceToVector();
+  auto children = (*roots)[0]->GetGroupComponent().SequenceToVector();
+  std::printf("after navigating into <dep>: %llu service call(s)\n",
+              static_cast<unsigned long long>(services->call_count()));
+  for (const core::ViewPtr& child : *children) {
+    std::printf("  child view: class=%-9s uri=%s\n",
+                child->class_name().c_str(), child->uri().c_str());
+  }
+
+  // The payload subtree is an ordinary resource view graph.
+  auto names = core::FindAll(view, [](const core::ResourceView& v) {
+    return v.GetNameComponent() == "name";
+  });
+  std::printf("departments returned by the (now cached) call:\n");
+  for (const core::ViewPtr& name : names) {
+    auto text = name->GetGroupComponent().SequenceToVector();
+    if (text.ok() && !text->empty()) {
+      std::printf("  - %s\n",
+                  (*text)[0]->GetContentComponent().ToString()->c_str());
+    }
+  }
+
+  // Unreachable services degrade gracefully: the sc view stays, no result.
+  auto broken_parsed = xml::Parse("<dep><sc>down.host/Call()</sc></dep>");
+  auto broken = std::make_shared<const xml::XmlDocument>(
+      std::move(broken_parsed).value());
+  core::ViewPtr broken_view = xml::ActiveXmlToViews(broken, "axml:down", services);
+  auto broken_children = (*broken_view->GetGroupComponent()
+                               .SequenceToVector())[0]
+                             ->GetGroupComponent()
+                             .SequenceToVector();
+  std::printf("\nunreachable host: element has %zu child(ren) (sc only)\n",
+              broken_children->size());
+  return 0;
+}

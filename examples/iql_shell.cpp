@@ -1,0 +1,150 @@
+// iql_shell: an interactive iQL prompt over a generated personal dataspace.
+// The closest thing to "using iMeMex": type queries, see ranked results,
+// inspect plans and lineage.
+//
+//   $ ./examples/iql_shell            # Small dataspace (instant)
+//   $ ./examples/iql_shell --paper    # paper-scale dataspace (~30 s to build)
+//
+// Commands:
+//   <iql query>        evaluate (e.g. //PIM//Introduction["Mike Franklin"])
+//   .plan <iql query>  show the plan/rules without results
+//   .lineage <uri>     provenance chain of a view
+//   .stats             dataspace statistics
+//   .help              this text
+//   .quit              exit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "iql/dataspace.h"
+#include "util/string_util.h"
+#include "workload/generator.h"
+
+using namespace idm;
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  <iql query>        evaluate a query\n"
+      "  .plan <iql query>  show the plan without evaluating results\n"
+      "  .lineage <uri>     provenance chain of a view\n"
+      "  .stats             dataspace statistics\n"
+      "  .help              this text\n"
+      "  .quit              exit\n"
+      "examples:\n"
+      "  \"database tuning\"\n"
+      "  //PIM//Introduction[class=\"latex_section\" and \"Mike Franklin\"]\n"
+      "  //OLAP//[class=\"figure\" and \"Indexing Time\"]\n"
+      "  [size > 4000 and lastmodified < now()]\n"
+      "  join(//*[class=\"emailmessage\"]//*.tex as A, //papers//*.tex as B,"
+      " A.name=B.name)\n");
+}
+
+void RunQuery(const iql::Dataspace& ds, const std::string& iql) {
+  auto result = ds.Query(iql);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%zu result(s) in %.2f ms   plan: %s\n", result->size(),
+              result->elapsed_micros / 1000.0, result->plan.c_str());
+  size_t shown = 0;
+  for (size_t r = 0; r < result->rows.size(); ++r) {
+    if (++shown > 15) {
+      std::printf("  ... (%zu more)\n", result->size() - 15);
+      break;
+    }
+    std::string line = "  ";
+    if (result->ranked()) {
+      char score[32];
+      std::snprintf(score, sizeof(score), "%6.2f  ", result->scores[r]);
+      line += score;
+    }
+    for (size_t c = 0; c < result->rows[r].size(); ++c) {
+      if (c > 0) line += "  <->  ";
+      line += ds.UriOf(result->rows[r][c]);
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+void ShowLineage(const iql::Dataspace& ds, const std::string& uri) {
+  auto id = ds.module().catalog().Find(uri);
+  if (!id.has_value()) {
+    std::printf("unknown uri: %s\n", uri.c_str());
+    return;
+  }
+  auto chain = ds.module().lineage().ProvenanceChain(*id);
+  if (chain.empty()) {
+    std::printf("%s is a base item (no lineage)\n", uri.c_str());
+    return;
+  }
+  for (const auto& edge : chain) {
+    std::printf("  <- %-14s %s\n", edge.transformation.c_str(),
+                ds.UriOf(edge.origin).c_str());
+  }
+}
+
+void ShowStats(const iql::Dataspace& ds) {
+  const auto& module = ds.module();
+  rvm::IndexSizes sizes = module.Sizes();
+  std::printf("views: %zu live   version: %llu   lineage edges: %zu\n",
+              module.catalog().live_count(),
+              static_cast<unsigned long long>(module.versions().current()),
+              module.lineage().edge_count());
+  std::printf("indexes: name %s MB, tuple %s MB, content %s MB, group %s MB, "
+              "catalog %s MB\n",
+              BytesToMb(sizes.name_bytes).c_str(),
+              BytesToMb(sizes.tuple_bytes).c_str(),
+              BytesToMb(sizes.content_bytes).c_str(),
+              BytesToMb(sizes.group_bytes).c_str(),
+              BytesToMb(sizes.catalog_bytes).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool paper_scale = argc > 1 && std::strcmp(argv[1], "--paper") == 0;
+  iql::Dataspace ds;
+  std::fprintf(stderr, "building %s dataspace...\n",
+               paper_scale ? "paper-scale" : "small");
+  auto built = workload::Generate(paper_scale
+                                      ? workload::DataspaceSpec::PaperScale()
+                                      : workload::DataspaceSpec::Small(),
+                                  ds.clock());
+  if (!ds.AddFileSystem("Filesystem", built.fs).ok() ||
+      !ds.AddImap("Email / IMAP", built.imap).ok()) {
+    std::fprintf(stderr, "indexing failed\n");
+    return 1;
+  }
+  std::printf("dataspace ready: %zu resource views. Type .help for help.\n",
+              ds.module().catalog().live_count());
+
+  std::string line;
+  while (true) {
+    std::printf("iQL> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == ".quit" || trimmed == ".exit") break;
+    if (trimmed == ".help") {
+      PrintHelp();
+    } else if (trimmed == ".stats") {
+      ShowStats(ds);
+    } else if (trimmed.rfind(".lineage ", 0) == 0) {
+      ShowLineage(ds, std::string(Trim(trimmed.substr(9))));
+    } else if (trimmed.rfind(".plan ", 0) == 0) {
+      RunQuery(ds, std::string(Trim(trimmed.substr(6))));
+    } else if (trimmed[0] == '.') {
+      std::printf("unknown command; .help for help\n");
+    } else {
+      RunQuery(ds, trimmed);
+    }
+  }
+  return 0;
+}

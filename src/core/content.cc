@@ -1,0 +1,160 @@
+#include "core/content.h"
+
+#include <mutex>
+
+namespace idm::core {
+
+// ---------------------------------------------------------------------------
+// Providers
+
+class ContentComponent::Provider {
+ public:
+  virtual ~Provider() = default;
+  virtual bool finite() const = 0;
+  virtual std::optional<size_t> SizeHint() const = 0;
+  virtual std::unique_ptr<ContentReader> OpenReader() = 0;
+};
+
+namespace {
+
+/// Reader that yields one pre-built string then ends.
+class OneShotReader : public ContentReader {
+ public:
+  explicit OneShotReader(std::string data) : data_(std::move(data)) {}
+  std::optional<std::string> NextChunk() override {
+    if (done_) return std::nullopt;
+    done_ = true;
+    if (data_.empty()) return std::nullopt;
+    return std::move(data_);
+  }
+
+ private:
+  std::string data_;
+  bool done_ = false;
+};
+
+}  // namespace
+
+class ContentComponent::StringProvider : public ContentComponent::Provider {
+ public:
+  explicit StringProvider(std::string data) : data_(std::move(data)) {}
+  bool finite() const override { return true; }
+  std::optional<size_t> SizeHint() const override { return data_.size(); }
+  std::unique_ptr<ContentReader> OpenReader() override {
+    return std::make_unique<OneShotReader>(data_);
+  }
+
+ private:
+  std::string data_;
+};
+
+class ContentComponent::LazyProvider : public ContentComponent::Provider {
+ public:
+  explicit LazyProvider(std::function<std::string()> thunk)
+      : thunk_(std::move(thunk)) {}
+  bool finite() const override { return true; }
+  std::optional<size_t> SizeHint() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_.has_value()) return cached_->size();
+    return std::nullopt;
+  }
+  std::unique_ptr<ContentReader> OpenReader() override {
+    return std::make_unique<OneShotReader>(Materialize());
+  }
+
+ private:
+  std::string Materialize() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cached_.has_value()) {
+      cached_ = thunk_();
+      thunk_ = nullptr;  // release captured resources
+    }
+    return *cached_;
+  }
+
+  mutable std::mutex mu_;
+  std::function<std::string()> thunk_;
+  std::optional<std::string> cached_;
+};
+
+class ContentComponent::InfiniteProvider : public ContentComponent::Provider {
+ public:
+  explicit InfiniteProvider(std::function<std::string(uint64_t)> generator)
+      : generator_(std::move(generator)) {}
+  bool finite() const override { return false; }
+  std::optional<size_t> SizeHint() const override { return std::nullopt; }
+  std::unique_ptr<ContentReader> OpenReader() override {
+    class GeneratorReader : public ContentReader {
+     public:
+      explicit GeneratorReader(std::function<std::string(uint64_t)> gen)
+          : gen_(std::move(gen)) {}
+      std::optional<std::string> NextChunk() override { return gen_(next_++); }
+
+     private:
+      std::function<std::string(uint64_t)> gen_;
+      uint64_t next_ = 0;
+    };
+    return std::make_unique<GeneratorReader>(generator_);
+  }
+
+ private:
+  std::function<std::string(uint64_t)> generator_;
+};
+
+// ---------------------------------------------------------------------------
+// ContentComponent
+
+ContentComponent ContentComponent::OfString(std::string data) {
+  return ContentComponent(std::make_shared<StringProvider>(std::move(data)));
+}
+
+ContentComponent ContentComponent::OfLazy(std::function<std::string()> thunk) {
+  return ContentComponent(std::make_shared<LazyProvider>(std::move(thunk)));
+}
+
+ContentComponent ContentComponent::OfInfinite(
+    std::function<std::string(uint64_t)> generator) {
+  return ContentComponent(
+      std::make_shared<InfiniteProvider>(std::move(generator)));
+}
+
+bool ContentComponent::finite() const {
+  return provider_ == nullptr || provider_->finite();
+}
+
+std::optional<size_t> ContentComponent::SizeHint() const {
+  if (provider_ == nullptr) return 0;
+  return provider_->SizeHint();
+}
+
+Result<std::string> ContentComponent::ToString() const {
+  if (provider_ == nullptr) return std::string();
+  if (!provider_->finite()) {
+    return Status::FailedPrecondition(
+        "cannot materialize an infinite content component");
+  }
+  std::string out;
+  auto reader = provider_->OpenReader();
+  while (auto chunk = reader->NextChunk()) out += *chunk;
+  return out;
+}
+
+std::string ContentComponent::Prefix(size_t n) const {
+  if (provider_ == nullptr || n == 0) return "";
+  std::string out;
+  auto reader = provider_->OpenReader();
+  while (out.size() < n) {
+    auto chunk = reader->NextChunk();
+    if (!chunk.has_value()) break;
+    out += *chunk;
+  }
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+std::unique_ptr<ContentReader> ContentComponent::OpenReader() const {
+  if (provider_ == nullptr) return std::make_unique<OneShotReader>("");
+  return provider_->OpenReader();
+}
+
+}  // namespace idm::core

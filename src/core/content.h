@@ -1,0 +1,86 @@
+// The χ (content) component of a resource view (paper §2.2).
+//
+// χ is a sequence of symbols that may be finite (file bytes, an XML text
+// node) or infinite (a media stream). All variants are exposed behind one
+// value-type handle, and all of them may be computed lazily (paper §4.1):
+// nothing is materialized until a reader asks for bytes.
+
+#ifndef IDM_CORE_CONTENT_H_
+#define IDM_CORE_CONTENT_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "util/result.h"
+
+namespace idm::core {
+
+/// Pull-based reader over a content component. Obtained from
+/// ContentComponent::OpenReader(); single-pass.
+class ContentReader {
+ public:
+  virtual ~ContentReader() = default;
+
+  /// Returns the next chunk of symbols, or nullopt at end-of-content.
+  /// Infinite content never returns nullopt.
+  virtual std::optional<std::string> NextChunk() = 0;
+};
+
+/// Value-type handle on a χ component. Copies share the underlying provider
+/// (and its lazy-materialization cache).
+class ContentComponent {
+ public:
+  /// χ = ⟨⟩, the empty content.
+  ContentComponent() = default;
+
+  /// Extensional finite content: the symbols are the given string.
+  static ContentComponent OfString(std::string data);
+
+  /// Intensional finite content: \p thunk runs at most once, on first
+  /// access, and its result is cached (paper §4.3: intensional components
+  /// may be materialized to speed up repeated access).
+  static ContentComponent OfLazy(std::function<std::string()> thunk);
+
+  /// Infinite content: \p generator maps a chunk index (0,1,2,...) to the
+  /// symbols of that chunk. Each OpenReader() restarts from chunk 0.
+  static ContentComponent OfInfinite(
+      std::function<std::string(uint64_t chunk_index)> generator);
+
+  /// True iff this is the empty content ⟨⟩. Lazy content counts as
+  /// non-empty: the component exists even before it is computed.
+  bool empty() const { return provider_ == nullptr; }
+
+  /// True iff the symbol sequence is finite (always true for empty).
+  bool finite() const;
+
+  /// Known size in bytes, when cheaply available (extensional or already
+  /// materialized content). Infinite content has no size.
+  std::optional<size_t> SizeHint() const;
+
+  /// Materializes the full content. Fails with FailedPrecondition on
+  /// infinite content. Empty content yields "".
+  Result<std::string> ToString() const;
+
+  /// First min(n, size) symbols. Works on infinite content.
+  std::string Prefix(size_t n) const;
+
+  /// Opens a fresh single-pass reader.
+  std::unique_ptr<ContentReader> OpenReader() const;
+
+ private:
+  class Provider;
+  class StringProvider;
+  class LazyProvider;
+  class InfiniteProvider;
+
+  explicit ContentComponent(std::shared_ptr<Provider> provider)
+      : provider_(std::move(provider)) {}
+
+  std::shared_ptr<Provider> provider_;
+};
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_CONTENT_H_

@@ -1,0 +1,88 @@
+#include "core/describe.h"
+
+namespace idm::core {
+
+namespace {
+
+std::string NameOrUri(const ResourceView& view) {
+  std::string name = view.GetNameComponent();
+  return name.empty() ? view.uri() : name;
+}
+
+std::string DescribeRelated(const std::vector<ViewPtr>& views, size_t limit,
+                            bool elide) {
+  std::string out;
+  for (size_t i = 0; i < views.size() && i < limit; ++i) {
+    if (i > 0) out += ", ";
+    out += "'" + NameOrUri(*views[i]) + "'";
+  }
+  if (elide || views.size() > limit) {
+    if (!out.empty()) out += ", ";
+    out += "...";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DescribeView(const ResourceView& view,
+                         const DescribeOptions& options) {
+  std::string out = "V = (";
+
+  // η
+  std::string name = view.GetNameComponent();
+  out += name.empty() ? "⟨⟩" : "'" + name + "'";
+  out += ", ";
+
+  // τ
+  out += view.GetTupleComponent().ToString();
+  out += ", ";
+
+  // χ
+  ContentComponent content = view.GetContentComponent();
+  if (content.empty()) {
+    out += "⟨⟩";
+  } else if (!content.finite()) {
+    out += "⟨" + content.Prefix(options.max_content) + ", ...⟩_{l→∞}";
+  } else {
+    std::string prefix = content.Prefix(options.max_content + 1);
+    bool elided = prefix.size() > options.max_content;
+    if (elided) prefix.resize(options.max_content);
+    out += "⟨" + prefix + (elided ? "..." : "") + "⟩";
+  }
+  out += ", ";
+
+  // γ = (S, Q)
+  GroupComponent group = view.GetGroupComponent();
+  out += "(";
+  if (!group.has_set() || group.set().empty()) {
+    out += "∅";
+  } else {
+    out += "{" + DescribeRelated(group.set(), options.max_related, false) + "}";
+  }
+  out += ", ";
+  if (!group.has_sequence()) {
+    out += "⟨⟩";
+  } else if (!group.sequence_finite()) {
+    std::vector<ViewPtr> prefix;
+    auto cursor = group.OpenSequence();
+    for (size_t i = 0; i < options.infinite_prefix; ++i) {
+      ViewPtr next = cursor->Next();
+      if (next == nullptr) break;
+      prefix.push_back(std::move(next));
+    }
+    out += "⟨" + DescribeRelated(prefix, options.max_related, true) +
+           "⟩_{n→∞}";
+  } else {
+    auto seq = group.SequenceToVector();
+    if (seq.ok() && !seq->empty()) {
+      out += "⟨" + DescribeRelated(*seq, options.max_related, false) + "⟩";
+    } else {
+      out += "⟨⟩";
+    }
+  }
+  out += "))";
+  return out;
+}
+
+}  // namespace idm::core

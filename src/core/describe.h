@@ -1,0 +1,35 @@
+// Rendering of resource views in the paper's formal notation (§2.2/§2.3),
+// e.g. for the PIM folder of Figure 1:
+//
+//   V = ('PIM', (creation time=19/03/2005 11:54, size=4096, ...),
+//        ⟨⟩, ({'vldb 2006.tex', 'Grant.doc', 'All Projects'}, ⟨⟩))
+//
+// Useful in examples, logs and test diagnostics.
+
+#ifndef IDM_CORE_DESCRIBE_H_
+#define IDM_CORE_DESCRIBE_H_
+
+#include <string>
+
+#include "core/resource_view.h"
+
+namespace idm::core {
+
+/// Options for DescribeView.
+struct DescribeOptions {
+  /// Max related views listed per group part before eliding with "...".
+  size_t max_related = 4;
+  /// Max content symbols shown before eliding.
+  size_t max_content = 24;
+  /// How many elements of an infinite Q to materialize for display.
+  size_t infinite_prefix = 2;
+};
+
+/// Renders V = (η, τ, χ, γ) with empty components as ⟨⟩ / (), infinite
+/// content as ⟨c₁, ...⟩_{l→∞}, and related views by their names.
+std::string DescribeView(const ResourceView& view,
+                         const DescribeOptions& options = {});
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_DESCRIBE_H_

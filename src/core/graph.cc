@@ -1,0 +1,147 @@
+#include "core/graph.h"
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace idm::core {
+
+TraversalStats Traverse(const std::vector<ViewPtr>& roots,
+                        const TraversalOptions& options,
+                        const ViewVisitor& visitor) {
+  TraversalStats stats;
+  std::unordered_set<std::string> visited;
+  std::deque<std::pair<ViewPtr, size_t>> queue;
+
+  for (const ViewPtr& root : roots) {
+    if (root == nullptr) continue;
+    if (visited.insert(root->uri()).second) queue.emplace_back(root, 0);
+  }
+
+  while (!queue.empty()) {
+    auto [view, depth] = queue.front();
+    queue.pop_front();
+
+    if (stats.views_visited >= options.max_views) {
+      stats.truncated = true;
+      break;
+    }
+    ++stats.views_visited;
+
+    VisitAction action = visitor(view, depth);
+    if (action == VisitAction::kStop) {
+      stats.truncated = true;
+      break;
+    }
+    if (action == VisitAction::kSkipChildren) continue;
+    if (depth >= options.max_depth) {
+      stats.truncated = true;
+      continue;
+    }
+
+    GroupComponent group = view->GetGroupComponent();
+    if (group.has_sequence() && !group.sequence_finite()) {
+      stats.truncated = true;  // an infinite Q can never be fully expanded
+    }
+    for (ViewPtr& child : group.DirectlyRelated(options.infinite_prefix)) {
+      if (child == nullptr) continue;
+      ++stats.edges_followed;
+      if (visited.insert(child->uri()).second) {
+        queue.emplace_back(std::move(child), depth + 1);
+      } else {
+        stats.cycle_found = true;  // re-encounter: DAG sharing or cycle
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<ViewPtr> CollectSubgraph(const ViewPtr& root,
+                                     const TraversalOptions& options) {
+  std::vector<ViewPtr> out;
+  Traverse({root}, options, [&out](const ViewPtr& v, size_t) {
+    out.push_back(v);
+    return VisitAction::kContinue;
+  });
+  return out;
+}
+
+std::vector<ViewPtr> FindAll(
+    const ViewPtr& root,
+    const std::function<bool(const ResourceView&)>& predicate,
+    const TraversalOptions& options) {
+  std::vector<ViewPtr> out;
+  Traverse({root}, options, [&](const ViewPtr& v, size_t) {
+    if (predicate(*v)) out.push_back(v);
+    return VisitAction::kContinue;
+  });
+  return out;
+}
+
+bool IsIndirectlyRelated(const ViewPtr& from, const ViewPtr& to,
+                         const TraversalOptions& options) {
+  if (from == nullptr || to == nullptr) return false;
+  bool found = false;
+  // Start from the *children* of `from`: the relation requires a path of
+  // length >= 1, and a view is not indirectly related to itself unless it
+  // lies on a cycle.
+  std::vector<ViewPtr> children =
+      from->GetGroupComponent().DirectlyRelated(options.infinite_prefix);
+  Traverse(children, options, [&](const ViewPtr& v, size_t) {
+    if (v->uri() == to->uri()) {
+      found = true;
+      return VisitAction::kStop;
+    }
+    return VisitAction::kContinue;
+  });
+  return found;
+}
+
+namespace {
+
+enum class Color { kGray, kBlack };
+
+struct ShapeState {
+  std::unordered_map<std::string, Color> colors;
+  const TraversalOptions* options;
+  size_t visited = 0;
+  bool dag_edge = false;
+  bool cycle = false;
+};
+
+void ShapeDfs(const ViewPtr& view, size_t depth, ShapeState* state) {
+  if (state->cycle) return;
+  if (state->visited >= state->options->max_views ||
+      depth > state->options->max_depth) {
+    return;
+  }
+  ++state->visited;
+  state->colors[view->uri()] = Color::kGray;
+  GroupComponent group = view->GetGroupComponent();
+  for (const ViewPtr& child : group.DirectlyRelated(state->options->infinite_prefix)) {
+    if (child == nullptr) continue;
+    auto it = state->colors.find(child->uri());
+    if (it == state->colors.end()) {
+      ShapeDfs(child, depth + 1, state);
+    } else if (it->second == Color::kGray) {
+      state->cycle = true;  // back edge into the active path
+    } else {
+      state->dag_edge = true;  // cross/forward edge: shared node
+    }
+    if (state->cycle) break;
+  }
+  state->colors[view->uri()] = Color::kBlack;
+}
+
+}  // namespace
+
+GraphShape ClassifyShape(const ViewPtr& root, const TraversalOptions& options) {
+  ShapeState state;
+  state.options = &options;
+  if (root != nullptr) ShapeDfs(root, 0, &state);
+  if (state.cycle) return GraphShape::kCyclic;
+  if (state.dag_edge) return GraphShape::kDag;
+  return GraphShape::kTree;
+}
+
+}  // namespace idm::core

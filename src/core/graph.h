@@ -1,0 +1,80 @@
+// Cycle-safe traversal over resource view graphs (paper §2.3: the graph may
+// contain trees, DAGs and cycles; §3.4/§4.4: group sequences may be
+// infinite). All traversal is bounded and deduplicates nodes on uri().
+
+#ifndef IDM_CORE_GRAPH_H_
+#define IDM_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/resource_view.h"
+
+namespace idm::core {
+
+/// Traversal limits; defaults are generous but finite so that traversing a
+/// graph with infinite group sequences terminates.
+struct TraversalOptions {
+  /// Maximum number of distinct views visited.
+  size_t max_views = 1U << 20;
+  /// Maximum depth from the root(s) (root is depth 0).
+  size_t max_depth = std::numeric_limits<size_t>::max();
+  /// How many elements of an *infinite* group sequence to expand per view.
+  /// Finite sequences are always fully expanded.
+  size_t infinite_prefix = 0;
+};
+
+/// Visitor outcome per view.
+enum class VisitAction {
+  kContinue,      ///< keep traversing, expand this view's children
+  kSkipChildren,  ///< keep traversing but do not expand this view
+  kStop,          ///< abort the whole traversal
+};
+
+/// Callback invoked once per distinct view; depth is the BFS distance from
+/// the nearest root.
+using ViewVisitor = std::function<VisitAction(const ViewPtr& view, size_t depth)>;
+
+/// Statistics returned by a traversal.
+struct TraversalStats {
+  size_t views_visited = 0;
+  size_t edges_followed = 0;
+  bool truncated = false;   ///< hit max_views/max_depth or an infinite prefix
+  bool cycle_found = false; ///< some edge pointed at an already-visited view
+};
+
+/// Breadth-first traversal from \p roots. Visits each distinct uri once.
+TraversalStats Traverse(const std::vector<ViewPtr>& roots,
+                        const TraversalOptions& options,
+                        const ViewVisitor& visitor);
+
+/// Convenience: collect every view (indirectly) related to \p root,
+/// including \p root itself.
+std::vector<ViewPtr> CollectSubgraph(const ViewPtr& root,
+                                     const TraversalOptions& options = {});
+
+/// Convenience: all views in the subgraph matching \p predicate.
+std::vector<ViewPtr> FindAll(const ViewPtr& root,
+                             const std::function<bool(const ResourceView&)>& predicate,
+                             const TraversalOptions& options = {});
+
+/// The paper's V_i ⇝ V_k (indirect relatedness): true iff a directed path of
+/// length >= 1 leads from \p from to \p to.
+bool IsIndirectlyRelated(const ViewPtr& from, const ViewPtr& to,
+                         const TraversalOptions& options = {});
+
+/// Shape of a (finite) resource view graph.
+enum class GraphShape { kTree, kDag, kCyclic };
+
+/// Classifies the subgraph reachable from \p root. A node reached twice via
+/// different parents makes it a DAG; an edge back into the active path (or
+/// any previously visited node forming a directed cycle) makes it cyclic.
+GraphShape ClassifyShape(const ViewPtr& root,
+                         const TraversalOptions& options = {});
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_GRAPH_H_

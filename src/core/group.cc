@@ -1,0 +1,208 @@
+#include "core/group.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace idm::core {
+
+// ---------------------------------------------------------------------------
+// Set provider: finite, possibly lazy.
+
+class GroupComponent::SetProvider {
+ public:
+  explicit SetProvider(std::vector<ViewPtr> views) : views_(std::move(views)) {}
+  explicit SetProvider(std::function<std::vector<ViewPtr>()> thunk)
+      : thunk_(std::move(thunk)) {}
+
+  const std::vector<ViewPtr>& Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (thunk_) {
+      views_ = thunk_();
+      thunk_ = nullptr;
+    }
+    return views_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::function<std::vector<ViewPtr>()> thunk_;
+  std::vector<ViewPtr> views_;
+};
+
+// ---------------------------------------------------------------------------
+// Sequence provider: finite (possibly lazy) or infinite generator.
+
+class GroupComponent::SeqProvider {
+ public:
+  explicit SeqProvider(std::vector<ViewPtr> views)
+      : finite_(true), views_(std::move(views)), materialized_(true) {}
+  explicit SeqProvider(std::function<std::vector<ViewPtr>()> thunk)
+      : finite_(true), thunk_(std::move(thunk)) {}
+  explicit SeqProvider(std::function<ViewPtr(uint64_t)> generator)
+      : finite_(false), generator_(std::move(generator)) {}
+
+  bool finite() const { return finite_; }
+
+  std::optional<size_t> SizeHint() {
+    if (!finite_) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (materialized_) return views_.size();
+    return std::nullopt;
+  }
+
+  const std::vector<ViewPtr>& MaterializeFinite() {
+    assert(finite_);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!materialized_) {
+      views_ = thunk_();
+      thunk_ = nullptr;
+      materialized_ = true;
+    }
+    return views_;
+  }
+
+  std::unique_ptr<ViewCursor> OpenCursor();
+
+ private:
+  const bool finite_;
+  std::mutex mu_;
+  std::function<std::vector<ViewPtr>()> thunk_;
+  std::vector<ViewPtr> views_;
+  bool materialized_ = false;
+  std::function<ViewPtr(uint64_t)> generator_;
+};
+
+namespace {
+
+class VectorCursor : public ViewCursor {
+ public:
+  explicit VectorCursor(std::vector<ViewPtr> views) : views_(std::move(views)) {}
+  ViewPtr Next() override {
+    if (pos_ >= views_.size()) return nullptr;
+    return views_[pos_++];
+  }
+
+ private:
+  std::vector<ViewPtr> views_;
+  size_t pos_ = 0;
+};
+
+class GeneratorCursor : public ViewCursor {
+ public:
+  explicit GeneratorCursor(std::function<ViewPtr(uint64_t)> gen)
+      : gen_(std::move(gen)) {}
+  ViewPtr Next() override { return gen_(next_++); }
+
+ private:
+  std::function<ViewPtr(uint64_t)> gen_;
+  uint64_t next_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ViewCursor> GroupComponent::SeqProvider::OpenCursor() {
+  if (finite_) return std::make_unique<VectorCursor>(MaterializeFinite());
+  return std::make_unique<GeneratorCursor>(generator_);
+}
+
+// ---------------------------------------------------------------------------
+// GroupComponent
+
+GroupComponent GroupComponent::OfSet(std::vector<ViewPtr> set) {
+  GroupComponent g;
+  g.set_ = std::make_shared<SetProvider>(std::move(set));
+  return g;
+}
+
+GroupComponent GroupComponent::OfLazySet(
+    std::function<std::vector<ViewPtr>()> thunk) {
+  GroupComponent g;
+  g.set_ = std::make_shared<SetProvider>(std::move(thunk));
+  return g;
+}
+
+GroupComponent GroupComponent::OfSequence(std::vector<ViewPtr> seq) {
+  GroupComponent g;
+  g.seq_ = std::make_shared<SeqProvider>(std::move(seq));
+  return g;
+}
+
+GroupComponent GroupComponent::OfLazySequence(
+    std::function<std::vector<ViewPtr>()> thunk) {
+  GroupComponent g;
+  g.seq_ = std::make_shared<SeqProvider>(std::move(thunk));
+  return g;
+}
+
+GroupComponent GroupComponent::OfInfiniteSequence(
+    std::function<ViewPtr(uint64_t)> generator) {
+  GroupComponent g;
+  g.seq_ = std::make_shared<SeqProvider>(std::move(generator));
+  return g;
+}
+
+GroupComponent GroupComponent::Make(GroupComponent set_part,
+                                    GroupComponent seq_part) {
+  GroupComponent g;
+  g.set_ = std::move(set_part.set_);
+  g.seq_ = std::move(seq_part.seq_);
+  return g;
+}
+
+bool GroupComponent::empty() const {
+  return set_ == nullptr && seq_ == nullptr;
+}
+
+bool GroupComponent::has_set() const { return set_ != nullptr; }
+
+const std::vector<ViewPtr>& GroupComponent::set() const {
+  static const std::vector<ViewPtr> kEmpty;
+  if (set_ == nullptr) return kEmpty;
+  return set_->Get();
+}
+
+bool GroupComponent::has_sequence() const { return seq_ != nullptr; }
+
+bool GroupComponent::sequence_finite() const {
+  return seq_ == nullptr || seq_->finite();
+}
+
+std::optional<size_t> GroupComponent::SequenceSizeHint() const {
+  if (seq_ == nullptr) return 0;
+  return seq_->SizeHint();
+}
+
+std::unique_ptr<ViewCursor> GroupComponent::OpenSequence() const {
+  if (seq_ == nullptr) return std::make_unique<VectorCursor>(std::vector<ViewPtr>{});
+  return seq_->OpenCursor();
+}
+
+Result<std::vector<ViewPtr>> GroupComponent::SequenceToVector() const {
+  if (seq_ == nullptr) return std::vector<ViewPtr>{};
+  if (!seq_->finite()) {
+    return Status::FailedPrecondition(
+        "cannot materialize an infinite group sequence");
+  }
+  return seq_->MaterializeFinite();
+}
+
+std::vector<ViewPtr> GroupComponent::DirectlyRelated(
+    size_t infinite_prefix) const {
+  std::vector<ViewPtr> out = set();
+  if (seq_ != nullptr) {
+    if (seq_->finite()) {
+      const auto& q = seq_->MaterializeFinite();
+      out.insert(out.end(), q.begin(), q.end());
+    } else if (infinite_prefix > 0) {
+      auto cursor = seq_->OpenCursor();
+      for (size_t i = 0; i < infinite_prefix; ++i) {
+        ViewPtr v = cursor->Next();
+        if (v == nullptr) break;
+        out.push_back(std::move(v));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace idm::core

@@ -1,0 +1,97 @@
+// The γ (group) component of a resource view (paper §2.2).
+//
+// γ = (S, Q): S is an unordered set of resource views, Q an ordered
+// sequence; either may be empty, finite, lazy, or infinite. γ induces the
+// edges of the resource view graph: V_i → V_k iff V_k ∈ S ∪ Q.
+
+#ifndef IDM_CORE_GROUP_H_
+#define IDM_CORE_GROUP_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/result.h"
+
+namespace idm::core {
+
+class ResourceView;
+/// Resource views are shared, immutable-after-construction graph nodes.
+using ViewPtr = std::shared_ptr<ResourceView>;
+
+/// Pull cursor over the sequence part Q. Single-pass.
+class ViewCursor {
+ public:
+  virtual ~ViewCursor() = default;
+  /// Next view in Q, or nullptr at end. Infinite sequences never end.
+  virtual ViewPtr Next() = 0;
+};
+
+/// Value-type handle on a γ component; copies share the provider state.
+class GroupComponent {
+ public:
+  /// γ = (∅, ⟨⟩).
+  GroupComponent() = default;
+
+  /// Extensional finite set S.
+  static GroupComponent OfSet(std::vector<ViewPtr> set);
+
+  /// Intensional set S: \p thunk runs at most once, on first access
+  /// (paper §4.1: group components may be computed lazily).
+  static GroupComponent OfLazySet(std::function<std::vector<ViewPtr>()> thunk);
+
+  /// Extensional finite sequence Q.
+  static GroupComponent OfSequence(std::vector<ViewPtr> seq);
+
+  /// Intensional finite sequence Q, computed on first access.
+  static GroupComponent OfLazySequence(
+      std::function<std::vector<ViewPtr>()> thunk);
+
+  /// Infinite sequence Q: \p generator maps index 0,1,2,... to a view.
+  /// A nullptr return is a programming error (infinite means infinite);
+  /// use a finite variant for bounded data.
+  static GroupComponent OfInfiniteSequence(
+      std::function<ViewPtr(uint64_t index)> generator);
+
+  /// Both parts at once (e.g. a folder with unordered children plus an
+  /// ordered reading list).
+  static GroupComponent Make(GroupComponent set_part, GroupComponent seq_part);
+
+  /// True iff S = ∅ and Q = ⟨⟩ *structurally* (no set/sequence provider).
+  /// A lazy provider that would compute an empty vector still counts as
+  /// present until materialized.
+  bool empty() const;
+
+  /// --- Set part S ------------------------------------------------------
+  bool has_set() const;
+  /// Materializes (and caches) the set. Always finite in this
+  /// implementation; infinite *sets* have no natural cursor order and the
+  /// paper uses infinite sequences for streams.
+  const std::vector<ViewPtr>& set() const;
+
+  /// --- Sequence part Q -------------------------------------------------
+  bool has_sequence() const;
+  bool sequence_finite() const;
+  /// Size of Q when known without full materialization.
+  std::optional<size_t> SequenceSizeHint() const;
+  /// Opens a fresh cursor over Q (empty cursor when Q = ⟨⟩).
+  std::unique_ptr<ViewCursor> OpenSequence() const;
+  /// Materializes a finite Q. Fails with FailedPrecondition if Q is infinite.
+  Result<std::vector<ViewPtr>> SequenceToVector() const;
+
+  /// All *currently enumerable* directly related views: S ∪ Q for finite Q,
+  /// S ∪ (first \p infinite_prefix elements of Q) for infinite Q. This is
+  /// the expansion step used by graph traversal and query forward expansion.
+  std::vector<ViewPtr> DirectlyRelated(size_t infinite_prefix = 0) const;
+
+ private:
+  class SetProvider;
+  class SeqProvider;
+  std::shared_ptr<SetProvider> set_;
+  std::shared_ptr<SeqProvider> seq_;
+};
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_GROUP_H_

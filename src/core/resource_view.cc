@@ -1,0 +1,13 @@
+#include "core/resource_view.h"
+
+namespace idm::core {
+
+bool IsDirectlyRelated(const ResourceView& from, const ResourceView& to,
+                       size_t infinite_prefix) {
+  for (const ViewPtr& v : from.GetGroupComponent().DirectlyRelated(infinite_prefix)) {
+    if (v != nullptr && v->uri() == to.uri()) return true;
+  }
+  return false;
+}
+
+}  // namespace idm::core

@@ -1,0 +1,202 @@
+// Resource views (paper §2.2, Definition 1): V = (η, τ, χ, γ).
+//
+// A resource view is modelled as an interface of four get-methods (paper
+// §4.1), so that each view hides how, when and where its components are
+// computed: extensionally (base facts), intensionally (query/service
+// results), lazily, or as infinite generators.
+
+#ifndef IDM_CORE_RESOURCE_VIEW_H_
+#define IDM_CORE_RESOURCE_VIEW_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "core/content.h"
+#include "core/group.h"
+#include "core/tuple.h"
+
+namespace idm::core {
+
+/// Interface of a resource view. Implementations must be immutable from the
+/// caller's perspective: repeated calls to a getter observe the same logical
+/// component (lazy caches notwithstanding).
+///
+/// Beyond the paper's four components, every view carries:
+///  - uri(): a stable identity string ("vfs:/Projects/PIM",
+///    "imap://inbox/42"). Two views denote the same node of the resource
+///    view graph iff their URIs are equal; this is what makes cycle-safe
+///    traversal of lazily recreated adapter views possible.
+///  - class_name(): the resource view class the view claims to obey
+///    (paper §3.1), or "" for class-less views (schema-never data).
+class ResourceView {
+ public:
+  virtual ~ResourceView() = default;
+
+  /// Stable identity of this node in the resource view graph.
+  virtual const std::string& uri() const = 0;
+
+  /// Name of the resource view class this view obeys, or "" if none.
+  virtual const std::string& class_name() const = 0;
+
+  /// η — the name component (finite string; "" denotes η = ⟨⟩).
+  virtual std::string GetNameComponent() const = 0;
+
+  /// τ — the tuple component ((W, T); empty TupleComponent denotes τ = ()).
+  virtual TupleComponent GetTupleComponent() const = 0;
+
+  /// χ — the content component.
+  virtual ContentComponent GetContentComponent() const = 0;
+
+  /// γ — the group component.
+  virtual GroupComponent GetGroupComponent() const = 0;
+};
+
+/// Fully materialized resource view with eagerly provided components.
+/// Component values may still be internally lazy (ContentComponent /
+/// GroupComponent handles), so this is the workhorse implementation —
+/// built via ViewBuilder.
+class MaterializedResourceView : public ResourceView {
+ public:
+  MaterializedResourceView(std::string uri, std::string class_name,
+                           std::string name, TupleComponent tuple,
+                           ContentComponent content, GroupComponent group)
+      : uri_(std::move(uri)),
+        class_name_(std::move(class_name)),
+        name_(std::move(name)),
+        tuple_(std::move(tuple)),
+        content_(std::move(content)),
+        group_(std::move(group)) {}
+
+  const std::string& uri() const override { return uri_; }
+  const std::string& class_name() const override { return class_name_; }
+  std::string GetNameComponent() const override { return name_; }
+  TupleComponent GetTupleComponent() const override { return tuple_; }
+  ContentComponent GetContentComponent() const override { return content_; }
+  GroupComponent GetGroupComponent() const override { return group_; }
+
+ private:
+  std::string uri_;
+  std::string class_name_;
+  std::string name_;
+  TupleComponent tuple_;
+  ContentComponent content_;
+  GroupComponent group_;
+};
+
+/// Fluent builder for resource views.
+///
+///   ViewPtr v = ViewBuilder("vfs:/Projects/PIM")
+///                   .Class("folder")
+///                   .Name("PIM")
+///                   .Tuple(fs_tuple)
+///                   .GroupSet({child1, child2})
+///                   .Build();
+class ViewBuilder {
+ public:
+  explicit ViewBuilder(std::string uri) : uri_(std::move(uri)) {}
+
+  ViewBuilder& Class(std::string class_name) {
+    class_name_ = std::move(class_name);
+    return *this;
+  }
+  ViewBuilder& Name(std::string name) {
+    name_ = std::move(name);
+    return *this;
+  }
+  ViewBuilder& Tuple(TupleComponent tuple) {
+    tuple_ = std::move(tuple);
+    return *this;
+  }
+  ViewBuilder& Content(ContentComponent content) {
+    content_ = std::move(content);
+    return *this;
+  }
+  ViewBuilder& ContentString(std::string data) {
+    content_ = ContentComponent::OfString(std::move(data));
+    return *this;
+  }
+  ViewBuilder& Group(GroupComponent group) {
+    group_ = std::move(group);
+    return *this;
+  }
+  ViewBuilder& GroupSet(std::vector<ViewPtr> views) {
+    group_ = GroupComponent::Make(
+        GroupComponent::OfSet(std::move(views)),
+        GroupComponent(group_).has_sequence() ? group_ : GroupComponent());
+    return *this;
+  }
+  ViewBuilder& GroupSequence(std::vector<ViewPtr> views) {
+    group_ = GroupComponent::Make(
+        group_.has_set() ? group_ : GroupComponent(),
+        GroupComponent::OfSequence(std::move(views)));
+    return *this;
+  }
+
+  ViewPtr Build() {
+    return std::make_shared<MaterializedResourceView>(
+        std::move(uri_), std::move(class_name_), std::move(name_),
+        std::move(tuple_), std::move(content_), std::move(group_));
+  }
+
+ private:
+  std::string uri_;
+  std::string class_name_;
+  std::string name_;
+  TupleComponent tuple_;
+  ContentComponent content_;
+  GroupComponent group_;
+};
+
+/// Resource view whose components are produced by functions, evaluated on
+/// every access (no caching at this level; providers may cache internally).
+/// This is the adapter type used by data source plugins: the view is a
+/// *logical* node whose components are fetched from the underlying
+/// subsystem on demand (paper §4.1).
+class FunctionalResourceView : public ResourceView {
+ public:
+  struct Providers {
+    std::function<std::string()> name;
+    std::function<TupleComponent()> tuple;
+    std::function<ContentComponent()> content;
+    std::function<GroupComponent()> group;
+  };
+
+  FunctionalResourceView(std::string uri, std::string class_name,
+                         Providers providers)
+      : uri_(std::move(uri)),
+        class_name_(std::move(class_name)),
+        providers_(std::move(providers)) {}
+
+  const std::string& uri() const override { return uri_; }
+  const std::string& class_name() const override { return class_name_; }
+  std::string GetNameComponent() const override {
+    return providers_.name ? providers_.name() : std::string();
+  }
+  TupleComponent GetTupleComponent() const override {
+    return providers_.tuple ? providers_.tuple() : TupleComponent();
+  }
+  ContentComponent GetContentComponent() const override {
+    return providers_.content ? providers_.content() : ContentComponent();
+  }
+  GroupComponent GetGroupComponent() const override {
+    return providers_.group ? providers_.group() : GroupComponent();
+  }
+
+ private:
+  std::string uri_;
+  std::string class_name_;
+  Providers providers_;
+};
+
+/// Notational shorthand for the paper's V_i → V_k (direct relatedness):
+/// true iff \p to is in S ∪ Q of \p from's group component. Only the
+/// enumerable part of an infinite Q (first \p infinite_prefix entries) is
+/// examined.
+bool IsDirectlyRelated(const ResourceView& from, const ResourceView& to,
+                       size_t infinite_prefix = 64);
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_RESOURCE_VIEW_H_

@@ -1,0 +1,56 @@
+// Service calls: the intensional-data primitive (paper §4.3).
+//
+// An intensional component is computed by running a query or calling a
+// (possibly remote) service. The ServiceRegistry maps service names to
+// handlers; the ActiveXML use-case (paper §4.3.1) resolves <sc> elements
+// against it, and lazy resource view providers may capture calls into it.
+
+#ifndef IDM_CORE_SERVICE_H_
+#define IDM_CORE_SERVICE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/result.h"
+
+namespace idm::core {
+
+/// A service handler: argument string in, payload (e.g. an XML fragment)
+/// out. Handlers may fail, e.g. to model an unreachable remote host.
+using ServiceFn = std::function<Result<std::string>(const std::string& args)>;
+
+/// Name → handler registry for intensional component computation.
+class ServiceRegistry {
+ public:
+  /// Registers \p fn under \p name, replacing any previous handler.
+  void Register(std::string name, ServiceFn fn) {
+    services_[std::move(name)] = std::move(fn);
+  }
+
+  bool Has(const std::string& name) const { return services_.count(name) > 0; }
+
+  /// Invokes the service. Unknown services fail with Unavailable (the
+  /// remote host cannot be resolved).
+  Result<std::string> Call(const std::string& name,
+                           const std::string& args) const {
+    auto it = services_.find(name);
+    if (it == services_.end()) {
+      return Status::Unavailable("service '" + name + "' is not reachable");
+    }
+    ++calls_;
+    return it->second(args);
+  }
+
+  /// Number of successful dispatches (for lazy-evaluation tests: proves a
+  /// component was or was not computed).
+  uint64_t call_count() const { return calls_; }
+
+ private:
+  std::map<std::string, ServiceFn> services_;
+  mutable uint64_t calls_ = 0;
+};
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_SERVICE_H_

@@ -1,0 +1,75 @@
+#include "core/tuple.h"
+
+#include "util/string_util.h"
+
+namespace idm::core {
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (EqualsIgnoreCase(attrs_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].name;
+    out += ": ";
+    out += DomainToString(attrs_[i].domain);
+  }
+  out += ")";
+  return out;
+}
+
+size_t Schema::MemoryUsage() const {
+  size_t total = sizeof(Schema) + attrs_.capacity() * sizeof(Attribute);
+  for (const auto& a : attrs_) total += a.name.capacity();
+  return total;
+}
+
+Result<TupleComponent> TupleComponent::Make(Schema schema,
+                                            std::vector<Value> values) {
+  if (schema.size() != values.size()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!values[i].is_null() && values[i].domain() != schema.at(i).domain) {
+      return Status::InvalidArgument(
+          "value for attribute '" + schema.at(i).name + "' has domain " +
+          DomainToString(values[i].domain()) + ", schema requires " +
+          DomainToString(schema.at(i).domain));
+    }
+  }
+  return MakeUnchecked(std::move(schema), std::move(values));
+}
+
+std::optional<Value> TupleComponent::Get(const std::string& name) const {
+  auto idx = schema_.IndexOf(name);
+  if (!idx.has_value()) return std::nullopt;
+  return values_[*idx];
+}
+
+std::string TupleComponent::ToString() const {
+  if (empty()) return "()";
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.at(i).name;
+    out += "=";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t TupleComponent::MemoryUsage() const {
+  size_t total = schema_.MemoryUsage() + values_.capacity() * sizeof(Value);
+  for (const auto& v : values_) total += v.MemoryUsage() - sizeof(Value);
+  return total;
+}
+
+}  // namespace idm::core

@@ -1,0 +1,98 @@
+// The τ (tuple) component of a resource view (paper §2.2).
+//
+// τ = (W, T): W is a per-view schema (a sequence of named, typed attributes)
+// and T is one single tuple conforming to W. Unlike the relational model the
+// schema travels with each tuple; sets of views sharing a schema are
+// expressed via resource view classes (§3).
+
+#ifndef IDM_CORE_TUPLE_H_
+#define IDM_CORE_TUPLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "util/result.h"
+
+namespace idm::core {
+
+/// One attribute of a schema: the name of a role played by a domain.
+struct Attribute {
+  std::string name;
+  Domain domain = Domain::kNull;
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// W: an ordered sequence of attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attrs) : attrs_(std::move(attrs)) {}
+
+  /// Fluent construction: Schema().Add("size", Domain::kInt)...
+  Schema& Add(std::string name, Domain domain) {
+    attrs_.push_back({std::move(name), domain});
+    return *this;
+  }
+
+  size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+  const Attribute& at(size_t i) const { return attrs_[i]; }
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+
+  /// Position of the attribute named \p name (case-insensitive), or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const = default;
+
+  /// "(size: int, creation time: date)" — diagnostic rendering.
+  std::string ToString() const;
+
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<Attribute> attrs_;
+};
+
+/// τ = (W, T). An empty TupleComponent (default-constructed) denotes τ = ().
+class TupleComponent {
+ public:
+  TupleComponent() = default;
+
+  /// Builds a tuple component, validating T against W: the arity must match
+  /// and every non-null value must belong to its attribute's domain.
+  static Result<TupleComponent> Make(Schema schema, std::vector<Value> values);
+
+  /// Unchecked variant for trusted construction paths (generators, tests).
+  static TupleComponent MakeUnchecked(Schema schema, std::vector<Value> values) {
+    TupleComponent t;
+    t.schema_ = std::move(schema);
+    t.values_ = std::move(values);
+    return t;
+  }
+
+  bool empty() const { return schema_.empty(); }
+  const Schema& schema() const { return schema_; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// Value of the attribute named \p name (case-insensitive), or nullopt
+  /// when no such attribute exists.
+  std::optional<Value> Get(const std::string& name) const;
+
+  /// "(size=4096, creation time=19/03/2005 11:54)" — diagnostic rendering.
+  std::string ToString() const;
+
+  bool operator==(const TupleComponent& other) const = default;
+
+  size_t MemoryUsage() const;
+
+ private:
+  Schema schema_;
+  std::vector<Value> values_;
+};
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_TUPLE_H_

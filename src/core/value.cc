@@ -1,0 +1,69 @@
+#include "core/value.h"
+
+#include <cstdio>
+
+namespace idm::core {
+
+const char* DomainToString(Domain d) {
+  switch (d) {
+    case Domain::kNull: return "null";
+    case Domain::kInt: return "int";
+    case Domain::kDouble: return "double";
+    case Domain::kString: return "string";
+    case Domain::kBool: return "bool";
+    case Domain::kDate: return "date";
+  }
+  return "unknown";
+}
+
+bool Value::ToNumeric(double* out) const {
+  switch (domain()) {
+    case Domain::kInt: *out = static_cast<double>(AsInt()); return true;
+    case Domain::kDouble: *out = AsDouble(); return true;
+    case Domain::kBool: *out = AsBool() ? 1.0 : 0.0; return true;
+    case Domain::kDate: *out = static_cast<double>(AsDate()); return true;
+    default: return false;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (domain()) {
+    case Domain::kNull: return "null";
+    case Domain::kInt: return std::to_string(AsInt());
+    case Domain::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case Domain::kString: return AsString();
+    case Domain::kBool: return AsBool() ? "true" : "false";
+    case Domain::kDate: return FormatTimestamp(AsDate());
+  }
+  return "";
+}
+
+int Value::Compare(const Value& other) const {
+  double a = 0, b = 0;
+  // Numeric domains (incl. dates) compare by value even across domains.
+  if (ToNumeric(&a) && other.ToNumeric(&b)) {
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (domain() != other.domain()) {
+    return static_cast<int>(domain()) < static_cast<int>(other.domain()) ? -1
+                                                                         : 1;
+  }
+  if (domain() == Domain::kString) {
+    return AsString().compare(other.AsString());
+  }
+  return 0;  // both null
+}
+
+size_t Value::MemoryUsage() const {
+  size_t base = sizeof(Value);
+  if (domain() == Domain::kString) base += AsString().capacity();
+  return base;
+}
+
+}  // namespace idm::core

@@ -1,0 +1,95 @@
+// Atomic values and domains (paper §2.2, Definition 1, τ component).
+//
+// A Domain is "a set of atomic values" [Elmasri/Navathe]; iDM tuple
+// components carry a sequence of atomic values, each drawn from the domain
+// of the corresponding schema attribute.
+
+#ifndef IDM_CORE_VALUE_H_
+#define IDM_CORE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/clock.h"
+
+namespace idm::core {
+
+/// The atomic domains supported by this iDM implementation. The paper leaves
+/// domains open; we provide the ones its examples use (integers, dates,
+/// strings) plus doubles and booleans for relational instantiations.
+enum class Domain : uint8_t {
+  kNull = 0,
+  kInt = 1,
+  kDouble = 2,
+  kString = 3,
+  kBool = 4,
+  kDate = 5,  ///< microseconds since the Unix epoch (see util/clock.h)
+};
+
+/// Returns "int", "string", ... for diagnostics.
+const char* DomainToString(Domain d);
+
+/// A single atomic value, tagged with its domain.
+///
+/// Dates are stored as Micros but compare/order as their numeric value; the
+/// distinct domain tag keeps "size > 42000" from silently comparing against
+/// a date column.
+class Value {
+ public:
+  /// Null value (empty component slot).
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(std::in_place_index<1>, v)); }
+  static Value Double(double v) { return Value(Repr(std::in_place_index<2>, v)); }
+  static Value String(std::string v) {
+    return Value(Repr(std::in_place_index<3>, std::move(v)));
+  }
+  static Value Bool(bool v) { return Value(Repr(std::in_place_index<4>, v)); }
+  static Value Date(Micros micros) {
+    return Value(Repr(std::in_place_index<5>, DateRepr{micros}));
+  }
+
+  Domain domain() const { return static_cast<Domain>(repr_.index()); }
+  bool is_null() const { return domain() == Domain::kNull; }
+
+  /// Typed accessors. Calling the wrong accessor is a programming error;
+  /// callers check domain() first (asserts in debug builds).
+  int64_t AsInt() const { return std::get<1>(repr_); }
+  double AsDouble() const { return std::get<2>(repr_); }
+  const std::string& AsString() const { return std::get<3>(repr_); }
+  bool AsBool() const { return std::get<4>(repr_); }
+  Micros AsDate() const { return std::get<5>(repr_).micros; }
+
+  /// Numeric view used by comparison predicates: ints, doubles, bools and
+  /// dates coerce to double; strings and nulls do not (returns false).
+  bool ToNumeric(double* out) const;
+
+  /// Human-readable rendering (dates use the paper's DD/MM/YYYY HH:MM form).
+  std::string ToString() const;
+
+  /// Total ordering inside a single domain; cross-domain comparisons order
+  /// by domain tag (stable but arbitrary), except numeric domains which
+  /// compare by numeric value.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Approximate heap + inline footprint in bytes, for index accounting.
+  size_t MemoryUsage() const;
+
+ private:
+  struct DateRepr {
+    Micros micros;
+  };
+  using Repr = std::variant<std::monostate, int64_t, double, std::string, bool,
+                            DateRepr>;
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+  Repr repr_;
+};
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_VALUE_H_

@@ -1,0 +1,395 @@
+#include "core/view_class.h"
+
+namespace idm::core {
+
+const Schema& FileSystemSchema() {
+  static const Schema kSchema = Schema()
+                                    .Add("size", Domain::kInt)
+                                    .Add("creation time", Domain::kDate)
+                                    .Add("last modified time", Domain::kDate);
+  return kSchema;
+}
+
+Status ClassRegistry::Register(ResourceViewClass cls) {
+  if (classes_.count(cls.name()) > 0) {
+    return Status::AlreadyExists("resource view class '" + cls.name() +
+                                 "' is already registered");
+  }
+  if (!cls.parent().empty() && classes_.count(cls.parent()) == 0) {
+    return Status::NotFound("superclass '" + cls.parent() + "' of '" +
+                            cls.name() + "' is not registered");
+  }
+  order_.push_back(cls.name());
+  classes_.emplace(cls.name(), std::move(cls));
+  return Status::OK();
+}
+
+const ResourceViewClass* ClassRegistry::Lookup(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+bool ClassRegistry::IsSubclassOf(const std::string& cls,
+                                 const std::string& ancestor) const {
+  const ResourceViewClass* cur = Lookup(cls);
+  while (cur != nullptr) {
+    if (cur->name() == ancestor) return true;
+    cur = cur->parent().empty() ? nullptr : Lookup(cur->parent());
+  }
+  return false;
+}
+
+Result<ClassRestrictions> ClassRegistry::EffectiveRestrictions(
+    const std::string& cls) const {
+  // Walk root -> leaf so that deeper classes override.
+  std::vector<const ResourceViewClass*> chain;
+  const ResourceViewClass* cur = Lookup(cls);
+  if (cur == nullptr) {
+    return Status::NotFound("unknown resource view class '" + cls + "'");
+  }
+  while (cur != nullptr) {
+    chain.push_back(cur);
+    cur = cur->parent().empty() ? nullptr : Lookup(cur->parent());
+  }
+  ClassRestrictions effective;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    const ClassRestrictions& r = (*it)->restrictions();
+    if (r.name) effective.name = r.name;
+    if (r.tuple) effective.tuple = r.tuple;
+    if (r.tuple_schema) effective.tuple_schema = r.tuple_schema;
+    if (r.content) effective.content = r.content;
+    if (r.group_set) effective.group_set = r.group_set;
+    if (r.group_sequence) effective.group_sequence = r.group_sequence;
+    if (r.related_classes) effective.related_classes = r.related_classes;
+  }
+  return effective;
+}
+
+namespace {
+
+Status CheckPresence(Presence required, bool is_empty, const char* component) {
+  if (required == Presence::kEmpty && !is_empty) {
+    return Status::ConformanceError(std::string(component) +
+                                    " component must be empty");
+  }
+  if (required == Presence::kNonEmpty && is_empty) {
+    return Status::ConformanceError(std::string(component) +
+                                    " component must be non-empty");
+  }
+  return Status::OK();
+}
+
+Status CheckFiniteness(Finiteness required, bool is_empty, bool is_finite,
+                       const char* component) {
+  switch (required) {
+    case Finiteness::kAny:
+      return Status::OK();
+    case Finiteness::kEmpty:
+      if (!is_empty) {
+        return Status::ConformanceError(std::string(component) +
+                                        " must be empty");
+      }
+      return Status::OK();
+    case Finiteness::kFinite:
+      if (!is_finite) {
+        return Status::ConformanceError(std::string(component) +
+                                        " must be finite");
+      }
+      return Status::OK();
+    case Finiteness::kInfinite:
+      if (is_empty || is_finite) {
+        return Status::ConformanceError(std::string(component) +
+                                        " must be infinite");
+      }
+      return Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ClassRegistry::CheckConformanceAs(const ResourceView& view,
+                                         const std::string& cls,
+                                         size_t infinite_prefix) const {
+  IDM_ASSIGN_OR_RETURN(ClassRestrictions r, EffectiveRestrictions(cls));
+  const std::string context = "view '" + view.uri() + "' (class " + cls + ")";
+
+  // (1) Emptyness of η and τ.
+  if (r.name) {
+    IDM_RETURN_NOT_OK(CheckPresence(*r.name, view.GetNameComponent().empty(),
+                                    "name (η)")
+                          .WithContext(context));
+  }
+  TupleComponent tuple = view.GetTupleComponent();
+  if (r.tuple) {
+    IDM_RETURN_NOT_OK(
+        CheckPresence(*r.tuple, tuple.empty(), "tuple (τ)").WithContext(context));
+  }
+  // (2) Schema of τ.
+  if (r.tuple_schema) {
+    if (tuple.schema() != *r.tuple_schema) {
+      return Status::ConformanceError(
+          context + ": tuple schema " + tuple.schema().ToString() +
+          " does not match required schema " + r.tuple_schema->ToString());
+    }
+  }
+  // (3) Finiteness of χ and γ.
+  ContentComponent content = view.GetContentComponent();
+  if (r.content) {
+    IDM_RETURN_NOT_OK(CheckFiniteness(*r.content, content.empty(),
+                                      content.finite(), "content (χ)")
+                          .WithContext(context));
+  }
+  GroupComponent group = view.GetGroupComponent();
+  if (r.group_set) {
+    // The set part is always finite in this implementation; emptiness is
+    // structural (no provider) or an empty materialized set.
+    bool set_empty = !group.has_set() || group.set().empty();
+    IDM_RETURN_NOT_OK(CheckFiniteness(*r.group_set, set_empty, true,
+                                      "group set (γ.S)")
+                          .WithContext(context));
+  }
+  if (r.group_sequence) {
+    bool seq_empty = !group.has_sequence();
+    if (group.has_sequence() && group.sequence_finite()) {
+      auto hint = group.SequenceSizeHint();
+      if (hint.has_value() && *hint == 0) seq_empty = true;
+    }
+    IDM_RETURN_NOT_OK(CheckFiniteness(*r.group_sequence, seq_empty,
+                                      group.sequence_finite(),
+                                      "group sequence (γ.Q)")
+                          .WithContext(context));
+  }
+  // (4) Classes of directly related views.
+  if (r.related_classes) {
+    for (const ViewPtr& related : group.DirectlyRelated(infinite_prefix)) {
+      if (related == nullptr) continue;
+      bool acceptable = false;
+      for (const std::string& allowed : *r.related_classes) {
+        if (IsSubclassOf(related->class_name(), allowed)) {
+          acceptable = true;
+          break;
+        }
+      }
+      if (!acceptable) {
+        return Status::ConformanceError(
+            context + ": directly related view '" + related->uri() +
+            "' has class '" + related->class_name() +
+            "', which is not acceptable for this class");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ClassRegistry::CheckConformance(const ResourceView& view,
+                                       size_t infinite_prefix) const {
+  if (view.class_name().empty()) return Status::OK();  // schema-never
+  return CheckConformanceAs(view, view.class_name(), infinite_prefix);
+}
+
+std::vector<std::string> ClassRegistry::ClassNames() const { return order_; }
+
+ClassRegistry ClassRegistry::Standard() {
+  ClassRegistry reg;
+  auto add = [&reg](std::string name, std::string parent,
+                    ClassRestrictions r) {
+    Status s = reg.Register(ResourceViewClass(std::move(name),
+                                              std::move(parent), std::move(r)));
+    (void)s;  // Standard() definitions are internally consistent.
+  };
+
+  // --- Files & folders (paper §3.2, Table 1 rows 1-2) ---------------------
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.tuple_schema = FileSystemSchema();
+    r.content = Finiteness::kAny;  // C_f; empty files are files too
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kEmpty;
+    add("file", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.tuple_schema = FileSystemSchema();
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kFinite;
+    r.group_sequence = Finiteness::kEmpty;
+    r.related_classes = std::set<std::string>{"file", "folder"};
+    add("folder", "", std::move(r));
+  }
+
+  // --- Relational (Table 1 rows 3-5) ---------------------------------------
+  {
+    ClassRestrictions r;
+    r.name = Presence::kEmpty;
+    r.tuple = Presence::kNonEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kEmpty;
+    add("tuple", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kFinite;
+    r.group_sequence = Finiteness::kEmpty;
+    r.related_classes = std::set<std::string>{"tuple"};
+    add("relation", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kFinite;
+    r.group_sequence = Finiteness::kEmpty;
+    r.related_classes = std::set<std::string>{"relation"};
+    add("reldb", "", std::move(r));
+  }
+
+  // --- XML (paper §3.3, Table 1 rows 6-9) ----------------------------------
+  {
+    ClassRestrictions r;
+    r.name = Presence::kEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kFinite;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kEmpty;
+    add("xmltext", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kFinite;
+    r.related_classes = std::set<std::string>{"xmltext", "xmlelem"};
+    add("xmlelem", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kFinite;
+    r.related_classes = std::set<std::string>{"xmlelem"};
+    add("xmldoc", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;  // specializes file: Q = ⟨V_doc^xmldoc⟩
+    r.group_sequence = Finiteness::kFinite;
+    r.related_classes = std::set<std::string>{"xmldoc"};
+    add("xmlfile", "file", std::move(r));
+  }
+
+  // --- Streams (paper §3.4, Table 1 rows 10-12) ----------------------------
+  {
+    ClassRestrictions r;
+    r.name = Presence::kEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kEmpty;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kInfinite;
+    add("datstream", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.related_classes = std::set<std::string>{"tuple"};
+    add("tupstream", "datstream", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.related_classes = std::set<std::string>{"xmldoc"};
+    add("rssatom", "datstream", std::move(r));
+  }
+
+  // --- LaTeX (paper §2.3: latex documents yield graph-structured views) ----
+  {
+    ClassRestrictions r;  // unstructured text inside LaTeX structure
+    r.name = Presence::kEmpty;
+    r.tuple = Presence::kEmpty;
+    r.content = Finiteness::kFinite;
+    r.group_set = Finiteness::kEmpty;
+    r.group_sequence = Finiteness::kEmpty;
+    add("textblock", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.group_sequence = Finiteness::kFinite;
+    add("latex_document", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.group_sequence = Finiteness::kFinite;
+    add("latex_section", "", std::move(r));
+  }
+  add("latex_subsection", "latex_section", ClassRestrictions{});
+  add("latex_subsubsection", "latex_subsection", ClassRestrictions{});
+  {
+    ClassRestrictions r;
+    r.group_sequence = Finiteness::kFinite;
+    add("environment", "", std::move(r));
+  }
+  add("figure", "environment", ClassRestrictions{});
+  {
+    ClassRestrictions r;  // \ref{..}: group points at the referenced view
+    r.name = Presence::kNonEmpty;
+    r.content = Finiteness::kEmpty;
+    add("texref", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;  // specializes file: Q = ⟨latex_document⟩
+    r.group_sequence = Finiteness::kFinite;
+    r.related_classes = std::set<std::string>{"latex_document"};
+    add("latexfile", "file", std::move(r));
+  }
+
+  // --- Email (paper §4.4.1) -------------------------------------------------
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;
+    r.group_set = Finiteness::kFinite;
+    add("emailfolder", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;
+    r.name = Presence::kNonEmpty;  // subject
+    r.tuple = Presence::kNonEmpty; // from/to/date headers
+    r.group_set = Finiteness::kFinite;  // attachments
+    add("emailmessage", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;  // an attachment behaves as a file
+    add("attachment", "file", std::move(r));
+  }
+  {
+    ClassRestrictions r;  // Option 1: finite state of the INBOX
+    r.group_sequence = Finiteness::kFinite;
+    r.related_classes = std::set<std::string>{"emailmessage"};
+    add("inboxstate", "", std::move(r));
+  }
+  {
+    ClassRestrictions r;  // Option 2: infinite message stream
+    r.related_classes = std::set<std::string>{"emailmessage"};
+    add("inboxstream", "datstream", std::move(r));
+  }
+
+  // --- ActiveXML (paper §4.3.1): AXML specializes xmlelem ------------------
+  add("sc", "xmlelem", ClassRestrictions{});
+  add("scresult", "xmlelem", ClassRestrictions{});
+  {
+    ClassRestrictions r;
+    r.related_classes = std::set<std::string>{"sc", "scresult"};
+    add("axml", "xmlelem", std::move(r));
+  }
+
+  return reg;
+}
+
+}  // namespace idm::core

@@ -1,0 +1,136 @@
+// Resource view classes (paper §3.1, Definition 2).
+//
+// A resource view class is a set of formal restrictions on the η, τ, χ, γ
+// components of the views that obey it: (1) emptiness of components,
+// (2) the schema of τ, (3) finiteness of χ and of γ's S and Q, and
+// (4) the classes acceptable for directly related views.
+//
+// Classes form generalization hierarchies: a view obeying class C also obeys
+// every generalization of C. A subclass may *refine* inherited restrictions
+// (e.g. `xmlfile` specializes `file` by requiring Q = ⟨V_doc^xmldoc⟩ where
+// the base class leaves Q empty); refinement is expressed by the subclass
+// overriding the restriction fields it sets.
+
+#ifndef IDM_CORE_VIEW_CLASS_H_
+#define IDM_CORE_VIEW_CLASS_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/resource_view.h"
+#include "util/status.h"
+
+namespace idm::core {
+
+/// Restriction on whether a component must be empty / non-empty.
+enum class Presence {
+  kEmpty,     ///< component must be ⟨⟩ / ()
+  kNonEmpty,  ///< component must be present
+  kAny,       ///< unrestricted
+};
+
+/// Restriction on finiteness of χ, S, or Q.
+enum class Finiteness {
+  kEmpty,     ///< must be structurally empty
+  kFinite,    ///< must be present only as finite
+  kInfinite,  ///< must be an infinite sequence/content
+  kAny,       ///< unrestricted
+};
+
+/// The restriction fields of Definition 2. Unset fields (nullopt) are
+/// inherited from the superclass; the root default is "unrestricted".
+struct ClassRestrictions {
+  std::optional<Presence> name;
+  std::optional<Presence> tuple;
+  /// Exact schema W that τ must carry (implies tuple = kNonEmpty).
+  std::optional<Schema> tuple_schema;
+  std::optional<Finiteness> content;
+  std::optional<Finiteness> group_set;       ///< S
+  std::optional<Finiteness> group_sequence;  ///< Q
+  /// Classes acceptable for directly related views; a related view conforms
+  /// if its class equals, or is a specialization of, any listed class.
+  /// Views with no class never satisfy a non-nullopt restriction.
+  std::optional<std::set<std::string>> related_classes;
+};
+
+class ClassRegistry;
+
+/// A named resource view class with an optional superclass.
+class ResourceViewClass {
+ public:
+  ResourceViewClass(std::string name, std::string parent,
+                    ClassRestrictions restrictions)
+      : name_(std::move(name)),
+        parent_(std::move(parent)),
+        restrictions_(std::move(restrictions)) {}
+
+  const std::string& name() const { return name_; }
+  /// Name of the direct generalization; "" for a root class.
+  const std::string& parent() const { return parent_; }
+  const ClassRestrictions& restrictions() const { return restrictions_; }
+
+ private:
+  std::string name_;
+  std::string parent_;
+  ClassRestrictions restrictions_;
+};
+
+/// Registry of resource view classes; owns the generalization hierarchy and
+/// performs conformance checking.
+class ClassRegistry {
+ public:
+  /// Registers \p cls. Fails with AlreadyExists on a duplicate name and
+  /// NotFound when the declared parent is unknown (parents register first).
+  Status Register(ResourceViewClass cls);
+
+  /// Looks up a class by name; nullptr when absent.
+  const ResourceViewClass* Lookup(const std::string& name) const;
+
+  /// True iff \p cls equals \p ancestor or is a (transitive)
+  /// specialization of it. Unknown names are not related to anything.
+  bool IsSubclassOf(const std::string& cls, const std::string& ancestor) const;
+
+  /// The effective restrictions of \p cls: fields set by the deepest class
+  /// in the generalization chain win. Fails with NotFound on unknown class.
+  Result<ClassRestrictions> EffectiveRestrictions(const std::string& cls) const;
+
+  /// Checks that \p view conforms to the class named by its class_name().
+  /// Views with no class always conform (schema-never data, paper §3.1).
+  /// For infinite group sequences, only the first \p infinite_prefix
+  /// elements are checked against the related-class restriction.
+  Status CheckConformance(const ResourceView& view,
+                          size_t infinite_prefix = 8) const;
+
+  /// Checks conformance of \p view against an explicit class \p cls
+  /// (the view's own class_name() is ignored).
+  Status CheckConformanceAs(const ResourceView& view, const std::string& cls,
+                            size_t infinite_prefix = 8) const;
+
+  /// All registered class names in registration order.
+  std::vector<std::string> ClassNames() const;
+
+  /// Registry pre-populated with the paper's Table 1 classes plus the
+  /// LaTeX, email, and ActiveXML classes used by this implementation:
+  ///   file, folder, tuple, relation, reldb, xmltext, xmlelem, xmldoc,
+  ///   xmlfile, datstream, tupstream, rssatom,
+  ///   latexfile, latex_document, latex_section, latex_subsection,
+  ///   latex_subsubsection, environment, figure, texref, textblock,
+  ///   emailfolder, emailmessage, attachment, inboxstate, inboxstream,
+  ///   axml, sc, scresult.
+  static ClassRegistry Standard();
+
+ private:
+  std::map<std::string, ResourceViewClass> classes_;
+  std::vector<std::string> order_;
+};
+
+/// W_FS: the filesystem-level schema shared by file/folder views
+/// (paper §3.2): ⟨size: int, creation time: date, last modified time: date⟩.
+const Schema& FileSystemSchema();
+
+}  // namespace idm::core
+
+#endif  // IDM_CORE_VIEW_CLASS_H_

@@ -1,0 +1,260 @@
+#include "email/email_views.h"
+
+#include <mutex>
+
+#include "core/view_class.h"
+#include "util/string_util.h"
+
+namespace idm::email {
+
+using core::ContentComponent;
+using core::Domain;
+using core::FunctionalResourceView;
+using core::GroupComponent;
+using core::Schema;
+using core::TupleComponent;
+using core::Value;
+using core::ViewBuilder;
+using core::ViewPtr;
+
+std::string ImapFolderUri(const std::string& folder) {
+  return "imap://" + folder;
+}
+
+std::string ImapMessageUri(const std::string& folder, uint64_t uid) {
+  return "imap://" + folder + "/" + std::to_string(uid);
+}
+
+namespace {
+
+/// W_EMAIL: the header schema of emailmessage views.
+const Schema& EmailSchema() {
+  static const Schema kSchema = Schema()
+                                    .Add("from", Domain::kString)
+                                    .Add("to", Domain::kString)
+                                    .Add("date", Domain::kDate)
+                                    .Add("size", Domain::kInt);
+  return kSchema;
+}
+
+TupleComponent MessageTuple(const Message& message) {
+  return TupleComponent::MakeUnchecked(
+      EmailSchema(),
+      {Value::String(message.from), Value::String(Join(message.to, ", ")),
+       Value::Date(message.date),
+       Value::Int(static_cast<int64_t>(message.PayloadBytes()))});
+}
+
+/// Attachments behave as files: τ carries W_FS with the message date as
+/// both creation and modification time.
+ViewPtr AttachmentToView(const Attachment& att, Micros date,
+                         const std::string& uri) {
+  return ViewBuilder(uri)
+      .Class("attachment")
+      .Name(att.filename)
+      .Tuple(TupleComponent::MakeUnchecked(
+          core::FileSystemSchema(),
+          {Value::Int(static_cast<int64_t>(att.data.size())), Value::Date(date),
+           Value::Date(date)}))
+      .ContentString(att.data)
+      .Build();
+}
+
+ViewPtr MessageToView(const Message& message, const std::string& uri) {
+  std::vector<ViewPtr> attachments;
+  attachments.reserve(message.attachments.size());
+  for (size_t i = 0; i < message.attachments.size(); ++i) {
+    attachments.push_back(AttachmentToView(message.attachments[i], message.date,
+                                           uri + "/att/" + std::to_string(i)));
+  }
+  return ViewBuilder(uri)
+      .Class("emailmessage")
+      .Name(message.subject)
+      .Tuple(MessageTuple(message))
+      .ContentString(message.body)
+      .GroupSet(std::move(attachments))
+      .Build();
+}
+
+/// Fetches a message from the server at most once; all four component
+/// getters of the lazy message view share this cache.
+class LazyMessage {
+ public:
+  LazyMessage(std::shared_ptr<ImapServer> server, std::string folder,
+              uint64_t uid)
+      : server_(std::move(server)), folder_(std::move(folder)), uid_(uid) {}
+
+  const Message& Get() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!message_.has_value()) {
+      ImapClient client(server_.get());
+      auto fetched = client.Fetch(folder_, uid_);
+      message_ = fetched.ok() ? std::move(fetched).value() : Message{};
+    }
+    return *message_;
+  }
+
+  Micros date() { return Get().date; }
+
+ private:
+  std::mutex mu_;
+  std::shared_ptr<ImapServer> server_;
+  std::string folder_;
+  uint64_t uid_;
+  std::optional<Message> message_;
+};
+
+}  // namespace
+
+ViewPtr MakeMessageView(std::shared_ptr<ImapServer> server,
+                        const std::string& folder, uint64_t uid) {
+  std::string uri = ImapMessageUri(folder, uid);
+  auto lazy = std::make_shared<LazyMessage>(std::move(server), folder, uid);
+
+  FunctionalResourceView::Providers providers;
+  providers.name = [lazy]() { return lazy->Get().subject; };
+  providers.tuple = [lazy]() { return MessageTuple(lazy->Get()); };
+  providers.content = [lazy]() {
+    return ContentComponent::OfLazy([lazy]() { return lazy->Get().body; });
+  };
+  providers.group = [lazy, uri]() {
+    return GroupComponent::OfLazySet([lazy, uri]() {
+      std::vector<ViewPtr> out;
+      const Message& message = lazy->Get();
+      for (size_t i = 0; i < message.attachments.size(); ++i) {
+        out.push_back(AttachmentToView(message.attachments[i], message.date,
+                                       uri + "/att/" + std::to_string(i)));
+      }
+      return out;
+    });
+  };
+  return std::make_shared<FunctionalResourceView>(uri, "emailmessage",
+                                                  std::move(providers));
+}
+
+namespace {
+
+/// Child folders of \p parent among the server's flat folder list: those
+/// exactly one '/'-segment deeper. \p parent == "" selects top-level ones.
+std::vector<std::string> ChildFolders(const std::vector<std::string>& all,
+                                      const std::string& parent) {
+  std::vector<std::string> out;
+  for (const std::string& name : all) {
+    if (parent.empty()) {
+      if (name.find('/') == std::string::npos) out.push_back(name);
+    } else if (StartsWith(name, parent + "/") &&
+               name.find('/', parent.size() + 1) == std::string::npos) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+ViewPtr MakeFolderView(std::shared_ptr<ImapServer> server,
+                       const std::string& folder) {
+  FunctionalResourceView::Providers providers;
+  providers.name = [folder]() {
+    auto parts = SplitSkipEmpty(folder, '/');
+    return parts.empty() ? std::string("imap") : parts.back();
+  };
+  providers.group = [server, folder]() {
+    return GroupComponent::OfLazySet([server, folder]() {
+      std::vector<ViewPtr> out;
+      auto all = server->ListFolders();
+      if (all.ok()) {
+        for (const std::string& child : ChildFolders(*all, folder)) {
+          out.push_back(MakeFolderView(server, child));
+        }
+      }
+      if (!folder.empty()) {
+        auto uids = server->ListUids(folder);
+        if (uids.ok()) {
+          for (uint64_t uid : *uids) {
+            out.push_back(MakeMessageView(server, folder, uid));
+          }
+        }
+      }
+      return out;
+    });
+  };
+  return std::make_shared<FunctionalResourceView>(
+      ImapFolderUri(folder), "emailfolder", std::move(providers));
+}
+
+}  // namespace
+
+ViewPtr MakeImapRootView(std::shared_ptr<ImapServer> server) {
+  return MakeFolderView(std::move(server), "");
+}
+
+ViewPtr MakeImapFolderView(std::shared_ptr<ImapServer> server,
+                           const std::string& folder) {
+  return MakeFolderView(std::move(server), folder);
+}
+
+ViewPtr MakeInboxStateView(std::shared_ptr<ImapServer> server,
+                           const std::string& folder) {
+  // Option 1: γ.Q is the current window of the INBOX; lazily computed, and
+  // retrievable multiple times (each view instantiation re-lists).
+  return ViewBuilder(ImapFolderUri(folder) + "#state")
+      .Class("inboxstate")
+      .Group(GroupComponent::OfLazySequence([server, folder]() {
+        std::vector<ViewPtr> out;
+        auto uids = server->ListUids(folder);
+        if (uids.ok()) {
+          for (uint64_t uid : *uids) {
+            out.push_back(MakeMessageView(server, folder, uid));
+          }
+        }
+        return out;
+      }))
+      .Build();
+}
+
+InboxStream::InboxStream(std::shared_ptr<ImapServer> server, std::string folder)
+    : server_(std::move(server)),
+      folder_(std::move(folder)),
+      buffer_(std::make_shared<std::vector<ViewPtr>>()) {
+  Drain();
+  auto server_weak = std::weak_ptr<ImapServer>(server_);
+  auto buffer = buffer_;
+  std::string my_folder = folder_;
+  server_->Subscribe(
+      [server_weak, buffer, my_folder](const std::string& folder, uint64_t uid) {
+        if (folder != my_folder) return;
+        auto server = server_weak.lock();
+        if (server == nullptr) return;
+        ImapClient client(server.get());
+        auto message = client.Fetch(folder, uid);
+        if (!message.ok()) return;
+        buffer->push_back(
+            MessageToView(*message, ImapMessageUri(folder, uid)));
+        // Option 2 semantics: the stream is the single point of access;
+        // delivered messages leave the server.
+        (void)server->Expunge(folder, uid);
+      });
+}
+
+void InboxStream::Drain() {
+  auto uids = server_->ListUids(folder_);
+  if (!uids.ok()) return;
+  ImapClient client(server_.get());
+  for (uint64_t uid : *uids) {
+    auto message = client.Fetch(folder_, uid);
+    if (!message.ok()) continue;
+    buffer_->push_back(MessageToView(*message, ImapMessageUri(folder_, uid)));
+    (void)server_->Expunge(folder_, uid);
+  }
+}
+
+ViewPtr InboxStream::View() const {
+  auto buffer = buffer_;
+  return ViewBuilder(ImapFolderUri(folder_) + "#stream")
+      .Class("inboxstream")
+      .Group(GroupComponent::OfInfiniteSequence([buffer](uint64_t i) {
+        return i < buffer->size() ? (*buffer)[i] : nullptr;
+      }))
+      .Build();
+}
+
+}  // namespace idm::email

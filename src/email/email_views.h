@@ -1,0 +1,83 @@
+// Instantiation of email in iDM (paper §4.4.1).
+//
+// Email folders become emailfolder views, messages become emailmessage
+// views (η = subject, τ = from/to/date/size headers, χ = body text) and
+// attachments become attachment views — a subclass of file, so an attached
+// .tex document is, to iDM, the same kind of node as a .tex file on disk.
+// That is precisely what lets the paper's Query 2 and Q8 span the
+// email/filesystem boundary.
+//
+// Both modelling options of §4.4.1 are provided:
+//   Option 1 (state):  MakeInboxStateView — a finite Q of the messages
+//                      currently in the folder; retrievable repeatedly.
+//   Option 2 (stream): InboxStream — an infinite Q of messages delivered
+//                      over the stream's lifetime; consuming a message
+//                      expunges it from the server.
+
+#ifndef IDM_EMAIL_EMAIL_VIEWS_H_
+#define IDM_EMAIL_EMAIL_VIEWS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/resource_view.h"
+#include "email/imap.h"
+
+namespace idm::email {
+
+/// URI of the view for a folder/message/attachment on \p server:
+///   "imap://<folder>"            (folder)
+///   "imap://<folder>/<uid>"      (message)
+///   "imap://<folder>/<uid>/att/<i>" (attachment)
+std::string ImapFolderUri(const std::string& folder);
+std::string ImapMessageUri(const std::string& folder, uint64_t uid);
+
+/// Root view over all folders of \p server (class emailfolder, name
+/// "imap"). Folder hierarchy is derived from '/'-separated folder names;
+/// children are computed lazily from the live server.
+core::ViewPtr MakeImapRootView(std::shared_ptr<ImapServer> server);
+
+/// View of one named folder ("" = the root); children (subfolders and
+/// messages) are computed lazily.
+core::ViewPtr MakeImapFolderView(std::shared_ptr<ImapServer> server,
+                                 const std::string& folder);
+
+/// One message as an emailmessage view; components fetch from the server
+/// lazily (one FetchRaw per materialization).
+core::ViewPtr MakeMessageView(std::shared_ptr<ImapServer> server,
+                              const std::string& folder, uint64_t uid);
+
+/// Option 1: the *state* of a folder as an inboxstate view with a finite,
+/// lazily computed Q. Repeated group accesses observe the then-current
+/// state.
+core::ViewPtr MakeInboxStateView(std::shared_ptr<ImapServer> server,
+                                 const std::string& folder);
+
+/// Option 2: the *stream* of messages routed to a folder. Subscribes to the
+/// server; each delivered message is fetched into the stream's buffer and
+/// expunged from the server (single point of access, paper §4.4.1).
+class InboxStream {
+ public:
+  /// Starts consuming \p folder on \p server: existing messages are drained
+  /// immediately, future deliveries arrive via subscription.
+  InboxStream(std::shared_ptr<ImapServer> server, std::string folder);
+
+  /// The inboxstream view: an infinite Q whose i-th element is the i-th
+  /// message ever delivered. Positions not yet delivered yield nullptr from
+  /// the cursor (the simulation cannot block awaiting the future).
+  core::ViewPtr View() const;
+
+  /// Messages delivered so far.
+  size_t delivered() const { return buffer_->size(); }
+
+ private:
+  void Drain();
+
+  std::shared_ptr<ImapServer> server_;
+  std::string folder_;
+  std::shared_ptr<std::vector<core::ViewPtr>> buffer_;
+};
+
+}  // namespace idm::email
+
+#endif  // IDM_EMAIL_EMAIL_VIEWS_H_

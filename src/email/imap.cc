@@ -1,0 +1,115 @@
+#include "email/imap.h"
+
+namespace idm::email {
+
+ImapServer::ImapServer(Clock* clock, ImapLatencyModel latency)
+    : clock_(clock), latency_(latency) {}
+
+void ImapServer::Charge(uint64_t bytes) const {
+  ++request_count_;
+  Micros cost = latency_.per_request_micros +
+                static_cast<Micros>(latency_.micros_per_kilobyte *
+                                    (static_cast<double>(bytes) / 1024.0));
+  access_micros_ += cost;
+  if (clock_ != nullptr) clock_->AdvanceMicros(cost);
+}
+
+Status ImapServer::CreateFolder(const std::string& name) {
+  if (name.empty()) return Status::InvalidArgument("empty folder name");
+  // Create intermediate folders so that "Projects/OLAP" is reachable
+  // through "Projects" in the hierarchy.
+  size_t slash = 0;
+  while ((slash = name.find('/', slash + 1)) != std::string::npos) {
+    std::string prefix = name.substr(0, slash);
+    folders_.try_emplace(prefix);
+    next_uid_.try_emplace(prefix, 1);
+  }
+  folders_.try_emplace(name);
+  next_uid_.try_emplace(name, 1);
+  return Status::OK();
+}
+
+Result<uint64_t> ImapServer::Append(const std::string& folder,
+                                    Message message) {
+  IDM_RETURN_NOT_OK(CreateFolder(folder));
+  uint64_t uid = next_uid_[folder]++;
+  folders_[folder].emplace(uid, std::move(message));
+  for (const auto& cb : subscribers_) cb(folder, uid);
+  return uid;
+}
+
+Status ImapServer::Expunge(const std::string& folder, uint64_t uid) {
+  auto it = folders_.find(folder);
+  if (it == folders_.end() || it->second.erase(uid) == 0) {
+    return Status::NotFound("no message " + std::to_string(uid) + " in '" +
+                            folder + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ImapServer::ListFolders() const {
+  Charge(0);
+  std::vector<std::string> names;
+  names.reserve(folders_.size());
+  for (const auto& [name, messages] : folders_) names.push_back(name);
+  return names;
+}
+
+Result<std::vector<uint64_t>> ImapServer::ListUids(
+    const std::string& folder) const {
+  Charge(0);
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    return Status::NotFound("no folder '" + folder + "'");
+  }
+  std::vector<uint64_t> uids;
+  uids.reserve(it->second.size());
+  for (const auto& [uid, message] : it->second) uids.push_back(uid);
+  return uids;
+}
+
+Result<std::string> ImapServer::FetchRaw(const std::string& folder,
+                                         uint64_t uid) const {
+  auto it = folders_.find(folder);
+  if (it == folders_.end()) {
+    Charge(0);
+    return Status::NotFound("no folder '" + folder + "'");
+  }
+  auto msg_it = it->second.find(uid);
+  if (msg_it == it->second.end()) {
+    Charge(0);
+    return Status::NotFound("no message " + std::to_string(uid) + " in '" +
+                            folder + "'");
+  }
+  std::string wire = SerializeMessage(msg_it->second);
+  Charge(wire.size());
+  return wire;
+}
+
+void ImapServer::Subscribe(
+    std::function<void(const std::string&, uint64_t)> callback) {
+  subscribers_.push_back(std::move(callback));
+}
+
+size_t ImapServer::MessageCount() const {
+  size_t n = 0;
+  for (const auto& [name, messages] : folders_) n += messages.size();
+  return n;
+}
+
+uint64_t ImapServer::TotalWireBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& [name, messages] : folders_) {
+    for (const auto& [uid, message] : messages) {
+      bytes += SerializeMessage(message).size();
+    }
+  }
+  return bytes;
+}
+
+Result<Message> ImapClient::Fetch(const std::string& folder, uint64_t uid) {
+  IDM_ASSIGN_OR_RETURN(std::string wire, server_->FetchRaw(folder, uid));
+  return ParseMessage(wire);
+}
+
+}  // namespace idm::email

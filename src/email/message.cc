@@ -1,0 +1,337 @@
+#include "email/message.h"
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include "email/mime.h"
+#include "util/string_util.h"
+
+namespace idm::email {
+
+namespace {
+
+constexpr const char* kDayNames[] = {"Sun", "Mon", "Tue", "Wed",
+                                     "Thu", "Fri", "Sat"};
+constexpr const char* kMonthNames[] = {"Jan", "Feb", "Mar", "Apr",
+                                       "May", "Jun", "Jul", "Aug",
+                                       "Sep", "Oct", "Nov", "Dec"};
+
+/// Deterministic multipart boundary — unique enough for the simulation and
+/// stable for tests.
+std::string Boundary(const Message& message) {
+  size_t h = std::hash<std::string>()(message.subject + message.from) ^
+             static_cast<size_t>(message.date);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "=_idm_%016zx", h);
+  return buf;
+}
+
+}  // namespace
+
+size_t Message::PayloadBytes() const {
+  size_t total = body.size();
+  for (const auto& att : attachments) total += att.data.size();
+  return total;
+}
+
+std::string FormatRfcDate(Micros micros) {
+  std::time_t secs = static_cast<std::time_t>(micros / 1000000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02d %s %04d %02d:%02d:%02d +0000",
+                kDayNames[tm_utc.tm_wday], tm_utc.tm_mday,
+                kMonthNames[tm_utc.tm_mon], tm_utc.tm_year + 1900,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec);
+  return buf;
+}
+
+Result<Micros> ParseRfcDate(const std::string& text) {
+  char month[8] = {0};
+  int day = 0, year = 0, hour = 0, minute = 0, second = 0;
+  // Day-of-week prefix is optional.
+  const char* s = text.c_str();
+  const char* comma = std::strchr(s, ',');
+  if (comma != nullptr) s = comma + 1;
+  if (std::sscanf(s, " %d %3s %d %d:%d:%d", &day, month, &year, &hour, &minute,
+                  &second) != 6) {
+    return Status::ParseError("malformed date '" + text + "'");
+  }
+  int mon = -1;
+  for (int i = 0; i < 12; ++i) {
+    if (std::strcmp(month, kMonthNames[i]) == 0) mon = i;
+  }
+  if (mon < 0 || day < 1 || day > 31 || year < 1970) {
+    return Status::ParseError("malformed date '" + text + "'");
+  }
+  std::tm tm_utc{};
+  tm_utc.tm_mday = day;
+  tm_utc.tm_mon = mon;
+  tm_utc.tm_year = year - 1900;
+  tm_utc.tm_hour = hour;
+  tm_utc.tm_min = minute;
+  tm_utc.tm_sec = second;
+  std::time_t secs = timegm(&tm_utc);
+  if (secs == static_cast<std::time_t>(-1)) {
+    return Status::ParseError("unrepresentable date '" + text + "'");
+  }
+  return static_cast<Micros>(secs) * 1000000;
+}
+
+std::string SerializeMessage(const Message& message) {
+  std::string out;
+  auto header = [&out](const std::string& name, const std::string& value) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  };
+  header("From", message.from);
+  if (!message.to.empty()) header("To", Join(message.to, ", "));
+  if (!message.cc.empty()) header("Cc", Join(message.cc, ", "));
+  // Bcc is intentionally serialized here: SerializeMessage produces the
+  // *server-side* stored copy (the simulated IMAP store), not the copy
+  // sent to recipients.
+  if (!message.bcc.empty()) header("Bcc", Join(message.bcc, ", "));
+  header("Subject", message.subject);
+  header("Date", FormatRfcDate(message.date));
+  for (const auto& [name, value] : message.extra_headers) header(name, value);
+  header("MIME-Version", "1.0");
+
+  if (message.attachments.empty()) {
+    header("Content-Type", "text/plain; charset=utf-8");
+    header("Content-Transfer-Encoding", "quoted-printable");
+    out += "\r\n";
+    out += QuotedPrintableEncode(message.body);
+    out += "\r\n";
+    return out;
+  }
+
+  std::string boundary = Boundary(message);
+  header("Content-Type", "multipart/mixed; boundary=\"" + boundary + "\"");
+  out += "\r\n";
+  // Body part.
+  out += "--" + boundary + "\r\n";
+  out += "Content-Type: text/plain; charset=utf-8\r\n";
+  out += "Content-Transfer-Encoding: quoted-printable\r\n\r\n";
+  out += QuotedPrintableEncode(message.body);
+  out += "\r\n";
+  // Attachment parts.
+  for (const auto& att : message.attachments) {
+    out += "--" + boundary + "\r\n";
+    out += "Content-Type: " + att.mime_type + "\r\n";
+    out += "Content-Transfer-Encoding: base64\r\n";
+    out += "Content-Disposition: attachment; filename=\"" + att.filename +
+           "\"\r\n\r\n";
+    out += Base64Encode(att.data);
+    out += "\r\n";
+  }
+  out += "--" + boundary + "--\r\n";
+  return out;
+}
+
+namespace {
+
+/// Splits wire text into a header block and body at the first empty line.
+/// Lines are normalized to LF.
+void SplitHeadersAndBody(const std::string& wire, std::string* headers,
+                         std::string* body) {
+  std::string normalized = ReplaceAll(wire, "\r\n", "\n");
+  size_t split = normalized.find("\n\n");
+  if (split == std::string::npos) {
+    *headers = normalized;
+    body->clear();
+    return;
+  }
+  *headers = normalized.substr(0, split);
+  *body = normalized.substr(split + 2);
+}
+
+/// Parses a header block into (name, value) pairs; folded continuation
+/// lines (leading whitespace) append to the previous value.
+Result<std::vector<std::pair<std::string, std::string>>> ParseHeaders(
+    const std::string& block) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& line : Split(block, '\n')) {
+    if (line.empty()) continue;
+    if (std::isspace(static_cast<unsigned char>(line[0]))) {
+      if (out.empty()) return Status::ParseError("header starts with folding");
+      out.back().second += ' ';
+      out.back().second += Trim(line);
+      continue;
+    }
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("malformed header line '" + line + "'");
+    }
+    out.emplace_back(std::string(Trim(line.substr(0, colon))),
+                     std::string(Trim(line.substr(colon + 1))));
+  }
+  return out;
+}
+
+const std::string* FindHeader(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [n, v] : headers) {
+    if (EqualsIgnoreCase(n, name)) return &v;
+  }
+  return nullptr;
+}
+
+/// Extracts an attribute from a structured header value, e.g.
+/// boundary="..." from Content-Type, or filename="..." from
+/// Content-Disposition.
+std::string HeaderParam(const std::string& value, const std::string& param) {
+  std::string lower = ToLower(value);
+  std::string needle = param + "=";
+  size_t pos = lower.find(needle);
+  if (pos == std::string::npos) return "";
+  pos += needle.size();
+  if (pos < value.size() && value[pos] == '"') {
+    size_t end = value.find('"', pos + 1);
+    if (end == std::string::npos) return "";
+    return value.substr(pos + 1, end - pos - 1);
+  }
+  size_t end = value.find_first_of("; \t", pos);
+  return value.substr(pos, end == std::string::npos ? std::string::npos
+                                                    : end - pos);
+}
+
+Result<std::string> DecodePayload(const std::string& encoding,
+                                  const std::string& payload) {
+  if (encoding.empty() || EqualsIgnoreCase(encoding, "7bit") ||
+      EqualsIgnoreCase(encoding, "8bit")) {
+    return payload;
+  }
+  if (EqualsIgnoreCase(encoding, "quoted-printable")) {
+    return QuotedPrintableDecode(payload);
+  }
+  if (EqualsIgnoreCase(encoding, "base64")) {
+    return Base64Decode(payload);
+  }
+  return Status::ParseError("unknown transfer encoding '" + encoding + "'");
+}
+
+/// Strips at most one trailing newline (parts are terminated by CRLF before
+/// the next boundary).
+std::string ChompNewline(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+Result<Message> ParseMessage(const std::string& wire) {
+  std::string header_block, body_block;
+  SplitHeadersAndBody(wire, &header_block, &body_block);
+  IDM_ASSIGN_OR_RETURN(auto headers, ParseHeaders(header_block));
+
+  Message message;
+  if (const std::string* v = FindHeader(headers, "From")) message.from = *v;
+  if (const std::string* v = FindHeader(headers, "To")) {
+    for (auto& part : Split(*v, ',')) {
+      std::string trimmed(Trim(part));
+      if (!trimmed.empty()) message.to.push_back(std::move(trimmed));
+    }
+  }
+  if (const std::string* v = FindHeader(headers, "Cc")) {
+    for (auto& part : Split(*v, ',')) {
+      std::string trimmed(Trim(part));
+      if (!trimmed.empty()) message.cc.push_back(std::move(trimmed));
+    }
+  }
+  if (const std::string* v = FindHeader(headers, "Bcc")) {
+    for (auto& part : Split(*v, ',')) {
+      std::string trimmed(Trim(part));
+      if (!trimmed.empty()) message.bcc.push_back(std::move(trimmed));
+    }
+  }
+  if (const std::string* v = FindHeader(headers, "Subject")) {
+    message.subject = *v;
+  }
+  if (const std::string* v = FindHeader(headers, "Date")) {
+    IDM_ASSIGN_OR_RETURN(message.date, ParseRfcDate(*v));
+  }
+  for (const auto& [name, value] : headers) {
+    static const char* kStandard[] = {"From", "To",   "Cc", "Bcc",
+                                      "Subject", "Date", "MIME-Version",
+                                      "Content-Type", "Content-Transfer-Encoding"};
+    bool standard = false;
+    for (const char* s : kStandard) {
+      if (EqualsIgnoreCase(name, s)) standard = true;
+    }
+    if (!standard) message.extra_headers.emplace_back(name, value);
+  }
+
+  std::string content_type;
+  if (const std::string* v = FindHeader(headers, "Content-Type")) {
+    content_type = *v;
+  }
+  std::string encoding;
+  if (const std::string* v = FindHeader(headers, "Content-Transfer-Encoding")) {
+    encoding = *v;
+  }
+
+  if (ToLower(content_type).find("multipart/mixed") == std::string::npos) {
+    IDM_ASSIGN_OR_RETURN(message.body,
+                         DecodePayload(encoding, ChompNewline(body_block)));
+    return message;
+  }
+
+  std::string boundary = HeaderParam(content_type, "boundary");
+  if (boundary.empty()) {
+    return Status::ParseError("multipart message without a boundary");
+  }
+  std::string open_marker = "--" + boundary;
+  std::vector<std::string> parts;
+  size_t pos = body_block.find(open_marker);
+  while (pos != std::string::npos) {
+    size_t start = body_block.find('\n', pos);
+    if (start == std::string::npos) break;
+    ++start;
+    // Terminal marker "--boundary--"?
+    if (body_block.compare(pos + open_marker.size(), 2, "--") == 0) break;
+    size_t next = body_block.find(open_marker, start);
+    if (next == std::string::npos) break;
+    parts.push_back(body_block.substr(start, next - start));
+    pos = next;
+  }
+  bool saw_body = false;
+  for (const std::string& part : parts) {
+    std::string part_headers_block, part_body;
+    SplitHeadersAndBody(part, &part_headers_block, &part_body);
+    IDM_ASSIGN_OR_RETURN(auto part_headers, ParseHeaders(part_headers_block));
+    std::string part_type, part_encoding, disposition;
+    if (const std::string* v = FindHeader(part_headers, "Content-Type")) {
+      part_type = *v;
+    }
+    if (const std::string* v =
+            FindHeader(part_headers, "Content-Transfer-Encoding")) {
+      part_encoding = *v;
+    }
+    if (const std::string* v =
+            FindHeader(part_headers, "Content-Disposition")) {
+      disposition = *v;
+    }
+    IDM_ASSIGN_OR_RETURN(std::string decoded,
+                         DecodePayload(part_encoding, ChompNewline(part_body)));
+    if (!saw_body && ToLower(disposition).find("attachment") == std::string::npos) {
+      message.body = std::move(decoded);
+      saw_body = true;
+    } else {
+      Attachment att;
+      att.filename = HeaderParam(disposition, "filename");
+      size_t semi = part_type.find(';');
+      att.mime_type = std::string(
+          Trim(semi == std::string::npos ? part_type : part_type.substr(0, semi)));
+      if (att.mime_type.empty()) att.mime_type = "application/octet-stream";
+      att.data = std::move(decoded);
+      message.attachments.push_back(std::move(att));
+    }
+  }
+  return message;
+}
+
+}  // namespace idm::email

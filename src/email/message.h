@@ -1,0 +1,57 @@
+// Email messages: an RFC-2822-style header block plus a MIME multipart body
+// with attachments. Serialization/parsing is implemented from scratch (the
+// paper's prototype leaned on Java mail libraries).
+
+#ifndef IDM_EMAIL_MESSAGE_H_
+#define IDM_EMAIL_MESSAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::email {
+
+/// A file attached to a message. `data` is the decoded payload.
+struct Attachment {
+  std::string filename;
+  std::string mime_type = "application/octet-stream";
+  std::string data;
+};
+
+/// An email message. Header fields beyond the standard ones are kept in
+/// `extra_headers` in order.
+struct Message {
+  std::string from;
+  std::vector<std::string> to;
+  std::vector<std::string> cc;
+  std::vector<std::string> bcc;  ///< never serialized to recipients' copies
+  std::string subject;
+  Micros date = 0;  ///< microseconds since Unix epoch
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+  std::string body;  ///< text/plain part
+  std::vector<Attachment> attachments;
+
+  /// Total decoded payload bytes (body + attachments).
+  size_t PayloadBytes() const;
+};
+
+/// Serializes to RFC-2822 + MIME wire format (CRLF line endings). Messages
+/// with attachments become multipart/mixed with a deterministic boundary;
+/// bodies are quoted-printable, attachments base64.
+std::string SerializeMessage(const Message& message);
+
+/// Parses the wire format produced by SerializeMessage (and tolerant of
+/// LF-only input). Fails with ParseError on malformed headers, unknown
+/// transfer encodings, or corrupt part payloads.
+Result<Message> ParseMessage(const std::string& wire);
+
+/// Formats/parses the Date header, RFC-2822 style with a fixed +0000 zone:
+/// "Fri, 12 Sep 2005 14:30:00 +0000".
+std::string FormatRfcDate(Micros micros);
+Result<Micros> ParseRfcDate(const std::string& text);
+
+}  // namespace idm::email
+
+#endif  // IDM_EMAIL_MESSAGE_H_

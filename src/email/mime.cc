@@ -1,0 +1,175 @@
+#include "email/mime.h"
+
+#include <array>
+#include <cctype>
+
+namespace idm::email {
+
+namespace {
+constexpr char kBase64Chars[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> BuildBase64Lut() {
+  std::array<int8_t, 256> lut;
+  lut.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    lut[static_cast<unsigned char>(kBase64Chars[i])] = static_cast<int8_t>(i);
+  }
+  return lut;
+}
+
+const std::array<int8_t, 256>& Base64Lut() {
+  static const std::array<int8_t, 256> lut = BuildBase64Lut();
+  return lut;
+}
+
+constexpr size_t kLineWidth = 76;
+}  // namespace
+
+std::string Base64Encode(const std::string& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4 + data.size() / 57 + 2);
+  size_t line = 0;
+  auto emit = [&out, &line](char c) {
+    if (line == kLineWidth) {
+      out += "\r\n";
+      line = 0;
+    }
+    out += c;
+    ++line;
+  };
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8) |
+                 static_cast<unsigned char>(data[i + 2]);
+    emit(kBase64Chars[(n >> 18) & 63]);
+    emit(kBase64Chars[(n >> 12) & 63]);
+    emit(kBase64Chars[(n >> 6) & 63]);
+    emit(kBase64Chars[n & 63]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t n = static_cast<unsigned char>(data[i]) << 16;
+    emit(kBase64Chars[(n >> 18) & 63]);
+    emit(kBase64Chars[(n >> 12) & 63]);
+    emit('=');
+    emit('=');
+  } else if (rest == 2) {
+    uint32_t n = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8);
+    emit(kBase64Chars[(n >> 18) & 63]);
+    emit(kBase64Chars[(n >> 12) & 63]);
+    emit(kBase64Chars[(n >> 6) & 63]);
+    emit('=');
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(const std::string& encoded) {
+  const auto& lut = Base64Lut();
+  std::string out;
+  out.reserve(encoded.size() / 4 * 3);
+  uint32_t acc = 0;
+  int bits = 0;
+  bool done = false;  // '=' seen
+  for (char c : encoded) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      done = true;
+      continue;
+    }
+    if (done) return Status::ParseError("base64 data after '=' padding");
+    int8_t v = lut[static_cast<unsigned char>(c)];
+    if (v < 0) {
+      return Status::ParseError(std::string("invalid base64 character '") +
+                                c + "'");
+    }
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out += static_cast<char>((acc >> bits) & 0xFF);
+    }
+  }
+  if (bits >= 6) {
+    return Status::ParseError("truncated base64 quantum");
+  }
+  return out;
+}
+
+std::string QuotedPrintableEncode(const std::string& data) {
+  static const char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  size_t line = 0;
+  auto soft_break = [&out, &line](size_t next_len) {
+    if (line + next_len > kLineWidth - 1) {  // leave room for '='
+      out += "=\r\n";
+      line = 0;
+    }
+  };
+  for (size_t i = 0; i < data.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(data[i]);
+    if (c == '\n') {
+      out += "\r\n";
+      line = 0;
+      continue;
+    }
+    bool printable = (c >= 33 && c <= 126 && c != '=') ||
+                     ((c == ' ' || c == '\t') &&
+                      i + 1 < data.size() && data[i + 1] != '\n');
+    if (printable) {
+      soft_break(1);
+      out += static_cast<char>(c);
+      ++line;
+    } else {
+      soft_break(3);
+      out += '=';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+      line += 3;
+    }
+  }
+  return out;
+}
+
+Result<std::string> QuotedPrintableDecode(const std::string& encoded) {
+  std::string out;
+  out.reserve(encoded.size());
+  for (size_t i = 0; i < encoded.size();) {
+    char c = encoded[i];
+    if (c == '\r') {
+      ++i;
+      continue;  // normalize CRLF to '\n'
+    }
+    if (c != '=') {
+      out += c;
+      ++i;
+      continue;
+    }
+    // '=': soft break or hex escape.
+    if (i + 1 < encoded.size() &&
+        (encoded[i + 1] == '\n' ||
+         (encoded[i + 1] == '\r' && i + 2 < encoded.size() &&
+          encoded[i + 2] == '\n'))) {
+      i += (encoded[i + 1] == '\n') ? 2 : 3;  // soft line break: drop
+      continue;
+    }
+    if (i + 2 >= encoded.size() ||
+        !std::isxdigit(static_cast<unsigned char>(encoded[i + 1])) ||
+        !std::isxdigit(static_cast<unsigned char>(encoded[i + 2]))) {
+      return Status::ParseError("malformed quoted-printable escape at offset " +
+                                std::to_string(i));
+    }
+    auto hex = [](char h) {
+      if (h >= '0' && h <= '9') return h - '0';
+      return std::toupper(static_cast<unsigned char>(h)) - 'A' + 10;
+    };
+    out += static_cast<char>(hex(encoded[i + 1]) * 16 + hex(encoded[i + 2]));
+    i += 3;
+  }
+  return out;
+}
+
+}  // namespace idm::email

@@ -1,0 +1,31 @@
+// MIME transfer-encoding codecs (base64, quoted-printable) used by the
+// email substrate to carry attachments and non-ASCII bodies, replacing the
+// email parsing libraries the paper's Java prototype relied on.
+
+#ifndef IDM_EMAIL_MIME_H_
+#define IDM_EMAIL_MIME_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace idm::email {
+
+/// Encodes \p data as base64 with lines folded at 76 characters.
+std::string Base64Encode(const std::string& data);
+
+/// Decodes base64; whitespace is ignored. Fails on invalid characters or a
+/// malformed final quantum.
+Result<std::string> Base64Decode(const std::string& encoded);
+
+/// Encodes \p data as quoted-printable (soft line breaks at 76 chars;
+/// '=' and non-printable bytes escaped; trailing space/tab protected).
+std::string QuotedPrintableEncode(const std::string& data);
+
+/// Decodes quoted-printable, honoring soft line breaks. Fails on a
+/// malformed '=XX' escape.
+Result<std::string> QuotedPrintableDecode(const std::string& encoded);
+
+}  // namespace idm::email
+
+#endif  // IDM_EMAIL_MIME_H_

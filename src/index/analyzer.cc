@@ -1,0 +1,53 @@
+#include "index/analyzer.h"
+
+#include <cctype>
+
+namespace idm::index {
+
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  return std::isalnum(c) || c >= 0x80;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::string& text) {
+  std::vector<Token> tokens;
+  uint32_t position = 0;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i >= text.size()) break;
+    std::string term;
+    while (i < text.size() && IsTokenChar(static_cast<unsigned char>(text[i]))) {
+      term += static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[i])));
+      ++i;
+    }
+    tokens.push_back({std::move(term), position++});
+  }
+  return tokens;
+}
+
+std::vector<std::string> PhraseTerms(const std::string& phrase) {
+  std::vector<std::string> terms;
+  for (Token& token : Tokenize(phrase)) terms.push_back(std::move(token.term));
+  return terms;
+}
+
+bool LooksLikeText(const std::string& content, size_t sample) {
+  if (content.empty()) return true;
+  size_t n = std::min(sample, content.size());
+  size_t printable = 0;
+  for (size_t i = 0; i < n; ++i) {
+    unsigned char c = static_cast<unsigned char>(content[i]);
+    if (c == 0) return false;  // NUL: almost certainly binary
+    if (std::isprint(c) || std::isspace(c) || c >= 0x80) ++printable;
+  }
+  return printable * 100 >= n * 95;  // >= 95% printable
+}
+
+}  // namespace idm::index

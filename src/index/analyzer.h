@@ -1,0 +1,35 @@
+// Text analysis for the full-text indexes: lower-cased alphanumeric tokens
+// with positions (needed for phrase queries), in the style of the Lucene
+// StandardAnalyzer the paper's prototype used.
+
+#ifndef IDM_INDEX_ANALYZER_H_
+#define IDM_INDEX_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace idm::index {
+
+/// One token: normalized term plus its ordinal position in the text.
+struct Token {
+  std::string term;
+  uint32_t position;
+};
+
+/// Tokenizes \p text: maximal runs of ASCII alphanumerics (plus bytes >=
+/// 0x80, so UTF-8 words survive) are lower-cased; everything else is a
+/// separator. Positions count tokens, not bytes.
+std::vector<Token> Tokenize(const std::string& text);
+
+/// Terms of a query phrase, in order (same normalization as Tokenize).
+std::vector<std::string> PhraseTerms(const std::string& phrase);
+
+/// Heuristic: true when \p content looks like text a full-text index should
+/// receive (mostly printable in the first \p sample bytes). Binary content
+/// (images etc.) is excluded from the "net input" (paper §7.2, Table 3).
+bool LooksLikeText(const std::string& content, size_t sample = 512);
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_ANALYZER_H_

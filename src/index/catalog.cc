@@ -1,0 +1,177 @@
+#include "index/catalog.h"
+
+#include <cstring>
+
+namespace idm::index {
+
+namespace {
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i])) << (i * 8);
+  }
+  *pos += 8;
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+bool GetString(const std::string& in, size_t* pos, std::string* s) {
+  uint64_t len = 0;
+  if (!GetU64(in, pos, &len)) return false;
+  if (*pos + len > in.size()) return false;
+  s->assign(in, *pos, len);
+  *pos += len;
+  return true;
+}
+
+constexpr uint64_t kMagic = 0x69444D3143415431ULL;  // "iDM1CAT1"
+
+}  // namespace
+
+uint32_t Catalog::InternSource(const std::string& source_name) {
+  for (uint32_t i = 0; i < sources_.size(); ++i) {
+    if (sources_[i] == source_name) return i;
+  }
+  sources_.push_back(source_name);
+  return static_cast<uint32_t>(sources_.size() - 1);
+}
+
+const std::string& Catalog::SourceName(uint32_t source) const {
+  static const std::string kUnknown = "<unknown>";
+  return source < sources_.size() ? sources_[source] : kUnknown;
+}
+
+DocId Catalog::Register(const std::string& uri, const std::string& class_name,
+                        uint32_t source, bool derived) {
+  auto it = by_uri_.find(uri);
+  if (it != by_uri_.end()) {
+    CatalogEntry& entry = entries_[it->second];
+    if (entry.deleted) {
+      entry.deleted = false;
+      ++live_;
+    }
+    entry.class_name = class_name;
+    entry.source = source;
+    entry.derived = derived;
+    return it->second;
+  }
+  DocId id = entries_.size();
+  entries_.push_back({uri, class_name, source, derived, false});
+  by_uri_.emplace(std::string_view(entries_.back().uri), id);
+  ++live_;
+  return id;
+}
+
+std::optional<DocId> Catalog::Find(const std::string& uri) const {
+  auto it = by_uri_.find(std::string_view(uri));
+  if (it == by_uri_.end() || entries_[it->second].deleted) return std::nullopt;
+  return it->second;
+}
+
+const CatalogEntry* Catalog::Entry(DocId id) const {
+  return id < entries_.size() ? &entries_[id] : nullptr;
+}
+
+void Catalog::Remove(DocId id) {
+  if (id < entries_.size() && !entries_[id].deleted) {
+    entries_[id].deleted = true;
+    --live_;
+  }
+}
+
+std::vector<DocId> Catalog::LiveIds() const {
+  std::vector<DocId> out;
+  out.reserve(live_);
+  for (DocId id = 0; id < entries_.size(); ++id) {
+    if (!entries_[id].deleted) out.push_back(id);
+  }
+  return out;
+}
+
+void Catalog::CountBySource(uint32_t source, size_t* base,
+                            size_t* derived) const {
+  *base = 0;
+  *derived = 0;
+  for (const CatalogEntry& entry : entries_) {
+    if (entry.deleted || entry.source != source) continue;
+    if (entry.derived) {
+      ++*derived;
+    } else {
+      ++*base;
+    }
+  }
+}
+
+size_t Catalog::MemoryUsage() const {
+  size_t total = 0;
+  for (const CatalogEntry& entry : entries_) {
+    total += sizeof(entry) + entry.uri.capacity() + entry.class_name.capacity();
+  }
+  // by_uri_ keys are views into entries_; count bucket overhead only.
+  total += by_uri_.size() * (sizeof(std::string_view) + sizeof(DocId) + 16);
+  for (const std::string& s : sources_) total += sizeof(s) + s.capacity();
+  return total;
+}
+
+std::string Catalog::Serialize() const {
+  std::string out;
+  PutU64(&out, kMagic);
+  PutU64(&out, sources_.size());
+  for (const std::string& s : sources_) PutString(&out, s);
+  PutU64(&out, entries_.size());
+  for (const CatalogEntry& entry : entries_) {
+    PutString(&out, entry.uri);
+    PutString(&out, entry.class_name);
+    PutU64(&out, entry.source);
+    PutU64(&out, (entry.derived ? 1u : 0u) | (entry.deleted ? 2u : 0u));
+  }
+  return out;
+}
+
+Result<Catalog> Catalog::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!GetU64(data, &pos, &magic) || magic != kMagic) {
+    return Status::ParseError("not a serialized catalog");
+  }
+  Catalog catalog;
+  uint64_t n_sources = 0;
+  if (!GetU64(data, &pos, &n_sources)) return Status::ParseError("truncated");
+  for (uint64_t i = 0; i < n_sources; ++i) {
+    std::string s;
+    if (!GetString(data, &pos, &s)) return Status::ParseError("truncated");
+    catalog.sources_.push_back(std::move(s));
+  }
+  uint64_t n_entries = 0;
+  if (!GetU64(data, &pos, &n_entries)) return Status::ParseError("truncated");
+  for (uint64_t i = 0; i < n_entries; ++i) {
+    CatalogEntry entry;
+    uint64_t source = 0, flags = 0;
+    if (!GetString(data, &pos, &entry.uri) ||
+        !GetString(data, &pos, &entry.class_name) ||
+        !GetU64(data, &pos, &source) || !GetU64(data, &pos, &flags)) {
+      return Status::ParseError("truncated entry");
+    }
+    entry.source = static_cast<uint32_t>(source);
+    entry.derived = (flags & 1) != 0;
+    entry.deleted = (flags & 2) != 0;
+    DocId id = catalog.entries_.size();
+    if (!entry.deleted) ++catalog.live_;
+    catalog.entries_.push_back(std::move(entry));
+    catalog.by_uri_.emplace(std::string_view(catalog.entries_.back().uri), id);
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return catalog;
+}
+
+}  // namespace idm::index

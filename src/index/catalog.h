@@ -1,0 +1,79 @@
+// Resource View Catalog (paper §5.2): all managed resource views are
+// registered here. Replaces the Apache Derby tables of the prototype with
+// an in-memory store plus a binary serialization (Save/Load) so a PDSMS
+// instance can persist and recover its catalog.
+
+#ifndef IDM_INDEX_CATALOG_H_
+#define IDM_INDEX_CATALOG_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"  // for DocId
+#include "util/result.h"
+
+namespace idm::index {
+
+/// Catalog record of one resource view.
+struct CatalogEntry {
+  std::string uri;         ///< stable identity (ResourceView::uri())
+  std::string class_name;  ///< resource view class ("" = schema-never)
+  uint32_t source = 0;     ///< id of the data source that owns the view
+  bool derived = false;    ///< true when produced by a Content2iDM converter
+  bool deleted = false;    ///< tombstone (ids are never reused)
+};
+
+class Catalog {
+ public:
+  /// Interns a data source name; stable small integer per name.
+  uint32_t InternSource(const std::string& source_name);
+  const std::string& SourceName(uint32_t source) const;
+
+  /// Registers a view, or returns the existing id for a known uri
+  /// (idempotent; re-registration clears a tombstone and updates the
+  /// class/source/derived fields).
+  DocId Register(const std::string& uri, const std::string& class_name,
+                 uint32_t source, bool derived);
+
+  /// Id of \p uri, if registered and live.
+  std::optional<DocId> Find(const std::string& uri) const;
+
+  /// Entry of \p id; nullptr for unknown ids (tombstoned entries are
+  /// returned — check `deleted`).
+  const CatalogEntry* Entry(DocId id) const;
+
+  /// Tombstones an id. Unknown ids are a no-op.
+  void Remove(DocId id);
+
+  /// All live ids, ascending.
+  std::vector<DocId> LiveIds() const;
+  size_t live_count() const { return live_; }
+  size_t total_count() const { return entries_.size(); }
+
+  /// Live views per source: (base, derived) counts — the split reported in
+  /// the paper's Table 2.
+  void CountBySource(uint32_t source, size_t* base, size_t* derived) const;
+
+  /// Approximate footprint in bytes for Table 3 accounting.
+  size_t MemoryUsage() const;
+
+  /// Binary serialization of the whole catalog.
+  std::string Serialize() const;
+  static Result<Catalog> Deserialize(const std::string& data);
+
+ private:
+  // deque: stable element addresses, so the uri lookup can key on
+  // string_views into the entries instead of duplicating every uri.
+  std::deque<CatalogEntry> entries_;                // index = DocId
+  std::unordered_map<std::string_view, DocId> by_uri_;
+  std::vector<std::string> sources_;
+  size_t live_ = 0;
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_CATALOG_H_

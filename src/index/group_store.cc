@@ -1,0 +1,141 @@
+#include "index/group_store.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+namespace idm::index {
+
+void GroupStore::SetChildren(DocId parent, std::vector<DocId> children) {
+  RemoveParent(parent);
+  for (DocId child : children) {
+    auto& up = parents_[child];
+    up.insert(std::lower_bound(up.begin(), up.end(), parent), parent);
+  }
+  edges_ += children.size();
+  children_[parent] = std::move(children);
+}
+
+void GroupStore::RemoveParent(DocId id) {
+  auto it = children_.find(id);
+  if (it == children_.end()) return;
+  for (DocId child : it->second) {
+    auto up_it = parents_.find(child);
+    if (up_it == parents_.end()) continue;
+    auto& up = up_it->second;
+    auto pos = std::lower_bound(up.begin(), up.end(), id);
+    if (pos != up.end() && *pos == id) up.erase(pos);
+    if (up.empty()) parents_.erase(up_it);
+  }
+  edges_ -= it->second.size();
+  children_.erase(it);
+}
+
+void GroupStore::RemoveAllEdgesOf(DocId id) {
+  RemoveParent(id);
+  auto it = parents_.find(id);
+  if (it == parents_.end()) return;
+  std::vector<DocId> up = it->second;  // copy: we mutate children_ below
+  for (DocId parent : up) {
+    auto ch_it = children_.find(parent);
+    if (ch_it == children_.end()) continue;
+    auto& ch = ch_it->second;
+    size_t before = ch.size();
+    ch.erase(std::remove(ch.begin(), ch.end(), id), ch.end());
+    edges_ -= before - ch.size();
+    if (ch.empty()) children_.erase(ch_it);
+  }
+  parents_.erase(id);
+}
+
+const std::vector<DocId>& GroupStore::Children(DocId id) const {
+  static const std::vector<DocId> kEmpty;
+  auto it = children_.find(id);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+std::vector<DocId> GroupStore::Parents(DocId id) const {
+  auto it = parents_.find(id);
+  return it == parents_.end() ? std::vector<DocId>{} : it->second;
+}
+
+namespace {
+
+std::unordered_set<DocId> Reach(
+    const std::vector<DocId>& starts, size_t max_nodes, size_t* expanded,
+    const std::function<const std::vector<DocId>*(DocId)>& neighbors) {
+  std::unordered_set<DocId> visited;
+  std::deque<DocId> queue;
+  size_t touched = 0;
+  for (DocId start : starts) queue.push_back(start);
+  std::unordered_set<DocId> enqueued(starts.begin(), starts.end());
+  while (!queue.empty() && visited.size() < max_nodes) {
+    DocId id = queue.front();
+    queue.pop_front();
+    ++touched;
+    const std::vector<DocId>* next = neighbors(id);
+    if (next == nullptr) continue;
+    for (DocId n : *next) {
+      visited.insert(n);
+      if (enqueued.insert(n).second) queue.push_back(n);
+    }
+  }
+  if (expanded != nullptr) *expanded = touched;
+  return visited;
+}
+
+}  // namespace
+
+std::unordered_set<DocId> GroupStore::Descendants(
+    const std::vector<DocId>& roots, size_t max_nodes, size_t* expanded) const {
+  return Reach(roots, max_nodes, expanded, [this](DocId id) {
+    auto it = children_.find(id);
+    return it == children_.end() ? nullptr : &it->second;
+  });
+}
+
+std::unordered_set<DocId> GroupStore::Ancestors(
+    const std::vector<DocId>& targets, size_t max_nodes,
+    size_t* expanded) const {
+  return Reach(targets, max_nodes, expanded, [this](DocId id) {
+    auto it = parents_.find(id);
+    return it == parents_.end() ? nullptr : &it->second;
+  });
+}
+
+bool GroupStore::ReachedFromAny(DocId start,
+                                const std::unordered_set<DocId>& sources,
+                                size_t max_nodes, size_t* expanded) const {
+  std::unordered_set<DocId> visited{start};
+  std::deque<DocId> queue{start};
+  size_t touched = 0;
+  while (!queue.empty() && visited.size() < max_nodes) {
+    DocId id = queue.front();
+    queue.pop_front();
+    ++touched;
+    auto it = parents_.find(id);
+    if (it == parents_.end()) continue;
+    for (DocId parent : it->second) {
+      if (sources.count(parent) > 0) {
+        if (expanded != nullptr) *expanded += touched;
+        return true;
+      }
+      if (visited.insert(parent).second) queue.push_back(parent);
+    }
+  }
+  if (expanded != nullptr) *expanded += touched;
+  return false;
+}
+
+size_t GroupStore::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [id, ch] : children_) {
+    total += sizeof(id) + sizeof(ch) + ch.capacity() * sizeof(DocId);
+  }
+  for (const auto& [id, up] : parents_) {
+    total += sizeof(id) + sizeof(up) + up.capacity() * sizeof(DocId);
+  }
+  return total;
+}
+
+}  // namespace idm::index

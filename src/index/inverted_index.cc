@@ -1,0 +1,281 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+#include "index/analyzer.h"
+
+namespace idm::index {
+
+namespace {
+
+void PutVarint(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+uint64_t GetVarint(const std::string& in, size_t* pos) {
+  uint64_t value = 0;
+  int shift = 0;
+  while (*pos < in.size()) {
+    uint8_t byte = static_cast<uint8_t>(in[(*pos)++]);
+    value |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return value;
+}
+
+}  // namespace
+
+void InvertedIndex::AppendRecord(TermList* list, DocId doc,
+                                 const std::vector<uint32_t>& positions) {
+  PutVarint(&list->blob, doc - (list->doc_count == 0 ? 0 : list->last_doc));
+  PutVarint(&list->blob, positions.size());
+  uint32_t prev = 0;
+  for (uint32_t pos : positions) {
+    PutVarint(&list->blob, pos - prev);
+    prev = pos;
+  }
+  list->last_doc = doc;
+  ++list->doc_count;
+}
+
+std::vector<InvertedIndex::DecodedPosting> InvertedIndex::Decode(
+    const TermList& list) {
+  std::vector<DecodedPosting> out;
+  out.reserve(list.doc_count);
+  size_t pos = 0;
+  DocId doc = 0;
+  for (uint32_t i = 0; i < list.doc_count; ++i) {
+    doc += GetVarint(list.blob, &pos);
+    uint64_t count = GetVarint(list.blob, &pos);
+    DecodedPosting posting;
+    posting.doc = doc;
+    posting.positions.reserve(count);
+    uint32_t position = 0;
+    for (uint64_t j = 0; j < count; ++j) {
+      position += static_cast<uint32_t>(GetVarint(list.blob, &pos));
+      posting.positions.push_back(position);
+    }
+    out.push_back(std::move(posting));
+  }
+  return out;
+}
+
+void InvertedIndex::Encode(const std::vector<DecodedPosting>& postings,
+                           TermList* list) {
+  list->blob.clear();
+  list->doc_count = 0;
+  list->last_doc = 0;
+  for (const DecodedPosting& posting : postings) {
+    AppendRecord(list, posting.doc, posting.positions);
+  }
+  list->blob.shrink_to_fit();
+}
+
+uint32_t InvertedIndex::InternTerm(const std::string& term) {
+  auto it = term_ids_.find(term);
+  if (it != term_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(lists_.size());
+  term_ids_.emplace(term, id);
+  lists_.emplace_back();
+  return id;
+}
+
+const InvertedIndex::TermList* InvertedIndex::FindList(
+    const std::string& raw_term) const {
+  auto it = term_ids_.find(raw_term);
+  return it == term_ids_.end() ? nullptr : &lists_[it->second];
+}
+
+void InvertedIndex::AddDocument(DocId id, const std::string& text) {
+  if (doc_terms_.count(id) > 0) RemoveDocument(id);
+
+  std::vector<Token> tokens = Tokenize(text);
+  total_tokens_ += tokens.size();
+  // Group positions per term (tokens arrive in position order).
+  std::unordered_map<std::string, std::vector<uint32_t>> term_positions;
+  for (Token& token : tokens) {
+    term_positions[std::move(token.term)].push_back(token.position);
+  }
+
+  std::vector<uint32_t> term_ids;
+  term_ids.reserve(term_positions.size());
+  for (auto& [term, positions] : term_positions) {
+    uint32_t tid = InternTerm(term);
+    TermList& list = lists_[tid];
+    if (list.doc_count == 0 || list.last_doc < id) {
+      AppendRecord(&list, id, positions);  // fast path: in-order append
+    } else {
+      // Out-of-order insert: decode, splice, re-encode.
+      std::vector<DecodedPosting> postings = Decode(list);
+      auto it = std::lower_bound(
+          postings.begin(), postings.end(), id,
+          [](const DecodedPosting& p, DocId d) { return p.doc < d; });
+      postings.insert(it, DecodedPosting{id, positions});
+      Encode(postings, &list);
+    }
+    term_ids.push_back(tid);
+  }
+  std::sort(term_ids.begin(), term_ids.end());
+  term_ids.shrink_to_fit();
+  doc_terms_.emplace(id, std::move(term_ids));
+}
+
+void InvertedIndex::RemoveDocument(DocId id) {
+  auto it = doc_terms_.find(id);
+  if (it == doc_terms_.end()) return;
+  for (uint32_t tid : it->second) {
+    TermList& list = lists_[tid];
+    std::vector<DecodedPosting> postings = Decode(list);
+    auto doc_it = std::lower_bound(
+        postings.begin(), postings.end(), id,
+        [](const DecodedPosting& p, DocId d) { return p.doc < d; });
+    if (doc_it != postings.end() && doc_it->doc == id) {
+      total_tokens_ -= doc_it->positions.size();
+      postings.erase(doc_it);
+    }
+    Encode(postings, &list);
+  }
+  doc_terms_.erase(it);
+}
+
+std::vector<DocId> InvertedIndex::TermQuery(const std::string& term) const {
+  std::vector<std::string> normalized = PhraseTerms(term);
+  if (normalized.size() != 1) return AndQuery(normalized);
+  const TermList* list = FindList(normalized[0]);
+  if (list == nullptr) return {};
+  std::vector<DocId> out;
+  out.reserve(list->doc_count);
+  size_t pos = 0;
+  DocId doc = 0;
+  for (uint32_t i = 0; i < list->doc_count; ++i) {
+    doc += GetVarint(list->blob, &pos);
+    uint64_t count = GetVarint(list->blob, &pos);
+    for (uint64_t j = 0; j < count; ++j) GetVarint(list->blob, &pos);
+    out.push_back(doc);
+  }
+  return out;
+}
+
+std::vector<std::pair<DocId, uint32_t>> InvertedIndex::TermQueryWithTf(
+    const std::string& term) const {
+  std::vector<std::pair<DocId, uint32_t>> out;
+  std::vector<std::string> normalized = PhraseTerms(term);
+  if (normalized.size() != 1) return out;  // single terms only
+  const TermList* list = FindList(normalized[0]);
+  if (list == nullptr) return out;
+  out.reserve(list->doc_count);
+  size_t pos = 0;
+  DocId doc = 0;
+  for (uint32_t i = 0; i < list->doc_count; ++i) {
+    doc += GetVarint(list->blob, &pos);
+    uint64_t count = GetVarint(list->blob, &pos);
+    for (uint64_t j = 0; j < count; ++j) GetVarint(list->blob, &pos);
+    out.emplace_back(doc, static_cast<uint32_t>(count));
+  }
+  return out;
+}
+
+size_t InvertedIndex::DocumentFrequency(const std::string& term) const {
+  std::vector<std::string> normalized = PhraseTerms(term);
+  if (normalized.size() != 1) return 0;
+  const TermList* list = FindList(normalized[0]);
+  return list == nullptr ? 0 : list->doc_count;
+}
+
+std::vector<DocId> InvertedIndex::AndQuery(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+  std::vector<DocId> acc = TermQuery(terms[0]);
+  for (size_t i = 1; i < terms.size() && !acc.empty(); ++i) {
+    std::vector<DocId> next = TermQuery(terms[i]);
+    std::vector<DocId> merged;
+    std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
+                          std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+std::vector<DocId> InvertedIndex::OrQuery(
+    const std::vector<std::string>& terms) const {
+  std::vector<DocId> acc;
+  for (const std::string& term : terms) {
+    std::vector<DocId> next = TermQuery(term);
+    std::vector<DocId> merged;
+    std::set_union(acc.begin(), acc.end(), next.begin(), next.end(),
+                   std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+std::vector<DocId> InvertedIndex::PhraseQuery(const std::string& phrase) const {
+  std::vector<std::string> terms = PhraseTerms(phrase);
+  if (terms.empty()) return {};
+  if (terms.size() == 1) return TermQuery(terms[0]);
+
+  std::vector<std::vector<DecodedPosting>> decoded;
+  decoded.reserve(terms.size());
+  for (const std::string& term : terms) {
+    const TermList* list = FindList(term);
+    if (list == nullptr) return {};  // a missing term kills the phrase
+    decoded.push_back(Decode(*list));
+  }
+
+  auto find_doc = [](const std::vector<DecodedPosting>& postings,
+                     DocId id) -> const std::vector<uint32_t>* {
+    auto it = std::lower_bound(
+        postings.begin(), postings.end(), id,
+        [](const DecodedPosting& p, DocId d) { return p.doc < d; });
+    return (it != postings.end() && it->doc == id) ? &it->positions : nullptr;
+  };
+
+  std::vector<DocId> out;
+  for (const DecodedPosting& first : decoded[0]) {
+    bool all_present = true;
+    for (size_t k = 1; k < decoded.size() && all_present; ++k) {
+      all_present = find_doc(decoded[k], first.doc) != nullptr;
+    }
+    if (!all_present) continue;
+    bool matched = false;
+    for (uint32_t start : first.positions) {
+      bool consecutive = true;
+      for (size_t k = 1; k < decoded.size(); ++k) {
+        const std::vector<uint32_t>* positions = find_doc(decoded[k], first.doc);
+        if (!std::binary_search(positions->begin(), positions->end(),
+                                start + static_cast<uint32_t>(k))) {
+          consecutive = false;
+          break;
+        }
+      }
+      if (consecutive) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) out.push_back(first.doc);
+  }
+  return out;
+}
+
+size_t InvertedIndex::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [term, tid] : term_ids_) {
+    total += sizeof(tid) + sizeof(term) + term.capacity() + 16;  // bucket
+  }
+  for (const TermList& list : lists_) {
+    total += sizeof(TermList) + list.blob.capacity();
+  }
+  for (const auto& [id, term_ids] : doc_terms_) {
+    total += sizeof(id) + sizeof(term_ids) +
+             term_ids.capacity() * sizeof(uint32_t) + 16;  // bucket
+  }
+  return total;
+}
+
+}  // namespace idm::index

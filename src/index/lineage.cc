@@ -1,0 +1,99 @@
+#include "index/lineage.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace idm::index {
+
+void LineageStore::Record(DocId derived, DocId origin,
+                          std::string transformation) {
+  auto& edges = origins_[derived];
+  for (const LineageEdge& edge : edges) {
+    if (edge.origin == origin && edge.transformation == transformation) {
+      return;  // duplicate
+    }
+  }
+  edges.push_back({origin, std::move(transformation)});
+  derived_[origin].push_back(derived);
+  ++edges_;
+}
+
+void LineageStore::Forget(DocId id) {
+  auto it = origins_.find(id);
+  if (it != origins_.end()) {
+    for (const LineageEdge& edge : it->second) {
+      auto down = derived_.find(edge.origin);
+      if (down != derived_.end()) {
+        auto& list = down->second;
+        list.erase(std::remove(list.begin(), list.end(), id), list.end());
+        if (list.empty()) derived_.erase(down);
+      }
+    }
+    edges_ -= it->second.size();
+    origins_.erase(it);
+  }
+  auto down = derived_.find(id);
+  if (down != derived_.end()) {
+    std::vector<DocId> children = down->second;  // copy: we mutate below
+    for (DocId child : children) {
+      auto up = origins_.find(child);
+      if (up == origins_.end()) continue;
+      auto& edges = up->second;
+      size_t before = edges.size();
+      edges.erase(std::remove_if(
+                      edges.begin(), edges.end(),
+                      [id](const LineageEdge& e) { return e.origin == id; }),
+                  edges.end());
+      edges_ -= before - edges.size();
+      if (edges.empty()) origins_.erase(up);
+    }
+    derived_.erase(id);
+  }
+}
+
+const std::vector<LineageEdge>& LineageStore::OriginsOf(DocId id) const {
+  static const std::vector<LineageEdge> kEmpty;
+  auto it = origins_.find(id);
+  return it == origins_.end() ? kEmpty : it->second;
+}
+
+std::vector<DocId> LineageStore::DerivedFrom(DocId id) const {
+  auto it = derived_.find(id);
+  return it == derived_.end() ? std::vector<DocId>{} : it->second;
+}
+
+std::vector<LineageEdge> LineageStore::ProvenanceChain(DocId id,
+                                                       size_t max_depth) const {
+  std::vector<LineageEdge> chain;
+  std::unordered_set<DocId> visited{id};
+  std::deque<std::pair<DocId, size_t>> queue{{id, 0}};
+  while (!queue.empty()) {
+    auto [current, depth] = queue.front();
+    queue.pop_front();
+    if (depth >= max_depth) continue;
+    for (const LineageEdge& edge : OriginsOf(current)) {
+      chain.push_back(edge);
+      if (visited.insert(edge.origin).second) {
+        queue.emplace_back(edge.origin, depth + 1);
+      }
+    }
+  }
+  return chain;
+}
+
+size_t LineageStore::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [id, edges] : origins_) {
+    total += sizeof(id) + sizeof(edges);
+    for (const LineageEdge& edge : edges) {
+      total += sizeof(edge) + edge.transformation.capacity();
+    }
+  }
+  for (const auto& [id, list] : derived_) {
+    total += sizeof(id) + sizeof(list) + list.capacity() * sizeof(DocId);
+  }
+  return total;
+}
+
+}  // namespace idm::index

@@ -1,0 +1,60 @@
+// Data lineage (paper §8, conclusion item 2): "keeping the history of all
+// data transformations that originated a given resource view". Because iDM
+// represents the whole dataspace in one model, lineage is a single edge
+// relation over view ids, regardless of source or format.
+//
+// The RVM records an edge whenever a transformation produces a view:
+// converter-derived views point at the file view they were extracted from;
+// copies point at their origin. Chains compose ("copied from X, which was
+// extracted from Y").
+
+#ifndef IDM_INDEX_LINEAGE_H_
+#define IDM_INDEX_LINEAGE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"  // for DocId
+
+namespace idm::index {
+
+/// One provenance edge: this view was produced from `origin` by
+/// `transformation` ("convert:latex", "convert:xml", "copy", ...).
+struct LineageEdge {
+  DocId origin = 0;
+  std::string transformation;
+};
+
+class LineageStore {
+ public:
+  /// Records that \p derived was produced from \p origin. A view may have
+  /// several origins (e.g. merged documents); duplicates are collapsed.
+  void Record(DocId derived, DocId origin, std::string transformation);
+
+  /// Drops all lineage of \p derived (both directions).
+  void Forget(DocId id);
+
+  /// Direct origins of \p id, in recording order.
+  const std::vector<LineageEdge>& OriginsOf(DocId id) const;
+
+  /// Views directly produced from \p id.
+  std::vector<DocId> DerivedFrom(DocId id) const;
+
+  /// The full provenance chain of \p id: transitive origins in BFS order
+  /// (nearest first). Cycle-safe; bounded by \p max_depth.
+  std::vector<LineageEdge> ProvenanceChain(DocId id,
+                                           size_t max_depth = 64) const;
+
+  size_t edge_count() const { return edges_; }
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<DocId, std::vector<LineageEdge>> origins_;
+  std::unordered_map<DocId, std::vector<DocId>> derived_;
+  size_t edges_ = 0;
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_LINEAGE_H_

@@ -1,0 +1,75 @@
+#include "index/name_index.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace idm::index {
+
+void NameIndex::Add(DocId id, const std::string& name) {
+  Remove(id);
+  names_[id] = name;
+  auto& ids = by_name_[ToLower(name)];
+  ids.insert(std::lower_bound(ids.begin(), ids.end(), id), id);
+}
+
+void NameIndex::Remove(DocId id) {
+  auto it = names_.find(id);
+  if (it == names_.end()) return;
+  auto key = ToLower(it->second);
+  auto list_it = by_name_.find(key);
+  if (list_it != by_name_.end()) {
+    auto& ids = list_it->second;
+    auto pos = std::lower_bound(ids.begin(), ids.end(), id);
+    if (pos != ids.end() && *pos == id) ids.erase(pos);
+    if (ids.empty()) by_name_.erase(list_it);
+  }
+  names_.erase(it);
+}
+
+const std::string& NameIndex::NameOf(DocId id) const {
+  static const std::string kEmpty;
+  auto it = names_.find(id);
+  return it == names_.end() ? kEmpty : it->second;
+}
+
+std::vector<DocId> NameIndex::Lookup(const std::string& name) const {
+  auto it = by_name_.find(ToLower(name));
+  return it == by_name_.end() ? std::vector<DocId>{} : it->second;
+}
+
+std::vector<DocId> NameIndex::LookupPattern(const std::string& pattern) const {
+  if (!HasWildcards(pattern)) return Lookup(pattern);
+  std::vector<DocId> out;
+  // Bound the scan by the literal prefix of the pattern, if any.
+  std::string prefix;
+  for (char c : pattern) {
+    if (c == '*' || c == '?') break;
+    prefix += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  auto it = prefix.empty() ? by_name_.begin() : by_name_.lower_bound(prefix);
+  for (; it != by_name_.end(); ++it) {
+    if (!prefix.empty() && it->first.compare(0, prefix.size(), prefix) != 0) {
+      break;  // left the prefix range
+    }
+    if (WildcardMatch(pattern, it->first)) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t NameIndex::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [id, name] : names_) {
+    total += sizeof(id) + sizeof(name) + name.capacity();
+  }
+  for (const auto& [name, ids] : by_name_) {
+    total += sizeof(name) + name.capacity() + sizeof(ids) +
+             ids.capacity() * sizeof(DocId);
+  }
+  return total;
+}
+
+}  // namespace idm::index

@@ -1,0 +1,50 @@
+// Name Index & Replica (paper §7.2, structure 1): maps resource view names
+// to ids and retains the names themselves (it is a replica, unlike the
+// content index). Supports exact (case-insensitive) lookup and the iQL
+// wildcard patterns of Table 4 ("VLDB200?", "?onclusion*", "*.tex").
+
+#ifndef IDM_INDEX_NAME_INDEX_H_
+#define IDM_INDEX_NAME_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"  // for DocId
+
+namespace idm::index {
+
+class NameIndex {
+ public:
+  /// Associates \p id with \p name, replacing any previous association.
+  void Add(DocId id, const std::string& name);
+
+  /// Drops the association. Unknown ids are a no-op.
+  void Remove(DocId id);
+
+  /// The replica: the stored name of \p id ("" when unknown or unnamed).
+  const std::string& NameOf(DocId id) const;
+
+  /// Ids whose name equals \p name, ASCII case-insensitively. Sorted.
+  std::vector<DocId> Lookup(const std::string& name) const;
+
+  /// Ids whose name matches the wildcard \p pattern ('*', '?'; case-
+  /// insensitive). Patterns without a wildcard degrade to Lookup. The scan
+  /// is over distinct names, not over ids. Sorted.
+  std::vector<DocId> LookupPattern(const std::string& pattern) const;
+
+  size_t size() const { return names_.size(); }
+  size_t distinct_names() const { return by_name_.size(); }
+
+  /// Approximate footprint in bytes for Table 3 accounting.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<DocId, std::string> names_;          // replica
+  std::map<std::string, std::vector<DocId>> by_name_;     // lower(name) -> ids
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_NAME_INDEX_H_

@@ -1,0 +1,131 @@
+#include "index/tuple_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace idm::index {
+
+using core::TupleComponent;
+using core::Value;
+
+std::string TupleIndex::NormalizeAttribute(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+  }
+  return out;
+}
+
+void TupleIndex::Add(DocId id, const TupleComponent& tuple) {
+  Remove(id);
+  if (tuple.empty()) return;
+  for (size_t i = 0; i < tuple.schema().size(); ++i) {
+    const Value& value = tuple.values()[i];
+    if (value.is_null()) continue;
+    Column& column = columns_[NormalizeAttribute(tuple.schema().at(i).name)];
+    column.entries.emplace_back(value, id);
+    column.dirty = true;
+  }
+  replica_.emplace(id, tuple);
+}
+
+void TupleIndex::Remove(DocId id) {
+  auto it = replica_.find(id);
+  if (it == replica_.end()) return;
+  const TupleComponent& tuple = it->second;
+  for (size_t i = 0; i < tuple.schema().size(); ++i) {
+    auto col_it = columns_.find(NormalizeAttribute(tuple.schema().at(i).name));
+    if (col_it == columns_.end()) continue;
+    auto& entries = col_it->second.entries;
+    entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                 [id](const auto& e) { return e.second == id; }),
+                  entries.end());
+    if (entries.empty()) columns_.erase(col_it);
+  }
+  replica_.erase(it);
+}
+
+const TupleComponent& TupleIndex::TupleOf(DocId id) const {
+  static const TupleComponent kEmpty;
+  auto it = replica_.find(id);
+  return it == replica_.end() ? kEmpty : it->second;
+}
+
+const TupleIndex::Column* TupleIndex::FindColumn(
+    const std::string& attribute) const {
+  std::string key = NormalizeAttribute(attribute);
+  if (key.empty()) return nullptr;
+  auto it = columns_.find(key);
+  if (it != columns_.end()) return &it->second;
+  // Prefix match: "lastmodified" finds "lastmodifiedtime". Ambiguity is
+  // resolved by the first (lexicographically smallest) matching column.
+  it = columns_.lower_bound(key);
+  if (it != columns_.end() && it->first.compare(0, key.size(), key) == 0) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+void TupleIndex::SortColumn(Column* column) const {
+  if (!column->dirty) return;
+  std::sort(column->entries.begin(), column->entries.end(),
+            [](const auto& a, const auto& b) {
+              int cmp = a.first.Compare(b.first);
+              if (cmp != 0) return cmp < 0;
+              return a.second < b.second;
+            });
+  column->dirty = false;
+}
+
+std::vector<DocId> TupleIndex::Scan(const std::string& attribute, CompareOp op,
+                                    const Value& literal) const {
+  const Column* column = FindColumn(attribute);
+  if (column == nullptr) return {};
+  SortColumn(const_cast<Column*>(column));
+  const auto& entries = column->entries;
+
+  auto lower = std::lower_bound(
+      entries.begin(), entries.end(), literal,
+      [](const auto& e, const Value& v) { return e.first.Compare(v) < 0; });
+  auto upper = std::upper_bound(
+      entries.begin(), entries.end(), literal,
+      [](const Value& v, const auto& e) { return v.Compare(e.first) < 0; });
+
+  std::vector<DocId> out;
+  auto emit = [&out](auto begin, auto end) {
+    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  };
+  switch (op) {
+    case CompareOp::kEq: emit(lower, upper); break;
+    case CompareOp::kNe:
+      emit(entries.begin(), lower);
+      emit(upper, entries.end());
+      break;
+    case CompareOp::kLt: emit(entries.begin(), lower); break;
+    case CompareOp::kLe: emit(entries.begin(), upper); break;
+    case CompareOp::kGt: emit(upper, entries.end()); break;
+    case CompareOp::kGe: emit(lower, entries.end()); break;
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+size_t TupleIndex::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [id, tuple] : replica_) {
+    total += sizeof(id) + tuple.MemoryUsage();
+  }
+  for (const auto& [name, column] : columns_) {
+    total += name.capacity() + sizeof(name);
+    total += column.entries.capacity() * sizeof(std::pair<Value, DocId>);
+    for (const auto& [value, id] : column.entries) {
+      total += value.MemoryUsage() - sizeof(Value);
+    }
+  }
+  return total;
+}
+
+}  // namespace idm::index

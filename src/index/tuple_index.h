@@ -1,0 +1,66 @@
+// Tuple Index & Replica (paper §7.2, structure 2): an in-memory replica of
+// all tuple components plus vertically partitioned, per-attribute sorted
+// column indexes (the paper cites the Decomposition Storage Model [11]).
+// Supports point and range predicates over any attribute name.
+
+#ifndef IDM_INDEX_TUPLE_INDEX_H_
+#define IDM_INDEX_TUPLE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tuple.h"
+#include "index/inverted_index.h"  // for DocId
+
+namespace idm::index {
+
+/// Comparison operators of iQL tuple predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+class TupleIndex {
+ public:
+  /// Stores the replica and indexes every attribute of \p tuple under the
+  /// attribute's *normalized* name (lower-cased, non-alphanumerics
+  /// stripped: "last modified time" and "lastmodified" both normalize
+  /// toward "lastmodifiedtime", and query attributes match by normalized
+  /// prefix). Re-adding an id replaces its tuple.
+  void Add(DocId id, const core::TupleComponent& tuple);
+
+  void Remove(DocId id);
+
+  /// The replica: tuple of \p id (empty component when unknown).
+  const core::TupleComponent& TupleOf(DocId id) const;
+
+  /// Ids whose attribute (matched by normalized name or normalized prefix,
+  /// e.g. query "lastmodified" → column "lastmodifiedtime") satisfies
+  /// `value <op> literal`. Sorted ascending. Views without the attribute
+  /// never match.
+  std::vector<DocId> Scan(const std::string& attribute, CompareOp op,
+                          const core::Value& literal) const;
+
+  /// Normalizes an attribute name as described at Add().
+  static std::string NormalizeAttribute(const std::string& name);
+
+  size_t size() const { return replica_.size(); }
+
+  /// Approximate footprint in bytes for Table 3 accounting.
+  size_t MemoryUsage() const;
+
+ private:
+  struct Column {
+    // (value, id), kept sorted; rebuilt lazily after bulk inserts.
+    std::vector<std::pair<core::Value, DocId>> entries;
+    bool dirty = false;
+  };
+  const Column* FindColumn(const std::string& attribute) const;
+  void SortColumn(Column* column) const;
+
+  std::unordered_map<DocId, core::TupleComponent> replica_;
+  mutable std::map<std::string, Column> columns_;
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_TUPLE_INDEX_H_

@@ -1,0 +1,139 @@
+#include "index/version_log.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace idm::index {
+
+Version VersionLog::Append(ChangeRecord::Op op, DocId id) {
+  ChangeRecord record;
+  record.version = next_++;
+  record.op = op;
+  record.id = id;
+  record.at = clock_ != nullptr ? clock_->NowMicros() : 0;
+  log_.push_back(record);
+  return record.version;
+}
+
+std::vector<ChangeRecord> VersionLog::ChangesSince(Version since) const {
+  std::vector<ChangeRecord> out;
+  // Versions are assigned densely in log order; binary search the start.
+  auto it = std::lower_bound(log_.begin(), log_.end(), since + 1,
+                             [](const ChangeRecord& r, Version v) {
+                               return r.version < v;
+                             });
+  out.assign(it, log_.end());
+  return out;
+}
+
+std::vector<DocId> VersionLog::LiveAt(Version version) const {
+  std::set<DocId> live;
+  for (const ChangeRecord& record : log_) {
+    if (record.version > version) break;
+    switch (record.op) {
+      case ChangeRecord::Op::kAdded:
+      case ChangeRecord::Op::kUpdated:
+        live.insert(record.id);
+        break;
+      case ChangeRecord::Op::kRemoved:
+        live.erase(record.id);
+        break;
+    }
+  }
+  return std::vector<DocId>(live.begin(), live.end());
+}
+
+VersionLog::Diff VersionLog::DiffBetween(Version from, Version to) const {
+  Diff diff;
+  if (to < from) std::swap(from, to);
+  std::vector<DocId> before = LiveAt(from);
+  std::vector<DocId> after = LiveAt(to);
+  std::set_difference(after.begin(), after.end(), before.begin(), before.end(),
+                      std::back_inserter(diff.added));
+  std::set_difference(before.begin(), before.end(), after.begin(), after.end(),
+                      std::back_inserter(diff.removed));
+  // Updated: surviving ids with an update record in (from, to].
+  std::set<DocId> survivors;
+  std::set_intersection(after.begin(), after.end(), before.begin(),
+                        before.end(),
+                        std::inserter(survivors, survivors.begin()));
+  std::set<DocId> updated;
+  for (const ChangeRecord& record : log_) {
+    if (record.version <= from) continue;
+    if (record.version > to) break;
+    if (record.op == ChangeRecord::Op::kUpdated &&
+        survivors.count(record.id) > 0) {
+      updated.insert(record.id);
+    }
+  }
+  diff.updated.assign(updated.begin(), updated.end());
+  return diff;
+}
+
+namespace {
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
+  }
+}
+
+bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+          << (i * 8);
+  }
+  *pos += 8;
+  return true;
+}
+
+constexpr uint64_t kMagic = 0x69444D3156455231ULL;  // "iDM1VER1"
+
+}  // namespace
+
+std::string VersionLog::Serialize() const {
+  std::string out;
+  PutU64(&out, kMagic);
+  PutU64(&out, log_.size());
+  for (const ChangeRecord& record : log_) {
+    PutU64(&out, record.version);
+    PutU64(&out, static_cast<uint64_t>(record.op));
+    PutU64(&out, record.id);
+    PutU64(&out, static_cast<uint64_t>(record.at));
+  }
+  return out;
+}
+
+Result<VersionLog> VersionLog::Deserialize(const std::string& data,
+                                           Clock* clock) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  if (!GetU64(data, &pos, &magic) || magic != kMagic) {
+    return Status::ParseError("not a serialized version log");
+  }
+  uint64_t count = 0;
+  if (!GetU64(data, &pos, &count)) return Status::ParseError("truncated");
+  VersionLog log(clock);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t version = 0, op = 0, id = 0, at = 0;
+    if (!GetU64(data, &pos, &version) || !GetU64(data, &pos, &op) ||
+        !GetU64(data, &pos, &id) || !GetU64(data, &pos, &at)) {
+      return Status::ParseError("truncated record");
+    }
+    if (op > 2) return Status::ParseError("invalid op");
+    ChangeRecord record;
+    record.version = version;
+    record.op = static_cast<ChangeRecord::Op>(op);
+    record.id = id;
+    record.at = static_cast<Micros>(at);
+    log.log_.push_back(record);
+    log.next_ = std::max(log.next_, version + 1);
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return log;
+}
+
+}  // namespace idm::index

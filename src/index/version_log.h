@@ -1,0 +1,74 @@
+// Dataspace versioning (paper §8, conclusion item 1): "logically, each
+// change creates a new version of the whole dataspace". Because iDM
+// represents everything in one model, versioning reduces to an ordered
+// change log over view ids: each mutation (add / update / remove) advances
+// the dataspace version, and any past version can be compared against the
+// present or replayed.
+
+#ifndef IDM_INDEX_VERSION_LOG_H_
+#define IDM_INDEX_VERSION_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"  // for DocId
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::index {
+
+/// Monotone dataspace version number. Version 0 is the empty dataspace.
+using Version = uint64_t;
+
+struct ChangeRecord {
+  enum class Op { kAdded, kUpdated, kRemoved };
+  Version version = 0;  ///< the version this change created
+  Op op = Op::kAdded;
+  DocId id = 0;
+  Micros at = 0;  ///< clock time of the change
+};
+
+class VersionLog {
+ public:
+  explicit VersionLog(Clock* clock = nullptr) : clock_(clock) {}
+
+  /// Appends a change; returns the new dataspace version.
+  Version Append(ChangeRecord::Op op, DocId id);
+
+  /// The current dataspace version.
+  Version current() const { return next_ - 1; }
+
+  /// All changes with version > \p since, oldest first.
+  std::vector<ChangeRecord> ChangesSince(Version since) const;
+
+  /// The set of view ids that are live at \p version (i.e. added/updated
+  /// without a later removal at or before that version). Replays the log.
+  std::vector<DocId> LiveAt(Version version) const;
+
+  /// Net difference between two versions: ids added and ids removed going
+  /// from \p from to \p to (updates to surviving ids are reported in
+  /// `updated`).
+  struct Diff {
+    std::vector<DocId> added;
+    std::vector<DocId> removed;
+    std::vector<DocId> updated;
+  };
+  Diff DiffBetween(Version from, Version to) const;
+
+  size_t size() const { return log_.size(); }
+
+  /// Binary serialization (appended to a catalog image, typically).
+  std::string Serialize() const;
+  static Result<VersionLog> Deserialize(const std::string& data,
+                                        Clock* clock = nullptr);
+
+ private:
+  Clock* clock_;
+  Version next_ = 1;
+  std::vector<ChangeRecord> log_;
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_VERSION_LOG_H_

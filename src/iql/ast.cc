@@ -1,0 +1,97 @@
+#include "iql/ast.h"
+
+namespace idm::iql {
+
+namespace {
+
+const char* OpText(index::CompareOp op) {
+  switch (op) {
+    case index::CompareOp::kEq: return "=";
+    case index::CompareOp::kNe: return "!=";
+    case index::CompareOp::kLt: return "<";
+    case index::CompareOp::kLe: return "<=";
+    case index::CompareOp::kGt: return ">";
+    case index::CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string RefText(const JoinRef& ref) {
+  switch (ref.field) {
+    case JoinRef::Field::kName: return ref.binding + ".name";
+    case JoinRef::Field::kClass: return ref.binding + ".class";
+    case JoinRef::Field::kContent: return ref.binding + ".content";
+    case JoinRef::Field::kTupleAttr:
+      return ref.binding + ".tuple." + ref.attribute;
+  }
+  return ref.binding;
+}
+
+}  // namespace
+
+std::string ToString(const PredNode& pred) {
+  switch (pred.kind) {
+    case PredNode::Kind::kAnd:
+      return "(" + ToString(*pred.children[0]) + " and " +
+             ToString(*pred.children[1]) + ")";
+    case PredNode::Kind::kOr:
+      return "(" + ToString(*pred.children[0]) + " or " +
+             ToString(*pred.children[1]) + ")";
+    case PredNode::Kind::kNot:
+      return "not " + ToString(*pred.children[0]);
+    case PredNode::Kind::kPhrase:
+      return "\"" + pred.text + "\"";
+    case PredNode::Kind::kClassEq:
+      return "class=\"" + pred.text + "\"";
+    case PredNode::Kind::kNameEq:
+      return "name=\"" + pred.text + "\"";
+    case PredNode::Kind::kCompare: {
+      std::string literal;
+      switch (pred.literal_kind) {
+        case PredNode::LiteralKind::kValue: literal = pred.literal.ToString(); break;
+        case PredNode::LiteralKind::kYesterday: literal = "yesterday()"; break;
+        case PredNode::LiteralKind::kNow: literal = "now()"; break;
+      }
+      return pred.attribute + " " + OpText(pred.op) + " " + literal;
+    }
+  }
+  return "?";
+}
+
+std::string ToString(const Query& query) {
+  switch (query.kind) {
+    case Query::Kind::kFilter:
+      return query.filter ? ToString(*query.filter) : "<empty>";
+    case Query::Kind::kPath: {
+      std::string out;
+      for (const PathStep& step : query.steps) {
+        out += step.descendant ? "//" : "/";
+        out += step.name_pattern;
+        if (step.predicate) out += "[" + ToString(*step.predicate) + "]";
+      }
+      return out;
+    }
+    case Query::Kind::kUnion:
+    case Query::Kind::kIntersect:
+    case Query::Kind::kExcept: {
+      std::string out = query.kind == Query::Kind::kUnion       ? "union("
+                        : query.kind == Query::Kind::kIntersect ? "intersect("
+                                                                : "except(";
+      for (size_t i = 0; i < query.arms.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToString(*query.arms[i]);
+      }
+      return out + ")";
+    }
+    case Query::Kind::kJoin: {
+      const JoinSpec& join = *query.join;
+      return "join(" + ToString(*join.left) + " as " + join.left_binding +
+             ", " + ToString(*join.right) + " as " + join.right_binding +
+             ", " + RefText(join.left_ref) + "=" + RefText(join.right_ref) +
+             ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace idm::iql

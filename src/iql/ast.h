@@ -1,0 +1,95 @@
+// iQL abstract syntax (paper §5.1, Table 4).
+
+#ifndef IDM_IQL_AST_H_
+#define IDM_IQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "index/tuple_index.h"
+
+namespace idm::iql {
+
+/// A boolean predicate over resource views.
+struct PredNode {
+  enum class Kind {
+    kAnd,      ///< children all hold
+    kOr,       ///< any child holds
+    kNot,      ///< single child does not hold
+    kPhrase,   ///< content component contains the phrase
+    kCompare,  ///< tuple attribute `attribute op literal`
+    kClassEq,  ///< view class equals (or specializes) `text`
+    kNameEq,   ///< name component matches `text` (wildcards allowed)
+  };
+
+  /// How a comparison literal is obtained at evaluation time.
+  enum class LiteralKind {
+    kValue,      ///< `literal` below
+    kYesterday,  ///< yesterday(): clock now minus 24h
+    kNow,        ///< now(): clock now
+  };
+
+  Kind kind;
+  std::vector<std::unique_ptr<PredNode>> children;  // kAnd/kOr/kNot
+  std::string text;                                 // phrase/class/name
+  std::string attribute;                            // kCompare
+  index::CompareOp op = index::CompareOp::kEq;      // kCompare
+  core::Value literal;                              // kCompare, kValue
+  LiteralKind literal_kind = LiteralKind::kValue;   // kCompare
+};
+
+/// One step of a path expression: axis + name pattern + optional predicate.
+struct PathStep {
+  bool descendant = true;       ///< '//' (indirectly related) vs '/' (directly)
+  std::string name_pattern;     ///< "" or "*" match any name
+  std::unique_ptr<PredNode> predicate;  ///< may be null
+};
+
+/// A join condition reference: `<binding>.name`, `<binding>.class`,
+/// `<binding>.tuple.<attr>`, or `<binding>.content`.
+struct JoinRef {
+  enum class Field { kName, kClass, kTupleAttr, kContent };
+  std::string binding;
+  Field field = Field::kName;
+  std::string attribute;  // kTupleAttr
+};
+
+struct Query;
+
+/// join(left as A, right as B, A.x = B.y)
+struct JoinSpec {
+  std::unique_ptr<Query> left;
+  std::string left_binding;
+  std::unique_ptr<Query> right;
+  std::string right_binding;
+  JoinRef left_ref;
+  JoinRef right_ref;
+};
+
+/// Top-level query forms.
+struct Query {
+  enum class Kind {
+    kPath,       ///< //a//b[pred]/c
+    kFilter,     ///< "phrase", "a" and "b", [size > 42000 ...]
+    kUnion,      ///< union(q1, q2, ...)
+    kIntersect,  ///< intersect(q1, q2, ...)
+    kExcept,     ///< except(q1, q2): results of q1 not in q2
+    kJoin,       ///< join(q1 as A, q2 as B, A.x=B.y)
+  };
+
+  Kind kind = Kind::kFilter;
+  std::vector<PathStep> steps;              // kPath
+  std::unique_ptr<PredNode> filter;         // kFilter
+  std::vector<std::unique_ptr<Query>> arms; // kUnion/kIntersect/kExcept
+  std::unique_ptr<JoinSpec> join;           // kJoin
+};
+
+/// Renders the AST back to (normalized) iQL text, for plan display.
+std::string ToString(const Query& query);
+std::string ToString(const PredNode& pred);
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_AST_H_

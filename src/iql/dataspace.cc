@@ -1,0 +1,104 @@
+#include "iql/dataspace.h"
+
+#include "util/string_util.h"
+
+namespace idm::iql {
+
+Dataspace::Dataspace(Config config)
+    : config_(config), classes_(core::ClassRegistry::Standard()) {
+  module_.SetClock(&clock_);
+  sync_ = std::make_unique<rvm::SynchronizationManager>(
+      &module_, rvm::ConverterRegistry::Standard(), config_.indexing);
+  processor_ = std::make_unique<QueryProcessor>(&module_, &classes_, &clock_,
+                                                config_.query);
+}
+
+Result<rvm::SourceIndexStats> Dataspace::AddFileSystem(
+    const std::string& name, std::shared_ptr<vfs::VirtualFileSystem> fs,
+    const std::string& root_path) {
+  return sync_->RegisterSource(std::make_shared<rvm::FileSystemSource>(
+      name, std::move(fs), root_path));
+}
+
+Result<rvm::SourceIndexStats> Dataspace::AddImap(
+    const std::string& name, std::shared_ptr<email::ImapServer> server) {
+  return sync_->RegisterSource(
+      std::make_shared<rvm::ImapSource>(name, std::move(server)));
+}
+
+Result<rvm::SourceIndexStats> Dataspace::AddRss(
+    const std::string& name, std::shared_ptr<stream::FeedServer> server) {
+  auto source = std::make_shared<rvm::RssSource>(name, std::move(server));
+  // Prime the stream buffer with one poll so the initial index sees the
+  // already-published items.
+  IDM_RETURN_NOT_OK(source->Poll().status());
+  return sync_->RegisterSource(std::move(source));
+}
+
+Result<rvm::SourceIndexStats> Dataspace::AddRelational(
+    const std::string& name, std::shared_ptr<rel::RelationalDb> db) {
+  return sync_->RegisterSource(
+      std::make_shared<rvm::RelationalSource>(name, std::move(db)));
+}
+
+Result<rvm::SourceIndexStats> Dataspace::AddSource(
+    std::shared_ptr<rvm::DataSource> source) {
+  return sync_->RegisterSource(std::move(source));
+}
+
+Result<QueryResult> Dataspace::Query(const std::string& iql) const {
+  return processor_->Execute(iql);
+}
+
+Result<Dataspace::UpdateResult> Dataspace::ExecuteUpdate(
+    const std::string& statement) {
+  std::string trimmed(Trim(statement));
+  if (!EqualsIgnoreCase(trimmed.substr(0, 7), "delete ")) {
+    return Status::ParseError(
+        "unsupported update statement (expected: delete <query>)");
+  }
+  IDM_ASSIGN_OR_RETURN(QueryResult matched,
+                       processor_->Execute(trimmed.substr(7)));
+  if (matched.columns.size() != 1) {
+    return Status::InvalidArgument("delete requires a unary query");
+  }
+
+  UpdateResult update;
+  for (const auto& row : matched.rows) {
+    const index::CatalogEntry* entry = module_.catalog().Entry(row[0]);
+    if (entry == nullptr || entry->deleted) continue;
+    if (entry->derived) {
+      ++update.skipped_derived;
+      continue;
+    }
+    rvm::DataSource* source =
+        sync_->FindSource(module_.catalog().SourceName(entry->source));
+    if (source == nullptr) {
+      ++update.failed;
+      continue;
+    }
+    Status deleted = source->DeleteItem(entry->uri);
+    if (!deleted.ok()) {
+      ++update.failed;
+      continue;
+    }
+    ++update.deleted;
+    update.views_removed += module_.RemoveSubtree(entry->uri).removed;
+  }
+  // Deleting through a source raises its own change notifications; the
+  // removals are already applied above, so drain the queue.
+  IDM_RETURN_NOT_OK(sync_->ProcessNotifications().status());
+  return update;
+}
+
+const std::string& Dataspace::UriOf(index::DocId id) const {
+  static const std::string kEmpty;
+  const index::CatalogEntry* entry = module_.catalog().Entry(id);
+  return entry == nullptr ? kEmpty : entry->uri;
+}
+
+const std::string& Dataspace::NameOf(index::DocId id) const {
+  return module_.names().NameOf(id);
+}
+
+}  // namespace idm::iql

@@ -1,0 +1,90 @@
+// Dataspace: the PDSMS facade (paper §5, Figure 4). Wires together the
+// standard class registry, the Content2iDM converters, the Replica&Indexes
+// module, the Synchronization Manager and the iQL Query Processor behind
+// one object — the "iMeMex" of this repository.
+//
+//   idm::iql::Dataspace ds;
+//   ds.AddFileSystem("Filesystem", fs);
+//   ds.AddImap("Email / IMAP", server);
+//   auto result = ds.Query("//PIM//Introduction[class=\"latex_section\"]");
+
+#ifndef IDM_IQL_DATASPACE_H_
+#define IDM_IQL_DATASPACE_H_
+
+#include <memory>
+#include <string>
+
+#include "iql/query_processor.h"
+#include "rvm/rvm.h"
+
+namespace idm::iql {
+
+class Dataspace {
+ public:
+  struct Config {
+    rvm::IndexingOptions indexing;
+    QueryProcessor::Options query;
+  };
+
+  Dataspace() : Dataspace(Config()) {}
+  explicit Dataspace(Config config);
+
+  /// The simulated clock shared by all sources registered through this
+  /// dataspace (timestamps, latency models, yesterday()).
+  SimClock* clock() { return &clock_; }
+
+  /// --- source registration (returns the initial-indexing stats) ----------
+  Result<rvm::SourceIndexStats> AddFileSystem(
+      const std::string& name, std::shared_ptr<vfs::VirtualFileSystem> fs,
+      const std::string& root_path = "/");
+  Result<rvm::SourceIndexStats> AddImap(
+      const std::string& name, std::shared_ptr<email::ImapServer> server);
+  Result<rvm::SourceIndexStats> AddRss(
+      const std::string& name, std::shared_ptr<stream::FeedServer> server);
+  Result<rvm::SourceIndexStats> AddRelational(
+      const std::string& name, std::shared_ptr<rel::RelationalDb> db);
+  Result<rvm::SourceIndexStats> AddSource(std::shared_ptr<rvm::DataSource> source);
+
+  /// --- querying -----------------------------------------------------------
+  Result<QueryResult> Query(const std::string& iql) const;
+
+  /// Outcome of an update statement.
+  struct UpdateResult {
+    size_t deleted = 0;          ///< base items removed from their sources
+    size_t views_removed = 0;    ///< views dropped from the indexes
+    size_t skipped_derived = 0;  ///< derived views (no independent existence)
+    size_t failed = 0;           ///< items the source refused to delete
+  };
+
+  /// Executes an iQL update statement. Currently supported:
+  ///   delete <query>
+  /// which removes every *base* item matched by <query> from its data
+  /// source (write-through) and drops it — and everything derived from it —
+  /// from catalog and indexes. Derived views matched by the query are
+  /// skipped: they have no independent existence (delete the base item
+  /// instead). This is the "support for updates" §5.1 announces for iQL.
+  Result<UpdateResult> ExecuteUpdate(const std::string& statement);
+
+  /// Uri of a result id (for display), and its stored name.
+  const std::string& UriOf(index::DocId id) const;
+  const std::string& NameOf(index::DocId id) const;
+
+  /// --- plumbing access ----------------------------------------------------
+  rvm::ReplicaIndexesModule& module() { return module_; }
+  const rvm::ReplicaIndexesModule& module() const { return module_; }
+  rvm::SynchronizationManager& sync() { return *sync_; }
+  const core::ClassRegistry& classes() const { return classes_; }
+  const QueryProcessor& processor() const { return *processor_; }
+
+ private:
+  Config config_;
+  SimClock clock_;
+  core::ClassRegistry classes_;
+  rvm::ReplicaIndexesModule module_;
+  std::unique_ptr<rvm::SynchronizationManager> sync_;
+  std::unique_ptr<QueryProcessor> processor_;
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_DATASPACE_H_

@@ -1,0 +1,89 @@
+#include "iql/federation.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace idm::iql {
+
+namespace {
+
+Micros WallNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status Federation::AddPeer(std::string name, const Dataspace* peer,
+                           PeerLatency latency) {
+  if (peer == nullptr) return Status::InvalidArgument("null peer");
+  for (const Peer& existing : peers_) {
+    if (existing.name == name) {
+      return Status::AlreadyExists("peer '" + name + "' already joined");
+    }
+  }
+  peers_.push_back({std::move(name), peer, latency});
+  return Status::OK();
+}
+
+Result<FederatedResult> Federation::Query(const std::string& iql) const {
+  if (peers_.empty()) {
+    return Status::FailedPrecondition("federation has no peers");
+  }
+  Micros start = WallNow();
+  FederatedResult merged;
+  Status first_error;
+  for (const Peer& peer : peers_) {
+    auto result = peer.dataspace->Query(iql);
+    // Network charge: one round trip plus per-row transfer.
+    Micros network = peer.latency.per_query_micros;
+    if (result.ok()) {
+      network += static_cast<Micros>(result->rows.size()) *
+                 peer.latency.per_result_micros;
+    }
+    if (clock_ != nullptr) clock_->AdvanceMicros(network);
+    merged.elapsed_micros += network;
+
+    if (!result.ok()) {
+      ++merged.peers_failed;
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    ++merged.peers_reached;
+    if (result->columns.size() != 1) {
+      // Joins produce peer-local pairs; shipping them is future work, as
+      // in the paper. Report the restriction instead of silent data loss.
+      ++merged.peers_failed;
+      --merged.peers_reached;
+      if (first_error.ok()) {
+        first_error = Status::Unimplemented(
+            "federated joins are not supported; ship a unary query");
+      }
+      continue;
+    }
+    for (size_t r = 0; r < result->rows.size(); ++r) {
+      FederatedRow row;
+      row.peer = peer.name;
+      row.id = result->rows[r][0];
+      row.uri = peer.dataspace->UriOf(row.id);
+      row.name = peer.dataspace->NameOf(row.id);
+      row.score = result->ranked() ? result->scores[r] : 0.0;
+      merged.rows.push_back(std::move(row));
+    }
+  }
+  if (merged.peers_reached == 0) return first_error;
+
+  // Merge order: descending peer-local score, then peer, then uri —
+  // deterministic across runs.
+  std::sort(merged.rows.begin(), merged.rows.end(),
+            [](const FederatedRow& a, const FederatedRow& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.peer != b.peer) return a.peer < b.peer;
+              return a.uri < b.uri;
+            });
+  merged.elapsed_micros += WallNow() - start;
+  return merged;
+}
+
+}  // namespace idm::iql

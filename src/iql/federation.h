@@ -1,0 +1,78 @@
+// Federated queries over networks of PDSMS instances (paper §8: "we are
+// planning to extend our system to enable networks of P2P instances").
+//
+// A Federation holds a set of named peers — independent Dataspace instances
+// standing in for iMeMex nodes on other machines — and evaluates one iQL
+// query against all of them (query shipping). Results are merged and
+// attributed to the peer that produced them; a simulated per-peer network
+// latency model charges the local clock, so federation benchmarks behave
+// like the remote-IMAP model of Fig. 5.
+
+#ifndef IDM_IQL_FEDERATION_H_
+#define IDM_IQL_FEDERATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iql/dataspace.h"
+
+namespace idm::iql {
+
+/// One row of a federated result: which peer matched, and what.
+struct FederatedRow {
+  std::string peer;
+  index::DocId id = 0;   ///< id in that peer's catalog
+  std::string uri;       ///< resolved eagerly: ids are peer-local
+  std::string name;
+  double score = 0.0;    ///< peer-local tf-idf score (0 when unranked)
+};
+
+struct FederatedResult {
+  std::vector<FederatedRow> rows;
+  size_t peers_reached = 0;
+  size_t peers_failed = 0;
+  Micros elapsed_micros = 0;  ///< wall + simulated network cost
+
+  size_t size() const { return rows.size(); }
+};
+
+/// A query-shipping federation of Dataspace peers.
+class Federation {
+ public:
+  struct PeerLatency {
+    Micros per_query_micros = 25000;     ///< WAN round trip per shipped query
+    Micros per_result_micros = 50;       ///< result-row transfer cost
+  };
+
+  /// \p clock is charged with the simulated network cost (may be nullptr).
+  explicit Federation(Clock* clock = nullptr) : clock_(clock) {}
+
+  /// Adds a peer. The Dataspace must outlive the federation. Peer names
+  /// must be unique.
+  Status AddPeer(std::string name, const Dataspace* peer,
+                 PeerLatency latency = PeerLatency{25000, 50});
+
+  size_t peer_count() const { return peers_.size(); }
+
+  /// Ships \p iql to every peer and merges the unary results. Ranked
+  /// results merge by descending peer-local score (cross-peer scores are
+  /// comparable only loosely — idf statistics are peer-local; this is the
+  /// standard federated-IR caveat and is preserved deliberately). Peers
+  /// that fail to evaluate the query are counted, not fatal — unless every
+  /// peer fails, in which case the first error is returned.
+  Result<FederatedResult> Query(const std::string& iql) const;
+
+ private:
+  struct Peer {
+    std::string name;
+    const Dataspace* dataspace;
+    PeerLatency latency;
+  };
+  Clock* clock_;
+  std::vector<Peer> peers_;
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_FEDERATION_H_

@@ -1,0 +1,179 @@
+#include "iql/lexer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace idm::iql {
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kString: return "string";
+    case TokenType::kNumber: return "number";
+    case TokenType::kDate: return "date";
+    case TokenType::kIdent: return "identifier";
+    case TokenType::kSlashSlash: return "'//'";
+    case TokenType::kSlash: return "'/'";
+    case TokenType::kLBracket: return "'['";
+    case TokenType::kRBracket: return "']'";
+    case TokenType::kLParen: return "'('";
+    case TokenType::kRParen: return "')'";
+    case TokenType::kComma: return "','";
+    case TokenType::kEq: return "'='";
+    case TokenType::kNe: return "'!='";
+    case TokenType::kLt: return "'<'";
+    case TokenType::kLe: return "'<='";
+    case TokenType::kGt: return "'>'";
+    case TokenType::kGe: return "'>='";
+    case TokenType::kAnd: return "'and'";
+    case TokenType::kOr: return "'or'";
+    case TokenType::kNot: return "'not'";
+    case TokenType::kUnion: return "'union'";
+    case TokenType::kJoin: return "'join'";
+    case TokenType::kAs: return "'as'";
+    case TokenType::kEnd: return "end of query";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  // Identifiers double as name patterns and dotted references: VLDB200?,
+  // *.tex, ?onclusion*, A.name, B.tuple.label, yesterday.
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '*' ||
+         c == '?' || c == '.' || c == '-' || c == ':';
+}
+
+TokenType KeywordType(const std::string& word) {
+  std::string lower = ToLower(word);
+  if (lower == "and") return TokenType::kAnd;
+  if (lower == "or") return TokenType::kOr;
+  if (lower == "not") return TokenType::kNot;
+  if (lower == "union") return TokenType::kUnion;
+  if (lower == "join") return TokenType::kJoin;
+  if (lower == "as") return TokenType::kAs;
+  return TokenType::kIdent;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&tokens](TokenType type, std::string text, size_t offset,
+                        int64_t number = 0) {
+    tokens.push_back({type, std::move(text), number, offset});
+  };
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '"') {
+      size_t end = query.find('"', i + 1);
+      if (end == std::string::npos) {
+        return Status::ParseError("unterminated string at offset " +
+                                  std::to_string(i));
+      }
+      push(TokenType::kString, query.substr(i + 1, end - i - 1), start);
+      i = end + 1;
+      continue;
+    }
+    if (c == '@') {
+      ++i;
+      std::string text;
+      while (i < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[i])) ||
+              query[i] == '.')) {
+        text += query[i++];
+      }
+      if (text.empty()) {
+        return Status::ParseError("malformed date literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kDate, std::move(text), start);
+      continue;
+    }
+    if (c == '/') {
+      if (i + 1 < query.size() && query[i + 1] == '/') {
+        push(TokenType::kSlashSlash, "//", start);
+        i += 2;
+      } else {
+        push(TokenType::kSlash, "/", start);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '[') { push(TokenType::kLBracket, "[", start); ++i; continue; }
+    if (c == ']') { push(TokenType::kRBracket, "]", start); ++i; continue; }
+    if (c == '(') { push(TokenType::kLParen, "(", start); ++i; continue; }
+    if (c == ')') { push(TokenType::kRParen, ")", start); ++i; continue; }
+    if (c == ',') { push(TokenType::kComma, ",", start); ++i; continue; }
+    if (c == '=') { push(TokenType::kEq, "=", start); ++i; continue; }
+    if (c == '!') {
+      if (i + 1 < query.size() && query[i + 1] == '=') {
+        push(TokenType::kNe, "!=", start);
+        i += 2;
+        continue;
+      }
+      return Status::ParseError("stray '!' at offset " + std::to_string(i));
+    }
+    if (c == '<') {
+      if (i + 1 < query.size() && query[i + 1] == '=') {
+        push(TokenType::kLe, "<=", start);
+        i += 2;
+      } else {
+        push(TokenType::kLt, "<", start);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < query.size() && query[i + 1] == '=') {
+        push(TokenType::kGe, ">=", start);
+        i += 2;
+      } else {
+        push(TokenType::kGt, ">", start);
+        ++i;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Digits followed by ident chars (e.g. "2005papers") lex as an
+      // identifier; pure digit runs are numbers.
+      size_t j = i;
+      while (j < query.size() &&
+             std::isdigit(static_cast<unsigned char>(query[j]))) {
+        ++j;
+      }
+      if (j < query.size() && IsIdentChar(query[j])) {
+        std::string word;
+        while (i < query.size() && IsIdentChar(query[i])) word += query[i++];
+        push(TokenType::kIdent, std::move(word), start);
+      } else {
+        int64_t value = 0;
+        while (i < j) value = value * 10 + (query[i++] - '0');
+        push(TokenType::kNumber, query.substr(start, j - start), start, value);
+      }
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      std::string word;
+      while (i < query.size() && IsIdentChar(query[i])) word += query[i++];
+      // Multi-word attribute names ("last modified time") are written
+      // without spaces in iQL ("lastmodified"); no further handling here.
+      TokenType type = KeywordType(word);
+      push(type, std::move(word), start);
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  push(TokenType::kEnd, "", query.size());
+  return tokens;
+}
+
+}  // namespace idm::iql

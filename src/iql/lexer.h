@@ -1,0 +1,59 @@
+// iQL lexer (paper §5.1). The language extends IR keyword search: quoted
+// phrases, boolean connectives, bracketed attribute predicates, path steps
+// with '*'/'?' wildcards, date literals (@12.06.2005), and the union/join
+// constructs of Table 4.
+
+#ifndef IDM_IQL_LEXER_H_
+#define IDM_IQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace idm::iql {
+
+enum class TokenType {
+  kString,      // "Donald Knuth"
+  kNumber,      // 42000
+  kDate,        // @12.06.2005
+  kIdent,       // size, VLDB200?, *.tex, A.name, yesterday
+  kSlashSlash,  // //
+  kSlash,       // /
+  kLBracket,    // [
+  kRBracket,    // ]
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kAnd,         // and (case-insensitive)
+  kOr,          // or
+  kNot,         // not
+  kUnion,       // union
+  kJoin,        // join
+  kAs,          // as
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw text (string contents unquoted)
+  int64_t number = 0;   // kNumber
+  size_t offset = 0;    // byte offset in the query, for error messages
+};
+
+/// Tokenizes \p query. Fails with ParseError on unterminated strings or
+/// stray characters.
+Result<std::vector<Token>> Lex(const std::string& query);
+
+/// Name of a token type for diagnostics.
+const char* TokenTypeName(TokenType type);
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_LEXER_H_

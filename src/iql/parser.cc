@@ -1,0 +1,317 @@
+#include "iql/parser.h"
+
+#include "iql/lexer.h"
+#include "util/clock.h"
+#include "util/string_util.h"
+
+namespace idm::iql {
+
+using index::CompareOp;
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Run() {
+    IDM_ASSIGN_OR_RETURN(Query query, ParseTop());
+    if (Peek().type != TokenType::kEnd) {
+      return Error("trailing tokens after query");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  Token Take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenType type) {
+    if (Peek().type != type) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokenType type) {
+    if (Accept(type)) return Status::OK();
+    return Error(std::string("expected ") + TokenTypeName(type) + ", found " +
+                 TokenTypeName(Peek().type));
+  }
+  Status Error(const std::string& message) const {
+    return Status::ParseError("iQL at offset " + std::to_string(Peek().offset) +
+                              ": " + message);
+  }
+
+  Result<Query> ParseTop() {
+    switch (Peek().type) {
+      case TokenType::kUnion: return ParseSetOp(Query::Kind::kUnion);
+      case TokenType::kJoin: return ParseJoin();
+      case TokenType::kSlashSlash:
+      case TokenType::kSlash: return ParsePath();
+      case TokenType::kIdent:
+        // intersect(...) / except(...) are contextual keywords: plain
+        // identifiers elsewhere, set operators before '('.
+        if (Peek(1).type == TokenType::kLParen) {
+          std::string lower = ToLower(Peek().text);
+          if (lower == "intersect") return ParseSetOp(Query::Kind::kIntersect);
+          if (lower == "except") return ParseSetOp(Query::Kind::kExcept);
+        }
+        return ParseFilter();
+      default: return ParseFilter();
+    }
+  }
+
+  Result<Query> ParseSetOp(Query::Kind kind) {
+    Take();  // 'union' / 'intersect' / 'except'
+    IDM_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    Query query;
+    query.kind = kind;
+    do {
+      IDM_ASSIGN_OR_RETURN(Query arm, ParseTop());
+      query.arms.push_back(std::make_unique<Query>(std::move(arm)));
+    } while (Accept(TokenType::kComma));
+    IDM_RETURN_NOT_OK(Expect(TokenType::kRParen));
+    if (query.arms.size() < 2) {
+      return Error("set operators need at least two arms");
+    }
+    if (kind == Query::Kind::kExcept && query.arms.size() != 2) {
+      return Error("except takes exactly two arms");
+    }
+    return query;
+  }
+
+  Result<JoinRef> ParseJoinRef() {
+    if (Peek().type != TokenType::kIdent) {
+      return Error("expected a join reference like A.name");
+    }
+    std::string dotted = Take().text;
+    auto parts = Split(dotted, '.');
+    if (parts.size() < 2) {
+      return Error("join reference '" + dotted + "' must be qualified");
+    }
+    JoinRef ref;
+    ref.binding = parts[0];
+    std::string field = ToLower(parts[1]);
+    if (field == "name" && parts.size() == 2) {
+      ref.field = JoinRef::Field::kName;
+    } else if (field == "class" && parts.size() == 2) {
+      ref.field = JoinRef::Field::kClass;
+    } else if (field == "content" && parts.size() == 2) {
+      ref.field = JoinRef::Field::kContent;
+    } else if (field == "tuple" && parts.size() == 3) {
+      ref.field = JoinRef::Field::kTupleAttr;
+      ref.attribute = parts[2];
+    } else {
+      return Error("unsupported join reference '" + dotted + "'");
+    }
+    return ref;
+  }
+
+  Result<Query> ParseJoin() {
+    Take();  // 'join'
+    IDM_RETURN_NOT_OK(Expect(TokenType::kLParen));
+    auto spec = std::make_unique<JoinSpec>();
+    IDM_ASSIGN_OR_RETURN(Query left, ParseTop());
+    spec->left = std::make_unique<Query>(std::move(left));
+    IDM_RETURN_NOT_OK(Expect(TokenType::kAs));
+    if (Peek().type != TokenType::kIdent) return Error("expected binding name");
+    spec->left_binding = Take().text;
+    IDM_RETURN_NOT_OK(Expect(TokenType::kComma));
+    IDM_ASSIGN_OR_RETURN(Query right, ParseTop());
+    spec->right = std::make_unique<Query>(std::move(right));
+    IDM_RETURN_NOT_OK(Expect(TokenType::kAs));
+    if (Peek().type != TokenType::kIdent) return Error("expected binding name");
+    spec->right_binding = Take().text;
+    IDM_RETURN_NOT_OK(Expect(TokenType::kComma));
+    IDM_ASSIGN_OR_RETURN(JoinRef a, ParseJoinRef());
+    IDM_RETURN_NOT_OK(Expect(TokenType::kEq));
+    IDM_ASSIGN_OR_RETURN(JoinRef b, ParseJoinRef());
+    IDM_RETURN_NOT_OK(Expect(TokenType::kRParen));
+
+    // Normalize ref order to (left, right).
+    if (a.binding == spec->left_binding && b.binding == spec->right_binding) {
+      spec->left_ref = std::move(a);
+      spec->right_ref = std::move(b);
+    } else if (a.binding == spec->right_binding &&
+               b.binding == spec->left_binding) {
+      spec->left_ref = std::move(b);
+      spec->right_ref = std::move(a);
+    } else {
+      return Error("join condition must reference both bindings");
+    }
+    Query query;
+    query.kind = Query::Kind::kJoin;
+    query.join = std::move(spec);
+    return query;
+  }
+
+  Result<Query> ParsePath() {
+    Query query;
+    query.kind = Query::Kind::kPath;
+    while (Peek().type == TokenType::kSlashSlash ||
+           Peek().type == TokenType::kSlash) {
+      PathStep step;
+      step.descendant = Take().type == TokenType::kSlashSlash;
+      if (Peek().type == TokenType::kIdent) {
+        step.name_pattern = Take().text;
+      }
+      if (Accept(TokenType::kLBracket)) {
+        IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> pred, ParseOr());
+        IDM_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+        step.predicate = std::move(pred);
+      }
+      query.steps.push_back(std::move(step));
+    }
+    if (query.steps.empty()) return Error("empty path expression");
+    return query;
+  }
+
+  Result<Query> ParseFilter() {
+    IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> pred, ParseOr());
+    Query query;
+    query.kind = Query::Kind::kFilter;
+    query.filter = std::move(pred);
+    return query;
+  }
+
+  Result<std::unique_ptr<PredNode>> ParseOr() {
+    IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> left, ParseAnd());
+    while (Accept(TokenType::kOr)) {
+      IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> right, ParseAnd());
+      auto node = std::make_unique<PredNode>();
+      node->kind = PredNode::Kind::kOr;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<PredNode>> ParseAnd() {
+    IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> left, ParseUnary());
+    while (Accept(TokenType::kAnd)) {
+      IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> right, ParseUnary());
+      auto node = std::make_unique<PredNode>();
+      node->kind = PredNode::Kind::kAnd;
+      node->children.push_back(std::move(left));
+      node->children.push_back(std::move(right));
+      left = std::move(node);
+    }
+    return left;
+  }
+
+  Result<std::unique_ptr<PredNode>> ParseUnary() {
+    if (Accept(TokenType::kNot)) {
+      IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> child, ParseUnary());
+      auto node = std::make_unique<PredNode>();
+      node->kind = PredNode::Kind::kNot;
+      node->children.push_back(std::move(child));
+      return node;
+    }
+    return ParseAtom();
+  }
+
+  Result<std::unique_ptr<PredNode>> ParseAtom() {
+    if (Peek().type == TokenType::kString) {
+      auto node = std::make_unique<PredNode>();
+      node->kind = PredNode::Kind::kPhrase;
+      node->text = Take().text;
+      return node;
+    }
+    if (Accept(TokenType::kLParen)) {
+      IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> inner, ParseOr());
+      IDM_RETURN_NOT_OK(Expect(TokenType::kRParen));
+      return inner;
+    }
+    if (Accept(TokenType::kLBracket)) {
+      IDM_ASSIGN_OR_RETURN(std::unique_ptr<PredNode> inner, ParseOr());
+      IDM_RETURN_NOT_OK(Expect(TokenType::kRBracket));
+      return inner;
+    }
+    if (Peek().type != TokenType::kIdent) {
+      return Error(std::string("expected a predicate, found ") +
+                   TokenTypeName(Peek().type));
+    }
+    std::string ident = Take().text;
+    std::string lower = ToLower(ident);
+
+    // class = "..." and name = "..." special forms.
+    if (lower == "class" || lower == "name") {
+      IDM_RETURN_NOT_OK(Expect(TokenType::kEq));
+      if (Peek().type != TokenType::kString &&
+          Peek().type != TokenType::kIdent) {
+        return Error("expected a value after '" + lower + " ='");
+      }
+      auto node = std::make_unique<PredNode>();
+      node->kind = lower == "class" ? PredNode::Kind::kClassEq
+                                    : PredNode::Kind::kNameEq;
+      node->text = Take().text;
+      return node;
+    }
+
+    // Attribute comparison.
+    CompareOp op;
+    switch (Peek().type) {
+      case TokenType::kEq: op = CompareOp::kEq; break;
+      case TokenType::kNe: op = CompareOp::kNe; break;
+      case TokenType::kLt: op = CompareOp::kLt; break;
+      case TokenType::kLe: op = CompareOp::kLe; break;
+      case TokenType::kGt: op = CompareOp::kGt; break;
+      case TokenType::kGe: op = CompareOp::kGe; break;
+      default:
+        return Error("expected a comparison operator after '" + ident + "'");
+    }
+    Take();
+
+    auto node = std::make_unique<PredNode>();
+    node->kind = PredNode::Kind::kCompare;
+    node->attribute = ident;
+    node->op = op;
+    switch (Peek().type) {
+      case TokenType::kNumber:
+        node->literal = core::Value::Int(Take().number);
+        break;
+      case TokenType::kString:
+        node->literal = core::Value::String(Take().text);
+        break;
+      case TokenType::kDate: {
+        Micros micros = 0;
+        Token token = Take();
+        if (!ParseDate(token.text, &micros)) {
+          return Error("malformed date '@" + token.text + "'");
+        }
+        node->literal = core::Value::Date(micros);
+        break;
+      }
+      case TokenType::kIdent: {
+        std::string fn = ToLower(Take().text);
+        IDM_RETURN_NOT_OK(Expect(TokenType::kLParen));
+        IDM_RETURN_NOT_OK(Expect(TokenType::kRParen));
+        if (fn == "yesterday") {
+          node->literal_kind = PredNode::LiteralKind::kYesterday;
+        } else if (fn == "now" || fn == "today") {
+          node->literal_kind = PredNode::LiteralKind::kNow;
+        } else {
+          return Error("unknown function '" + fn + "()'");
+        }
+        break;
+      }
+      default:
+        return Error("expected a literal after the comparison operator");
+    }
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(const std::string& query) {
+  IDM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(query));
+  return Parser(std::move(tokens)).Run();
+}
+
+}  // namespace idm::iql

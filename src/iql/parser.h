@@ -1,0 +1,36 @@
+// Recursive-descent iQL parser (paper §5.1).
+//
+// Grammar (informal):
+//   query    := union | join | path | filter
+//   union    := 'union' '(' query (',' query)+ ')'
+//   join     := 'join' '(' query 'as' IDENT ',' query 'as' IDENT ',' ref '=' ref ')'
+//   ref      := IDENT '.' ('name' | 'class' | 'content' | 'tuple' '.' IDENT)
+//               (lexed as one dotted identifier)
+//   path     := step+
+//   step     := ('//' | '/') [name_pattern] [ '[' orexpr ']' ]
+//   filter   := orexpr
+//   orexpr   := andexpr ('or' andexpr)*
+//   andexpr  := unary ('and' unary)*
+//   unary    := 'not' unary | atom
+//   atom     := STRING | '(' orexpr ')' | '[' orexpr ']'
+//             | 'class' '=' (STRING | IDENT)
+//             | 'name' '=' (STRING | IDENT)
+//             | IDENT op literal
+//   literal  := NUMBER | STRING | DATE | IDENT '(' ')'
+
+#ifndef IDM_IQL_PARSER_H_
+#define IDM_IQL_PARSER_H_
+
+#include <string>
+
+#include "iql/ast.h"
+#include "util/result.h"
+
+namespace idm::iql {
+
+/// Parses \p query into an AST. ParseError on malformed input.
+Result<Query> ParseQuery(const std::string& query);
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_PARSER_H_

@@ -1,0 +1,457 @@
+#include "iql/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "index/analyzer.h"
+#include "iql/parser.h"
+#include "util/string_util.h"
+
+namespace idm::iql {
+
+using index::DocId;
+
+namespace {
+
+Micros WallNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<DocId> Intersect(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> UnionSets(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Difference(const std::vector<DocId>& a,
+                              const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+class QueryProcessor::Evaluation {
+ public:
+  Evaluation(const QueryProcessor& processor)
+      : module_(*processor.module_),
+        classes_(*processor.classes_),
+        clock_(processor.clock_),
+        options_(processor.options_) {}
+
+  Result<QueryResult> Run(const Query& query) {
+    QueryResult result;
+    result.plan = iql::ToString(query);
+    switch (query.kind) {
+      case Query::Kind::kFilter: {
+        IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids,
+                             EvalPred(*query.filter, AllLive()));
+        Unary(&result, std::move(ids));
+        RankIfKeywordQuery(*query.filter, &result);
+        break;
+      }
+      case Query::Kind::kPath: {
+        IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids, EvalPath(query.steps));
+        Unary(&result, std::move(ids));
+        break;
+      }
+      case Query::Kind::kUnion:
+      case Query::Kind::kIntersect:
+      case Query::Kind::kExcept: {
+        std::vector<DocId> acc;
+        bool first = true;
+        for (const auto& arm : query.arms) {
+          IDM_ASSIGN_OR_RETURN(QueryResult sub, Run(*arm));
+          if (sub.columns.size() != 1) {
+            return Status::Unimplemented("set operators over join results");
+          }
+          std::vector<DocId> ids;
+          ids.reserve(sub.rows.size());
+          for (const auto& row : sub.rows) ids.push_back(row[0]);
+          std::sort(ids.begin(), ids.end());
+          if (first) {
+            acc = std::move(ids);
+            first = false;
+          } else if (query.kind == Query::Kind::kUnion) {
+            acc = UnionSets(acc, ids);
+          } else if (query.kind == Query::Kind::kIntersect) {
+            acc = Intersect(acc, ids);
+          } else {
+            acc = Difference(acc, ids);
+          }
+        }
+        Unary(&result, std::move(acc));
+        break;
+      }
+      case Query::Kind::kJoin: {
+        IDM_RETURN_NOT_OK(EvalJoin(*query.join, &result));
+        break;
+      }
+    }
+    result.expanded_views = expanded_;
+    if (!rules_.empty()) {
+      result.plan += "  [rules:";
+      for (const std::string& rule : rules_) result.plan += " " + rule;
+      result.plan += "]";
+    }
+    return result;
+  }
+
+ private:
+  /// Collects the phrases of a predicate tree; sets *rankable to false when
+  /// a non-keyword leaf (comparison, class, name) participates.
+  static void CollectPhrases(const PredNode& pred,
+                             std::vector<std::string>* phrases,
+                             bool* rankable) {
+    switch (pred.kind) {
+      case PredNode::Kind::kPhrase:
+        phrases->push_back(pred.text);
+        return;
+      case PredNode::Kind::kAnd:
+      case PredNode::Kind::kOr:
+      case PredNode::Kind::kNot:
+        for (const auto& child : pred.children) {
+          CollectPhrases(*child, phrases, rankable);
+        }
+        return;
+      default:
+        *rankable = false;
+        return;
+    }
+  }
+
+  /// The §5.1 ranking extension: pure keyword/phrase queries get tf-idf
+  /// relevance scores and descending-score row order. Terms under a `not`
+  /// still contribute nothing (they cannot occur in matching documents).
+  void RankIfKeywordQuery(const PredNode& filter, QueryResult* result) {
+    std::vector<std::string> phrases;
+    bool rankable = true;
+    CollectPhrases(filter, &phrases, &rankable);
+    if (!rankable || phrases.empty() || result->rows.empty()) return;
+
+    std::unordered_map<DocId, double> score;
+    score.reserve(result->rows.size());
+    for (const auto& row : result->rows) score.emplace(row[0], 0.0);
+
+    const double n_docs =
+        static_cast<double>(std::max<size_t>(module_.content().doc_count(), 1));
+    for (const std::string& phrase : phrases) {
+      for (const std::string& term : index::PhraseTerms(phrase)) {
+        size_t df = module_.content().DocumentFrequency(term);
+        if (df == 0) continue;
+        double idf = std::log(1.0 + n_docs / static_cast<double>(df));
+        for (const auto& [doc, tf] : module_.content().TermQueryWithTf(term)) {
+          auto it = score.find(doc);
+          if (it != score.end()) it->second += tf * idf;
+        }
+      }
+    }
+    std::sort(result->rows.begin(), result->rows.end(),
+              [&score](const std::vector<DocId>& a, const std::vector<DocId>& b) {
+                double sa = score[a[0]], sb = score[b[0]];
+                if (sa != sb) return sa > sb;
+                return a[0] < b[0];
+              });
+    result->scores.reserve(result->rows.size());
+    for (const auto& row : result->rows) result->scores.push_back(score[row[0]]);
+  }
+
+  void Unary(QueryResult* result, std::vector<DocId> ids) {
+    result->columns = {""};
+    result->rows.reserve(ids.size());
+    for (DocId id : ids) result->rows.push_back({id});
+  }
+
+  const std::vector<DocId>& AllLive() {
+    if (all_live_.empty()) all_live_ = module_.catalog().LiveIds();
+    return all_live_;
+  }
+
+  /// R2: ids whose name matches the (possibly wildcarded) pattern.
+  std::vector<DocId> NameMatches(const std::string& pattern) {
+    if (pattern.empty() || pattern == "*") return AllLive();
+    if (options_.use_name_index) {
+      rules_.insert("R2:name-index");
+      return module_.names().LookupPattern(pattern);
+    }
+    // Ablation: full scan with per-view wildcard matching.
+    std::vector<DocId> out;
+    for (DocId id : AllLive()) {
+      if (WildcardMatch(pattern, module_.names().NameOf(id))) {
+        out.push_back(id);
+      }
+    }
+    return out;
+  }
+
+  core::Value ResolveLiteral(const PredNode& pred) const {
+    switch (pred.literal_kind) {
+      case PredNode::LiteralKind::kValue:
+        return pred.literal;
+      case PredNode::LiteralKind::kYesterday:
+        return core::Value::Date(clock_->NowMicros() - 86400LL * 1000000);
+      case PredNode::LiteralKind::kNow:
+        return core::Value::Date(clock_->NowMicros());
+    }
+    return pred.literal;
+  }
+
+  /// True iff \p cls equals or specializes \p wanted. Unregistered classes
+  /// match only by exact string equality (schema-later tolerance).
+  bool ClassMatches(const std::string& cls, const std::string& wanted) {
+    if (cls == wanted) return true;
+    return classes_.IsSubclassOf(cls, wanted);
+  }
+
+  Result<std::vector<DocId>> EvalPred(const PredNode& pred,
+                                      const std::vector<DocId>& universe) {
+    switch (pred.kind) {
+      case PredNode::Kind::kPhrase:
+        rules_.insert("R1:content-index");
+        return Intersect(module_.content().PhraseQuery(pred.text), universe);
+      case PredNode::Kind::kCompare:
+        rules_.insert("R3:tuple-index");
+        return Intersect(module_.tuples().Scan(pred.attribute, pred.op,
+                                               ResolveLiteral(pred)),
+                         universe);
+      case PredNode::Kind::kClassEq: {
+        std::vector<DocId> out;
+        for (DocId id : universe) {
+          const index::CatalogEntry* entry = module_.catalog().Entry(id);
+          if (entry != nullptr && ClassMatches(entry->class_name, pred.text)) {
+            out.push_back(id);
+          }
+        }
+        return out;
+      }
+      case PredNode::Kind::kNameEq:
+        return Intersect(NameMatches(pred.text), universe);
+      case PredNode::Kind::kAnd: {
+        std::vector<DocId> acc = universe;
+        for (const auto& child : pred.children) {
+          IDM_ASSIGN_OR_RETURN(acc, EvalPred(*child, acc));
+          if (acc.empty()) break;
+        }
+        return acc;
+      }
+      case PredNode::Kind::kOr: {
+        std::vector<DocId> acc;
+        for (const auto& child : pred.children) {
+          IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids,
+                               EvalPred(*child, universe));
+          acc = UnionSets(acc, ids);
+        }
+        return acc;
+      }
+      case PredNode::Kind::kNot: {
+        IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids,
+                             EvalPred(*pred.children[0], universe));
+        return Difference(universe, ids);
+      }
+    }
+    return Status::Unimplemented("unknown predicate");
+  }
+
+  /// Direct children of the views that have no parents (the source roots).
+  std::vector<DocId> RootChildren() {
+    std::vector<DocId> out;
+    for (DocId id : AllLive()) {
+      if (module_.groups().Parents(id).empty()) {
+        const auto& children = module_.groups().Children(id);
+        out.insert(out.end(), children.begin(), children.end());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  Result<std::vector<DocId>> EvalPath(const std::vector<PathStep>& steps) {
+    std::vector<DocId> frontier;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const PathStep& step = steps[i];
+      std::vector<DocId> name_set = NameMatches(step.name_pattern);
+      std::vector<DocId> matched;
+      if (i == 0) {
+        if (step.descendant) {
+          // Every indexed view is (indirectly) related to a source root.
+          matched = std::move(name_set);
+        } else {
+          matched = Intersect(RootChildren(), name_set);
+        }
+      } else if (step.descendant) {
+        // R4/R6: choose the expansion direction. Backward pays a bounded
+        // parent-BFS per candidate; forward pays one full descendant BFS of
+        // the frontier. Backward wins when candidates are few and shallow —
+        // exactly the Q8 shape (huge frontier, tiny name-match set).
+        bool backward;
+        switch (options_.expansion) {
+          case Expansion::kForward: backward = false; break;
+          case Expansion::kBackward: backward = true; break;
+          case Expansion::kAuto:
+            backward = name_set.size() * 16 < frontier.size();
+            break;
+        }
+        if (backward) {
+          rules_.insert("R6:backward-expansion");
+          std::unordered_set<DocId> sources(frontier.begin(), frontier.end());
+          for (DocId id : name_set) {
+            if (module_.groups().ReachedFromAny(id, sources,
+                                                options_.max_expansion,
+                                                &expanded_)) {
+              matched.push_back(id);
+            }
+          }
+        } else {
+          rules_.insert("R4:forward-expansion");
+          size_t expanded = 0;
+          std::unordered_set<DocId> descendants = module_.groups().Descendants(
+              frontier, options_.max_expansion, &expanded);
+          expanded_ += expanded;
+          for (DocId id : name_set) {
+            if (descendants.count(id) > 0) matched.push_back(id);
+          }
+        }
+      } else {
+        std::vector<DocId> children;
+        for (DocId id : frontier) {
+          const auto& ch = module_.groups().Children(id);
+          children.insert(children.end(), ch.begin(), ch.end());
+          ++expanded_;
+        }
+        std::sort(children.begin(), children.end());
+        children.erase(std::unique(children.begin(), children.end()),
+                       children.end());
+        matched = Intersect(children, name_set);
+      }
+      if (step.predicate != nullptr) {
+        IDM_ASSIGN_OR_RETURN(matched, EvalPred(*step.predicate, matched));
+      }
+      frontier = std::move(matched);
+      if (frontier.empty()) break;
+    }
+    return frontier;
+  }
+
+  /// Join key of a view under \p ref; nullopt when the view lacks the
+  /// referenced component. Keys compare case-insensitively.
+  Result<std::optional<std::string>> JoinKey(DocId id, const JoinRef& ref) {
+    switch (ref.field) {
+      case JoinRef::Field::kName: {
+        const std::string& name = module_.names().NameOf(id);
+        if (name.empty()) return std::optional<std::string>();
+        return std::optional<std::string>(ToLower(name));
+      }
+      case JoinRef::Field::kClass: {
+        const index::CatalogEntry* entry = module_.catalog().Entry(id);
+        if (entry == nullptr || entry->class_name.empty()) {
+          return std::optional<std::string>();
+        }
+        return std::optional<std::string>(entry->class_name);
+      }
+      case JoinRef::Field::kTupleAttr: {
+        auto value = module_.tuples().TupleOf(id).Get(ref.attribute);
+        if (!value.has_value() || value->is_null()) {
+          return std::optional<std::string>();
+        }
+        return std::optional<std::string>(ToLower(value->ToString()));
+      }
+      case JoinRef::Field::kContent:
+        return Status::Unimplemented("joins on content components");
+    }
+    return std::optional<std::string>();
+  }
+
+  Status EvalJoin(const JoinSpec& join, QueryResult* result) {
+    IDM_ASSIGN_OR_RETURN(QueryResult left, Run(*join.left));
+    IDM_ASSIGN_OR_RETURN(QueryResult right, Run(*join.right));
+    if (left.columns.size() != 1 || right.columns.size() != 1) {
+      return Status::Unimplemented("nested join inputs must be unary");
+    }
+    result->columns = {join.left_binding, join.right_binding};
+
+    // R5: hash the smaller input.
+    rules_.insert("R5:hash-join");
+    bool left_is_build = left.rows.size() <= right.rows.size();
+    const QueryResult& build = left_is_build ? left : right;
+    const QueryResult& probe = left_is_build ? right : left;
+    const JoinRef& build_ref = left_is_build ? join.left_ref : join.right_ref;
+    const JoinRef& probe_ref = left_is_build ? join.right_ref : join.left_ref;
+
+    std::unordered_map<std::string, std::vector<DocId>> table;
+    for (const auto& row : build.rows) {
+      IDM_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                           JoinKey(row[0], build_ref));
+      if (key.has_value()) table[*key].push_back(row[0]);
+    }
+    for (const auto& row : probe.rows) {
+      IDM_ASSIGN_OR_RETURN(std::optional<std::string> key,
+                           JoinKey(row[0], probe_ref));
+      if (!key.has_value()) continue;
+      auto it = table.find(*key);
+      if (it == table.end()) continue;
+      for (DocId match : it->second) {
+        ++expanded_;
+        if (left_is_build) {
+          result->rows.push_back({match, row[0]});
+        } else {
+          result->rows.push_back({row[0], match});
+        }
+      }
+    }
+    std::sort(result->rows.begin(), result->rows.end());
+    // Sub-runs already accumulated their expansion work into expanded_.
+    return Status::OK();
+  }
+
+  const rvm::ReplicaIndexesModule& module_;
+  const core::ClassRegistry& classes_;
+  Clock* clock_;
+  Options options_;
+  std::vector<DocId> all_live_;
+  size_t expanded_ = 0;
+  std::set<std::string> rules_;
+};
+
+// ---------------------------------------------------------------------------
+
+QueryProcessor::QueryProcessor(const rvm::ReplicaIndexesModule* module,
+                               const core::ClassRegistry* classes,
+                               Clock* clock, Options options)
+    : module_(module), classes_(classes), clock_(clock), options_(options) {}
+
+Result<QueryResult> QueryProcessor::Execute(const std::string& iql) const {
+  IDM_ASSIGN_OR_RETURN(Query query, ParseQuery(iql));
+  return Evaluate(query);
+}
+
+Result<QueryResult> QueryProcessor::Evaluate(const Query& query) const {
+  Micros start = WallNow();
+  Evaluation evaluation(*this);
+  IDM_ASSIGN_OR_RETURN(QueryResult result, evaluation.Run(query));
+  result.elapsed_micros = WallNow() - start;
+  return result;
+}
+
+}  // namespace idm::iql

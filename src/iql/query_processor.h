@@ -1,0 +1,98 @@
+// iQL Query Processor (paper §5.1): parses queries, plans them with simple
+// rewrite rules, and evaluates them against the Replica&Indexes module —
+// queries never touch the underlying data sources (that is the point of
+// the replicas, paper §5.2).
+//
+// Planning rules (rule-based optimization, as in the paper's prototype):
+//   R1  Phrase predicates are answered by the positional content index.
+//   R2  Non-wildcard (or wildcard) name steps are answered by the name
+//       index instead of scanning the catalog.
+//   R3  A top-level conjunction starting with an attribute comparison is
+//       seeded from the vertically partitioned tuple index.
+//   R4  Descendant steps run forward expansion (BFS over the group
+//       replica) from the current frontier, testing membership against the
+//       next step's name-match set; expansion work is reported in
+//       QueryResult::expanded_views (the paper's Q8 discussion).
+//   R5  Joins hash the smaller input.
+//   R6  When the name-match set of a descendant step is much smaller than
+//       the frontier, expansion runs *backward*: a parent-edge BFS from
+//       each candidate with early exit on hitting the frontier. This is
+//       the paper's proposed remedy ("backward or bidirectional
+//       expansion") for Q8-style blowup, implemented.
+
+#ifndef IDM_IQL_QUERY_PROCESSOR_H_
+#define IDM_IQL_QUERY_PROCESSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "core/view_class.h"
+#include "iql/ast.h"
+#include "rvm/rvm.h"
+#include "util/clock.h"
+
+namespace idm::iql {
+
+/// Result of one query. Unary queries (paths, filters, unions) produce
+/// one-column rows; joins produce one column per binding.
+struct QueryResult {
+  std::vector<std::string> columns;            ///< binding names; {""} unary
+  std::vector<std::vector<index::DocId>> rows; ///< matched view ids
+  /// tf-idf relevance scores, parallel to rows, when the query was a
+  /// keyword/phrase search (the §5.1 ranking extension). Rows are then
+  /// ordered by descending score. Empty for structural queries.
+  std::vector<double> scores;
+  size_t expanded_views = 0;  ///< forward-expansion work (intermediate results)
+  Micros elapsed_micros = 0;  ///< wall-clock evaluation time
+  std::string plan;           ///< normalized query text (plan display)
+
+  size_t size() const { return rows.size(); }
+  bool ranked() const { return !scores.empty(); }
+};
+
+class QueryProcessor {
+ public:
+  /// Expansion strategy for descendant ('//') steps.
+  enum class Expansion {
+    kAuto,      ///< R6 heuristic: backward when candidates << frontier
+    kForward,   ///< always BFS down from the frontier (the paper's default)
+    kBackward,  ///< always BFS up from the candidates
+  };
+
+  struct Options {
+    /// Cap on nodes touched by forward expansion per step.
+    size_t max_expansion = 5U << 20;
+    /// R2 off (ablation A3): name steps scan all catalog entries with
+    /// per-name wildcard matching instead of using the name index.
+    bool use_name_index = true;
+    /// Descendant-step strategy (ablation A3.3 compares these).
+    Expansion expansion = Expansion::kAuto;
+  };
+
+  /// All pointers must outlive the processor. \p clock provides now() /
+  /// yesterday() (the paper's Q3).
+  QueryProcessor(const rvm::ReplicaIndexesModule* module,
+                 const core::ClassRegistry* classes, Clock* clock)
+      : QueryProcessor(module, classes, clock, Options()) {}
+  QueryProcessor(const rvm::ReplicaIndexesModule* module,
+                 const core::ClassRegistry* classes, Clock* clock,
+                 Options options);
+
+  /// Parses, plans and evaluates \p iql.
+  Result<QueryResult> Execute(const std::string& iql) const;
+
+  /// Evaluates an already parsed query.
+  Result<QueryResult> Evaluate(const Query& query) const;
+
+ private:
+  class Evaluation;
+
+  const rvm::ReplicaIndexesModule* module_;
+  const core::ClassRegistry* classes_;
+  Clock* clock_;
+  Options options_;
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_QUERY_PROCESSOR_H_

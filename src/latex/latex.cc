@@ -1,0 +1,383 @@
+#include "latex/latex.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace idm::latex {
+
+std::string LatexNode::TextContent() const {
+  std::string out;
+  if (kind == Kind::kText) out += text;
+  if (!caption.empty()) {
+    out += caption;
+    out += ' ';
+  }
+  for (const auto& child : children) out += child->TextContent();
+  return out;
+}
+
+size_t LatexNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->SubtreeSize();
+  return n;
+}
+
+const LatexNode* LatexDocument::Find(LatexNode::Kind kind) const {
+  for (const auto& node : nodes) {
+    if (node->kind == kind) return node.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+void CollectLabels(const LatexNode& node, std::vector<std::string>* out) {
+  if (!node.label.empty()) out->push_back(node.label);
+  for (const auto& child : node.children) CollectLabels(*child, out);
+}
+
+}  // namespace
+
+std::vector<std::string> LatexDocument::Labels() const {
+  std::vector<std::string> out;
+  for (const auto& node : nodes) CollectLabels(*node, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+/// Strips inline markup from a command argument: \cmd tokens are removed,
+/// braces are dropped (keeping their contents), '~' becomes a space.
+std::string CleanInline(const std::string& raw) {
+  std::string out;
+  for (size_t i = 0; i < raw.size();) {
+    char c = raw[i];
+    if (c == '\\') {
+      ++i;
+      if (i < raw.size() && !std::isalpha(static_cast<unsigned char>(raw[i]))) {
+        out += raw[i++];  // escaped special character: \%, \&, \_
+        continue;
+      }
+      while (i < raw.size() && std::isalpha(static_cast<unsigned char>(raw[i]))) {
+        ++i;  // skip the command name; its brace args are kept by fallthrough
+      }
+      continue;
+    }
+    if (c == '{' || c == '}' || c == '$') {
+      ++i;
+      continue;
+    }
+    if (c == '~') {
+      out += ' ';
+      ++i;
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  // Collapse whitespace runs left behind by stripped markup.
+  std::string collapsed;
+  bool in_space = false;
+  for (char c : out) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !collapsed.empty()) collapsed += ' ';
+    in_space = false;
+    collapsed += c;
+  }
+  return collapsed;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  Result<LatexDocument> Run() {
+    root_ = std::make_unique<LatexNode>();
+    root_->kind = LatexNode::Kind::kDocument;
+    stack_.push_back(root_.get());
+
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '%') {
+        SkipComment();
+      } else if (c == '\\') {
+        IDM_RETURN_NOT_OK(HandleCommand());
+      } else if (c == '$') {
+        ++pos_;  // math delimiters: keep the inner text, drop the '$'
+      } else {
+        text_ += c;
+        ++pos_;
+      }
+    }
+    FlushText();
+
+    LatexDocument doc;
+    doc.nodes = std::move(root_->children);
+    return doc;
+  }
+
+ private:
+  LatexNode* Current() { return stack_.back(); }
+
+  void SkipComment() {
+    while (pos_ < input_.size() && input_[pos_] != '\n') ++pos_;
+  }
+
+  void FlushText() {
+    std::string cleaned = text_;
+    text_.clear();
+    // Collapse whitespace runs; drop whitespace-only runs entirely.
+    std::string collapsed;
+    bool in_space = true;
+    for (char c : cleaned) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) collapsed += ' ';
+        in_space = true;
+      } else {
+        collapsed += c;
+        in_space = false;
+      }
+    }
+    std::string trimmed(Trim(collapsed));
+    if (trimmed.empty()) return;
+    auto node = std::make_unique<LatexNode>();
+    node->kind = LatexNode::Kind::kText;
+    node->text = std::move(trimmed);
+    Current()->children.push_back(std::move(node));
+  }
+
+  std::string ReadCommandName() {
+    // pos_ is at '\'.
+    ++pos_;
+    std::string name;
+    if (pos_ < input_.size() &&
+        !std::isalpha(static_cast<unsigned char>(input_[pos_]))) {
+      name += input_[pos_++];  // \\, \%, \&, ...
+      return name;
+    }
+    while (pos_ < input_.size() &&
+           std::isalpha(static_cast<unsigned char>(input_[pos_]))) {
+      name += input_[pos_++];
+    }
+    if (pos_ < input_.size() && input_[pos_] == '*') ++pos_;  // starred form
+    return name;
+  }
+
+  void SkipOptionalArgs() {
+    while (true) {
+      size_t save = pos_;
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < input_.size() && input_[pos_] == '[') {
+        int depth = 0;
+        while (pos_ < input_.size()) {
+          if (input_[pos_] == '[') ++depth;
+          if (input_[pos_] == ']' && --depth == 0) {
+            ++pos_;
+            break;
+          }
+          ++pos_;
+        }
+      } else {
+        pos_ = save;
+        return;
+      }
+    }
+  }
+
+  /// Reads one mandatory {…} argument with balanced braces; raw contents.
+  Result<std::string> ReadBraceArg(const std::string& command) {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ >= input_.size() || input_[pos_] != '{') {
+      return Status::ParseError("\\" + command +
+                                " is missing its {…} argument");
+    }
+    ++pos_;
+    std::string out;
+    int depth = 1;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\\' && pos_ + 1 < input_.size()) {
+        out += c;
+        out += input_[pos_ + 1];
+        pos_ += 2;
+        continue;
+      }
+      if (c == '{') ++depth;
+      if (c == '}' && --depth == 0) {
+        ++pos_;
+        return out;
+      }
+      out += c;
+      ++pos_;
+    }
+    return Status::ParseError("unterminated argument of \\" + command);
+  }
+
+  void PopSectionsToLevel(int level) {
+    while (stack_.size() > 1) {
+      LatexNode* top = Current();
+      if (top->kind == LatexNode::Kind::kSection && top->level >= level) {
+        stack_.pop_back();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status HandleSection(int level, const std::string& command) {
+    FlushText();
+    IDM_ASSIGN_OR_RETURN(std::string raw, ReadBraceArg(command));
+    PopSectionsToLevel(level);
+    auto node = std::make_unique<LatexNode>();
+    node->kind = LatexNode::Kind::kSection;
+    node->level = level;
+    node->title = CleanInline(raw);
+    LatexNode* raw_ptr = node.get();
+    Current()->children.push_back(std::move(node));
+    stack_.push_back(raw_ptr);
+    return Status::OK();
+  }
+
+  Status HandleCommand() {
+    std::string command = ReadCommandName();
+    if (command == "documentclass") {
+      SkipOptionalArgs();
+      IDM_ASSIGN_OR_RETURN(std::string arg, ReadBraceArg(command));
+      FlushText();
+      auto node = std::make_unique<LatexNode>();
+      node->kind = LatexNode::Kind::kDocumentClass;
+      node->title = CleanInline(arg);
+      Current()->children.push_back(std::move(node));
+      return Status::OK();
+    }
+    if (command == "title") {
+      IDM_ASSIGN_OR_RETURN(std::string arg, ReadBraceArg(command));
+      FlushText();
+      auto node = std::make_unique<LatexNode>();
+      node->kind = LatexNode::Kind::kTitle;
+      node->title = CleanInline(arg);
+      Current()->children.push_back(std::move(node));
+      return Status::OK();
+    }
+    if (command == "section") return HandleSection(1, command);
+    if (command == "subsection") return HandleSection(2, command);
+    if (command == "subsubsection") return HandleSection(3, command);
+    if (command == "begin") {
+      IDM_ASSIGN_OR_RETURN(std::string env, ReadBraceArg(command));
+      SkipOptionalArgs();
+      FlushText();
+      auto node = std::make_unique<LatexNode>();
+      if (env == "document") {
+        node->kind = LatexNode::Kind::kDocument;
+        node->title = "document";
+      } else {
+        node->kind = LatexNode::Kind::kEnvironment;
+        node->title = env;
+      }
+      LatexNode* raw_ptr = node.get();
+      Current()->children.push_back(std::move(node));
+      stack_.push_back(raw_ptr);
+      return Status::OK();
+    }
+    if (command == "end") {
+      IDM_ASSIGN_OR_RETURN(std::string env, ReadBraceArg(command));
+      FlushText();
+      // Pop until the matching environment (or document) closes; sections
+      // opened inside it close implicitly. Unmatched \end is ignored.
+      for (size_t i = stack_.size(); i-- > 1;) {
+        LatexNode* node = stack_[i];
+        bool matches =
+            (env == "document" && node->kind == LatexNode::Kind::kDocument) ||
+            (node->kind == LatexNode::Kind::kEnvironment && node->title == env);
+        if (matches) {
+          stack_.resize(i);
+          break;
+        }
+      }
+      return Status::OK();
+    }
+    if (command == "label") {
+      IDM_ASSIGN_OR_RETURN(std::string key, ReadBraceArg(command));
+      // Attach to the innermost open structural unit.
+      if (Current()->label.empty()) Current()->label = CleanInline(key);
+      return Status::OK();
+    }
+    if (command == "caption") {
+      IDM_ASSIGN_OR_RETURN(std::string raw, ReadBraceArg(command));
+      Current()->caption = CleanInline(raw);
+      return Status::OK();
+    }
+    if (command == "ref" || command == "eqref" || command == "autoref" ||
+        command == "pageref") {
+      IDM_ASSIGN_OR_RETURN(std::string key, ReadBraceArg(command));
+      FlushText();
+      auto node = std::make_unique<LatexNode>();
+      node->kind = LatexNode::Kind::kRef;
+      node->title = CleanInline(key);
+      Current()->children.push_back(std::move(node));
+      return Status::OK();
+    }
+    // Styling commands: keep the argument text inline.
+    if (command == "emph" || command == "textbf" || command == "textit" ||
+        command == "texttt" || command == "textsc" || command == "underline" ||
+        command == "mbox") {
+      IDM_ASSIGN_OR_RETURN(std::string arg, ReadBraceArg(command));
+      text_ += CleanInline(arg);
+      return Status::OK();
+    }
+    if (command == "\\") {
+      text_ += '\n';
+      return Status::OK();
+    }
+    if (command.size() == 1 &&
+        !std::isalpha(static_cast<unsigned char>(command[0]))) {
+      text_ += command;  // escaped special: \%, \&, \_, \$, \#, \{, \}
+      return Status::OK();
+    }
+    // Any other command: swallow optional args and up to two brace groups
+    // (e.g. \cite{x}, \includegraphics[w]{f}, \frac{a}{b}).
+    SkipOptionalArgs();
+    for (int i = 0; i < 2; ++i) {
+      size_t save = pos_;
+      while (pos_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < input_.size() && input_[pos_] == '{') {
+        auto arg = ReadBraceArg(command);
+        if (!arg.ok()) return arg.status();
+      } else {
+        pos_ = save;
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  std::string text_;
+  std::unique_ptr<LatexNode> root_;
+  std::vector<LatexNode*> stack_;
+};
+
+}  // namespace
+
+Result<LatexDocument> ParseLatex(const std::string& input) {
+  return Parser(input).Run();
+}
+
+}  // namespace idm::latex

@@ -1,0 +1,66 @@
+// Structural LaTeX parser: the substrate behind the paper's LATEX2iDM
+// converter (paper §2.3, §5.2, §7.1). It recognizes the structural commands
+// the paper's examples rely on — \documentclass, \title, the document
+// environment, \section/\subsection/\subsubsection hierarchies, generic
+// environments (figure, table, abstract, ...), \caption, \label and \ref —
+// and collects everything else as plain text. \ref commands are what turn a
+// LaTeX document into *graph*-structured (non-tree) data: they reference
+// labeled sections/figures anywhere in the document.
+
+#ifndef IDM_LATEX_LATEX_H_
+#define IDM_LATEX_LATEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace idm::latex {
+
+/// A node of the structural parse.
+struct LatexNode {
+  enum class Kind {
+    kDocumentClass,  ///< \documentclass{...}; title holds the class name
+    kTitle,          ///< \title{...}; title holds the title text
+    kDocument,       ///< the \begin{document} body
+    kSection,        ///< \section/\subsection/\subsubsection; level 1..3
+    kEnvironment,    ///< \begin{env}...\end{env}; title holds env name
+    kText,           ///< a run of plain text
+    kRef,            ///< \ref{key}; title holds the key
+  };
+
+  Kind kind = Kind::kText;
+  int level = 0;        ///< section nesting: 1 = section, 2 = subsection, ...
+  std::string title;    ///< see Kind comments
+  std::string label;    ///< \label key attached to this unit ("" if none)
+  std::string caption;  ///< \caption text (environments)
+  std::string text;     ///< kText payload
+  std::vector<std::unique_ptr<LatexNode>> children;
+
+  /// Concatenated text of this subtree (captions included).
+  std::string TextContent() const;
+  /// Nodes in this subtree, including this node.
+  size_t SubtreeSize() const;
+};
+
+/// A parsed LaTeX file: a sequence of top-level nodes in document order
+/// (documentclass, title, then the document body).
+struct LatexDocument {
+  std::vector<std::unique_ptr<LatexNode>> nodes;
+
+  /// First node of \p kind, or nullptr.
+  const LatexNode* Find(LatexNode::Kind kind) const;
+  /// All \label keys defined anywhere in the document.
+  std::vector<std::string> Labels() const;
+};
+
+/// Parses LaTeX source. Lenient where real-world LaTeX is messy (unclosed
+/// environments close at end of input; unknown commands are stripped with
+/// their star forms and optional arguments) but strict on structurally
+/// broken input (an unterminated mandatory argument is a ParseError).
+Result<LatexDocument> ParseLatex(const std::string& input);
+
+}  // namespace idm::latex
+
+#endif  // IDM_LATEX_LATEX_H_

@@ -1,0 +1,164 @@
+#include "latex/latex_views.h"
+
+#include <map>
+
+namespace idm::latex {
+
+using core::ContentComponent;
+using core::Domain;
+using core::GroupComponent;
+using core::Schema;
+using core::TupleComponent;
+using core::Value;
+using core::ViewBuilder;
+using core::ViewPtr;
+
+namespace {
+
+using LabelTable = std::map<std::string, ViewPtr>;
+
+const char* SectionClass(int level) {
+  switch (level) {
+    case 1: return "latex_section";
+    case 2: return "latex_subsection";
+    default: return "latex_subsubsection";
+  }
+}
+
+/// τ for labeled units: ⟨label: string⟩, plus ⟨caption⟩ for environments.
+TupleComponent UnitTuple(const LatexNode& node) {
+  Schema schema;
+  std::vector<Value> values;
+  if (!node.label.empty()) {
+    schema.Add("label", Domain::kString);
+    values.push_back(Value::String(node.label));
+  }
+  if (!node.caption.empty()) {
+    schema.Add("caption", Domain::kString);
+    values.push_back(Value::String(node.caption));
+  }
+  if (schema.empty()) return TupleComponent();
+  return TupleComponent::MakeUnchecked(std::move(schema), std::move(values));
+}
+
+/// χ for a structural unit: empty component when it has no direct text.
+ContentComponent UnitContent(const LatexNode& node);
+
+/// Direct text of a structural unit: its kText children plus its caption.
+/// This becomes the unit view's χ, so that phrase predicates match the
+/// section/figure itself (paper Q4-Q8 query sections and figures by the
+/// phrases *they* contain).
+std::string DirectText(const LatexNode& node) {
+  std::string out;
+  if (!node.caption.empty()) out = node.caption;
+  for (const auto& child : node.children) {
+    if (child->kind != LatexNode::Kind::kText) continue;
+    if (!out.empty()) out += '\n';
+    out += child->text;
+  }
+  return out;
+}
+
+ContentComponent UnitContent(const LatexNode& node) {
+  std::string text = DirectText(node);
+  if (text.empty()) return ContentComponent();
+  return ContentComponent::OfString(std::move(text));
+}
+
+ViewPtr BuildNode(const LatexNode& node, const std::string& uri,
+                  const std::shared_ptr<LabelTable>& labels) {
+  // Structural children first; text runs fold into the parent's χ instead
+  // of becoming views of their own (Figure 1(b) draws no text nodes).
+  std::vector<ViewPtr> children;
+  children.reserve(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    if (node.children[i]->kind == LatexNode::Kind::kText) continue;
+    children.push_back(
+        BuildNode(*node.children[i], uri + "/" + std::to_string(i), labels));
+  }
+
+  ViewPtr view;
+  switch (node.kind) {
+    case LatexNode::Kind::kDocumentClass:
+      view = ViewBuilder(uri)
+                 .Name("documentclass")
+                 .ContentString(node.title)
+                 .Build();
+      break;
+    case LatexNode::Kind::kTitle:
+      view = ViewBuilder(uri).Name("title").ContentString(node.title).Build();
+      break;
+    case LatexNode::Kind::kDocument:
+      view = ViewBuilder(uri)
+                 .Class("environment")
+                 .Name("document")
+                 .Content(UnitContent(node))
+                 .GroupSequence(std::move(children))
+                 .Build();
+      break;
+    case LatexNode::Kind::kSection:
+      view = ViewBuilder(uri)
+                 .Class(SectionClass(node.level))
+                 .Name(node.title)
+                 .Tuple(UnitTuple(node))
+                 .Content(UnitContent(node))
+                 .GroupSequence(std::move(children))
+                 .Build();
+      break;
+    case LatexNode::Kind::kEnvironment:
+      view = ViewBuilder(uri)
+                 .Class(node.title == "figure" ? "figure" : "environment")
+                 .Name(node.title)
+                 .Tuple(UnitTuple(node))
+                 .Content(UnitContent(node))
+                 .GroupSequence(std::move(children))
+                 .Build();
+      break;
+    case LatexNode::Kind::kText:
+      // Folded into the parent's χ; BuildNode is never called on kText.
+      break;
+    case LatexNode::Kind::kRef: {
+      // γ resolves against the shared label table on first access, so a
+      // \ref to a later-defined label still finds its target.
+      std::string key = node.title;
+      view = ViewBuilder(uri)
+                 .Class("texref")
+                 .Name(key)
+                 .Group(GroupComponent::OfLazySet([labels, key]() {
+                   std::vector<ViewPtr> out;
+                   auto it = labels->find(key);
+                   if (it != labels->end()) out.push_back(it->second);
+                   return out;
+                 }))
+                 .Build();
+      break;
+    }
+  }
+  if (!node.label.empty()) labels->emplace(node.label, view);
+  return view;
+}
+
+}  // namespace
+
+ViewPtr LatexToViews(const LatexDocument& doc, const std::string& uri_prefix) {
+  auto labels = std::make_shared<LabelTable>();
+  std::vector<ViewPtr> children;
+  children.reserve(doc.nodes.size());
+  std::string root_text;
+  for (size_t i = 0; i < doc.nodes.size(); ++i) {
+    if (doc.nodes[i]->kind == LatexNode::Kind::kText) {
+      if (!root_text.empty()) root_text += '\n';
+      root_text += doc.nodes[i]->text;
+      continue;
+    }
+    children.push_back(BuildNode(*doc.nodes[i],
+                                 uri_prefix + "#tex/" + std::to_string(i),
+                                 labels));
+  }
+  ViewBuilder builder(uri_prefix + "#texdoc");
+  builder.Class("latex_document").Name("latex").GroupSequence(std::move(children));
+  if (!root_text.empty()) builder.ContentString(std::move(root_text));
+  return builder.Build();
+}
+
+}  // namespace idm::latex

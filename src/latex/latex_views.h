@@ -1,0 +1,31 @@
+// Instantiation of LaTeX structure in iDM (paper §2.3, Figure 1).
+//
+// Sections become latex_section / latex_subsection / latex_subsubsection
+// views, environments become environment views (figure environments get the
+// figure subclass), text runs become textblock views, and \ref commands
+// become texref views whose group component points at the *referenced*
+// section/figure view — the cross edges that make the resource view graph
+// of a LaTeX file a general graph rather than a tree (V_Preliminaries being
+// related to both V_document and V_ref in Figure 1(b)).
+
+#ifndef IDM_LATEX_LATEX_VIEWS_H_
+#define IDM_LATEX_LATEX_VIEWS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/resource_view.h"
+#include "latex/latex.h"
+
+namespace idm::latex {
+
+/// Builds the latex_document view for \p doc. The views materialize all
+/// names/labels/text eagerly; \ref targets resolve lazily through a shared
+/// label table (so forward references work). URIs are
+/// "<prefix>#tex/<child-index-path>".
+core::ViewPtr LatexToViews(const LatexDocument& doc,
+                           const std::string& uri_prefix);
+
+}  // namespace idm::latex
+
+#endif  // IDM_LATEX_LATEX_VIEWS_H_

@@ -1,0 +1,98 @@
+#include "rel/relational.h"
+
+namespace idm::rel {
+
+using core::GroupComponent;
+using core::TupleComponent;
+using core::Value;
+using core::ViewBuilder;
+using core::ViewPtr;
+
+Status Relation::Insert(std::vector<Value> row) {
+  // TupleComponent::Make performs exactly the arity/domain validation the
+  // relational model requires; reuse it and discard the component.
+  IDM_ASSIGN_OR_RETURN(TupleComponent checked,
+                       TupleComponent::Make(schema_, std::move(row)));
+  rows_.push_back(checked.values());
+  return Status::OK();
+}
+
+std::vector<size_t> Relation::Select(const std::string& attr,
+                                     const Value& value) const {
+  std::vector<size_t> out;
+  auto idx = schema_.IndexOf(attr);
+  if (!idx.has_value()) return out;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i][*idx] == value) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Relation*> RelationalDb::CreateRelation(const std::string& relation_name,
+                                               core::Schema schema) {
+  if (relations_.count(relation_name) > 0) {
+    return Status::AlreadyExists("relation '" + relation_name +
+                                 "' already exists in '" + name_ + "'");
+  }
+  auto rel = std::make_unique<Relation>(relation_name, std::move(schema));
+  Relation* raw = rel.get();
+  relations_.emplace(relation_name, std::move(rel));
+  order_.push_back(relation_name);
+  return raw;
+}
+
+Relation* RelationalDb::Find(const std::string& relation_name) {
+  auto it = relations_.find(relation_name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+const Relation* RelationalDb::Find(const std::string& relation_name) const {
+  auto it = relations_.find(relation_name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+ViewPtr MakeTupleView(const std::string& db_name, const Relation& relation,
+                      size_t row_index) {
+  return ViewBuilder("rel:" + db_name + "/" + relation.name() + "/" +
+                     std::to_string(row_index))
+      .Class("tuple")
+      .Tuple(TupleComponent::MakeUnchecked(relation.schema(),
+                                           relation.row(row_index)))
+      .Build();
+}
+
+ViewPtr MakeRelationView(const std::string& db_name, const Relation& relation) {
+  const Relation* rel = &relation;
+  return ViewBuilder("rel:" + db_name + "/" + relation.name())
+      .Class("relation")
+      .Name(relation.name())
+      .Group(GroupComponent::OfLazySet([db_name, rel]() {
+        std::vector<ViewPtr> tuples;
+        tuples.reserve(rel->size());
+        for (size_t i = 0; i < rel->size(); ++i) {
+          tuples.push_back(MakeTupleView(db_name, *rel, i));
+        }
+        return tuples;
+      }))
+      .Build();
+}
+
+ViewPtr MakeRelDbView(const RelationalDb& db) {
+  const RelationalDb* db_ptr = &db;
+  return ViewBuilder("rel:" + db.name())
+      .Class("reldb")
+      .Name(db.name())
+      .Group(GroupComponent::OfLazySet([db_ptr]() {
+        std::vector<ViewPtr> relations;
+        for (const std::string& name : db_ptr->RelationNames()) {
+          const Relation* rel = db_ptr->Find(name);
+          if (rel != nullptr) {
+            relations.push_back(MakeRelationView(db_ptr->name(), *rel));
+          }
+        }
+        return relations;
+      }))
+      .Build();
+}
+
+}  // namespace idm::rel

@@ -1,0 +1,86 @@
+// Minimal relational substrate and its iDM instantiation (paper §3,
+// Table 1 rows 3-5):
+//   tuple:    V = (τ=(W_R, t_i))
+//   relation: V = (η=N_R, γ=({V^tuple...}, ⟨⟩))
+//   reldb:    V = (η=N_DB, γ=({V^relation...}, ⟨⟩))
+// The schema W_R is defined once per relation but, per iDM's definition of
+// τ, travels with every tuple view.
+
+#ifndef IDM_REL_RELATIONAL_H_
+#define IDM_REL_RELATIONAL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_view.h"
+#include "util/result.h"
+
+namespace idm::rel {
+
+/// A named relation: schema plus a bag of rows (insertion order kept).
+class Relation {
+ public:
+  Relation(std::string name, core::Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const core::Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+  const std::vector<core::Value>& row(size_t i) const { return rows_[i]; }
+
+  /// Appends a row after validating arity and domains against the schema.
+  Status Insert(std::vector<core::Value> row);
+
+  /// Rows whose attribute \p attr equals \p value (simple scan).
+  std::vector<size_t> Select(const std::string& attr,
+                             const core::Value& value) const;
+
+ private:
+  std::string name_;
+  core::Schema schema_;
+  std::vector<std::vector<core::Value>> rows_;
+};
+
+/// A named collection of relations.
+class RelationalDb {
+ public:
+  explicit RelationalDb(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Creates a relation; AlreadyExists on duplicates.
+  Result<Relation*> CreateRelation(const std::string& relation_name,
+                                   core::Schema schema);
+
+  /// Lookup; nullptr when absent.
+  Relation* Find(const std::string& relation_name);
+  const Relation* Find(const std::string& relation_name) const;
+
+  /// Relation names in creation order.
+  std::vector<std::string> RelationNames() const { return order_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Relation>> relations_;
+  std::vector<std::string> order_;
+};
+
+/// Instantiates one tuple of \p relation as a tuple-class resource view.
+/// URI: "rel:<db>/<relation>/<row>".
+core::ViewPtr MakeTupleView(const std::string& db_name,
+                            const Relation& relation, size_t row_index);
+
+/// Instantiates \p relation as a relation-class view whose group set holds
+/// the tuple views (built lazily). The relation must outlive the view.
+core::ViewPtr MakeRelationView(const std::string& db_name,
+                               const Relation& relation);
+
+/// Instantiates the whole database as a reldb-class view. The database must
+/// outlive the view.
+core::ViewPtr MakeRelDbView(const RelationalDb& db);
+
+}  // namespace idm::rel
+
+#endif  // IDM_REL_RELATIONAL_H_

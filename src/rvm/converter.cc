@@ -1,0 +1,142 @@
+#include "rvm/converter.h"
+
+#include "core/view_class.h"
+#include "latex/latex.h"
+#include "latex/latex_views.h"
+#include "util/string_util.h"
+#include "xml/xml.h"
+#include "xml/xml_views.h"
+
+namespace idm::rvm {
+
+using core::ContentComponent;
+using core::FunctionalResourceView;
+using core::GroupComponent;
+using core::ViewPtr;
+
+namespace {
+
+/// Shared wrapper logic: keeps η/τ/χ of the original, upgrades the class,
+/// and appends a lazily computed content subgraph to γ.Q.
+class WrappingConverter : public ContentConverter {
+ public:
+  WrappingConverter(std::string name, std::string extension,
+                    std::string wrapped_class)
+      : name_(std::move(name)),
+        extension_(std::move(extension)),
+        wrapped_class_(std::move(wrapped_class)) {}
+
+  const std::string& name() const override { return name_; }
+
+  bool CanConvert(const core::ResourceView& view) const override {
+    // File-like views only (files, attachments, and their subclasses are
+    // the ones with raw document content).
+    if (view.class_name() != "file" && view.class_name() != "attachment" &&
+        view.class_name() != "xmlfile" && view.class_name() != "latexfile") {
+      return false;
+    }
+    std::string lower = ToLower(view.GetNameComponent());
+    return EndsWith(lower, extension_);
+  }
+
+  ViewPtr Wrap(const ViewPtr& view) const override {
+    const WrappingConverter* self = this;
+    FunctionalResourceView::Providers providers;
+    providers.name = [view]() { return view->GetNameComponent(); };
+    providers.tuple = [view]() { return view->GetTupleComponent(); };
+    providers.content = [view]() { return view->GetContentComponent(); };
+    std::string uri = view->uri();
+    providers.group = [self, view, uri]() {
+      GroupComponent original = view->GetGroupComponent();
+      return GroupComponent::Make(
+          original,
+          GroupComponent::OfLazySequence([self, view, uri]() {
+            std::vector<ViewPtr> out;
+            auto content = view->GetContentComponent().ToString();
+            if (!content.ok()) {
+              ++self->failures_;
+              return out;
+            }
+            auto subgraph = self->Convert(*content, uri);
+            if (!subgraph.ok()) {
+              ++self->failures_;
+              return out;
+            }
+            ++self->conversions_;
+            out.push_back(std::move(subgraph).value());
+            return out;
+          }));
+    };
+    return std::make_shared<FunctionalResourceView>(uri, wrapped_class_,
+                                                    std::move(providers));
+  }
+
+ protected:
+  /// Parses \p content and returns the subgraph root.
+  virtual Result<ViewPtr> Convert(const std::string& content,
+                                  const std::string& uri) const = 0;
+
+ private:
+  std::string name_;
+  std::string extension_;
+  std::string wrapped_class_;
+};
+
+class XmlConverter : public WrappingConverter {
+ public:
+  XmlConverter() : WrappingConverter("xml", ".xml", "xmlfile") {}
+
+ protected:
+  Result<ViewPtr> Convert(const std::string& content,
+                          const std::string& uri) const override {
+    IDM_ASSIGN_OR_RETURN(xml::XmlDocument doc, xml::Parse(content));
+    return xml::XmlToViews(doc, uri);
+  }
+};
+
+class LatexConverter : public WrappingConverter {
+ public:
+  LatexConverter() : WrappingConverter("latex", ".tex", "latexfile") {}
+
+ protected:
+  Result<ViewPtr> Convert(const std::string& content,
+                          const std::string& uri) const override {
+    IDM_ASSIGN_OR_RETURN(latex::LatexDocument doc, latex::ParseLatex(content));
+    return latex::LatexToViews(doc, uri);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ContentConverter> MakeXmlConverter() {
+  return std::make_unique<XmlConverter>();
+}
+
+std::unique_ptr<ContentConverter> MakeLatexConverter() {
+  return std::make_unique<LatexConverter>();
+}
+
+ViewPtr ConverterRegistry::MaybeWrap(const ViewPtr& view) const {
+  if (view == nullptr) return view;
+  for (const auto& converter : converters_) {
+    if (converter->CanConvert(*view)) return converter->Wrap(view);
+  }
+  return view;
+}
+
+const ContentConverter* ConverterRegistry::FindFor(
+    const core::ResourceView& view) const {
+  for (const auto& converter : converters_) {
+    if (converter->CanConvert(view)) return converter.get();
+  }
+  return nullptr;
+}
+
+ConverterRegistry ConverterRegistry::Standard() {
+  ConverterRegistry registry;
+  registry.Register(MakeXmlConverter());
+  registry.Register(MakeLatexConverter());
+  return registry;
+}
+
+}  // namespace idm::rvm

@@ -1,0 +1,82 @@
+// Content2iDM Converters (paper §5.2, component 2): enrich the initial iDM
+// graph by converting content components into resource view subgraphs that
+// reflect the structural information inside files. The two converters the
+// paper ships — XML and LaTeX — are provided; the registry is open for
+// more.
+//
+// A converter *wraps* a file-like view: the wrapped view keeps the uri,
+// name, tuple and content of the original, upgrades the class (file →
+// xmlfile / latexfile), and extends the group component with a lazily
+// parsed content subgraph (paper §4.1: the subgraph of 'vldb 2006.tex' is
+// computed when getGroupComponent() is called).
+
+#ifndef IDM_RVM_CONVERTER_H_
+#define IDM_RVM_CONVERTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource_view.h"
+
+namespace idm::rvm {
+
+class ContentConverter {
+ public:
+  virtual ~ContentConverter() = default;
+
+  /// Converter id: "xml", "latex", ... Also tags derived-view accounting.
+  virtual const std::string& name() const = 0;
+
+  /// True when this converter understands \p view's content (decided from
+  /// cheap signals: name extension; never reads the content itself).
+  virtual bool CanConvert(const core::ResourceView& view) const = 0;
+
+  /// Returns the enriched wrapper view. The content is parsed lazily, on
+  /// first group access; parse failures yield an empty subgraph and bump
+  /// parse_failures().
+  virtual core::ViewPtr Wrap(const core::ViewPtr& view) const = 0;
+
+  /// Number of successful lazy conversions / failed parses so far.
+  uint64_t conversions() const { return conversions_; }
+  uint64_t parse_failures() const { return failures_; }
+
+ protected:
+  mutable uint64_t conversions_ = 0;
+  mutable uint64_t failures_ = 0;
+};
+
+/// Converts .xml files (class → xmlfile, subgraph per paper §3.3).
+std::unique_ptr<ContentConverter> MakeXmlConverter();
+
+/// Converts .tex files (class → latexfile, subgraph per paper §2.3).
+std::unique_ptr<ContentConverter> MakeLatexConverter();
+
+/// Ordered converter collection; first CanConvert wins.
+class ConverterRegistry {
+ public:
+  void Register(std::unique_ptr<ContentConverter> converter) {
+    converters_.push_back(std::move(converter));
+  }
+
+  /// Wraps \p view with the first matching converter, or returns it
+  /// unchanged.
+  core::ViewPtr MaybeWrap(const core::ViewPtr& view) const;
+
+  /// The converter that would handle \p view, or nullptr.
+  const ContentConverter* FindFor(const core::ResourceView& view) const;
+
+  const std::vector<std::unique_ptr<ContentConverter>>& converters() const {
+    return converters_;
+  }
+
+  /// Registry with the paper's converters: XML and LaTeX.
+  static ConverterRegistry Standard();
+
+ private:
+  std::vector<std::unique_ptr<ContentConverter>> converters_;
+};
+
+}  // namespace idm::rvm
+
+#endif  // IDM_RVM_CONVERTER_H_

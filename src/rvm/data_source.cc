@@ -1,0 +1,204 @@
+#include "rvm/data_source.h"
+
+#include <cstdlib>
+
+#include "email/email_views.h"
+#include "util/string_util.h"
+#include "vfs/vfs_views.h"
+
+namespace idm::rvm {
+
+// ---------------------------------------------------------------------------
+// FileSystemSource
+
+FileSystemSource::FileSystemSource(std::string name,
+                                   std::shared_ptr<vfs::VirtualFileSystem> fs,
+                                   std::string root_path)
+    : name_(std::move(name)),
+      fs_(std::move(fs)),
+      root_path_(vfs::VirtualFileSystem::NormalizePath(root_path)) {}
+
+Result<core::ViewPtr> FileSystemSource::RootView() {
+  return vfs::MakeVfsView(fs_, root_path_);
+}
+
+Result<core::ViewPtr> FileSystemSource::ViewByUri(const std::string& uri) {
+  if (!StartsWith(uri, "vfs:")) {
+    return Status::InvalidArgument("not a vfs uri: " + uri);
+  }
+  return vfs::MakeVfsView(fs_, uri.substr(4));
+}
+
+bool FileSystemSource::SubscribeChanges(
+    std::function<void(const SourceChange&)> callback) {
+  fs_->Subscribe([callback = std::move(callback)](const vfs::FsEvent& event) {
+    SourceChange change;
+    change.kind = event.kind == vfs::FsEvent::Kind::kRemoved
+                      ? SourceChange::Kind::kRemoved
+                      : SourceChange::Kind::kAddedOrModified;
+    change.uri = vfs::VfsUri(event.path);
+    callback(change);
+  });
+  return true;
+}
+
+Status FileSystemSource::DeleteItem(const std::string& uri) {
+  if (!StartsWith(uri, "vfs:")) {
+    return Status::InvalidArgument("not a vfs uri: " + uri);
+  }
+  return fs_->Remove(uri.substr(4));
+}
+
+// ---------------------------------------------------------------------------
+// ImapSource
+
+ImapSource::ImapSource(std::string name,
+                       std::shared_ptr<email::ImapServer> server)
+    : name_(std::move(name)), server_(std::move(server)) {}
+
+Result<core::ViewPtr> ImapSource::RootView() {
+  return email::MakeImapRootView(server_);
+}
+
+Result<core::ViewPtr> ImapSource::ViewByUri(const std::string& uri) {
+  if (!StartsWith(uri, "imap://")) {
+    return Status::InvalidArgument("not an imap uri: " + uri);
+  }
+  // "imap://<folder...>[/<uid>]": the trailing segment is a uid iff it is
+  // numeric and the prefix names an existing folder.
+  std::string rest = uri.substr(7);
+  size_t slash = rest.rfind('/');
+  if (slash != std::string::npos) {
+    std::string folder = rest.substr(0, slash);
+    std::string last = rest.substr(slash + 1);
+    bool numeric = !last.empty() &&
+                   last.find_first_not_of("0123456789") == std::string::npos;
+    if (numeric && server_->ListUids(folder).ok()) {
+      return email::MakeMessageView(server_, folder,
+                                    std::strtoull(last.c_str(), nullptr, 10));
+    }
+  }
+  // A folder uri.
+  auto folders = server_->ListFolders();
+  if (folders.ok()) {
+    for (const std::string& folder : *folders) {
+      if (folder == rest) return email::MakeImapFolderView(server_, folder);
+    }
+  }
+  if (rest.empty()) return RootView();
+  return Status::NotFound("no imap item for " + uri);
+}
+
+bool ImapSource::SubscribeChanges(
+    std::function<void(const SourceChange&)> callback) {
+  auto server = server_;
+  server_->Subscribe([callback = std::move(callback)](
+                         const std::string& folder, uint64_t uid) {
+    callback({SourceChange::Kind::kAddedOrModified,
+              email::ImapMessageUri(folder, uid)});
+  });
+  return true;
+}
+
+Status ImapSource::DeleteItem(const std::string& uri) {
+  if (!StartsWith(uri, "imap://")) {
+    return Status::InvalidArgument("not an imap uri: " + uri);
+  }
+  std::string rest = uri.substr(7);
+  size_t slash = rest.rfind('/');
+  if (slash == std::string::npos) {
+    return Status::Unimplemented("folders cannot be deleted through iQL");
+  }
+  std::string folder = rest.substr(0, slash);
+  std::string last = rest.substr(slash + 1);
+  if (last.empty() || last.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::Unimplemented("only messages can be deleted through iQL");
+  }
+  return server_->Expunge(folder, std::strtoull(last.c_str(), nullptr, 10));
+}
+
+// ---------------------------------------------------------------------------
+// RelationalSource
+
+RelationalSource::RelationalSource(std::string name,
+                                   std::shared_ptr<rel::RelationalDb> db)
+    : name_(std::move(name)), db_(std::move(db)) {}
+
+Result<core::ViewPtr> RelationalSource::RootView() {
+  return rel::MakeRelDbView(*db_);
+}
+
+Result<core::ViewPtr> RelationalSource::ViewByUri(const std::string& uri) {
+  // "rel:<db>[/<relation>[/<row>]]".
+  if (!StartsWith(uri, "rel:" + db_->name())) {
+    return Status::NotFound("not an item of database '" + db_->name() + "'");
+  }
+  std::string rest = uri.substr(4 + db_->name().size());
+  auto parts = SplitSkipEmpty(rest, '/');
+  if (parts.empty()) return RootView();
+  rel::Relation* relation = db_->Find(parts[0]);
+  if (relation == nullptr) {
+    return Status::NotFound("no relation '" + parts[0] + "'");
+  }
+  if (parts.size() == 1) {
+    return rel::MakeRelationView(db_->name(), *relation);
+  }
+  char* end = nullptr;
+  size_t row = std::strtoull(parts[1].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || row >= relation->size()) {
+    return Status::NotFound("no row '" + parts[1] + "'");
+  }
+  return rel::MakeTupleView(db_->name(), *relation, row);
+}
+
+uint64_t RelationalSource::TotalBytes() const {
+  uint64_t total = 0;
+  for (const std::string& name : db_->RelationNames()) {
+    const rel::Relation* relation = db_->Find(name);
+    if (relation == nullptr) continue;
+    for (size_t i = 0; i < relation->size(); ++i) {
+      for (const core::Value& value : relation->row(i)) {
+        total += value.MemoryUsage();
+      }
+    }
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// RssSource
+
+RssSource::RssSource(std::string name,
+                     std::shared_ptr<stream::FeedServer> server)
+    : name_(std::move(name)),
+      server_(std::move(server)),
+      buffer_(std::make_shared<stream::StreamBuffer>()) {
+  bus_.Subscribe(buffer_);
+  poller_ = std::make_unique<stream::RssPoller>(server_, &bus_);
+}
+
+Result<core::ViewPtr> RssSource::RootView() {
+  return buffer_->MakeStreamView("rss:" + name_, "rssatom");
+}
+
+Result<core::ViewPtr> RssSource::ViewByUri(const std::string& uri) {
+  if (uri == "rss:" + name_) return RootView();
+  // Item documents live in the poll buffer; resolve by scanning the
+  // delivered window (bounded: feeds are small).
+  auto cursor = buffer_->MakeStreamView("rss:" + name_, "rssatom")
+                    ->GetGroupComponent()
+                    .OpenSequence();
+  while (core::ViewPtr item = cursor->Next()) {
+    if (item->uri() == uri) return item;
+  }
+  return Status::NotFound("no delivered rss item for " + uri);
+}
+
+uint64_t RssSource::TotalBytes() const {
+  // The feed document hosted on the server is the stored artifact.
+  return server_->DocumentBytes();
+}
+
+Result<size_t> RssSource::Poll() { return poller_->Poll(); }
+
+}  // namespace idm::rvm

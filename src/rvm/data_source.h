@@ -1,0 +1,149 @@
+// Data Source Proxy (paper §5.2, component 1): the plugin interface that
+// represents each subsystem (filesystem, IMAP server, RSS feed, ...) as an
+// initial iDM graph, plus the concrete plugins for this repository's
+// substrates.
+
+#ifndef IDM_RVM_DATA_SOURCE_H_
+#define IDM_RVM_DATA_SOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/resource_view.h"
+#include "email/imap.h"
+#include "rel/relational.h"
+#include "stream/rss.h"
+#include "stream/stream.h"
+#include "util/clock.h"
+#include "vfs/vfs.h"
+
+namespace idm::rvm {
+
+/// A change noticed by a data source: the uri of the affected view.
+struct SourceChange {
+  enum class Kind { kAddedOrModified, kRemoved };
+  Kind kind;
+  std::string uri;
+};
+
+/// A Data Source Plugin.
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  /// Display name, also the catalog's source name ("Filesystem", ...).
+  virtual const std::string& name() const = 0;
+
+  /// The root of this source's initial iDM graph. Components of the
+  /// returned views are computed lazily against the live source.
+  virtual Result<core::ViewPtr> RootView() = 0;
+
+  /// Re-instantiates the view with the given uri (used by incremental
+  /// synchronization). NotFound when the underlying item is gone.
+  virtual Result<core::ViewPtr> ViewByUri(const std::string& uri) = 0;
+
+  /// Cumulative *simulated* access cost charged by the source so far.
+  virtual Micros access_micros() const = 0;
+
+  /// Total stored bytes (Table 2's "Total Size" column).
+  virtual uint64_t TotalBytes() const = 0;
+
+  /// Subscribes to change notifications where the subsystem supports them
+  /// (paper §5.2: hfs events, IMAP notifications). Default: unsupported.
+  virtual bool SubscribeChanges(std::function<void(const SourceChange&)>) {
+    return false;
+  }
+
+  /// Deletes the underlying item of a *base* view (write-through for iQL's
+  /// update support, §5.1). Sources that cannot delete return
+  /// Unimplemented. Deleting derived views is never possible — they have
+  /// no independent existence.
+  virtual Status DeleteItem(const std::string& uri) {
+    return Status::Unimplemented("source '" + name() + "' cannot delete '" +
+                                 uri + "'");
+  }
+};
+
+/// Files&folders plugin over the virtual filesystem.
+class FileSystemSource : public DataSource {
+ public:
+  FileSystemSource(std::string name, std::shared_ptr<vfs::VirtualFileSystem> fs,
+                   std::string root_path = "/");
+
+  const std::string& name() const override { return name_; }
+  Result<core::ViewPtr> RootView() override;
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override;
+  Micros access_micros() const override { return fs_->access_micros(); }
+  uint64_t TotalBytes() const override { return fs_->TotalContentBytes(); }
+  bool SubscribeChanges(std::function<void(const SourceChange&)>) override;
+  Status DeleteItem(const std::string& uri) override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+  std::string root_path_;
+};
+
+/// Email plugin over the simulated IMAP server.
+class ImapSource : public DataSource {
+ public:
+  ImapSource(std::string name, std::shared_ptr<email::ImapServer> server);
+
+  const std::string& name() const override { return name_; }
+  Result<core::ViewPtr> RootView() override;
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override;
+  Micros access_micros() const override { return server_->access_micros(); }
+  uint64_t TotalBytes() const override { return server_->TotalWireBytes(); }
+  bool SubscribeChanges(std::function<void(const SourceChange&)>) override;
+  Status DeleteItem(const std::string& uri) override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<email::ImapServer> server_;
+};
+
+/// Relational plugin: a local relational database (e.g. an address book —
+/// the paper's example of structured desktop data) exposed through the
+/// reldb/relation/tuple classes of Table 1. Local and latency-free.
+class RelationalSource : public DataSource {
+ public:
+  RelationalSource(std::string name, std::shared_ptr<rel::RelationalDb> db);
+
+  const std::string& name() const override { return name_; }
+  Result<core::ViewPtr> RootView() override;
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override;
+  Micros access_micros() const override { return 0; }
+  uint64_t TotalBytes() const override;
+
+ private:
+  std::string name_;
+  std::shared_ptr<rel::RelationalDb> db_;
+};
+
+/// RSS plugin: polls a feed server and exposes the delivered items as an
+/// rssatom stream view (infinite Q over the poll buffer).
+class RssSource : public DataSource {
+ public:
+  RssSource(std::string name, std::shared_ptr<stream::FeedServer> server);
+
+  const std::string& name() const override { return name_; }
+  Result<core::ViewPtr> RootView() override;
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override;
+  Micros access_micros() const override { return server_->access_micros(); }
+  uint64_t TotalBytes() const override;
+
+  /// One polling round against the feed (the RSS world has no push).
+  Result<size_t> Poll();
+
+ private:
+  std::string name_;
+  std::shared_ptr<stream::FeedServer> server_;
+  stream::EventBus bus_;
+  std::shared_ptr<stream::StreamBuffer> buffer_;
+  std::unique_ptr<stream::RssPoller> poller_;
+};
+
+}  // namespace idm::rvm
+
+#endif  // IDM_RVM_DATA_SOURCE_H_

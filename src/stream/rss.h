@@ -1,0 +1,101 @@
+// RSS 2.0 feeds on top of the XML substrate (paper §3.4).
+//
+// As the paper notes, RSS/ATOM "streams" are really just XML documents
+// republished on a web server: clients receive no notifications and must
+// poll. This module provides a simulated feed server (an XML document with
+// fetch latency), RSS serialization/parsing, and the polling pipeline that
+// turns the feed into an rssatom pseudo data stream of xmldoc views.
+
+#ifndef IDM_STREAM_RSS_H_
+#define IDM_STREAM_RSS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::stream {
+
+/// One feed entry.
+struct FeedItem {
+  std::string title;
+  std::string link;
+  std::string description;
+  Micros date = 0;
+};
+
+/// A feed: channel metadata plus items, newest last.
+struct Feed {
+  std::string title;
+  std::string link;
+  std::string description;
+  std::vector<FeedItem> items;
+};
+
+/// Serializes \p feed as RSS 2.0 XML.
+std::string FeedToXml(const Feed& feed);
+
+/// Parses RSS 2.0 XML produced by FeedToXml (tolerates missing optional
+/// elements). Fails with ParseError on malformed XML or a non-rss root.
+Result<Feed> ParseFeed(const std::string& xml_text);
+
+/// A web server hosting one feed document. Fetches charge the latency
+/// model to the clock, mirroring remote HTTP polling.
+class FeedServer {
+ public:
+  struct Latency {
+    Micros per_request_micros = 30000;
+    double micros_per_kilobyte = 300.0;
+  };
+
+  explicit FeedServer(Feed feed) : FeedServer(std::move(feed), nullptr) {}
+  FeedServer(Feed feed, Clock* clock) : FeedServer(std::move(feed), clock, Latency()) {}
+  FeedServer(Feed feed, Clock* clock, Latency latency);
+
+  /// Appends an item (a new publication on the server side).
+  void Publish(FeedItem item);
+
+  /// The current feed document as XML; charges latency.
+  std::string FetchXml() const;
+
+  Micros access_micros() const { return access_micros_; }
+  uint64_t fetch_count() const { return fetches_; }
+  size_t item_count() const { return feed_.items.size(); }
+
+  /// Size of the hosted document in bytes (no latency charged — this is
+  /// server-side accounting, not a client fetch).
+  uint64_t DocumentBytes() const { return FeedToXml(feed_).size(); }
+
+ private:
+  Feed feed_;
+  Clock* clock_;
+  Latency latency_;
+  mutable Micros access_micros_ = 0;
+  mutable uint64_t fetches_ = 0;
+};
+
+/// Polls a FeedServer and publishes each newly seen item into \p bus as an
+/// xmldoc view of that item's <item> element (Table 1: an rssatom stream is
+/// an infinite sequence of xmldoc views). Items are identified by link.
+class RssPoller {
+ public:
+  RssPoller(std::shared_ptr<FeedServer> server, EventBus* bus)
+      : server_(std::move(server)), bus_(bus) {}
+
+  /// One polling round; returns newly published items. Malformed feed
+  /// payloads are reported (and the round publishes nothing).
+  Result<size_t> Poll();
+
+ private:
+  std::shared_ptr<FeedServer> server_;
+  EventBus* bus_;
+  std::set<std::string> seen_links_;
+  uint64_t next_index_ = 0;
+};
+
+}  // namespace idm::stream
+
+#endif  // IDM_STREAM_RSS_H_

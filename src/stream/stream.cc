@@ -1,0 +1,50 @@
+#include "stream/stream.h"
+
+namespace idm::stream {
+
+size_t PollingAdapter::Poll() {
+  ++polls_;
+  std::vector<core::ViewPtr> current = list_state_();
+  std::set<std::string> seen;
+  size_t events = 0;
+  for (const core::ViewPtr& view : current) {
+    if (view == nullptr) continue;
+    seen.insert(view->uri());
+    if (known_.insert(view->uri()).second) {
+      bus_->Publish({ViewEvent::Kind::kAdded, view->uri(), view});
+      ++events;
+    }
+  }
+  for (auto it = known_.begin(); it != known_.end();) {
+    if (seen.count(*it) == 0) {
+      bus_->Publish({ViewEvent::Kind::kRemoved, *it, nullptr});
+      ++events;
+      it = known_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return events;
+}
+
+core::ViewPtr StreamBuffer::MakeStreamView(const std::string& uri,
+                                           const std::string& class_name) const {
+  auto views = views_;
+  return core::ViewBuilder(uri)
+      .Class(class_name)
+      .Group(core::GroupComponent::OfInfiniteSequence([views](uint64_t i) {
+        return i < views->size() ? (*views)[i] : nullptr;
+      }))
+      .Build();
+}
+
+core::ViewPtr MakeGeneratedStreamView(
+    const std::string& uri, const std::string& class_name,
+    std::function<core::ViewPtr(uint64_t)> generator) {
+  return core::ViewBuilder(uri)
+      .Class(class_name)
+      .Group(core::GroupComponent::OfInfiniteSequence(std::move(generator)))
+      .Build();
+}
+
+}  // namespace idm::stream

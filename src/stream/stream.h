@@ -1,0 +1,177 @@
+// Data stream substrate (paper §3.4, §4.4.2).
+//
+// Streams surface in iDM as views with infinite group sequences; to process
+// them efficiently a system implementing iDM "has to provide push-based
+// protocols". This module provides:
+//   - ViewEvent / PushOperator: the push protocol — operators register for
+//     changes and process incoming events immediately (DSMS-style).
+//   - EventBus: fan-out of events to subscribed operators.
+//   - Filter/Map/CountWindow operators and a CollectSink.
+//   - PollingAdapter: the paper's "generic polling facility" that converts
+//     a state source into a pseudo data stream.
+//   - StreamBuffer + MakeStreamView: generator-backed infinite group
+//     sequences over the events delivered so far.
+
+#ifndef IDM_STREAM_STREAM_H_
+#define IDM_STREAM_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/resource_view.h"
+
+namespace idm::stream {
+
+/// A change event on the resource view layer (new email message, new tuple
+/// on a data stream, modified file, ...).
+struct ViewEvent {
+  enum class Kind { kAdded, kModified, kRemoved };
+  Kind kind = Kind::kAdded;
+  std::string uri;          ///< identity of the affected view
+  core::ViewPtr view;       ///< the view (nullptr for removals)
+};
+
+/// A push operator: receives events as they happen (paper §4.4.2).
+class PushOperator {
+ public:
+  virtual ~PushOperator() = default;
+  virtual void OnEvent(const ViewEvent& event) = 0;
+};
+
+/// Fans incoming events out to all subscribed operators, synchronously and
+/// in subscription order.
+class EventBus {
+ public:
+  void Subscribe(std::shared_ptr<PushOperator> op) {
+    operators_.push_back(std::move(op));
+  }
+  void Publish(const ViewEvent& event) {
+    ++published_;
+    for (const auto& op : operators_) op->OnEvent(event);
+  }
+  uint64_t published_count() const { return published_; }
+
+ private:
+  std::vector<std::shared_ptr<PushOperator>> operators_;
+  uint64_t published_ = 0;
+};
+
+/// Forwards events matching a predicate.
+class FilterOperator : public PushOperator {
+ public:
+  FilterOperator(std::function<bool(const ViewEvent&)> predicate,
+                 std::shared_ptr<PushOperator> downstream)
+      : predicate_(std::move(predicate)), downstream_(std::move(downstream)) {}
+  void OnEvent(const ViewEvent& event) override {
+    if (predicate_(event)) downstream_->OnEvent(event);
+  }
+
+ private:
+  std::function<bool(const ViewEvent&)> predicate_;
+  std::shared_ptr<PushOperator> downstream_;
+};
+
+/// Rewrites events.
+class MapOperator : public PushOperator {
+ public:
+  MapOperator(std::function<ViewEvent(const ViewEvent&)> fn,
+              std::shared_ptr<PushOperator> downstream)
+      : fn_(std::move(fn)), downstream_(std::move(downstream)) {}
+  void OnEvent(const ViewEvent& event) override {
+    downstream_->OnEvent(fn_(event));
+  }
+
+ private:
+  std::function<ViewEvent(const ViewEvent&)> fn_;
+  std::shared_ptr<PushOperator> downstream_;
+};
+
+/// Tumbling count window: collects \p size events, then emits the batch.
+class CountWindowOperator : public PushOperator {
+ public:
+  CountWindowOperator(size_t size,
+                      std::function<void(std::vector<ViewEvent>)> on_window)
+      : size_(size), on_window_(std::move(on_window)) {}
+  void OnEvent(const ViewEvent& event) override {
+    window_.push_back(event);
+    if (window_.size() >= size_) {
+      std::vector<ViewEvent> batch;
+      batch.swap(window_);
+      on_window_(std::move(batch));
+    }
+  }
+  size_t pending() const { return window_.size(); }
+
+ private:
+  size_t size_;
+  std::function<void(std::vector<ViewEvent>)> on_window_;
+  std::vector<ViewEvent> window_;
+};
+
+/// Terminal sink collecting everything it receives.
+class CollectSink : public PushOperator {
+ public:
+  void OnEvent(const ViewEvent& event) override { events_.push_back(event); }
+  const std::vector<ViewEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ViewEvent> events_;
+};
+
+/// The paper's "generic polling facility": turns a state source (a function
+/// listing the current views) into a pseudo data stream by diffing
+/// successive polls on view URI. New URIs publish kAdded, vanished URIs
+/// publish kRemoved.
+class PollingAdapter {
+ public:
+  PollingAdapter(std::function<std::vector<core::ViewPtr>()> list_state,
+                 EventBus* bus)
+      : list_state_(std::move(list_state)), bus_(bus) {}
+
+  /// One polling round; returns the number of events published.
+  size_t Poll();
+
+  uint64_t poll_count() const { return polls_; }
+
+ private:
+  std::function<std::vector<core::ViewPtr>()> list_state_;
+  EventBus* bus_;
+  std::set<std::string> known_;
+  uint64_t polls_ = 0;
+};
+
+/// An append-only buffer of views delivered by a stream, exposable as an
+/// infinite group sequence.
+class StreamBuffer : public PushOperator {
+ public:
+  void OnEvent(const ViewEvent& event) override {
+    if (event.kind == ViewEvent::Kind::kAdded && event.view != nullptr) {
+      views_->push_back(event.view);
+    }
+  }
+  void Push(core::ViewPtr view) { views_->push_back(std::move(view)); }
+  size_t size() const { return views_->size(); }
+
+  /// A view of class \p class_name whose infinite Q enumerates everything
+  /// delivered so far (positions beyond the buffer yield nullptr — the
+  /// simulation cannot block awaiting future items).
+  core::ViewPtr MakeStreamView(const std::string& uri,
+                               const std::string& class_name) const;
+
+ private:
+  std::shared_ptr<std::vector<core::ViewPtr>> views_ =
+      std::make_shared<std::vector<core::ViewPtr>>();
+};
+
+/// A truly infinite generator-backed stream view (e.g. a synthetic tuple
+/// stream): element i is produced by \p generator on demand.
+core::ViewPtr MakeGeneratedStreamView(
+    const std::string& uri, const std::string& class_name,
+    std::function<core::ViewPtr(uint64_t)> generator);
+
+}  // namespace idm::stream
+
+#endif  // IDM_STREAM_STREAM_H_

@@ -1,0 +1,35 @@
+#include "util/clock.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace idm {
+
+std::string FormatTimestamp(Micros micros_since_epoch) {
+  std::time_t secs = static_cast<std::time_t>(micros_since_epoch / 1000000);
+  std::tm tm_utc{};
+  gmtime_r(&secs, &tm_utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d %02d:%02d", tm_utc.tm_mday,
+                tm_utc.tm_mon + 1, tm_utc.tm_year + 1900, tm_utc.tm_hour,
+                tm_utc.tm_min);
+  return buf;
+}
+
+bool ParseDate(const std::string& dd_mm_yyyy, Micros* out) {
+  int d = 0, m = 0, y = 0;
+  if (std::sscanf(dd_mm_yyyy.c_str(), "%d.%d.%d", &d, &m, &y) != 3) {
+    return false;
+  }
+  if (d < 1 || d > 31 || m < 1 || m > 12 || y < 1970 || y > 9999) return false;
+  std::tm tm_utc{};
+  tm_utc.tm_mday = d;
+  tm_utc.tm_mon = m - 1;
+  tm_utc.tm_year = y - 1900;
+  std::time_t secs = timegm(&tm_utc);
+  if (secs == static_cast<std::time_t>(-1)) return false;
+  *out = static_cast<Micros>(secs) * 1000000;
+  return true;
+}
+
+}  // namespace idm

@@ -1,0 +1,72 @@
+// Clocks. The library separates *wall time* (used by benchmarks to measure
+// real elapsed time) from *simulated time* (used by the VFS, the IMAP latency
+// model and the synchronization manager so that tests are deterministic and
+// "remote access cost" can be accounted without sleeping).
+
+#ifndef IDM_UTIL_CLOCK_H_
+#define IDM_UTIL_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace idm {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = int64_t;
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds.
+  virtual Micros NowMicros() const = 0;
+  /// Advances time by \p micros. Real clocks implement this as a no-op
+  /// spin-free "charge" that is reflected in accounting only.
+  virtual void AdvanceMicros(Micros micros) = 0;
+};
+
+/// Deterministic, manually-advanced clock for simulations and tests.
+///
+/// Starts at a fixed epoch (2005-01-01 00:00:00 UTC, matching the vintage of
+/// the paper's dataset) unless constructed with another origin.
+class SimClock : public Clock {
+ public:
+  /// 2005-01-01 00:00:00 UTC expressed as microseconds since Unix epoch.
+  static constexpr Micros kDefaultEpochMicros = 1104537600LL * 1000000LL;
+
+  explicit SimClock(Micros start = kDefaultEpochMicros) : now_(start) {}
+
+  Micros NowMicros() const override { return now_; }
+  void AdvanceMicros(Micros micros) override { now_ += micros; }
+
+  /// Convenience: advance by whole seconds.
+  void AdvanceSeconds(int64_t seconds) { now_ += seconds * 1000000; }
+
+ private:
+  Micros now_;
+};
+
+/// Real wall-clock, monotonic. AdvanceMicros() is a no-op.
+class WallClock : public Clock {
+ public:
+  Micros NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void AdvanceMicros(Micros) override {}
+};
+
+/// Formats a Unix-epoch timestamp (microseconds) as "DD/MM/YYYY HH:MM",
+/// the notation used by the paper's examples.
+std::string FormatTimestamp(Micros micros_since_epoch);
+
+/// Parses "DD.MM.YYYY" (iQL date literal syntax, e.g. @12.06.2005) into
+/// microseconds since the Unix epoch at midnight UTC. Returns false on
+/// malformed input.
+bool ParseDate(const std::string& dd_mm_yyyy, Micros* out);
+
+}  // namespace idm
+
+#endif  // IDM_UTIL_CLOCK_H_

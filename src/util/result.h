@@ -1,0 +1,88 @@
+// Result<T>: value-or-Status, the return type of fallible functions that
+// produce a value (the Arrow `Result` / abseil `StatusOr` idiom).
+
+#ifndef IDM_UTIL_RESULT_H_
+#define IDM_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace idm {
+
+/// Holds either a T (success) or a non-OK Status (failure).
+///
+/// Accessing the value of a failed Result is a programming error and asserts
+/// in debug builds; callers must check ok() (or use the IDM_ASSIGN_OR_RETURN
+/// macro) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status: failure. Constructing from an OK status
+  /// is a programming error (there would be no value).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::FailedPrecondition("Result built from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or \p fallback when this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace idm
+
+#define IDM_CONCAT_IMPL_(x, y) x##y
+#define IDM_CONCAT_(x, y) IDM_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on error returns the Status from the
+/// enclosing function, otherwise assigns the value to `lhs` (which may be a
+/// declaration, e.g. `auto doc`).
+#define IDM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  IDM_ASSIGN_OR_RETURN_IMPL_(IDM_CONCAT_(_idm_result_, __LINE__), \
+                             lhs, rexpr)
+
+#define IDM_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+#endif  // IDM_UTIL_RESULT_H_

@@ -1,0 +1,26 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace idm {
+
+size_t Rng::Zipf(size_t n, double s) {
+  if (n == 0) return 0;
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (size_t i = 0; i < n; ++i) zipf_cdf_[i] /= sum;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace idm

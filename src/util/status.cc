@@ -1,0 +1,56 @@
+#include "util/status.h"
+
+namespace idm {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+}  // namespace
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "invalid argument";
+    case StatusCode::kNotFound: return "not found";
+    case StatusCode::kAlreadyExists: return "already exists";
+    case StatusCode::kOutOfRange: return "out of range";
+    case StatusCode::kUnimplemented: return "unimplemented";
+    case StatusCode::kFailedPrecondition: return "failed precondition";
+    case StatusCode::kParseError: return "parse error";
+    case StatusCode::kIoError: return "io error";
+    case StatusCode::kConformanceError: return "conformance error";
+    case StatusCode::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_shared<const State>(State{code, std::move(message)});
+  }
+}
+
+const std::string& Status::message() const {
+  return ok() ? EmptyString() : state_->message;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += state_->message;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code(), context + ": " + state_->message);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace idm

@@ -1,0 +1,121 @@
+// Status: the error-reporting vocabulary used across the whole library.
+//
+// The public API of every idm library reports failure through idm::Status or
+// idm::Result<T> (see result.h) instead of exceptions, following the idiom of
+// production database codebases (Arrow, RocksDB).
+
+#ifndef IDM_UTIL_STATUS_H_
+#define IDM_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace idm {
+
+/// Machine-readable failure category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< caller passed something malformed
+  kNotFound = 2,          ///< a named entity does not exist
+  kAlreadyExists = 3,     ///< a named entity exists and may not be replaced
+  kOutOfRange = 4,        ///< index/offset beyond a bound
+  kUnimplemented = 5,     ///< feature intentionally not provided
+  kFailedPrecondition = 6,///< object is in the wrong state for the call
+  kParseError = 7,        ///< malformed input document (XML, LaTeX, MIME, iQL)
+  kIoError = 8,           ///< simulated device / source access failure
+  kConformanceError = 9,  ///< resource view violates a resource view class
+  kUnavailable = 10,      ///< remote source (IMAP, service call) unreachable
+};
+
+/// Returns the canonical lower-case name of a code, e.g. "invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value.
+///
+/// An OK Status carries no allocation; an error Status owns a code and a
+/// human-readable message. Statuses are immutable once built.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with \p code and \p message. `code == kOk` is
+  /// normalized to the allocation-free OK status.
+  Status(StatusCode code, std::string message);
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ConformanceError(std::string msg) {
+    return Status(StatusCode::kConformanceError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return state_ == nullptr; }
+
+  /// The failure category; kOk when ok().
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// The error message; empty when ok().
+  const std::string& message() const;
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with \p context prepended to the message.
+  /// OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK. shared_ptr keeps copies cheap; Status is immutable.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace idm
+
+/// Propagates a non-OK Status from the enclosing function.
+#define IDM_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::idm::Status _idm_status = (expr);        \
+    if (!_idm_status.ok()) return _idm_status; \
+  } while (false)
+
+#endif  // IDM_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+// Small string helpers shared across the library. All functions are pure.
+
+#ifndef IDM_UTIL_STRING_UTIL_H_
+#define IDM_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace idm {
+
+/// Splits \p s on \p sep. Empty fields are kept ("a//b" -> {"a","","b"});
+/// an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Like Split but drops empty fields ("/a//b/" -> {"a","b"}).
+std::vector<std::string> SplitSkipEmpty(std::string_view s, char sep);
+
+/// Joins \p parts with \p sep between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string ToLower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Glob-style match of \p pattern against \p text, where '*' matches any run
+/// of characters (including empty) and '?' matches exactly one character.
+/// Matching is case-insensitive, mirroring iQL name-step semantics
+/// (e.g. "?onclusion*" matches "Conclusions").
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+/// True if \p pattern contains a '*' or '?' metacharacter.
+bool HasWildcards(std::string_view pattern);
+
+/// Replaces every occurrence of \p from in \p s with \p to.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Formats a byte count as a fixed-point MB string, e.g. "12.5".
+std::string BytesToMb(uint64_t bytes);
+
+}  // namespace idm
+
+#endif  // IDM_UTIL_STRING_UTIL_H_

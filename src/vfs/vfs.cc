@@ -1,0 +1,275 @@
+#include "vfs/vfs.h"
+
+#include "util/string_util.h"
+
+namespace idm::vfs {
+
+struct VirtualFileSystem::Node {
+  std::string name;
+  NodeType type = NodeType::kFolder;
+  NodeMetadata meta;
+  std::string content;      // files only
+  std::string link_target;  // links only
+  std::map<std::string, std::unique_ptr<Node>> children;  // folders only
+};
+
+namespace {
+constexpr int64_t kFolderSize = 4096;  // conventional directory entry size
+}
+
+VirtualFileSystem::VirtualFileSystem(Clock* clock, LatencyModel latency)
+    : root_(std::make_unique<Node>()), clock_(clock), latency_(latency) {
+  root_->name = "/";
+  root_->type = NodeType::kFolder;
+  root_->meta.size = kFolderSize;
+  root_->meta.created = root_->meta.modified = Now();
+}
+
+VirtualFileSystem::~VirtualFileSystem() = default;
+
+Micros VirtualFileSystem::Now() const {
+  return clock_ != nullptr ? clock_->NowMicros() : 0;
+}
+
+void VirtualFileSystem::Charge(uint64_t bytes) const {
+  ++op_count_;
+  Micros cost = latency_.per_op_micros +
+                static_cast<Micros>(latency_.micros_per_kilobyte *
+                                    (static_cast<double>(bytes) / 1024.0));
+  access_micros_ += cost;
+  if (clock_ != nullptr) clock_->AdvanceMicros(cost);
+}
+
+void VirtualFileSystem::Emit(FsEvent::Kind kind, const std::string& path) {
+  FsEvent event{kind, path};
+  for (const auto& cb : subscribers_) cb(event);
+}
+
+std::string VirtualFileSystem::NormalizePath(const std::string& path) {
+  std::string out = "/";
+  for (const auto& part : SplitSkipEmpty(path, '/')) {
+    if (out.size() > 1) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+const VirtualFileSystem::Node* VirtualFileSystem::Find(
+    const std::string& path) const {
+  const Node* cur = root_.get();
+  for (const auto& part : SplitSkipEmpty(NormalizePath(path), '/')) {
+    if (cur->type != NodeType::kFolder) return nullptr;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) return nullptr;
+    cur = it->second.get();
+  }
+  return cur;
+}
+
+VirtualFileSystem::Node* VirtualFileSystem::FindMutable(
+    const std::string& path) {
+  return const_cast<Node*>(Find(path));
+}
+
+Status VirtualFileSystem::CreateFolder(const std::string& path) {
+  Charge(0);
+  std::string normalized = NormalizePath(path);
+  Node* cur = root_.get();
+  std::string so_far;
+  for (const auto& part : SplitSkipEmpty(normalized, '/')) {
+    so_far += '/' + part;
+    auto it = cur->children.find(part);
+    if (it == cur->children.end()) {
+      auto node = std::make_unique<Node>();
+      node->name = part;
+      node->type = NodeType::kFolder;
+      node->meta.size = kFolderSize;
+      node->meta.created = node->meta.modified = Now();
+      Node* raw = node.get();
+      cur->children.emplace(part, std::move(node));
+      cur->meta.modified = Now();
+      Emit(FsEvent::Kind::kCreated, NormalizePath(so_far));
+      cur = raw;
+    } else {
+      if (it->second->type != NodeType::kFolder) {
+        return Status::AlreadyExists("'" + so_far + "' exists and is not a folder");
+      }
+      cur = it->second.get();
+    }
+  }
+  return Status::OK();
+}
+
+Status VirtualFileSystem::WriteFile(const std::string& path,
+                                    std::string content) {
+  std::string normalized = NormalizePath(path);
+  if (normalized == "/") return Status::InvalidArgument("cannot write to '/'");
+  Charge(content.size());
+  auto parts = SplitSkipEmpty(normalized, '/');
+  std::string base = parts.back();
+  parts.pop_back();
+  Node* parent = FindMutable("/" + Join(parts, "/"));
+  if (parent == nullptr || parent->type != NodeType::kFolder) {
+    return Status::NotFound("parent folder of '" + normalized +
+                            "' does not exist");
+  }
+  auto it = parent->children.find(base);
+  if (it != parent->children.end()) {
+    Node* node = it->second.get();
+    if (node->type != NodeType::kFile) {
+      return Status::AlreadyExists("'" + normalized + "' exists and is not a file");
+    }
+    node->content = std::move(content);
+    node->meta.size = static_cast<int64_t>(node->content.size());
+    node->meta.modified = Now();
+    Emit(FsEvent::Kind::kModified, normalized);
+    return Status::OK();
+  }
+  auto node = std::make_unique<Node>();
+  node->name = base;
+  node->type = NodeType::kFile;
+  node->content = std::move(content);
+  node->meta.size = static_cast<int64_t>(node->content.size());
+  node->meta.created = node->meta.modified = Now();
+  parent->children.emplace(base, std::move(node));
+  parent->meta.modified = Now();
+  Emit(FsEvent::Kind::kCreated, normalized);
+  return Status::OK();
+}
+
+Status VirtualFileSystem::CreateLink(const std::string& path,
+                                     const std::string& target) {
+  std::string normalized = NormalizePath(path);
+  if (normalized == "/") return Status::InvalidArgument("cannot link at '/'");
+  Charge(0);
+  auto parts = SplitSkipEmpty(normalized, '/');
+  std::string base = parts.back();
+  parts.pop_back();
+  Node* parent = FindMutable("/" + Join(parts, "/"));
+  if (parent == nullptr || parent->type != NodeType::kFolder) {
+    return Status::NotFound("parent folder of '" + normalized +
+                            "' does not exist");
+  }
+  if (parent->children.count(base) > 0) {
+    return Status::AlreadyExists("'" + normalized + "' already exists");
+  }
+  auto node = std::make_unique<Node>();
+  node->name = base;
+  node->type = NodeType::kLink;
+  node->link_target = NormalizePath(target);
+  node->meta.size = kFolderSize;
+  node->meta.created = node->meta.modified = Now();
+  parent->children.emplace(base, std::move(node));
+  parent->meta.modified = Now();
+  Emit(FsEvent::Kind::kCreated, normalized);
+  return Status::OK();
+}
+
+Status VirtualFileSystem::Remove(const std::string& path) {
+  std::string normalized = NormalizePath(path);
+  if (normalized == "/") return Status::InvalidArgument("cannot remove '/'");
+  Charge(0);
+  auto parts = SplitSkipEmpty(normalized, '/');
+  std::string base = parts.back();
+  parts.pop_back();
+  Node* parent = FindMutable("/" + Join(parts, "/"));
+  if (parent == nullptr || parent->children.count(base) == 0) {
+    return Status::NotFound("'" + normalized + "' does not exist");
+  }
+  parent->children.erase(base);
+  parent->meta.modified = Now();
+  Emit(FsEvent::Kind::kRemoved, normalized);
+  return Status::OK();
+}
+
+Result<NodeInfo> VirtualFileSystem::Stat(const std::string& path) const {
+  Charge(0);
+  const Node* node = Find(path);
+  if (node == nullptr) {
+    return Status::NotFound("'" + NormalizePath(path) + "' does not exist");
+  }
+  NodeInfo info;
+  info.type = node->type;
+  info.meta = node->meta;
+  info.link_target = node->link_target;
+  return info;
+}
+
+Result<std::vector<std::string>> VirtualFileSystem::List(
+    const std::string& path) const {
+  Charge(0);
+  const Node* node = Find(path);
+  if (node == nullptr) {
+    return Status::NotFound("'" + NormalizePath(path) + "' does not exist");
+  }
+  if (node->type != NodeType::kFolder) {
+    return Status::FailedPrecondition("'" + NormalizePath(path) +
+                                      "' is not a folder");
+  }
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;
+}
+
+Result<std::string> VirtualFileSystem::ReadFile(const std::string& path) const {
+  const Node* node = Find(path);
+  if (node == nullptr) {
+    return Status::NotFound("'" + NormalizePath(path) + "' does not exist");
+  }
+  if (node->type != NodeType::kFile) {
+    return Status::FailedPrecondition("'" + NormalizePath(path) +
+                                      "' is not a file");
+  }
+  Charge(node->content.size());
+  return node->content;
+}
+
+bool VirtualFileSystem::Exists(const std::string& path) const {
+  return Find(path) != nullptr;
+}
+
+Result<std::string> VirtualFileSystem::ResolveLink(
+    const std::string& path) const {
+  std::string cur = NormalizePath(path);
+  for (int hops = 0; hops < 16; ++hops) {
+    const Node* node = Find(cur);
+    if (node == nullptr) {
+      return Status::NotFound("link chain dangles at '" + cur + "'");
+    }
+    if (node->type != NodeType::kLink) return cur;
+    cur = node->link_target;
+  }
+  return Status::FailedPrecondition("link chain from '" +
+                                    NormalizePath(path) + "' is too deep");
+}
+
+void VirtualFileSystem::Subscribe(
+    std::function<void(const FsEvent&)> callback) {
+  subscribers_.push_back(std::move(callback));
+}
+
+void VirtualFileSystem::AccumulateStats(const Node* node, uint64_t* bytes,
+                                        size_t* count) {
+  ++*count;
+  if (node->type == NodeType::kFile) *bytes += node->content.size();
+  for (const auto& [name, child] : node->children) {
+    AccumulateStats(child.get(), bytes, count);
+  }
+}
+
+uint64_t VirtualFileSystem::TotalContentBytes() const {
+  uint64_t bytes = 0;
+  size_t count = 0;
+  AccumulateStats(root_.get(), &bytes, &count);
+  return bytes;
+}
+
+size_t VirtualFileSystem::NodeCount() const {
+  uint64_t bytes = 0;
+  size_t count = 0;
+  AccumulateStats(root_.get(), &bytes, &count);
+  return count - 1;  // exclude the root itself
+}
+
+}  // namespace idm::vfs

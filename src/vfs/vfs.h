@@ -1,0 +1,138 @@
+// In-memory virtual filesystem: the files&folders substrate (paper §3.2).
+//
+// The paper's evaluation indexes a real NTFS volume; this implementation
+// substitutes a deterministic in-memory filesystem that carries the same
+// per-node metadata schema W_FS (size, creation time, last modified time),
+// supports folder links (which make the files&folders graph cyclic, as in
+// the paper's 'All Projects' example), emits change-notification events for
+// the Synchronization Manager, and charges a configurable access-latency
+// model to a simulated clock so that data-source access cost can be
+// accounted (paper Fig. 5).
+
+#ifndef IDM_VFS_VFS_H_
+#define IDM_VFS_VFS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::vfs {
+
+/// Node kinds. Links are folder links: named references to another path
+/// (the paper's 'All Projects' → '/Projects').
+enum class NodeType { kFile, kFolder, kLink };
+
+/// Per-node W_FS metadata.
+struct NodeMetadata {
+  int64_t size = 0;          ///< bytes for files; 4096 for folders/links
+  Micros created = 0;        ///< creation time
+  Micros modified = 0;       ///< last modified time
+};
+
+/// Stat() result.
+struct NodeInfo {
+  NodeType type = NodeType::kFile;
+  NodeMetadata meta;
+  std::string link_target;   ///< absolute target path for links
+};
+
+/// A change notification (paper §5.2: the Synchronization Manager subscribes
+/// to file events where the source supports them).
+struct FsEvent {
+  enum class Kind { kCreated, kModified, kRemoved };
+  Kind kind;
+  std::string path;
+};
+
+/// Cost model charged to the clock on every filesystem operation. Defaults
+/// approximate a local IDE disk of the paper's era: cheap per operation,
+/// with a modest per-byte cost on reads.
+struct LatencyModel {
+  Micros per_op_micros = 20;
+  double micros_per_kilobyte = 8.0;
+};
+
+/// The virtual filesystem. Not thread-safe; callers serialize access (the
+/// PDSMS pipeline is single-threaded per source).
+class VirtualFileSystem {
+ public:
+  /// \p clock is charged per the latency model; it must outlive the
+  /// filesystem. Pass nullptr to disable latency accounting.
+  explicit VirtualFileSystem(Clock* clock = nullptr, LatencyModel latency = {});
+  ~VirtualFileSystem();  // out-of-line: Node is incomplete here
+
+  /// Creates a folder, creating missing intermediate folders (mkdir -p).
+  /// Fails with AlreadyExists if a *file* occupies the path; an existing
+  /// folder at the full path is OK (idempotent).
+  Status CreateFolder(const std::string& path);
+
+  /// Creates or overwrites a file. The parent folder must exist.
+  Status WriteFile(const std::string& path, std::string content);
+
+  /// Creates a folder link at \p path pointing at absolute \p target.
+  /// The target need not exist yet (dangling links resolve to nothing).
+  Status CreateLink(const std::string& path, const std::string& target);
+
+  /// Removes a file, link, or folder (recursively). Fails on "/".
+  Status Remove(const std::string& path);
+
+  /// Node metadata; NotFound for missing paths.
+  Result<NodeInfo> Stat(const std::string& path) const;
+
+  /// Child names of a folder, in deterministic (lexicographic) order.
+  Result<std::vector<std::string>> List(const std::string& path) const;
+
+  /// Full content of a file. Charges per-byte read latency.
+  Result<std::string> ReadFile(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+
+  /// Resolves a link chain starting at \p path (at most 16 hops to bound
+  /// cycles); non-link paths resolve to themselves. NotFound when the
+  /// chain dangles.
+  Result<std::string> ResolveLink(const std::string& path) const;
+
+  /// Subscribes to change events; callbacks run synchronously inside the
+  /// mutating call.
+  void Subscribe(std::function<void(const FsEvent&)> callback);
+
+  /// --- accounting --------------------------------------------------------
+  /// Total simulated microseconds charged for access so far.
+  Micros access_micros() const { return access_micros_; }
+  /// Number of filesystem operations performed.
+  uint64_t op_count() const { return op_count_; }
+  /// Sum of file content bytes (folders count 0).
+  uint64_t TotalContentBytes() const;
+  /// Number of nodes, excluding the root folder.
+  size_t NodeCount() const;
+
+  /// Normalizes a path: ensures a single leading '/', collapses repeated
+  /// separators, strips a trailing separator. "" and "/" both normalize
+  /// to "/".
+  static std::string NormalizePath(const std::string& path);
+
+ private:
+  struct Node;
+  static void AccumulateStats(const Node* node, uint64_t* bytes, size_t* count);
+  const Node* Find(const std::string& path) const;
+  Node* FindMutable(const std::string& path);
+  void Charge(uint64_t bytes) const;
+  void Emit(FsEvent::Kind kind, const std::string& path);
+  Micros Now() const;
+
+  std::unique_ptr<Node> root_;
+  Clock* clock_;
+  LatencyModel latency_;
+  std::vector<std::function<void(const FsEvent&)>> subscribers_;
+  mutable Micros access_micros_ = 0;
+  mutable uint64_t op_count_ = 0;
+};
+
+}  // namespace idm::vfs
+
+#endif  // IDM_VFS_VFS_H_

@@ -1,0 +1,105 @@
+#include "vfs/vfs_views.h"
+
+#include "core/view_class.h"
+#include "util/string_util.h"
+
+namespace idm::vfs {
+
+using core::ContentComponent;
+using core::FileSystemSchema;
+using core::FunctionalResourceView;
+using core::GroupComponent;
+using core::TupleComponent;
+using core::Value;
+using core::ViewPtr;
+
+std::string VfsUri(const std::string& path) {
+  return "vfs:" + VirtualFileSystem::NormalizePath(path);
+}
+
+namespace {
+
+std::string BaseName(const std::string& normalized) {
+  if (normalized == "/") return "/";
+  auto parts = SplitSkipEmpty(normalized, '/');
+  return parts.back();
+}
+
+TupleComponent FsTuple(const NodeMetadata& meta) {
+  return TupleComponent::MakeUnchecked(
+      FileSystemSchema(),
+      {Value::Int(meta.size), Value::Date(meta.created),
+       Value::Date(meta.modified)});
+}
+
+ViewPtr MakeViewUnchecked(std::shared_ptr<VirtualFileSystem> fs,
+                          const std::string& path, NodeType type) {
+  std::string normalized = VirtualFileSystem::NormalizePath(path);
+  FunctionalResourceView::Providers providers;
+
+  providers.name = [normalized]() { return BaseName(normalized); };
+  providers.tuple = [fs, normalized]() {
+    auto info = fs->Stat(normalized);
+    return info.ok() ? FsTuple(info->meta) : TupleComponent();
+  };
+
+  const char* class_name = "file";
+  switch (type) {
+    case NodeType::kFile:
+      class_name = "file";
+      providers.content = [fs, normalized]() {
+        // χ = C_f, materialized lazily from the filesystem on first read.
+        return ContentComponent::OfLazy([fs, normalized]() {
+          auto content = fs->ReadFile(normalized);
+          return content.ok() ? std::move(content).value() : std::string();
+        });
+      };
+      break;
+    case NodeType::kFolder:
+      class_name = "folder";
+      providers.group = [fs, normalized]() {
+        // γ.S = the views of the children, computed on demand.
+        return GroupComponent::OfLazySet([fs, normalized]() {
+          std::vector<ViewPtr> children;
+          auto names = fs->List(normalized);
+          if (!names.ok()) return children;
+          for (const std::string& name : *names) {
+            std::string child_path =
+                normalized == "/" ? "/" + name : normalized + "/" + name;
+            auto child = MakeVfsView(fs, child_path);
+            if (child.ok()) children.push_back(std::move(child).value());
+          }
+          return children;
+        });
+      };
+      break;
+    case NodeType::kLink:
+      // A folder link is itself a folder-class view whose γ contains the
+      // target's view (paper §2.3: V_All Projects → V_Projects).
+      class_name = "folder";
+      providers.group = [fs, normalized]() {
+        return GroupComponent::OfLazySet([fs, normalized]() {
+          std::vector<ViewPtr> out;
+          auto target = fs->ResolveLink(normalized);
+          if (!target.ok()) return out;  // dangling link: γ = (∅, ⟨⟩)
+          auto view = MakeVfsView(fs, *target);
+          if (view.ok()) out.push_back(std::move(view).value());
+          return out;
+        });
+      };
+      break;
+  }
+  return std::make_shared<FunctionalResourceView>(VfsUri(normalized),
+                                                  class_name,
+                                                  std::move(providers));
+}
+
+}  // namespace
+
+Result<ViewPtr> MakeVfsView(std::shared_ptr<VirtualFileSystem> fs,
+                            const std::string& path) {
+  IDM_ASSIGN_OR_RETURN(NodeInfo info, fs->Stat(path));
+  return MakeViewUnchecked(std::move(fs), path, info.type);
+}
+
+}  // namespace idm::vfs

@@ -1,0 +1,36 @@
+// Instantiation of the files&folders data model in iDM (paper §3.2).
+//
+// Each filesystem node is exposed as a lazy resource view:
+//   V^file   = (η=N_f, τ=(W_FS, T_f), χ=C_f)
+//   V^folder = (η=N_F, τ=(W_FS, T_F), γ=({children}, ⟨⟩))
+// Folder links become folder-class views whose γ points at the view of the
+// link target — which is what makes the resource view graph cyclic in the
+// paper's 'All Projects' example.
+//
+// Views are adapters: components are fetched from the filesystem on demand
+// (paper §4.1); the view URI is "vfs:<path>", so repeated instantiations of
+// the same node are identity-equal for traversal purposes.
+
+#ifndef IDM_VFS_VFS_VIEWS_H_
+#define IDM_VFS_VFS_VIEWS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/resource_view.h"
+#include "vfs/vfs.h"
+
+namespace idm::vfs {
+
+/// URI of the view representing \p path, i.e. "vfs:" + normalized path.
+std::string VfsUri(const std::string& path);
+
+/// Creates the lazy resource view for the node at \p path. The node must
+/// exist at call time; its components re-read the filesystem on access.
+/// Folder children (including links) are instantiated lazily.
+Result<core::ViewPtr> MakeVfsView(std::shared_ptr<VirtualFileSystem> fs,
+                                  const std::string& path);
+
+}  // namespace idm::vfs
+
+#endif  // IDM_VFS_VFS_VIEWS_H_

@@ -1,0 +1,499 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+#include "xml/xml.h"
+
+namespace idm::workload {
+
+DataspaceSpec DataspaceSpec::PaperScale() {
+  DataspaceSpec spec;
+  spec.seed = 42;
+  spec.fs_folders = 1250;
+  spec.fs_text_files = 12000;
+  spec.fs_binary_files = 700;
+  spec.fs_latex_docs = 282;   // Table 2
+  spec.fs_xml_docs = 47;      // Table 2
+  spec.text_file_words = 2900;  // ≈18 KB/file: net input lands near the paper's 255 MB
+  spec.binary_file_bytes = 350000;  // paper bytes scaled ~1:7
+  spec.latex_sections = 6;
+  spec.latex_words_per_section = 110;
+  spec.xml_target_nodes = 2900;  // calibrates to ≈ 117k derived views over 47 docs
+  spec.email_folders = 11;
+  spec.emails = 5800;
+  spec.email_body_words = 1300;  // ≈8 KB bodies: email net input ≈ paper's 43 MB share
+  spec.attachment_prob = 0.08;
+  spec.email_tex_attachments = 7;    // Table 2
+  spec.email_xml_attachments = 13;   // Table 2
+  return spec;
+}
+
+DataspaceSpec DataspaceSpec::Small() {
+  DataspaceSpec spec;
+  spec.seed = 7;
+  spec.fs_folders = 10;
+  spec.fs_text_files = 30;
+  spec.fs_binary_files = 4;
+  spec.fs_latex_docs = 6;
+  spec.fs_xml_docs = 2;
+  spec.text_file_words = 60;
+  spec.binary_file_bytes = 4000;
+  spec.latex_sections = 3;
+  spec.latex_words_per_section = 40;
+  spec.xml_target_nodes = 60;
+  spec.email_folders = 3;
+  spec.emails = 25;
+  spec.email_body_words = 30;
+  spec.attachment_prob = 0.1;
+  spec.email_tex_attachments = 2;
+  spec.email_xml_attachments = 2;
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Vocabulary and text
+
+namespace {
+
+/// Vocabulary head: filler words that shape natural-looking text. The terms
+/// the evaluation queries search for are *placed* at specific Zipf ranks
+/// below so their document frequencies resemble a real personal corpus
+/// ("database" matches a fraction of a percent of views, like the paper's
+/// Q1 = 941 of 150,480; "tuning" is rare). "franklin" is deliberately NOT
+/// in the vocabulary: it only occurs where the generator plants it, keeping
+/// the Q4/Query-1 result counts exact.
+const char* const kFillerWords[] = {
+    "the", "a",    "of",   "and",  "to",   "in",   "for",  "with",
+    "on",  "is",   "are",  "we",   "this", "that", "it",   "as",
+    "by",  "from", "at",   "or",   "an",   "be",   "can",  "which",
+    "our", "all",  "data", "work", "more", "new",  "one",  "two",
+};
+
+/// (term, zipf rank) placements for the query needles and common jargon.
+const std::pair<const char*, size_t> kPlacedWords[] = {
+    {"time", 100},     {"section", 150},   {"systems", 250},
+    {"project", 320},  {"documents", 400}, {"query", 480},
+    {"indexing", 600}, {"information", 700}, {"database", 850},
+    {"dataspace", 950}, {"model", 1050},   {"vision", 1200},
+    {"search", 1350},  {"tuning", 1600},   {"personal", 1800},
+    {"memex", 2000},   {"evaluation", 2100},
+};
+
+std::vector<std::string> BuildVocabulary() {
+  std::vector<std::string> vocabulary;
+  for (const char* word : kFillerWords) vocabulary.emplace_back(word);
+  // Deterministic synthetic tail: wort1042-style tokens.
+  for (size_t i = 0; vocabulary.size() < 2300; ++i) {
+    vocabulary.push_back("wort" + std::to_string(1000 + i));
+  }
+  for (const auto& [word, rank] : kPlacedWords) vocabulary[rank] = word;
+  return vocabulary;
+}
+
+const std::vector<std::string>& Vocabulary() {
+  static const std::vector<std::string> kVocabulary = BuildVocabulary();
+  return kVocabulary;
+}
+
+/// Names for generated people/hosts.
+const char* const kPeople[] = {"jens", "marcos", "donald", "maria", "peter",
+                               "lukas", "irene", "shant", "olivier", "rokas"};
+const char* const kHosts[] = {"ethz.ch", "imemex.org", "berkeley.edu",
+                              "example.com", "uni-sb.de"};
+
+const char* const kSectionTitles[] = {
+    "Introduction",  "Preliminaries", "Related Work", "Architecture",
+    "Data Model",    "Evaluation",    "Experiments",  "Discussion",
+    "The Problem",   "Conclusions"};
+
+const char* const kXmlNames[] = {"article", "section", "item",  "entry",
+                                 "record",  "list",    "meta",  "data",
+                                 "title",   "author",  "note"};
+
+}  // namespace
+
+TextGenerator::TextGenerator(Rng* rng) : rng_(rng) {}
+
+std::string TextGenerator::Words(size_t words) {
+  const auto& vocabulary = Vocabulary();
+  std::string out;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) out += (i % 13 == 0) ? ".\n" : " ";
+    out += vocabulary[rng_->Zipf(vocabulary.size(), 1.07)];
+  }
+  return out;
+}
+
+std::string TextGenerator::WordsWithPhrase(size_t words,
+                                           const std::string& phrase) {
+  std::string out = Words(words / 2);
+  out += " ";
+  out += phrase;
+  out += " ";
+  out += Words(words - words / 2);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Document synthesis
+
+namespace {
+
+class Builder {
+ public:
+  Builder(const DataspaceSpec& spec, Clock* clock)
+      : spec_(spec),
+        clock_(clock),
+        rng_(spec.seed),
+        text_(&rng_),
+        fs_(std::make_shared<vfs::VirtualFileSystem>(clock)),
+        imap_(std::make_shared<email::ImapServer>(clock)) {}
+
+  BuiltDataspace Run() {
+    BuildPlantedFilesystem();
+    BuildRandomFilesystem();
+    BuildEmail();
+    return {fs_, imap_};
+  }
+
+ private:
+  /// Spreads timestamps across 2005: advance the shared clock a random
+  /// 0–20 minutes between items (at paper scale, ~19k items cover most of
+  /// the year, so Q3's @12.06.2005 cutoff is selective).
+  void Tick() { clock_->AdvanceMicros(rng_.UniformRange(0, 1200) * 1000000); }
+
+  std::string RandomWord() {
+    const auto& vocabulary = Vocabulary();
+    return vocabulary[rng_.Zipf(vocabulary.size(), 1.07)];
+  }
+
+  // --- LaTeX ---------------------------------------------------------------
+
+  /// A synthetic paper. \p doc_tag makes labels unique; figures get labels
+  /// and are \ref-erenced (feeding Q7's texref↔figure join); a fraction of
+  /// sections carries the "database tuning" phrase (Q2).
+  std::string LatexDoc(const std::string& doc_tag, size_t sections,
+                       size_t words_per_section) {
+    std::string out = "\\documentclass{article}\n\\title{" +
+                      text_.Words(4) + "}\n\\begin{document}\n";
+    size_t figure_count = 0;
+    for (size_t s = 0; s < sections; ++s) {
+      const char* title = kSectionTitles[rng_.Uniform(std::size(kSectionTitles))];
+      out += "\\section{" + std::string(title) + "}\\label{sec:" + doc_tag +
+             ":" + std::to_string(s) + "}\n";
+      out += (rng_.Chance(0.015)
+                  ? text_.WordsWithPhrase(words_per_section, "database tuning")
+                  : text_.Words(words_per_section)) +
+             "\n";
+      // Subsections.
+      size_t subs = 2 + rng_.Uniform(2);
+      for (size_t j = 0; j < subs; ++j) {
+        out += "\\subsection{" + text_.Words(3) + "}\n" +
+               text_.Words(words_per_section / 2) + "\n";
+      }
+      // Figures with labels + references to them.
+      if (rng_.Chance(0.8)) {
+        std::string label = "fig:" + doc_tag + ":" + std::to_string(figure_count++);
+        out += "\\begin{figure}\n\\caption{" + text_.Words(5) +
+               "}\n\\label{" + label + "}\n\\end{figure}\n";
+        out += "As shown in \\ref{" + label + "}, " + text_.Words(10) + ".\n";
+      }
+    }
+    out += "\\end{document}\n";
+    return out;
+  }
+
+  // --- XML -----------------------------------------------------------------
+
+  void XmlElement(std::string* out, size_t* budget, size_t depth) {
+    const char* name = kXmlNames[rng_.Uniform(std::size(kXmlNames))];
+    *out += "<";
+    *out += name;
+    if (rng_.Chance(0.4)) {
+      *out += " id=\"" + std::to_string(rng_.Uniform(100000)) + "\"";
+    }
+    if (rng_.Chance(0.2)) *out += " class=\"" + RandomWord() + "\"";
+    *out += ">";
+    --*budget;
+    while (*budget > 1 && rng_.Chance(depth < 6 ? 0.7 : 0.2)) {
+      if (rng_.Chance(0.45)) {
+        *out += xml::EscapeText(text_.Words(4 + rng_.Uniform(8)));
+        --*budget;
+      } else {
+        XmlElement(out, budget, depth + 1);
+      }
+    }
+    *out += "</";
+    *out += name;
+    *out += ">";
+  }
+
+  std::string XmlDoc(size_t target_nodes) {
+    std::string out = "<?xml version=\"1.0\"?><root>";
+    size_t budget = target_nodes > 2 ? target_nodes - 2 : 1;
+    while (budget > 1) XmlElement(&out, &budget, 1);
+    out += "</root>";
+    return out;
+  }
+
+  std::string BinaryBlob(size_t mean_bytes) {
+    // Zipf-ish size spread so that Q3's `size > 420000` predicate has a
+    // selective tail to find.
+    size_t size = mean_bytes / 4 + rng_.Uniform(mean_bytes * 2);
+    if (rng_.Chance(0.05)) size *= 4;
+    std::string out;
+    out.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      out += static_cast<char>(rng_.Next() & 0xFF);
+    }
+    return out;
+  }
+
+  // --- planted needles -----------------------------------------------------
+
+  void BuildPlantedFilesystem() {
+    // The paper's Figure 1 skeleton: Projects/{PIM, OLAP} with the VLDB
+    // paper, a grant, and the folder link that closes a cycle.
+    (void)fs_->CreateFolder("/Projects/PIM");
+    (void)fs_->CreateFolder("/Projects/OLAP");
+    Tick();
+    (void)fs_->WriteFile(
+        "/Projects/PIM/vldb 2006.tex",
+        "\\documentclass{article}\n\\title{iDM: A Unified Data Model}\n"
+        "\\begin{document}\n"
+        "\\section{Introduction}\\label{sec:pim:intro}\n" +
+            text_.WordsWithPhrase(80, "Mike Franklin") + "\n" +
+            "\\subsection{The Problem}\nSee \\ref{sec:pim:prelim}. " +
+            text_.Words(40) + "\n" +
+            "\\section{Preliminaries}\\label{sec:pim:prelim}\n" +
+            text_.Words(60) + "\n\\end{document}\n");
+    Tick();
+    (void)fs_->WriteFile("/Projects/PIM/Grant.doc",
+                         text_.WordsWithPhrase(200, "Mike Franklin"));
+    // Deterministic Q1/Q2 needle at every scale.
+    (void)fs_->WriteFile("/Projects/PIM/tuning notes.txt",
+                         text_.WordsWithPhrase(80, "database tuning"));
+    (void)fs_->CreateLink("/Projects/PIM/All Projects", "/Projects");
+    Tick();
+    // OLAP project: figures captioned "Indexing Time" (intro Query 2).
+    (void)fs_->WriteFile(
+        "/Projects/OLAP/olap paper.tex",
+        "\\documentclass{article}\n\\begin{document}\n"
+        "\\section{Evaluation}\n" + text_.Words(50) + "\n"
+        "\\begin{figure}\n\\caption{Indexing Time versus data size}\n"
+        "\\label{fig:olap:indexing}\n\\end{figure}\n"
+        "We discuss \\ref{fig:olap:indexing}. " + text_.Words(30) + "\n"
+        "\\end{document}\n");
+    Tick();
+
+    // /papers with the *Vision sections for Q4 (paper reports 2 results).
+    (void)fs_->CreateFolder("/papers");
+    (void)fs_->WriteFile(
+        "/papers/dataspaces.tex",
+        "\\documentclass{article}\n\\begin{document}\n"
+        "\\section{A PIM Vision}\n" + text_.Words(30) + "\n"
+        "\\subsection{Background}\n" +
+            text_.WordsWithPhrase(40, "Franklin") + "\n"
+        "\\end{document}\n");
+    Tick();
+    (void)fs_->WriteFile(
+        "/papers/principles.tex",
+        "\\documentclass{article}\n\\begin{document}\n"
+        "\\section{The Dataspace Vision}\n" + text_.Words(30) + "\n"
+        "\\subsection{Roadmap}\n" + text_.WordsWithPhrase(40, "Franklin") +
+            "\n\\end{document}\n");
+    Tick();
+    // More /papers .tex files; names are shared with the email .tex
+    // attachments planted later, and older copies live in subfolders, so
+    // the Q8 join (A.name = B.name) produces a small two-digit result set
+    // like the paper's 16.
+    (void)fs_->CreateFolder("/papers/old");
+    (void)fs_->CreateFolder("/papers/old2");
+    for (size_t i = 0; i < 12; ++i) {
+      (void)fs_->WriteFile("/papers/draft" + std::to_string(i) + ".tex",
+                           LatexDoc("papers" + std::to_string(i), 3, 50));
+      Tick();
+    }
+    for (size_t i = 0; i < 9; ++i) {
+      (void)fs_->WriteFile("/papers/old/draft" + std::to_string(i) + ".tex",
+                           LatexDoc("old" + std::to_string(i), 2, 40));
+      Tick();
+    }
+    for (size_t i = 0; i < 2; ++i) {
+      (void)fs_->WriteFile("/papers/old2/draft" + std::to_string(i) + ".tex",
+                           LatexDoc("old2" + std::to_string(i), 2, 40));
+      Tick();
+    }
+
+    // VLDB project folders for Q5/Q6/Q7. The 2006 paper has 7 figures,
+    // each \ref-erenced 3 times, so the Q7 texref↔figure join yields 21
+    // pairs — the count the paper reports.
+    for (const char* year : {"2005", "2006"}) {
+      std::string folder = std::string("/VLDB") + year;
+      (void)fs_->CreateFolder(folder);
+      std::string tag = std::string("vldb") + year;
+      size_t figures = (std::string(year) == "2006") ? 7 : 3;
+      size_t refs_per_figure = (std::string(year) == "2006") ? 3 : 1;
+      std::string doc =
+          "\\documentclass{article}\n\\begin{document}\n"
+          "\\section{Introduction}\n" +
+          text_.WordsWithPhrase(60, "documents") + "\n";
+      for (size_t f = 0; f < figures; ++f) {
+        std::string label = "fig:" + tag + ":" + std::to_string(f);
+        doc += "\\begin{figure}\n\\caption{" + text_.Words(4) +
+               "}\n\\label{" + label + "}\n\\end{figure}\n";
+        for (size_t r = 0; r < refs_per_figure; ++r) {
+          doc += "Results appear in \\ref{" + label + "}. " +
+                 text_.Words(6) + "\n";
+        }
+      }
+      doc += "\\section{Conclusions}\n" + text_.Words(30) + "\n"
+             "\\subsection{Future Work}\n" +
+             text_.WordsWithPhrase(30, "systems") +
+             "\n\\end{document}\n";
+      (void)fs_->WriteFile(folder + "/" + tag + " paper.tex", doc);
+      Tick();
+      (void)fs_->WriteFile(folder + "/notes.txt",
+                           text_.WordsWithPhrase(60, "documents"));
+      Tick();
+    }
+  }
+
+  void BuildRandomFilesystem() {
+    // Random folder tree under a handful of top-level areas.
+    std::vector<std::string> folders = {"/archive", "/teaching", "/misc",
+                                        "/Projects"};
+    for (const std::string& folder : folders) (void)fs_->CreateFolder(folder);
+    for (size_t i = 0; i < spec_.fs_folders; ++i) {
+      const std::string& parent = folders[rng_.Uniform(folders.size())];
+      std::string path = parent + "/" + RandomWord() + std::to_string(i);
+      if (fs_->CreateFolder(path).ok()) folders.push_back(path);
+    }
+    auto random_folder = [this, &folders]() -> const std::string& {
+      return folders[rng_.Uniform(folders.size())];
+    };
+
+    for (size_t i = 0; i < spec_.fs_text_files; ++i) {
+      size_t words = spec_.text_file_words / 2 +
+                     rng_.Uniform(spec_.text_file_words);
+      (void)fs_->WriteFile(
+          random_folder() + "/" + RandomWord() + std::to_string(i) + ".txt",
+          text_.Words(words));
+      Tick();
+    }
+    for (size_t i = 0; i < spec_.fs_binary_files; ++i) {
+      (void)fs_->WriteFile(
+          random_folder() + "/img" + std::to_string(i) + ".jpg",
+          BinaryBlob(spec_.binary_file_bytes));
+      Tick();
+    }
+    for (size_t i = 0; i < spec_.fs_latex_docs; ++i) {
+      (void)fs_->WriteFile(
+          random_folder() + "/doc" + std::to_string(i) + ".tex",
+          LatexDoc("d" + std::to_string(i), spec_.latex_sections,
+                   spec_.latex_words_per_section));
+      Tick();
+    }
+    for (size_t i = 0; i < spec_.fs_xml_docs; ++i) {
+      (void)fs_->WriteFile(random_folder() + "/data" + std::to_string(i) + ".xml",
+                           XmlDoc(spec_.xml_target_nodes));
+      Tick();
+    }
+  }
+
+  // --- email ---------------------------------------------------------------
+
+  std::string RandomAddress() {
+    return std::string(kPeople[rng_.Uniform(std::size(kPeople))]) + "@" +
+           kHosts[rng_.Uniform(std::size(kHosts))];
+  }
+
+  email::Message RandomEmail() {
+    email::Message message;
+    message.from = RandomAddress();
+    message.to = {RandomAddress()};
+    if (rng_.Chance(0.3)) message.cc = {RandomAddress()};
+    message.subject = text_.Words(4 + rng_.Uniform(4));
+    message.date = clock_->NowMicros();
+    message.body = text_.Words(spec_.email_body_words / 2 +
+                               rng_.Uniform(spec_.email_body_words));
+    if (rng_.Chance(spec_.attachment_prob)) {
+      message.attachments.push_back(
+          {"notes" + std::to_string(rng_.Uniform(1000)) + ".txt",
+           "text/plain", text_.Words(60)});
+    }
+    return message;
+  }
+
+  void BuildEmail() {
+    std::vector<std::string> folders = {"INBOX", "Sent"};
+    (void)imap_->CreateFolder("INBOX");
+    (void)imap_->CreateFolder("Sent");
+    (void)imap_->CreateFolder("Projects/OLAP");  // the Query 2 needle
+    const char* extra[] = {"Archive/2004", "Archive/2005", "Lists/dbworld",
+                           "Drafts", "Projects/PIM", "Travel", "Admin",
+                           "Lists/sigmod", "Archive/2003"};
+    for (size_t i = 0; i < spec_.email_folders && i < std::size(extra); ++i) {
+      (void)imap_->CreateFolder(extra[i]);
+      folders.emplace_back(extra[i]);
+    }
+
+    // OLAP project mail: the "smaller projects live in email" scenario of
+    // the paper's Example 2 — an attachment with an Indexing Time figure.
+    email::Message olap;
+    olap.from = "jens@ethz.ch";
+    olap.to = {"marcos@ethz.ch"};
+    olap.subject = "OLAP figures for the deadline";
+    olap.date = clock_->NowMicros();
+    olap.body = text_.WordsWithPhrase(40, "Indexing Time");
+    olap.attachments.push_back(
+        {"olap_eval.tex", "application/x-tex",
+         "\\documentclass{article}\n\\begin{document}\n"
+         "\\begin{figure}\n\\caption{Indexing Time for all sources}\n"
+         "\\label{fig:olap:mail}\n\\end{figure}\n\\end{document}\n"});
+    (void)imap_->Append("Projects/OLAP", std::move(olap));
+    Tick();
+
+    // The Q8 needles: .tex attachments whose names match /papers files.
+    for (size_t i = 0; i < spec_.email_tex_attachments; ++i) {
+      email::Message message = RandomEmail();
+      message.subject = "draft review " + std::to_string(i);
+      std::string name = "draft" + std::to_string(i % 12) + ".tex";
+      message.attachments.push_back({name, "application/x-tex",
+                                     LatexDoc("att" + std::to_string(i), 7, 60)});
+      (void)imap_->Append(folders[rng_.Uniform(folders.size())],
+                          std::move(message));
+      Tick();
+    }
+    for (size_t i = 0; i < spec_.email_xml_attachments; ++i) {
+      email::Message message = RandomEmail();
+      message.attachments.push_back({"export" + std::to_string(i) + ".xml",
+                                     "text/xml", XmlDoc(60)});
+      (void)imap_->Append(folders[rng_.Uniform(folders.size())],
+                          std::move(message));
+      Tick();
+    }
+
+    // Bulk mail.
+    for (size_t i = 0; i < spec_.emails; ++i) {
+      (void)imap_->Append(folders[rng_.Uniform(folders.size())], RandomEmail());
+      Tick();
+    }
+  }
+
+  const DataspaceSpec& spec_;
+  Clock* clock_;
+  Rng rng_;
+  TextGenerator text_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+  std::shared_ptr<email::ImapServer> imap_;
+};
+
+}  // namespace
+
+BuiltDataspace Generate(const DataspaceSpec& spec, Clock* clock) {
+  return Builder(spec, clock).Run();
+}
+
+}  // namespace idm::workload

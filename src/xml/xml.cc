@@ -1,0 +1,348 @@
+#include "xml/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace idm::xml {
+
+const std::string* XmlNode::FindAttribute(const std::string& attr_name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == attr_name) return &attr.value;
+  }
+  return nullptr;
+}
+
+std::string XmlNode::TextContent() const {
+  if (kind == Kind::kText) return text;
+  std::string out;
+  for (const auto& child : children) out += child->TextContent();
+  return out;
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->SubtreeSize();
+  return n;
+}
+
+std::string EscapeText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : input_(input) {}
+
+  Result<XmlDocument> ParseDocument() {
+    SkipProlog();
+    IDM_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> root, ParseElement());
+    SkipMisc();
+    if (!AtEnd()) return Error("trailing content after the root element");
+    XmlDocument doc;
+    doc.root = std::move(root);
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(const char* s) const {
+    return input_.compare(pos_, std::char_traits<char>::length(s), s) == 0;
+  }
+  void Advance(size_t n = 1) {
+    for (size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("XML at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_) + ": " + msg);
+  }
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  bool SkipUntil(const char* terminator) {
+    size_t found = input_.find(terminator, pos_);
+    if (found == std::string::npos) return false;
+    Advance(found + std::char_traits<char>::length(terminator) - pos_);
+    return true;
+  }
+
+  /// Skips the XML declaration, DOCTYPE, comments, PIs and whitespace.
+  void SkipProlog() {
+    while (true) {
+      SkipWhitespace();
+      if (LookingAt("<?")) {
+        if (!SkipUntil("?>")) { pos_ = input_.size(); return; }
+      } else if (LookingAt("<!--")) {
+        if (!SkipUntil("-->")) { pos_ = input_.size(); return; }
+      } else if (LookingAt("<!DOCTYPE")) {
+        if (!SkipUntil(">")) { pos_ = input_.size(); return; }
+      } else {
+        return;
+      }
+    }
+  }
+  void SkipMisc() { SkipProlog(); }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) {
+      name += Peek();
+      Advance();
+    }
+    return name;
+  }
+
+  /// Decodes entities in raw character data.
+  Result<std::string> DecodeEntities(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t end = raw.find(';', i);
+      if (end == std::string::npos) return Error("unterminated entity");
+      std::string entity = raw.substr(i + 1, end - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else if (!entity.empty() && entity[0] == '#') {
+        bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+        std::string digits = entity.substr(hex ? 2 : 1);
+        char* parse_end = nullptr;
+        long code = std::strtol(digits.c_str(), &parse_end, hex ? 16 : 10);
+        if (digits.empty() || parse_end == nullptr || *parse_end != '\0') {
+          return Error("malformed character reference '&" + entity + ";'");
+        }
+        if (code <= 0 || code > 0x10FFFF) {
+          return Error("character reference out of range");
+        }
+        // UTF-8 encode.
+        unsigned long cp = static_cast<unsigned long>(code);
+        if (cp < 0x80) {
+          out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+          out += static_cast<char>(0xC0 | (cp >> 6));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+          out += static_cast<char>(0xE0 | (cp >> 12));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (cp >> 18));
+          out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+      } else {
+        return Error("unknown entity '&" + entity + ";'");
+      }
+      i = end + 1;
+    }
+    return out;
+  }
+
+  Result<XmlAttribute> ParseAttribute() {
+    IDM_ASSIGN_OR_RETURN(std::string name, ParseName());
+    SkipWhitespace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' after attribute name");
+    Advance();
+    SkipWhitespace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected a quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    size_t end = input_.find(quote, pos_);
+    if (end == std::string::npos) return Error("unterminated attribute value");
+    std::string raw = input_.substr(pos_, end - pos_);
+    Advance(end + 1 - pos_);
+    IDM_ASSIGN_OR_RETURN(std::string value, DecodeEntities(raw));
+    return XmlAttribute{std::move(name), std::move(value)};
+  }
+
+  Result<std::unique_ptr<XmlNode>> ParseElement() {
+    if (AtEnd() || Peek() != '<') return Error("expected '<'");
+    Advance();
+    auto node = std::make_unique<XmlNode>();
+    node->kind = XmlNode::Kind::kElement;
+    IDM_ASSIGN_OR_RETURN(node->name, ParseName());
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + node->name);
+      if (Peek() == '>' || LookingAt("/>")) break;
+      IDM_ASSIGN_OR_RETURN(XmlAttribute attr, ParseAttribute());
+      if (node->FindAttribute(attr.name) != nullptr) {
+        return Error("duplicate attribute '" + attr.name + "'");
+      }
+      node->attributes.push_back(std::move(attr));
+    }
+    if (LookingAt("/>")) {
+      Advance(2);
+      return node;
+    }
+    Advance();  // consume '>'
+    // Content.
+    std::string pending_text;
+    auto flush_text = [&node, &pending_text]() {
+      if (pending_text.empty()) return;
+      auto text = std::make_unique<XmlNode>();
+      text->kind = XmlNode::Kind::kText;
+      text->text = std::move(pending_text);
+      pending_text.clear();
+      node->children.push_back(std::move(text));
+    };
+    while (true) {
+      if (AtEnd()) return Error("unterminated element <" + node->name + ">");
+      if (LookingAt("</")) {
+        Advance(2);
+        IDM_ASSIGN_OR_RETURN(std::string close, ParseName());
+        if (close != node->name) {
+          return Error("mismatched end tag </" + close + "> for <" +
+                       node->name + ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>' in end tag");
+        Advance();
+        flush_text();
+        return node;
+      }
+      if (LookingAt("<!--")) {
+        if (!SkipUntil("-->")) return Error("unterminated comment");
+        continue;
+      }
+      if (LookingAt("<![CDATA[")) {
+        Advance(9);
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string::npos) return Error("unterminated CDATA");
+        pending_text += input_.substr(pos_, end - pos_);
+        Advance(end + 3 - pos_);
+        continue;
+      }
+      if (LookingAt("<?")) {
+        if (!SkipUntil("?>")) return Error("unterminated processing instruction");
+        continue;
+      }
+      if (Peek() == '<') {
+        flush_text();
+        IDM_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> child, ParseElement());
+        node->children.push_back(std::move(child));
+        continue;
+      }
+      // Character data up to the next markup.
+      size_t next = input_.find('<', pos_);
+      if (next == std::string::npos) next = input_.size();
+      std::string raw = input_.substr(pos_, next - pos_);
+      Advance(next - pos_);
+      IDM_ASSIGN_OR_RETURN(std::string decoded, DecodeEntities(raw));
+      pending_text += decoded;
+    }
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+};
+
+void SerializeNodeTo(const XmlNode& node, std::string* out) {
+  if (node.kind == XmlNode::Kind::kText) {
+    *out += EscapeText(node.text);
+    return;
+  }
+  *out += '<';
+  *out += node.name;
+  for (const auto& attr : node.attributes) {
+    *out += ' ';
+    *out += attr.name;
+    *out += "=\"";
+    *out += EscapeText(attr.value);
+    *out += '"';
+  }
+  if (node.children.empty()) {
+    *out += "/>";
+    return;
+  }
+  *out += '>';
+  for (const auto& child : node.children) SerializeNodeTo(*child, out);
+  *out += "</";
+  *out += node.name;
+  *out += '>';
+}
+
+}  // namespace
+
+Result<XmlDocument> Parse(const std::string& input) {
+  return Parser(input).ParseDocument();
+}
+
+std::string Serialize(const XmlDocument& doc) {
+  if (doc.root == nullptr) return "";
+  return SerializeNode(*doc.root);
+}
+
+std::string SerializeNode(const XmlNode& node) {
+  std::string out;
+  SerializeNodeTo(node, &out);
+  return out;
+}
+
+bool Equals(const XmlNode& a, const XmlNode& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == XmlNode::Kind::kText) return a.text == b.text;
+  if (a.name != b.name) return false;
+  if (a.attributes.size() != b.attributes.size()) return false;
+  for (size_t i = 0; i < a.attributes.size(); ++i) {
+    if (a.attributes[i].name != b.attributes[i].name ||
+        a.attributes[i].value != b.attributes[i].value) {
+      return false;
+    }
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!Equals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace idm::xml

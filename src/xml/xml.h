@@ -1,0 +1,75 @@
+// From-scratch XML parser and serializer (substitute for the XML tooling the
+// paper's Java prototype used). Covers the core of the XML Information Set
+// that iDM instantiates (paper §3.3): document, element, attribute and
+// character information items — plus comments, processing instructions,
+// CDATA sections and the five predefined entities (skipped or decoded, as
+// appropriate). Namespaces are treated lexically (prefixes kept in names).
+
+#ifndef IDM_XML_XML_H_
+#define IDM_XML_XML_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace idm::xml {
+
+/// An element's attribute: (name, value), document order preserved.
+struct XmlAttribute {
+  std::string name;
+  std::string value;
+};
+
+/// A node of the parsed tree: either an element or a text node.
+struct XmlNode {
+  enum class Kind { kElement, kText };
+
+  Kind kind = Kind::kElement;
+
+  // --- element fields ---
+  std::string name;
+  std::vector<XmlAttribute> attributes;
+  std::vector<std::unique_ptr<XmlNode>> children;
+
+  // --- text fields ---
+  std::string text;
+
+  /// Attribute value lookup; nullptr when absent.
+  const std::string* FindAttribute(const std::string& attr_name) const;
+
+  /// Concatenated text of this subtree (the XPath string-value).
+  std::string TextContent() const;
+
+  /// Number of nodes in this subtree (including this node).
+  size_t SubtreeSize() const;
+};
+
+/// A parsed document: exactly one root element.
+struct XmlDocument {
+  std::unique_ptr<XmlNode> root;
+};
+
+/// Parses \p input. Returns ParseError with line/column context on
+/// malformed input. Comments, processing instructions, the XML declaration
+/// and DOCTYPE are skipped; CDATA becomes text; the predefined entities and
+/// decimal/hex character references are decoded.
+Result<XmlDocument> Parse(const std::string& input);
+
+/// Serializes a document (or subtree) back to XML text. Text is re-escaped;
+/// round-tripping Parse(Serialize(doc)) yields an equal tree.
+std::string Serialize(const XmlDocument& doc);
+std::string SerializeNode(const XmlNode& node);
+
+/// Structural equality of trees (attribute order significant, as in the
+/// Information Set's ordered attribute list reading).
+bool Equals(const XmlNode& a, const XmlNode& b);
+
+/// Escapes &, <, >, ", ' for inclusion in text or attribute values.
+std::string EscapeText(const std::string& s);
+
+}  // namespace idm::xml
+
+#endif  // IDM_XML_XML_H_

@@ -1,0 +1,210 @@
+#include "xml/xml_views.h"
+
+#include "util/string_util.h"
+
+namespace idm::xml {
+
+using core::ContentComponent;
+using core::Domain;
+using core::GroupComponent;
+using core::Schema;
+using core::TupleComponent;
+using core::Value;
+using core::ViewBuilder;
+using core::ViewPtr;
+
+namespace {
+
+/// W_E/T_E: XML attributes become the element view's tuple component.
+TupleComponent AttributeTuple(const XmlNode& node) {
+  if (node.attributes.empty()) return TupleComponent();
+  Schema schema;
+  std::vector<Value> values;
+  for (const auto& attr : node.attributes) {
+    schema.Add(attr.name, Domain::kString);
+    values.push_back(Value::String(attr.value));
+  }
+  return TupleComponent::MakeUnchecked(std::move(schema), std::move(values));
+}
+
+ViewPtr BuildNodeView(const XmlNode& node, const std::string& uri) {
+  if (node.kind == XmlNode::Kind::kText) {
+    return ViewBuilder(uri)
+        .Class("xmltext")
+        .ContentString(node.text)
+        .Build();
+  }
+  std::vector<ViewPtr> children;
+  children.reserve(node.children.size());
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    children.push_back(
+        BuildNodeView(*node.children[i], uri + "/" + std::to_string(i)));
+  }
+  return ViewBuilder(uri)
+      .Class("xmlelem")
+      .Name(node.name)
+      .Tuple(AttributeTuple(node))
+      .GroupSequence(std::move(children))
+      .Build();
+}
+
+}  // namespace
+
+ViewPtr XmlNodeToView(const XmlNode& node, const std::string& uri) {
+  return BuildNodeView(node, uri);
+}
+
+ViewPtr XmlToViews(const XmlDocument& doc, const std::string& uri_prefix) {
+  std::vector<ViewPtr> root;
+  if (doc.root != nullptr) {
+    root.push_back(BuildNodeView(*doc.root, uri_prefix + "#xml"));
+  }
+  return ViewBuilder(uri_prefix + "#xmldoc")
+      .Class("xmldoc")
+      .GroupSequence(std::move(root))
+      .Build();
+}
+
+void SplitServiceCall(const std::string& call, std::string* name,
+                      std::string* args) {
+  std::string trimmed(Trim(call));
+  size_t open = trimmed.find('(');
+  if (open == std::string::npos) {
+    *name = trimmed;
+    args->clear();
+    return;
+  }
+  *name = trimmed.substr(0, open);
+  size_t close = trimmed.rfind(')');
+  if (close == std::string::npos || close < open) close = trimmed.size();
+  *args = trimmed.substr(open + 1, close - open - 1);
+}
+
+namespace {
+
+Status ResolveElement(XmlNode* node, const core::ServiceRegistry& services) {
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    XmlNode* child = node->children[i].get();
+    if (child->kind != XmlNode::Kind::kElement) continue;
+    if (child->name == "sc") {
+      std::string name, args;
+      SplitServiceCall(child->TextContent(), &name, &args);
+      auto payload = services.Call(name, args);
+      if (!payload.ok()) continue;  // unreachable host: stays unresolved
+      auto parsed = Parse(*payload);
+      if (!parsed.ok()) {
+        return parsed.status().WithContext("service '" + name +
+                                           "' returned a malformed payload");
+      }
+      XmlDocument fragment = std::move(parsed).value();
+      // Replace an existing scresult sibling, or insert one after <sc>.
+      auto result = std::make_unique<XmlNode>();
+      result->kind = XmlNode::Kind::kElement;
+      result->name = "scresult";
+      result->children.push_back(std::move(fragment.root));
+      size_t insert_at = i + 1;
+      if (insert_at < node->children.size() &&
+          node->children[insert_at]->kind == XmlNode::Kind::kElement &&
+          node->children[insert_at]->name == "scresult") {
+        node->children[insert_at] = std::move(result);
+      } else {
+        node->children.insert(node->children.begin() + insert_at,
+                              std::move(result));
+      }
+      ++i;  // skip the scresult we just placed
+    } else {
+      IDM_RETURN_NOT_OK(ResolveElement(child, services));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ResolveActiveXml(XmlDocument* doc,
+                        const core::ServiceRegistry& services) {
+  if (doc == nullptr || doc->root == nullptr) return Status::OK();
+  return ResolveElement(doc->root.get(), services);
+}
+
+namespace {
+
+bool HasScChild(const XmlNode& node) {
+  for (const auto& child : node.children) {
+    if (child->kind == XmlNode::Kind::kElement && child->name == "sc") {
+      return true;
+    }
+  }
+  return false;
+}
+
+ViewPtr BuildActiveNodeView(
+    std::shared_ptr<const XmlDocument> doc, const XmlNode* node,
+    const std::string& uri,
+    std::shared_ptr<const core::ServiceRegistry> services) {
+  if (node->kind == XmlNode::Kind::kText) {
+    return ViewBuilder(uri).Class("xmltext").ContentString(node->text).Build();
+  }
+  std::string class_name = "xmlelem";
+  if (node->name == "sc") class_name = "sc";
+  if (node->name == "scresult") class_name = "scresult";
+  if (HasScChild(*node)) class_name = "axml";
+
+  // γ.Q is computed lazily; for axml elements the computation performs the
+  // service call and splices the scresult view into the sequence.
+  auto group_thunk = [doc, node, uri, services]() {
+    std::vector<ViewPtr> out;
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const XmlNode* child = node->children[i].get();
+      std::string child_uri = uri + "/" + std::to_string(i);
+      out.push_back(BuildActiveNodeView(doc, child, child_uri, services));
+      if (child->kind == XmlNode::Kind::kElement && child->name == "sc") {
+        // Already materialized in the document? Then the next child is the
+        // scresult and will be emitted by the loop. Otherwise compute it.
+        bool next_is_result =
+            i + 1 < node->children.size() &&
+            node->children[i + 1]->kind == XmlNode::Kind::kElement &&
+            node->children[i + 1]->name == "scresult";
+        if (next_is_result) continue;
+        std::string name, args;
+        SplitServiceCall(child->TextContent(), &name, &args);
+        auto payload = services->Call(name, args);
+        if (!payload.ok()) continue;
+        auto parsed = Parse(*payload);
+        if (!parsed.ok()) continue;
+        ViewPtr payload_view =
+            XmlNodeToView(*parsed->root, child_uri + "/scresult/0");
+        out.push_back(ViewBuilder(child_uri + "/scresult")
+                          .Class("scresult")
+                          .Name("scresult")
+                          .GroupSequence({std::move(payload_view)})
+                          .Build());
+      }
+    }
+    return out;
+  };
+  return ViewBuilder(uri)
+      .Class(class_name)
+      .Name(node->name)
+      .Tuple(AttributeTuple(*node))
+      .Group(GroupComponent::OfLazySequence(std::move(group_thunk)))
+      .Build();
+}
+
+}  // namespace
+
+ViewPtr ActiveXmlToViews(std::shared_ptr<const XmlDocument> doc,
+                         const std::string& uri_prefix,
+                         std::shared_ptr<const core::ServiceRegistry> services) {
+  std::vector<ViewPtr> roots;
+  if (doc != nullptr && doc->root != nullptr) {
+    roots.push_back(BuildActiveNodeView(doc, doc->root.get(),
+                                        uri_prefix + "#xml", services));
+  }
+  return ViewBuilder(uri_prefix + "#xmldoc")
+      .Class("xmldoc")
+      .GroupSequence(std::move(roots))
+      .Build();
+}
+
+}  // namespace idm::xml

@@ -1,0 +1,57 @@
+// Instantiation of XML in iDM (paper §3.3) and the ActiveXML use-case
+// (paper §4.3.1).
+//
+//   xmltext: V = (χ=C_t)
+//   xmlelem: V = (η=N_E, τ=(W_E,T_E), γ=(∅, ⟨children⟩))  — attributes in τ
+//   xmldoc:  V = (γ=(∅, ⟨V_root^xmlelem⟩))
+//
+// View URIs are "<prefix>#<child-index-path>", e.g. "vfs:/a.xml#xml/0/1" is
+// the second child of the first child of the root element — stable across
+// re-instantiations of the same document.
+
+#ifndef IDM_XML_XML_VIEWS_H_
+#define IDM_XML_XML_VIEWS_H_
+
+#include <memory>
+#include <string>
+
+#include "core/resource_view.h"
+#include "core/service.h"
+#include "xml/xml.h"
+
+namespace idm::xml {
+
+/// Builds the xmldoc view graph for \p doc. The graph is materialized
+/// eagerly (names, attributes and text are copied out of the tree), so the
+/// document need not outlive the views.
+core::ViewPtr XmlToViews(const XmlDocument& doc, const std::string& uri_prefix);
+
+/// Builds the view graph for one element subtree.
+core::ViewPtr XmlNodeToView(const XmlNode& node, const std::string& uri);
+
+/// ActiveXML, eager variant: walks \p doc and, for every element named "sc",
+/// invokes the service named by the element's text content against
+/// \p services, parses the payload as XML and inserts it as a following
+/// "scresult" sibling (paper §4.3.1's GetDepartments example). Existing
+/// scresult siblings are replaced. Unreachable services are left unresolved
+/// (the document stays valid); parse failures of a payload are errors.
+Status ResolveActiveXml(XmlDocument* doc, const core::ServiceRegistry& services);
+
+/// ActiveXML, lazy/intensional variant: like XmlToViews, but every element
+/// containing an "sc" child is exposed with class "axml" and a *lazy* group
+/// sequence — the service is only called (and the scresult subtree only
+/// built) when the group component is first accessed. This is iDM's
+/// intensional-component evaluation (paper §4.3): no call happens unless a
+/// consumer navigates into the element.
+core::ViewPtr ActiveXmlToViews(std::shared_ptr<const XmlDocument> doc,
+                               const std::string& uri_prefix,
+                               std::shared_ptr<const core::ServiceRegistry> services);
+
+/// Splits a service-call string "host/Service(arg)" into name ("host/Service")
+/// and args ("arg"). No parens → empty args.
+void SplitServiceCall(const std::string& call, std::string* name,
+                      std::string* args);
+
+}  // namespace idm::xml
+
+#endif  // IDM_XML_XML_VIEWS_H_

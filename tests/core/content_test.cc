@@ -1,0 +1,99 @@
+#include "core/content.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace idm::core {
+namespace {
+
+TEST(ContentTest, DefaultIsEmptyFinite) {
+  ContentComponent c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.finite());
+  EXPECT_EQ(c.SizeHint(), 0u);
+  EXPECT_EQ(*c.ToString(), "");
+  EXPECT_EQ(c.Prefix(10), "");
+}
+
+TEST(ContentTest, StringContent) {
+  auto c = ContentComponent::OfString("Mike Franklin");
+  EXPECT_FALSE(c.empty());
+  EXPECT_TRUE(c.finite());
+  EXPECT_EQ(c.SizeHint(), 13u);
+  EXPECT_EQ(*c.ToString(), "Mike Franklin");
+  EXPECT_EQ(c.Prefix(4), "Mike");
+  EXPECT_EQ(c.Prefix(1000), "Mike Franklin");
+}
+
+TEST(ContentTest, LazyContentComputesOnceOnDemand) {
+  std::atomic<int> calls{0};
+  auto c = ContentComponent::OfLazy([&calls]() {
+    ++calls;
+    return std::string("computed");
+  });
+  EXPECT_EQ(calls.load(), 0);      // nothing materialized yet (paper §4.1)
+  EXPECT_FALSE(c.SizeHint().has_value());
+  EXPECT_EQ(*c.ToString(), "computed");
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(*c.ToString(), "computed");  // cached
+  EXPECT_EQ(calls.load(), 1);
+  EXPECT_EQ(c.SizeHint(), 8u);  // known after materialization
+}
+
+TEST(ContentTest, LazyCacheSharedAcrossCopies) {
+  int calls = 0;
+  auto c1 = ContentComponent::OfLazy([&calls]() {
+    ++calls;
+    return std::string("x");
+  });
+  ContentComponent c2 = c1;
+  EXPECT_EQ(*c1.ToString(), "x");
+  EXPECT_EQ(*c2.ToString(), "x");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ContentTest, InfiniteContentCannotMaterialize) {
+  auto c = ContentComponent::OfInfinite(
+      [](uint64_t i) { return std::string(1, static_cast<char>('a' + i % 26)); });
+  EXPECT_FALSE(c.empty());
+  EXPECT_FALSE(c.finite());
+  EXPECT_FALSE(c.SizeHint().has_value());
+  auto r = c.ToString();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ContentTest, InfinitePrefixIsBounded) {
+  // A media stream (paper §4.4): χ = ⟨c_1, ...⟩ with l → ∞.
+  auto c = ContentComponent::OfInfinite(
+      [](uint64_t i) { return std::string(1, static_cast<char>('a' + i % 26)); });
+  EXPECT_EQ(c.Prefix(5), "abcde");
+  EXPECT_EQ(c.Prefix(0), "");
+}
+
+TEST(ContentTest, ReaderStreamsChunks) {
+  auto c = ContentComponent::OfString("hello");
+  auto reader = c.OpenReader();
+  std::string all;
+  while (auto chunk = reader->NextChunk()) all += *chunk;
+  EXPECT_EQ(all, "hello");
+}
+
+TEST(ContentTest, EachReaderRestartsInfiniteContent) {
+  auto c = ContentComponent::OfInfinite(
+      [](uint64_t i) { return std::to_string(i); });
+  auto r1 = c.OpenReader();
+  EXPECT_EQ(*r1->NextChunk(), "0");
+  EXPECT_EQ(*r1->NextChunk(), "1");
+  auto r2 = c.OpenReader();
+  EXPECT_EQ(*r2->NextChunk(), "0");  // independent cursor
+}
+
+TEST(ContentTest, PrefixTruncatesMidChunk) {
+  auto c = ContentComponent::OfInfinite([](uint64_t) { return std::string("abcdef"); });
+  EXPECT_EQ(c.Prefix(4), "abcd");
+}
+
+}  // namespace
+}  // namespace idm::core

@@ -1,0 +1,95 @@
+#include "core/describe.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_class.h"
+
+namespace idm::core {
+namespace {
+
+TEST(DescribeTest, EmptyView) {
+  ViewPtr v = ViewBuilder("t:x").Build();
+  EXPECT_EQ(DescribeView(*v), "V = (⟨⟩, (), ⟨⟩, (∅, ⟨⟩))");
+}
+
+TEST(DescribeTest, PaperPimFolderShape) {
+  // The V_PIM rendering of §2.3.
+  Micros created = 0, modified = 0;
+  ASSERT_TRUE(ParseDate("19.03.2005", &created));
+  created += (11 * 3600 + 54 * 60) * 1000000LL;
+  ASSERT_TRUE(ParseDate("22.09.2005", &modified));
+  modified += (16 * 3600 + 14 * 60) * 1000000LL;
+  ViewPtr tex = ViewBuilder("vfs:/Projects/PIM/vldb 2006.tex")
+                    .Name("vldb 2006.tex")
+                    .Build();
+  ViewPtr doc = ViewBuilder("vfs:/Projects/PIM/Grant.doc").Name("Grant.doc").Build();
+  ViewPtr link = ViewBuilder("vfs:/Projects/PIM/All Projects")
+                     .Name("All Projects")
+                     .Build();
+  ViewPtr pim =
+      ViewBuilder("vfs:/Projects/PIM")
+          .Name("PIM")
+          .Tuple(TupleComponent::MakeUnchecked(
+              Schema()
+                  .Add("creation time", Domain::kDate)
+                  .Add("size", Domain::kInt)
+                  .Add("last modified time", Domain::kDate),
+              {Value::Date(created), Value::Int(4096), Value::Date(modified)}))
+          .GroupSet({tex, doc, link})
+          .Build();
+  EXPECT_EQ(DescribeView(*pim),
+            "V = ('PIM', (creation time=19/03/2005 11:54, size=4096, "
+            "last modified time=22/09/2005 16:14), ⟨⟩, "
+            "({'vldb 2006.tex', 'Grant.doc', 'All Projects'}, ⟨⟩))");
+}
+
+TEST(DescribeTest, ContentEliding) {
+  ViewPtr v = ViewBuilder("t:x").ContentString(std::string(100, 'a')).Build();
+  DescribeOptions options;
+  options.max_content = 5;
+  EXPECT_EQ(DescribeView(*v, options), "V = (⟨⟩, (), ⟨aaaaa...⟩, (∅, ⟨⟩))");
+}
+
+TEST(DescribeTest, InfiniteContentMarked) {
+  ViewPtr v = ViewBuilder("t:x")
+                  .Content(ContentComponent::OfInfinite(
+                      [](uint64_t) { return std::string("ab"); }))
+                  .Build();
+  DescribeOptions options;
+  options.max_content = 4;
+  EXPECT_EQ(DescribeView(*v, options), "V = (⟨⟩, (), ⟨abab, ...⟩_{l→∞}, (∅, ⟨⟩))");
+}
+
+TEST(DescribeTest, InfiniteSequenceMarked) {
+  ViewPtr v = ViewBuilder("t:s")
+                  .Group(GroupComponent::OfInfiniteSequence([](uint64_t i) {
+                    return ViewBuilder("t:" + std::to_string(i))
+                        .Name("m" + std::to_string(i))
+                        .Build();
+                  }))
+                  .Build();
+  EXPECT_EQ(DescribeView(*v),
+            "V = (⟨⟩, (), ⟨⟩, (∅, ⟨'m0', 'm1', ...⟩_{n→∞}))");
+}
+
+TEST(DescribeTest, RelatedViewsElideAtLimit) {
+  std::vector<ViewPtr> children;
+  for (int i = 0; i < 6; ++i) {
+    children.push_back(
+        ViewBuilder("t:" + std::to_string(i)).Name(std::to_string(i)).Build());
+  }
+  ViewPtr v = ViewBuilder("t:p").GroupSet(children).Build();
+  DescribeOptions options;
+  options.max_related = 2;
+  EXPECT_EQ(DescribeView(*v, options),
+            "V = (⟨⟩, (), ⟨⟩, ({'0', '1', ...}, ⟨⟩))");
+}
+
+TEST(DescribeTest, UnnamedRelatedViewsFallBackToUri) {
+  ViewPtr anon = ViewBuilder("xml:frag#0").Build();
+  ViewPtr v = ViewBuilder("t:p").GroupSequence({anon}).Build();
+  EXPECT_EQ(DescribeView(*v), "V = (⟨⟩, (), ⟨⟩, (∅, ⟨'xml:frag#0'⟩))");
+}
+
+}  // namespace
+}  // namespace idm::core

@@ -1,0 +1,185 @@
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::core {
+namespace {
+
+ViewPtr Node(const std::string& name, std::vector<ViewPtr> children = {}) {
+  return ViewBuilder("test:" + name)
+      .Name(name)
+      .GroupSet(std::move(children))
+      .Build();
+}
+
+TEST(TraverseTest, VisitsTreeOnce) {
+  auto leaf1 = Node("l1"), leaf2 = Node("l2");
+  auto root = Node("root", {Node("mid", {leaf1, leaf2}), Node("mid2")});
+  std::vector<std::string> order;
+  TraversalStats stats =
+      Traverse({root}, {}, [&order](const ViewPtr& v, size_t) {
+        order.push_back(v->GetNameComponent());
+        return VisitAction::kContinue;
+      });
+  EXPECT_EQ(stats.views_visited, 5u);
+  EXPECT_EQ(stats.edges_followed, 4u);
+  EXPECT_FALSE(stats.cycle_found);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(order[0], "root");  // BFS: root first, leaves last
+  EXPECT_EQ(order.back().substr(0, 1), "l");
+}
+
+TEST(TraverseTest, CycleTerminatesAndIsReported) {
+  // Paper §2.3: Projects → PIM → All Projects → Projects forms a cycle.
+  // Build it with lazy groups so construction can close the loop.
+  std::shared_ptr<ViewPtr> projects_slot = std::make_shared<ViewPtr>();
+  ViewPtr all_projects =
+      ViewBuilder("vfs:/Projects/PIM/All Projects")
+          .Name("All Projects")
+          .Group(GroupComponent::OfLazySet(
+              [projects_slot]() { return std::vector<ViewPtr>{*projects_slot}; }))
+          .Build();
+  ViewPtr pim = Node("PIM", {all_projects});
+  ViewPtr projects = ViewBuilder("vfs:/Projects")
+                         .Name("Projects")
+                         .GroupSet({pim})
+                         .Build();
+  *projects_slot = projects;
+
+  TraversalStats stats = Traverse({projects}, {}, [](const ViewPtr&, size_t) {
+    return VisitAction::kContinue;
+  });
+  EXPECT_EQ(stats.views_visited, 3u);
+  EXPECT_TRUE(stats.cycle_found);
+}
+
+TEST(TraverseTest, MaxViewsTruncates) {
+  auto root = Node("root", {Node("a"), Node("b"), Node("c")});
+  TraversalOptions opts;
+  opts.max_views = 2;
+  TraversalStats stats = Traverse({root}, opts, [](const ViewPtr&, size_t) {
+    return VisitAction::kContinue;
+  });
+  EXPECT_EQ(stats.views_visited, 2u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(TraverseTest, MaxDepthStopsExpansion) {
+  auto root = Node("root", {Node("mid", {Node("leaf")})});
+  TraversalOptions opts;
+  opts.max_depth = 1;
+  size_t visited = 0;
+  Traverse({root}, opts, [&visited](const ViewPtr&, size_t depth) {
+    EXPECT_LE(depth, 1u);
+    ++visited;
+    return VisitAction::kContinue;
+  });
+  EXPECT_EQ(visited, 2u);  // root + mid, leaf not expanded
+}
+
+TEST(TraverseTest, SkipChildrenPrunes) {
+  auto root = Node("root", {Node("prune", {Node("hidden")}), Node("keep")});
+  std::vector<std::string> seen;
+  Traverse({root}, {}, [&seen](const ViewPtr& v, size_t) {
+    seen.push_back(v->GetNameComponent());
+    return v->GetNameComponent() == "prune" ? VisitAction::kSkipChildren
+                                            : VisitAction::kContinue;
+  });
+  EXPECT_EQ(seen.size(), 3u);  // hidden never visited
+}
+
+TEST(TraverseTest, StopAborts) {
+  auto root = Node("root", {Node("a"), Node("b")});
+  size_t visited = 0;
+  TraversalStats stats = Traverse({root}, {}, [&visited](const ViewPtr&, size_t) {
+    ++visited;
+    return VisitAction::kStop;
+  });
+  EXPECT_EQ(visited, 1u);
+  EXPECT_TRUE(stats.truncated);
+}
+
+TEST(TraverseTest, InfiniteSequenceBoundedByPrefix) {
+  ViewPtr stream = ViewBuilder("test:stream")
+                       .Group(GroupComponent::OfInfiniteSequence([](uint64_t i) {
+                         return ViewBuilder("test:item" + std::to_string(i)).Build();
+                       }))
+                       .Build();
+  TraversalOptions opts;
+  opts.infinite_prefix = 5;
+  TraversalStats stats = Traverse({stream}, opts, [](const ViewPtr&, size_t) {
+    return VisitAction::kContinue;
+  });
+  EXPECT_EQ(stats.views_visited, 6u);  // stream + 5 items
+  EXPECT_TRUE(stats.truncated);        // an infinite Q is never exhausted
+}
+
+TEST(CollectSubgraphTest, IncludesRoot) {
+  auto root = Node("root", {Node("a")});
+  auto all = CollectSubgraph(root);
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0]->GetNameComponent(), "root");
+}
+
+TEST(FindAllTest, FiltersByPredicate) {
+  auto root = Node("root", {Node("Introduction"), Node("Conclusion"),
+                            Node("Introduction2")});
+  auto found = FindAll(root, [](const ResourceView& v) {
+    return v.GetNameComponent().starts_with("Introduction");
+  });
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(IndirectRelatednessTest, PaperDefinition) {
+  // Definition 1 (iv): V_i ⇝ V_k via a chain of direct relations.
+  auto c = Node("c");
+  auto b = Node("b", {c});
+  auto a = Node("a", {b});
+  EXPECT_TRUE(IsIndirectlyRelated(a, c));
+  EXPECT_TRUE(IsIndirectlyRelated(a, b));
+  EXPECT_FALSE(IsIndirectlyRelated(c, a));
+  EXPECT_FALSE(IsIndirectlyRelated(a, a));  // no cycle: not self-related
+}
+
+TEST(IndirectRelatednessTest, SelfRelatedOnCycle) {
+  std::shared_ptr<ViewPtr> slot = std::make_shared<ViewPtr>();
+  ViewPtr a = ViewBuilder("test:a")
+                  .Group(GroupComponent::OfLazySet(
+                      [slot]() { return std::vector<ViewPtr>{*slot}; }))
+                  .Build();
+  ViewPtr b = Node("b", {a});
+  *slot = b;
+  EXPECT_TRUE(IsIndirectlyRelated(a, a));
+}
+
+TEST(ClassifyShapeTest, Tree) {
+  EXPECT_EQ(ClassifyShape(Node("r", {Node("a"), Node("b", {Node("c")})})),
+            GraphShape::kTree);
+}
+
+TEST(ClassifyShapeTest, DagViaSharedChild) {
+  // Paper §2.3: V_Preliminaries is directly related to both V_document and
+  // V_ref — a shared node makes the graph a DAG.
+  auto shared = Node("Preliminaries");
+  auto root = Node("doc", {Node("document", {shared}), Node("ref", {shared})});
+  EXPECT_EQ(ClassifyShape(root), GraphShape::kDag);
+}
+
+TEST(ClassifyShapeTest, Cycle) {
+  std::shared_ptr<ViewPtr> slot = std::make_shared<ViewPtr>();
+  ViewPtr a = ViewBuilder("test:a")
+                  .Group(GroupComponent::OfLazySet(
+                      [slot]() { return std::vector<ViewPtr>{*slot}; }))
+                  .Build();
+  ViewPtr root = Node("root", {a});
+  *slot = root;
+  EXPECT_EQ(ClassifyShape(root), GraphShape::kCyclic);
+}
+
+TEST(ClassifyShapeTest, SingleNode) {
+  EXPECT_EQ(ClassifyShape(Node("solo")), GraphShape::kTree);
+  EXPECT_EQ(ClassifyShape(nullptr), GraphShape::kTree);
+}
+
+}  // namespace
+}  // namespace idm::core

@@ -1,0 +1,118 @@
+#include "core/group.h"
+
+#include <gtest/gtest.h>
+
+#include "core/resource_view.h"
+
+namespace idm::core {
+namespace {
+
+ViewPtr Leaf(const std::string& name) {
+  return ViewBuilder("test:" + name).Name(name).Build();
+}
+
+std::vector<std::string> Names(const std::vector<ViewPtr>& views) {
+  std::vector<std::string> out;
+  for (const auto& v : views) out.push_back(v->GetNameComponent());
+  return out;
+}
+
+TEST(GroupTest, DefaultIsEmpty) {
+  GroupComponent g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_FALSE(g.has_set());
+  EXPECT_FALSE(g.has_sequence());
+  EXPECT_TRUE(g.set().empty());
+  EXPECT_TRUE(g.sequence_finite());
+  EXPECT_EQ(g.SequenceSizeHint(), 0u);
+  EXPECT_EQ(g.OpenSequence()->Next(), nullptr);
+  EXPECT_TRUE(g.DirectlyRelated().empty());
+}
+
+TEST(GroupTest, FiniteSet) {
+  auto g = GroupComponent::OfSet({Leaf("a"), Leaf("b")});
+  EXPECT_FALSE(g.empty());
+  EXPECT_TRUE(g.has_set());
+  EXPECT_EQ(g.set().size(), 2u);
+  EXPECT_EQ(Names(g.DirectlyRelated()), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(GroupTest, LazySetComputedOnceOnFirstAccess) {
+  int calls = 0;
+  auto g = GroupComponent::OfLazySet([&calls]() {
+    ++calls;
+    return std::vector<ViewPtr>{Leaf("lazy")};
+  });
+  EXPECT_EQ(calls, 0);  // paper §4.1: components computed on demand
+  EXPECT_EQ(g.set().size(), 1u);
+  EXPECT_EQ(g.set().size(), 1u);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(GroupTest, FiniteSequencePreservesOrder) {
+  auto g = GroupComponent::OfSequence({Leaf("1"), Leaf("2"), Leaf("3")});
+  EXPECT_TRUE(g.sequence_finite());
+  EXPECT_EQ(g.SequenceSizeHint(), 3u);
+  auto vec = g.SequenceToVector();
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(Names(*vec), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(GroupTest, LazySequence) {
+  int calls = 0;
+  auto g = GroupComponent::OfLazySequence([&calls]() {
+    ++calls;
+    return std::vector<ViewPtr>{Leaf("x")};
+  });
+  EXPECT_FALSE(g.SequenceSizeHint().has_value());  // not yet materialized
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(g.SequenceToVector()->size(), 1u);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(g.SequenceSizeHint(), 1u);
+}
+
+TEST(GroupTest, InfiniteSequenceCursorNeverEnds) {
+  auto g = GroupComponent::OfInfiniteSequence(
+      [](uint64_t i) { return Leaf("v" + std::to_string(i)); });
+  EXPECT_FALSE(g.sequence_finite());
+  EXPECT_FALSE(g.SequenceSizeHint().has_value());
+  auto cursor = g.OpenSequence();
+  for (int i = 0; i < 100; ++i) {
+    ViewPtr v = cursor->Next();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->GetNameComponent(), "v" + std::to_string(i));
+  }
+}
+
+TEST(GroupTest, InfiniteSequenceCannotMaterialize) {
+  auto g = GroupComponent::OfInfiniteSequence([](uint64_t) { return Leaf("v"); });
+  auto r = g.SequenceToVector();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupTest, DirectlyRelatedCombinesSetAndSequence) {
+  auto g = GroupComponent::Make(GroupComponent::OfSet({Leaf("s")}),
+                                GroupComponent::OfSequence({Leaf("q")}));
+  EXPECT_EQ(Names(g.DirectlyRelated()), (std::vector<std::string>{"s", "q"}));
+}
+
+TEST(GroupTest, DirectlyRelatedBoundsInfiniteSequence) {
+  auto g = GroupComponent::OfInfiniteSequence(
+      [](uint64_t i) { return Leaf(std::to_string(i)); });
+  EXPECT_TRUE(g.DirectlyRelated(0).empty());
+  EXPECT_EQ(g.DirectlyRelated(3).size(), 3u);
+}
+
+TEST(GroupTest, CursorsAreIndependent) {
+  auto g = GroupComponent::OfSequence({Leaf("a"), Leaf("b")});
+  auto c1 = g.OpenSequence();
+  auto c2 = g.OpenSequence();
+  EXPECT_EQ(c1->Next()->GetNameComponent(), "a");
+  EXPECT_EQ(c2->Next()->GetNameComponent(), "a");
+  EXPECT_EQ(c1->Next()->GetNameComponent(), "b");
+  EXPECT_EQ(c1->Next(), nullptr);
+}
+
+}  // namespace
+}  // namespace idm::core

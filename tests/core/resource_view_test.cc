@@ -1,0 +1,105 @@
+#include "core/resource_view.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_class.h"
+
+namespace idm::core {
+namespace {
+
+TEST(ViewBuilderTest, AllComponents) {
+  auto tuple = TupleComponent::Make(FileSystemSchema(),
+                                    {Value::Int(4096), Value::Date(1),
+                                     Value::Date(2)});
+  ASSERT_TRUE(tuple.ok());
+  ViewPtr child = ViewBuilder("test:child").Name("child").Build();
+  ViewPtr v = ViewBuilder("vfs:/Projects/PIM")
+                  .Class("folder")
+                  .Name("PIM")
+                  .Tuple(*tuple)
+                  .GroupSet({child})
+                  .Build();
+  EXPECT_EQ(v->uri(), "vfs:/Projects/PIM");
+  EXPECT_EQ(v->class_name(), "folder");
+  EXPECT_EQ(v->GetNameComponent(), "PIM");
+  EXPECT_EQ(v->GetTupleComponent().Get("size")->AsInt(), 4096);
+  EXPECT_TRUE(v->GetContentComponent().empty());
+  EXPECT_EQ(v->GetGroupComponent().set().size(), 1u);
+}
+
+TEST(ViewBuilderTest, OmittedComponentsAreEmpty) {
+  ViewPtr v = ViewBuilder("test:x").Build();
+  EXPECT_EQ(v->GetNameComponent(), "");
+  EXPECT_EQ(v->class_name(), "");
+  EXPECT_TRUE(v->GetTupleComponent().empty());
+  EXPECT_TRUE(v->GetContentComponent().empty());
+  EXPECT_TRUE(v->GetGroupComponent().empty());
+}
+
+TEST(ViewBuilderTest, GroupSetThenSequenceKeepsBoth) {
+  ViewPtr s = ViewBuilder("test:s").Name("s").Build();
+  ViewPtr q = ViewBuilder("test:q").Name("q").Build();
+  ViewPtr v =
+      ViewBuilder("test:v").GroupSet({s}).GroupSequence({q}).Build();
+  GroupComponent g = v->GetGroupComponent();
+  EXPECT_EQ(g.set().size(), 1u);
+  EXPECT_EQ(g.SequenceToVector()->size(), 1u);
+  EXPECT_EQ(g.DirectlyRelated().size(), 2u);
+}
+
+TEST(FunctionalViewTest, ComponentsComputedPerAccess) {
+  int name_calls = 0;
+  FunctionalResourceView::Providers providers;
+  providers.name = [&name_calls]() {
+    ++name_calls;
+    return std::string("dynamic");
+  };
+  FunctionalResourceView v("svc:x", "", std::move(providers));
+  EXPECT_EQ(name_calls, 0);
+  EXPECT_EQ(v.GetNameComponent(), "dynamic");
+  EXPECT_EQ(v.GetNameComponent(), "dynamic");
+  EXPECT_EQ(name_calls, 2);  // functional views do not cache
+}
+
+TEST(FunctionalViewTest, MissingProvidersYieldEmptyComponents) {
+  FunctionalResourceView v("svc:y", "file", {});
+  EXPECT_EQ(v.GetNameComponent(), "");
+  EXPECT_TRUE(v.GetTupleComponent().empty());
+  EXPECT_TRUE(v.GetContentComponent().empty());
+  EXPECT_TRUE(v.GetGroupComponent().empty());
+  EXPECT_EQ(v.class_name(), "file");
+}
+
+TEST(DirectRelatednessTest, PaperDefinition) {
+  // Definition 1 (iii): V_i → V_k iff V_k ∈ S ∪ Q.
+  ViewPtr a = ViewBuilder("test:a").Name("a").Build();
+  ViewPtr b = ViewBuilder("test:b").Name("b").GroupSet({a}).Build();
+  ViewPtr c = ViewBuilder("test:c").Name("c").GroupSequence({b}).Build();
+  EXPECT_TRUE(IsDirectlyRelated(*b, *a));
+  EXPECT_TRUE(IsDirectlyRelated(*c, *b));
+  EXPECT_FALSE(IsDirectlyRelated(*c, *a));  // only indirectly related
+  EXPECT_FALSE(IsDirectlyRelated(*a, *b));  // edges are directed
+}
+
+TEST(DirectRelatednessTest, IdentityIsByUri) {
+  ViewPtr a1 = ViewBuilder("test:a").Name("a").Build();
+  ViewPtr a2 = ViewBuilder("test:a").Name("a").Build();  // same logical node
+  ViewPtr p = ViewBuilder("test:p").GroupSet({a1}).Build();
+  EXPECT_TRUE(IsDirectlyRelated(*p, *a2));
+}
+
+TEST(DirectRelatednessTest, InfiniteSequenceCheckedUpToPrefix) {
+  ViewPtr target = ViewBuilder("test:42").Build();
+  ViewPtr stream =
+      ViewBuilder("test:stream")
+          .Class("datstream")
+          .Group(GroupComponent::OfInfiniteSequence([](uint64_t i) {
+            return ViewBuilder("test:" + std::to_string(i)).Build();
+          }))
+          .Build();
+  EXPECT_TRUE(IsDirectlyRelated(*stream, *target, /*infinite_prefix=*/64));
+  EXPECT_FALSE(IsDirectlyRelated(*stream, *target, /*infinite_prefix=*/10));
+}
+
+}  // namespace
+}  // namespace idm::core

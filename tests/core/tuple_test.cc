@@ -1,0 +1,96 @@
+#include "core/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_class.h"
+
+namespace idm::core {
+namespace {
+
+Schema PimSchema() {
+  return Schema()
+      .Add("creation time", Domain::kDate)
+      .Add("size", Domain::kInt)
+      .Add("last modified time", Domain::kDate);
+}
+
+TEST(SchemaTest, IndexOfIsCaseInsensitive) {
+  Schema s = PimSchema();
+  EXPECT_EQ(s.IndexOf("size"), 1u);
+  EXPECT_EQ(s.IndexOf("SIZE"), 1u);
+  EXPECT_EQ(s.IndexOf("Creation Time"), 0u);
+  EXPECT_FALSE(s.IndexOf("owner").has_value());
+}
+
+TEST(SchemaTest, ToStringListsRoles) {
+  EXPECT_EQ(Schema().Add("size", Domain::kInt).ToString(), "(size: int)");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(PimSchema(), PimSchema());
+  EXPECT_NE(PimSchema(), Schema().Add("size", Domain::kInt));
+}
+
+TEST(TupleComponentTest, EmptyDenotesTauEmpty) {
+  TupleComponent t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.ToString(), "()");
+  EXPECT_FALSE(t.Get("size").has_value());
+}
+
+TEST(TupleComponentTest, MakeValidatesArity) {
+  auto r = TupleComponent::Make(PimSchema(), {Value::Date(0)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TupleComponentTest, MakeValidatesDomains) {
+  auto r = TupleComponent::Make(
+      PimSchema(), {Value::Date(0), Value::String("4096"), Value::Date(0)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("size"), std::string::npos);
+}
+
+TEST(TupleComponentTest, NullValuesConformToAnyDomain) {
+  auto r = TupleComponent::Make(
+      PimSchema(), {Value::Null(), Value::Int(4096), Value::Null()});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Get("creation time")->is_null());
+}
+
+TEST(TupleComponentTest, PaperPimFolderExample) {
+  // τ_PIM from paper §2.3: W = ⟨creation time, size, last modified time⟩,
+  // T = ⟨'19/03/2005 11:54', 4096, '22/09/2005 16:14'⟩.
+  Micros created = 0, modified = 0;
+  ASSERT_TRUE(ParseDate("19.03.2005", &created));
+  created += (11 * 3600 + 54 * 60) * 1000000LL;
+  ASSERT_TRUE(ParseDate("22.09.2005", &modified));
+  modified += (16 * 3600 + 14 * 60) * 1000000LL;
+  auto r = TupleComponent::Make(
+      PimSchema(),
+      {Value::Date(created), Value::Int(4096), Value::Date(modified)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Get("size")->AsInt(), 4096);
+  EXPECT_EQ(r->Get("creation time")->ToString(), "19/03/2005 11:54");
+  EXPECT_EQ(
+      r->ToString(),
+      "(creation time=19/03/2005 11:54, size=4096, last modified time=22/09/2005 16:14)");
+}
+
+TEST(TupleComponentTest, GetByMissingAttribute) {
+  auto r = TupleComponent::Make(Schema().Add("a", Domain::kInt), {Value::Int(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Get("b").has_value());
+}
+
+TEST(FileSystemSchemaTest, MatchesPaperWfs) {
+  const Schema& fs = FileSystemSchema();
+  EXPECT_TRUE(fs.IndexOf("size").has_value());
+  EXPECT_TRUE(fs.IndexOf("creation time").has_value());
+  EXPECT_TRUE(fs.IndexOf("last modified time").has_value());
+  EXPECT_EQ(fs.at(*fs.IndexOf("size")).domain, Domain::kInt);
+  EXPECT_EQ(fs.at(*fs.IndexOf("creation time")).domain, Domain::kDate);
+}
+
+}  // namespace
+}  // namespace idm::core

@@ -1,0 +1,76 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::core {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.domain(), Domain::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("PIM").AsString(), "PIM");
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Date(123456789).AsDate(), 123456789);
+}
+
+TEST(ValueTest, DomainsAreTagged) {
+  EXPECT_EQ(Value::Int(1).domain(), Domain::kInt);
+  EXPECT_EQ(Value::Double(1).domain(), Domain::kDouble);
+  EXPECT_EQ(Value::String("").domain(), Domain::kString);
+  EXPECT_EQ(Value::Bool(false).domain(), Domain::kBool);
+  EXPECT_EQ(Value::Date(0).domain(), Domain::kDate);
+}
+
+TEST(ValueTest, NumericCoercion) {
+  double out = 0;
+  EXPECT_TRUE(Value::Int(7).ToNumeric(&out));
+  EXPECT_DOUBLE_EQ(out, 7.0);
+  EXPECT_TRUE(Value::Date(1000).ToNumeric(&out));
+  EXPECT_DOUBLE_EQ(out, 1000.0);
+  EXPECT_TRUE(Value::Bool(true).ToNumeric(&out));
+  EXPECT_DOUBLE_EQ(out, 1.0);
+  EXPECT_FALSE(Value::String("7").ToNumeric(&out));
+  EXPECT_FALSE(Value::Null().ToNumeric(&out));
+}
+
+TEST(ValueTest, CompareWithinDomain) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_EQ(Value::Int(2), Value::Int(2));
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_LT(Value::Date(10), Value::Date(20));
+}
+
+TEST(ValueTest, CompareAcrossNumericDomains) {
+  // ints and doubles compare numerically, supporting mixed tuple indexes.
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_LT(Value::Int(2), Value::Double(2.5));
+}
+
+TEST(ValueTest, NullComparesEqualToNullOnly) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_NE(Value::Null().Compare(Value::Int(0)), 0);
+  EXPECT_NE(Value::Null().Compare(Value::String("")), 0);
+}
+
+TEST(ValueTest, DateRendersInPaperNotation) {
+  Micros t = 0;
+  ASSERT_TRUE(ParseDate("22.09.2005", &t));
+  t += (16 * 3600 + 14 * 60) * 1000000LL;
+  EXPECT_EQ(Value::Date(t).ToString(), "22/09/2005 16:14");
+}
+
+TEST(ValueTest, MemoryUsageCountsStringHeap) {
+  Value small = Value::Int(1);
+  Value big = Value::String(std::string(1024, 'x'));
+  EXPECT_GT(big.MemoryUsage(), small.MemoryUsage() + 1000);
+}
+
+}  // namespace
+}  // namespace idm::core

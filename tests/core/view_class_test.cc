@@ -1,0 +1,256 @@
+#include "core/view_class.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::core {
+namespace {
+
+TupleComponent FsTuple(int64_t size = 4096) {
+  return TupleComponent::MakeUnchecked(
+      FileSystemSchema(), {Value::Int(size), Value::Date(1), Value::Date(2)});
+}
+
+ViewPtr FileView(const std::string& name, std::string content = "data") {
+  return ViewBuilder("vfs:/" + name)
+      .Class("file")
+      .Name(name)
+      .Tuple(FsTuple())
+      .ContentString(std::move(content))
+      .Build();
+}
+
+class StandardRegistryTest : public ::testing::Test {
+ protected:
+  ClassRegistry reg_ = ClassRegistry::Standard();
+};
+
+TEST_F(StandardRegistryTest, Table1ClassesRegistered) {
+  for (const char* name :
+       {"file", "folder", "tuple", "relation", "reldb", "xmltext", "xmlelem",
+        "xmldoc", "xmlfile", "datstream", "tupstream", "rssatom"}) {
+    EXPECT_NE(reg_.Lookup(name), nullptr) << name;
+  }
+}
+
+TEST_F(StandardRegistryTest, GeneralizationHierarchy) {
+  // Paper §3.1: a view obeying C automatically obeys all generalizations.
+  EXPECT_TRUE(reg_.IsSubclassOf("xmlfile", "file"));
+  EXPECT_TRUE(reg_.IsSubclassOf("latexfile", "file"));
+  EXPECT_TRUE(reg_.IsSubclassOf("tupstream", "datstream"));
+  EXPECT_TRUE(reg_.IsSubclassOf("rssatom", "datstream"));
+  EXPECT_TRUE(reg_.IsSubclassOf("axml", "xmlelem"));
+  EXPECT_TRUE(reg_.IsSubclassOf("file", "file"));
+  EXPECT_FALSE(reg_.IsSubclassOf("file", "folder"));
+  EXPECT_FALSE(reg_.IsSubclassOf("nonexistent", "file"));
+}
+
+TEST_F(StandardRegistryTest, FileConformance) {
+  EXPECT_TRUE(reg_.CheckConformance(*FileView("a.txt")).ok());
+}
+
+TEST_F(StandardRegistryTest, EmptyFileStillConforms) {
+  EXPECT_TRUE(reg_.CheckConformance(*FileView("empty.txt", "")).ok());
+}
+
+TEST_F(StandardRegistryTest, FileWithNoNameFails) {
+  ViewPtr v = ViewBuilder("vfs:/x").Class("file").Tuple(FsTuple()).Build();
+  Status s = reg_.CheckConformance(*v);
+  EXPECT_EQ(s.code(), StatusCode::kConformanceError);
+  EXPECT_NE(s.message().find("name"), std::string::npos);
+}
+
+TEST_F(StandardRegistryTest, FileWithWrongSchemaFails) {
+  ViewPtr v = ViewBuilder("vfs:/x")
+                  .Class("file")
+                  .Name("x")
+                  .Tuple(TupleComponent::MakeUnchecked(
+                      Schema().Add("owner", Domain::kString),
+                      {Value::String("jens")}))
+                  .Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, FileWithChildrenFails) {
+  ViewPtr v = ViewBuilder("vfs:/x")
+                  .Class("file")
+                  .Name("x")
+                  .Tuple(FsTuple())
+                  .GroupSet({FileView("child")})
+                  .Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, FolderConformance) {
+  ViewPtr folder = ViewBuilder("vfs:/dir")
+                       .Class("folder")
+                       .Name("dir")
+                       .Tuple(FsTuple())
+                       .GroupSet({FileView("a.txt")})
+                       .Build();
+  EXPECT_TRUE(reg_.CheckConformance(*folder).ok());
+}
+
+TEST_F(StandardRegistryTest, FolderWithContentFails) {
+  ViewPtr v = ViewBuilder("vfs:/dir")
+                  .Class("folder")
+                  .Name("dir")
+                  .Tuple(FsTuple())
+                  .ContentString("folders have no bytes")
+                  .Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, FolderRejectsNonFsChildren) {
+  ViewPtr tuple_view = ViewBuilder("rel:t")
+                           .Class("tuple")
+                           .Tuple(TupleComponent::MakeUnchecked(
+                               Schema().Add("a", Domain::kInt), {Value::Int(1)}))
+                           .Build();
+  ViewPtr v = ViewBuilder("vfs:/dir")
+                  .Class("folder")
+                  .Name("dir")
+                  .Tuple(FsTuple())
+                  .GroupSet({tuple_view})
+                  .Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, FolderAcceptsSubclassChildren) {
+  // An xmlfile is-a file, so a folder may contain it.
+  ViewPtr xmlfile = ViewBuilder("vfs:/doc.xml")
+                        .Class("xmlfile")
+                        .Name("doc.xml")
+                        .Tuple(FsTuple())
+                        .ContentString("<a/>")
+                        .GroupSequence({ViewBuilder("xml:doc")
+                                            .Class("xmldoc")
+                                            .Build()})
+                        .Build();
+  ViewPtr folder = ViewBuilder("vfs:/dir")
+                       .Class("folder")
+                       .Name("dir")
+                       .Tuple(FsTuple())
+                       .GroupSet({xmlfile})
+                       .Build();
+  EXPECT_TRUE(reg_.CheckConformance(*folder).ok());
+}
+
+TEST_F(StandardRegistryTest, XmlFileRefinesFileGroupRestriction) {
+  // Table 1: xmlfile has Q = ⟨V_doc^xmldoc⟩ although file requires Q = ⟨⟩.
+  ViewPtr doc = ViewBuilder("xml:d").Class("xmldoc").Build();
+  ViewPtr v = ViewBuilder("vfs:/d.xml")
+                  .Class("xmlfile")
+                  .Name("d.xml")
+                  .Tuple(FsTuple())
+                  .ContentString("<a/>")
+                  .GroupSequence({doc})
+                  .Build();
+  EXPECT_TRUE(reg_.CheckConformance(*v).ok());
+}
+
+TEST_F(StandardRegistryTest, XmlFileRejectsNonXmldocChild) {
+  ViewPtr v = ViewBuilder("vfs:/d.xml")
+                  .Class("xmlfile")
+                  .Name("d.xml")
+                  .Tuple(FsTuple())
+                  .GroupSequence({FileView("other")})
+                  .Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, XmlTextRequiresContent) {
+  ViewPtr good = ViewBuilder("xml:t").Class("xmltext").ContentString("hi").Build();
+  EXPECT_TRUE(reg_.CheckConformance(*good).ok());
+  ViewPtr named = ViewBuilder("xml:t2").Class("xmltext").Name("x").ContentString("hi").Build();
+  EXPECT_EQ(reg_.CheckConformance(*named).code(), StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, DatstreamRequiresInfiniteSequence) {
+  ViewPtr finite = ViewBuilder("s:1")
+                       .Class("datstream")
+                       .Group(GroupComponent::OfSequence({FileView("x")}))
+                       .Build();
+  EXPECT_EQ(reg_.CheckConformance(*finite).code(),
+            StatusCode::kConformanceError);
+
+  ViewPtr infinite =
+      ViewBuilder("s:2")
+          .Class("datstream")
+          .Group(GroupComponent::OfInfiniteSequence([](uint64_t i) {
+            return ViewBuilder("s:item" + std::to_string(i)).Build();
+          }))
+          .Build();
+  EXPECT_TRUE(reg_.CheckConformance(*infinite).ok());
+}
+
+TEST_F(StandardRegistryTest, TupstreamChecksItemClassesUpToPrefix) {
+  auto make_stream = [](std::string item_class) {
+    return ViewBuilder("s:t")
+        .Class("tupstream")
+        .Group(GroupComponent::OfInfiniteSequence([item_class](uint64_t i) {
+          return ViewBuilder("s:i" + std::to_string(i))
+              .Class(item_class)
+              .Tuple(TupleComponent::MakeUnchecked(
+                  Schema().Add("v", Domain::kInt),
+                  {Value::Int(static_cast<int64_t>(i))}))
+              .Build();
+        }))
+        .Build();
+  };
+  EXPECT_TRUE(reg_.CheckConformance(*make_stream("tuple")).ok());
+  EXPECT_EQ(reg_.CheckConformance(*make_stream("xmldoc")).code(),
+            StatusCode::kConformanceError);
+}
+
+TEST_F(StandardRegistryTest, ClasslessViewsAlwaysConform) {
+  // Schema-never modeling (paper §3.1).
+  ViewPtr v = ViewBuilder("x:1").Name("anything").ContentString("x").Build();
+  EXPECT_TRUE(reg_.CheckConformance(*v).ok());
+}
+
+TEST_F(StandardRegistryTest, UnknownClassFails) {
+  ViewPtr v = ViewBuilder("x:1").Class("martian").Build();
+  EXPECT_EQ(reg_.CheckConformance(*v).code(), StatusCode::kNotFound);
+}
+
+TEST(ClassRegistryTest, RegisterRejectsDuplicates) {
+  ClassRegistry reg;
+  EXPECT_TRUE(reg.Register(ResourceViewClass("a", "", {})).ok());
+  EXPECT_EQ(reg.Register(ResourceViewClass("a", "", {})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ClassRegistryTest, RegisterRequiresKnownParent) {
+  ClassRegistry reg;
+  EXPECT_EQ(reg.Register(ResourceViewClass("b", "missing", {})).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ClassRegistryTest, EffectiveRestrictionsMergeChain) {
+  ClassRegistry reg;
+  ClassRestrictions base;
+  base.name = Presence::kNonEmpty;
+  base.content = Finiteness::kEmpty;
+  ASSERT_TRUE(reg.Register(ResourceViewClass("base", "", base)).ok());
+  ClassRestrictions sub;
+  sub.content = Finiteness::kFinite;  // override
+  ASSERT_TRUE(reg.Register(ResourceViewClass("sub", "base", sub)).ok());
+
+  auto eff = reg.EffectiveRestrictions("sub");
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ(eff->name, Presence::kNonEmpty);        // inherited
+  EXPECT_EQ(eff->content, Finiteness::kFinite);     // overridden
+}
+
+TEST(ClassRegistryTest, CheckConformanceAsIgnoresViewClass) {
+  ClassRegistry reg = ClassRegistry::Standard();
+  ViewPtr v = ViewBuilder("x:1").Class("file").Name("n").Tuple(
+      TupleComponent::MakeUnchecked(FileSystemSchema(),
+                                    {Value::Int(1), Value::Date(0), Value::Date(0)}))
+                  .Build();
+  EXPECT_TRUE(reg.CheckConformanceAs(*v, "file").ok());
+  EXPECT_FALSE(reg.CheckConformanceAs(*v, "tuple").ok());
+}
+
+}  // namespace
+}  // namespace idm::core

@@ -1,0 +1,157 @@
+#include "email/email_views.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::email {
+namespace {
+
+using core::ViewPtr;
+
+class EmailViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>();
+    server_ = std::make_shared<ImapServer>(clock_.get());
+    Message m1;
+    m1.from = "jens@ethz.ch";
+    m1.to = {"marcos@ethz.ch"};
+    m1.subject = "OLAP figures";
+    m1.date = SimClock::kDefaultEpochMicros;
+    m1.body = "the Indexing Time figure is attached";
+    m1.attachments.push_back(
+        {"olap.tex", "application/x-tex",
+         "\\begin{figure}\\caption{Indexing Time}\\end{figure}"});
+    ASSERT_TRUE(server_->Append("INBOX", m1).ok());
+
+    Message m2;
+    m2.from = "franklin@berkeley.edu";
+    m2.subject = "dataspaces";
+    m2.body = "from databases to dataspaces";
+    ASSERT_TRUE(server_->Append("INBOX/Projects", m2).ok());
+  }
+
+  std::shared_ptr<SimClock> clock_;
+  std::shared_ptr<ImapServer> server_;
+};
+
+TEST_F(EmailViewsTest, FolderHierarchyFromFlatNames) {
+  ViewPtr root = MakeImapRootView(server_);
+  EXPECT_EQ(root->class_name(), "emailfolder");
+  EXPECT_EQ(root->GetNameComponent(), "imap");
+  auto top = root->GetGroupComponent().set();
+  ASSERT_EQ(top.size(), 1u);  // only INBOX at top level
+  EXPECT_EQ(top[0]->uri(), "imap://INBOX");
+  auto inbox_children = top[0]->GetGroupComponent().set();
+  // INBOX/Projects subfolder + 1 message.
+  ASSERT_EQ(inbox_children.size(), 2u);
+  EXPECT_EQ(inbox_children[0]->class_name(), "emailfolder");
+  EXPECT_EQ(inbox_children[0]->GetNameComponent(), "Projects");
+  EXPECT_EQ(inbox_children[1]->class_name(), "emailmessage");
+}
+
+TEST_F(EmailViewsTest, MessageViewComponents) {
+  ViewPtr msg = MakeMessageView(server_, "INBOX", 1);
+  EXPECT_EQ(msg->GetNameComponent(), "OLAP figures");  // η = subject
+  auto tuple = msg->GetTupleComponent();
+  EXPECT_EQ(tuple.Get("from")->AsString(), "jens@ethz.ch");
+  EXPECT_EQ(tuple.Get("date")->AsDate(), SimClock::kDefaultEpochMicros);
+  EXPECT_GT(tuple.Get("size")->AsInt(), 0);
+  EXPECT_NE(msg->GetContentComponent().ToString()->find("Indexing Time"),
+            std::string::npos);
+}
+
+TEST_F(EmailViewsTest, MessageFetchedLazilyAndOnce) {
+  uint64_t requests = server_->request_count();
+  ViewPtr msg = MakeMessageView(server_, "INBOX", 1);
+  EXPECT_EQ(server_->request_count(), requests);  // nothing fetched yet
+  (void)msg->GetNameComponent();
+  uint64_t after_first = server_->request_count();
+  EXPECT_GT(after_first, requests);
+  (void)msg->GetTupleComponent();
+  (void)*msg->GetContentComponent().ToString();
+  EXPECT_EQ(server_->request_count(), after_first);  // cached
+}
+
+TEST_F(EmailViewsTest, AttachmentsAreFileSubclassViews) {
+  // Paper Query 2 / Q8: attachments must be file-like so that queries span
+  // the filesystem/email boundary.
+  ViewPtr msg = MakeMessageView(server_, "INBOX", 1);
+  auto attachments = msg->GetGroupComponent().set();
+  ASSERT_EQ(attachments.size(), 1u);
+  ViewPtr att = attachments[0];
+  EXPECT_EQ(att->class_name(), "attachment");
+  EXPECT_EQ(att->GetNameComponent(), "olap.tex");
+  auto registry = core::ClassRegistry::Standard();
+  EXPECT_TRUE(registry.IsSubclassOf(att->class_name(), "file"));
+  EXPECT_TRUE(registry.CheckConformance(*att).ok())
+      << registry.CheckConformance(*att);
+  EXPECT_NE(att->GetContentComponent().ToString()->find("Indexing Time"),
+            std::string::npos);
+}
+
+TEST_F(EmailViewsTest, ViewsConform) {
+  auto registry = core::ClassRegistry::Standard();
+  ViewPtr root = MakeImapRootView(server_);
+  for (const ViewPtr& v : core::CollectSubgraph(root)) {
+    EXPECT_TRUE(registry.CheckConformance(*v).ok())
+        << v->uri() << ": " << registry.CheckConformance(*v);
+  }
+}
+
+TEST_F(EmailViewsTest, Option1StateIsRepeatable) {
+  ViewPtr state = MakeInboxStateView(server_, "INBOX");
+  EXPECT_EQ(state->class_name(), "inboxstate");
+  auto first = state->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->size(), 1u);
+  // The state may be retrieved multiple times (paper Option 1); messages
+  // remain on the server.
+  EXPECT_EQ(server_->MessageCount(), 2u);
+  ViewPtr again = MakeInboxStateView(server_, "INBOX");
+  EXPECT_EQ(again->GetGroupComponent().SequenceToVector()->size(), 1u);
+}
+
+TEST_F(EmailViewsTest, Option1StateObservesNewDeliveries) {
+  Message m;
+  m.from = "x@y";
+  m.subject = "new";
+  ASSERT_TRUE(server_->Append("INBOX", m).ok());
+  ViewPtr state = MakeInboxStateView(server_, "INBOX");
+  EXPECT_EQ(state->GetGroupComponent().SequenceToVector()->size(), 2u);
+}
+
+TEST_F(EmailViewsTest, Option2StreamDrainsServer) {
+  InboxStream stream(server_, "INBOX");
+  // Existing INBOX message was delivered to the stream and expunged.
+  EXPECT_EQ(stream.delivered(), 1u);
+  EXPECT_TRUE(server_->ListUids("INBOX")->empty());
+  EXPECT_EQ(server_->MessageCount(), 1u);  // INBOX/Projects untouched
+
+  // Future deliveries stream through immediately (push).
+  Message m;
+  m.from = "x@y";
+  m.subject = "streamed";
+  ASSERT_TRUE(server_->Append("INBOX", m).ok());
+  EXPECT_EQ(stream.delivered(), 2u);
+  EXPECT_TRUE(server_->ListUids("INBOX")->empty());
+}
+
+TEST_F(EmailViewsTest, Option2StreamViewIsInfiniteSequence) {
+  InboxStream stream(server_, "INBOX");
+  ViewPtr view = stream.View();
+  EXPECT_EQ(view->class_name(), "inboxstream");
+  auto group = view->GetGroupComponent();
+  EXPECT_FALSE(group.sequence_finite());
+  auto cursor = group.OpenSequence();
+  ViewPtr first = cursor->Next();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->GetNameComponent(), "OLAP figures");
+  auto registry = core::ClassRegistry::Standard();
+  EXPECT_TRUE(registry.CheckConformance(*view, /*infinite_prefix=*/1).ok());
+}
+
+}  // namespace
+}  // namespace idm::email

@@ -1,0 +1,112 @@
+#include "email/imap.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::email {
+namespace {
+
+Message Msg(const std::string& subject, const std::string& body = "body") {
+  Message m;
+  m.from = "jens@ethz.ch";
+  m.to = {"marcos@ethz.ch"};
+  m.subject = subject;
+  m.body = body;
+  return m;
+}
+
+class ImapTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  ImapServer server_{&clock_};
+};
+
+TEST_F(ImapTest, AppendAssignsSequentialUids) {
+  EXPECT_EQ(*server_.Append("INBOX", Msg("a")), 1u);
+  EXPECT_EQ(*server_.Append("INBOX", Msg("b")), 2u);
+  EXPECT_EQ(*server_.Append("Sent", Msg("c")), 1u);  // per-folder UIDs
+  EXPECT_EQ(server_.MessageCount(), 3u);
+}
+
+TEST_F(ImapTest, ListFoldersAndUids) {
+  ASSERT_TRUE(server_.CreateFolder("INBOX/Projects").ok());
+  ASSERT_TRUE(server_.Append("INBOX", Msg("a")).ok());
+  auto folders = server_.ListFolders();
+  ASSERT_TRUE(folders.ok());
+  EXPECT_EQ(*folders, (std::vector<std::string>{"INBOX", "INBOX/Projects"}));
+  EXPECT_EQ(server_.ListUids("INBOX")->size(), 1u);
+  EXPECT_TRUE(server_.ListUids("INBOX/Projects")->empty());
+  EXPECT_EQ(server_.ListUids("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ImapTest, FetchParsesBackToMessage) {
+  Message m = Msg("OLAP review", "see attachment");
+  m.attachments.push_back({"olap.tex", "application/x-tex", "\\section{A}"});
+  uint64_t uid = *server_.Append("INBOX", m);
+  ImapClient client(&server_);
+  auto fetched = client.Fetch("INBOX", uid);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched->subject, "OLAP review");
+  ASSERT_EQ(fetched->attachments.size(), 1u);
+  EXPECT_EQ(fetched->attachments[0].filename, "olap.tex");
+}
+
+TEST_F(ImapTest, FetchMissingFails) {
+  ImapClient client(&server_);
+  EXPECT_EQ(client.Fetch("INBOX", 1).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ImapTest, ExpungeRemoves) {
+  uint64_t uid = *server_.Append("INBOX", Msg("a"));
+  ASSERT_TRUE(server_.Expunge("INBOX", uid).ok());
+  EXPECT_EQ(server_.MessageCount(), 0u);
+  EXPECT_EQ(server_.Expunge("INBOX", uid).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ImapTest, ProtocolOpsChargeLatency) {
+  ASSERT_TRUE(server_.Append("INBOX", Msg("a")).ok());
+  Micros before = clock_.NowMicros();
+  ASSERT_TRUE(server_.ListFolders().ok());
+  ASSERT_TRUE(server_.ListUids("INBOX").ok());
+  ASSERT_TRUE(server_.FetchRaw("INBOX", 1).ok());
+  // Three requests at >= 40ms each under the default model.
+  EXPECT_GE(clock_.NowMicros() - before, 3 * 40000);
+  EXPECT_EQ(server_.request_count(), 3u);
+  EXPECT_EQ(server_.access_micros(), clock_.NowMicros() - before);
+}
+
+TEST_F(ImapTest, FetchChargesPerByte) {
+  Message big = Msg("big");
+  big.attachments.push_back({"blob.bin", "application/octet-stream",
+                             std::string(1 << 20, 'x')});
+  uint64_t uid = *server_.Append("INBOX", big);
+  Micros before = server_.access_micros();
+  ASSERT_TRUE(server_.FetchRaw("INBOX", uid).ok());
+  Micros big_cost = server_.access_micros() - before;
+
+  uint64_t small_uid = *server_.Append("INBOX", Msg("small"));
+  before = server_.access_micros();
+  ASSERT_TRUE(server_.FetchRaw("INBOX", small_uid).ok());
+  Micros small_cost = server_.access_micros() - before;
+  EXPECT_GT(big_cost, 5 * small_cost);
+}
+
+TEST_F(ImapTest, SubscriberNotifiedOnAppend) {
+  std::vector<std::pair<std::string, uint64_t>> seen;
+  server_.Subscribe([&seen](const std::string& folder, uint64_t uid) {
+    seen.emplace_back(folder, uid);
+  });
+  ASSERT_TRUE(server_.Append("INBOX", Msg("a")).ok());
+  ASSERT_TRUE(server_.Append("Sent", Msg("b")).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_pair(std::string("INBOX"), uint64_t{1}));
+  EXPECT_EQ(seen[1], std::make_pair(std::string("Sent"), uint64_t{1}));
+}
+
+TEST_F(ImapTest, TotalWireBytesCountsSerializedSizes) {
+  EXPECT_EQ(server_.TotalWireBytes(), 0u);
+  ASSERT_TRUE(server_.Append("INBOX", Msg("a", "0123456789")).ok());
+  EXPECT_GT(server_.TotalWireBytes(), 10u);  // headers + encoded body
+}
+
+}  // namespace
+}  // namespace idm::email

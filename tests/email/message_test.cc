@@ -1,0 +1,158 @@
+#include "email/message.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::email {
+namespace {
+
+Message SampleMessage(bool with_attachments) {
+  Message m;
+  m.from = "jens.dittrich@inf.ethz.ch";
+  m.to = {"marcos@inf.ethz.ch", "team@imemex.org"};
+  m.cc = {"archive@imemex.org"};
+  m.subject = "OLAP project: indexing figures";
+  Micros t = 0;
+  ParseDate("12.09.2005", &t);
+  m.date = t + 14 * 3600 * 1000000LL;
+  m.extra_headers = {{"X-Project", "OLAP"}};
+  m.body = "Please review the attached figures.\nThanks!";
+  if (with_attachments) {
+    m.attachments.push_back(
+        {"olap.tex", "application/x-tex", "\\section{Results} Indexing Time"});
+    m.attachments.push_back({"data.bin", "application/octet-stream",
+                             std::string("\x00\x01\x02\xFF", 4)});
+  }
+  return m;
+}
+
+TEST(RfcDateTest, RoundTrip) {
+  Micros t = 0;
+  ASSERT_TRUE(ParseDate("12.09.2005", &t));
+  t += (14 * 3600 + 30 * 60 + 5) * 1000000LL;
+  std::string formatted = FormatRfcDate(t);
+  EXPECT_EQ(formatted, "Mon, 12 Sep 2005 14:30:05 +0000");
+  auto parsed = ParseRfcDate(formatted);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(RfcDateTest, ParsesWithoutDayName) {
+  auto parsed = ParseRfcDate("12 Sep 2005 14:30:05 +0000");
+  ASSERT_TRUE(parsed.ok());
+}
+
+TEST(RfcDateTest, Malformed) {
+  EXPECT_FALSE(ParseRfcDate("").ok());
+  EXPECT_FALSE(ParseRfcDate("yesterday").ok());
+  EXPECT_FALSE(ParseRfcDate("12 Foo 2005 14:30:05").ok());
+}
+
+TEST(MessageTest, PayloadBytes) {
+  Message m = SampleMessage(true);
+  EXPECT_EQ(m.PayloadBytes(),
+            m.body.size() + m.attachments[0].data.size() +
+                m.attachments[1].data.size());
+}
+
+TEST(MessageTest, SimpleRoundTrip) {
+  Message m = SampleMessage(false);
+  auto parsed = ParseMessage(SerializeMessage(m));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->from, m.from);
+  EXPECT_EQ(parsed->to, m.to);
+  EXPECT_EQ(parsed->cc, m.cc);
+  EXPECT_EQ(parsed->subject, m.subject);
+  EXPECT_EQ(parsed->date, m.date);
+  EXPECT_EQ(parsed->body, m.body);
+  EXPECT_TRUE(parsed->attachments.empty());
+  ASSERT_EQ(parsed->extra_headers.size(), 1u);
+  EXPECT_EQ(parsed->extra_headers[0].first, "X-Project");
+}
+
+TEST(MessageTest, MultipartRoundTrip) {
+  Message m = SampleMessage(true);
+  std::string wire = SerializeMessage(m);
+  EXPECT_NE(wire.find("multipart/mixed"), std::string::npos);
+  auto parsed = ParseMessage(wire);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->body, m.body);
+  ASSERT_EQ(parsed->attachments.size(), 2u);
+  EXPECT_EQ(parsed->attachments[0].filename, "olap.tex");
+  EXPECT_EQ(parsed->attachments[0].mime_type, "application/x-tex");
+  EXPECT_EQ(parsed->attachments[0].data,
+            "\\section{Results} Indexing Time");
+  EXPECT_EQ(parsed->attachments[1].data, std::string("\x00\x01\x02\xFF", 4));
+}
+
+TEST(MessageTest, BodyWithSpecialsSurvivesQuotedPrintable) {
+  Message m = SampleMessage(false);
+  m.body = "equals = signs, umlauts \xC3\xA4\xC3\xB6, long line " +
+           std::string(120, 'x');
+  auto parsed = ParseMessage(SerializeMessage(m));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, m.body);
+}
+
+TEST(MessageTest, ToleratesLfOnlyInput) {
+  Message m = SampleMessage(false);
+  std::string wire = SerializeMessage(m);
+  std::string lf_only;
+  for (char c : wire) {
+    if (c != '\r') lf_only += c;
+  }
+  auto parsed = ParseMessage(lf_only);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->subject, m.subject);
+  EXPECT_EQ(parsed->body, m.body);
+}
+
+TEST(MessageTest, FoldedHeadersUnfold) {
+  auto parsed = ParseMessage(
+      "From: a@b\r\nSubject: a very\r\n  folded subject\r\n\r\nbody\r\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->subject, "a very folded subject");
+}
+
+TEST(MessageTest, MalformedHeaderIsError) {
+  EXPECT_EQ(ParseMessage("NoColonHere\r\n\r\nbody").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(MessageTest, UnknownEncodingIsError) {
+  auto parsed = ParseMessage(
+      "From: a@b\r\nContent-Transfer-Encoding: uuencode\r\n\r\nbody");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(MessageTest, MultipartWithoutBoundaryIsError) {
+  auto parsed = ParseMessage(
+      "From: a@b\r\nContent-Type: multipart/mixed\r\n\r\nbody");
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(MessageTest, EmptyBody) {
+  Message m;
+  m.from = "a@b";
+  m.subject = "empty";
+  auto parsed = ParseMessage(SerializeMessage(m));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->body, "");
+}
+
+TEST(MessageTest, AttachmentWithTexContentRoundTrips) {
+  // The Q8 scenario: .tex files exchanged as attachments must come back
+  // byte-identical so the LaTeX converter can parse them.
+  Message m;
+  m.from = "a@b";
+  m.subject = "paper draft";
+  std::string tex = "\\documentclass{article}\n\\begin{document}\n"
+                    "\\section{Introduction}\nMike Franklin\n\\end{document}\n";
+  m.attachments.push_back({"vldb.tex", "application/x-tex", tex});
+  auto parsed = ParseMessage(SerializeMessage(m));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->attachments.size(), 1u);
+  EXPECT_EQ(parsed->attachments[0].data, tex);
+}
+
+}  // namespace
+}  // namespace idm::email

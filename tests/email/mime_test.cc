@@ -1,0 +1,108 @@
+#include "email/mime.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::email {
+namespace {
+
+TEST(Base64Test, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeKnownVectors) {
+  EXPECT_EQ(*Base64Decode("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(*Base64Decode("Zg=="), "f");
+  EXPECT_EQ(*Base64Decode(""), "");
+}
+
+TEST(Base64Test, DecodeIgnoresWhitespace) {
+  EXPECT_EQ(*Base64Decode("Zm9v\r\nYmFy"), "foobar");
+  EXPECT_EQ(*Base64Decode(" Z g = = "), "f");
+}
+
+TEST(Base64Test, LinesFoldAt76) {
+  std::string data(100, 'x');
+  std::string encoded = Base64Encode(data);
+  for (const auto& line : std::vector<std::string>{encoded}) {
+    (void)line;
+  }
+  size_t line_start = 0, max_line = 0;
+  for (size_t i = 0; i <= encoded.size(); ++i) {
+    if (i == encoded.size() || encoded[i] == '\r') {
+      max_line = std::max(max_line, i - line_start);
+      line_start = i + 2;
+      ++i;
+    }
+  }
+  EXPECT_LE(max_line, 76u);
+  EXPECT_EQ(*Base64Decode(encoded), data);
+}
+
+TEST(Base64Test, DecodeErrors) {
+  EXPECT_EQ(Base64Decode("Zm9v!").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Base64Decode("Z").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Base64Decode("Zg==Zg").status().code(), StatusCode::kParseError);
+}
+
+TEST(Base64Test, BinaryRoundTrip) {
+  std::string data;
+  for (int i = 0; i < 256; ++i) data += static_cast<char>(i);
+  EXPECT_EQ(*Base64Decode(Base64Encode(data)), data);
+}
+
+TEST(QuotedPrintableTest, PlainTextPassesThrough) {
+  EXPECT_EQ(QuotedPrintableEncode("hello world"), "hello world");
+  EXPECT_EQ(*QuotedPrintableDecode("hello world"), "hello world");
+}
+
+TEST(QuotedPrintableTest, EscapesEqualsAndNonAscii) {
+  EXPECT_EQ(QuotedPrintableEncode("a=b"), "a=3Db");
+  EXPECT_EQ(QuotedPrintableEncode("\xC3\xA4"), "=C3=A4");
+  EXPECT_EQ(*QuotedPrintableDecode("a=3Db"), "a=b");
+  EXPECT_EQ(*QuotedPrintableDecode("=C3=A4"), "\xC3\xA4");
+}
+
+TEST(QuotedPrintableTest, NewlinesBecomeCrlf) {
+  std::string encoded = QuotedPrintableEncode("line1\nline2");
+  EXPECT_EQ(encoded, "line1\r\nline2");
+  EXPECT_EQ(*QuotedPrintableDecode(encoded), "line1\nline2");
+}
+
+TEST(QuotedPrintableTest, SoftBreaksOnLongLines) {
+  std::string data(200, 'a');
+  std::string encoded = QuotedPrintableEncode(data);
+  EXPECT_NE(encoded.find("=\r\n"), std::string::npos);
+  EXPECT_EQ(*QuotedPrintableDecode(encoded), data);
+}
+
+TEST(QuotedPrintableTest, DecodeErrors) {
+  EXPECT_EQ(QuotedPrintableDecode("bad=Z9").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(QuotedPrintableDecode("trunc=").status().code(),
+            StatusCode::kParseError);
+}
+
+class MimeRoundTripP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MimeRoundTripP, BothCodecs) {
+  std::string data = GetParam();
+  EXPECT_EQ(*Base64Decode(Base64Encode(data)), data);
+  EXPECT_EQ(*QuotedPrintableDecode(QuotedPrintableEncode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MimeRoundTripP,
+    ::testing::Values("", "a", "ab", "abc", "hello world\n",
+                      "tab\tand trailing space \n",
+                      "= equals = signs ==", "\x01\x02\x7F binary-ish",
+                      "multi\nline\ntext\nwith\nbreaks\n"));
+
+}  // namespace
+}  // namespace idm::email

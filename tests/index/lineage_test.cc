@@ -1,0 +1,157 @@
+#include "index/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include "index/version_log.h"
+
+namespace idm::index {
+namespace {
+
+TEST(LineageTest, RecordAndLookup) {
+  LineageStore store;
+  store.Record(10, 1, "convert:latex");
+  store.Record(11, 1, "convert:latex");
+  store.Record(20, 10, "copy");
+  ASSERT_EQ(store.OriginsOf(10).size(), 1u);
+  EXPECT_EQ(store.OriginsOf(10)[0].origin, 1u);
+  EXPECT_EQ(store.OriginsOf(10)[0].transformation, "convert:latex");
+  EXPECT_EQ(store.DerivedFrom(1), (std::vector<DocId>{10, 11}));
+  EXPECT_TRUE(store.OriginsOf(1).empty());
+  EXPECT_EQ(store.edge_count(), 3u);
+}
+
+TEST(LineageTest, DuplicatesCollapse) {
+  LineageStore store;
+  store.Record(10, 1, "copy");
+  store.Record(10, 1, "copy");
+  EXPECT_EQ(store.edge_count(), 1u);
+  store.Record(10, 1, "convert:xml");  // distinct transformation: kept
+  EXPECT_EQ(store.edge_count(), 2u);
+}
+
+TEST(LineageTest, ProvenanceChainIsTransitive) {
+  // copy of an extraction of a file: 30 <- 20 <- 10.
+  LineageStore store;
+  store.Record(20, 10, "convert:latex");
+  store.Record(30, 20, "copy");
+  auto chain = store.ProvenanceChain(30);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].origin, 20u);  // nearest first
+  EXPECT_EQ(chain[0].transformation, "copy");
+  EXPECT_EQ(chain[1].origin, 10u);
+}
+
+TEST(LineageTest, ProvenanceChainCycleSafe) {
+  LineageStore store;
+  store.Record(1, 2, "copy");
+  store.Record(2, 1, "copy");
+  auto chain = store.ProvenanceChain(1);
+  EXPECT_EQ(chain.size(), 2u);  // each edge reported once
+}
+
+TEST(LineageTest, ForgetRemovesBothDirections) {
+  LineageStore store;
+  store.Record(20, 10, "convert:latex");
+  store.Record(30, 20, "copy");
+  store.Forget(20);
+  EXPECT_TRUE(store.OriginsOf(20).empty());
+  EXPECT_TRUE(store.OriginsOf(30).empty());
+  EXPECT_TRUE(store.DerivedFrom(10).empty());
+  EXPECT_EQ(store.edge_count(), 0u);
+}
+
+TEST(LineageTest, ForgetUnknownIsNoop) {
+  LineageStore store;
+  store.Record(2, 1, "copy");
+  store.Forget(99);
+  EXPECT_EQ(store.edge_count(), 1u);
+}
+
+// --- VersionLog --------------------------------------------------------------
+
+TEST(VersionLogTest, AppendsMonotoneVersions) {
+  VersionLog log;
+  EXPECT_EQ(log.current(), 0u);  // version 0: the empty dataspace
+  EXPECT_EQ(log.Append(ChangeRecord::Op::kAdded, 5), 1u);
+  EXPECT_EQ(log.Append(ChangeRecord::Op::kUpdated, 5), 2u);
+  EXPECT_EQ(log.current(), 2u);
+}
+
+TEST(VersionLogTest, ChangesSince) {
+  VersionLog log;
+  log.Append(ChangeRecord::Op::kAdded, 1);
+  log.Append(ChangeRecord::Op::kAdded, 2);
+  log.Append(ChangeRecord::Op::kRemoved, 1);
+  auto changes = log.ChangesSince(1);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].id, 2u);
+  EXPECT_EQ(changes[1].op, ChangeRecord::Op::kRemoved);
+  EXPECT_TRUE(log.ChangesSince(3).empty());
+}
+
+TEST(VersionLogTest, LiveAtReplaysHistory) {
+  // "logically, each change creates a new version of the whole dataspace"
+  // (paper §8): every historical version is reconstructible.
+  VersionLog log;
+  log.Append(ChangeRecord::Op::kAdded, 1);    // v1: {1}
+  log.Append(ChangeRecord::Op::kAdded, 2);    // v2: {1,2}
+  log.Append(ChangeRecord::Op::kRemoved, 1);  // v3: {2}
+  log.Append(ChangeRecord::Op::kAdded, 3);    // v4: {2,3}
+  EXPECT_TRUE(log.LiveAt(0).empty());
+  EXPECT_EQ(log.LiveAt(1), (std::vector<DocId>{1}));
+  EXPECT_EQ(log.LiveAt(2), (std::vector<DocId>{1, 2}));
+  EXPECT_EQ(log.LiveAt(3), (std::vector<DocId>{2}));
+  EXPECT_EQ(log.LiveAt(4), (std::vector<DocId>{2, 3}));
+  EXPECT_EQ(log.LiveAt(99), log.LiveAt(4));  // future = present
+}
+
+TEST(VersionLogTest, DiffBetween) {
+  VersionLog log;
+  log.Append(ChangeRecord::Op::kAdded, 1);    // v1
+  log.Append(ChangeRecord::Op::kAdded, 2);    // v2
+  log.Append(ChangeRecord::Op::kUpdated, 1);  // v3
+  log.Append(ChangeRecord::Op::kRemoved, 2);  // v4
+  log.Append(ChangeRecord::Op::kAdded, 3);    // v5
+  auto diff = log.DiffBetween(2, 5);
+  EXPECT_EQ(diff.added, (std::vector<DocId>{3}));
+  EXPECT_EQ(diff.removed, (std::vector<DocId>{2}));
+  EXPECT_EQ(diff.updated, (std::vector<DocId>{1}));
+  // Argument order is normalized.
+  auto reversed = log.DiffBetween(5, 2);
+  EXPECT_EQ(reversed.added, diff.added);
+}
+
+TEST(VersionLogTest, TimestampsFromClock) {
+  SimClock clock;
+  VersionLog log(&clock);
+  clock.AdvanceSeconds(42);
+  log.Append(ChangeRecord::Op::kAdded, 1);
+  EXPECT_EQ(log.ChangesSince(0)[0].at,
+            SimClock::kDefaultEpochMicros + 42 * 1000000);
+}
+
+TEST(VersionLogTest, SerializeRoundTrip) {
+  VersionLog log;
+  log.Append(ChangeRecord::Op::kAdded, 1);
+  log.Append(ChangeRecord::Op::kUpdated, 1);
+  log.Append(ChangeRecord::Op::kRemoved, 1);
+  auto restored = VersionLog::Deserialize(log.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->current(), 3u);
+  EXPECT_EQ(restored->size(), 3u);
+  EXPECT_TRUE(restored->LiveAt(3).empty());
+  // Appends continue from the restored version counter.
+  EXPECT_EQ(restored->Append(ChangeRecord::Op::kAdded, 2), 4u);
+}
+
+TEST(VersionLogTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(VersionLog::Deserialize("garbage").ok());
+  VersionLog log;
+  log.Append(ChangeRecord::Op::kAdded, 1);
+  std::string data = log.Serialize();
+  data.resize(data.size() - 4);
+  EXPECT_FALSE(VersionLog::Deserialize(data).ok());
+}
+
+}  // namespace
+}  // namespace idm::index

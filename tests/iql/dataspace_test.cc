@@ -1,0 +1,202 @@
+// End-to-end PDSMS tests: generate substrates, register them with a
+// Dataspace, and run the paper's queries (the introduction's Query 1 and
+// Query 2, and the Table 4 query shapes Q1-Q8).
+
+#include "iql/dataspace.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace idm::iql {
+namespace {
+
+class DataspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<Dataspace>();
+    built_ = workload::Generate(workload::DataspaceSpec::Small(), ds_->clock());
+    auto fs_stats = ds_->AddFileSystem("Filesystem", built_.fs);
+    ASSERT_TRUE(fs_stats.ok()) << fs_stats.status();
+    auto mail_stats = ds_->AddImap("Email / IMAP", built_.imap);
+    ASSERT_TRUE(mail_stats.ok()) << mail_stats.status();
+  }
+
+  size_t Count(const std::string& iql) {
+    auto result = ds_->Query(iql);
+    EXPECT_TRUE(result.ok()) << iql << ": " << result.status();
+    return result.ok() ? result->size() : 0;
+  }
+
+  std::unique_ptr<Dataspace> ds_;
+  workload::BuiltDataspace built_;
+};
+
+TEST_F(DataspaceTest, IndexedBothSources) {
+  EXPECT_GT(ds_->module().catalog().live_count(), 100u);
+  size_t base = 0, derived = 0;
+  ds_->module().catalog().CountBySource(0, &base, &derived);
+  EXPECT_GT(base, 0u);
+  EXPECT_GT(derived, 0u);
+}
+
+TEST_F(DataspaceTest, PaperQuery1InsideOutsideFiles) {
+  // "Show me all LaTeX 'Introduction' sections pertaining to project PIM
+  // that contain the phrase 'Mike Franklin'."
+  auto result = ds_->Query(
+      "//PIM//Introduction[class=\"latex_section\" and \"Mike Franklin\"]");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 1u);
+  index::DocId id = result->rows[0][0];
+  EXPECT_EQ(ds_->NameOf(id), "Introduction");
+  // The hit is a *derived* view inside the vldb 2006.tex file — the query
+  // bridged the inside/outside boundary.
+  EXPECT_NE(ds_->UriOf(id).find("vfs:/Projects/PIM/vldb 2006.tex#tex"),
+            std::string::npos);
+}
+
+TEST_F(DataspaceTest, PaperQuery2FilesVersusAttachments) {
+  // "Show me all documents pertaining to project 'OLAP' that have a figure
+  // containing the phrase 'Indexing Time'."
+  auto result =
+      ds_->Query("//OLAP//[class=\"figure\" and \"Indexing Time\"]");
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->size(), 2u);
+  // One figure lives in a file on disk, the other inside an email
+  // attachment — the query abstracted over both subsystems.
+  bool from_fs = false, from_mail = false;
+  for (const auto& row : result->rows) {
+    const std::string& uri = ds_->UriOf(row[0]);
+    if (uri.rfind("vfs:", 0) == 0) from_fs = true;
+    if (uri.rfind("imap:", 0) == 0) from_mail = true;
+  }
+  EXPECT_TRUE(from_fs);
+  EXPECT_TRUE(from_mail);
+}
+
+TEST_F(DataspaceTest, Q1KeywordQuery) {
+  // Table 4 Q1: every phrase hit is also a keyword hit.
+  size_t keyword = Count("\"database\"");
+  EXPECT_GT(keyword, 0u);
+  EXPECT_GE(keyword, Count("\"database tuning\""));
+}
+
+TEST_F(DataspaceTest, Q2PhraseQuery) {
+  size_t phrase = Count("\"database tuning\"");
+  EXPECT_GT(phrase, 0u);  // the generator plants the phrase
+  EXPECT_LE(phrase, Count("\"database\""));
+}
+
+TEST_F(DataspaceTest, Q3TuplePredicateQuery) {
+  size_t big_old = Count("[size > 4000 and lastmodified < now()]");
+  EXPECT_GT(big_old, 0u);
+  EXPECT_EQ(Count("[size > 4000 and lastmodified > now()]"), 0u);
+}
+
+TEST_F(DataspaceTest, Q4WildcardPathQuery) {
+  // //papers//*Vision/*["Franklin"]: the generator plants exactly two
+  // *Vision sections whose subsection mentions Franklin (paper: 2 results).
+  EXPECT_EQ(Count("//papers//*Vision/*[\"Franklin\"]"), 2u);
+}
+
+TEST_F(DataspaceTest, Q5WildcardsInBothSteps) {
+  // //VLDB200?//?onclusion*/*["systems"] (paper: 2 results).
+  EXPECT_EQ(Count("//VLDB200?//?onclusion*/*[\"systems\"]"), 2u);
+}
+
+TEST_F(DataspaceTest, Q6Union) {
+  size_t only_2005 = Count("//VLDB2005//*[\"documents\"]");
+  size_t only_2006 = Count("//VLDB2006//*[\"documents\"]");
+  size_t both = Count(
+      "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])");
+  EXPECT_GT(only_2005, 0u);
+  EXPECT_GT(only_2006, 0u);
+  EXPECT_EQ(both, only_2005 + only_2006);  // disjoint folders
+}
+
+TEST_F(DataspaceTest, Q7TexrefFigureJoin) {
+  // Every planted VLDB2006 figure is referenced exactly once.
+  auto result = ds_->Query(
+      "join( //VLDB2006//*[class=\"texref\"] as A, "
+      "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+      "A.name=B.tuple.label)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 21u);  // 7 figures x 3 refs (paper: 21)
+  EXPECT_EQ(result->columns,
+            (std::vector<std::string>{"A", "B"}));
+  for (const auto& row : result->rows) {
+    EXPECT_EQ(ds_->NameOf(row[0]),
+              ds_->module().tuples().TupleOf(row[1]).Get("label")->AsString());
+  }
+}
+
+TEST_F(DataspaceTest, Q8CrossSourceJoin) {
+  // .tex attachments sharing names with /papers files (paper: 16 results).
+  auto result = ds_->Query(
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, A.name = B.name )");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Each planted attachment name exists in /papers, /papers/old and
+  // /papers/old2, so every attachment joins three files.
+  EXPECT_EQ(result->size(),
+            3 * workload::DataspaceSpec::Small().email_tex_attachments);
+  EXPECT_GT(result->expanded_views, result->size());  // forward expansion cost
+  for (const auto& row : result->rows) {
+    EXPECT_EQ(ds_->UriOf(row[0]).substr(0, 5), "imap:");
+    EXPECT_EQ(ds_->UriOf(row[1]).substr(0, 4), "vfs:");
+  }
+}
+
+TEST_F(DataspaceTest, ClassPredicateHonorsGeneralization) {
+  // figure is-a environment (paper §3.1): class="environment" includes it.
+  size_t environments = Count("//*[class=\"environment\"]");
+  size_t figures = Count("//*[class=\"figure\"]");
+  EXPECT_GT(figures, 0u);
+  EXPECT_GT(environments, figures);
+}
+
+TEST_F(DataspaceTest, ChildVersusDescendantAxis) {
+  size_t descendants = Count("//Projects//*.tex");
+  size_t children = Count("//Projects/*.tex");
+  EXPECT_GT(descendants, 0u);
+  EXPECT_LT(children, descendants);  // .tex files sit in subfolders
+}
+
+TEST_F(DataspaceTest, NotPredicate) {
+  size_t all_tex = Count("//*[name=\"*.tex\"]");
+  size_t with = Count("//*[name=\"*.tex\" and \"Franklin\"]");
+  size_t without = Count("//*[name=\"*.tex\" and not \"Franklin\"]");
+  EXPECT_EQ(with + without, all_tex);
+}
+
+TEST_F(DataspaceTest, YesterdayFunctionUsesClock) {
+  // Everything was generated in the (simulated) past.
+  size_t old_views = Count("[lastmodified < now()]");
+  EXPECT_GT(old_views, 0u);
+  ds_->clock()->AdvanceSeconds(2 * 86400);
+  EXPECT_EQ(Count("[lastmodified > yesterday()]"), 0u);
+}
+
+TEST_F(DataspaceTest, QueryErrorsSurface) {
+  EXPECT_FALSE(ds_->Query("//a[").ok());
+  EXPECT_FALSE(ds_->Query("").ok());
+}
+
+TEST_F(DataspaceTest, ResultsCarryTimingAndPlan) {
+  auto result = ds_->Query("\"database\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->elapsed_micros, 0);
+  // The plan shows the normalized query plus the rewrite rules that fired.
+  EXPECT_EQ(result->plan, "\"database\"  [rules: R1:content-index]");
+}
+
+TEST_F(DataspaceTest, CyclicLinkDoesNotBreakIndexingOrQueries) {
+  // The generator plants 'All Projects' -> /Projects (a cycle).
+  auto id = ds_->module().catalog().Find("vfs:/Projects/PIM/All Projects");
+  ASSERT_TRUE(id.has_value());
+  // //PIM//paper-related names still resolve without infinite loops.
+  EXPECT_GT(Count("//Projects//Introduction"), 0u);
+}
+
+}  // namespace
+}  // namespace idm::iql

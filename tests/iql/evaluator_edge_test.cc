@@ -1,0 +1,127 @@
+// Corner cases of iQL evaluation: axes, truncation, empty frontiers, join
+// key variants, case handling.
+
+#include <gtest/gtest.h>
+
+#include "iql/dataspace.h"
+
+namespace idm::iql {
+namespace {
+
+class EvaluatorEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<Dataspace>();
+    fs_ = std::make_shared<vfs::VirtualFileSystem>(ds_->clock());
+    ASSERT_TRUE(fs_->CreateFolder("/top/mid").ok());
+    ASSERT_TRUE(fs_->WriteFile("/top/mid/leaf.txt", "leaf words").ok());
+    ASSERT_TRUE(fs_->WriteFile("/top/Direct.txt", "direct child").ok());
+    ASSERT_TRUE(ds_->AddFileSystem("fs", fs_).ok());
+  }
+
+  size_t Count(const std::string& iql) {
+    auto result = ds_->Query(iql);
+    EXPECT_TRUE(result.ok()) << iql << ": " << result.status();
+    return result.ok() ? result->size() : size_t(0);
+  }
+
+  std::unique_ptr<Dataspace> ds_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+};
+
+TEST_F(EvaluatorEdgeTest, RootChildAxis) {
+  // '/x' as the first step: children of the source roots. The vfs root "/"
+  // is the only parentless view; its child is 'top'.
+  EXPECT_EQ(Count("/top"), 1u);
+  EXPECT_EQ(Count("/leaf.txt"), 0u);  // not a root child
+  EXPECT_EQ(Count("//leaf.txt"), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, ChildChains) {
+  EXPECT_EQ(Count("/top/mid/leaf.txt"), 1u);
+  EXPECT_EQ(Count("/top/leaf.txt"), 0u);
+  EXPECT_EQ(Count("//top/mid"), 1u);
+  EXPECT_EQ(Count("//mid/*"), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, EmptyFrontierShortCircuits) {
+  auto result = ds_->Query("//nonexistent//anything//deeper");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+  EXPECT_EQ(result->expanded_views, 0u);  // no expansion after a dead step
+}
+
+TEST_F(EvaluatorEdgeTest, NameMatchingIsCaseInsensitive) {
+  EXPECT_EQ(Count("//DIRECT.TXT"), 1u);
+  EXPECT_EQ(Count("//direct.txt"), 1u);
+  EXPECT_EQ(Count("//dIrEcT.*"), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, SelfIsNotItsOwnDescendant) {
+  // //top//top: 'top' below 'top' — no cycle here, so no match.
+  EXPECT_EQ(Count("//top//top"), 0u);
+}
+
+TEST_F(EvaluatorEdgeTest, CyclicGraphsDoMatchSelfViaLoop) {
+  ASSERT_TRUE(fs_->CreateLink("/top/mid/back", "/top").ok());
+  ASSERT_TRUE(ds_->sync().ProcessNotifications().ok());
+  // Now top ⇝ back ⇝ top: the cycle makes 'top' its own descendant.
+  EXPECT_EQ(Count("//top//top"), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, MaxExpansionBoundsWork) {
+  QueryProcessor::Options options;
+  options.max_expansion = 1;  // pathological bound
+  options.expansion = QueryProcessor::Expansion::kForward;
+  QueryProcessor processor(&ds_->module(), &ds_->classes(), ds_->clock(),
+                           options);
+  auto result = processor.Execute("//top//leaf.txt");
+  ASSERT_TRUE(result.ok());
+  // Results may be truncated but evaluation terminates and stays bounded.
+  EXPECT_LE(result->expanded_views, 4u);
+}
+
+TEST_F(EvaluatorEdgeTest, JoinOnClassField) {
+  auto result = ds_->Query(
+      "join(//leaf.txt as A, //Direct.txt as B, A.class = B.class)");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);  // both are class "file"
+}
+
+TEST_F(EvaluatorEdgeTest, JoinWithMissingKeysProducesNoPairs) {
+  // τ-less views have no 'owner' attribute: no join keys, no matches.
+  auto result = ds_->Query(
+      "join(//top as A, //mid as B, A.tuple.owner = B.tuple.owner)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST_F(EvaluatorEdgeTest, JoinOnContentIsUnimplemented) {
+  auto result =
+      ds_->Query("join(//top as A, //mid as B, A.content = B.content)");
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(EvaluatorEdgeTest, PredicateOnEveryStep) {
+  EXPECT_EQ(Count("//top[class=\"folder\"]//leaf.txt[\"leaf words\"]"), 1u);
+  EXPECT_EQ(Count("//top[class=\"file\"]//leaf.txt"), 0u);
+}
+
+TEST_F(EvaluatorEdgeTest, NumericAndDateComparisonsOnSteps) {
+  EXPECT_EQ(Count("//*[name=\"leaf.txt\" and size = 10]"), 1u);
+  EXPECT_EQ(Count("//*[name=\"leaf.txt\" and size != 10]"), 0u);
+  EXPECT_EQ(Count("//leaf.txt[lastmodified <= now()]"), 1u);
+}
+
+TEST_F(EvaluatorEdgeTest, UnknownClassPredicateMatchesNothing) {
+  EXPECT_EQ(Count("//*[class=\"martian\"]"), 0u);
+}
+
+TEST_F(EvaluatorEdgeTest, OrAcrossPredicateKinds) {
+  EXPECT_EQ(Count("//*[name=\"leaf.txt\" or name=\"Direct.txt\"]"), 2u);
+  EXPECT_EQ(Count("//*[\"leaf words\" or \"direct child\"]"), 2u);
+  EXPECT_EQ(Count("//*[\"leaf words\" and \"direct child\"]"), 0u);
+}
+
+}  // namespace
+}  // namespace idm::iql

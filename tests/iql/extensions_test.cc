@@ -1,0 +1,162 @@
+// Tests for the iQL extensions beyond the paper's Table 4: intersect /
+// except set operators and tf-idf ranking of keyword queries (both listed
+// as ongoing work in §5.1).
+
+#include <gtest/gtest.h>
+
+#include "iql/dataspace.h"
+
+namespace idm::iql {
+namespace {
+
+class IqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<Dataspace>();
+    fs_ = std::make_shared<vfs::VirtualFileSystem>(ds_->clock());
+    ASSERT_TRUE(fs_->CreateFolder("/d").ok());
+    // Distinct term statistics for ranking checks: "alpha" is common,
+    // "omega" rare; heavy.txt repeats "omega" many times.
+    ASSERT_TRUE(fs_->WriteFile("/d/a.txt", "alpha beta common words").ok());
+    ASSERT_TRUE(fs_->WriteFile("/d/b.txt", "alpha gamma common words").ok());
+    ASSERT_TRUE(fs_->WriteFile("/d/c.txt", "alpha omega single").ok());
+    ASSERT_TRUE(
+        fs_->WriteFile("/d/heavy.txt", "omega omega omega omega alpha").ok());
+    ASSERT_TRUE(ds_->AddFileSystem("fs", fs_).ok());
+  }
+
+  std::vector<std::string> Names(const QueryResult& result) {
+    std::vector<std::string> out;
+    for (const auto& row : result.rows) out.push_back(ds_->NameOf(row[0]));
+    return out;
+  }
+
+  std::unique_ptr<Dataspace> ds_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+};
+
+TEST_F(IqlExtensionsTest, IntersectOperator) {
+  auto result = ds_->Query("intersect(\"alpha\", \"omega\")");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);  // c.txt and heavy.txt
+  auto same_as_and = ds_->Query("\"alpha\" and \"omega\"");
+  ASSERT_TRUE(same_as_and.ok());
+  EXPECT_EQ(result->size(), same_as_and->size());
+}
+
+TEST_F(IqlExtensionsTest, ExceptOperator) {
+  auto result = ds_->Query("except(\"alpha\", \"omega\")");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 2u);  // a.txt, b.txt
+  for (const auto& name : Names(*result)) {
+    EXPECT_TRUE(name == "a.txt" || name == "b.txt") << name;
+  }
+}
+
+TEST_F(IqlExtensionsTest, ExceptTakesExactlyTwoArms) {
+  EXPECT_FALSE(ds_->Query("except(\"a\", \"b\", \"c\")").ok());
+  EXPECT_FALSE(ds_->Query("except(\"a\")").ok());
+}
+
+TEST_F(IqlExtensionsTest, SetOpsComposeWithPaths) {
+  auto result =
+      ds_->Query("intersect(//d//*[\"alpha\"], except(\"common\", \"gamma\"))");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(Names(*result), (std::vector<std::string>{"a.txt"}));
+}
+
+TEST_F(IqlExtensionsTest, IntersectAsPlainIdentifierStillWorks) {
+  // "intersect" is contextual: without '(', it is an ordinary name step.
+  ASSERT_TRUE(fs_->WriteFile("/d/intersect", "strange name").ok());
+  ASSERT_TRUE(ds_->sync().Poll().ok());
+  auto result = ds_->Query("//intersect");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST_F(IqlExtensionsTest, KeywordQueriesAreRanked) {
+  auto result = ds_->Query("\"omega\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ranked());
+  ASSERT_EQ(result->scores.size(), result->rows.size());
+  // heavy.txt has 4x the term frequency: it ranks first.
+  EXPECT_EQ(ds_->NameOf(result->rows[0][0]), "heavy.txt");
+  EXPECT_TRUE(std::is_sorted(result->scores.begin(), result->scores.end(),
+                             std::greater<double>()));
+  EXPECT_GT(result->scores[0], result->scores[1]);
+}
+
+TEST_F(IqlExtensionsTest, RareTermsOutweighCommonOnes) {
+  // c.txt matches both; its omega contribution (rare) must exceed alpha's
+  // (ubiquitous) — idf weighting at work.
+  auto result = ds_->Query("\"alpha\" and \"omega\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->ranked());
+  EXPECT_EQ(ds_->NameOf(result->rows[0][0]), "heavy.txt");
+}
+
+TEST_F(IqlExtensionsTest, StructuralQueriesAreNotRanked) {
+  auto path = ds_->Query("//d//*[\"alpha\"]");
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(path->ranked());
+  auto mixed = ds_->Query("\"alpha\" and [size > 1]");
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_FALSE(mixed->ranked());
+}
+
+TEST_F(IqlExtensionsTest, ExpansionStrategiesAgree) {
+  // R6 (backward expansion) must be a pure optimization: identical result
+  // sets for every strategy, on every path-query shape.
+  const char* queries[] = {
+      "//d//*[\"alpha\"]",
+      "//d//a.txt",
+      "//d/*",
+      "//*[name=\"*.txt\"]",
+  };
+  for (auto strategy : {QueryProcessor::Expansion::kAuto,
+                        QueryProcessor::Expansion::kForward,
+                        QueryProcessor::Expansion::kBackward}) {
+    QueryProcessor::Options options;
+    options.expansion = strategy;
+    QueryProcessor processor(&ds_->module(), &ds_->classes(), ds_->clock(),
+                             options);
+    for (const char* iql : queries) {
+      auto expected = ds_->Query(iql);  // default (auto) processor
+      auto actual = processor.Execute(iql);
+      ASSERT_TRUE(expected.ok() && actual.ok()) << iql;
+      EXPECT_EQ(actual->rows, expected->rows)
+          << iql << " strategy " << static_cast<int>(strategy);
+    }
+  }
+}
+
+TEST_F(IqlExtensionsTest, BackwardExpansionReducesWorkOnWideFrontiers) {
+  // A Q8-shaped step: wide frontier (every view), tiny candidate set.
+  QueryProcessor::Options forward_only;
+  forward_only.expansion = QueryProcessor::Expansion::kForward;
+  QueryProcessor forward(&ds_->module(), &ds_->classes(), ds_->clock(),
+                         forward_only);
+  QueryProcessor::Options backward_only;
+  backward_only.expansion = QueryProcessor::Expansion::kBackward;
+  QueryProcessor backward(&ds_->module(), &ds_->classes(), ds_->clock(),
+                          backward_only);
+  const char* iql = "//d//heavy.txt";
+  auto fwd = forward.Execute(iql);
+  auto bwd = backward.Execute(iql);
+  ASSERT_TRUE(fwd.ok() && bwd.ok());
+  EXPECT_EQ(fwd->rows, bwd->rows);
+  EXPECT_LT(bwd->expanded_views, fwd->expanded_views);
+  EXPECT_NE(bwd->plan.find("R6:backward-expansion"), std::string::npos);
+  EXPECT_NE(fwd->plan.find("R4:forward-expansion"), std::string::npos);
+}
+
+TEST_F(IqlExtensionsTest, PhraseScoresUseAllTerms) {
+  auto result = ds_->Query("\"common words\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+  ASSERT_TRUE(result->ranked());
+  EXPECT_DOUBLE_EQ(result->scores[0], result->scores[1]);  // symmetric docs
+}
+
+}  // namespace
+}  // namespace idm::iql

@@ -1,0 +1,121 @@
+// Federated queries over multiple PDSMS instances (paper §8, P2P).
+
+#include "iql/federation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace idm::iql {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two independent iMeMex instances: a laptop and a desktop.
+    laptop_ = std::make_unique<Dataspace>();
+    auto laptop_fs = std::make_shared<vfs::VirtualFileSystem>(laptop_->clock());
+    ASSERT_TRUE(laptop_fs->CreateFolder("/notes").ok());
+    ASSERT_TRUE(
+        laptop_fs->WriteFile("/notes/ideas.txt", "dataspace federation idea")
+            .ok());
+    ASSERT_TRUE(laptop_fs->WriteFile("/notes/shared.txt", "shared topic").ok());
+    ASSERT_TRUE(laptop_->AddFileSystem("fs", laptop_fs).ok());
+
+    desktop_ = std::make_unique<Dataspace>();
+    auto desktop_fs =
+        std::make_shared<vfs::VirtualFileSystem>(desktop_->clock());
+    ASSERT_TRUE(desktop_fs->CreateFolder("/work").ok());
+    ASSERT_TRUE(desktop_fs->WriteFile("/work/report.txt",
+                                      "shared topic report text").ok());
+    ASSERT_TRUE(desktop_->AddFileSystem("fs", desktop_fs).ok());
+  }
+
+  std::unique_ptr<Dataspace> laptop_;
+  std::unique_ptr<Dataspace> desktop_;
+  SimClock clock_;
+};
+
+TEST_F(FederationTest, MergesResultsAcrossPeers) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", desktop_.get()).ok());
+  EXPECT_EQ(federation.peer_count(), 2u);
+
+  auto result = federation.Query("\"shared topic\"");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->peers_reached, 2u);
+  EXPECT_EQ(result->peers_failed, 0u);
+  ASSERT_EQ(result->size(), 2u);
+  // Rows are attributed to their peer and carry resolved uris.
+  std::set<std::string> peers;
+  for (const auto& row : result->rows) {
+    peers.insert(row.peer);
+    EXPECT_FALSE(row.uri.empty());
+  }
+  EXPECT_EQ(peers, (std::set<std::string>{"laptop", "desktop"}));
+}
+
+TEST_F(FederationTest, SingleSidedResults) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", desktop_.get()).ok());
+  auto result = federation.Query("\"federation idea\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows[0].peer, "laptop");
+  EXPECT_EQ(result->rows[0].name, "ideas.txt");
+}
+
+TEST_F(FederationTest, RankedMergeOrdersByScore) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", desktop_.get()).ok());
+  auto result = federation.Query("\"shared\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 2u);
+  for (size_t i = 1; i < result->rows.size(); ++i) {
+    EXPECT_GE(result->rows[i - 1].score, result->rows[i].score);
+  }
+}
+
+TEST_F(FederationTest, NetworkCostCharged) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", desktop_.get()).ok());
+  Micros before = clock_.NowMicros();
+  ASSERT_TRUE(federation.Query("\"shared topic\"").ok());
+  // Two peers at >= 25 ms per shipped query.
+  EXPECT_GE(clock_.NowMicros() - before, 2 * 25000);
+}
+
+TEST_F(FederationTest, PartialFailureTolerated) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", desktop_.get()).ok());
+  // A query only the evaluator can reject per-peer is hard to fabricate;
+  // joins are rejected uniformly instead:
+  auto joins = federation.Query(
+      "join(//a as A, //b as B, A.name=B.name)");
+  EXPECT_EQ(joins.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(FederationTest, ErrorsWhenEmptyOrDuplicate) {
+  Federation federation(&clock_);
+  EXPECT_EQ(federation.Query("\"x\"").status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  EXPECT_EQ(federation.AddPeer("laptop", desktop_.get()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(federation.AddPeer("null", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FederationTest, MalformedQueryFailsWhenAllPeersFail) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", laptop_.get()).ok());
+  EXPECT_EQ(federation.Query("//a[").status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace idm::iql

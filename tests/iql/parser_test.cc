@@ -1,0 +1,189 @@
+#include "iql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "iql/lexer.h"
+
+namespace idm::iql {
+namespace {
+
+TEST(LexerTest, PhrasesAndKeywords) {
+  auto tokens = Lex("\"Donald Knuth\" and \"x\" or not y");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "Donald Knuth");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kAnd);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kOr);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kNot);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kIdent);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, PathsAndWildcards) {
+  auto tokens = Lex("//VLDB200?//?onclusion*/*[\"systems\"]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kSlashSlash);
+  EXPECT_EQ((*tokens)[1].text, "VLDB200?");
+  EXPECT_EQ((*tokens)[3].text, "?onclusion*");
+  EXPECT_EQ((*tokens)[4].type, TokenType::kSlash);
+  EXPECT_EQ((*tokens)[5].text, "*");
+  EXPECT_EQ((*tokens)[6].type, TokenType::kLBracket);
+}
+
+TEST(LexerTest, ComparisonsAndLiterals) {
+  auto tokens = Lex("[size > 42000 and lastmodified < @12.06.2005]");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].text, "size");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kNumber);
+  EXPECT_EQ((*tokens)[3].number, 42000);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kDate);
+  EXPECT_EQ((*tokens)[7].text, "12.06.2005");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+  EXPECT_FALSE(Lex("a ! b").ok());
+  EXPECT_FALSE(Lex("@").ok());
+  EXPECT_FALSE(Lex("#").ok());
+}
+
+TEST(ParserTest, BareKeywordQuery) {
+  auto query = ParseQuery("\"Donald Knuth\"");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->kind, Query::Kind::kFilter);
+  EXPECT_EQ(query->filter->kind, PredNode::Kind::kPhrase);
+  EXPECT_EQ(query->filter->text, "Donald Knuth");
+}
+
+TEST(ParserTest, BooleanOfKeywords) {
+  auto query = ParseQuery("\"Donald\" and \"Knuth\"");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->filter->kind, PredNode::Kind::kAnd);
+  EXPECT_EQ(query->filter->children[0]->text, "Donald");
+}
+
+TEST(ParserTest, BracketPredicateQuery) {
+  auto query = ParseQuery("[size > 42000 and lastmodified < yesterday()]");
+  ASSERT_TRUE(query.ok()) << query.status();
+  const PredNode& pred = *query->filter;
+  EXPECT_EQ(pred.kind, PredNode::Kind::kAnd);
+  EXPECT_EQ(pred.children[0]->kind, PredNode::Kind::kCompare);
+  EXPECT_EQ(pred.children[0]->attribute, "size");
+  EXPECT_EQ(pred.children[0]->op, index::CompareOp::kGt);
+  EXPECT_EQ(pred.children[1]->literal_kind, PredNode::LiteralKind::kYesterday);
+}
+
+TEST(ParserTest, PathWithClassAndPhrase) {
+  auto query = ParseQuery(
+      "//PIM//Introduction[class=\"latex_section\" and \"Mike Franklin\"]");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->steps.size(), 2u);
+  EXPECT_TRUE(query->steps[0].descendant);
+  EXPECT_EQ(query->steps[0].name_pattern, "PIM");
+  EXPECT_EQ(query->steps[1].name_pattern, "Introduction");
+  ASSERT_NE(query->steps[1].predicate, nullptr);
+  EXPECT_EQ(query->steps[1].predicate->kind, PredNode::Kind::kAnd);
+  EXPECT_EQ(query->steps[1].predicate->children[0]->kind,
+            PredNode::Kind::kClassEq);
+  EXPECT_EQ(query->steps[1].predicate->children[0]->text, "latex_section");
+}
+
+TEST(ParserTest, EmptyNameStep) {
+  // Q from the paper: //OLAP//[class="figure" and "Indexing time"].
+  auto query = ParseQuery("//OLAP//[class=\"figure\" and \"Indexing time\"]");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->steps.size(), 2u);
+  EXPECT_EQ(query->steps[1].name_pattern, "");
+  ASSERT_NE(query->steps[1].predicate, nullptr);
+}
+
+TEST(ParserTest, ChildAxisStep) {
+  auto query = ParseQuery("//papers//*Vision/*[\"Franklin\"]");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(query->steps.size(), 3u);
+  EXPECT_TRUE(query->steps[1].descendant);
+  EXPECT_FALSE(query->steps[2].descendant);
+  EXPECT_EQ(query->steps[2].name_pattern, "*");
+}
+
+TEST(ParserTest, Union) {
+  auto query = ParseQuery(
+      "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->kind, Query::Kind::kUnion);
+  ASSERT_EQ(query->arms.size(), 2u);
+  EXPECT_EQ(query->arms[0]->kind, Query::Kind::kPath);
+}
+
+TEST(ParserTest, JoinQ7) {
+  auto query = ParseQuery(
+      "join( //VLDB2006//*[class=\"texref\"] as A, "
+      "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+      "A.name=B.tuple.label)");
+  ASSERT_TRUE(query.ok()) << query.status();
+  ASSERT_EQ(query->kind, Query::Kind::kJoin);
+  const JoinSpec& join = *query->join;
+  EXPECT_EQ(join.left_binding, "A");
+  EXPECT_EQ(join.right_binding, "B");
+  EXPECT_EQ(join.left_ref.field, JoinRef::Field::kName);
+  EXPECT_EQ(join.right_ref.field, JoinRef::Field::kTupleAttr);
+  EXPECT_EQ(join.right_ref.attribute, "label");
+}
+
+TEST(ParserTest, JoinQ8ReversedRefsNormalize) {
+  auto query = ParseQuery(
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, B.name = A.name )");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->join->left_ref.binding, "A");
+  EXPECT_EQ(query->join->right_ref.binding, "B");
+}
+
+TEST(ParserTest, NotAndParens) {
+  auto query = ParseQuery("(\"a\" or \"b\") and not \"c\"");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->filter->kind, PredNode::Kind::kAnd);
+  EXPECT_EQ(query->filter->children[0]->kind, PredNode::Kind::kOr);
+  EXPECT_EQ(query->filter->children[1]->kind, PredNode::Kind::kNot);
+}
+
+TEST(ParserTest, NamePredicate) {
+  auto query = ParseQuery("//*[name=\"*.tex\" and \"figure\"]");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->steps[0].predicate->children[0]->kind,
+            PredNode::Kind::kNameEq);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("//a[").ok());
+  EXPECT_FALSE(ParseQuery("union(//a)").ok());
+  EXPECT_FALSE(ParseQuery("join(//a as A, //b as B, A.name=C.name)").ok());
+  EXPECT_FALSE(ParseQuery("join(//a as A, //b as B, A=B)").ok());
+  EXPECT_FALSE(ParseQuery("[size >]").ok());
+  EXPECT_FALSE(ParseQuery("[size ~ 3]").ok());
+  EXPECT_FALSE(ParseQuery("[size > tomorrow()]").ok());
+  EXPECT_FALSE(ParseQuery("//a extra").ok());
+  EXPECT_FALSE(ParseQuery("[size > @99.99.2005]").ok());
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  const char* queries[] = {
+      "\"Donald Knuth\"",
+      "//PIM//Introduction[class=\"latex_section\" and \"Mike Franklin\"]",
+      "union(//a//*[\"x\"], //b//*[\"y\"])",
+      "join(//a as A, //b as B, A.name=B.tuple.label)",
+      "[size > 42000 and lastmodified < yesterday()]",
+  };
+  for (const char* text : queries) {
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text;
+    auto reparsed = ParseQuery(ToString(*query));
+    ASSERT_TRUE(reparsed.ok()) << ToString(*query);
+    EXPECT_EQ(ToString(*query), ToString(*reparsed));
+  }
+}
+
+}  // namespace
+}  // namespace idm::iql

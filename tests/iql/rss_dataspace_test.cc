@@ -1,0 +1,71 @@
+// RSS feeds as a PDSMS data source: polled items flow through the stream
+// window into the indexes and become queryable like everything else.
+
+#include <gtest/gtest.h>
+
+#include "iql/dataspace.h"
+#include "rvm/data_source.h"
+
+namespace idm::iql {
+namespace {
+
+class RssDataspaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<Dataspace>();
+    stream::Feed feed;
+    feed.title = "dbworld";
+    feed.link = "http://dbworld.example.com/feed";
+    feed.description = "calls for papers";
+    feed.items.push_back({"VLDB 2006 CFP", "http://dbworld/1",
+                          "dataspace papers welcome",
+                          ds_->clock()->NowMicros()});
+    server_ = std::make_shared<stream::FeedServer>(feed, ds_->clock());
+  }
+
+  std::unique_ptr<Dataspace> ds_;
+  std::shared_ptr<stream::FeedServer> server_;
+};
+
+TEST_F(RssDataspaceTest, InitialPollIndexesPublishedItems) {
+  auto stats = ds_->AddRss("dbworld", server_);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->truncated);  // the rssatom Q is infinite: windowed
+  EXPECT_GT(stats->views_total, 1u);
+
+  // The feed item's description is full-text searchable.
+  auto result = ds_->Query("\"dataspace papers welcome\"");
+  ASSERT_TRUE(result.ok());
+  ASSERT_GE(result->size(), 1u);
+  EXPECT_EQ(ds_->UriOf(result->rows[0][0]).substr(0, 4), "rss:");
+}
+
+TEST_F(RssDataspaceTest, StreamRootConformsAndHasClass) {
+  ASSERT_TRUE(ds_->AddRss("dbworld", server_).ok());
+  auto root = ds_->module().catalog().Find("rss:dbworld");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_EQ(ds_->module().catalog().Entry(*root)->class_name, "rssatom");
+  // Class queries honor the datstream generalization (Table 1).
+  EXPECT_GE(ds_->Query("//*[class=\"datstream\"]")->size(), 1u);
+}
+
+TEST_F(RssDataspaceTest, LaterPublicationsArriveViaPollAndSync) {
+  auto source = std::make_shared<rvm::RssSource>("dbworld", server_);
+  ASSERT_TRUE(source->Poll().ok());
+  ASSERT_TRUE(ds_->AddSource(source).ok());
+  size_t before = ds_->module().catalog().live_count();
+
+  server_->Publish({"iMeMex 0.1", "http://dbworld/2",
+                    "personal dataspace management system release",
+                    ds_->clock()->NowMicros()});
+  ASSERT_TRUE(source->Poll().ok());      // client polls the feed document
+  ASSERT_TRUE(ds_->sync().Poll().ok());  // sync manager re-walks the stream
+
+  EXPECT_GT(ds_->module().catalog().live_count(), before);
+  auto result = ds_->Query("\"personal dataspace management system release\"");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->size(), 1u);
+}
+
+}  // namespace
+}  // namespace idm::iql

@@ -1,0 +1,186 @@
+#include "latex/latex.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::latex {
+namespace {
+
+const char kPaperLikeDoc[] = R"(
+\documentclass[11pt]{article}
+\title{iDM: A Unified Data Model}
+\begin{document}
+\section{Introduction}\label{sec:intro}
+This work was motivated by Mike Franklin's dataspace vision.
+\subsection{The Problem}\label{sec:problem}
+See Section~\ref{sec:prelim} for definitions.
+\section{Preliminaries}\label{sec:prelim}
+Basic notions.
+\begin{figure}
+\includegraphics[width=8cm]{chart.eps}
+\caption{Indexing Time versus dataset size}
+\label{fig:indexing}
+\end{figure}
+We discuss Figure~\ref{fig:indexing} next.
+\end{document}
+)";
+
+TEST(LatexParseTest, DocumentStructure) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+
+  const LatexNode* dc = doc->Find(LatexNode::Kind::kDocumentClass);
+  ASSERT_NE(dc, nullptr);
+  EXPECT_EQ(dc->title, "article");
+
+  const LatexNode* title = doc->Find(LatexNode::Kind::kTitle);
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->title, "iDM: A Unified Data Model");
+
+  const LatexNode* body = doc->Find(LatexNode::Kind::kDocument);
+  ASSERT_NE(body, nullptr);
+  ASSERT_EQ(body->children.size(), 2u);  // two \section units
+  EXPECT_EQ(body->children[0]->title, "Introduction");
+  EXPECT_EQ(body->children[1]->title, "Preliminaries");
+}
+
+TEST(LatexParseTest, SectionNestingAndLabels) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok());
+  const LatexNode* body = doc->Find(LatexNode::Kind::kDocument);
+  const LatexNode& intro = *body->children[0];
+  EXPECT_EQ(intro.level, 1);
+  EXPECT_EQ(intro.label, "sec:intro");
+  // Introduction: text + subsection.
+  ASSERT_EQ(intro.children.size(), 2u);
+  EXPECT_EQ(intro.children[0]->kind, LatexNode::Kind::kText);
+  EXPECT_NE(intro.children[0]->text.find("Mike Franklin"), std::string::npos);
+  const LatexNode& problem = *intro.children[1];
+  EXPECT_EQ(problem.kind, LatexNode::Kind::kSection);
+  EXPECT_EQ(problem.level, 2);
+  EXPECT_EQ(problem.title, "The Problem");
+}
+
+TEST(LatexParseTest, RefsBecomeNodes) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok());
+  const LatexNode* body = doc->Find(LatexNode::Kind::kDocument);
+  const LatexNode& problem = *body->children[0]->children[1];
+  // "See Section~" text, ref, "for definitions." text.
+  ASSERT_EQ(problem.children.size(), 3u);
+  EXPECT_EQ(problem.children[1]->kind, LatexNode::Kind::kRef);
+  EXPECT_EQ(problem.children[1]->title, "sec:prelim");
+}
+
+TEST(LatexParseTest, FigureEnvironment) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok());
+  const LatexNode* body = doc->Find(LatexNode::Kind::kDocument);
+  const LatexNode& prelim = *body->children[1];
+  const LatexNode* figure = nullptr;
+  for (const auto& child : prelim.children) {
+    if (child->kind == LatexNode::Kind::kEnvironment) figure = child.get();
+  }
+  ASSERT_NE(figure, nullptr);
+  EXPECT_EQ(figure->title, "figure");
+  EXPECT_EQ(figure->label, "fig:indexing");
+  EXPECT_EQ(figure->caption, "Indexing Time versus dataset size");
+  // Caption text is part of the figure's text content (searchable).
+  EXPECT_NE(figure->TextContent().find("Indexing Time"), std::string::npos);
+}
+
+TEST(LatexParseTest, LabelsCollected) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok());
+  auto labels = doc->Labels();
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(LatexParseTest, CommentsStripped) {
+  auto doc = ParseLatex("\\section{A}% comment \\section{B}\ntext");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->nodes.size(), 1u);
+  EXPECT_EQ(doc->nodes[0]->title, "A");
+  EXPECT_EQ(doc->nodes[0]->children[0]->text, "text");
+}
+
+TEST(LatexParseTest, StylingCommandsKeepText) {
+  auto doc = ParseLatex("plain \\emph{emphasized} and \\textbf{bold} end");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->nodes.size(), 1u);
+  EXPECT_EQ(doc->nodes[0]->text, "plain emphasized and bold end");
+}
+
+TEST(LatexParseTest, UnknownCommandsStripped) {
+  auto doc = ParseLatex("a \\cite{x} b \\vspace{1cm} c \\noindent d");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->nodes.size(), 1u);
+  EXPECT_EQ(doc->nodes[0]->text, "a b c d");
+}
+
+TEST(LatexParseTest, EscapedSpecialsKept) {
+  auto doc = ParseLatex("100\\% of A\\&B");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->nodes[0]->text, "100% of A&B");
+}
+
+TEST(LatexParseTest, MathDollarsDropped) {
+  auto doc = ParseLatex("value $x > 42$ holds");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->nodes[0]->text, "value x > 42 holds");
+}
+
+TEST(LatexParseTest, SectionLevelsPopCorrectly) {
+  auto doc = ParseLatex(
+      "\\section{A}\\subsection{A1}\\subsubsection{A11}"
+      "\\subsection{A2}\\section{B}");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->nodes.size(), 2u);
+  const LatexNode& a = *doc->nodes[0];
+  EXPECT_EQ(a.title, "A");
+  ASSERT_EQ(a.children.size(), 2u);  // A1, A2
+  EXPECT_EQ(a.children[0]->children.size(), 1u);  // A11
+  EXPECT_EQ(doc->nodes[1]->title, "B");
+}
+
+TEST(LatexParseTest, UnclosedEnvironmentClosesAtEof) {
+  auto doc = ParseLatex("\\begin{itemize} text");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->nodes.size(), 1u);
+  EXPECT_EQ(doc->nodes[0]->kind, LatexNode::Kind::kEnvironment);
+  EXPECT_EQ(doc->nodes[0]->title, "itemize");
+}
+
+TEST(LatexParseTest, UnmatchedEndIgnored) {
+  auto doc = ParseLatex("text \\end{figure} more");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->nodes.size(), 2u);  // two text runs, flushed around \end
+}
+
+TEST(LatexParseTest, MissingArgIsError) {
+  EXPECT_EQ(ParseLatex("\\section").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseLatex("\\section{unclosed").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(LatexParseTest, StarredSectionsAccepted) {
+  auto doc = ParseLatex("\\section*{Acknowledgements}thanks");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->nodes[0]->title, "Acknowledgements");
+}
+
+TEST(LatexParseTest, NestedBracesInTitles) {
+  auto doc = ParseLatex("\\section{The {\\em inner} part}");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->nodes[0]->title, "The inner part");
+}
+
+TEST(LatexParseTest, SubtreeSizeAndTextContent) {
+  auto doc = ParseLatex(kPaperLikeDoc);
+  ASSERT_TRUE(doc.ok());
+  const LatexNode* body = doc->Find(LatexNode::Kind::kDocument);
+  EXPECT_GT(body->SubtreeSize(), 8u);
+  EXPECT_NE(body->TextContent().find("Basic notions."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idm::latex

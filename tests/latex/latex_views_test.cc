@@ -1,0 +1,147 @@
+#include "latex/latex_views.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::latex {
+namespace {
+
+using core::GraphShape;
+using core::ViewPtr;
+
+const char kDoc[] = R"(
+\documentclass{article}
+\title{A PIM Vision}
+\begin{document}
+\section{Introduction}\label{sec:intro}
+Mike Franklin proposed dataspaces.
+\subsection{The Problem}
+As shown in \ref{sec:prelim}, definitions matter.
+\section{Preliminaries}\label{sec:prelim}
+Definitions.
+\begin{figure}
+\caption{Indexing Time}
+\label{fig:it}
+\end{figure}
+\end{document}
+)";
+
+class LatexViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseLatex(kDoc);
+    ASSERT_TRUE(parsed.ok());
+    root_ = LatexToViews(*parsed, "vfs:/paper.tex");
+  }
+
+  ViewPtr FindByName(const std::string& name) {
+    auto matches = core::FindAll(root_, [&name](const core::ResourceView& v) {
+      return v.GetNameComponent() == name;
+    });
+    return matches.empty() ? nullptr : matches[0];
+  }
+
+  ViewPtr root_;
+};
+
+TEST_F(LatexViewsTest, RootIsLatexDocument) {
+  EXPECT_EQ(root_->class_name(), "latex_document");
+  EXPECT_EQ(root_->uri(), "vfs:/paper.tex#texdoc");
+  // documentclass, title, document body.
+  EXPECT_EQ(root_->GetGroupComponent().SequenceToVector()->size(), 3u);
+}
+
+TEST_F(LatexViewsTest, SectionClassesByLevel) {
+  ViewPtr intro = FindByName("Introduction");
+  ASSERT_NE(intro, nullptr);
+  EXPECT_EQ(intro->class_name(), "latex_section");
+  ViewPtr problem = FindByName("The Problem");
+  ASSERT_NE(problem, nullptr);
+  EXPECT_EQ(problem->class_name(), "latex_subsection");
+}
+
+TEST_F(LatexViewsTest, LabeledUnitsCarryLabelTuple) {
+  ViewPtr prelim = FindByName("Preliminaries");
+  ASSERT_NE(prelim, nullptr);
+  EXPECT_EQ(prelim->GetTupleComponent().Get("label")->AsString(), "sec:prelim");
+}
+
+TEST_F(LatexViewsTest, FigureViewHasCaptionAndLabel) {
+  ViewPtr figure = FindByName("figure");
+  ASSERT_NE(figure, nullptr);
+  EXPECT_EQ(figure->class_name(), "figure");
+  EXPECT_EQ(figure->GetTupleComponent().Get("label")->AsString(), "fig:it");
+  EXPECT_EQ(figure->GetTupleComponent().Get("caption")->AsString(),
+            "Indexing Time");
+}
+
+TEST_F(LatexViewsTest, SectionsCarryTheirDirectTextInChi) {
+  // The Introduction's own χ holds its text — this is what lets the paper's
+  // Query 1 match *sections* by phrase.
+  ViewPtr intro = FindByName("Introduction");
+  ASSERT_NE(intro, nullptr);
+  auto content = intro->GetContentComponent().ToString();
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("Mike Franklin"), std::string::npos);
+  // But not the text of sibling sections.
+  EXPECT_EQ(content->find("Definitions."), std::string::npos);
+}
+
+TEST_F(LatexViewsTest, FigureChiIncludesCaption) {
+  ViewPtr figure = FindByName("figure");
+  ASSERT_NE(figure, nullptr);
+  auto content = figure->GetContentComponent().ToString();
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("Indexing Time"), std::string::npos);
+}
+
+TEST_F(LatexViewsTest, RefResolvesToTargetMakingGraphNonTree) {
+  // Paper Figure 1(b): a ref makes V_Preliminaries directly related to both
+  // V_document and V_ref — the subgraph is a DAG, not a tree.
+  ViewPtr ref = FindByName("sec:prelim");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->class_name(), "texref");
+  auto targets = ref->GetGroupComponent().set();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0]->GetNameComponent(), "Preliminaries");
+  EXPECT_EQ(core::ClassifyShape(root_), GraphShape::kDag);
+}
+
+TEST_F(LatexViewsTest, ForwardReferencesResolve) {
+  // The \ref appears before \section{Preliminaries} in document order; the
+  // lazy label table still finds it.
+  auto parsed = ParseLatex("\\ref{later}\\section{Target}\\label{later}");
+  ASSERT_TRUE(parsed.ok());
+  ViewPtr root = LatexToViews(*parsed, "t");
+  auto refs = core::FindAll(root, [](const core::ResourceView& v) {
+    return v.class_name() == "texref";
+  });
+  ASSERT_EQ(refs.size(), 1u);
+  auto targets = refs[0]->GetGroupComponent().set();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0]->GetNameComponent(), "Target");
+}
+
+TEST_F(LatexViewsTest, DanglingRefHasEmptyGroup) {
+  auto parsed = ParseLatex("see \\ref{nowhere}");
+  ASSERT_TRUE(parsed.ok());
+  ViewPtr root = LatexToViews(*parsed, "t");
+  auto refs = core::FindAll(root, [](const core::ResourceView& v) {
+    return v.class_name() == "texref";
+  });
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_TRUE(refs[0]->GetGroupComponent().set().empty());
+}
+
+TEST_F(LatexViewsTest, ViewsConformToStandardClasses) {
+  auto registry = core::ClassRegistry::Standard();
+  for (const ViewPtr& v : core::CollectSubgraph(root_)) {
+    EXPECT_TRUE(registry.CheckConformance(*v).ok())
+        << v->uri() << ": " << registry.CheckConformance(*v);
+  }
+}
+
+}  // namespace
+}  // namespace idm::latex

@@ -1,0 +1,120 @@
+#include "rel/relational.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::rel {
+namespace {
+
+using core::Domain;
+using core::Schema;
+using core::Value;
+using core::ViewPtr;
+
+Schema PeopleSchema() {
+  return Schema().Add("name", Domain::kString).Add("age", Domain::kInt);
+}
+
+TEST(RelationTest, InsertValidates) {
+  Relation r("people", PeopleSchema());
+  EXPECT_TRUE(r.Insert({Value::String("jens"), Value::Int(35)}).ok());
+  EXPECT_EQ(r.Insert({Value::String("x")}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.Insert({Value::Int(1), Value::Int(2)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, SelectScansByEquality) {
+  Relation r("people", PeopleSchema());
+  ASSERT_TRUE(r.Insert({Value::String("a"), Value::Int(30)}).ok());
+  ASSERT_TRUE(r.Insert({Value::String("b"), Value::Int(40)}).ok());
+  ASSERT_TRUE(r.Insert({Value::String("c"), Value::Int(30)}).ok());
+  EXPECT_EQ(r.Select("age", Value::Int(30)), (std::vector<size_t>{0, 2}));
+  EXPECT_TRUE(r.Select("age", Value::Int(99)).empty());
+  EXPECT_TRUE(r.Select("nope", Value::Int(30)).empty());
+}
+
+TEST(RelationalDbTest, CreateAndFind) {
+  RelationalDb db("addressbook");
+  auto rel = db.CreateRelation("people", PeopleSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(db.Find("people"), *rel);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+  EXPECT_EQ(db.CreateRelation("people", PeopleSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+class RelViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto rel = db_.CreateRelation("people", PeopleSchema());
+    ASSERT_TRUE(rel.ok());
+    ASSERT_TRUE((*rel)->Insert({Value::String("jens"), Value::Int(35)}).ok());
+    ASSERT_TRUE((*rel)->Insert({Value::String("marcos"), Value::Int(30)}).ok());
+    auto projects = db_.CreateRelation(
+        "projects", Schema().Add("title", Domain::kString));
+    ASSERT_TRUE(projects.ok());
+    ASSERT_TRUE((*projects)->Insert({Value::String("PIM")}).ok());
+  }
+  RelationalDb db_{"addressbook"};
+};
+
+TEST_F(RelViewsTest, Table1Instantiation) {
+  // Paper Table 1: reldb → relation → tuple with the η/τ/γ pattern.
+  ViewPtr dbview = MakeRelDbView(db_);
+  EXPECT_EQ(dbview->class_name(), "reldb");
+  EXPECT_EQ(dbview->GetNameComponent(), "addressbook");
+  EXPECT_TRUE(dbview->GetTupleComponent().empty());
+
+  auto relations = dbview->GetGroupComponent().set();
+  ASSERT_EQ(relations.size(), 2u);
+  ViewPtr people = relations[0];
+  EXPECT_EQ(people->class_name(), "relation");
+  EXPECT_EQ(people->GetNameComponent(), "people");
+
+  auto tuples = people->GetGroupComponent().set();
+  ASSERT_EQ(tuples.size(), 2u);
+  EXPECT_EQ(tuples[0]->class_name(), "tuple");
+  EXPECT_EQ(tuples[0]->GetNameComponent(), "");  // η = ⟨⟩ per Table 1
+  EXPECT_EQ(tuples[0]->GetTupleComponent().Get("name")->AsString(), "jens");
+  EXPECT_EQ(tuples[1]->GetTupleComponent().Get("age")->AsInt(), 30);
+}
+
+TEST_F(RelViewsTest, SchemaTravelsWithEveryTupleView) {
+  // iDM defines W per tuple; every tuple view of a relation carries W_R.
+  ViewPtr people = MakeRelationView("addressbook", *db_.Find("people"));
+  for (const ViewPtr& t : people->GetGroupComponent().set()) {
+    EXPECT_EQ(t->GetTupleComponent().schema(), PeopleSchema());
+  }
+}
+
+TEST_F(RelViewsTest, ViewsConformToStandardClasses) {
+  auto registry = core::ClassRegistry::Standard();
+  ViewPtr dbview = MakeRelDbView(db_);
+  for (const ViewPtr& v : core::CollectSubgraph(dbview)) {
+    EXPECT_TRUE(registry.CheckConformance(*v).ok())
+        << v->uri() << ": " << registry.CheckConformance(*v);
+  }
+}
+
+TEST_F(RelViewsTest, UrisAreStable) {
+  ViewPtr a = MakeRelDbView(db_);
+  ViewPtr b = MakeRelDbView(db_);
+  EXPECT_EQ(a->uri(), b->uri());
+  EXPECT_EQ(a->GetGroupComponent().set()[0]->uri(),
+            b->GetGroupComponent().set()[0]->uri());
+}
+
+TEST_F(RelViewsTest, TupleViewsReflectLiveRelation) {
+  ViewPtr people = MakeRelationView("addressbook", *db_.Find("people"));
+  ASSERT_TRUE(
+      db_.Find("people")->Insert({Value::String("new"), Value::Int(1)}).ok());
+  // A fresh view instantiation sees the new tuple.
+  ViewPtr fresh = MakeRelationView("addressbook", *db_.Find("people"));
+  EXPECT_EQ(fresh->GetGroupComponent().set().size(), 3u);
+}
+
+}  // namespace
+}  // namespace idm::rel

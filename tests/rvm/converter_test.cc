@@ -1,0 +1,120 @@
+#include "rvm/converter.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::rvm {
+namespace {
+
+using core::TupleComponent;
+using core::Value;
+using core::ViewBuilder;
+using core::ViewPtr;
+
+ViewPtr FileView(const std::string& name, const std::string& content) {
+  return ViewBuilder("vfs:/" + name)
+      .Class("file")
+      .Name(name)
+      .Tuple(TupleComponent::MakeUnchecked(
+          core::FileSystemSchema(),
+          {Value::Int(static_cast<int64_t>(content.size())), Value::Date(0),
+           Value::Date(0)}))
+      .ContentString(content)
+      .Build();
+}
+
+TEST(ConverterTest, CanConvertByExtension) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  EXPECT_NE(registry.FindFor(*FileView("a.tex", "")), nullptr);
+  EXPECT_NE(registry.FindFor(*FileView("A.TEX", "")), nullptr);
+  EXPECT_NE(registry.FindFor(*FileView("a.xml", "")), nullptr);
+  EXPECT_EQ(registry.FindFor(*FileView("a.txt", "")), nullptr);
+  EXPECT_EQ(registry.FindFor(*FileView("tex", "")), nullptr);
+}
+
+TEST(ConverterTest, NonFileViewsAreNotConverted) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  ViewPtr folder = ViewBuilder("vfs:/d.tex").Class("folder").Name("d.tex").Build();
+  EXPECT_EQ(registry.FindFor(*folder), nullptr);
+  ViewPtr plain = registry.MaybeWrap(folder);
+  EXPECT_EQ(plain.get(), folder.get());  // unchanged
+}
+
+TEST(ConverterTest, LatexWrapUpgradesClassAndAddsSubgraph) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  ViewPtr file = FileView(
+      "paper.tex",
+      "\\documentclass{article}\\begin{document}"
+      "\\section{Introduction}Mike Franklin\\end{document}");
+  ViewPtr wrapped = registry.MaybeWrap(file);
+  EXPECT_EQ(wrapped->uri(), file->uri());  // identity preserved
+  EXPECT_EQ(wrapped->class_name(), "latexfile");
+  EXPECT_EQ(wrapped->GetNameComponent(), "paper.tex");
+  EXPECT_FALSE(wrapped->GetContentComponent().empty());
+
+  auto subgraphs = wrapped->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(subgraphs.ok());
+  ASSERT_EQ(subgraphs->size(), 1u);
+  EXPECT_EQ((*subgraphs)[0]->class_name(), "latex_document");
+  auto intro = core::FindAll((*subgraphs)[0], [](const core::ResourceView& v) {
+    return v.GetNameComponent() == "Introduction";
+  });
+  EXPECT_EQ(intro.size(), 1u);
+}
+
+TEST(ConverterTest, ConversionIsLazyAndCounted) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  const ContentConverter* latex = registry.converters()[1].get();
+  ASSERT_EQ(latex->name(), "latex");
+  ViewPtr wrapped = registry.MaybeWrap(
+      FileView("a.tex", "\\section{S}text"));
+  EXPECT_EQ(latex->conversions(), 0u);  // nothing parsed yet (paper §4.1)
+  (void)wrapped->GetGroupComponent().SequenceToVector();
+  EXPECT_EQ(latex->conversions(), 1u);
+}
+
+TEST(ConverterTest, ParseFailureYieldsEmptySubgraphAndCounts) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  const ContentConverter* xml = registry.converters()[0].get();
+  ViewPtr wrapped = registry.MaybeWrap(FileView("bad.xml", "<broken"));
+  auto subgraphs = wrapped->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(subgraphs.ok());
+  EXPECT_TRUE(subgraphs->empty());
+  EXPECT_EQ(xml->parse_failures(), 1u);
+}
+
+TEST(ConverterTest, XmlWrapConformsToXmlfileClass) {
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  ViewPtr wrapped = registry.MaybeWrap(FileView("d.xml", "<a><b>t</b></a>"));
+  EXPECT_EQ(wrapped->class_name(), "xmlfile");
+  auto classes = core::ClassRegistry::Standard();
+  EXPECT_TRUE(classes.CheckConformance(*wrapped).ok())
+      << classes.CheckConformance(*wrapped);
+}
+
+TEST(ConverterTest, AttachmentsAreConvertible) {
+  // The Q8 path: a .tex attachment behaves like a .tex file.
+  ConverterRegistry registry = ConverterRegistry::Standard();
+  ViewPtr attachment =
+      ViewBuilder("imap://INBOX/1/att/0")
+          .Class("attachment")
+          .Name("olap.tex")
+          .Tuple(TupleComponent::MakeUnchecked(
+              core::FileSystemSchema(),
+              {Value::Int(10), Value::Date(0), Value::Date(0)}))
+          .ContentString("\\begin{figure}\\caption{Indexing Time}\\end{figure}")
+          .Build();
+  ViewPtr wrapped = registry.MaybeWrap(attachment);
+  EXPECT_EQ(wrapped->class_name(), "latexfile");
+  auto figures = core::FindAll(wrapped, [](const core::ResourceView& v) {
+    return v.class_name() == "figure";
+  });
+  ASSERT_EQ(figures.size(), 1u);
+  EXPECT_NE(figures[0]->GetContentComponent().ToString()->find("Indexing Time"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace idm::rvm

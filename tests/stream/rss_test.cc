@@ -1,0 +1,115 @@
+#include "stream/rss.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_class.h"
+
+namespace idm::stream {
+namespace {
+
+Feed SampleFeed() {
+  Feed feed;
+  feed.title = "iMeMex News";
+  feed.link = "http://imemex.org/feed";
+  feed.description = "Dataspace updates & more";
+  feed.items.push_back({"Release 0.1", "http://imemex.org/1",
+                        "First public release", 0});
+  return feed;
+}
+
+TEST(RssTest, FeedXmlRoundTrip) {
+  Feed feed = SampleFeed();
+  Micros t = 0;
+  ASSERT_TRUE(ParseDate("12.09.2005", &t));
+  feed.items[0].date = t;
+  auto parsed = ParseFeed(FeedToXml(feed));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->title, feed.title);
+  EXPECT_EQ(parsed->description, "Dataspace updates & more");  // & escaped
+  ASSERT_EQ(parsed->items.size(), 1u);
+  EXPECT_EQ(parsed->items[0].title, "Release 0.1");
+  EXPECT_EQ(parsed->items[0].date, t);
+}
+
+TEST(RssTest, ParseRejectsNonRss) {
+  EXPECT_EQ(ParseFeed("<html/>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseFeed("<rss version=\"2.0\"/>").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseFeed("not xml").status().code(), StatusCode::kParseError);
+}
+
+TEST(RssTest, FeedServerChargesLatency) {
+  SimClock clock;
+  FeedServer server(SampleFeed(), &clock);
+  Micros before = clock.NowMicros();
+  (void)server.FetchXml();
+  EXPECT_GE(clock.NowMicros() - before, 30000);
+  EXPECT_EQ(server.fetch_count(), 1u);
+}
+
+TEST(RssTest, PollerPublishesNewItemsOnce) {
+  // The paper: RSS clients get no notifications and must poll; the polling
+  // facility turns the document into a pseudo stream of xmldoc views.
+  auto server = std::make_shared<FeedServer>(SampleFeed());
+  EventBus bus;
+  auto sink = std::make_shared<CollectSink>();
+  auto buffer = std::make_shared<StreamBuffer>();
+  bus.Subscribe(sink);
+  bus.Subscribe(buffer);
+  RssPoller poller(server, &bus);
+
+  EXPECT_EQ(*poller.Poll(), 1u);
+  EXPECT_EQ(*poller.Poll(), 0u);  // unchanged document: no new events
+  server->Publish({"Release 0.2", "http://imemex.org/2", "Bug fixes", 0});
+  server->Publish({"Release 0.3", "http://imemex.org/3", "More", 0});
+  EXPECT_EQ(*poller.Poll(), 2u);
+
+  ASSERT_EQ(sink->events().size(), 3u);
+  // Each published event carries an xmldoc view of the item.
+  for (const auto& event : sink->events()) {
+    ASSERT_NE(event.view, nullptr);
+    EXPECT_EQ(event.view->class_name(), "xmldoc");
+  }
+
+  // The buffered rssatom stream view conforms to Table 1.
+  auto view = buffer->MakeStreamView("rss:imemex", "rssatom");
+  auto registry = core::ClassRegistry::Standard();
+  EXPECT_TRUE(registry.CheckConformance(*view, 3).ok())
+      << registry.CheckConformance(*view, 3);
+  auto cursor = view->GetGroupComponent().OpenSequence();
+  core::ViewPtr first = cursor->Next();
+  ASSERT_NE(first, nullptr);
+  // Navigate into the item document: item → title → text.
+  auto roots = first->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(roots.ok());
+  EXPECT_EQ((*roots)[0]->GetNameComponent(), "item");
+}
+
+TEST(RssTest, ItemsCarrySearchableDescriptions) {
+  auto server = std::make_shared<FeedServer>(SampleFeed());
+  EventBus bus;
+  auto buffer = std::make_shared<StreamBuffer>();
+  bus.Subscribe(buffer);
+  RssPoller poller(server, &bus);
+  ASSERT_TRUE(poller.Poll().ok());
+  auto view = buffer->MakeStreamView("rss:x", "rssatom");
+  auto cursor = view->GetGroupComponent().OpenSequence();
+  core::ViewPtr doc = cursor->Next();
+  ASSERT_NE(doc, nullptr);
+  auto item = (*doc->GetGroupComponent().SequenceToVector())[0];
+  std::string all_text;
+  auto children = item->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(children.ok());
+  for (const auto& child : *children) {
+    auto grandchildren = child->GetGroupComponent().SequenceToVector();
+    ASSERT_TRUE(grandchildren.ok());
+    for (const auto& grandchild : *grandchildren) {
+      auto content = grandchild->GetContentComponent().ToString();
+      if (content.ok()) all_text += *content;
+    }
+  }
+  EXPECT_NE(all_text.find("First public release"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace idm::stream

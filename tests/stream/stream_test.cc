@@ -1,0 +1,164 @@
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+#include "core/view_class.h"
+
+namespace idm::stream {
+namespace {
+
+using core::ViewBuilder;
+using core::ViewPtr;
+
+ViewEvent Added(const std::string& name) {
+  ViewPtr v = ViewBuilder("s:" + name).Name(name).Build();
+  return {ViewEvent::Kind::kAdded, v->uri(), v};
+}
+
+TEST(EventBusTest, FanOutInSubscriptionOrder) {
+  EventBus bus;
+  std::vector<std::string> log;
+  struct Logger : PushOperator {
+    std::vector<std::string>* log;
+    std::string tag;
+    void OnEvent(const ViewEvent& e) override {
+      log->push_back(tag + ":" + e.uri);
+    }
+  };
+  auto a = std::make_shared<Logger>();
+  a->log = &log;
+  a->tag = "a";
+  auto b = std::make_shared<Logger>();
+  b->log = &log;
+  b->tag = "b";
+  bus.Subscribe(a);
+  bus.Subscribe(b);
+  bus.Publish(Added("x"));
+  EXPECT_EQ(log, (std::vector<std::string>{"a:s:x", "b:s:x"}));
+  EXPECT_EQ(bus.published_count(), 1u);
+}
+
+TEST(FilterOperatorTest, ForwardsMatchesOnly) {
+  auto sink = std::make_shared<CollectSink>();
+  FilterOperator filter(
+      [](const ViewEvent& e) { return e.uri.find("keep") != std::string::npos; },
+      sink);
+  filter.OnEvent(Added("keep1"));
+  filter.OnEvent(Added("drop"));
+  filter.OnEvent(Added("keep2"));
+  ASSERT_EQ(sink->events().size(), 2u);
+  EXPECT_EQ(sink->events()[1].uri, "s:keep2");
+}
+
+TEST(MapOperatorTest, RewritesEvents) {
+  auto sink = std::make_shared<CollectSink>();
+  MapOperator map(
+      [](const ViewEvent& e) {
+        ViewEvent out = e;
+        out.uri = "mapped:" + e.uri;
+        return out;
+      },
+      sink);
+  map.OnEvent(Added("x"));
+  ASSERT_EQ(sink->events().size(), 1u);
+  EXPECT_EQ(sink->events()[0].uri, "mapped:s:x");
+}
+
+TEST(CountWindowTest, EmitsTumblingBatches) {
+  std::vector<size_t> batch_sizes;
+  CountWindowOperator window(3, [&batch_sizes](std::vector<ViewEvent> batch) {
+    batch_sizes.push_back(batch.size());
+  });
+  for (int i = 0; i < 7; ++i) window.OnEvent(Added(std::to_string(i)));
+  EXPECT_EQ(batch_sizes, (std::vector<size_t>{3, 3}));
+  EXPECT_EQ(window.pending(), 1u);
+}
+
+TEST(PollingAdapterTest, DiffsStateIntoEvents) {
+  // Paper §4.4.1: "convert a state into a pseudo data stream using a
+  // generic polling facility".
+  std::vector<ViewPtr> state;
+  EventBus bus;
+  auto sink = std::make_shared<CollectSink>();
+  bus.Subscribe(sink);
+  PollingAdapter adapter([&state]() { return state; }, &bus);
+
+  EXPECT_EQ(adapter.Poll(), 0u);
+  state.push_back(ViewBuilder("s:1").Name("1").Build());
+  state.push_back(ViewBuilder("s:2").Name("2").Build());
+  EXPECT_EQ(adapter.Poll(), 2u);
+  EXPECT_EQ(adapter.Poll(), 0u);  // steady state: no duplicates
+  state.erase(state.begin());
+  state.push_back(ViewBuilder("s:3").Name("3").Build());
+  EXPECT_EQ(adapter.Poll(), 2u);  // one removal + one addition
+
+  ASSERT_EQ(sink->events().size(), 4u);
+  EXPECT_EQ(sink->events()[2].kind, ViewEvent::Kind::kAdded);
+  EXPECT_EQ(sink->events()[3].kind, ViewEvent::Kind::kRemoved);
+  EXPECT_EQ(sink->events()[3].uri, "s:1");
+  EXPECT_EQ(adapter.poll_count(), 4u);
+}
+
+TEST(StreamBufferTest, BuffersAddedEventsAndExposesStreamView) {
+  StreamBuffer buffer;
+  buffer.OnEvent(Added("a"));
+  buffer.OnEvent({ViewEvent::Kind::kRemoved, "s:a", nullptr});  // ignored
+  buffer.OnEvent(Added("b"));
+  EXPECT_EQ(buffer.size(), 2u);
+
+  ViewPtr view = buffer.MakeStreamView("stream:test", "datstream");
+  EXPECT_EQ(view->class_name(), "datstream");
+  auto group = view->GetGroupComponent();
+  EXPECT_FALSE(group.sequence_finite());
+  auto cursor = group.OpenSequence();
+  EXPECT_EQ(cursor->Next()->GetNameComponent(), "a");
+  EXPECT_EQ(cursor->Next()->GetNameComponent(), "b");
+
+  // The live buffer feeds already-open views.
+  buffer.Push(ViewBuilder("s:c").Name("c").Build());
+  EXPECT_EQ(cursor->Next()->GetNameComponent(), "c");
+}
+
+TEST(GeneratedStreamTest, InfiniteTupleStreamConforms) {
+  // A synthetic tuple stream: Table 1's tupstream class.
+  ViewPtr view = MakeGeneratedStreamView(
+      "stream:tuples", "tupstream", [](uint64_t i) {
+        return ViewBuilder("stream:tuples/" + std::to_string(i))
+            .Class("tuple")
+            .Tuple(core::TupleComponent::MakeUnchecked(
+                core::Schema().Add("seq", core::Domain::kInt),
+                {core::Value::Int(static_cast<int64_t>(i))}))
+            .Build();
+      });
+  auto registry = core::ClassRegistry::Standard();
+  EXPECT_TRUE(registry.CheckConformance(*view).ok())
+      << registry.CheckConformance(*view);
+  auto cursor = view->GetGroupComponent().OpenSequence();
+  for (uint64_t i = 0; i < 50; ++i) {
+    ViewPtr v = cursor->Next();
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->GetTupleComponent().Get("seq")->AsInt(),
+              static_cast<int64_t>(i));
+  }
+}
+
+TEST(PipelineTest, FilterWindowSinkComposition) {
+  // End-to-end push pipeline: bus → filter → window → sink, the DSMS-style
+  // processing of paper §4.4.2.
+  EventBus bus;
+  std::vector<std::vector<ViewEvent>> windows;
+  auto window = std::make_shared<CountWindowOperator>(
+      2, [&windows](std::vector<ViewEvent> batch) {
+        windows.push_back(std::move(batch));
+      });
+  bus.Subscribe(std::make_shared<FilterOperator>(
+      [](const ViewEvent& e) { return e.kind == ViewEvent::Kind::kAdded; },
+      window));
+  for (int i = 0; i < 5; ++i) bus.Publish(Added(std::to_string(i)));
+  bus.Publish({ViewEvent::Kind::kRemoved, "s:0", nullptr});
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[1][1].uri, "s:3");
+}
+
+}  // namespace
+}  // namespace idm::stream

@@ -1,0 +1,65 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace idm {
+namespace {
+
+TEST(SimClockTest, StartsAtDefaultEpochAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.NowMicros(), SimClock::kDefaultEpochMicros);
+  clock.AdvanceMicros(1500);
+  EXPECT_EQ(clock.NowMicros(), SimClock::kDefaultEpochMicros + 1500);
+  clock.AdvanceSeconds(2);
+  EXPECT_EQ(clock.NowMicros(), SimClock::kDefaultEpochMicros + 1500 + 2000000);
+}
+
+TEST(SimClockTest, CustomOrigin) {
+  SimClock clock(0);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(WallClockTest, MonotoneNonDecreasing) {
+  WallClock clock;
+  Micros a = clock.NowMicros();
+  Micros b = clock.NowMicros();
+  EXPECT_LE(a, b);
+  clock.AdvanceMicros(1000000);  // no-op on wall clocks
+  EXPECT_LE(b - a, 1000000);
+}
+
+TEST(FormatTimestampTest, PaperNotation) {
+  // The paper's PIM folder example: '19/03/2005 11:54'.
+  Micros t = 0;
+  ASSERT_TRUE(ParseDate("19.03.2005", &t));
+  t += (11 * 3600 + 54 * 60) * 1000000LL;
+  EXPECT_EQ(FormatTimestamp(t), "19/03/2005 11:54");
+}
+
+TEST(ParseDateTest, ValidDates) {
+  Micros t = 0;
+  ASSERT_TRUE(ParseDate("12.06.2005", &t));
+  EXPECT_EQ(FormatTimestamp(t), "12/06/2005 00:00");
+  ASSERT_TRUE(ParseDate("1.1.1970", &t));
+  EXPECT_EQ(t, 0);
+}
+
+TEST(ParseDateTest, RejectsMalformed) {
+  Micros t = 0;
+  EXPECT_FALSE(ParseDate("", &t));
+  EXPECT_FALSE(ParseDate("12-06-2005", &t));
+  EXPECT_FALSE(ParseDate("32.01.2005", &t));
+  EXPECT_FALSE(ParseDate("01.13.2005", &t));
+  EXPECT_FALSE(ParseDate("01.01.1969", &t));
+  EXPECT_FALSE(ParseDate("abc", &t));
+}
+
+TEST(ParseDateTest, OrderingMatchesCalendar) {
+  Micros a = 0, b = 0;
+  ASSERT_TRUE(ParseDate("12.06.2005", &a));
+  ASSERT_TRUE(ParseDate("22.09.2005", &b));
+  EXPECT_LT(a, b);
+}
+
+}  // namespace
+}  // namespace idm

@@ -1,0 +1,78 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace idm {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit over 1000 draws
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardsLowRanks) {
+  Rng rng(11);
+  size_t n = 1000;
+  size_t rank0 = 0, tail = 0;
+  for (int i = 0; i < 10000; ++i) {
+    size_t r = rng.Zipf(n, 1.0);
+    ASSERT_LT(r, n);
+    if (r == 0) ++rank0;
+    if (r >= n / 2) ++tail;
+  }
+  EXPECT_GT(rank0, tail);  // head dominates under Zipf
+}
+
+TEST(RngTest, ZipfHandlesParameterChange) {
+  Rng rng(13);
+  EXPECT_LT(rng.Zipf(10, 1.0), 10u);
+  EXPECT_LT(rng.Zipf(100, 0.5), 100u);  // CDF rebuilt for new (n, s)
+  EXPECT_LT(rng.Zipf(10, 1.0), 10u);
+  EXPECT_EQ(rng.Zipf(0, 1.0), 0u);
+}
+
+}  // namespace
+}  // namespace idm

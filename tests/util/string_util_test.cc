@@ -1,0 +1,92 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace idm {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a//b", '/'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '/'), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", '/'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitTest, SkipEmptyDropsEmptyFields) {
+  EXPECT_EQ(SplitSkipEmpty("/a//b/", '/'), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(SplitSkipEmpty("///", '/').empty());
+}
+
+TEST(JoinTest, RoundTripsWithSplit) {
+  std::vector<std::string> parts{"Projects", "PIM", "vldb 2006.tex"};
+  EXPECT_EQ(Join(parts, "/"), "Projects/PIM/vldb 2006.tex");
+  EXPECT_EQ(Split(Join(parts, "/"), '/'), parts);
+  EXPECT_EQ(Join({}, "/"), "");
+}
+
+TEST(CaseTest, ToLowerIsAsciiOnly) {
+  EXPECT_EQ(ToLower("MiKe FrAnKlIn 42"), "mike franklin 42");
+}
+
+TEST(CaseTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Introduction", "INTRODUCTION"));
+  EXPECT_FALSE(EqualsIgnoreCase("Intro", "Introduction"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(TrimTest, StripsWhitespace) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim("\t \n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(AffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("vldb2006.tex", "vldb"));
+  EXPECT_FALSE(StartsWith("vldb", "vldb2006"));
+  EXPECT_TRUE(EndsWith("vldb2006.tex", ".tex"));
+  EXPECT_FALSE(EndsWith(".tex", "vldb.tex"));
+}
+
+TEST(WildcardTest, PaperQueryPatterns) {
+  // Patterns drawn from the paper's Table 4 queries.
+  EXPECT_TRUE(WildcardMatch("*Vision", "A PIM Vision"));
+  EXPECT_TRUE(WildcardMatch("?onclusion*", "Conclusions"));
+  EXPECT_TRUE(WildcardMatch("?onclusion*", "conclusion"));
+  EXPECT_FALSE(WildcardMatch("?onclusion*", "onclusion"));
+  EXPECT_TRUE(WildcardMatch("VLDB200?", "VLDB2005"));
+  EXPECT_TRUE(WildcardMatch("VLDB200?", "vldb2006"));
+  EXPECT_FALSE(WildcardMatch("VLDB200?", "VLDB20055"));
+  EXPECT_TRUE(WildcardMatch("*.tex", "paper.tex"));
+  EXPECT_FALSE(WildcardMatch("*.tex", "paper.doc"));
+  EXPECT_TRUE(WildcardMatch("figure*", "figure_3"));
+}
+
+TEST(WildcardTest, EdgeCases) {
+  EXPECT_TRUE(WildcardMatch("", ""));
+  EXPECT_FALSE(WildcardMatch("", "x"));
+  EXPECT_TRUE(WildcardMatch("*", ""));
+  EXPECT_TRUE(WildcardMatch("**", "anything"));
+  EXPECT_FALSE(WildcardMatch("?", ""));
+  EXPECT_TRUE(WildcardMatch("a*b*c", "a-xx-b-yy-c"));
+  EXPECT_FALSE(WildcardMatch("a*b*c", "a-xx-c-yy-b"));
+}
+
+TEST(WildcardTest, HasWildcards) {
+  EXPECT_TRUE(HasWildcards("*.tex"));
+  EXPECT_TRUE(HasWildcards("VLDB200?"));
+  EXPECT_FALSE(HasWildcards("Introduction"));
+}
+
+TEST(ReplaceAllTest, Basic) {
+  EXPECT_EQ(ReplaceAll("a&b&c", "&", "&amp;"), "a&amp;b&amp;c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x", "", "y"), "x");
+}
+
+TEST(BytesToMbTest, Formats) {
+  EXPECT_EQ(BytesToMb(0), "0.0");
+  EXPECT_EQ(BytesToMb(1024ULL * 1024), "1.0");
+  EXPECT_EQ(BytesToMb(13107200ULL), "12.5");
+}
+
+}  // namespace
+}  // namespace idm

@@ -1,0 +1,172 @@
+#include "vfs/vfs.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::vfs {
+namespace {
+
+TEST(NormalizePathTest, Canonicalizes) {
+  EXPECT_EQ(VirtualFileSystem::NormalizePath(""), "/");
+  EXPECT_EQ(VirtualFileSystem::NormalizePath("/"), "/");
+  EXPECT_EQ(VirtualFileSystem::NormalizePath("a/b"), "/a/b");
+  EXPECT_EQ(VirtualFileSystem::NormalizePath("//a///b/"), "/a/b");
+  EXPECT_EQ(VirtualFileSystem::NormalizePath("/Projects/PIM/"), "/Projects/PIM");
+}
+
+class VfsTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+  VirtualFileSystem fs_{&clock_};
+};
+
+TEST_F(VfsTest, RootExists) {
+  EXPECT_TRUE(fs_.Exists("/"));
+  auto info = fs_.Stat("/");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, NodeType::kFolder);
+}
+
+TEST_F(VfsTest, CreateFolderRecursive) {
+  ASSERT_TRUE(fs_.CreateFolder("/Projects/PIM/sub").ok());
+  EXPECT_TRUE(fs_.Exists("/Projects"));
+  EXPECT_TRUE(fs_.Exists("/Projects/PIM"));
+  EXPECT_TRUE(fs_.Exists("/Projects/PIM/sub"));
+  // Idempotent.
+  EXPECT_TRUE(fs_.CreateFolder("/Projects/PIM").ok());
+}
+
+TEST_F(VfsTest, WriteAndReadFile) {
+  ASSERT_TRUE(fs_.CreateFolder("/Projects").ok());
+  ASSERT_TRUE(fs_.WriteFile("/Projects/a.txt", "hello dataspace").ok());
+  auto content = fs_.ReadFile("/Projects/a.txt");
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(*content, "hello dataspace");
+  auto info = fs_.Stat("/Projects/a.txt");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, NodeType::kFile);
+  EXPECT_EQ(info->meta.size, 15);
+}
+
+TEST_F(VfsTest, WriteRequiresParent) {
+  EXPECT_EQ(fs_.WriteFile("/missing/a.txt", "x").code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, OverwriteUpdatesMtimeNotCtime) {
+  ASSERT_TRUE(fs_.WriteFile("/a.txt", "v1").ok());
+  Micros created = fs_.Stat("/a.txt")->meta.created;
+  clock_.AdvanceSeconds(60);
+  ASSERT_TRUE(fs_.WriteFile("/a.txt", "version two").ok());
+  auto info = fs_.Stat("/a.txt");
+  EXPECT_EQ(info->meta.created, created);
+  EXPECT_GT(info->meta.modified, created);
+  EXPECT_EQ(info->meta.size, 11);
+}
+
+TEST_F(VfsTest, FolderOverFileFails) {
+  ASSERT_TRUE(fs_.WriteFile("/x", "data").ok());
+  EXPECT_EQ(fs_.CreateFolder("/x/y").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(fs_.WriteFile("/x/y", "z").code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, ListIsSortedAndComplete) {
+  ASSERT_TRUE(fs_.CreateFolder("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/b.txt", "").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/a.txt", "").ok());
+  ASSERT_TRUE(fs_.CreateFolder("/d/c").ok());
+  auto names = fs_.List("/d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"a.txt", "b.txt", "c"}));
+}
+
+TEST_F(VfsTest, ListOnFileFails) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs_.List("/f").status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VfsTest, RemoveRecursive) {
+  ASSERT_TRUE(fs_.CreateFolder("/d/sub").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/sub/f", "x").ok());
+  ASSERT_TRUE(fs_.Remove("/d").ok());
+  EXPECT_FALSE(fs_.Exists("/d"));
+  EXPECT_FALSE(fs_.Exists("/d/sub/f"));
+  EXPECT_EQ(fs_.Remove("/d").code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs_.Remove("/").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(VfsTest, LinksResolve) {
+  ASSERT_TRUE(fs_.CreateFolder("/Projects/PIM").ok());
+  ASSERT_TRUE(fs_.CreateLink("/Projects/PIM/All Projects", "/Projects").ok());
+  auto info = fs_.Stat("/Projects/PIM/All Projects");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, NodeType::kLink);
+  EXPECT_EQ(info->link_target, "/Projects");
+  auto target = fs_.ResolveLink("/Projects/PIM/All Projects");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/Projects");
+}
+
+TEST_F(VfsTest, LinkCycleIsBounded) {
+  ASSERT_TRUE(fs_.CreateFolder("/d").ok());
+  ASSERT_TRUE(fs_.CreateLink("/d/l1", "/d/l2").ok());
+  ASSERT_TRUE(fs_.CreateLink("/d/l2", "/d/l1").ok());
+  EXPECT_EQ(fs_.ResolveLink("/d/l1").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(VfsTest, DanglingLink) {
+  ASSERT_TRUE(fs_.CreateLink("/gone", "/nowhere").ok());
+  EXPECT_EQ(fs_.ResolveLink("/gone").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsTest, EventsEmitted) {
+  std::vector<std::pair<FsEvent::Kind, std::string>> events;
+  fs_.Subscribe([&events](const FsEvent& e) {
+    events.emplace_back(e.kind, e.path);
+  });
+  ASSERT_TRUE(fs_.CreateFolder("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/f", "1").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/f", "2").ok());
+  ASSERT_TRUE(fs_.Remove("/d/f").ok());
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0], std::make_pair(FsEvent::Kind::kCreated, std::string("/d")));
+  EXPECT_EQ(events[1], std::make_pair(FsEvent::Kind::kCreated, std::string("/d/f")));
+  EXPECT_EQ(events[2], std::make_pair(FsEvent::Kind::kModified, std::string("/d/f")));
+  EXPECT_EQ(events[3], std::make_pair(FsEvent::Kind::kRemoved, std::string("/d/f")));
+}
+
+TEST_F(VfsTest, MkdirPEmitsEventPerIntermediate) {
+  size_t events = 0;
+  fs_.Subscribe([&events](const FsEvent&) { ++events; });
+  ASSERT_TRUE(fs_.CreateFolder("/a/b/c").ok());
+  EXPECT_EQ(events, 3u);
+}
+
+TEST_F(VfsTest, AccountingAccumulates) {
+  Micros before = fs_.access_micros();
+  ASSERT_TRUE(fs_.WriteFile("/big", std::string(1 << 20, 'x')).ok());
+  auto r = fs_.ReadFile("/big");
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(fs_.access_micros(), before);
+  EXPECT_GE(fs_.op_count(), 2u);
+  // The clock advanced by exactly the charged amount.
+  EXPECT_EQ(clock_.NowMicros() - SimClock::kDefaultEpochMicros,
+            fs_.access_micros());
+}
+
+TEST_F(VfsTest, TotalsCountContentAndNodes) {
+  ASSERT_TRUE(fs_.CreateFolder("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/a", "12345").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/b", "123").ok());
+  ASSERT_TRUE(fs_.CreateLink("/d/l", "/d").ok());
+  EXPECT_EQ(fs_.TotalContentBytes(), 8u);
+  EXPECT_EQ(fs_.NodeCount(), 4u);  // d, a, b, l
+}
+
+TEST_F(VfsTest, NoClockMeansNoAdvance) {
+  VirtualFileSystem fs(nullptr);
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  EXPECT_GT(fs.access_micros(), 0);  // accounting still accumulates
+}
+
+}  // namespace
+}  // namespace idm::vfs

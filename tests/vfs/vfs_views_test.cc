@@ -1,0 +1,132 @@
+#include "vfs/vfs_views.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::vfs {
+namespace {
+
+using core::GraphShape;
+using core::ViewPtr;
+
+class VfsViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    clock_ = std::make_shared<SimClock>();
+    fs_ = std::make_shared<VirtualFileSystem>(clock_.get());
+    // Paper Figure 1(a): Projects / {PIM, OLAP}; PIM holds two documents
+    // and a folder link back to Projects.
+    ASSERT_TRUE(fs_->CreateFolder("/Projects/PIM").ok());
+    ASSERT_TRUE(fs_->CreateFolder("/Projects/OLAP").ok());
+    ASSERT_TRUE(fs_->WriteFile("/Projects/PIM/vldb 2006.tex",
+                               "\\section{Introduction} Mike Franklin").ok());
+    ASSERT_TRUE(fs_->WriteFile("/Projects/PIM/Grant.doc", "grant text").ok());
+    ASSERT_TRUE(
+        fs_->CreateLink("/Projects/PIM/All Projects", "/Projects").ok());
+  }
+
+  std::shared_ptr<SimClock> clock_;
+  std::shared_ptr<VirtualFileSystem> fs_;
+};
+
+TEST_F(VfsViewsTest, UriIsNormalizedPath) {
+  EXPECT_EQ(VfsUri("Projects//PIM/"), "vfs:/Projects/PIM");
+}
+
+TEST_F(VfsViewsTest, MissingPathFails) {
+  EXPECT_EQ(MakeVfsView(fs_, "/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VfsViewsTest, FolderViewComponents) {
+  auto view = MakeVfsView(fs_, "/Projects/PIM");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->uri(), "vfs:/Projects/PIM");
+  EXPECT_EQ((*view)->class_name(), "folder");
+  EXPECT_EQ((*view)->GetNameComponent(), "PIM");
+  auto tuple = (*view)->GetTupleComponent();
+  EXPECT_EQ(tuple.Get("size")->AsInt(), 4096);
+  EXPECT_TRUE((*view)->GetContentComponent().empty());
+  // γ.S: the three children of the PIM folder (paper §2.3).
+  auto children = (*view)->GetGroupComponent().set();
+  EXPECT_EQ(children.size(), 3u);
+}
+
+TEST_F(VfsViewsTest, FileViewComponents) {
+  auto view = MakeVfsView(fs_, "/Projects/PIM/vldb 2006.tex");
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ((*view)->class_name(), "file");
+  EXPECT_EQ((*view)->GetNameComponent(), "vldb 2006.tex");
+  auto content = (*view)->GetContentComponent().ToString();
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content->find("Mike Franklin"), std::string::npos);
+  EXPECT_TRUE((*view)->GetGroupComponent().empty());
+}
+
+TEST_F(VfsViewsTest, FileContentIsLazy) {
+  auto view = MakeVfsView(fs_, "/Projects/PIM/Grant.doc");
+  ASSERT_TRUE(view.ok());
+  uint64_t ops_before = fs_->op_count();
+  auto content = (*view)->GetContentComponent();  // handle only: no read yet
+  EXPECT_EQ(fs_->op_count(), ops_before);
+  EXPECT_EQ(*content.ToString(), "grant text");
+  EXPECT_GT(fs_->op_count(), ops_before);
+}
+
+TEST_F(VfsViewsTest, ViewsConformToStandardClasses) {
+  auto registry = core::ClassRegistry::Standard();
+  for (const char* path :
+       {"/Projects", "/Projects/PIM", "/Projects/PIM/vldb 2006.tex",
+        "/Projects/PIM/All Projects"}) {
+    auto view = MakeVfsView(fs_, path);
+    ASSERT_TRUE(view.ok()) << path;
+    EXPECT_TRUE(registry.CheckConformance(**view).ok()) << path;
+  }
+}
+
+TEST_F(VfsViewsTest, LinkCreatesCycle) {
+  // Paper §2.3: Projects → PIM → All Projects → Projects is a cycle in the
+  // resource view graph.
+  auto root = MakeVfsView(fs_, "/Projects");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(core::ClassifyShape(*root), GraphShape::kCyclic);
+
+  core::TraversalStats stats =
+      core::Traverse({*root}, {}, [](const ViewPtr&, size_t) {
+        return core::VisitAction::kContinue;
+      });
+  EXPECT_TRUE(stats.cycle_found);
+  // Distinct nodes: Projects, PIM, OLAP, 2 files, link = 6.
+  EXPECT_EQ(stats.views_visited, 6u);
+}
+
+TEST_F(VfsViewsTest, LinkViewPointsAtTarget) {
+  auto link = MakeVfsView(fs_, "/Projects/PIM/All Projects");
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->GetNameComponent(), "All Projects");
+  auto related = (*link)->GetGroupComponent().set();
+  ASSERT_EQ(related.size(), 1u);
+  EXPECT_EQ(related[0]->uri(), "vfs:/Projects");
+}
+
+TEST_F(VfsViewsTest, DanglingLinkHasEmptyGroup) {
+  ASSERT_TRUE(fs_->CreateLink("/broken", "/void").ok());
+  auto link = MakeVfsView(fs_, "/broken");
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE((*link)->GetGroupComponent().set().empty());
+}
+
+TEST_F(VfsViewsTest, ViewsObserveLiveFilesystem) {
+  auto view = MakeVfsView(fs_, "/Projects/OLAP");
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE((*view)->GetGroupComponent().set().empty());
+  // Mutate after view creation; a *fresh* group access sees the new child.
+  ASSERT_TRUE(fs_->WriteFile("/Projects/OLAP/new.txt", "x").ok());
+  auto fresh = (*view)->GetGroupComponent().set();
+  EXPECT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0]->GetNameComponent(), "new.txt");
+}
+
+}  // namespace
+}  // namespace idm::vfs

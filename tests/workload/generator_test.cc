@@ -1,0 +1,169 @@
+// Tests for the synthetic dataspace generator: determinism, planted
+// needles, and spec-knob behavior. The benchmark harness depends on all
+// three properties.
+
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "latex/latex.h"
+#include "xml/xml.h"
+
+namespace idm::workload {
+namespace {
+
+TEST(TextGeneratorTest, DeterministicForSeed) {
+  Rng a(5), b(5);
+  TextGenerator ta(&a), tb(&b);
+  EXPECT_EQ(ta.Words(50), tb.Words(50));
+}
+
+TEST(TextGeneratorTest, WordsProducesRequestedCount) {
+  Rng rng(9);
+  TextGenerator text(&rng);
+  std::string out = text.Words(40);
+  size_t words = 1;
+  for (char c : out) {
+    if (c == ' ' || c == '\n') ++words;
+  }
+  EXPECT_GE(words, 40u);  // separators may add line breaks
+}
+
+TEST(TextGeneratorTest, PhrasePlantingIsVerbatim) {
+  Rng rng(3);
+  TextGenerator text(&rng);
+  std::string out = text.WordsWithPhrase(30, "database tuning");
+  EXPECT_NE(out.find("database tuning"), std::string::npos);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  SimClock clock_;
+};
+
+TEST_F(GeneratorTest, DeterministicAcrossRuns) {
+  SimClock c1, c2;
+  BuiltDataspace a = Generate(DataspaceSpec::Small(), &c1);
+  BuiltDataspace b = Generate(DataspaceSpec::Small(), &c2);
+  EXPECT_EQ(a.fs->NodeCount(), b.fs->NodeCount());
+  EXPECT_EQ(a.fs->TotalContentBytes(), b.fs->TotalContentBytes());
+  EXPECT_EQ(a.imap->MessageCount(), b.imap->MessageCount());
+  EXPECT_EQ(a.imap->TotalWireBytes(), b.imap->TotalWireBytes());
+  // And byte-identical content for a planted file.
+  EXPECT_EQ(*a.fs->ReadFile("/Projects/PIM/vldb 2006.tex"),
+            *b.fs->ReadFile("/Projects/PIM/vldb 2006.tex"));
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  DataspaceSpec spec_a = DataspaceSpec::Small();
+  DataspaceSpec spec_b = DataspaceSpec::Small();
+  spec_b.seed = spec_a.seed + 1;
+  SimClock c1, c2;
+  BuiltDataspace a = Generate(spec_a, &c1);
+  BuiltDataspace b = Generate(spec_b, &c2);
+  EXPECT_NE(a.fs->TotalContentBytes(), b.fs->TotalContentBytes());
+}
+
+TEST_F(GeneratorTest, PlantedNeedlesExist) {
+  BuiltDataspace built = Generate(DataspaceSpec::Small(), &clock_);
+  // Figure 1 skeleton.
+  EXPECT_TRUE(built.fs->Exists("/Projects/PIM/vldb 2006.tex"));
+  EXPECT_TRUE(built.fs->Exists("/Projects/PIM/Grant.doc"));
+  EXPECT_TRUE(built.fs->Exists("/Projects/PIM/All Projects"));
+  EXPECT_TRUE(built.fs->Exists("/Projects/OLAP/olap paper.tex"));
+  // Q4/Q5/Q6/Q7 folders.
+  EXPECT_TRUE(built.fs->Exists("/papers/dataspaces.tex"));
+  EXPECT_TRUE(built.fs->Exists("/VLDB2005"));
+  EXPECT_TRUE(built.fs->Exists("/VLDB2006"));
+  // The link closes the Figure 1 cycle.
+  auto target = built.fs->ResolveLink("/Projects/PIM/All Projects");
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, "/Projects");
+  // Q1 needle phrase.
+  EXPECT_NE(built.fs->ReadFile("/Projects/PIM/vldb 2006.tex")
+                ->find("Mike Franklin"),
+            std::string::npos);
+}
+
+TEST_F(GeneratorTest, EmailNeedlesExist) {
+  BuiltDataspace built = Generate(DataspaceSpec::Small(), &clock_);
+  auto folders = built.imap->ListFolders();
+  ASSERT_TRUE(folders.ok());
+  bool has_olap = false;
+  for (const auto& folder : *folders) {
+    if (folder == "Projects/OLAP") has_olap = true;
+  }
+  EXPECT_TRUE(has_olap);
+  auto uids = built.imap->ListUids("Projects/OLAP");
+  ASSERT_TRUE(uids.ok());
+  ASSERT_FALSE(uids->empty());
+  auto wire = built.imap->FetchRaw("Projects/OLAP", (*uids)[0]);
+  ASSERT_TRUE(wire.ok());
+  EXPECT_NE(wire->find("olap_eval.tex"), std::string::npos);
+}
+
+TEST_F(GeneratorTest, SpecKnobsScaleTheOutput) {
+  DataspaceSpec small = DataspaceSpec::Small();
+  DataspaceSpec bigger = small;
+  bigger.fs_text_files *= 4;
+  bigger.emails *= 4;
+  SimClock c1, c2;
+  BuiltDataspace a = Generate(small, &c1);
+  BuiltDataspace b = Generate(bigger, &c2);
+  EXPECT_GT(b.fs->NodeCount(), a.fs->NodeCount());
+  EXPECT_GT(b.imap->MessageCount(), a.imap->MessageCount());
+}
+
+TEST_F(GeneratorTest, TimestampsAdvanceAcrossItems) {
+  Micros start = clock_.NowMicros();
+  Generate(DataspaceSpec::Small(), &clock_);
+  EXPECT_GT(clock_.NowMicros(), start);
+}
+
+TEST_F(GeneratorTest, GeneratedLatexParses) {
+  BuiltDataspace built = Generate(DataspaceSpec::Small(), &clock_);
+  // Every generated .tex document must survive the LaTeX parser — the
+  // converter pipeline depends on it. Check the planted ones.
+  for (const char* path :
+       {"/Projects/PIM/vldb 2006.tex", "/papers/dataspaces.tex",
+        "/papers/draft0.tex", "/VLDB2006/vldb2006 paper.tex"}) {
+    auto content = built.fs->ReadFile(path);
+    ASSERT_TRUE(content.ok()) << path;
+    auto parsed = latex::ParseLatex(*content);
+    EXPECT_TRUE(parsed.ok()) << path << ": " << parsed.status();
+  }
+}
+
+TEST_F(GeneratorTest, GeneratedXmlParses) {
+  BuiltDataspace built = Generate(DataspaceSpec::Small(), &clock_);
+  auto names = built.fs->List("/");
+  ASSERT_TRUE(names.ok());
+  // Find any generated .xml and parse it.
+  size_t parsed_count = 0;
+  std::function<void(const std::string&)> walk = [&](const std::string& dir) {
+    auto children = built.fs->List(dir);
+    if (!children.ok()) return;
+    for (const auto& child : *children) {
+      std::string path = dir == "/" ? "/" + child : dir + "/" + child;
+      auto info = built.fs->Stat(path);
+      if (!info.ok()) continue;
+      if (info->type == vfs::NodeType::kFolder) {
+        walk(path);
+      } else if (info->type == vfs::NodeType::kFile &&
+                 path.size() > 4 &&
+                 path.compare(path.size() - 4, 4, ".xml") == 0) {
+        auto content = built.fs->ReadFile(path);
+        ASSERT_TRUE(content.ok());
+        EXPECT_TRUE(xml::Parse(*content).ok()) << path;
+        ++parsed_count;
+      }
+    }
+  };
+  walk("/");
+  EXPECT_EQ(parsed_count, DataspaceSpec::Small().fs_xml_docs);
+}
+
+}  // namespace
+}  // namespace idm::workload

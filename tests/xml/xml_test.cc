@@ -1,0 +1,157 @@
+#include "xml/xml.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::xml {
+namespace {
+
+TEST(XmlParseTest, MinimalElement) {
+  auto doc = Parse("<a/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->name, "a");
+  EXPECT_TRUE(doc->root->children.empty());
+  EXPECT_TRUE(doc->root->attributes.empty());
+}
+
+TEST(XmlParseTest, NestedElementsAndText) {
+  auto doc = Parse("<dep><name>Accounting</name><id>42</id></dep>");
+  ASSERT_TRUE(doc.ok());
+  const XmlNode& root = *doc->root;
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0]->name, "name");
+  EXPECT_EQ(root.children[0]->TextContent(), "Accounting");
+  EXPECT_EQ(root.children[1]->TextContent(), "42");
+  EXPECT_EQ(root.TextContent(), "Accounting42");
+}
+
+TEST(XmlParseTest, AttributesPreserveOrder) {
+  auto doc = Parse(R"(<item id="1" class='figure' label="fig:index"/>)");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->root->attributes.size(), 3u);
+  EXPECT_EQ(doc->root->attributes[0].name, "id");
+  EXPECT_EQ(doc->root->attributes[1].name, "class");
+  EXPECT_EQ(doc->root->attributes[2].value, "fig:index");
+  EXPECT_EQ(*doc->root->FindAttribute("class"), "figure");
+  EXPECT_EQ(doc->root->FindAttribute("missing"), nullptr);
+}
+
+TEST(XmlParseTest, PrologAndMiscSkipped) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE dep>\n"
+      "<!-- a comment -->\n"
+      "<dep>x<!-- inner --><?pi data?>y</dep>\n"
+      "<!-- trailing -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "xy");
+}
+
+TEST(XmlParseTest, EntityDecoding) {
+  auto doc = Parse("<t a=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root->FindAttribute("a"), "<&>");
+  EXPECT_EQ(doc->root->TextContent(), "\"x' AB");
+}
+
+TEST(XmlParseTest, UnicodeCharacterReferences) {
+  auto doc = Parse("<t>&#228;&#x20AC;</t>");  // ä €
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "\xC3\xA4\xE2\x82\xAC");
+}
+
+TEST(XmlParseTest, CdataBecomesText) {
+  auto doc = Parse("<t><![CDATA[a <raw> & b]]></t>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root->TextContent(), "a <raw> & b");
+}
+
+TEST(XmlParseTest, Errors) {
+  EXPECT_EQ(Parse("").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a></b>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a x=1/>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a x=\"1\" x=\"2\"/>").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a>&bogus;</a>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a/><b/>").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Parse("<a>&#xZZ;</a>").status().code(), StatusCode::kParseError);
+}
+
+TEST(XmlParseTest, ErrorsCarryLineInfo) {
+  auto r = Parse("<a>\n\n  <b></c>\n</a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(XmlSerializeTest, EscapesSpecials) {
+  XmlDocument doc;
+  doc.root = std::make_unique<XmlNode>();
+  doc.root->name = "t";
+  doc.root->attributes.push_back({"a", "x<y&\"z\""});
+  auto text = std::make_unique<XmlNode>();
+  text->kind = XmlNode::Kind::kText;
+  text->text = "1<2 & 3";
+  doc.root->children.push_back(std::move(text));
+  EXPECT_EQ(Serialize(doc),
+            "<t a=\"x&lt;y&amp;&quot;z&quot;\">1&lt;2 &amp; 3</t>");
+}
+
+TEST(XmlRoundTripTest, ParseSerializeParse) {
+  const std::string kInput =
+      "<dep a=\"1\"><sc>web.server.com/GetDepartments()</sc>"
+      "<deplist><entry><name>Accounting</name></entry></deplist></dep>";
+  auto doc1 = Parse(kInput);
+  ASSERT_TRUE(doc1.ok());
+  std::string serialized = Serialize(*doc1);
+  auto doc2 = Parse(serialized);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_TRUE(Equals(*doc1->root, *doc2->root));
+  EXPECT_EQ(serialized, Serialize(*doc2));
+}
+
+TEST(XmlEqualsTest, DetectsDifferences) {
+  auto a = Parse("<t><x/>text</t>");
+  auto b = Parse("<t><x/>text</t>");
+  auto c = Parse("<t><x/>other</t>");
+  auto d = Parse("<t><y/>text</t>");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_TRUE(Equals(*a->root, *b->root));
+  EXPECT_FALSE(Equals(*a->root, *c->root));
+  EXPECT_FALSE(Equals(*a->root, *d->root));
+}
+
+TEST(XmlNodeTest, SubtreeSize) {
+  auto doc = Parse("<a><b>t1</b><c><d/>t2</c></a>");
+  ASSERT_TRUE(doc.ok());
+  // a, b, text(t1), c, d, text(t2) = 6 nodes.
+  EXPECT_EQ(doc->root->SubtreeSize(), 6u);
+}
+
+TEST(XmlParseTest, WhitespaceOnlyTextPreserved) {
+  auto doc = Parse("<a> <b/> </a>");
+  ASSERT_TRUE(doc.ok());
+  // Whitespace runs between elements are real character information items.
+  EXPECT_EQ(doc->root->children.size(), 3u);
+}
+
+class XmlRoundTripP : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTripP, Stable) {
+  auto doc1 = Parse(GetParam());
+  ASSERT_TRUE(doc1.ok()) << doc1.status();
+  auto doc2 = Parse(Serialize(*doc1));
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_TRUE(Equals(*doc1->root, *doc2->root));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, XmlRoundTripP,
+    ::testing::Values(
+        "<a/>", "<a b=\"c\"/>", "<a>&amp;</a>",
+        "<r><x y=\"1\">deep<z><w/></z></x>tail</r>",
+        "<rss version=\"2.0\"><channel><title>T</title></channel></rss>",
+        "<n>line1\nline2\ttab</n>",
+        "<mixed>a<b/>c<d/>e</mixed>"));
+
+}  // namespace
+}  // namespace idm::xml

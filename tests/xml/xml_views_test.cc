@@ -1,0 +1,177 @@
+#include "xml/xml_views.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/view_class.h"
+
+namespace idm::xml {
+namespace {
+
+using core::ViewPtr;
+
+TEST(XmlViewsTest, Figure2Instantiation) {
+  // Paper Figure 2: an XML fragment becomes a resource view graph with
+  // xmldoc, xmlelem and xmltext views; attributes live in τ.
+  auto doc = Parse("<article id=\"7\"><title>iDM</title>text</article>");
+  ASSERT_TRUE(doc.ok());
+  ViewPtr docview = XmlToViews(*doc, "vfs:/a.xml");
+
+  EXPECT_EQ(docview->class_name(), "xmldoc");
+  EXPECT_EQ(docview->GetNameComponent(), "");  // η = ⟨⟩ per Table 1
+  auto roots = docview->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(roots.ok());
+  ASSERT_EQ(roots->size(), 1u);
+
+  ViewPtr article = (*roots)[0];
+  EXPECT_EQ(article->class_name(), "xmlelem");
+  EXPECT_EQ(article->GetNameComponent(), "article");
+  EXPECT_EQ(article->GetTupleComponent().Get("id")->AsString(), "7");
+  EXPECT_TRUE(article->GetContentComponent().empty());  // χ = ⟨⟩ for elements
+
+  auto children = article->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+  EXPECT_EQ((*children)[0]->class_name(), "xmlelem");
+  EXPECT_EQ((*children)[1]->class_name(), "xmltext");
+  EXPECT_EQ(*(*children)[1]->GetContentComponent().ToString(), "text");
+}
+
+TEST(XmlViewsTest, ConformsToStandardClasses) {
+  auto doc = Parse("<a x=\"1\"><b>t</b><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  ViewPtr docview = XmlToViews(*doc, "test:doc");
+  auto registry = core::ClassRegistry::Standard();
+  for (const ViewPtr& v : core::CollectSubgraph(docview)) {
+    EXPECT_TRUE(registry.CheckConformance(*v).ok()) << v->uri();
+  }
+}
+
+TEST(XmlViewsTest, UrisAreStablePaths) {
+  auto doc = Parse("<a><b/><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  ViewPtr docview = XmlToViews(*doc, "p");
+  EXPECT_EQ(docview->uri(), "p#xmldoc");
+  auto root = (*docview->GetGroupComponent().SequenceToVector())[0];
+  EXPECT_EQ(root->uri(), "p#xml");
+  auto kids = *root->GetGroupComponent().SequenceToVector();
+  EXPECT_EQ(kids[0]->uri(), "p#xml/0");
+  EXPECT_EQ(kids[1]->uri(), "p#xml/1");
+}
+
+TEST(XmlViewsTest, TreeShape) {
+  auto doc = Parse("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(core::ClassifyShape(XmlToViews(*doc, "t")),
+            core::GraphShape::kTree);
+}
+
+TEST(SplitServiceCallTest, Variants) {
+  std::string name, args;
+  SplitServiceCall("web.server.com/GetDepartments()", &name, &args);
+  EXPECT_EQ(name, "web.server.com/GetDepartments");
+  EXPECT_EQ(args, "");
+  SplitServiceCall("svc(42, x)", &name, &args);
+  EXPECT_EQ(name, "svc");
+  EXPECT_EQ(args, "42, x");
+  SplitServiceCall("  plain  ", &name, &args);
+  EXPECT_EQ(name, "plain");
+  EXPECT_EQ(args, "");
+}
+
+class ActiveXmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    services_ = std::make_shared<core::ServiceRegistry>();
+    services_->Register("web.server.com/GetDepartments",
+                        [](const std::string&) -> Result<std::string> {
+                          return std::string(
+                              "<deplist><entry><name>Accounting</name>"
+                              "</entry></deplist>");
+                        });
+  }
+  std::shared_ptr<core::ServiceRegistry> services_;
+  const std::string kAxml =
+      "<dep><sc>web.server.com/GetDepartments()</sc></dep>";
+};
+
+TEST_F(ActiveXmlTest, EagerResolutionInsertsResult) {
+  // Paper §4.3.1: executing the web service inserts its result into the
+  // document as a following sibling of <sc>.
+  auto doc = Parse(kAxml);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ResolveActiveXml(&*doc, *services_).ok());
+  std::string out = Serialize(*doc);
+  EXPECT_NE(out.find("<scresult>"), std::string::npos);
+  EXPECT_NE(out.find("Accounting"), std::string::npos);
+  // <sc> is retained so the call can be re-evaluated later.
+  EXPECT_NE(out.find("<sc>"), std::string::npos);
+}
+
+TEST_F(ActiveXmlTest, ReResolutionReplacesResult) {
+  auto doc = Parse(kAxml);
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ResolveActiveXml(&*doc, *services_).ok());
+  ASSERT_TRUE(ResolveActiveXml(&*doc, *services_).ok());
+  std::string out = Serialize(*doc);
+  // Exactly one scresult after two resolutions.
+  size_t first = out.find("<scresult>");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("<scresult>", first + 1), std::string::npos);
+}
+
+TEST_F(ActiveXmlTest, UnreachableServiceLeavesDocumentIntact) {
+  auto doc = Parse("<dep><sc>down.host/Call()</sc></dep>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(ResolveActiveXml(&*doc, *services_).ok());
+  EXPECT_EQ(Serialize(*doc).find("scresult"), std::string::npos);
+}
+
+TEST_F(ActiveXmlTest, MalformedPayloadIsError) {
+  services_->Register("bad/Svc", [](const std::string&) -> Result<std::string> {
+    return std::string("<broken");
+  });
+  auto doc = Parse("<dep><sc>bad/Svc()</sc></dep>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(ResolveActiveXml(&*doc, *services_).code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(ActiveXmlTest, LazyViewsCallServiceOnlyOnGroupAccess) {
+  auto parsed = Parse(kAxml);
+  ASSERT_TRUE(parsed.ok());
+  auto doc = std::make_shared<const XmlDocument>(std::move(*parsed));
+  ViewPtr docview = ActiveXmlToViews(doc, "axml:d", services_);
+  EXPECT_EQ(services_->call_count(), 0u);  // nothing called yet (paper §4.1)
+
+  auto roots = docview->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(roots.ok());
+  ViewPtr dep = (*roots)[0];
+  EXPECT_EQ(dep->class_name(), "axml");
+  EXPECT_EQ(services_->call_count(), 0u);
+
+  auto children = dep->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(services_->call_count(), 1u);  // resolved on group access
+  ASSERT_EQ(children->size(), 2u);
+  EXPECT_EQ((*children)[0]->class_name(), "sc");
+  EXPECT_EQ((*children)[1]->class_name(), "scresult");
+  // The payload subtree is navigable.
+  auto payload = (*children)[1]->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ((*payload)[0]->GetNameComponent(), "deplist");
+}
+
+TEST_F(ActiveXmlTest, LazyViewsUnreachableServiceYieldsScOnly) {
+  auto parsed = Parse("<dep><sc>down/Svc()</sc></dep>");
+  ASSERT_TRUE(parsed.ok());
+  auto doc = std::make_shared<const XmlDocument>(std::move(*parsed));
+  ViewPtr docview = ActiveXmlToViews(doc, "axml:d", services_);
+  auto roots = docview->GetGroupComponent().SequenceToVector();
+  auto children = (*roots)[0]->GetGroupComponent().SequenceToVector();
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 1u);  // only the sc view
+}
+
+}  // namespace
+}  // namespace idm::xml
