@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_push_vs_poll.dir/bench_ablation_push_vs_poll.cc.o"
+  "CMakeFiles/bench_ablation_push_vs_poll.dir/bench_ablation_push_vs_poll.cc.o.d"
+  "bench_ablation_push_vs_poll"
+  "bench_ablation_push_vs_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_push_vs_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_index.cc" "bench/CMakeFiles/bench_micro_index.dir/bench_micro_index.cc.o" "gcc" "bench/CMakeFiles/bench_micro_index.dir/bench_micro_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/idm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/idm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/idm_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/idm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/idm_bench_harness.dir/harness.cc.o.d"
+  "libidm_bench_harness.a"
+  "libidm_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_xml.dir/active_xml.cpp.o"
+  "CMakeFiles/active_xml.dir/active_xml.cpp.o.d"
+  "active_xml"
+  "active_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

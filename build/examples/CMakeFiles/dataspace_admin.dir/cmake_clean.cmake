@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataspace_admin.dir/dataspace_admin.cpp.o"
+  "CMakeFiles/dataspace_admin.dir/dataspace_admin.cpp.o.d"
+  "dataspace_admin"
+  "dataspace_admin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataspace_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

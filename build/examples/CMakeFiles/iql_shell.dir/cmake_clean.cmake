@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iql_shell.dir/iql_shell.cpp.o"
+  "CMakeFiles/iql_shell.dir/iql_shell.cpp.o.d"
+  "iql_shell"
+  "iql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_search.dir/project_search.cpp.o"
+  "CMakeFiles/project_search.dir/project_search.cpp.o.d"
+  "project_search"
+  "project_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

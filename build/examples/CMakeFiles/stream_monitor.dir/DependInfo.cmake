@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stream_monitor.cpp" "examples/CMakeFiles/stream_monitor.dir/stream_monitor.cpp.o" "gcc" "examples/CMakeFiles/stream_monitor.dir/stream_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/iql/CMakeFiles/idm_iql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/idm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/rvm/CMakeFiles/idm_rvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/idm_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/idm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/latex/CMakeFiles/idm_latex.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/idm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/idm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/idm_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/idm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

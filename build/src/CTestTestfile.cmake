@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("core")
+subdirs("vfs")
+subdirs("xml")
+subdirs("latex")
+subdirs("rel")
+subdirs("email")
+subdirs("stream")
+subdirs("index")
+subdirs("rvm")
+subdirs("iql")
+subdirs("workload")

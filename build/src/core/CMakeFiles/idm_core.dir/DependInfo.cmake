@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/content.cc" "src/core/CMakeFiles/idm_core.dir/content.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/content.cc.o.d"
+  "/root/repo/src/core/describe.cc" "src/core/CMakeFiles/idm_core.dir/describe.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/describe.cc.o.d"
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/idm_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/group.cc" "src/core/CMakeFiles/idm_core.dir/group.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/group.cc.o.d"
+  "/root/repo/src/core/resource_view.cc" "src/core/CMakeFiles/idm_core.dir/resource_view.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/resource_view.cc.o.d"
+  "/root/repo/src/core/tuple.cc" "src/core/CMakeFiles/idm_core.dir/tuple.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/tuple.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/core/CMakeFiles/idm_core.dir/value.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/value.cc.o.d"
+  "/root/repo/src/core/view_class.cc" "src/core/CMakeFiles/idm_core.dir/view_class.cc.o" "gcc" "src/core/CMakeFiles/idm_core.dir/view_class.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_core.dir/content.cc.o"
+  "CMakeFiles/idm_core.dir/content.cc.o.d"
+  "CMakeFiles/idm_core.dir/describe.cc.o"
+  "CMakeFiles/idm_core.dir/describe.cc.o.d"
+  "CMakeFiles/idm_core.dir/graph.cc.o"
+  "CMakeFiles/idm_core.dir/graph.cc.o.d"
+  "CMakeFiles/idm_core.dir/group.cc.o"
+  "CMakeFiles/idm_core.dir/group.cc.o.d"
+  "CMakeFiles/idm_core.dir/resource_view.cc.o"
+  "CMakeFiles/idm_core.dir/resource_view.cc.o.d"
+  "CMakeFiles/idm_core.dir/tuple.cc.o"
+  "CMakeFiles/idm_core.dir/tuple.cc.o.d"
+  "CMakeFiles/idm_core.dir/value.cc.o"
+  "CMakeFiles/idm_core.dir/value.cc.o.d"
+  "CMakeFiles/idm_core.dir/view_class.cc.o"
+  "CMakeFiles/idm_core.dir/view_class.cc.o.d"
+  "libidm_core.a"
+  "libidm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/email/email_views.cc" "src/email/CMakeFiles/idm_email.dir/email_views.cc.o" "gcc" "src/email/CMakeFiles/idm_email.dir/email_views.cc.o.d"
+  "/root/repo/src/email/imap.cc" "src/email/CMakeFiles/idm_email.dir/imap.cc.o" "gcc" "src/email/CMakeFiles/idm_email.dir/imap.cc.o.d"
+  "/root/repo/src/email/message.cc" "src/email/CMakeFiles/idm_email.dir/message.cc.o" "gcc" "src/email/CMakeFiles/idm_email.dir/message.cc.o.d"
+  "/root/repo/src/email/mime.cc" "src/email/CMakeFiles/idm_email.dir/mime.cc.o" "gcc" "src/email/CMakeFiles/idm_email.dir/mime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

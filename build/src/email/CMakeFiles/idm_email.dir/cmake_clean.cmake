@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_email.dir/email_views.cc.o"
+  "CMakeFiles/idm_email.dir/email_views.cc.o.d"
+  "CMakeFiles/idm_email.dir/imap.cc.o"
+  "CMakeFiles/idm_email.dir/imap.cc.o.d"
+  "CMakeFiles/idm_email.dir/message.cc.o"
+  "CMakeFiles/idm_email.dir/message.cc.o.d"
+  "CMakeFiles/idm_email.dir/mime.cc.o"
+  "CMakeFiles/idm_email.dir/mime.cc.o.d"
+  "libidm_email.a"
+  "libidm_email.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_email.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

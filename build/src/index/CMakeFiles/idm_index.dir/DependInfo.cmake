@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/analyzer.cc" "src/index/CMakeFiles/idm_index.dir/analyzer.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/analyzer.cc.o.d"
+  "/root/repo/src/index/catalog.cc" "src/index/CMakeFiles/idm_index.dir/catalog.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/catalog.cc.o.d"
+  "/root/repo/src/index/group_store.cc" "src/index/CMakeFiles/idm_index.dir/group_store.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/group_store.cc.o.d"
+  "/root/repo/src/index/inverted_index.cc" "src/index/CMakeFiles/idm_index.dir/inverted_index.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/inverted_index.cc.o.d"
+  "/root/repo/src/index/lineage.cc" "src/index/CMakeFiles/idm_index.dir/lineage.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/lineage.cc.o.d"
+  "/root/repo/src/index/name_index.cc" "src/index/CMakeFiles/idm_index.dir/name_index.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/name_index.cc.o.d"
+  "/root/repo/src/index/tuple_index.cc" "src/index/CMakeFiles/idm_index.dir/tuple_index.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/tuple_index.cc.o.d"
+  "/root/repo/src/index/version_log.cc" "src/index/CMakeFiles/idm_index.dir/version_log.cc.o" "gcc" "src/index/CMakeFiles/idm_index.dir/version_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_index.dir/analyzer.cc.o"
+  "CMakeFiles/idm_index.dir/analyzer.cc.o.d"
+  "CMakeFiles/idm_index.dir/catalog.cc.o"
+  "CMakeFiles/idm_index.dir/catalog.cc.o.d"
+  "CMakeFiles/idm_index.dir/group_store.cc.o"
+  "CMakeFiles/idm_index.dir/group_store.cc.o.d"
+  "CMakeFiles/idm_index.dir/inverted_index.cc.o"
+  "CMakeFiles/idm_index.dir/inverted_index.cc.o.d"
+  "CMakeFiles/idm_index.dir/lineage.cc.o"
+  "CMakeFiles/idm_index.dir/lineage.cc.o.d"
+  "CMakeFiles/idm_index.dir/name_index.cc.o"
+  "CMakeFiles/idm_index.dir/name_index.cc.o.d"
+  "CMakeFiles/idm_index.dir/tuple_index.cc.o"
+  "CMakeFiles/idm_index.dir/tuple_index.cc.o.d"
+  "CMakeFiles/idm_index.dir/version_log.cc.o"
+  "CMakeFiles/idm_index.dir/version_log.cc.o.d"
+  "libidm_index.a"
+  "libidm_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/iql/ast.cc" "src/iql/CMakeFiles/idm_iql.dir/ast.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/ast.cc.o.d"
+  "/root/repo/src/iql/dataspace.cc" "src/iql/CMakeFiles/idm_iql.dir/dataspace.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/dataspace.cc.o.d"
+  "/root/repo/src/iql/federation.cc" "src/iql/CMakeFiles/idm_iql.dir/federation.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/federation.cc.o.d"
+  "/root/repo/src/iql/lexer.cc" "src/iql/CMakeFiles/idm_iql.dir/lexer.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/lexer.cc.o.d"
+  "/root/repo/src/iql/parser.cc" "src/iql/CMakeFiles/idm_iql.dir/parser.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/parser.cc.o.d"
+  "/root/repo/src/iql/query_processor.cc" "src/iql/CMakeFiles/idm_iql.dir/query_processor.cc.o" "gcc" "src/iql/CMakeFiles/idm_iql.dir/query_processor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rvm/CMakeFiles/idm_rvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/idm_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/idm_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/email/CMakeFiles/idm_email.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/idm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/idm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/latex/CMakeFiles/idm_latex.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/idm_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

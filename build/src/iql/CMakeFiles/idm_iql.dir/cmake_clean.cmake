@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_iql.dir/ast.cc.o"
+  "CMakeFiles/idm_iql.dir/ast.cc.o.d"
+  "CMakeFiles/idm_iql.dir/dataspace.cc.o"
+  "CMakeFiles/idm_iql.dir/dataspace.cc.o.d"
+  "CMakeFiles/idm_iql.dir/federation.cc.o"
+  "CMakeFiles/idm_iql.dir/federation.cc.o.d"
+  "CMakeFiles/idm_iql.dir/lexer.cc.o"
+  "CMakeFiles/idm_iql.dir/lexer.cc.o.d"
+  "CMakeFiles/idm_iql.dir/parser.cc.o"
+  "CMakeFiles/idm_iql.dir/parser.cc.o.d"
+  "CMakeFiles/idm_iql.dir/query_processor.cc.o"
+  "CMakeFiles/idm_iql.dir/query_processor.cc.o.d"
+  "libidm_iql.a"
+  "libidm_iql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_iql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

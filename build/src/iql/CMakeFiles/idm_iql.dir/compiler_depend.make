@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for idm_iql.
+# This may be replaced when dependencies are built.

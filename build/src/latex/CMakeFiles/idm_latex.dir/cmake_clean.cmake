@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_latex.dir/latex.cc.o"
+  "CMakeFiles/idm_latex.dir/latex.cc.o.d"
+  "CMakeFiles/idm_latex.dir/latex_views.cc.o"
+  "CMakeFiles/idm_latex.dir/latex_views.cc.o.d"
+  "libidm_latex.a"
+  "libidm_latex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_latex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_rel.dir/relational.cc.o"
+  "CMakeFiles/idm_rel.dir/relational.cc.o.d"
+  "libidm_rel.a"
+  "libidm_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_rvm.dir/converter.cc.o"
+  "CMakeFiles/idm_rvm.dir/converter.cc.o.d"
+  "CMakeFiles/idm_rvm.dir/data_source.cc.o"
+  "CMakeFiles/idm_rvm.dir/data_source.cc.o.d"
+  "CMakeFiles/idm_rvm.dir/rvm.cc.o"
+  "CMakeFiles/idm_rvm.dir/rvm.cc.o.d"
+  "libidm_rvm.a"
+  "libidm_rvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_rvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

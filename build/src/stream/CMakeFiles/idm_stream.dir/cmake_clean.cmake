@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_stream.dir/rss.cc.o"
+  "CMakeFiles/idm_stream.dir/rss.cc.o.d"
+  "CMakeFiles/idm_stream.dir/stream.cc.o"
+  "CMakeFiles/idm_stream.dir/stream.cc.o.d"
+  "libidm_stream.a"
+  "libidm_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_util.dir/clock.cc.o"
+  "CMakeFiles/idm_util.dir/clock.cc.o.d"
+  "CMakeFiles/idm_util.dir/rng.cc.o"
+  "CMakeFiles/idm_util.dir/rng.cc.o.d"
+  "CMakeFiles/idm_util.dir/status.cc.o"
+  "CMakeFiles/idm_util.dir/status.cc.o.d"
+  "CMakeFiles/idm_util.dir/string_util.cc.o"
+  "CMakeFiles/idm_util.dir/string_util.cc.o.d"
+  "libidm_util.a"
+  "libidm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

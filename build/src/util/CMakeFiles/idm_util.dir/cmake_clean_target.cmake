@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libidm_util.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_vfs.dir/vfs.cc.o"
+  "CMakeFiles/idm_vfs.dir/vfs.cc.o.d"
+  "CMakeFiles/idm_vfs.dir/vfs_views.cc.o"
+  "CMakeFiles/idm_vfs.dir/vfs_views.cc.o.d"
+  "libidm_vfs.a"
+  "libidm_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_workload.dir/generator.cc.o"
+  "CMakeFiles/idm_workload.dir/generator.cc.o.d"
+  "libidm_workload.a"
+  "libidm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

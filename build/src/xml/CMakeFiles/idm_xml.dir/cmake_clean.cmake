@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idm_xml.dir/xml.cc.o"
+  "CMakeFiles/idm_xml.dir/xml.cc.o.d"
+  "CMakeFiles/idm_xml.dir/xml_views.cc.o"
+  "CMakeFiles/idm_xml.dir/xml_views.cc.o.d"
+  "libidm_xml.a"
+  "libidm_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idm_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/content_test.cc" "tests/CMakeFiles/core_test.dir/core/content_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/content_test.cc.o.d"
+  "/root/repo/tests/core/describe_test.cc" "tests/CMakeFiles/core_test.dir/core/describe_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/describe_test.cc.o.d"
+  "/root/repo/tests/core/graph_test.cc" "tests/CMakeFiles/core_test.dir/core/graph_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/graph_test.cc.o.d"
+  "/root/repo/tests/core/group_test.cc" "tests/CMakeFiles/core_test.dir/core/group_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/group_test.cc.o.d"
+  "/root/repo/tests/core/resource_view_test.cc" "tests/CMakeFiles/core_test.dir/core/resource_view_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/resource_view_test.cc.o.d"
+  "/root/repo/tests/core/tuple_test.cc" "tests/CMakeFiles/core_test.dir/core/tuple_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/tuple_test.cc.o.d"
+  "/root/repo/tests/core/value_test.cc" "tests/CMakeFiles/core_test.dir/core/value_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/value_test.cc.o.d"
+  "/root/repo/tests/core/view_class_test.cc" "tests/CMakeFiles/core_test.dir/core/view_class_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/view_class_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/content_test.cc.o"
+  "CMakeFiles/core_test.dir/core/content_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/describe_test.cc.o"
+  "CMakeFiles/core_test.dir/core/describe_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/graph_test.cc.o"
+  "CMakeFiles/core_test.dir/core/graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/group_test.cc.o"
+  "CMakeFiles/core_test.dir/core/group_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/resource_view_test.cc.o"
+  "CMakeFiles/core_test.dir/core/resource_view_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/tuple_test.cc.o"
+  "CMakeFiles/core_test.dir/core/tuple_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/value_test.cc.o"
+  "CMakeFiles/core_test.dir/core/value_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/view_class_test.cc.o"
+  "CMakeFiles/core_test.dir/core/view_class_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/email_test.dir/email/email_views_test.cc.o"
+  "CMakeFiles/email_test.dir/email/email_views_test.cc.o.d"
+  "CMakeFiles/email_test.dir/email/imap_test.cc.o"
+  "CMakeFiles/email_test.dir/email/imap_test.cc.o.d"
+  "CMakeFiles/email_test.dir/email/message_test.cc.o"
+  "CMakeFiles/email_test.dir/email/message_test.cc.o.d"
+  "CMakeFiles/email_test.dir/email/mime_test.cc.o"
+  "CMakeFiles/email_test.dir/email/mime_test.cc.o.d"
+  "email_test"
+  "email_test.pdb"
+  "email_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/email_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iql_test.dir/iql/dataspace_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/dataspace_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/evaluator_edge_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/evaluator_edge_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/extensions_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/extensions_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/federation_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/federation_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/parser_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/parser_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/rss_dataspace_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/rss_dataspace_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/iql/update_test.cc.o"
+  "CMakeFiles/iql_test.dir/iql/update_test.cc.o.d"
+  "CMakeFiles/iql_test.dir/rvm/relational_source_test.cc.o"
+  "CMakeFiles/iql_test.dir/rvm/relational_source_test.cc.o.d"
+  "iql_test"
+  "iql_test.pdb"
+  "iql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

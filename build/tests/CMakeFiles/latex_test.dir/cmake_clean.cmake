@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latex_test.dir/latex/latex_test.cc.o"
+  "CMakeFiles/latex_test.dir/latex/latex_test.cc.o.d"
+  "CMakeFiles/latex_test.dir/latex/latex_views_test.cc.o"
+  "CMakeFiles/latex_test.dir/latex/latex_views_test.cc.o.d"
+  "latex_test"
+  "latex_test.pdb"
+  "latex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stream/rss_test.cc" "tests/CMakeFiles/stream_test.dir/stream/rss_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/rss_test.cc.o.d"
+  "/root/repo/tests/stream/stream_test.cc" "tests/CMakeFiles/stream_test.dir/stream/stream_test.cc.o" "gcc" "tests/CMakeFiles/stream_test.dir/stream/stream_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/idm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/idm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/idm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/idm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
