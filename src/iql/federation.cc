@@ -16,14 +16,14 @@ Micros WallNow() {
 }  // namespace
 
 Status Federation::AddPeer(std::string name, const Dataspace* peer,
-                           PeerLatency latency) {
+                           PeerLatency latency, FaultInjector* link) {
   if (peer == nullptr) return Status::InvalidArgument("null peer");
   for (const Peer& existing : peers_) {
     if (existing.name == name) {
       return Status::AlreadyExists("peer '" + name + "' already joined");
     }
   }
-  peers_.push_back({std::move(name), peer, latency});
+  peers_.push_back({std::move(name), peer, latency, link});
   return Status::OK();
 }
 
@@ -34,43 +34,91 @@ Result<FederatedResult> Federation::Query(const std::string& iql) const {
   Micros start = WallNow();
   FederatedResult merged;
   Status first_error;
-  for (const Peer& peer : peers_) {
-    auto result = peer.dataspace->Query(iql);
-    // Network charge: one round trip plus per-row transfer.
-    Micros network = peer.latency.per_query_micros;
-    if (result.ok()) {
-      network += static_cast<Micros>(result->rows.size()) *
-                 peer.latency.per_result_micros;
-    }
-    if (clock_ != nullptr) clock_->AdvanceMicros(network);
-    merged.elapsed_micros += network;
+  // Deterministic per-call jitter stream: retry schedules replay exactly.
+  Rng jitter(options_.jitter_seed);
 
-    if (!result.ok()) {
-      ++merged.peers_failed;
-      if (first_error.ok()) first_error = result.status();
-      continue;
+  auto fail_peer = [&](const Peer& peer, Status error) {
+    if (error.ok()) {
+      error = Status::Unavailable("peer '" + peer.name + "' not reached");
     }
-    ++merged.peers_reached;
-    if (result->columns.size() != 1) {
-      // Joins produce peer-local pairs; shipping them is future work, as
-      // in the paper. Report the restriction instead of silent data loss.
-      ++merged.peers_failed;
-      --merged.peers_reached;
-      if (first_error.ok()) {
-        first_error = Status::Unimplemented(
-            "federated joins are not supported; ship a unary query");
+    ++merged.peers_failed;
+    if (merged.failures.size() < 8) {
+      merged.failures.push_back(peer.name + ": " + error.ToString());
+    }
+    if (first_error.ok()) first_error = error;
+  };
+  // Charges simulated network/backoff cost against the clock, the merged
+  // total, and the active peer's deadline budget.
+  Micros peer_spent = 0;
+  auto charge = [&](Micros micros) {
+    if (clock_ != nullptr) clock_->AdvanceMicros(micros);
+    merged.elapsed_micros += micros;
+    peer_spent += micros;
+  };
+
+  for (const Peer& peer : peers_) {
+    peer_spent = 0;
+    const Micros deadline = options_.per_peer_deadline_micros;
+    Status peer_error;
+    bool reached = false;
+
+    for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+      // Per-peer deadline: abandon the peer rather than let a dead link's
+      // round trips dominate the federation's latency.
+      if (deadline > 0 && peer_spent + peer.latency.per_query_micros > deadline) {
+        peer_error = Status::Unavailable(
+            "peer '" + peer.name + "' exceeded its deadline of " +
+            std::to_string(deadline) + "us");
+        break;
       }
-      continue;
+      charge(peer.latency.per_query_micros);  // one shipped round trip
+
+      // The network path may fail independently of the peer's evaluator.
+      if (peer.link != nullptr) {
+        Status link_status = peer.link->OnOperation("ship to " + peer.name);
+        if (!link_status.ok()) {
+          peer_error = link_status;
+          if (!link_status.IsRetryable() ||
+              attempt == options_.retry.max_attempts) {
+            break;
+          }
+          ++merged.retries;
+          charge(options_.retry.BackoffMicros(attempt, &jitter));
+          continue;
+        }
+      }
+
+      auto result = peer.dataspace->Query(iql);
+      if (!result.ok()) {
+        // Evaluation errors (parse, unsupported operator) are answers of
+        // this peer, not link weather: no retry.
+        peer_error = result.status();
+        break;
+      }
+      if (result->columns.size() != 1) {
+        // Joins produce peer-local pairs; shipping them is future work, as
+        // in the paper. Report the restriction instead of silent data loss.
+        peer_error = Status::Unimplemented(
+            "federated joins are not supported; ship a unary query");
+        break;
+      }
+      charge(static_cast<Micros>(result->rows.size()) *
+             peer.latency.per_result_micros);
+      reached = true;
+      ++merged.peers_reached;
+      for (size_t r = 0; r < result->rows.size(); ++r) {
+        FederatedRow row;
+        row.peer = peer.name;
+        row.id = result->rows[r][0];
+        row.uri = peer.dataspace->UriOf(row.id);
+        row.name = peer.dataspace->NameOf(row.id);
+        row.score = result->ranked() ? result->scores[r] : 0.0;
+        merged.rows.push_back(std::move(row));
+      }
+      break;
     }
-    for (size_t r = 0; r < result->rows.size(); ++r) {
-      FederatedRow row;
-      row.peer = peer.name;
-      row.id = result->rows[r][0];
-      row.uri = peer.dataspace->UriOf(row.id);
-      row.name = peer.dataspace->NameOf(row.id);
-      row.score = result->ranked() ? result->scores[r] : 0.0;
-      merged.rows.push_back(std::move(row));
-    }
+
+    if (!reached) fail_peer(peer, peer_error);
   }
   if (merged.peers_reached == 0) return first_error;
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "iql/dataspace.h"
+#include "util/fault.h"
+#include "util/retry.h"
 
 namespace idm::iql {
 
@@ -32,7 +34,10 @@ struct FederatedResult {
   std::vector<FederatedRow> rows;
   size_t peers_reached = 0;
   size_t peers_failed = 0;
-  Micros elapsed_micros = 0;  ///< wall + simulated network cost
+  size_t retries = 0;          ///< link retries across all peers
+  Micros elapsed_micros = 0;   ///< wall + simulated network cost
+  /// Names of peers that failed, with the reason ("peer: status").
+  std::vector<std::string> failures;
 
   size_t size() const { return rows.size(); }
 };
@@ -45,13 +50,34 @@ class Federation {
     Micros per_result_micros = 50;       ///< result-row transfer cost
   };
 
+  /// Resilience knobs. Each peer gets its own retry budget and simulated
+  /// time budget, so one dead or slow peer degrades the merged result
+  /// (peers_failed) instead of dominating the federation's latency.
+  struct Options {
+    /// Link-level retry per peer; backoff is charged to the clock.
+    RetryPolicy retry{/*max_attempts=*/3, /*initial_backoff_micros=*/10000,
+                      /*backoff_multiplier=*/2.0,
+                      /*max_backoff_micros=*/200000,
+                      /*jitter_fraction=*/0.25};
+    /// Simulated budget (network + backoff) per peer; 0 disables the
+    /// deadline. A peer that would exceed it is abandoned as failed.
+    Micros per_peer_deadline_micros = 2000000;
+    /// Seed for deterministic backoff jitter.
+    uint64_t jitter_seed = 7;
+  };
+
   /// \p clock is charged with the simulated network cost (may be nullptr).
-  explicit Federation(Clock* clock = nullptr) : clock_(clock) {}
+  explicit Federation(Clock* clock = nullptr) : Federation(clock, Options()) {}
+  Federation(Clock* clock, Options options) : clock_(clock), options_(options) {}
 
   /// Adds a peer. The Dataspace must outlive the federation. Peer names
-  /// must be unique.
+  /// must be unique. \p link, when set, injects faults into the network
+  /// path to this peer (shipping a query may fail with kIoError /
+  /// kUnavailable and be retried under Options::retry); it must outlive
+  /// the federation.
   Status AddPeer(std::string name, const Dataspace* peer,
-                 PeerLatency latency = PeerLatency{25000, 50});
+                 PeerLatency latency = PeerLatency{25000, 50},
+                 FaultInjector* link = nullptr);
 
   size_t peer_count() const { return peers_.size(); }
 
@@ -60,7 +86,10 @@ class Federation {
   /// comparable only loosely — idf statistics are peer-local; this is the
   /// standard federated-IR caveat and is preserved deliberately). Peers
   /// that fail to evaluate the query are counted, not fatal — unless every
-  /// peer fails, in which case the first error is returned.
+  /// peer fails, in which case the first error is returned. Transient link
+  /// faults are retried under Options::retry (backoff charged to the
+  /// clock); each peer is bounded by Options::per_peer_deadline_micros of
+  /// simulated time.
   Result<FederatedResult> Query(const std::string& iql) const;
 
  private:
@@ -68,8 +97,10 @@ class Federation {
     std::string name;
     const Dataspace* dataspace;
     PeerLatency latency;
+    FaultInjector* link;
   };
   Clock* clock_;
+  Options options_;
   std::vector<Peer> peers_;
 };
 

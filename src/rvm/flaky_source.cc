@@ -1,0 +1,20 @@
+#include "rvm/flaky_source.h"
+
+namespace idm::rvm {
+
+Result<core::ViewPtr> FlakySource::RootView() {
+  IDM_RETURN_NOT_OK(injector_->OnOperation(name() + ".RootView"));
+  return inner_->RootView();
+}
+
+Result<core::ViewPtr> FlakySource::ViewByUri(const std::string& uri) {
+  IDM_RETURN_NOT_OK(injector_->OnOperation(name() + ".ViewByUri " + uri));
+  return inner_->ViewByUri(uri);
+}
+
+Status FlakySource::DeleteItem(const std::string& uri) {
+  IDM_RETURN_NOT_OK(injector_->OnOperation(name() + ".DeleteItem " + uri));
+  return inner_->DeleteItem(uri);
+}
+
+}  // namespace idm::rvm

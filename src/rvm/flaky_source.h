@@ -1,0 +1,53 @@
+// FlakySource: a DataSource decorator that injects faults in front of any
+// plugin without touching it — the test double for every flaky personal
+// substrate the paper names (remote IMAP mailboxes, unmounted volumes, dead
+// feeds). Each source-level operation (RootView, ViewByUri, DeleteItem)
+// first consults a deterministic FaultInjector, which may return kIoError /
+// kUnavailable or charge a latency spike to the simulation clock.
+
+#ifndef IDM_RVM_FLAKY_SOURCE_H_
+#define IDM_RVM_FLAKY_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "rvm/data_source.h"
+#include "util/fault.h"
+
+namespace idm::rvm {
+
+class FlakySource : public DataSource {
+ public:
+  /// \p injector must outlive this source (it is typically owned by the
+  /// test or bench driving the scenario).
+  FlakySource(std::shared_ptr<DataSource> inner, FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  Result<core::ViewPtr> RootView() override;
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override;
+  Status DeleteItem(const std::string& uri) override;
+
+  /// Injected latency counts as access cost: Figure-5-style accounting
+  /// sees the slow reads.
+  Micros access_micros() const override {
+    return inner_->access_micros() + injector_->latency_injected_micros();
+  }
+  uint64_t TotalBytes() const override { return inner_->TotalBytes(); }
+  bool SubscribeChanges(
+      std::function<void(const SourceChange&)> callback) override {
+    return inner_->SubscribeChanges(std::move(callback));
+  }
+
+  DataSource* inner() const { return inner_.get(); }
+  FaultInjector* injector() const { return injector_; }
+
+ private:
+  std::shared_ptr<DataSource> inner_;
+  FaultInjector* injector_;
+};
+
+}  // namespace idm::rvm
+
+#endif  // IDM_RVM_FLAKY_SOURCE_H_

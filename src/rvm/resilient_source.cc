@@ -1,0 +1,42 @@
+#include "rvm/resilient_source.h"
+
+namespace idm::rvm {
+
+Status ResilientSource::GuardedStatus(const char* op,
+                                      const std::function<Status()>& fn) {
+  ++stats_.operations;
+  if (!breaker_.AllowRequest()) {
+    ++stats_.rejected_open;
+    return Status::Unavailable("circuit open for source '" + name() + "' (" +
+                               op + ")");
+  }
+  Status last = Status::Unavailable("retry loop never ran");
+  bool failed_once = false;
+  for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok()) {
+      breaker_.RecordSuccess();
+      if (failed_once) ++stats_.recovered;
+      return last;
+    }
+    if (!last.IsRetryable()) return last;
+    failed_once = true;
+    breaker_.RecordFailure();
+    if (attempt == options_.retry.max_attempts || !breaker_.AllowRequest()) {
+      break;
+    }
+    ++stats_.retries;
+    Micros wait = options_.retry.BackoffMicros(attempt, &jitter_);
+    stats_.backoff_micros += wait;
+    if (clock_ != nullptr) clock_->AdvanceMicros(wait);
+  }
+  ++stats_.exhausted;
+  return last;
+}
+
+Status ResilientSource::DeleteItem(const std::string& uri) {
+  return GuardedStatus("DeleteItem",
+                       [this, &uri] { return inner_->DeleteItem(uri); });
+}
+
+}  // namespace idm::rvm

@@ -1,0 +1,124 @@
+// ResilientSource: a DataSource decorator that survives flaky plugins.
+// Every source-level operation is guarded by a per-source CircuitBreaker
+// and retried under a RetryPolicy: retryable failures (IsRetryable — i.e.
+// kIoError/kUnavailable) back off exponentially with deterministic jitter,
+// with all waiting charged to the Clock (zero wall-clock sleeping under a
+// SimClock); permanent failures (NotFound, InvalidArgument, ...) pass
+// through untouched and do not trip the breaker.
+//
+// Stacking order for a fault scenario:
+//   ResilientSource( FlakySource( real plugin, injector ), clock )
+// gives "a flaky substrate behind a resilient proxy" — the acceptance
+// setup of the resilience tests and bench.
+
+#ifndef IDM_RVM_RESILIENT_SOURCE_H_
+#define IDM_RVM_RESILIENT_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "rvm/data_source.h"
+#include "util/retry.h"
+
+namespace idm::rvm {
+
+class ResilientSource : public DataSource {
+ public:
+  struct Options {
+    RetryPolicy retry;
+    CircuitBreaker::Options breaker;
+    /// Seed of the jitter Rng (schedules replay bit-identically).
+    uint64_t jitter_seed = 42;
+  };
+
+  /// Retry/resilience counters, cumulative over the source's lifetime.
+  struct Stats {
+    uint64_t operations = 0;       ///< guarded calls issued by consumers
+    uint64_t retries = 0;          ///< extra attempts beyond the first
+    uint64_t recovered = 0;        ///< ops that failed then succeeded
+    uint64_t exhausted = 0;        ///< ops that failed every attempt
+    uint64_t rejected_open = 0;    ///< ops refused by an open breaker
+    Micros backoff_micros = 0;     ///< total simulated backoff charged
+  };
+
+  /// \p clock drives backoff and the breaker cooldown; it must outlive
+  /// this source. Pass the same SimClock the sources charge.
+  ResilientSource(std::shared_ptr<DataSource> inner, Clock* clock)
+      : ResilientSource(std::move(inner), clock, Options()) {}
+  ResilientSource(std::shared_ptr<DataSource> inner, Clock* clock,
+                  Options options)
+      : inner_(std::move(inner)),
+        clock_(clock),
+        options_(options),
+        jitter_(options.jitter_seed),
+        breaker_(options.breaker, clock) {}
+
+  const std::string& name() const override { return inner_->name(); }
+
+  Result<core::ViewPtr> RootView() override {
+    return Guarded("RootView", [this] { return inner_->RootView(); });
+  }
+  Result<core::ViewPtr> ViewByUri(const std::string& uri) override {
+    return Guarded("ViewByUri", [this, &uri] { return inner_->ViewByUri(uri); });
+  }
+  Status DeleteItem(const std::string& uri) override;
+
+  Micros access_micros() const override { return inner_->access_micros(); }
+  uint64_t TotalBytes() const override { return inner_->TotalBytes(); }
+  bool SubscribeChanges(
+      std::function<void(const SourceChange&)> callback) override {
+    return inner_->SubscribeChanges(std::move(callback));
+  }
+
+  const Stats& stats() const { return stats_; }
+  CircuitBreaker& breaker() { return breaker_; }
+  DataSource* inner() const { return inner_.get(); }
+
+ private:
+  template <typename Fn>
+  Result<core::ViewPtr> Guarded(const char* op, const Fn& fn);
+  Status GuardedStatus(const char* op, const std::function<Status()>& fn);
+
+  std::shared_ptr<DataSource> inner_;
+  Clock* clock_;
+  Options options_;
+  Rng jitter_;
+  CircuitBreaker breaker_;
+  Stats stats_;
+};
+
+template <typename Fn>
+Result<core::ViewPtr> ResilientSource::Guarded(const char* op, const Fn& fn) {
+  ++stats_.operations;
+  if (!breaker_.AllowRequest()) {
+    ++stats_.rejected_open;
+    return Status::Unavailable("circuit open for source '" + name() +
+                               "' (" + op + ")");
+  }
+  Result<core::ViewPtr> last = Status::Unavailable("retry loop never ran");
+  bool failed_once = false;
+  for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok()) {
+      breaker_.RecordSuccess();
+      if (failed_once) ++stats_.recovered;
+      return last;
+    }
+    if (!last.status().IsRetryable()) return last;  // an answer, not an outage
+    failed_once = true;
+    breaker_.RecordFailure();
+    if (attempt == options_.retry.max_attempts || !breaker_.AllowRequest()) {
+      break;  // out of attempts, or the breaker tripped mid-loop
+    }
+    ++stats_.retries;
+    Micros wait = options_.retry.BackoffMicros(attempt, &jitter_);
+    stats_.backoff_micros += wait;
+    if (clock_ != nullptr) clock_->AdvanceMicros(wait);
+  }
+  ++stats_.exhausted;
+  return last;
+}
+
+}  // namespace idm::rvm
+
+#endif  // IDM_RVM_RESILIENT_SOURCE_H_

@@ -240,6 +240,13 @@ Result<SyncStats> ReplicaIndexesModule::SyncSource(
     // proxy: re-resolve via the source.
     auto live = source.ViewByUri(uri);
     if (!live.ok()) {
+      if (live.status().IsRetryable()) {
+        // A flaky probe is not a deletion: keep the last-known-good state
+        // and let the next poll retry, instead of purging the subtree on a
+        // transient kIoError/kUnavailable.
+        sync.RecordFailure(uri);
+        continue;
+      }
       SyncStats removed = RemoveSubtree(uri);
       sync.removed += removed.removed;
     }
@@ -250,10 +257,20 @@ Result<SyncStats> ReplicaIndexesModule::SyncSource(
 Result<SyncStats> ReplicaIndexesModule::IndexSubtree(
     DataSource& source, const ConverterRegistry& converters,
     const std::string& uri, const IndexingOptions& options) {
-  IDM_ASSIGN_OR_RETURN(ViewPtr view, source.ViewByUri(uri));
+  auto view = source.ViewByUri(uri);
+  if (!view.ok()) {
+    if (view.status().IsRetryable()) {
+      // Partial-failure semantics: a flaky subtree is skipped and recorded,
+      // not fatal — existing index state for it stays untouched.
+      SyncStats sync;
+      sync.RecordFailure(uri);
+      return sync;
+    }
+    return view.status();
+  }
   SyncStats sync;
   IDM_ASSIGN_OR_RETURN(SourceIndexStats stats,
-                       Walk(source, converters, view, options, &sync));
+                       Walk(source, converters, *view, options, &sync));
   (void)stats;
   return sync;
 }
@@ -363,11 +380,17 @@ DataSource* SynchronizationManager::FindSource(const std::string& name) const {
 Result<SyncStats> SynchronizationManager::Poll() {
   SyncStats total;
   for (const auto& source : sources_) {
-    IDM_ASSIGN_OR_RETURN(SyncStats stats,
-                         module_->SyncSource(*source, converters_, options_));
-    total.added += stats.added;
-    total.updated += stats.updated;
-    total.removed += stats.removed;
+    auto stats = module_->SyncSource(*source, converters_, options_);
+    if (!stats.ok()) {
+      if (stats.status().IsRetryable()) {
+        // One unreachable source degrades the round instead of aborting it:
+        // the remaining sources still sync, and the next poll retries.
+        total.RecordFailure(source->name());
+        continue;
+      }
+      return stats.status();
+    }
+    total.Merge(*stats);
   }
   // Polling observed the current state; queued notifications are subsumed.
   pending_.clear();
@@ -386,8 +409,14 @@ Result<SyncStats> SynchronizationManager::ProcessNotifications() {
       auto stats =
           module_->IndexSubtree(*source, converters_, change.uri, options_);
       if (stats.ok()) {
-        total.added += stats->added;
-        total.updated += stats->updated;
+        total.Merge(*stats);
+      } else if (stats.status().code() == StatusCode::kNotFound) {
+        // The item vanished between the notification and now: the stale
+        // "added" collapses into a removal.
+        SyncStats removed = module_->RemoveSubtree(change.uri);
+        total.removed += removed.removed;
+      } else {
+        total.RecordFailure(change.uri);
       }
     }
   }

@@ -105,11 +105,34 @@ struct IndexingOptions {
   const core::ClassRegistry* conformance_registry = nullptr;
 };
 
-/// Incremental-synchronization outcome.
+/// Incremental-synchronization outcome. A sync can partially fail: flaky
+/// subtrees or whole sources are skipped and recorded here instead of
+/// aborting the round (the catalog keeps its last-known-good state for
+/// them; the next poll retries).
 struct SyncStats {
   size_t added = 0;
   size_t updated = 0;
   size_t removed = 0;
+  size_t failed = 0;  ///< subtrees/sources skipped due to transient errors
+  /// The first few failed uris (or source names), for diagnosis.
+  std::vector<std::string> failed_uris;
+
+  /// Records a skipped subtree/source (bounded sample of uris).
+  void RecordFailure(const std::string& uri) {
+    ++failed;
+    if (failed_uris.size() < 8) failed_uris.push_back(uri);
+  }
+  /// Folds \p other into this (used when merging per-source rounds).
+  void Merge(const SyncStats& other) {
+    added += other.added;
+    updated += other.updated;
+    removed += other.removed;
+    failed += other.failed;
+    for (const std::string& uri : other.failed_uris) {
+      if (failed_uris.size() >= 8) break;
+      failed_uris.push_back(uri);
+    }
+  }
 };
 
 class ReplicaIndexesModule {

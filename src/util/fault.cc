@@ -1,0 +1,75 @@
+#include "util/fault.h"
+
+namespace idm {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kIoError: return "io error";
+    case FaultKind::kUnavailable: return "unavailable";
+    case FaultKind::kLatencySpike: return "latency spike";
+    case FaultKind::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Charge(Micros micros) {
+  if (micros <= 0) return;
+  latency_injected_micros_ += micros;
+  if (clock_ != nullptr) clock_->AdvanceMicros(micros);
+}
+
+Status FaultInjector::OnOperation(const std::string& op_name) {
+  uint64_t index = ops_total_++;
+
+  FaultKind kind = FaultKind::kNone;
+  auto scripted = scripted_.find(index);
+  if (scripted != scripted_.end()) {
+    kind = scripted->second;
+  } else {
+    // Draw both dice unconditionally so the Rng stream consumed per op is
+    // fixed: scenarios stay comparable when probabilities change.
+    bool error_fault = rng_.Chance(config_.fault_probability);
+    bool unavailable = rng_.Chance(config_.unavailable_weight);
+    bool spike = rng_.Chance(config_.latency_spike_probability);
+    if (error_fault) {
+      kind = unavailable ? FaultKind::kUnavailable : FaultKind::kIoError;
+    } else if (spike) {
+      kind = FaultKind::kLatencySpike;
+    }
+  }
+
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kTruncate:  // truncation applies to reads, not to ops
+      return Status::OK();
+    case FaultKind::kLatencySpike:
+      ++faults_injected_;
+      Charge(config_.latency_spike_micros);
+      return Status::OK();
+    case FaultKind::kIoError:
+      ++faults_injected_;
+      Charge(config_.fault_latency_micros);
+      return Status::IoError("injected fault on " + op_name + " (op #" +
+                             std::to_string(index) + ")");
+    case FaultKind::kUnavailable:
+      ++faults_injected_;
+      Charge(config_.fault_latency_micros);
+      return Status::Unavailable("injected outage on " + op_name + " (op #" +
+                                 std::to_string(index) + ")");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::MaybeTruncate(std::string* content) {
+  if (content == nullptr || content->empty()) return false;
+  if (!rng_.Chance(config_.truncate_probability)) return false;
+  double keep = config_.truncate_keep_fraction;
+  if (keep < 0.0) keep = 0.0;
+  if (keep >= 1.0) keep = 0.99;
+  content->resize(static_cast<size_t>(content->size() * keep));
+  ++truncations_;
+  return true;
+}
+
+}  // namespace idm

@@ -1,0 +1,113 @@
+// Deterministic fault injection (injection side of the resilience layer).
+//
+// A FaultInjector is the single decision point a flaky component consults
+// before every operation: "does this op fail, and how long does it take?".
+// All randomness comes from the seeded SplitMix64 Rng and all injected
+// latency is charged to the supplied Clock (a SimClock in tests), so a
+// fault scenario replays bit-identically from its seed and never sleeps.
+//
+// Two injection modes compose:
+//   * probabilistic — a per-op Bernoulli draw picks kIoError / kUnavailable
+//     (weighted) and an independent draw adds a latency spike;
+//   * scripted — exact per-op-index faults (ScheduleFault) and half-open
+//     outage windows (ScheduleOutage) override the dice, which makes tests
+//     of "fail twice then recover" trivial to write.
+
+#ifndef IDM_UTIL_FAULT_H_
+#define IDM_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace idm {
+
+/// What an injected fault does to the operation it hits.
+enum class FaultKind {
+  kNone = 0,
+  kIoError,       ///< op fails with StatusCode::kIoError
+  kUnavailable,   ///< op fails with StatusCode::kUnavailable
+  kLatencySpike,  ///< op succeeds but charges latency_spike_micros
+  kTruncate,      ///< content reads lose their tail (MaybeTruncate)
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// Tuning knobs for probabilistic injection.
+struct FaultConfig {
+  /// Per-operation probability of an error fault (kIoError/kUnavailable).
+  double fault_probability = 0.0;
+  /// Among error faults: probability of kUnavailable (rest are kIoError).
+  double unavailable_weight = 0.5;
+  /// Independent per-operation probability of a latency spike.
+  double latency_spike_probability = 0.0;
+  /// Size of one latency spike.
+  Micros latency_spike_micros = 50000;
+  /// Cost charged by every faulted op (a failed access still takes time).
+  Micros fault_latency_micros = 1000;
+  /// Per-content-read probability of truncation, applied by MaybeTruncate.
+  double truncate_probability = 0.0;
+  /// Fraction of the content kept when truncated (0 ≤ keep < 1).
+  double truncate_keep_fraction = 0.5;
+};
+
+/// Deterministic, clock-charging fault source. Not thread-safe (the whole
+/// simulation is single-threaded by design).
+class FaultInjector {
+ public:
+  /// \p clock receives injected latency; may be nullptr (latency is then
+  /// only counted, not charged).
+  explicit FaultInjector(uint64_t seed, Clock* clock = nullptr)
+      : rng_(seed), clock_(clock) {}
+
+  void set_config(const FaultConfig& config) { config_ = config; }
+  const FaultConfig& config() const { return config_; }
+
+  /// Scripted injection: the \p op_index-th call to OnOperation (0-based,
+  /// counted across all op names) suffers \p kind. Overrides the dice.
+  void ScheduleFault(uint64_t op_index, FaultKind kind) {
+    scripted_[op_index] = kind;
+  }
+
+  /// Scripted outage: every op with index in [from_op, to_op) fails with
+  /// \p kind — a dead link / unmounted volume window.
+  void ScheduleOutage(uint64_t from_op, uint64_t to_op, FaultKind kind) {
+    for (uint64_t i = from_op; i < to_op; ++i) scripted_[i] = kind;
+  }
+
+  /// The per-operation decision point. Charges any injected latency to the
+  /// clock and returns OK or the injected error; \p op_name only labels the
+  /// error message.
+  Status OnOperation(const std::string& op_name);
+
+  /// Applies content truncation with the configured probability. Returns
+  /// true when \p content was truncated.
+  bool MaybeTruncate(std::string* content);
+
+  /// --- counters ------------------------------------------------------------
+  uint64_t ops_total() const { return ops_total_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t truncations() const { return truncations_; }
+  Micros latency_injected_micros() const { return latency_injected_micros_; }
+
+ private:
+  void Charge(Micros micros);
+
+  FaultConfig config_;
+  Rng rng_;
+  Clock* clock_;
+  std::map<uint64_t, FaultKind> scripted_;
+  uint64_t ops_total_ = 0;
+  uint64_t faults_injected_ = 0;
+  uint64_t truncations_ = 0;
+  Micros latency_injected_micros_ = 0;
+};
+
+}  // namespace idm
+
+#endif  // IDM_UTIL_FAULT_H_

@@ -1,0 +1,100 @@
+#include "util/retry.h"
+
+namespace idm {
+
+Micros RetryPolicy::BackoffMicros(int retry, Rng* rng) const {
+  if (retry < 1) retry = 1;
+  double wait = static_cast<double>(initial_backoff_micros);
+  for (int i = 1; i < retry; ++i) {
+    wait *= backoff_multiplier;
+    if (wait >= static_cast<double>(max_backoff_micros)) break;
+  }
+  if (wait > static_cast<double>(max_backoff_micros)) {
+    wait = static_cast<double>(max_backoff_micros);
+  }
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    // Uniform in [1 - jitter, 1 + jitter).
+    wait *= 1.0 + jitter_fraction * (2.0 * rng->NextDouble() - 1.0);
+  }
+  if (wait < 0.0) wait = 0.0;
+  return static_cast<Micros>(wait);
+}
+
+Status RunWithRetry(const RetryPolicy& policy, Clock* clock, Rng* rng,
+                    const std::function<Status()>& fn) {
+  Status last = Status::Unavailable("retry loop never ran");
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || !last.IsRetryable()) return last;
+    if (attempt == policy.max_attempts) break;
+    Micros wait = policy.BackoffMicros(attempt, rng);
+    if (clock != nullptr) clock->AdvanceMicros(wait);
+  }
+  return last;
+}
+
+const char* CircuitStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::State CircuitBreaker::state() {
+  if (state_ == State::kOpen && clock_ != nullptr &&
+      clock_->NowMicros() - opened_at_micros_ >= options_.cooldown_micros) {
+    state_ = State::kHalfOpen;
+    half_open_successes_ = 0;
+  }
+  return state_;
+}
+
+bool CircuitBreaker::AllowRequest() {
+  if (state() == State::kOpen) {
+    ++rejected_requests_;
+    return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::TripOpen() {
+  state_ = State::kOpen;
+  opened_at_micros_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+  consecutive_failures_ = 0;
+  half_open_successes_ = 0;
+  ++times_opened_;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  switch (state()) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      if (++half_open_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // Success while open: a caller raced the trip; ignore.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  switch (state()) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) TripOpen();
+      break;
+    case State::kHalfOpen:
+      TripOpen();  // the probe failed: restart the cooldown
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+}  // namespace idm

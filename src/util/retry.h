@@ -1,0 +1,117 @@
+// Retry with capped exponential backoff, and a per-dependency circuit
+// breaker (recovery side of the resilience layer).
+//
+// Both primitives charge every wait to a Clock instead of sleeping: under a
+// SimClock a test drives backoff and cooldown by AdvanceMicros alone, and a
+// 20 %-fault sync converges with zero wall-clock sleeping. Jitter comes from
+// the seeded Rng, so retry schedules are reproducible.
+
+#ifndef IDM_UTIL_RETRY_H_
+#define IDM_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/clock.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace idm {
+
+/// Capped exponential backoff: attempt n waits
+///   min(initial * multiplier^(n-1), max) * (1 ± jitter).
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 4;
+  Micros initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+  Micros max_backoff_micros = 1000000;
+  /// Relative jitter amplitude in [0, 1): the wait is scaled by a factor
+  /// drawn uniformly from [1 - jitter, 1 + jitter).
+  double jitter_fraction = 0.25;
+
+  /// Backoff before retry number \p retry (1-based: the wait after the
+  /// retry-th failure). \p rng supplies jitter; nullptr disables jitter.
+  Micros BackoffMicros(int retry, Rng* rng = nullptr) const;
+};
+
+/// Runs \p fn up to policy.max_attempts times. Failures whose code is
+/// retryable (Status::IsRetryable) are retried after charging the backoff
+/// wait to \p clock; permanent failures and exhaustion return the last
+/// status. \p clock and \p rng may be nullptr.
+Status RunWithRetry(const RetryPolicy& policy, Clock* clock, Rng* rng,
+                    const std::function<Status()>& fn);
+
+/// Result-returning flavour of RunWithRetry.
+template <typename T>
+Result<T> RunWithRetryResult(const RetryPolicy& policy, Clock* clock, Rng* rng,
+                             const std::function<Result<T>()>& fn) {
+  Result<T> last = Status::Unavailable("retry loop never ran");
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || !last.status().IsRetryable()) return last;
+    if (attempt == policy.max_attempts) break;
+    Micros wait = policy.BackoffMicros(attempt, rng);
+    if (clock != nullptr) clock->AdvanceMicros(wait);
+  }
+  return last;
+}
+
+/// Per-dependency circuit breaker (closed → open → half-open → closed).
+///
+/// Closed: requests pass; failure_threshold *consecutive* failures trip the
+/// breaker open. Open: requests are refused until cooldown_micros of clock
+/// time elapse, then the next request is admitted as a half-open probe.
+/// Half-open: half_open_successes consecutive successes close the breaker;
+/// any failure re-opens it and restarts the cooldown. Only infrastructure
+/// failures (retryable codes) should be recorded — a NotFound is an answer,
+/// not an outage.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 5;
+    Micros cooldown_micros = 30000000;  ///< 30 s of (simulated) time
+    int half_open_successes = 1;
+  };
+
+  /// \p clock drives the cooldown and must outlive the breaker.
+  CircuitBreaker(Options options, Clock* clock)
+      : options_(options), clock_(clock) {}
+
+  /// Current state; an open breaker whose cooldown has elapsed reports (and
+  /// becomes) half-open.
+  State state();
+
+  /// True when a request may proceed: closed, half-open (probe), or open
+  /// with an elapsed cooldown (transitions to half-open).
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// --- counters ------------------------------------------------------------
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t times_opened() const { return times_opened_; }
+  uint64_t rejected_requests() const { return rejected_requests_; }
+
+ private:
+  void TripOpen();
+
+  Options options_;
+  Clock* clock_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int half_open_successes_ = 0;
+  Micros opened_at_micros_ = 0;
+  uint64_t times_opened_ = 0;
+  uint64_t rejected_requests_ = 0;
+};
+
+const char* CircuitStateToString(CircuitBreaker::State state);
+
+}  // namespace idm
+
+#endif  // IDM_UTIL_RETRY_H_

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
   return "unknown";
 }
 
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kIoError || code == StatusCode::kUnavailable;
+}
+
 Status::Status(StatusCode code, std::string message) {
   if (code != StatusCode::kOk) {
     state_ = std::make_shared<const State>(State{code, std::move(message)});

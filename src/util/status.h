@@ -32,6 +32,14 @@ enum class StatusCode : int {
 /// Returns the canonical lower-case name of a code, e.g. "invalid argument".
 const char* StatusCodeToString(StatusCode code);
 
+/// True for codes that denote transient infrastructure trouble worth
+/// retrying (kIoError, kUnavailable), false for answers and caller errors
+/// (kNotFound is an answer; kParseError will not parse better next time).
+/// This is the single classification used by the resilience layer (retry,
+/// circuit breaking, partial-failure sync) — keep it next to the error
+/// vocabulary instead of re-deriving it per subsystem.
+bool IsRetryable(StatusCode code);
+
 /// A cheap, movable success-or-error value.
 ///
 /// An OK Status carries no allocation; an error Status owns a code and a
@@ -86,6 +94,9 @@ class Status {
 
   /// The error message; empty when ok().
   const std::string& message() const;
+
+  /// True iff this status carries a retryable code (see IsRetryable).
+  bool IsRetryable() const { return idm::IsRetryable(code()); }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,0 +1,144 @@
+// Federation resilience: per-peer link retry, per-peer deadlines, and
+// graceful degradation when peers die — all on simulated time.
+
+#include <gtest/gtest.h>
+
+#include "iql/federation.h"
+
+namespace idm::iql {
+namespace {
+
+class FederationResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    healthy_ = std::make_unique<Dataspace>();
+    auto fs = std::make_shared<vfs::VirtualFileSystem>(healthy_->clock());
+    ASSERT_TRUE(fs->CreateFolder("/notes").ok());
+    ASSERT_TRUE(fs->WriteFile("/notes/a.txt", "shared topic alpha").ok());
+    ASSERT_TRUE(healthy_->AddFileSystem("fs", fs).ok());
+
+    shaky_ = std::make_unique<Dataspace>();
+    auto fs2 = std::make_shared<vfs::VirtualFileSystem>(shaky_->clock());
+    ASSERT_TRUE(fs2->CreateFolder("/notes").ok());
+    ASSERT_TRUE(fs2->WriteFile("/notes/b.txt", "shared topic beta").ok());
+    ASSERT_TRUE(shaky_->AddFileSystem("fs", fs2).ok());
+  }
+
+  /// An injector that fails every op with kUnavailable (a dead link).
+  static void MakeDead(FaultInjector* injector) {
+    FaultConfig config;
+    config.fault_probability = 1.0;
+    config.unavailable_weight = 1.0;
+    injector->set_config(config);
+  }
+
+  std::unique_ptr<Dataspace> healthy_;
+  std::unique_ptr<Dataspace> shaky_;
+  SimClock clock_;
+};
+
+// The acceptance scenario: one healthy peer, one always-kUnavailable peer.
+// The merged result carries the healthy peer's rows, the dead peer is
+// counted as failed, and all of it happens within the per-peer deadline.
+TEST_F(FederationResilienceTest, DeadPeerDegradesTheResult) {
+  Federation::Options options;
+  options.per_peer_deadline_micros = 2000000;
+  Federation federation(&clock_, options);
+  FaultInjector dead_link(17, &clock_);
+  MakeDead(&dead_link);
+
+  ASSERT_TRUE(federation.AddPeer("laptop", healthy_.get()).ok());
+  ASSERT_TRUE(federation
+                  .AddPeer("desktop", shaky_.get(), Federation::PeerLatency{},
+                           &dead_link)
+                  .ok());
+
+  Micros before = clock_.NowMicros();
+  auto result = federation.Query("\"shared topic\"");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->peers_reached, 1u);
+  EXPECT_EQ(result->peers_failed, 1u);
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows[0].peer, "laptop");
+  EXPECT_GT(result->retries, 0u);  // the dead link was retried before giving up
+  ASSERT_EQ(result->failures.size(), 1u);
+  EXPECT_EQ(result->failures[0].rfind("desktop:", 0), 0u);
+  // The whole episode — including the dead peer's retries — stayed within
+  // one per-peer deadline plus the healthy peer's cost.
+  EXPECT_LE(clock_.NowMicros() - before,
+            options.per_peer_deadline_micros + 2 * 25000 + 50 * 8);
+}
+
+TEST_F(FederationResilienceTest, TransientLinkFaultIsRetriedToSuccess) {
+  Federation federation(&clock_);
+  FaultInjector blip(23, &clock_);
+  blip.ScheduleFault(0, FaultKind::kUnavailable);  // first ship fails
+
+  ASSERT_TRUE(federation
+                  .AddPeer("desktop", shaky_.get(), Federation::PeerLatency{},
+                           &blip)
+                  .ok());
+  auto result = federation.Query("\"shared topic\"");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->peers_reached, 1u);
+  EXPECT_EQ(result->peers_failed, 0u);
+  EXPECT_EQ(result->retries, 1u);
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(result->rows[0].name, "b.txt");
+}
+
+TEST_F(FederationResilienceTest, SlowPeerIsBoundedByItsDeadline) {
+  Federation::Options options;
+  options.per_peer_deadline_micros = 1000000;  // 1 s budget per peer
+  Federation federation(&clock_, options);
+  // A peer whose single round trip already exceeds the budget: abandoned
+  // without charging its full latency to the federation.
+  Federation::PeerLatency glacial{3000000, 50};
+  ASSERT_TRUE(federation.AddPeer("tape-drive", shaky_.get(), glacial).ok());
+  ASSERT_TRUE(federation.AddPeer("laptop", healthy_.get()).ok());
+
+  Micros before = clock_.NowMicros();
+  auto result = federation.Query("\"shared topic\"");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->peers_failed, 1u);
+  EXPECT_EQ(result->peers_reached, 1u);
+  EXPECT_EQ(result->rows[0].peer, "laptop");
+  // The glacial peer's 3 s round trip was never charged.
+  EXPECT_LT(clock_.NowMicros() - before, 1000000);
+}
+
+TEST_F(FederationResilienceTest, AllPeersDeadReturnsTheFirstError) {
+  Federation federation(&clock_);
+  FaultInjector dead(31, &clock_);
+  MakeDead(&dead);
+  ASSERT_TRUE(federation
+                  .AddPeer("desktop", shaky_.get(), Federation::PeerLatency{},
+                           &dead)
+                  .ok());
+  auto result = federation.Query("\"shared topic\"");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+// A peer whose *evaluator* rejects the query (not link weather) fails that
+// peer without retries; the healthy peer still answers.
+TEST_F(FederationResilienceTest, EvaluationFailureCountsThePeerAsFailed) {
+  Federation federation(&clock_);
+  ASSERT_TRUE(federation.AddPeer("laptop", healthy_.get()).ok());
+  ASSERT_TRUE(federation.AddPeer("desktop", shaky_.get()).ok());
+  // Joins are rejected per peer by the federation layer (peer-local pairs
+  // cannot be shipped); every peer fails with the same permanent error.
+  auto joins = federation.Query("join(//a as A, //b as B, A.name=B.name)");
+  EXPECT_FALSE(joins.ok());
+  EXPECT_EQ(joins.status().code(), StatusCode::kUnimplemented);
+
+  // A parse error is equally permanent: no retry, first error surfaced.
+  Micros before = clock_.NowMicros();
+  auto malformed = federation.Query("//a[");
+  EXPECT_EQ(malformed.status().code(), StatusCode::kParseError);
+  // Exactly one round trip per peer: permanent errors are not retried.
+  EXPECT_EQ(clock_.NowMicros() - before, 2 * 25000);
+}
+
+}  // namespace
+}  // namespace idm::iql

@@ -1,0 +1,152 @@
+// FaultInjector: deterministic fault injection driven by the seeded Rng
+// and the SimClock.
+
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace idm {
+namespace {
+
+TEST(FaultInjectorTest, NoFaultsByDefault) {
+  SimClock clock;
+  FaultInjector injector(1, &clock);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.OnOperation("op").ok());
+  }
+  EXPECT_EQ(injector.ops_total(), 100u);
+  EXPECT_EQ(injector.faults_injected(), 0u);
+  EXPECT_EQ(injector.latency_injected_micros(), 0);
+  EXPECT_EQ(clock.NowMicros(), SimClock::kDefaultEpochMicros);
+}
+
+TEST(FaultInjectorTest, ProbabilisticFaultsHitApproximatelyTheRate) {
+  FaultInjector injector(42);
+  FaultConfig config;
+  config.fault_probability = 0.2;
+  injector.set_config(config);
+  int failures = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Status s = injector.OnOperation("read");
+    if (!s.ok()) {
+      ++failures;
+      EXPECT_TRUE(s.IsRetryable()) << s;
+    }
+  }
+  EXPECT_EQ(static_cast<uint64_t>(failures), injector.faults_injected());
+  // Binomial(1000, 0.2): far outside [150, 250] would indicate a bug.
+  EXPECT_GT(failures, 150);
+  EXPECT_LT(failures, 250);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossRuns) {
+  std::vector<StatusCode> first, second;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(7);
+    FaultConfig config;
+    config.fault_probability = 0.3;
+    config.unavailable_weight = 0.5;
+    injector.set_config(config);
+    auto& codes = run == 0 ? first : second;
+    for (int i = 0; i < 200; ++i) {
+      codes.push_back(injector.OnOperation("op").code());
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, UnavailableWeightSelectsTheCode) {
+  FaultInjector injector(3);
+  FaultConfig config;
+  config.fault_probability = 1.0;
+  config.unavailable_weight = 1.0;
+  injector.set_config(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.OnOperation("op").code(), StatusCode::kUnavailable);
+  }
+  config.unavailable_weight = 0.0;
+  injector.set_config(config);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(injector.OnOperation("op").code(), StatusCode::kIoError);
+  }
+}
+
+TEST(FaultInjectorTest, ScriptedFaultsOverrideTheDice) {
+  FaultInjector injector(1);  // fault_probability stays 0
+  injector.ScheduleFault(2, FaultKind::kIoError);
+  injector.ScheduleFault(4, FaultKind::kUnavailable);
+  std::vector<StatusCode> codes;
+  for (int i = 0; i < 6; ++i) codes.push_back(injector.OnOperation("op").code());
+  EXPECT_EQ(codes, (std::vector<StatusCode>{
+                       StatusCode::kOk, StatusCode::kOk, StatusCode::kIoError,
+                       StatusCode::kOk, StatusCode::kUnavailable,
+                       StatusCode::kOk}));
+}
+
+TEST(FaultInjectorTest, OutageWindowFailsEveryOpInside) {
+  FaultInjector injector(1);
+  injector.ScheduleOutage(3, 6, FaultKind::kUnavailable);
+  for (int i = 0; i < 10; ++i) {
+    Status s = injector.OnOperation("op");
+    if (i >= 3 && i < 6) {
+      EXPECT_EQ(s.code(), StatusCode::kUnavailable) << "op " << i;
+    } else {
+      EXPECT_TRUE(s.ok()) << "op " << i;
+    }
+  }
+}
+
+TEST(FaultInjectorTest, LatencySpikesChargeTheClockWithoutFailing) {
+  SimClock clock;
+  FaultInjector injector(1, &clock);
+  injector.ScheduleFault(0, FaultKind::kLatencySpike);
+  FaultConfig config;
+  config.latency_spike_micros = 75000;
+  injector.set_config(config);
+  Micros before = clock.NowMicros();
+  EXPECT_TRUE(injector.OnOperation("slow read").ok());
+  EXPECT_EQ(clock.NowMicros() - before, 75000);
+  EXPECT_EQ(injector.latency_injected_micros(), 75000);
+  EXPECT_EQ(injector.faults_injected(), 1u);
+}
+
+TEST(FaultInjectorTest, FailedOpsStillCostTime) {
+  SimClock clock;
+  FaultInjector injector(1, &clock);
+  injector.ScheduleFault(0, FaultKind::kIoError);
+  FaultConfig config;
+  config.fault_latency_micros = 500;
+  injector.set_config(config);
+  Micros before = clock.NowMicros();
+  EXPECT_FALSE(injector.OnOperation("op").ok());
+  EXPECT_EQ(clock.NowMicros() - before, 500);
+}
+
+TEST(FaultInjectorTest, TruncationShortensContentDeterministically) {
+  FaultInjector injector(9);
+  FaultConfig config;
+  config.truncate_probability = 1.0;
+  config.truncate_keep_fraction = 0.25;
+  injector.set_config(config);
+  std::string content(1000, 'x');
+  EXPECT_TRUE(injector.MaybeTruncate(&content));
+  EXPECT_EQ(content.size(), 250u);
+  EXPECT_EQ(injector.truncations(), 1u);
+
+  // Zero probability never truncates.
+  config.truncate_probability = 0.0;
+  injector.set_config(config);
+  EXPECT_FALSE(injector.MaybeTruncate(&content));
+  EXPECT_EQ(content.size(), 250u);
+}
+
+TEST(FaultInjectorTest, FaultKindNames) {
+  EXPECT_STREQ(FaultKindToString(FaultKind::kNone), "none");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kIoError), "io error");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kUnavailable), "unavailable");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kLatencySpike), "latency spike");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kTruncate), "truncate");
+}
+
+}  // namespace
+}  // namespace idm

@@ -1,0 +1,177 @@
+// RetryPolicy (capped exponential backoff, deterministic jitter, SimClock
+// charging) and the CircuitBreaker state machine.
+
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace idm {
+namespace {
+
+// --------------------------------------------------------------------------
+// RetryPolicy
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyToTheCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_micros = 6000;
+  policy.jitter_fraction = 0.0;
+  EXPECT_EQ(policy.BackoffMicros(1), 1000);
+  EXPECT_EQ(policy.BackoffMicros(2), 2000);
+  EXPECT_EQ(policy.BackoffMicros(3), 4000);
+  EXPECT_EQ(policy.BackoffMicros(4), 6000);   // capped
+  EXPECT_EQ(policy.BackoffMicros(10), 6000);  // stays capped, no overflow
+}
+
+TEST(RetryPolicyTest, JitterStaysWithinTheBandAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff_micros = 100000;
+  policy.jitter_fraction = 0.25;
+  Rng a(5), b(5);
+  for (int retry = 1; retry <= 8; ++retry) {
+    Micros wait_a = policy.BackoffMicros(retry, &a);
+    Micros wait_b = policy.BackoffMicros(retry, &b);
+    EXPECT_EQ(wait_a, wait_b);  // same seed, same schedule
+    Micros nominal = policy.BackoffMicros(retry, nullptr);
+    EXPECT_GE(wait_a, static_cast<Micros>(nominal * 0.75) - 1);
+    EXPECT_LE(wait_a, static_cast<Micros>(nominal * 1.25) + 1);
+  }
+}
+
+TEST(RunWithRetryTest, SucceedsAfterTransientFailures) {
+  SimClock clock;
+  int calls = 0;
+  Status s = RunWithRetry(
+      RetryPolicy{}, &clock, nullptr, [&] {
+        return ++calls < 3 ? Status::Unavailable("flaky") : Status::OK();
+      });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RunWithRetryTest, ChargesBackoffToTheClockOnly) {
+  SimClock clock;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_micros = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_fraction = 0.0;
+  int calls = 0;
+  Micros before = clock.NowMicros();
+  Status s = RunWithRetry(policy, &clock, nullptr, [&] {
+    ++calls;
+    return Status::IoError("always");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 3);
+  // Two waits: 1000 + 2000. All simulated, no wall sleeping.
+  EXPECT_EQ(clock.NowMicros() - before, 3000);
+}
+
+TEST(RunWithRetryTest, PermanentErrorsAreNotRetried) {
+  SimClock clock;
+  int calls = 0;
+  Status s = RunWithRetry(RetryPolicy{}, &clock, nullptr, [&] {
+    ++calls;
+    return Status::NotFound("gone is an answer");
+  });
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(clock.NowMicros(), SimClock::kDefaultEpochMicros);
+}
+
+TEST(RunWithRetryTest, ResultFlavourReturnsTheValue) {
+  SimClock clock;
+  int calls = 0;
+  Result<int> r = RunWithRetryResult<int>(
+      RetryPolicy{}, &clock, nullptr, [&]() -> Result<int> {
+        if (++calls < 2) return Status::IoError("once");
+        return 41 + 1;
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+// --------------------------------------------------------------------------
+// CircuitBreaker
+
+CircuitBreaker::Options SmallBreaker() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_micros = 1000000;  // 1 simulated second
+  options.half_open_successes = 2;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllowsRequests) {
+  SimClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  SimClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerTest, FullStateMachineOnTheSimClock) {
+  SimClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+
+  // closed --3 consecutive failures--> open
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_GE(breaker.rejected_requests(), 1u);
+
+  // open --cooldown elapses on the sim clock--> half-open probe admitted
+  clock.AdvanceMicros(999999);
+  EXPECT_FALSE(breaker.AllowRequest());  // one micro short
+  clock.AdvanceMicros(1);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+
+  // half-open --enough successes--> closed
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);  // 1 of 2
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensAndRestartsCooldown) {
+  SimClock clock;
+  CircuitBreaker breaker(SmallBreaker(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMicros(1000000);
+  EXPECT_TRUE(breaker.AllowRequest());  // the probe
+  breaker.RecordFailure();              // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.AdvanceMicros(1000000);  // a fresh full cooldown is required
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitStateToString(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(CircuitStateToString(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(CircuitStateToString(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+}  // namespace
+}  // namespace idm

@@ -60,6 +60,29 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(StatusTest, RetryableCodesAreExactlyTheTransientOnes) {
+  // Infrastructure trouble: worth retrying.
+  EXPECT_TRUE(IsRetryable(StatusCode::kIoError));
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  // Answers and caller errors: retrying cannot help.
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kAlreadyExists));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryable(StatusCode::kUnimplemented));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kParseError));
+  EXPECT_FALSE(IsRetryable(StatusCode::kConformanceError));
+}
+
+TEST(StatusTest, MemberIsRetryableMatchesFreeFunction) {
+  EXPECT_TRUE(Status::IoError("disk gone").IsRetryable());
+  EXPECT_TRUE(Status::Unavailable("link down").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("no such view").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
 Status FailIfNegative(int x) {
   if (x < 0) return Status::OutOfRange("negative");
   return Status::OK();
