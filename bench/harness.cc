@@ -60,6 +60,35 @@ const std::vector<PaperQuery>& Table4Queries() {
   return kQueries;
 }
 
+bool WriteParallelJson(const std::string& path, const std::string& bench,
+                       const std::vector<ParallelBenchRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[harness] cannot write %s\n", path.c_str());
+    return false;
+  }
+  // Row names are bench-controlled identifiers (Q1..Q8 etc.); no JSON
+  // string escaping is needed beyond what they already satisfy.
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ParallelBenchRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
+                 "\"serial_ms\": %.4f, \"mean_ms\": %.4f, \"speedup\": %.3f, "
+                 "\"ops_per_sec\": %.2f, \"cache_hit_rate\": %.3f, "
+                 "\"identical_to_serial\": %s}%s\n",
+                 r.name.c_str(), r.mode.c_str(), r.threads, r.serial_ms,
+                 r.mean_ms, r.speedup, r.ops_per_sec, r.cache_hit_rate,
+                 r.identical_to_serial ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[harness] wrote %s (%zu rows)\n", path.c_str(),
+               rows.size());
+  return true;
+}
+
 std::string Mb(uint64_t bytes) { return BytesToMb(bytes); }
 
 std::string Sec(Micros micros) {

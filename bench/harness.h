@@ -41,6 +41,26 @@ struct PaperQuery {
 /// dataspace; identical shapes and operators).
 const std::vector<PaperQuery>& Table4Queries();
 
+/// One row of the machine-readable parallel-execution report: a
+/// (scenario, configuration) measurement from the scaling/fig6 benches.
+struct ParallelBenchRow {
+  std::string name;        ///< query / scenario id (e.g. "Q8")
+  std::string mode;        ///< "serial" | "threads" | "cache"
+  size_t threads = 1;
+  double serial_ms = 0;    ///< threads=1 uncached baseline, mean
+  double mean_ms = 0;      ///< this configuration's mean time
+  double speedup = 0;      ///< serial_ms / mean_ms
+  double ops_per_sec = 0;  ///< 1000 / mean_ms
+  double cache_hit_rate = 0;        ///< hits / lookups while measuring
+  bool identical_to_serial = true;  ///< differential check outcome
+};
+
+/// Writes \p rows as `{"bench": ..., "rows": [...]}` to \p path (the
+/// driver's BENCH_parallel.json). Returns false and complains on stderr
+/// when the file cannot be written.
+bool WriteParallelJson(const std::string& path, const std::string& bench,
+                       const std::vector<ParallelBenchRow>& rows);
+
 /// Bytes → "12.5" MB string.
 std::string Mb(uint64_t bytes);
 

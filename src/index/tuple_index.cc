@@ -69,14 +69,16 @@ const TupleIndex::Column* TupleIndex::FindColumn(
 }
 
 void TupleIndex::SortColumn(Column* column) const {
-  if (!column->dirty) return;
+  if (!column->dirty.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  if (!column->dirty.load(std::memory_order_acquire)) return;  // lost the race
   std::sort(column->entries.begin(), column->entries.end(),
             [](const auto& a, const auto& b) {
               int cmp = a.first.Compare(b.first);
               if (cmp != 0) return cmp < 0;
               return a.second < b.second;
             });
-  column->dirty = false;
+  column->dirty.store(false, std::memory_order_release);
 }
 
 std::vector<DocId> TupleIndex::Scan(const std::string& attribute, CompareOp op,

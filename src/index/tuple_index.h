@@ -6,7 +6,9 @@
 #ifndef IDM_INDEX_TUPLE_INDEX_H_
 #define IDM_INDEX_TUPLE_INDEX_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -37,6 +39,10 @@ class TupleIndex {
   /// e.g. query "lastmodified" → column "lastmodifiedtime") satisfies
   /// `value <op> literal`. Sorted ascending. Views without the attribute
   /// never match.
+  ///
+  /// Thread-safety: concurrent Scan calls are safe (the lazy column sort
+  /// is guarded); Add/Remove must not run concurrently with Scan — sync
+  /// and query never overlap, as everywhere else in the index layer.
   std::vector<DocId> Scan(const std::string& attribute, CompareOp op,
                           const core::Value& literal) const;
 
@@ -50,15 +56,19 @@ class TupleIndex {
 
  private:
   struct Column {
-    // (value, id), kept sorted; rebuilt lazily after bulk inserts.
+    // (value, id), kept sorted; rebuilt lazily after bulk inserts. `dirty`
+    // is atomic and the rebuild mutex-guarded so that parallel query
+    // leaves may Scan the same column concurrently (release on the sorter,
+    // acquire on readers orders the sorted entries before dirty=false).
     std::vector<std::pair<core::Value, DocId>> entries;
-    bool dirty = false;
+    std::atomic<bool> dirty{false};
   };
   const Column* FindColumn(const std::string& attribute) const;
   void SortColumn(Column* column) const;
 
   std::unordered_map<DocId, core::TupleComponent> replica_;
   mutable std::map<std::string, Column> columns_;
+  mutable std::mutex sort_mu_;  ///< serializes lazy column rebuilds
 };
 
 }  // namespace idm::index

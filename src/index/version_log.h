@@ -36,7 +36,9 @@ class VersionLog {
   /// Appends a change; returns the new dataspace version.
   Version Append(ChangeRecord::Op op, DocId id);
 
-  /// The current dataspace version.
+  /// The current dataspace version. Doubles as the query-cache epoch
+  /// (DESIGN.md §8): results keyed on (query, current()) stay exact
+  /// because every Append advances this — invalidation without scanning.
   Version current() const { return next_ - 1; }
 
   /// All changes with version > \p since, oldest first.

@@ -1,5 +1,8 @@
 #include "iql/ast.h"
 
+#include <cstdio>
+#include <ctime>
+
 namespace idm::iql {
 
 namespace {
@@ -14,6 +17,29 @@ const char* OpText(index::CompareOp op) {
     case index::CompareOp::kGe: return ">=";
   }
   return "?";
+}
+
+// Comparison literals must print in the lexer's own syntax: ToString is
+// the query normalizer (and the result-cache key), so parse → print →
+// reparse has to be a fixpoint. Dates render as @DD.MM.YYYY (the only date
+// form the lexer accepts; parsed dates are always midnight UTC) and
+// strings re-quote.
+std::string LiteralText(const core::Value& literal) {
+  switch (literal.domain()) {
+    case core::Domain::kString:
+      return "\"" + literal.AsString() + "\"";
+    case core::Domain::kDate: {
+      std::time_t secs = static_cast<std::time_t>(literal.AsDate() / 1000000);
+      std::tm tm_utc{};
+      gmtime_r(&secs, &tm_utc);
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "@%02d.%02d.%04d", tm_utc.tm_mday,
+                    tm_utc.tm_mon + 1, tm_utc.tm_year + 1900);
+      return buf;
+    }
+    default:
+      return literal.ToString();
+  }
 }
 
 std::string RefText(const JoinRef& ref) {
@@ -48,7 +74,7 @@ std::string ToString(const PredNode& pred) {
     case PredNode::Kind::kCompare: {
       std::string literal;
       switch (pred.literal_kind) {
-        case PredNode::LiteralKind::kValue: literal = pred.literal.ToString(); break;
+        case PredNode::LiteralKind::kValue: literal = LiteralText(pred.literal); break;
         case PredNode::LiteralKind::kYesterday: literal = "yesterday()"; break;
         case PredNode::LiteralKind::kNow: literal = "now()"; break;
       }

@@ -1,11 +1,14 @@
 #include "iql/dataspace.h"
 
+#include "iql/parser.h"
 #include "util/string_util.h"
 
 namespace idm::iql {
 
 Dataspace::Dataspace(Config config)
-    : config_(config), classes_(core::ClassRegistry::Standard()) {
+    : config_(config),
+      classes_(core::ClassRegistry::Standard()),
+      cache_(config.cache) {
   module_.SetClock(&clock_);
   sync_ = std::make_unique<rvm::SynchronizationManager>(
       &module_, rvm::ConverterRegistry::Standard(), config_.indexing);
@@ -47,7 +50,25 @@ Result<rvm::SourceIndexStats> Dataspace::AddSource(
 }
 
 Result<QueryResult> Dataspace::Query(const std::string& iql) const {
-  return processor_->Execute(iql);
+  IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
+  if (!cache_.enabled()) return processor_->Evaluate(parsed);
+
+  // Key on the normalized rendering (whitespace/escape variants share one
+  // entry) and the current dataspace version: any Append to the VersionLog
+  // — sync, notification, delete — advances the epoch and logically
+  // invalidates every entry at once.
+  const std::string normalized = ToString(parsed);
+  const uint64_t epoch = module_.versions().current();
+  const bool cacheable = IsCacheable(parsed);
+  if (cacheable) {
+    if (std::optional<QueryResult> hit = cache_.Lookup(normalized, epoch)) {
+      hit->elapsed_micros = 0;  // served from cache; nothing was evaluated
+      return *std::move(hit);
+    }
+  }
+  IDM_ASSIGN_OR_RETURN(QueryResult result, processor_->Evaluate(parsed));
+  if (cacheable) cache_.Insert(normalized, epoch, result);
+  return result;
 }
 
 Result<Dataspace::UpdateResult> Dataspace::ExecuteUpdate(

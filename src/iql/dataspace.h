@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "iql/query_cache.h"
 #include "iql/query_processor.h"
 #include "rvm/rvm.h"
 
@@ -24,6 +25,11 @@ class Dataspace {
   struct Config {
     rvm::IndexingOptions indexing;
     QueryProcessor::Options query;
+    /// Result cache fronting the query processor, keyed on (normalized
+    /// query text, VersionLog epoch). Enabled by default: every catalog
+    /// mutation advances the epoch, so a hit is always exact; queries with
+    /// yesterday()/now() literals bypass it (see IsCacheable).
+    QueryCache::Options cache;
   };
 
   Dataspace() : Dataspace(Config()) {}
@@ -46,7 +52,16 @@ class Dataspace {
   Result<rvm::SourceIndexStats> AddSource(std::shared_ptr<rvm::DataSource> source);
 
   /// --- querying -----------------------------------------------------------
+  /// Parses, normalizes and evaluates \p iql. Cacheable queries are served
+  /// from / stored into the result cache at the current VersionLog epoch;
+  /// a cache hit reports elapsed_micros = 0 (no evaluation ran).
   Result<QueryResult> Query(const std::string& iql) const;
+
+  /// Cache observability (hits / misses / stale drops / evictions).
+  QueryCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Drops all cached results (the epoch key makes this unnecessary for
+  /// correctness; useful for measurements).
+  void ClearQueryCache() { cache_.Clear(); }
 
   /// Outcome of an update statement.
   struct UpdateResult {
@@ -83,6 +98,7 @@ class Dataspace {
   rvm::ReplicaIndexesModule module_;
   std::unique_ptr<rvm::SynchronizationManager> sync_;
   std::unique_ptr<QueryProcessor> processor_;
+  mutable QueryCache cache_;  ///< internally synchronized
 };
 
 }  // namespace idm::iql

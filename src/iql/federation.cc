@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "iql/parser.h"
+
 namespace idm::iql {
 
 namespace {
@@ -14,6 +16,15 @@ Micros WallNow() {
 }
 
 }  // namespace
+
+Federation::Federation(Clock* clock, Options options)
+    : clock_(clock), options_(options), cache_(options.cache) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+Federation::~Federation() = default;
 
 Status Federation::AddPeer(std::string name, const Dataspace* peer,
                            PeerLatency latency, FaultInjector* link) {
@@ -27,98 +38,173 @@ Status Federation::AddPeer(std::string name, const Dataspace* peer,
   return Status::OK();
 }
 
+Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
+                                              const std::string& iql,
+                                              const std::string& cache_key,
+                                              bool cacheable, Rng* jitter,
+                                              Clock* clock) const {
+  PeerOutcome outcome;
+  // Charges simulated network/backoff cost against the outcome (and, in
+  // serial mode, incrementally against the clock) and the peer's deadline
+  // budget.
+  auto charge = [&](Micros micros) {
+    if (clock != nullptr) clock->AdvanceMicros(micros);
+    outcome.charged += micros;
+  };
+
+  // The peer's dataspace version pins the cache entry: any change on the
+  // peer advances its epoch and invalidates.
+  uint64_t epoch = peer.dataspace->module().versions().current();
+  if (cacheable && cache_.enabled()) {
+    std::string key = peer.name + '\n' + cache_key;
+    if (std::optional<QueryResult> hit = cache_.Lookup(key, epoch)) {
+      outcome.reached = true;
+      outcome.cache_hit = true;
+      outcome.rows.reserve(hit->rows.size());
+      for (size_t r = 0; r < hit->rows.size(); ++r) {
+        FederatedRow row;
+        row.peer = peer.name;
+        row.id = hit->rows[r][0];
+        row.uri = peer.dataspace->UriOf(row.id);
+        row.name = peer.dataspace->NameOf(row.id);
+        row.score = hit->ranked() ? hit->scores[r] : 0.0;
+        outcome.rows.push_back(std::move(row));
+      }
+      return outcome;
+    }
+  }
+
+  const Micros deadline = options_.per_peer_deadline_micros;
+  for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+    // Per-peer deadline: abandon the peer rather than let a dead link's
+    // round trips dominate the federation's latency.
+    if (deadline > 0 &&
+        outcome.charged + peer.latency.per_query_micros > deadline) {
+      outcome.error = Status::Unavailable(
+          "peer '" + peer.name + "' exceeded its deadline of " +
+          std::to_string(deadline) + "us");
+      break;
+    }
+    charge(peer.latency.per_query_micros);  // one shipped round trip
+
+    // The network path may fail independently of the peer's evaluator.
+    if (peer.link != nullptr) {
+      Status link_status = peer.link->OnOperation("ship to " + peer.name);
+      if (!link_status.ok()) {
+        outcome.error = link_status;
+        if (!link_status.IsRetryable() ||
+            attempt == options_.retry.max_attempts) {
+          break;
+        }
+        ++outcome.retries;
+        charge(options_.retry.BackoffMicros(attempt, jitter));
+        continue;
+      }
+    }
+
+    auto result = peer.dataspace->Query(iql);
+    if (!result.ok()) {
+      // Evaluation errors (parse, unsupported operator) are answers of
+      // this peer, not link weather: no retry.
+      outcome.error = result.status();
+      break;
+    }
+    if (result->columns.size() != 1) {
+      // Joins produce peer-local pairs; shipping them is future work, as
+      // in the paper. Report the restriction instead of silent data loss.
+      outcome.error = Status::Unimplemented(
+          "federated joins are not supported; ship a unary query");
+      break;
+    }
+    charge(static_cast<Micros>(result->rows.size()) *
+           peer.latency.per_result_micros);
+    outcome.reached = true;
+    outcome.rows.reserve(result->rows.size());
+    for (size_t r = 0; r < result->rows.size(); ++r) {
+      FederatedRow row;
+      row.peer = peer.name;
+      row.id = result->rows[r][0];
+      row.uri = peer.dataspace->UriOf(row.id);
+      row.name = peer.dataspace->NameOf(row.id);
+      row.score = result->ranked() ? result->scores[r] : 0.0;
+      outcome.rows.push_back(std::move(row));
+    }
+    if (cacheable && cache_.enabled()) {
+      cache_.Insert(peer.name + '\n' + cache_key, epoch, *result);
+    }
+    break;
+  }
+  return outcome;
+}
+
 Result<FederatedResult> Federation::Query(const std::string& iql) const {
   if (peers_.empty()) {
     return Status::FailedPrecondition("federation has no peers");
   }
   Micros start = WallNow();
+
+  // Normalize the query text once so cache keys are whitespace/escape
+  // insensitive; unparseable or clock-dependent queries bypass the cache
+  // (peers may still answer or fail them on their own terms).
+  std::string cache_key = iql;
+  bool cacheable = false;
+  if (cache_.enabled()) {
+    auto parsed = ParseQuery(iql);
+    if (parsed.ok() && IsCacheable(*parsed)) {
+      cache_key = ToString(*parsed);
+      cacheable = true;
+    }
+  }
+
+  std::vector<PeerOutcome> outcomes;
+  if (pool_ != nullptr) {
+    // Scatter: each peer's full ship/retry loop is one task with its own
+    // deterministic jitter stream; the clock is charged at gather time.
+    outcomes = util::OrderedParallelMap<PeerOutcome>(
+        pool_.get(), peers_.size(), [&](size_t i) {
+          Rng jitter(options_.jitter_seed ^
+                     (0x9E3779B97F4A7C15ULL * (i + 1)));
+          return QueryPeer(peers_[i], iql, cache_key, cacheable, &jitter,
+                           /*clock=*/nullptr);
+        });
+  } else {
+    // Serial: one jitter stream across peers in registration order and
+    // incremental clock charging — the pre-parallel behavior.
+    Rng jitter(options_.jitter_seed);
+    outcomes.reserve(peers_.size());
+    for (const Peer& peer : peers_) {
+      outcomes.push_back(
+          QueryPeer(peer, iql, cache_key, cacheable, &jitter, clock_));
+    }
+  }
+
+  // Gather in registration order: deterministic regardless of scheduling.
   FederatedResult merged;
   Status first_error;
-  // Deterministic per-call jitter stream: retry schedules replay exactly.
-  Rng jitter(options_.jitter_seed);
-
-  auto fail_peer = [&](const Peer& peer, Status error) {
-    if (error.ok()) {
-      error = Status::Unavailable("peer '" + peer.name + "' not reached");
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    PeerOutcome& outcome = outcomes[i];
+    if (pool_ != nullptr && clock_ != nullptr && outcome.charged > 0) {
+      clock_->AdvanceMicros(outcome.charged);
     }
-    ++merged.peers_failed;
-    if (merged.failures.size() < 8) {
-      merged.failures.push_back(peer.name + ": " + error.ToString());
-    }
-    if (first_error.ok()) first_error = error;
-  };
-  // Charges simulated network/backoff cost against the clock, the merged
-  // total, and the active peer's deadline budget.
-  Micros peer_spent = 0;
-  auto charge = [&](Micros micros) {
-    if (clock_ != nullptr) clock_->AdvanceMicros(micros);
-    merged.elapsed_micros += micros;
-    peer_spent += micros;
-  };
-
-  for (const Peer& peer : peers_) {
-    peer_spent = 0;
-    const Micros deadline = options_.per_peer_deadline_micros;
-    Status peer_error;
-    bool reached = false;
-
-    for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
-      // Per-peer deadline: abandon the peer rather than let a dead link's
-      // round trips dominate the federation's latency.
-      if (deadline > 0 && peer_spent + peer.latency.per_query_micros > deadline) {
-        peer_error = Status::Unavailable(
-            "peer '" + peer.name + "' exceeded its deadline of " +
-            std::to_string(deadline) + "us");
-        break;
-      }
-      charge(peer.latency.per_query_micros);  // one shipped round trip
-
-      // The network path may fail independently of the peer's evaluator.
-      if (peer.link != nullptr) {
-        Status link_status = peer.link->OnOperation("ship to " + peer.name);
-        if (!link_status.ok()) {
-          peer_error = link_status;
-          if (!link_status.IsRetryable() ||
-              attempt == options_.retry.max_attempts) {
-            break;
-          }
-          ++merged.retries;
-          charge(options_.retry.BackoffMicros(attempt, &jitter));
-          continue;
-        }
-      }
-
-      auto result = peer.dataspace->Query(iql);
-      if (!result.ok()) {
-        // Evaluation errors (parse, unsupported operator) are answers of
-        // this peer, not link weather: no retry.
-        peer_error = result.status();
-        break;
-      }
-      if (result->columns.size() != 1) {
-        // Joins produce peer-local pairs; shipping them is future work, as
-        // in the paper. Report the restriction instead of silent data loss.
-        peer_error = Status::Unimplemented(
-            "federated joins are not supported; ship a unary query");
-        break;
-      }
-      charge(static_cast<Micros>(result->rows.size()) *
-             peer.latency.per_result_micros);
-      reached = true;
+    merged.elapsed_micros += outcome.charged;
+    merged.retries += outcome.retries;
+    if (outcome.cache_hit) ++merged.cache_hits;
+    if (outcome.reached) {
       ++merged.peers_reached;
-      for (size_t r = 0; r < result->rows.size(); ++r) {
-        FederatedRow row;
-        row.peer = peer.name;
-        row.id = result->rows[r][0];
-        row.uri = peer.dataspace->UriOf(row.id);
-        row.name = peer.dataspace->NameOf(row.id);
-        row.score = result->ranked() ? result->scores[r] : 0.0;
-        merged.rows.push_back(std::move(row));
+      merged.rows.insert(merged.rows.end(),
+                         std::make_move_iterator(outcome.rows.begin()),
+                         std::make_move_iterator(outcome.rows.end()));
+    } else {
+      Status error = outcome.error.ok()
+                         ? Status::Unavailable("peer '" + peers_[i].name +
+                                               "' not reached")
+                         : outcome.error;
+      ++merged.peers_failed;
+      if (merged.failures.size() < 8) {
+        merged.failures.push_back(peers_[i].name + ": " + error.ToString());
       }
-      break;
+      if (first_error.ok()) first_error = error;
     }
-
-    if (!reached) fail_peer(peer, peer_error);
   }
   if (merged.peers_reached == 0) return first_error;
 

@@ -7,6 +7,13 @@
 // attributed to the peer that produced them; a simulated per-peer network
 // latency model charges the local clock, so federation benchmarks behave
 // like the remote-IMAP model of Fig. 5.
+//
+// With Options::threads > 1 the federation scatter-gathers: per-peer
+// sub-queries (including their retry/deadline loops) run concurrently on a
+// fixed pool, and outcomes are merged in peer-registration order, so the
+// merged rows equal the serial merge. An optional per-peer result cache
+// keyed on (peer, query, peer VersionLog epoch) skips the simulated network
+// round trip entirely while the peer's dataspace is unchanged.
 
 #ifndef IDM_IQL_FEDERATION_H_
 #define IDM_IQL_FEDERATION_H_
@@ -16,8 +23,10 @@
 #include <vector>
 
 #include "iql/dataspace.h"
+#include "iql/query_cache.h"
 #include "util/fault.h"
 #include "util/retry.h"
+#include "util/thread_pool.h"
 
 namespace idm::iql {
 
@@ -35,6 +44,7 @@ struct FederatedResult {
   size_t peers_reached = 0;
   size_t peers_failed = 0;
   size_t retries = 0;          ///< link retries across all peers
+  size_t cache_hits = 0;       ///< peers answered from the federation cache
   Micros elapsed_micros = 0;   ///< wall + simulated network cost
   /// Names of peers that failed, with the reason ("peer: status").
   std::vector<std::string> failures;
@@ -62,19 +72,34 @@ class Federation {
     /// Simulated budget (network + backoff) per peer; 0 disables the
     /// deadline. A peer that would exceed it is abandoned as failed.
     Micros per_peer_deadline_micros = 2000000;
-    /// Seed for deterministic backoff jitter.
+    /// Seed for deterministic backoff jitter. Serial execution draws one
+    /// jitter stream across peers in registration order; scatter-gather
+    /// derives an independent stream per peer from this seed (still fully
+    /// deterministic, independent of scheduling).
     uint64_t jitter_seed = 7;
+    /// Scatter-gather width. 1 (default) ships to peers sequentially,
+    /// byte-for-byte the pre-parallel behavior; N > 1 queries up to N
+    /// peers concurrently and merges outcomes in registration order.
+    size_t threads = 1;
+    /// Per-peer result cache, keyed on the peer's VersionLog epoch.
+    /// Disabled by default: a cache hit legitimately skips the simulated
+    /// network cost and link-fault schedule, which resilience tests that
+    /// count per-call faults must not see unless they opt in.
+    QueryCache::Options cache{/*enabled=*/false, /*max_bytes=*/8U << 20};
   };
 
   /// \p clock is charged with the simulated network cost (may be nullptr).
   explicit Federation(Clock* clock = nullptr) : Federation(clock, Options()) {}
-  Federation(Clock* clock, Options options) : clock_(clock), options_(options) {}
+  Federation(Clock* clock, Options options);
+  ~Federation();
 
   /// Adds a peer. The Dataspace must outlive the federation. Peer names
   /// must be unique. \p link, when set, injects faults into the network
   /// path to this peer (shipping a query may fail with kIoError /
   /// kUnavailable and be retried under Options::retry); it must outlive
-  /// the federation.
+  /// the federation. Under scatter-gather each peer's link injector is
+  /// consulted only from that peer's task — do not share one injector
+  /// across peers when threads > 1.
   Status AddPeer(std::string name, const Dataspace* peer,
                  PeerLatency latency = PeerLatency{25000, 50},
                  FaultInjector* link = nullptr);
@@ -86,11 +111,14 @@ class Federation {
   /// comparable only loosely — idf statistics are peer-local; this is the
   /// standard federated-IR caveat and is preserved deliberately). Peers
   /// that fail to evaluate the query are counted, not fatal — unless every
-  /// peer fails, in which case the first error is returned. Transient link
-  /// faults are retried under Options::retry (backoff charged to the
-  /// clock); each peer is bounded by Options::per_peer_deadline_micros of
-  /// simulated time.
+  /// peer fails, in which case the first error (in registration order) is
+  /// returned. Transient link faults are retried under Options::retry
+  /// (backoff charged to the clock); each peer is bounded by
+  /// Options::per_peer_deadline_micros of simulated time.
   Result<FederatedResult> Query(const std::string& iql) const;
+
+  /// Federation-side per-peer cache statistics.
+  QueryCache::Stats cache_stats() const { return cache_.stats(); }
 
  private:
   struct Peer {
@@ -99,9 +127,29 @@ class Federation {
     PeerLatency latency;
     FaultInjector* link;
   };
+  /// Everything one peer contributes to the merge; produced serially or by
+  /// a scatter task, consumed in registration order either way.
+  struct PeerOutcome {
+    std::vector<FederatedRow> rows;
+    bool reached = false;
+    bool cache_hit = false;
+    size_t retries = 0;
+    Micros charged = 0;  ///< simulated network + backoff cost
+    Status error;        ///< why the peer failed (when !reached)
+  };
+
+  /// Runs one peer's full ship/retry/deadline loop. \p clock, when set, is
+  /// advanced incrementally (serial mode); scatter tasks pass nullptr and
+  /// the accumulated charge is applied at merge time.
+  PeerOutcome QueryPeer(const Peer& peer, const std::string& iql,
+                        const std::string& cache_key, bool cacheable,
+                        Rng* jitter, Clock* clock) const;
+
   Clock* clock_;
   Options options_;
   std::vector<Peer> peers_;
+  mutable QueryCache cache_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads <= 1
 };
 
 }  // namespace idm::iql

@@ -1,0 +1,122 @@
+#include "iql/query_cache.h"
+
+namespace idm::iql {
+
+namespace {
+
+bool PredCacheable(const PredNode& pred) {
+  if (pred.kind == PredNode::Kind::kCompare &&
+      pred.literal_kind != PredNode::LiteralKind::kValue) {
+    return false;
+  }
+  for (const auto& child : pred.children) {
+    if (!PredCacheable(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsCacheable(const Query& query) {
+  switch (query.kind) {
+    case Query::Kind::kFilter:
+      return query.filter == nullptr || PredCacheable(*query.filter);
+    case Query::Kind::kPath:
+      for (const PathStep& step : query.steps) {
+        if (step.predicate != nullptr && !PredCacheable(*step.predicate)) {
+          return false;
+        }
+      }
+      return true;
+    case Query::Kind::kUnion:
+    case Query::Kind::kIntersect:
+    case Query::Kind::kExcept:
+      for (const auto& arm : query.arms) {
+        if (!IsCacheable(*arm)) return false;
+      }
+      return true;
+    case Query::Kind::kJoin:
+      return IsCacheable(*query.join->left) && IsCacheable(*query.join->right);
+  }
+  return false;
+}
+
+std::optional<QueryResult> QueryCache::Lookup(const std::string& normalized,
+                                              uint64_t epoch) {
+  if (!options_.enabled) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(normalized);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second->epoch != epoch) {
+    // The dataspace changed since this entry was computed: logically
+    // invalidated by the epoch advance; drop it now.
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.stale_drops;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch
+  ++stats_.hits;
+  return it->second->result;
+}
+
+void QueryCache::Insert(const std::string& normalized, uint64_t epoch,
+                        const QueryResult& result) {
+  if (!options_.enabled) return;
+  size_t bytes = ResultBytes(normalized, result);
+  if (bytes > options_.max_bytes) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(normalized);
+  if (it != index_.end()) {
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{normalized, epoch, bytes, result});
+  index_[normalized] = lru_.begin();
+  bytes_ += bytes;
+  EvictLocked();
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.entries = lru_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+size_t QueryCache::ResultBytes(const std::string& key,
+                               const QueryResult& result) {
+  size_t bytes = sizeof(Entry) + key.size() + result.plan.size();
+  for (const std::string& column : result.columns) bytes += column.size() + 8;
+  for (const auto& row : result.rows) {
+    bytes += sizeof(row) + row.size() * sizeof(index::DocId);
+  }
+  bytes += result.scores.size() * sizeof(double);
+  return bytes;
+}
+
+void QueryCache::EvictLocked() {
+  while (bytes_ > options_.max_bytes && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace idm::iql

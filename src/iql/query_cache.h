@@ -1,0 +1,97 @@
+// Version-epoch query result cache (DESIGN.md §8).
+//
+// Entries are keyed on the *normalized* query text (the parser round-trip:
+// ToString(ParseQuery(q)), so whitespace/escape variants share one entry)
+// and stamped with the VersionLog epoch they were computed at. Any catalog
+// mutation appends to the VersionLog and thereby advances the epoch, which
+// logically invalidates every cached entry at once — exact consistency
+// with zero invalidation scanning. Stale entries are dropped lazily on
+// lookup or by LRU eviction under the byte budget.
+//
+// Queries whose answer depends on the clock rather than the catalog
+// (yesterday()/now() literals) must bypass the cache: IsCacheable().
+
+#ifndef IDM_IQL_QUERY_CACHE_H_
+#define IDM_IQL_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "iql/ast.h"
+#include "iql/query_processor.h"
+
+namespace idm::iql {
+
+/// True when \p query's result is a pure function of the dataspace state —
+/// i.e. it contains no yesterday()/now() literal whose value changes with
+/// the clock alone (no epoch bump).
+bool IsCacheable(const Query& query);
+
+/// Thread-safe LRU cache of QueryResults keyed on (normalized text, epoch).
+class QueryCache {
+ public:
+  struct Options {
+    bool enabled = true;
+    size_t max_bytes = 8U << 20;  ///< LRU byte budget over cached results
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;       ///< includes epoch-stale lookups
+    uint64_t stale_drops = 0;  ///< entries invalidated by an epoch advance
+    uint64_t evictions = 0;    ///< entries evicted by the byte budget
+    size_t entries = 0;
+    size_t bytes = 0;
+    double hit_rate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  QueryCache() = default;
+  explicit QueryCache(Options options) : options_(options) {}
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Returns the cached result for \p normalized computed at \p epoch, or
+  /// nullopt. An entry stored at an older epoch is dropped (stale) and
+  /// reported as a miss.
+  std::optional<QueryResult> Lookup(const std::string& normalized,
+                                    uint64_t epoch);
+
+  /// Stores \p result for \p normalized at \p epoch and evicts LRU entries
+  /// beyond the byte budget. Results larger than the whole budget are not
+  /// cached. No-op when disabled.
+  void Insert(const std::string& normalized, uint64_t epoch,
+              const QueryResult& result);
+
+  Stats stats() const;
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    uint64_t epoch = 0;
+    size_t bytes = 0;
+    QueryResult result;
+  };
+  using LruList = std::list<Entry>;
+
+  static size_t ResultBytes(const std::string& key, const QueryResult& result);
+  void EvictLocked();  // requires mu_
+
+  Options options_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_QUERY_CACHE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <chrono>
 #include <map>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -48,17 +49,39 @@ std::vector<DocId> Difference(const std::vector<DocId>& a,
   return out;
 }
 
+/// Live-id cache shared between an evaluation and the parallel child
+/// evaluations it spawns: computed at most once per query, safely from any
+/// thread.
+struct LiveCache {
+  std::once_flag once;
+  std::vector<DocId> ids;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 
 class QueryProcessor::Evaluation {
  public:
-  Evaluation(const QueryProcessor& processor)
+  /// Root evaluation of one query.
+  explicit Evaluation(const QueryProcessor& processor)
       : module_(*processor.module_),
         classes_(*processor.classes_),
         clock_(processor.clock_),
-        options_(processor.options_) {}
+        options_(processor.options_),
+        pool_(processor.pool_.get()),
+        live_(&own_live_) {}
+
+  /// Child evaluation for a parallel sub-query: shares the parent's pool
+  /// and live-id cache but accumulates its own statistics, which the
+  /// parent merges back in input order after the fan-out completes.
+  explicit Evaluation(const Evaluation& parent)
+      : module_(parent.module_),
+        classes_(parent.classes_),
+        clock_(parent.clock_),
+        options_(parent.options_),
+        pool_(parent.pool_),
+        live_(parent.live_) {}
 
   Result<QueryResult> Run(const Query& query) {
     QueryResult result;
@@ -79,28 +102,7 @@ class QueryProcessor::Evaluation {
       case Query::Kind::kUnion:
       case Query::Kind::kIntersect:
       case Query::Kind::kExcept: {
-        std::vector<DocId> acc;
-        bool first = true;
-        for (const auto& arm : query.arms) {
-          IDM_ASSIGN_OR_RETURN(QueryResult sub, Run(*arm));
-          if (sub.columns.size() != 1) {
-            return Status::Unimplemented("set operators over join results");
-          }
-          std::vector<DocId> ids;
-          ids.reserve(sub.rows.size());
-          for (const auto& row : sub.rows) ids.push_back(row[0]);
-          std::sort(ids.begin(), ids.end());
-          if (first) {
-            acc = std::move(ids);
-            first = false;
-          } else if (query.kind == Query::Kind::kUnion) {
-            acc = UnionSets(acc, ids);
-          } else if (query.kind == Query::Kind::kIntersect) {
-            acc = Intersect(acc, ids);
-          } else {
-            acc = Difference(acc, ids);
-          }
-        }
+        IDM_ASSIGN_OR_RETURN(std::vector<DocId> acc, EvalSetOp(query));
         Unary(&result, std::move(acc));
         break;
       }
@@ -119,6 +121,32 @@ class QueryProcessor::Evaluation {
   }
 
  private:
+  /// True when this evaluation may fan work out. Nested fan-outs from
+  /// worker threads degrade to inline execution inside ThreadPool::RunAll,
+  /// so checking the pool here is sufficient.
+  bool Parallel() const { return pool_ != nullptr && pool_->size() > 0; }
+
+  /// Fan-out width for chunked scans: workers plus the contributing caller.
+  size_t FanWays() const { return Parallel() ? pool_->size() + 1 : 1; }
+
+  /// Splits an element-wise scan over [0, n) into pool-sized chunks,
+  /// applies \p fn : (begin, end) -> vector<DocId> to each, and
+  /// concatenates the chunk outputs in chunk order — the exact output of
+  /// one serial `fn(0, n)` pass whenever fn is element-wise.
+  template <typename Fn>
+  std::vector<DocId> ChunkedConcat(size_t n, Fn fn) {
+    auto ranges = util::ChunkRanges(n, FanWays(), options_.min_parallel_chunk);
+    if (!Parallel() || ranges.size() <= 1) return fn(0, n);
+    auto parts = util::OrderedParallelMap<std::vector<DocId>>(
+        pool_, ranges.size(),
+        [&](size_t i) { return fn(ranges[i].first, ranges[i].second); });
+    std::vector<DocId> out;
+    for (auto& part : parts) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  }
+
   /// Collects the phrases of a predicate tree; sets *rankable to false when
   /// a non-keyword leaf (comparison, class, name) participates.
   static void CollectPhrases(const PredNode& pred,
@@ -184,8 +212,16 @@ class QueryProcessor::Evaluation {
   }
 
   const std::vector<DocId>& AllLive() {
-    if (all_live_.empty()) all_live_ = module_.catalog().LiveIds();
-    return all_live_;
+    std::call_once(live_->once,
+                   [this] { live_->ids = module_.catalog().LiveIds(); });
+    return live_->ids;
+  }
+
+  /// Merges a completed child evaluation's statistics (in fan-out input
+  /// order, so the totals match the serial accumulation).
+  void Absorb(Evaluation& child) {
+    expanded_ += child.expanded_;
+    rules_.insert(child.rules_.begin(), child.rules_.end());
   }
 
   /// R2: ids whose name matches the (possibly wildcarded) pattern.
@@ -196,13 +232,16 @@ class QueryProcessor::Evaluation {
       return module_.names().LookupPattern(pattern);
     }
     // Ablation: full scan with per-view wildcard matching.
-    std::vector<DocId> out;
-    for (DocId id : AllLive()) {
-      if (WildcardMatch(pattern, module_.names().NameOf(id))) {
-        out.push_back(id);
+    const std::vector<DocId>& live = AllLive();
+    return ChunkedConcat(live.size(), [&](size_t begin, size_t end) {
+      std::vector<DocId> out;
+      for (size_t i = begin; i < end; ++i) {
+        if (WildcardMatch(pattern, module_.names().NameOf(live[i]))) {
+          out.push_back(live[i]);
+        }
       }
-    }
-    return out;
+      return out;
+    });
   }
 
   core::Value ResolveLiteral(const PredNode& pred) const {
@@ -224,6 +263,32 @@ class QueryProcessor::Evaluation {
     return classes_.IsSubclassOf(cls, wanted);
   }
 
+  /// Evaluates the children of an and/or node against \p universe, in
+  /// parallel child evaluations, returning per-child id sets in child
+  /// order (and the children themselves for stat absorption).
+  ///
+  /// Correctness of evaluating an and-child against the *incoming*
+  /// universe instead of the narrowed accumulator: every predicate is
+  /// intersective — EvalPred(p, X) == X ∩ EvalPred(p, U) for X ⊆ U (leaves
+  /// intersect with their universe; and/or/not preserve the property) — so
+  /// folding Intersect(acc, EvalPred(child, universe)) in child order
+  /// reproduces the serial narrowing exactly.
+  struct ChildEval {
+    Result<std::vector<DocId>> ids;
+    std::unique_ptr<Evaluation> eval;
+  };
+  std::vector<ChildEval> EvalChildrenParallel(
+      const std::vector<std::unique_ptr<PredNode>>& children,
+      const std::vector<DocId>& universe) {
+    return util::OrderedParallelMap<ChildEval>(
+        pool_, children.size(), [&](size_t i) {
+          auto eval = std::make_unique<Evaluation>(*this);
+          Result<std::vector<DocId>> ids =
+              eval->EvalPred(*children[i], universe);
+          return ChildEval{std::move(ids), std::move(eval)};
+        });
+  }
+
   Result<std::vector<DocId>> EvalPred(const PredNode& pred,
                                       const std::vector<DocId>& universe) {
     switch (pred.kind) {
@@ -236,18 +301,35 @@ class QueryProcessor::Evaluation {
                                                ResolveLiteral(pred)),
                          universe);
       case PredNode::Kind::kClassEq: {
-        std::vector<DocId> out;
-        for (DocId id : universe) {
-          const index::CatalogEntry* entry = module_.catalog().Entry(id);
-          if (entry != nullptr && ClassMatches(entry->class_name, pred.text)) {
-            out.push_back(id);
+        return ChunkedConcat(universe.size(), [&](size_t begin, size_t end) {
+          std::vector<DocId> out;
+          for (size_t i = begin; i < end; ++i) {
+            DocId id = universe[i];
+            const index::CatalogEntry* entry = module_.catalog().Entry(id);
+            if (entry != nullptr && ClassMatches(entry->class_name, pred.text)) {
+              out.push_back(id);
+            }
           }
-        }
-        return out;
+          return out;
+        });
       }
       case PredNode::Kind::kNameEq:
         return Intersect(NameMatches(pred.text), universe);
       case PredNode::Kind::kAnd: {
+        if (Parallel() && pred.children.size() > 1) {
+          std::vector<ChildEval> outs =
+              EvalChildrenParallel(pred.children, universe);
+          std::vector<DocId> acc = universe;
+          for (size_t i = 0; i < outs.size(); ++i) {
+            // Serial short-circuit: child i runs only while the
+            // accumulator is non-empty.
+            if (i > 0 && acc.empty()) break;
+            if (!outs[i].ids.ok()) return outs[i].ids.status();
+            Absorb(*outs[i].eval);
+            acc = Intersect(acc, *outs[i].ids);
+          }
+          return acc;
+        }
         std::vector<DocId> acc = universe;
         for (const auto& child : pred.children) {
           IDM_ASSIGN_OR_RETURN(acc, EvalPred(*child, acc));
@@ -256,6 +338,17 @@ class QueryProcessor::Evaluation {
         return acc;
       }
       case PredNode::Kind::kOr: {
+        if (Parallel() && pred.children.size() > 1) {
+          std::vector<ChildEval> outs =
+              EvalChildrenParallel(pred.children, universe);
+          std::vector<DocId> acc;
+          for (auto& out : outs) {
+            if (!out.ids.ok()) return out.ids.status();
+            Absorb(*out.eval);
+            acc = UnionSets(acc, *out.ids);
+          }
+          return acc;
+        }
         std::vector<DocId> acc;
         for (const auto& child : pred.children) {
           IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids,
@@ -271,6 +364,57 @@ class QueryProcessor::Evaluation {
       }
     }
     return Status::Unimplemented("unknown predicate");
+  }
+
+  /// union/intersect/except over the arms, each arm optionally evaluated
+  /// in a parallel child evaluation; the fold runs in arm order either
+  /// way, so the result is identical to the serial loop.
+  Result<std::vector<DocId>> EvalSetOp(const Query& query) {
+    struct ArmEval {
+      Result<QueryResult> result;
+      std::unique_ptr<Evaluation> eval;  ///< null when run in place
+    };
+    std::vector<ArmEval> arms;
+    arms.reserve(query.arms.size());
+    if (Parallel() && query.arms.size() > 1) {
+      arms = util::OrderedParallelMap<ArmEval>(
+          pool_, query.arms.size(), [&](size_t i) {
+            auto eval = std::make_unique<Evaluation>(*this);
+            Result<QueryResult> sub = eval->Run(*query.arms[i]);
+            return ArmEval{std::move(sub), std::move(eval)};
+          });
+    } else {
+      for (const auto& arm : query.arms) {
+        arms.push_back(ArmEval{Run(*arm), nullptr});
+        if (!arms.back().result.ok()) break;  // serial early-out
+      }
+    }
+
+    std::vector<DocId> acc;
+    bool first = true;
+    for (ArmEval& arm : arms) {
+      if (!arm.result.ok()) return arm.result.status();
+      if (arm.eval != nullptr) Absorb(*arm.eval);
+      QueryResult& sub = *arm.result;
+      if (sub.columns.size() != 1) {
+        return Status::Unimplemented("set operators over join results");
+      }
+      std::vector<DocId> ids;
+      ids.reserve(sub.rows.size());
+      for (const auto& row : sub.rows) ids.push_back(row[0]);
+      std::sort(ids.begin(), ids.end());
+      if (first) {
+        acc = std::move(ids);
+        first = false;
+      } else if (query.kind == Query::Kind::kUnion) {
+        acc = UnionSets(acc, ids);
+      } else if (query.kind == Query::Kind::kIntersect) {
+        acc = Intersect(acc, ids);
+      } else {
+        acc = Difference(acc, ids);
+      }
+    }
+    return acc;
   }
 
   /// Direct children of the views that have no parents (the source roots).
@@ -315,13 +459,40 @@ class QueryProcessor::Evaluation {
         }
         if (backward) {
           rules_.insert("R6:backward-expansion");
+          // Per-candidate parent-BFS probes are independent; fan them out
+          // and keep per-chunk expansion counts (summed in chunk order).
           std::unordered_set<DocId> sources(frontier.begin(), frontier.end());
-          for (DocId id : name_set) {
-            if (module_.groups().ReachedFromAny(id, sources,
-                                                options_.max_expansion,
-                                                &expanded_)) {
-              matched.push_back(id);
+          auto ranges = util::ChunkRanges(name_set.size(), FanWays(),
+                                          options_.min_parallel_chunk);
+          struct ChunkOut {
+            std::vector<DocId> matched;
+            size_t expanded = 0;
+          };
+          auto probe = [&](size_t begin, size_t end) {
+            ChunkOut out;
+            for (size_t c = begin; c < end; ++c) {
+              if (module_.groups().ReachedFromAny(name_set[c], sources,
+                                                  options_.max_expansion,
+                                                  &out.expanded)) {
+                out.matched.push_back(name_set[c]);
+              }
             }
+            return out;
+          };
+          if (Parallel() && ranges.size() > 1) {
+            auto parts = util::OrderedParallelMap<ChunkOut>(
+                pool_, ranges.size(), [&](size_t c) {
+                  return probe(ranges[c].first, ranges[c].second);
+                });
+            for (ChunkOut& part : parts) {
+              matched.insert(matched.end(), part.matched.begin(),
+                             part.matched.end());
+              expanded_ += part.expanded;
+            }
+          } else {
+            ChunkOut all = probe(0, name_set.size());
+            matched = std::move(all.matched);
+            expanded_ += all.expanded;
           }
         } else {
           rules_.insert("R4:forward-expansion");
@@ -329,17 +500,25 @@ class QueryProcessor::Evaluation {
           std::unordered_set<DocId> descendants = module_.groups().Descendants(
               frontier, options_.max_expansion, &expanded);
           expanded_ += expanded;
-          for (DocId id : name_set) {
-            if (descendants.count(id) > 0) matched.push_back(id);
-          }
+          matched = ChunkedConcat(name_set.size(), [&](size_t b, size_t e) {
+            std::vector<DocId> out;
+            for (size_t c = b; c < e; ++c) {
+              if (descendants.count(name_set[c]) > 0) out.push_back(name_set[c]);
+            }
+            return out;
+          });
         }
       } else {
-        std::vector<DocId> children;
-        for (DocId id : frontier) {
-          const auto& ch = module_.groups().Children(id);
-          children.insert(children.end(), ch.begin(), ch.end());
-          ++expanded_;
-        }
+        std::vector<DocId> children =
+            ChunkedConcat(frontier.size(), [&](size_t b, size_t e) {
+              std::vector<DocId> out;
+              for (size_t c = b; c < e; ++c) {
+                const auto& ch = module_.groups().Children(frontier[c]);
+                out.insert(out.end(), ch.begin(), ch.end());
+              }
+              return out;
+            });
+        expanded_ += frontier.size();
         std::sort(children.begin(), children.end());
         children.erase(std::unique(children.begin(), children.end()),
                        children.end());
@@ -384,8 +563,25 @@ class QueryProcessor::Evaluation {
   }
 
   Status EvalJoin(const JoinSpec& join, QueryResult* result) {
-    IDM_ASSIGN_OR_RETURN(QueryResult left, Run(*join.left));
-    IDM_ASSIGN_OR_RETURN(QueryResult right, Run(*join.right));
+    QueryResult left, right;
+    if (Parallel()) {
+      // The two join inputs are independent sub-queries: evaluate them
+      // concurrently in child evaluations, then absorb left-before-right.
+      Evaluation left_eval(*this), right_eval(*this);
+      std::optional<Result<QueryResult>> left_res, right_res;
+      util::ThreadPool::RunAll(
+          pool_, {[&] { left_res.emplace(left_eval.Run(*join.left)); },
+                  [&] { right_res.emplace(right_eval.Run(*join.right)); }});
+      if (!left_res->ok()) return left_res->status();
+      if (!right_res->ok()) return right_res->status();
+      Absorb(left_eval);
+      Absorb(right_eval);
+      left = std::move(**left_res);
+      right = std::move(**right_res);
+    } else {
+      IDM_ASSIGN_OR_RETURN(left, Run(*join.left));
+      IDM_ASSIGN_OR_RETURN(right, Run(*join.right));
+    }
     if (left.columns.size() != 1 || right.columns.size() != 1) {
       return Status::Unimplemented("nested join inputs must be unary");
     }
@@ -405,20 +601,54 @@ class QueryProcessor::Evaluation {
                            JoinKey(row[0], build_ref));
       if (key.has_value()) table[*key].push_back(row[0]);
     }
-    for (const auto& row : probe.rows) {
-      IDM_ASSIGN_OR_RETURN(std::optional<std::string> key,
-                           JoinKey(row[0], probe_ref));
-      if (!key.has_value()) continue;
-      auto it = table.find(*key);
-      if (it == table.end()) continue;
-      for (DocId match : it->second) {
-        ++expanded_;
-        if (left_is_build) {
-          result->rows.push_back({match, row[0]});
-        } else {
-          result->rows.push_back({row[0], match});
+
+    // Probe chunks read the hash table concurrently (it is no longer
+    // mutated); match rows concatenate in probe order, as serially.
+    struct ProbeOut {
+      std::vector<std::vector<DocId>> rows;
+      size_t matches = 0;
+      Status error;
+    };
+    auto probe_chunk = [&](size_t begin, size_t end) {
+      ProbeOut out;
+      for (size_t r = begin; r < end; ++r) {
+        const auto& row = probe.rows[r];
+        Result<std::optional<std::string>> key = JoinKey(row[0], probe_ref);
+        if (!key.ok()) {
+          out.error = key.status();
+          return out;
+        }
+        if (!key->has_value()) continue;
+        auto it = table.find(**key);
+        if (it == table.end()) continue;
+        for (DocId match : it->second) {
+          ++out.matches;
+          if (left_is_build) {
+            out.rows.push_back({match, row[0]});
+          } else {
+            out.rows.push_back({row[0], match});
+          }
         }
       }
+      return out;
+    };
+    auto ranges = util::ChunkRanges(probe.rows.size(), FanWays(),
+                                    options_.min_parallel_chunk);
+    std::vector<ProbeOut> parts;
+    if (Parallel() && ranges.size() > 1) {
+      parts = util::OrderedParallelMap<ProbeOut>(
+          pool_, ranges.size(), [&](size_t c) {
+            return probe_chunk(ranges[c].first, ranges[c].second);
+          });
+    } else if (!probe.rows.empty()) {
+      parts.push_back(probe_chunk(0, probe.rows.size()));
+    }
+    for (ProbeOut& part : parts) {
+      if (!part.error.ok()) return part.error;
+      expanded_ += part.matches;
+      result->rows.insert(result->rows.end(),
+                          std::make_move_iterator(part.rows.begin()),
+                          std::make_move_iterator(part.rows.end()));
     }
     std::sort(result->rows.begin(), result->rows.end());
     // Sub-runs already accumulated their expansion work into expanded_.
@@ -429,7 +659,9 @@ class QueryProcessor::Evaluation {
   const core::ClassRegistry& classes_;
   Clock* clock_;
   Options options_;
-  std::vector<DocId> all_live_;
+  util::ThreadPool* pool_;
+  LiveCache* live_;
+  LiveCache own_live_;
   size_t expanded_ = 0;
   std::set<std::string> rules_;
 };
@@ -439,7 +671,13 @@ class QueryProcessor::Evaluation {
 QueryProcessor::QueryProcessor(const rvm::ReplicaIndexesModule* module,
                                const core::ClassRegistry* classes,
                                Clock* clock, Options options)
-    : module_(module), classes_(classes), clock_(clock), options_(options) {}
+    : module_(module), classes_(classes), clock_(clock), options_(options) {
+  if (options_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.threads);
+  }
+}
+
+QueryProcessor::~QueryProcessor() = default;
 
 Result<QueryResult> QueryProcessor::Execute(const std::string& iql) const {
   IDM_ASSIGN_OR_RETURN(Query query, ParseQuery(iql));

@@ -19,10 +19,20 @@
 //       each candidate with early exit on hitting the frontier. This is
 //       the paper's proposed remedy ("backward or bidirectional
 //       expansion") for Q8-style blowup, implemented.
+//
+// Parallel execution (DESIGN.md §8): with Options::threads > 1 the
+// processor owns a fixed util::ThreadPool and fans independent work out
+// across it — set-operator arms, or/and-children, join inputs, the probe
+// side of hash joins, class-conformance filters, and per-candidate
+// backward expansion. Every fan-out merges by *input order* (ordered
+// merge), so rows, columns, scores, and expanded_views are identical to a
+// serial run; only diagnostics (elapsed time, and in rare short-circuit
+// corners the rule annotation inside `plan`) may differ.
 
 #ifndef IDM_IQL_QUERY_PROCESSOR_H_
 #define IDM_IQL_QUERY_PROCESSOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +40,7 @@
 #include "iql/ast.h"
 #include "rvm/rvm.h"
 #include "util/clock.h"
+#include "util/thread_pool.h"
 
 namespace idm::iql {
 
@@ -67,6 +78,14 @@ class QueryProcessor {
     bool use_name_index = true;
     /// Descendant-step strategy (ablation A3.3 compares these).
     Expansion expansion = Expansion::kAuto;
+    /// Evaluation threads. 1 (the default) keeps evaluation strictly
+    /// serial — no pool is created. N > 1 spawns a pool of N workers that
+    /// leaf scans and sub-queries fan out across; results are merged in
+    /// input order and match the serial run view-for-view.
+    size_t threads = 1;
+    /// Minimum items per chunk before an element-wise scan is split
+    /// across the pool (fan-out overhead guard).
+    size_t min_parallel_chunk = 256;
   };
 
   /// All pointers must outlive the processor. \p clock provides now() /
@@ -77,12 +96,15 @@ class QueryProcessor {
   QueryProcessor(const rvm::ReplicaIndexesModule* module,
                  const core::ClassRegistry* classes, Clock* clock,
                  Options options);
+  ~QueryProcessor();
 
   /// Parses, plans and evaluates \p iql.
   Result<QueryResult> Execute(const std::string& iql) const;
 
   /// Evaluates an already parsed query.
   Result<QueryResult> Evaluate(const Query& query) const;
+
+  const Options& options() const { return options_; }
 
  private:
   class Evaluation;
@@ -91,6 +113,7 @@ class QueryProcessor {
   const core::ClassRegistry* classes_;
   Clock* clock_;
   Options options_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads <= 1
 };
 
 }  // namespace idm::iql

@@ -173,6 +173,12 @@ class ReplicaIndexesModule {
   /// remove of a view logically creates a new version of the dataspace.
   const index::VersionLog& versions() const { return versions_; }
 
+  /// The cache-invalidation epoch: the current dataspace version. Every
+  /// mutation path — initial indexing, sync rounds, notifications, subtree
+  /// removal — appends to the version log and thereby advances this, so a
+  /// result cached at epoch E is exact for as long as epoch() == E.
+  index::Version epoch() const { return versions_.current(); }
+
   /// Current per-structure sizes (paper Table 3).
   IndexSizes Sizes() const;
 

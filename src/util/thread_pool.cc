@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace idm::util {
+
+namespace {
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::OnWorkerThread() { return t_on_worker; }
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::RunAll(ThreadPool* pool,
+                        std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (pool == nullptr || pool->size() == 0 || OnWorkerThread() ||
+      tasks.size() == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size() - 1);
+  for (size_t i = 1; i < tasks.size(); ++i) {
+    futures.push_back(pool->Submit(std::move(tasks[i])));
+  }
+  // The caller contributes the first task instead of idling on futures.
+  std::exception_ptr first_error;
+  try {
+    tasks[0]();
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<std::pair<size_t, size_t>> ChunkRanges(size_t n, size_t ways,
+                                                   size_t min_chunk) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  if (n == 0) return ranges;
+  if (ways < 1) ways = 1;
+  if (min_chunk < 1) min_chunk = 1;
+  size_t chunks = std::min(ways, std::max<size_t>(1, n / min_chunk));
+  size_t base = n / chunks, extra = n % chunks;
+  size_t begin = 0;
+  for (size_t i = 0; i < chunks; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    ranges.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return ranges;
+}
+
+}  // namespace idm::util

@@ -1,0 +1,223 @@
+// Differential test for parallel iQL execution (DESIGN.md §8).
+//
+// Contract under test: for every query, the processor with
+// Options::threads = N (N in {2, 4, 8}) produces *exactly* the result of
+// the serial processor (threads = 1) — columns, rows (order included),
+// scores, and expanded_views. The ordered-merge design makes this hold by
+// construction; this suite checks it empirically over the Table 4 analog
+// queries and a workload mix covering every operator that fans out
+// (and/or/not predicates, set operators, descendant expansion in both
+// directions, joins, class filters).
+//
+// `plan` and `elapsed_micros` are diagnostics and deliberately excluded
+// (see query_processor.h).
+//
+// The same fixture also differentials cache-on vs cache-off at the
+// Dataspace level: a cached replay must equal a fresh evaluation.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iql/dataspace.h"
+#include "iql/query_processor.h"
+#include "workload/generator.h"
+
+namespace idm::iql {
+namespace {
+
+// The Table 4 analog queries (same strings as bench/harness.cc) plus a
+// workload mix that reaches the remaining parallel sites.
+const std::vector<std::string>& AllQueries() {
+  static const std::vector<std::string> kQueries = {
+      // --- Table 4 analogs --------------------------------------------------
+      "\"database\"",
+      "\"database tuning\"",
+      "[size > 420000 and lastmodified < @12.06.2005]",
+      "//papers//*Vision/*[\"Franklin\"]",
+      "//VLDB200?//?onclusion*/*[\"systems\"]",
+      "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])",
+      "join( //VLDB2006//*[class=\"texref\"] as A, "
+      "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+      "A.name=B.tuple.label)",
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, A.name = B.name )",
+      // --- workload mix -----------------------------------------------------
+      "\"systems\"",                                  // ranked keyword
+      "\"indexing time\"",                            // ranked phrase
+      "//papers",                                     // plain path
+      "//papers//*.tex",                              // descendant + wildcard
+      "//*[class=\"latex_section\"]",                 // class filter over all
+      "//*[class=\"emailmessage\"]",                  // class filter (email)
+      "[size > 1000]",                                // tuple-index seed (R3)
+      "[size > 1000 and size < 40000]",               // and of attribute preds
+      "//*[name=\"*.tex\" and not \"Franklin\"]",     // and + not
+      "//*[\"database\" or \"systems\"]",             // or of keywords
+      "//*[\"database\" and \"tuning\" and \"systems\"]",  // 3-way and
+      "intersect(\"database\", \"systems\")",         // set op: intersect
+      "except(\"database\", \"tuning\")",             // set op: except
+      "union(//papers//*.tex, //VLDB2006//*.tex)",    // set op: union of paths
+      "intersect(//papers//*, union(\"database\", \"systems\"))",  // nested
+      "//VLDB2006//*[class=\"environment\"]",         // descendant + class
+      "//INBOX//*",                                   // email folder walk
+  };
+  return kQueries;
+}
+
+class ParallelDifferentialTest : public ::testing::Test {
+ protected:
+  // Building the Small dataspace takes a moment; share one instance across
+  // all tests in the suite (read-only after setup).
+  static void SetUpTestSuite() {
+    ds_ = new Dataspace();
+    workload::BuiltDataspace built =
+        workload::Generate(workload::DataspaceSpec::Small(), ds_->clock());
+    built_ = new workload::BuiltDataspace(std::move(built));
+    ASSERT_TRUE(ds_->AddFileSystem("Filesystem", built_->fs).ok());
+    ASSERT_TRUE(ds_->AddImap("Email / IMAP", built_->imap).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete built_;
+    built_ = nullptr;
+    delete ds_;
+    ds_ = nullptr;
+  }
+
+  static std::unique_ptr<QueryProcessor> MakeProcessor(size_t threads) {
+    QueryProcessor::Options options;
+    options.threads = threads;
+    // Force chunked scans onto the pool even at Small scale; the default
+    // 256-item floor would leave most leaves serial.
+    options.min_parallel_chunk = threads > 1 ? 8 : 256;
+    return std::make_unique<QueryProcessor>(&ds_->module(), &ds_->classes(),
+                                            ds_->clock(), options);
+  }
+
+  static void ExpectSameResult(const QueryResult& serial,
+                               const QueryResult& parallel,
+                               const std::string& query, size_t threads) {
+    SCOPED_TRACE("query=" + query + " threads=" + std::to_string(threads));
+    EXPECT_EQ(serial.columns, parallel.columns);
+    EXPECT_EQ(serial.rows, parallel.rows);  // order included
+    EXPECT_EQ(serial.scores, parallel.scores);
+    EXPECT_EQ(serial.expanded_views, parallel.expanded_views);
+  }
+
+  static Dataspace* ds_;
+  static workload::BuiltDataspace* built_;
+};
+
+Dataspace* ParallelDifferentialTest::ds_ = nullptr;
+workload::BuiltDataspace* ParallelDifferentialTest::built_ = nullptr;
+
+TEST_F(ParallelDifferentialTest, ThreadsProduceIdenticalResults) {
+  std::unique_ptr<QueryProcessor> serial = MakeProcessor(1);
+  for (size_t threads : {2u, 4u, 8u}) {
+    std::unique_ptr<QueryProcessor> parallel = MakeProcessor(threads);
+    for (const std::string& query : AllQueries()) {
+      auto expect = serial->Execute(query);
+      auto got = parallel->Execute(query);
+      ASSERT_EQ(expect.ok(), got.ok()) << query << " threads=" << threads
+                                       << (expect.ok()
+                                               ? got.status().ToString()
+                                               : expect.status().ToString());
+      if (!expect.ok()) continue;
+      ExpectSameResult(*expect, *got, query, threads);
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, ErrorsMatchSerial) {
+  // Failing queries must fail identically in parallel mode (the and/or
+  // folds propagate the first error by child index, like serial).
+  const std::vector<std::string> kBad = {
+      "//papers//*[badattr ~ 3]",  // parse error
+      "union(//a)",                // arity error
+      "except(\"a\")",             // arity error
+  };
+  std::unique_ptr<QueryProcessor> serial = MakeProcessor(1);
+  std::unique_ptr<QueryProcessor> parallel = MakeProcessor(4);
+  for (const std::string& query : kBad) {
+    auto expect = serial->Execute(query);
+    auto got = parallel->Execute(query);
+    EXPECT_EQ(expect.ok(), got.ok()) << query;
+    if (!expect.ok() && !got.ok()) {
+      EXPECT_EQ(expect.status().code(), got.status().code()) << query;
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, RepeatedRunsAreDeterministic) {
+  // Scheduling noise must not leak into results: the same parallel
+  // processor re-running the same query returns byte-identical rows.
+  std::unique_ptr<QueryProcessor> parallel = MakeProcessor(4);
+  for (const std::string& query :
+       {std::string("\"database\""),
+        std::string("join ( //*[class = \"emailmessage\"]//*.tex as A, "
+                    "//papers//*.tex as B, A.name = B.name )"),
+        std::string("//papers//*Vision/*[\"Franklin\"]")}) {
+    auto first = parallel->Execute(query);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    for (int rep = 0; rep < 3; ++rep) {
+      auto again = parallel->Execute(query);
+      ASSERT_TRUE(again.ok());
+      ExpectSameResult(*first, *again, query, 4);
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, ExpansionStrategiesStayDifferentialToo) {
+  // Forward and backward expansion are distinct parallel sites; pin each
+  // and check parallel == serial under the same strategy.
+  for (QueryProcessor::Expansion expansion :
+       {QueryProcessor::Expansion::kForward,
+        QueryProcessor::Expansion::kBackward}) {
+    QueryProcessor::Options serial_opts;
+    serial_opts.expansion = expansion;
+    QueryProcessor serial(&ds_->module(), &ds_->classes(), ds_->clock(),
+                          serial_opts);
+    QueryProcessor::Options par_opts = serial_opts;
+    par_opts.threads = 4;
+    par_opts.min_parallel_chunk = 8;
+    QueryProcessor parallel(&ds_->module(), &ds_->classes(), ds_->clock(),
+                            par_opts);
+    for (const std::string& query :
+         {std::string("//papers//*.tex"), std::string("//VLDB2006//*"),
+          std::string("//papers//*Vision/*[\"Franklin\"]")}) {
+      auto expect = serial.Execute(query);
+      auto got = parallel.Execute(query);
+      ASSERT_TRUE(expect.ok()) << expect.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ExpectSameResult(*expect, *got, query, 4);
+    }
+  }
+}
+
+TEST_F(ParallelDifferentialTest, CacheOnMatchesCacheOff) {
+  // Dataspace-level differential: cached replays must equal fresh
+  // evaluations. ds_ has the cache enabled (default); a second Query of
+  // the same text is a hit (elapsed_micros == 0) with identical payload.
+  for (const std::string& query : AllQueries()) {
+    auto fresh = ds_->Query(query);
+    ASSERT_TRUE(fresh.ok()) << query << ": " << fresh.status().ToString();
+    auto replay = ds_->Query(query);
+    ASSERT_TRUE(replay.ok()) << query;
+    ExpectSameResult(*fresh, *replay, query, /*threads=*/1);
+  }
+  EXPECT_GT(ds_->cache_stats().hits, 0u);
+
+  // And against a cache-off dataspace view: clear, re-ask, compare.
+  ds_->ClearQueryCache();
+  for (const std::string& query : AllQueries()) {
+    auto uncached = ds_->processor().Execute(query);
+    auto cached = ds_->Query(query);
+    ASSERT_TRUE(uncached.ok() && cached.ok()) << query;
+    ExpectSameResult(*uncached, *cached, query, /*threads=*/1);
+  }
+}
+
+}  // namespace
+}  // namespace idm::iql

@@ -3,6 +3,8 @@
 // value or a Status. Structured generators additionally verify round-trip
 // invariants.
 
+#include <cctype>
+
 #include <gtest/gtest.h>
 
 #include "email/message.h"
@@ -99,6 +101,74 @@ TEST_P(FuzzSeeds, IqlParserNeverCrashes) {
       ASSERT_TRUE(again.ok()) << iql::ToString(*result);
       EXPECT_EQ(iql::ToString(*result), iql::ToString(*again));
     }
+  }
+}
+
+// The query cache keys on normalized text, ToString(ParseQuery(q)) — so
+// normalization must be stable under cosmetic variation or equal queries
+// would occupy distinct cache entries (correct but wasteful) and replays
+// would miss. Two properties:
+//   - fixpoint: ToString o ParseQuery is idempotent (checked above too);
+//   - whitespace-insensitivity: injecting random spaces/tabs/newlines
+//     around structural characters *outside quoted strings* never changes
+//     the normalized form.
+TEST_P(FuzzSeeds, IqlNormalizationSurvivesWhitespaceVariants) {
+  Rng rng(GetParam());
+  static const char* kQueries[] = {
+      "\"database tuning\"",
+      "[size > 420000 and lastmodified < @12.06.2005]",
+      "//papers//*Vision/*[\"Franklin\"]",
+      "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])",
+      "join( //A//*[class=\"texref\"] as A, //B//figure* as B, "
+      "A.name=B.tuple.label)",
+      "intersect(//d//*[\"alpha\"], except(\"common\", \"gamma\"))",
+      "//*[name=\"*.tex\" and not \"Franklin\"]",
+      "[lastmodified > yesterday()]",
+  };
+  static const char kWs[] = " \t\n";
+  for (const char* query : kQueries) {
+    auto base = iql::ParseQuery(query);
+    ASSERT_TRUE(base.ok()) << query;
+    const std::string normalized = iql::ToString(*base);
+    for (int variant = 0; variant < 40; ++variant) {
+      // Rebuild the query, sprinkling whitespace around structural tokens
+      // outside quoted strings (inside quotes it would change the literal).
+      // Multi-char tokens (// <= >= !=) are kept atomic, as are the chars
+      // that extend adjacent tokens (names, wildcards, dates, numbers).
+      const std::string text(query);
+      std::string mutated;
+      bool in_quotes = false;
+      for (size_t i = 0; i < text.size(); ++i) {
+        std::string tok(1, text[i]);
+        if (!in_quotes && i + 1 < text.size()) {
+          char c = text[i], d = text[i + 1];
+          if ((c == '/' && d == '/') ||
+              (d == '=' && (c == '<' || c == '>' || c == '!'))) {
+            tok += d;
+            ++i;
+          }
+        }
+        if (tok[0] == '"') in_quotes = !in_quotes;
+        const bool structural =
+            !in_quotes && tok != "\"" &&
+            !std::isalnum(static_cast<unsigned char>(tok[0])) &&
+            tok[0] != '.' && tok[0] != '?' && tok[0] != '*' && tok[0] != '@';
+        if (structural && rng.Chance(0.4)) {
+          mutated += kWs[rng.Uniform(3)];
+          mutated += tok;
+          if (rng.Chance(0.4)) mutated += kWs[rng.Uniform(3)];
+        } else {
+          mutated += tok;
+        }
+      }
+      auto reparsed = iql::ParseQuery(mutated);
+      ASSERT_TRUE(reparsed.ok()) << mutated;
+      EXPECT_EQ(iql::ToString(*reparsed), normalized) << mutated;
+    }
+    // Fixpoint: normalizing the normalized form is the identity.
+    auto again = iql::ParseQuery(normalized);
+    ASSERT_TRUE(again.ok()) << normalized;
+    EXPECT_EQ(iql::ToString(*again), normalized);
   }
 }
 

@@ -1,0 +1,205 @@
+// Property test for the version-epoch query cache (DESIGN.md §8).
+//
+// Model: randomized interleavings of mutations (file writes/deletes applied
+// through the sync manager — each advances the VersionLog epoch) and query
+// executions are replayed against a recompute-always oracle (a direct,
+// uncached QueryProcessor::Execute over the same module). Invariants:
+//
+//   1. Dataspace::Query always equals the oracle, hit or miss.
+//   2. A cache hit is never served across an epoch bump: after any
+//      mutation, the next execution of a previously cached query is a miss
+//      (stale entry dropped), not a hit.
+//   3. Epoch-stable replays of a cacheable query are hits.
+//   4. Clock-dependent queries (yesterday()/now()) never populate the
+//      cache.
+//
+// Everything is deterministic given the seed (parameterized like the other
+// property suites).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iql/dataspace.h"
+#include "iql/query_cache.h"
+#include "iql/parser.h"
+#include "util/rng.h"
+
+namespace idm::iql {
+namespace {
+
+class QueryCacheModelTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    ds_ = std::make_unique<Dataspace>();
+    fs_ = std::make_shared<vfs::VirtualFileSystem>(ds_->clock());
+    ASSERT_TRUE(fs_->CreateFolder("/work").ok());
+    ASSERT_TRUE(fs_->WriteFile("/work/a.txt", "alpha database notes").ok());
+    ASSERT_TRUE(fs_->WriteFile("/work/b.txt", "beta systems notes").ok());
+    ASSERT_TRUE(fs_->WriteFile("/work/c.tex",
+                               "\\section{Gamma}database systems text")
+                    .ok());
+    ASSERT_TRUE(ds_->AddFileSystem("Filesystem", fs_).ok());
+  }
+
+  uint64_t Epoch() const { return ds_->module().versions().current(); }
+
+  // Oracle: a fresh, uncached evaluation over the live module state.
+  Result<QueryResult> Oracle(const std::string& iql) const {
+    return ds_->processor().Execute(iql);
+  }
+
+  // One mutation step: write or delete a file, then apply the queued
+  // notification so the indexes (and the version log) pick it up.
+  void Mutate(Rng* rng, size_t step) {
+    const std::string path = "/work/gen" + std::to_string(rng->Uniform(6)) +
+                             ".txt";
+    if (fs_->Exists(path) && rng->Chance(0.4)) {
+      ASSERT_TRUE(fs_->Remove(path).ok());
+    } else {
+      ASSERT_TRUE(
+          fs_->WriteFile(path, "generated database step " +
+                                   std::to_string(step) + " word" +
+                                   std::to_string(rng->Uniform(16)))
+              .ok());
+    }
+    ASSERT_TRUE(ds_->sync().ProcessNotifications().ok());
+  }
+
+  std::unique_ptr<Dataspace> ds_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+};
+
+TEST_P(QueryCacheModelTest, RandomInterleavingsMatchRecomputeOracle) {
+  Rng rng(GetParam());
+  const std::vector<std::string> kQueries = {
+      "\"database\"",
+      "\"systems\"",
+      "//work//*.txt",
+      "//work//*[\"database\"]",
+      "[size > 10]",
+      "union(\"alpha\", \"beta\")",
+  };
+  uint64_t epoch_before = Epoch();
+  for (size_t step = 0; step < 60; ++step) {
+    if (rng.Chance(0.3)) {
+      Mutate(&rng, step);
+      EXPECT_GT(Epoch(), epoch_before) << "mutation must advance the epoch";
+      epoch_before = Epoch();
+      continue;
+    }
+    const std::string& query = kQueries[rng.Uniform(kQueries.size())];
+    QueryCache::Stats before = ds_->cache_stats();
+    auto got = ds_->Query(query);
+    auto expect = Oracle(query);
+    ASSERT_TRUE(got.ok()) << query << ": " << got.status().ToString();
+    ASSERT_TRUE(expect.ok()) << query;
+    // Invariant 1: cached path == recompute oracle, always.
+    EXPECT_EQ(expect->columns, got->columns) << query;
+    EXPECT_EQ(expect->rows, got->rows) << query;
+    EXPECT_EQ(expect->scores, got->scores) << query;
+    EXPECT_EQ(expect->expanded_views, got->expanded_views) << query;
+    // A hit reports zero evaluation time (the marker the bench uses).
+    QueryCache::Stats after = ds_->cache_stats();
+    if (after.hits > before.hits) {
+      EXPECT_EQ(got->elapsed_micros, 0u) << query;
+    }
+  }
+}
+
+TEST_P(QueryCacheModelTest, HitNeverServedAcrossEpochBump) {
+  Rng rng(GetParam() ^ 0xDEADBEEFULL);
+  const std::string query = "\"database\"";
+  for (int round = 0; round < 20; ++round) {
+    // Populate (miss or hit, either way the entry is current afterwards).
+    ASSERT_TRUE(ds_->Query(query).ok());
+    QueryCache::Stats warm = ds_->cache_stats();
+    // Replay at the same epoch: must be a hit.
+    ASSERT_TRUE(ds_->Query(query).ok());
+    QueryCache::Stats replay = ds_->cache_stats();
+    EXPECT_EQ(replay.hits, warm.hits + 1) << "epoch-stable replay must hit";
+
+    // Bump the epoch, then re-ask: must NOT be a hit (stale drop + miss).
+    uint64_t before = Epoch();
+    Mutate(&rng, static_cast<size_t>(round));
+    ASSERT_GT(Epoch(), before);
+    QueryCache::Stats pre = ds_->cache_stats();
+    auto got = ds_->Query(query);
+    ASSERT_TRUE(got.ok());
+    QueryCache::Stats post = ds_->cache_stats();
+    EXPECT_EQ(post.hits, pre.hits) << "stale entry served across epoch bump";
+    EXPECT_EQ(post.misses, pre.misses + 1);
+    EXPECT_EQ(post.stale_drops, pre.stale_drops + 1);
+    // And the recomputed result matches the oracle over the mutated state.
+    auto expect = Oracle(query);
+    ASSERT_TRUE(expect.ok());
+    EXPECT_EQ(expect->rows, got->rows);
+  }
+}
+
+TEST_P(QueryCacheModelTest, NormalizedVariantsShareOneEntry) {
+  // Cache keys are normalized query text: whitespace variants of the same
+  // query must hit the same entry.
+  const std::string canonical = "union( //work//*.txt , \"database\" )";
+  const std::string variant = "union(//work//*.txt,\"database\")";
+  ASSERT_TRUE(ds_->Query(canonical).ok());
+  QueryCache::Stats before = ds_->cache_stats();
+  ASSERT_TRUE(ds_->Query(variant).ok());
+  QueryCache::Stats after = ds_->cache_stats();
+  EXPECT_EQ(after.hits, before.hits + 1)
+      << "whitespace variant missed the normalized entry";
+  EXPECT_EQ(after.entries, before.entries);
+}
+
+TEST_P(QueryCacheModelTest, ClockDependentQueriesBypassTheCache) {
+  const std::string query = "[lastmodified > yesterday()]";
+  auto parsed = ParseQuery(query);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(IsCacheable(*parsed));
+  QueryCache::Stats before = ds_->cache_stats();
+  ASSERT_TRUE(ds_->Query(query).ok());
+  ASSERT_TRUE(ds_->Query(query).ok());
+  QueryCache::Stats after = ds_->cache_stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.entries, before.entries);
+  // now() advances with the clock; it must bypass too.
+  auto parsed_now = ParseQuery("[lastmodified < now()]");
+  ASSERT_TRUE(parsed_now.ok());
+  EXPECT_FALSE(IsCacheable(*parsed_now));
+}
+
+TEST_P(QueryCacheModelTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // A tiny cache under churn must keep serving correct results while
+  // counting evictions.
+  Dataspace::Config config;
+  config.cache.max_bytes = 2048;
+  Dataspace small(config);
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(small.clock());
+  ASSERT_TRUE(fs->CreateFolder("/d").ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/d/f" + std::to_string(i) + ".txt",
+                              "word" + std::to_string(i) + " database")
+                    .ok());
+  }
+  ASSERT_TRUE(small.AddFileSystem("Filesystem", fs).ok());
+  Rng rng(GetParam() + 99);
+  for (int step = 0; step < 80; ++step) {
+    const std::string query =
+        "//d//*[\"word" + std::to_string(rng.Uniform(8)) + "\"]";
+    auto got = small.Query(query);
+    auto expect = small.processor().Execute(query);
+    ASSERT_TRUE(got.ok() && expect.ok());
+    EXPECT_EQ(expect->rows, got->rows) << query;
+  }
+  QueryCache::Stats stats = small.cache_stats();
+  EXPECT_GT(stats.evictions, 0u) << "2 KB budget never evicted";
+  EXPECT_LE(stats.bytes, 2048u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryCacheModelTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace idm::iql
