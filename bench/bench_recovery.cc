@@ -1,0 +1,202 @@
+// Durable storage engine benchmark (DESIGN.md §9): what does durability
+// cost, and what does it buy back at restart?
+//
+//   1. index the paper-scale dataspace with the WAL enabled,
+//   2. cold-restart from the WAL alone (replay rate in mutations/s),
+//   3. write a checkpoint (write time + image size),
+//   4. churn some post-checkpoint syncs,
+//   5. cold-restart from checkpoint + WAL suffix,
+//   6. rebuild the same dataspace from scratch (full re-sync baseline).
+//
+// The headline number is cold_restart_speedup: recovering the indexes from
+// disk versus re-walking and re-converting every source. Results print as
+// a table and land in BENCH_storage.json for machines to read.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "storage/env.h"
+
+using namespace idm;
+using namespace idm::bench;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct MetricRow {
+  std::string metric;
+  double value;
+  const char* unit;
+};
+
+bool WriteStorageJson(const std::string& path,
+                      const std::vector<MetricRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"storage_recovery\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"metric\": \"%s\", \"value\": %.6f, \"unit\": "
+                 "\"%s\"}%s\n",
+                 rows[i].metric.c_str(), rows[i].value, rows[i].unit,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s (%zu rows)\n", path.c_str(),
+               rows.size());
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  storage::MemEnv env;  // hermetic: measures CPU cost, not platter latency
+  iql::Dataspace::Config config;
+  config.storage_dir = "benchdb";
+  config.env = &env;
+
+  // --- 1. index with the WAL enabled --------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  Pipeline pipeline = BuildPipeline(workload::DataspaceSpec::PaperScale(),
+                                    config);
+  iql::Dataspace& ds = *pipeline.ds;
+  double index_seconds = SecondsSince(t0) - pipeline.generate_seconds;
+  storage::StorageEngine::Stats wal_stats = ds.storage_engine()->stats();
+  size_t live_views = ds.module().catalog().live_count();
+
+  // --- 2. cold restart from the WAL alone ---------------------------------
+  t0 = std::chrono::steady_clock::now();
+  auto wal_restart = iql::Dataspace::Open(config);
+  double wal_replay_seconds = SecondsSince(t0);
+  if (!wal_restart.ok()) {
+    std::fprintf(stderr, "FATAL: WAL-only restart: %s\n",
+                 wal_restart.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t replayed = (*wal_restart)->recovery_stats().replayed_mutations;
+  double replay_rate = replayed / wal_replay_seconds;
+  wal_restart->reset();  // release before the checkpoint changes the files
+
+  // --- 3. checkpoint -------------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  Status ckpt = ds.Checkpoint();
+  double checkpoint_seconds = SecondsSince(t0);
+  if (!ckpt.ok()) {
+    std::fprintf(stderr, "FATAL: checkpoint: %s\n", ckpt.ToString().c_str());
+    return 1;
+  }
+  uint64_t checkpoint_bytes = 0;
+  for (uint64_t gen = 1; gen <= ds.storage_engine()->generation(); ++gen) {
+    auto image = env.ReadFile("benchdb/checkpoint-" + std::to_string(gen) +
+                              ".ckpt");
+    if (image.ok()) checkpoint_bytes = image->size();
+  }
+
+  // --- 4. post-checkpoint churn --------------------------------------------
+  if (!pipeline.built.fs->CreateFolder("/churn").ok()) {
+    std::fprintf(stderr, "FATAL: churn folder\n");
+    return 1;
+  }
+  for (int i = 0; i < 50; ++i) {
+    std::string path = "/churn/note-" + std::to_string(i) + ".txt";
+    Status status = pipeline.built.fs->WriteFile(
+        path, "post checkpoint churn entry " + std::to_string(i));
+    if (!status.ok()) {
+      std::fprintf(stderr, "FATAL: churn write: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto churn = ds.sync().ProcessNotifications();
+  if (!churn.ok() || !ds.SyncStorage().ok()) {
+    std::fprintf(stderr, "FATAL: churn sync failed\n");
+    return 1;
+  }
+
+  // --- 5. cold restart from checkpoint + WAL suffix ------------------------
+  t0 = std::chrono::steady_clock::now();
+  auto cold = iql::Dataspace::Open(config);
+  double cold_restart_seconds = SecondsSince(t0);
+  if (!cold.ok()) {
+    std::fprintf(stderr, "FATAL: cold restart: %s\n",
+                 cold.status().ToString().c_str());
+    return 1;
+  }
+  const storage::RecoveryStats& cold_stats = (*cold)->recovery_stats();
+  size_t cold_views = (*cold)->module().catalog().live_count();
+
+  // --- 6. full re-sync baseline: rebuild everything from the sources -------
+  t0 = std::chrono::steady_clock::now();
+  iql::Dataspace fresh;  // in-memory: the re-sync cost alone, no WAL
+  auto fs_stats = fresh.AddFileSystem("Filesystem", pipeline.built.fs);
+  auto mail_stats = fresh.AddImap("Email / IMAP", pipeline.built.imap);
+  double resync_seconds = SecondsSince(t0);
+  if (!fs_stats.ok() || !mail_stats.ok()) {
+    std::fprintf(stderr, "FATAL: full re-sync failed\n");
+    return 1;
+  }
+  size_t resync_views = fresh.module().catalog().live_count();
+  double speedup = resync_seconds / cold_restart_seconds;
+
+  // --- report ---------------------------------------------------------------
+  std::printf("\nDurable storage: recovery economics (paper-scale dataspace, "
+              "%zu views)\n", live_views);
+  Rule(74);
+  std::printf("  %-44s %12.3f s\n", "index everything (WAL on)", index_seconds);
+  std::printf("  %-44s %12llu\n", "WAL commits",
+              static_cast<unsigned long long>(wal_stats.commits));
+  std::printf("  %-44s %12llu\n", "WAL mutations",
+              static_cast<unsigned long long>(wal_stats.mutations_logged));
+  std::printf("  %-44s %12s\n", "WAL size", Mb(wal_stats.wal_bytes).c_str());
+  Rule(74);
+  std::printf("  %-44s %12.3f s\n", "restart, WAL replay only",
+              wal_replay_seconds);
+  std::printf("  %-44s %12.0f mut/s\n", "WAL replay rate", replay_rate);
+  std::printf("  %-44s %12.3f s\n", "checkpoint write", checkpoint_seconds);
+  std::printf("  %-44s %12s\n", "checkpoint image", Mb(checkpoint_bytes).c_str());
+  Rule(74);
+  std::printf("  %-44s %12.3f s  (%llu suffix mutations)\n",
+              "cold restart (checkpoint + suffix)", cold_restart_seconds,
+              static_cast<unsigned long long>(cold_stats.replayed_mutations));
+  std::printf("  %-44s %12.3f s\n", "full re-sync from sources",
+              resync_seconds);
+  std::printf("  %-44s %11.1fx\n", "cold-restart speedup", speedup);
+  Rule(74);
+  if (cold_views != resync_views) {
+    // The churn files are in both paths; any divergence is a recovery bug.
+    std::printf("  WARNING: recovered %zu views but re-sync built %zu\n",
+                cold_views, resync_views);
+  } else {
+    std::printf("  recovered state matches re-sync: %zu views\n", cold_views);
+  }
+
+  WriteStorageJson(
+      "BENCH_storage.json",
+      {{"index_with_wal_seconds", index_seconds, "s"},
+       {"wal_commits", static_cast<double>(wal_stats.commits), "count"},
+       {"wal_mutations", static_cast<double>(wal_stats.mutations_logged),
+        "count"},
+       {"wal_bytes", static_cast<double>(wal_stats.wal_bytes), "bytes"},
+       {"wal_replay_seconds", wal_replay_seconds, "s"},
+       {"wal_replay_mutations_per_sec", replay_rate, "mut/s"},
+       {"checkpoint_write_seconds", checkpoint_seconds, "s"},
+       {"checkpoint_bytes", static_cast<double>(checkpoint_bytes), "bytes"},
+       {"cold_restart_seconds", cold_restart_seconds, "s"},
+       {"cold_restart_suffix_mutations",
+        static_cast<double>(cold_stats.replayed_mutations), "count"},
+       {"full_resync_seconds", resync_seconds, "s"},
+       {"cold_restart_speedup", speedup, "x"},
+       {"views_match", cold_views == resync_views ? 1.0 : 0.0, "bool"}});
+  return cold_views == resync_views ? 0 : 1;
+}

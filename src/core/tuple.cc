@@ -1,5 +1,6 @@
 #include "core/tuple.h"
 
+#include "util/codec.h"
 #include "util/string_util.h"
 
 namespace idm::core {
@@ -70,6 +71,45 @@ size_t TupleComponent::MemoryUsage() const {
   size_t total = schema_.MemoryUsage() + values_.capacity() * sizeof(Value);
   for (const auto& v : values_) total += v.MemoryUsage() - sizeof(Value);
   return total;
+}
+
+void TupleComponent::SerializeTo(std::string* out) const {
+  codec::PutU64(out, schema_.size());
+  for (const Attribute& attr : schema_.attributes()) {
+    codec::PutString(out, attr.name);
+    out->push_back(static_cast<char>(attr.domain));
+  }
+  codec::PutU64(out, values_.size());
+  for (const Value& value : values_) value.SerializeTo(out);
+}
+
+bool TupleComponent::DeserializeFrom(std::string_view in, size_t* pos,
+                                     TupleComponent* out) {
+  uint64_t n_attrs = 0;
+  if (!codec::GetU64(in, pos, &n_attrs)) return false;
+  if (n_attrs > in.size() - *pos) return false;  // each attribute is >= 1 byte
+  std::vector<Attribute> attrs;
+  attrs.reserve(n_attrs);
+  for (uint64_t i = 0; i < n_attrs; ++i) {
+    Attribute attr;
+    if (!codec::GetString(in, pos, &attr.name)) return false;
+    if (*pos >= in.size()) return false;
+    attr.domain = static_cast<Domain>(static_cast<unsigned char>(in[(*pos)++]));
+    if (attr.domain > Domain::kDate) return false;
+    attrs.push_back(std::move(attr));
+  }
+  uint64_t n_values = 0;
+  if (!codec::GetU64(in, pos, &n_values)) return false;
+  if (n_values > in.size() - *pos) return false;
+  std::vector<Value> values;
+  values.reserve(n_values);
+  for (uint64_t i = 0; i < n_values; ++i) {
+    Value value;
+    if (!Value::DeserializeFrom(in, pos, &value)) return false;
+    values.push_back(std::move(value));
+  }
+  *out = MakeUnchecked(Schema(std::move(attrs)), std::move(values));
+  return true;
 }
 
 }  // namespace idm::core

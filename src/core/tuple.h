@@ -88,6 +88,13 @@ class TupleComponent {
 
   size_t MemoryUsage() const;
 
+  /// Binary serialization of (W, T), used by the tuple-index snapshot and
+  /// the storage WAL. DeserializeFrom advances \p pos and returns false on
+  /// truncated or malformed input.
+  void SerializeTo(std::string* out) const;
+  static bool DeserializeFrom(std::string_view in, size_t* pos,
+                              TupleComponent* out);
+
  private:
   Schema schema_;
   std::vector<Value> values_;

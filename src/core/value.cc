@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/codec.h"
+
 namespace idm::core {
 
 const char* DomainToString(Domain d) {
@@ -64,6 +66,58 @@ size_t Value::MemoryUsage() const {
   size_t base = sizeof(Value);
   if (domain() == Domain::kString) base += AsString().capacity();
   return base;
+}
+
+void Value::SerializeTo(std::string* out) const {
+  out->push_back(static_cast<char>(domain()));
+  switch (domain()) {
+    case Domain::kNull: break;
+    case Domain::kInt: codec::PutI64(out, AsInt()); break;
+    case Domain::kDouble: codec::PutDouble(out, AsDouble()); break;
+    case Domain::kString: codec::PutString(out, AsString()); break;
+    case Domain::kBool: out->push_back(AsBool() ? 1 : 0); break;
+    case Domain::kDate: codec::PutI64(out, AsDate()); break;
+  }
+}
+
+bool Value::DeserializeFrom(std::string_view in, size_t* pos, Value* out) {
+  if (*pos >= in.size()) return false;
+  auto domain = static_cast<Domain>(static_cast<unsigned char>(in[(*pos)++]));
+  switch (domain) {
+    case Domain::kNull:
+      *out = Value::Null();
+      return true;
+    case Domain::kInt: {
+      int64_t v = 0;
+      if (!codec::GetI64(in, pos, &v)) return false;
+      *out = Value::Int(v);
+      return true;
+    }
+    case Domain::kDouble: {
+      double v = 0;
+      if (!codec::GetDouble(in, pos, &v)) return false;
+      *out = Value::Double(v);
+      return true;
+    }
+    case Domain::kString: {
+      std::string v;
+      if (!codec::GetString(in, pos, &v)) return false;
+      *out = Value::String(std::move(v));
+      return true;
+    }
+    case Domain::kBool: {
+      if (*pos >= in.size()) return false;
+      *out = Value::Bool(in[(*pos)++] != 0);
+      return true;
+    }
+    case Domain::kDate: {
+      int64_t v = 0;
+      if (!codec::GetI64(in, pos, &v)) return false;
+      *out = Value::Date(v);
+      return true;
+    }
+  }
+  return false;  // unknown domain tag
 }
 
 }  // namespace idm::core

@@ -80,6 +80,12 @@ class Value {
   /// Approximate heap + inline footprint in bytes, for index accounting.
   size_t MemoryUsage() const;
 
+  /// Binary serialization (domain tag + payload), used by the tuple-index
+  /// snapshot and the storage WAL. Deserialize advances \p pos and returns
+  /// false on truncated or malformed input.
+  void SerializeTo(std::string* out) const;
+  static bool DeserializeFrom(std::string_view in, size_t* pos, Value* out);
+
  private:
   struct DateRepr {
     Micros micros;

@@ -2,39 +2,25 @@
 
 #include <cstring>
 
+#include "util/codec.h"
+
 namespace idm::index {
 
 namespace {
 
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
-}
-
-bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
-  if (*pos + 8 > in.size()) return false;
-  *v = 0;
-  for (int i = 0; i < 8; ++i) {
-    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i])) << (i * 8);
-  }
-  *pos += 8;
-  return true;
-}
-
-void PutString(std::string* out, const std::string& s) {
-  PutU64(out, s.size());
-  out->append(s);
-}
-
-bool GetString(const std::string& in, size_t* pos, std::string* s) {
-  uint64_t len = 0;
-  if (!GetU64(in, pos, &len)) return false;
-  if (*pos + len > in.size()) return false;
-  s->assign(in, *pos, len);
-  *pos += len;
-  return true;
-}
+using codec::GetString;
+using codec::GetU32;
+using codec::GetU64;
+using codec::PutString;
+using codec::PutU32;
+using codec::PutU64;
 
 constexpr uint64_t kMagic = 0x69444D3143415431ULL;  // "iDM1CAT1"
+// Format history: v1 had no version field (the magic was followed directly
+// by the source table) and its reader accepted images whose length fields
+// overflowed `pos + len`. v2 adds this explicit version header; the codec
+// readers are overflow-safe.
+constexpr uint32_t kCatalogFormatVersion = 2;
 
 }  // namespace
 
@@ -126,6 +112,7 @@ size_t Catalog::MemoryUsage() const {
 std::string Catalog::Serialize() const {
   std::string out;
   PutU64(&out, kMagic);
+  PutU32(&out, kCatalogFormatVersion);
   PutU64(&out, sources_.size());
   for (const std::string& s : sources_) PutString(&out, s);
   PutU64(&out, entries_.size());
@@ -144,6 +131,14 @@ Result<Catalog> Catalog::Deserialize(const std::string& data) {
   if (!GetU64(data, &pos, &magic) || magic != kMagic) {
     return Status::ParseError("not a serialized catalog");
   }
+  uint32_t version = 0;
+  if (!GetU32(data, &pos, &version)) {
+    return Status::ParseError("truncated catalog header");
+  }
+  if (version != kCatalogFormatVersion) {
+    return Status::ParseError("unsupported catalog format version " +
+                              std::to_string(version));
+  }
   Catalog catalog;
   uint64_t n_sources = 0;
   if (!GetU64(data, &pos, &n_sources)) return Status::ParseError("truncated");
@@ -161,6 +156,12 @@ Result<Catalog> Catalog::Deserialize(const std::string& data) {
         !GetString(data, &pos, &entry.class_name) ||
         !GetU64(data, &pos, &source) || !GetU64(data, &pos, &flags)) {
       return Status::ParseError("truncated entry");
+    }
+    if (source >= catalog.sources_.size()) {
+      return Status::ParseError("entry references unknown source id");
+    }
+    if ((flags & ~3ULL) != 0) {
+      return Status::ParseError("entry carries unknown flags");
     }
     entry.source = static_cast<uint32_t>(source);
     entry.derived = (flags & 1) != 0;

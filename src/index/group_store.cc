@@ -4,6 +4,8 @@
 #include <deque>
 #include <functional>
 
+#include "util/codec.h"
+
 namespace idm::index {
 
 void GroupStore::SetChildren(DocId parent, std::vector<DocId> children) {
@@ -125,6 +127,68 @@ bool GroupStore::ReachedFromAny(DocId start,
   }
   if (expanded != nullptr) *expanded += touched;
   return false;
+}
+
+namespace {
+constexpr uint64_t kGroupMagic = 0x69444D3147525031ULL;  // "iDM1GRP1"
+constexpr uint32_t kGroupFormatVersion = 1;
+}  // namespace
+
+std::string GroupStore::Serialize() const {
+  std::string out;
+  codec::PutU64(&out, kGroupMagic);
+  codec::PutU32(&out, kGroupFormatVersion);
+  std::vector<DocId> parents;
+  parents.reserve(children_.size());
+  for (const auto& [id, ch] : children_) parents.push_back(id);
+  std::sort(parents.begin(), parents.end());
+  codec::PutU64(&out, parents.size());
+  for (DocId parent : parents) {
+    const std::vector<DocId>& ch = children_.at(parent);
+    codec::PutU64(&out, parent);
+    codec::PutU64(&out, ch.size());
+    for (DocId child : ch) codec::PutU64(&out, child);
+  }
+  return out;
+}
+
+Result<GroupStore> GroupStore::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!codec::GetU64(data, &pos, &magic) || magic != kGroupMagic) {
+    return Status::ParseError("not a serialized group store");
+  }
+  if (!codec::GetU32(data, &pos, &version) || version != kGroupFormatVersion) {
+    return Status::ParseError("unsupported group store format version");
+  }
+  uint64_t count = 0;
+  if (!codec::GetU64(data, &pos, &count)) {
+    return Status::ParseError("truncated group store");
+  }
+  GroupStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t parent = 0, n_children = 0;
+    if (!codec::GetU64(data, &pos, &parent) ||
+        !codec::GetU64(data, &pos, &n_children)) {
+      return Status::ParseError("truncated group store entry");
+    }
+    if (n_children > (data.size() - pos) / 8) {
+      return Status::ParseError("truncated child list");
+    }
+    std::vector<DocId> children;
+    children.reserve(n_children);
+    for (uint64_t c = 0; c < n_children; ++c) {
+      uint64_t child = 0;
+      if (!codec::GetU64(data, &pos, &child)) {
+        return Status::ParseError("truncated child list");
+      }
+      children.push_back(child);
+    }
+    store.SetChildren(parent, std::move(children));
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return store;
 }
 
 size_t GroupStore::MemoryUsage() const {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"  // for DocId
+#include "util/result.h"
 
 namespace idm::index {
 
@@ -60,6 +61,11 @@ class GroupStore {
 
   /// Approximate footprint in bytes for Table 3 accounting.
   size_t MemoryUsage() const;
+
+  /// Deterministic binary image (parents sorted by id, child lists in
+  /// stored order) for checkpoints; Deserialize rebuilds the parent lists.
+  std::string Serialize() const;
+  static Result<GroupStore> Deserialize(const std::string& data);
 
  private:
   std::unordered_map<DocId, std::vector<DocId>> children_;

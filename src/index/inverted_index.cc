@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "index/analyzer.h"
+#include "util/codec.h"
 
 namespace idm::index {
 
@@ -261,6 +262,115 @@ std::vector<DocId> InvertedIndex::PhraseQuery(const std::string& phrase) const {
     if (matched) out.push_back(first.doc);
   }
   return out;
+}
+
+namespace {
+constexpr uint64_t kContentMagic = 0x69444D31434E5431ULL;  // "iDM1CNT1"
+constexpr uint32_t kContentFormatVersion = 1;
+}  // namespace
+
+std::string InvertedIndex::Serialize() const {
+  std::string out;
+  codec::PutU64(&out, kContentMagic);
+  codec::PutU32(&out, kContentFormatVersion);
+  codec::PutU64(&out, total_tokens_);
+  // Term dictionary + posting blobs, sorted by term text so the image is
+  // independent of hash-map iteration order. Term ids are preserved: the
+  // blobs do not reference them, but doc_terms_ does.
+  std::vector<const std::pair<const std::string, uint32_t>*> terms;
+  terms.reserve(term_ids_.size());
+  for (const auto& entry : term_ids_) terms.push_back(&entry);
+  std::sort(terms.begin(), terms.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  codec::PutU64(&out, terms.size());
+  for (const auto* entry : terms) {
+    const TermList& list = lists_[entry->second];
+    codec::PutString(&out, entry->first);
+    codec::PutU32(&out, entry->second);
+    codec::PutU32(&out, list.doc_count);
+    codec::PutU64(&out, list.last_doc);
+    codec::PutString(&out, list.blob);
+  }
+  std::vector<DocId> docs;
+  docs.reserve(doc_terms_.size());
+  for (const auto& [doc, term_list] : doc_terms_) docs.push_back(doc);
+  std::sort(docs.begin(), docs.end());
+  codec::PutU64(&out, docs.size());
+  for (DocId doc : docs) {
+    const std::vector<uint32_t>& term_list = doc_terms_.at(doc);
+    codec::PutU64(&out, doc);
+    codec::PutU64(&out, term_list.size());
+    for (uint32_t term : term_list) codec::PutU32(&out, term);
+  }
+  return out;
+}
+
+Result<InvertedIndex> InvertedIndex::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!codec::GetU64(data, &pos, &magic) || magic != kContentMagic) {
+    return Status::ParseError("not a serialized content index");
+  }
+  if (!codec::GetU32(data, &pos, &version) ||
+      version != kContentFormatVersion) {
+    return Status::ParseError("unsupported content index format version");
+  }
+  InvertedIndex index;
+  uint64_t n_terms = 0;
+  if (!codec::GetU64(data, &pos, &index.total_tokens_) ||
+      !codec::GetU64(data, &pos, &n_terms)) {
+    return Status::ParseError("truncated content index");
+  }
+  if (n_terms > (data.size() - pos) / 24) {
+    return Status::ParseError("truncated term table");
+  }
+  index.lists_.resize(n_terms);
+  std::vector<bool> seen(n_terms, false);
+  for (uint64_t i = 0; i < n_terms; ++i) {
+    std::string term;
+    uint32_t term_id = 0;
+    TermList list;
+    if (!codec::GetString(data, &pos, &term) ||
+        !codec::GetU32(data, &pos, &term_id) ||
+        !codec::GetU32(data, &pos, &list.doc_count) ||
+        !codec::GetU64(data, &pos, &list.last_doc) ||
+        !codec::GetString(data, &pos, &list.blob)) {
+      return Status::ParseError("truncated term entry");
+    }
+    if (term_id >= n_terms || seen[term_id]) {
+      return Status::ParseError("invalid term id");
+    }
+    seen[term_id] = true;
+    index.lists_[term_id] = std::move(list);
+    index.term_ids_.emplace(std::move(term), term_id);
+  }
+  uint64_t n_docs = 0;
+  if (!codec::GetU64(data, &pos, &n_docs)) {
+    return Status::ParseError("truncated doc table");
+  }
+  for (uint64_t i = 0; i < n_docs; ++i) {
+    uint64_t doc = 0, n = 0;
+    if (!codec::GetU64(data, &pos, &doc) || !codec::GetU64(data, &pos, &n)) {
+      return Status::ParseError("truncated doc entry");
+    }
+    if (n > (data.size() - pos) / 4) {
+      return Status::ParseError("truncated doc term list");
+    }
+    std::vector<uint32_t> term_list;
+    term_list.reserve(n);
+    for (uint64_t t = 0; t < n; ++t) {
+      uint32_t term = 0;
+      if (!codec::GetU32(data, &pos, &term)) {
+        return Status::ParseError("truncated doc term list");
+      }
+      if (term >= n_terms) return Status::ParseError("invalid doc term id");
+      term_list.push_back(term);
+    }
+    index.doc_terms_.emplace(doc, std::move(term_list));
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return index;
 }
 
 size_t InvertedIndex::MemoryUsage() const {

@@ -19,6 +19,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/result.h"
+
 namespace idm::index {
 
 /// Catalog-assigned view identifier (see catalog.h).
@@ -61,6 +63,11 @@ class InvertedIndex {
   /// Approximate memory footprint in bytes (posting blobs + dictionaries);
   /// used for the paper's Table 3 index-size accounting.
   size_t MemoryUsage() const;
+
+  /// Deterministic binary image (term dictionary sorted by term, posting
+  /// blobs verbatim, doc->terms map sorted by doc) for checkpoints.
+  std::string Serialize() const;
+  static Result<InvertedIndex> Deserialize(const std::string& data);
 
  private:
   struct TermList {

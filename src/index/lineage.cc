@@ -4,6 +4,8 @@
 #include <deque>
 #include <unordered_set>
 
+#include "util/codec.h"
+
 namespace idm::index {
 
 void LineageStore::Record(DocId derived, DocId origin,
@@ -80,6 +82,71 @@ std::vector<LineageEdge> LineageStore::ProvenanceChain(DocId id,
     }
   }
   return chain;
+}
+
+namespace {
+constexpr uint64_t kLineageMagic = 0x69444D314C494E31ULL;  // "iDM1LIN1"
+constexpr uint32_t kLineageFormatVersion = 1;
+}  // namespace
+
+std::string LineageStore::Serialize() const {
+  std::string out;
+  codec::PutU64(&out, kLineageMagic);
+  codec::PutU32(&out, kLineageFormatVersion);
+  std::vector<DocId> ids;
+  ids.reserve(origins_.size());
+  for (const auto& [id, edges] : origins_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  codec::PutU64(&out, ids.size());
+  for (DocId id : ids) {
+    const std::vector<LineageEdge>& edges = origins_.at(id);
+    codec::PutU64(&out, id);
+    codec::PutU64(&out, edges.size());
+    for (const LineageEdge& edge : edges) {
+      codec::PutU64(&out, edge.origin);
+      codec::PutString(&out, edge.transformation);
+    }
+  }
+  return out;
+}
+
+Result<LineageStore> LineageStore::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!codec::GetU64(data, &pos, &magic) || magic != kLineageMagic) {
+    return Status::ParseError("not a serialized lineage store");
+  }
+  if (!codec::GetU32(data, &pos, &version) ||
+      version != kLineageFormatVersion) {
+    return Status::ParseError("unsupported lineage format version");
+  }
+  uint64_t count = 0;
+  if (!codec::GetU64(data, &pos, &count)) {
+    return Status::ParseError("truncated lineage store");
+  }
+  LineageStore store;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t derived = 0, n_edges = 0;
+    if (!codec::GetU64(data, &pos, &derived) ||
+        !codec::GetU64(data, &pos, &n_edges)) {
+      return Status::ParseError("truncated lineage entry");
+    }
+    if (n_edges > (data.size() - pos) / 16) {
+      return Status::ParseError("truncated edge list");
+    }
+    for (uint64_t e = 0; e < n_edges; ++e) {
+      uint64_t origin = 0;
+      std::string transformation;
+      if (!codec::GetU64(data, &pos, &origin) ||
+          !codec::GetString(data, &pos, &transformation)) {
+        return Status::ParseError("truncated lineage edge");
+      }
+      store.Record(derived, origin, std::move(transformation));
+    }
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return store;
 }
 
 size_t LineageStore::MemoryUsage() const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"  // for DocId
+#include "util/result.h"
 
 namespace idm::index {
 
@@ -48,6 +49,11 @@ class LineageStore {
 
   size_t edge_count() const { return edges_; }
   size_t MemoryUsage() const;
+
+  /// Deterministic binary image (origin lists sorted by derived id) for
+  /// checkpoints; Deserialize replays Record, rebuilding derived_.
+  std::string Serialize() const;
+  static Result<LineageStore> Deserialize(const std::string& data);
 
  private:
   std::unordered_map<DocId, std::vector<LineageEdge>> origins_;

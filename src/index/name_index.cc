@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/codec.h"
 #include "util/string_util.h"
 
 namespace idm::index {
@@ -58,6 +59,55 @@ std::vector<DocId> NameIndex::LookupPattern(const std::string& pattern) const {
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+namespace {
+constexpr uint64_t kNameMagic = 0x69444D314E414D31ULL;  // "iDM1NAM1"
+constexpr uint32_t kNameFormatVersion = 1;
+}  // namespace
+
+std::string NameIndex::Serialize() const {
+  std::string out;
+  codec::PutU64(&out, kNameMagic);
+  codec::PutU32(&out, kNameFormatVersion);
+  std::vector<DocId> ids;
+  ids.reserve(names_.size());
+  for (const auto& [id, name] : names_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  codec::PutU64(&out, ids.size());
+  for (DocId id : ids) {
+    codec::PutU64(&out, id);
+    codec::PutString(&out, names_.at(id));
+  }
+  return out;
+}
+
+Result<NameIndex> NameIndex::Deserialize(const std::string& data) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!codec::GetU64(data, &pos, &magic) || magic != kNameMagic) {
+    return Status::ParseError("not a serialized name index");
+  }
+  if (!codec::GetU32(data, &pos, &version) || version != kNameFormatVersion) {
+    return Status::ParseError("unsupported name index format version");
+  }
+  uint64_t count = 0;
+  if (!codec::GetU64(data, &pos, &count)) {
+    return Status::ParseError("truncated name index");
+  }
+  NameIndex index;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    std::string name;
+    if (!codec::GetU64(data, &pos, &id) ||
+        !codec::GetString(data, &pos, &name)) {
+      return Status::ParseError("truncated name index entry");
+    }
+    index.Add(id, name);
+  }
+  if (pos != data.size()) return Status::ParseError("trailing bytes");
+  return index;
 }
 
 size_t NameIndex::MemoryUsage() const {

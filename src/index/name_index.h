@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"  // for DocId
+#include "util/result.h"
 
 namespace idm::index {
 
@@ -39,6 +40,11 @@ class NameIndex {
 
   /// Approximate footprint in bytes for Table 3 accounting.
   size_t MemoryUsage() const;
+
+  /// Deterministic binary image (entries sorted by id) for checkpoints;
+  /// Deserialize rebuilds the by-name index from the replica.
+  std::string Serialize() const;
+  static Result<NameIndex> Deserialize(const std::string& data);
 
  private:
   std::unordered_map<DocId, std::string> names_;          // replica

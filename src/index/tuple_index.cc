@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cctype>
 
+#include "util/codec.h"
+
 namespace idm::index {
 
 using core::TupleComponent;
@@ -113,6 +115,64 @@ std::vector<DocId> TupleIndex::Scan(const std::string& attribute, CompareOp op,
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+namespace {
+constexpr uint64_t kTupleMagic = 0x69444D3154555031ULL;  // "iDM1TUP1"
+constexpr uint32_t kTupleFormatVersion = 1;
+}  // namespace
+
+std::string TupleIndex::Serialize() const {
+  std::string out;
+  codec::PutU64(&out, kTupleMagic);
+  codec::PutU32(&out, kTupleFormatVersion);
+  std::vector<DocId> ids;
+  ids.reserve(replica_.size());
+  for (const auto& [id, tuple] : replica_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  codec::PutU64(&out, ids.size());
+  for (DocId id : ids) {
+    codec::PutU64(&out, id);
+    replica_.at(id).SerializeTo(&out);
+  }
+  return out;
+}
+
+Status TupleIndex::DeserializeInto(const std::string& data, TupleIndex* out) {
+  size_t pos = 0;
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  if (!codec::GetU64(data, &pos, &magic) || magic != kTupleMagic) {
+    return Status::ParseError("not a serialized tuple index");
+  }
+  if (!codec::GetU32(data, &pos, &version) || version != kTupleFormatVersion) {
+    return Status::ParseError("unsupported tuple index format version");
+  }
+  uint64_t count = 0;
+  if (!codec::GetU64(data, &pos, &count)) {
+    return Status::ParseError("truncated tuple index");
+  }
+  out->Clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    core::TupleComponent tuple;
+    if (!codec::GetU64(data, &pos, &id) ||
+        !core::TupleComponent::DeserializeFrom(data, &pos, &tuple)) {
+      out->Clear();
+      return Status::ParseError("truncated tuple index entry");
+    }
+    out->Add(id, tuple);
+  }
+  if (pos != data.size()) {
+    out->Clear();
+    return Status::ParseError("trailing bytes");
+  }
+  return Status::OK();
+}
+
+void TupleIndex::Clear() {
+  replica_.clear();
+  columns_.clear();
 }
 
 size_t TupleIndex::MemoryUsage() const {

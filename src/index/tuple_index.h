@@ -15,6 +15,7 @@
 
 #include "core/tuple.h"
 #include "index/inverted_index.h"  // for DocId
+#include "util/result.h"
 
 namespace idm::index {
 
@@ -53,6 +54,16 @@ class TupleIndex {
 
   /// Approximate footprint in bytes for Table 3 accounting.
   size_t MemoryUsage() const;
+
+  /// Deterministic binary image (replica sorted by id) for checkpoints;
+  /// DeserializeInto re-Adds every tuple into \p out (cleared first),
+  /// rebuilding the column indexes. Out-parameter form because the mutex
+  /// and atomic members make TupleIndex non-movable.
+  std::string Serialize() const;
+  static Status DeserializeInto(const std::string& data, TupleIndex* out);
+
+  /// Drops all tuples and columns.
+  void Clear();
 
  private:
   struct Column {

@@ -4,14 +4,20 @@
 #include <map>
 #include <set>
 
+#include "util/codec.h"
+
 namespace idm::index {
 
 Version VersionLog::Append(ChangeRecord::Op op, DocId id) {
+  return AppendAt(op, id, clock_ != nullptr ? clock_->NowMicros() : 0);
+}
+
+Version VersionLog::AppendAt(ChangeRecord::Op op, DocId id, Micros at) {
   ChangeRecord record;
   record.version = next_++;
   record.op = op;
   record.id = id;
-  record.at = clock_ != nullptr ? clock_->NowMicros() : 0;
+  record.at = at;
   log_.push_back(record);
   return record.version;
 }
@@ -73,30 +79,20 @@ VersionLog::Diff VersionLog::DiffBetween(Version from, Version to) const {
 
 namespace {
 
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
-  }
-}
-
-bool GetU64(const std::string& in, size_t* pos, uint64_t* v) {
-  if (*pos + 8 > in.size()) return false;
-  *v = 0;
-  for (int i = 0; i < 8; ++i) {
-    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
-          << (i * 8);
-  }
-  *pos += 8;
-  return true;
-}
+using codec::GetU32;
+using codec::GetU64;
+using codec::PutU32;
+using codec::PutU64;
 
 constexpr uint64_t kMagic = 0x69444D3156455231ULL;  // "iDM1VER1"
+constexpr uint32_t kVersionLogFormatVersion = 2;  // v2: explicit version field
 
 }  // namespace
 
 std::string VersionLog::Serialize() const {
   std::string out;
   PutU64(&out, kMagic);
+  PutU32(&out, kVersionLogFormatVersion);
   PutU64(&out, log_.size());
   for (const ChangeRecord& record : log_) {
     PutU64(&out, record.version);
@@ -114,6 +110,10 @@ Result<VersionLog> VersionLog::Deserialize(const std::string& data,
   if (!GetU64(data, &pos, &magic) || magic != kMagic) {
     return Status::ParseError("not a serialized version log");
   }
+  uint32_t format = 0;
+  if (!GetU32(data, &pos, &format) || format != kVersionLogFormatVersion) {
+    return Status::ParseError("unsupported version log format version");
+  }
   uint64_t count = 0;
   if (!GetU64(data, &pos, &count)) return Status::ParseError("truncated");
   VersionLog log(clock);
@@ -124,13 +124,19 @@ Result<VersionLog> VersionLog::Deserialize(const std::string& data,
       return Status::ParseError("truncated record");
     }
     if (op > 2) return Status::ParseError("invalid op");
+    if (version < log.next_) {
+      // Versions are assigned densely in log order; a regressing or
+      // duplicate version would silently break ChangesSince's binary
+      // search and the query-cache epoch invariant.
+      return Status::ParseError("version log is not strictly increasing");
+    }
     ChangeRecord record;
     record.version = version;
     record.op = static_cast<ChangeRecord::Op>(op);
     record.id = id;
     record.at = static_cast<Micros>(at);
     log.log_.push_back(record);
-    log.next_ = std::max(log.next_, version + 1);
+    log.next_ = version + 1;
   }
   if (pos != data.size()) return Status::ParseError("trailing bytes");
   return log;

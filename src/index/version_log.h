@@ -36,6 +36,11 @@ class VersionLog {
   /// Appends a change; returns the new dataspace version.
   Version Append(ChangeRecord::Op op, DocId id);
 
+  /// Appends a change with an explicit timestamp instead of reading the
+  /// clock — the WAL replay path uses this to reconstruct a byte-identical
+  /// log (same versions, same timestamps) after a crash.
+  Version AppendAt(ChangeRecord::Op op, DocId id, Micros at);
+
   /// The current dataspace version. Doubles as the query-cache epoch
   /// (DESIGN.md §8): results keyed on (query, current()) stay exact
   /// because every Append advances this — invalidation without scanning.

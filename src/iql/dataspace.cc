@@ -6,14 +6,64 @@
 namespace idm::iql {
 
 Dataspace::Dataspace(Config config)
-    : config_(config),
+    : config_(std::move(config)),
       classes_(core::ClassRegistry::Standard()),
-      cache_(config.cache) {
+      cache_(config_.cache) {
   module_.SetClock(&clock_);
   sync_ = std::make_unique<rvm::SynchronizationManager>(
       &module_, rvm::ConverterRegistry::Standard(), config_.indexing);
   processor_ = std::make_unique<QueryProcessor>(&module_, &classes_, &clock_,
                                                 config_.query);
+  if (!config_.storage_dir.empty()) {
+    storage_status_ = InitStorage();
+    if (!storage_status_.ok()) engine_.reset();
+  }
+}
+
+Result<std::unique_ptr<Dataspace>> Dataspace::Open(Config config) {
+  auto dataspace = std::make_unique<Dataspace>(std::move(config));
+  IDM_RETURN_NOT_OK(dataspace->storage_status());
+  return dataspace;
+}
+
+Status Dataspace::InitStorage() {
+  storage::Env* env =
+      config_.env != nullptr ? config_.env : storage::Env::Default();
+  IDM_ASSIGN_OR_RETURN(
+      storage::StorageEngine::Recovered recovered,
+      storage::StorageEngine::Open(env, config_.storage_dir, config_.storage,
+                                   &clock_));
+  if (recovered.snapshot.has_value()) {
+    IDM_RETURN_NOT_OK(module_.RestoreSnapshot(*recovered.snapshot)
+                          .WithContext("restoring checkpoint"));
+  }
+  // Replay runs with the engine still detached, so recovered mutations are
+  // applied but not re-logged.
+  IDM_RETURN_NOT_OK(
+      module_.ReplayMutations(recovered.mutations).WithContext("WAL replay"));
+  recovery_stats_ = recovered.stats;
+  engine_ = std::move(recovered.engine);
+  module_.AttachStorage(engine_.get());
+  return Status::OK();
+}
+
+Status Dataspace::Checkpoint() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("dataspace has no storage engine");
+  }
+  IDM_RETURN_NOT_OK(engine_->Commit());
+  return engine_->Checkpoint(module_.ExportSnapshot());
+}
+
+Status Dataspace::SyncStorage() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("dataspace has no storage engine");
+  }
+  return engine_->SyncNow();
+}
+
+void Dataspace::AttachSource(std::shared_ptr<rvm::DataSource> source) {
+  sync_->AttachSource(std::move(source));
 }
 
 Result<rvm::SourceIndexStats> Dataspace::AddFileSystem(
@@ -104,7 +154,9 @@ Result<Dataspace::UpdateResult> Dataspace::ExecuteUpdate(
       continue;
     }
     ++update.deleted;
-    update.views_removed += module_.RemoveSubtree(entry->uri).removed;
+    IDM_ASSIGN_OR_RETURN(rvm::SyncStats removed,
+                         module_.RemoveSubtree(entry->uri));
+    update.views_removed += removed.removed;
   }
   // Deleting through a source raises its own change notifications; the
   // removals are already applied above, so drain the queue.

@@ -17,6 +17,7 @@
 #include "iql/query_cache.h"
 #include "iql/query_processor.h"
 #include "rvm/rvm.h"
+#include "storage/engine.h"
 
 namespace idm::iql {
 
@@ -30,10 +31,44 @@ class Dataspace {
     /// mutation advances the epoch, so a hit is always exact; queries with
     /// yesterday()/now() literals bypass it (see IsCacheable).
     QueryCache::Options cache;
+    /// When non-empty, the dataspace is durable: a storage engine in this
+    /// directory write-ahead-logs every mutation, Checkpoint() snapshots
+    /// the structures, and construction recovers whatever the directory
+    /// holds. Empty (the default) keeps the classic in-memory dataspace —
+    /// no storage code runs at all.
+    std::string storage_dir;
+    storage::StorageOptions storage;
+    /// Storage environment; nullptr means the real file system. Tests pass
+    /// a MemEnv to run durability and crash scenarios hermetically.
+    storage::Env* env = nullptr;
   };
 
   Dataspace() : Dataspace(Config()) {}
   explicit Dataspace(Config config);
+
+  /// Constructs a dataspace and fails loudly when storage recovery fails
+  /// (the plain constructor records the failure in storage_status()).
+  static Result<std::unique_ptr<Dataspace>> Open(Config config);
+
+  /// OK for in-memory dataspaces and after successful recovery; the
+  /// recovery/open error otherwise (the dataspace then starts empty and
+  /// NON-durable rather than silently double-applying history).
+  const Status& storage_status() const { return storage_status_; }
+
+  /// What recovery found (all zeros for in-memory dataspaces).
+  const storage::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
+
+  storage::StorageEngine* storage_engine() { return engine_.get(); }
+
+  /// Commits any staged batch and writes a new checkpoint generation.
+  /// Fails with kFailedPrecondition when the dataspace is not durable.
+  Status Checkpoint();
+
+  /// Forces every committed batch to the platter (fsync), regardless of
+  /// the configured fsync policy.
+  Status SyncStorage();
 
   /// The simulated clock shared by all sources registered through this
   /// dataspace (timestamps, latency models, yesterday()).
@@ -50,6 +85,13 @@ class Dataspace {
   Result<rvm::SourceIndexStats> AddRelational(
       const std::string& name, std::shared_ptr<rel::RelationalDb> db);
   Result<rvm::SourceIndexStats> AddSource(std::shared_ptr<rvm::DataSource> source);
+
+  /// Re-attaches a source after a durable restart WITHOUT re-indexing it:
+  /// the recovered catalog and indexes already describe it, so only the
+  /// notification subscription is re-armed (drift is reconciled by the
+  /// next sync().Poll()). This is what makes cold restart cheap compared
+  /// to a full re-sync — bench_recovery measures exactly this gap.
+  void AttachSource(std::shared_ptr<rvm::DataSource> source);
 
   /// --- querying -----------------------------------------------------------
   /// Parses, normalizes and evaluates \p iql. Cacheable queries are served
@@ -92,6 +134,10 @@ class Dataspace {
   const QueryProcessor& processor() const { return *processor_; }
 
  private:
+  /// Opens the engine, restores the newest checkpoint, replays the WAL
+  /// suffix and attaches the engine to the module.
+  Status InitStorage();
+
   Config config_;
   SimClock clock_;
   core::ClassRegistry classes_;
@@ -99,6 +145,9 @@ class Dataspace {
   std::unique_ptr<rvm::SynchronizationManager> sync_;
   std::unique_ptr<QueryProcessor> processor_;
   mutable QueryCache cache_;  ///< internally synchronized
+  std::unique_ptr<storage::StorageEngine> engine_;
+  storage::RecoveryStats recovery_stats_;
+  Status storage_status_;
 };
 
 }  // namespace idm::iql

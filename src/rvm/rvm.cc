@@ -36,13 +36,267 @@ Derivation Classify(const std::string& uri) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Mutation routing. Each primitive either touches the structure directly
+// (no engine: the classic in-memory path) or builds a storage::Mutation,
+// stages it in the engine's WAL batch and applies it through the SAME
+// ApplyMutation used by recovery — live run and replay therefore execute
+// identical state transitions.
+
+storage::Structures ReplicaIndexesModule::Mutable() {
+  storage::Structures s;
+  s.catalog = &catalog_;
+  s.names = &name_index_;
+  s.tuples = &tuple_index_;
+  s.content = &content_index_;
+  s.groups = &group_store_;
+  s.lineage = &lineage_;
+  s.versions = &versions_;
+  return s;
+}
+
+Status ReplicaIndexesModule::CommitBatch() {
+  if (engine_ == nullptr) return Status::OK();
+  return engine_->Commit();
+}
+
+uint32_t ReplicaIndexesModule::MutInternSource(const std::string& name) {
+  if (engine_ == nullptr) return catalog_.InternSource(name);
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kInternSource;
+  m.s1 = name;
+  engine_->Log(m);
+  return static_cast<uint32_t>(storage::ApplyMutation(m, Mutable()).value());
+}
+
+DocId ReplicaIndexesModule::MutRegister(const std::string& uri,
+                                        const std::string& class_name,
+                                        uint32_t source, bool derived) {
+  if (engine_ == nullptr) {
+    return catalog_.Register(uri, class_name, source, derived);
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kRegister;
+  m.s1 = uri;
+  m.s2 = class_name;
+  m.a = source;
+  m.b = derived ? 1 : 0;
+  engine_->Log(m);
+  return storage::ApplyMutation(m, Mutable()).value();
+}
+
+void ReplicaIndexesModule::MutCatalogRemove(DocId id) {
+  if (engine_ == nullptr) {
+    catalog_.Remove(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kCatalogRemove;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutNameAdd(DocId id, const std::string& name) {
+  if (engine_ == nullptr) {
+    name_index_.Add(id, name);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kNameAdd;
+  m.a = id;
+  m.s1 = name;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutNameRemove(DocId id) {
+  if (engine_ == nullptr) {
+    name_index_.Remove(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kNameRemove;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutTupleAdd(DocId id,
+                                       const core::TupleComponent& tuple) {
+  if (engine_ == nullptr) {
+    tuple_index_.Add(id, tuple);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kTupleAdd;
+  m.a = id;
+  tuple.SerializeTo(&m.s1);
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutTupleRemove(DocId id) {
+  if (engine_ == nullptr) {
+    tuple_index_.Remove(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kTupleRemove;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutContentAdd(DocId id, const std::string& text) {
+  if (engine_ == nullptr) {
+    content_index_.AddDocument(id, text);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kContentAdd;
+  m.a = id;
+  m.s1 = text;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutContentRemove(DocId id) {
+  if (engine_ == nullptr) {
+    content_index_.RemoveDocument(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kContentRemove;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutGroupSet(DocId id, std::vector<DocId> children) {
+  if (engine_ == nullptr) {
+    group_store_.SetChildren(id, std::move(children));
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kGroupSet;
+  m.a = id;
+  m.ids.assign(children.begin(), children.end());
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutGroupRemoveAll(DocId id) {
+  if (engine_ == nullptr) {
+    group_store_.RemoveAllEdgesOf(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kGroupRemoveAll;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutLineageRecord(DocId derived, DocId origin,
+                                            const std::string& transformation) {
+  if (engine_ == nullptr) {
+    lineage_.Record(derived, origin, transformation);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kLineageRecord;
+  m.a = derived;
+  m.b = origin;
+  m.s1 = transformation;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutLineageForget(DocId id) {
+  if (engine_ == nullptr) {
+    lineage_.Forget(id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kLineageForget;
+  m.a = id;
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+void ReplicaIndexesModule::MutVersionAppend(index::ChangeRecord::Op op,
+                                            DocId id) {
+  if (engine_ == nullptr) {
+    versions_.Append(op, id);
+    return;
+  }
+  storage::Mutation m;
+  m.kind = storage::Mutation::Kind::kVersionAppend;
+  m.a = static_cast<uint64_t>(op);
+  m.b = id;
+  // The timestamp rides in the record so replay reproduces it exactly even
+  // though the recovering process observes a different clock.
+  m.c = static_cast<uint64_t>(clock_ != nullptr ? clock_->NowMicros() : 0);
+  engine_->Log(m);
+  (void)storage::ApplyMutation(m, Mutable());
+}
+
+storage::Snapshot ReplicaIndexesModule::ExportSnapshot() const {
+  storage::Snapshot snapshot;
+  snapshot.last_commit_seq = engine_ != nullptr ? engine_->commit_seq() : 0;
+  snapshot.catalog = catalog_.Serialize();
+  snapshot.names = name_index_.Serialize();
+  snapshot.tuples = tuple_index_.Serialize();
+  snapshot.content = content_index_.Serialize();
+  snapshot.groups = group_store_.Serialize();
+  snapshot.lineage = lineage_.Serialize();
+  snapshot.versions = versions_.Serialize();
+  return snapshot;
+}
+
+Status ReplicaIndexesModule::RestoreSnapshot(const storage::Snapshot& snapshot) {
+  IDM_ASSIGN_OR_RETURN(index::Catalog catalog,
+                       index::Catalog::Deserialize(snapshot.catalog));
+  IDM_ASSIGN_OR_RETURN(index::NameIndex names,
+                       index::NameIndex::Deserialize(snapshot.names));
+  IDM_ASSIGN_OR_RETURN(index::InvertedIndex content,
+                       index::InvertedIndex::Deserialize(snapshot.content));
+  IDM_ASSIGN_OR_RETURN(index::GroupStore groups,
+                       index::GroupStore::Deserialize(snapshot.groups));
+  IDM_ASSIGN_OR_RETURN(index::LineageStore lineage,
+                       index::LineageStore::Deserialize(snapshot.lineage));
+  IDM_ASSIGN_OR_RETURN(index::VersionLog versions,
+                       index::VersionLog::Deserialize(snapshot.versions, clock_));
+  // The tuple index restores in place (it is non-movable); it comes last so
+  // a failure above leaves the module untouched.
+  IDM_RETURN_NOT_OK(
+      index::TupleIndex::DeserializeInto(snapshot.tuples, &tuple_index_));
+  catalog_ = std::move(catalog);
+  name_index_ = std::move(names);
+  content_index_ = std::move(content);
+  group_store_ = std::move(groups);
+  lineage_ = std::move(lineage);
+  versions_ = std::move(versions);
+  return Status::OK();
+}
+
+Status ReplicaIndexesModule::ReplayMutations(
+    const std::vector<storage::Mutation>& mutations) {
+  storage::Structures structures = Mutable();
+  for (const storage::Mutation& m : mutations) {
+    IDM_RETURN_NOT_OK(storage::ApplyMutation(m, structures).status());
+  }
+  return Status::OK();
+}
+
 Result<SourceIndexStats> ReplicaIndexesModule::Walk(
     DataSource& source, const ConverterRegistry& converters,
     const ViewPtr& root, const IndexingOptions& options, SyncStats* sync) {
   SourceIndexStats stats;
   stats.source_name = source.name();
   stats.source_bytes = source.TotalBytes();
-  uint32_t source_id = catalog_.InternSource(source.name());
+  uint32_t source_id = MutInternSource(source.name());
   Micros sim_start = source.access_micros();
 
   std::deque<ViewPtr> queue;
@@ -103,8 +357,8 @@ Result<SourceIndexStats> ReplicaIndexesModule::Walk(
     Micros t1 = WallNow();
     bool is_new = !catalog_.Find(uri).has_value();
     Derivation derivation = Classify(uri);
-    DocId id = catalog_.Register(uri, view->class_name(), source_id,
-                                 derivation != Derivation::kBase);
+    DocId id = MutRegister(uri, view->class_name(), source_id,
+                           derivation != Derivation::kBase);
     if (preregistered.erase(id) > 0) is_new = true;
     std::vector<DocId> child_ids;
     child_ids.reserve(children.size());
@@ -112,7 +366,7 @@ Result<SourceIndexStats> ReplicaIndexesModule::Walk(
       if (child == nullptr) continue;
       bool child_known = catalog_.Find(child->uri()).has_value();
       Derivation child_derivation = Classify(child->uri());
-      DocId child_id = catalog_.Register(
+      DocId child_id = MutRegister(
           child->uri(), child->class_name(), source_id,
           child_derivation != Derivation::kBase);
       if (!child_known) preregistered.insert(child_id);
@@ -128,16 +382,16 @@ Result<SourceIndexStats> ReplicaIndexesModule::Walk(
                 !(tuple_index_.TupleOf(id) == tuple);
     }
     if (changed || sync == nullptr) {
-      name_index_.Add(id, name);
-      tuple_index_.Add(id, tuple);
+      MutNameAdd(id, name);
+      MutTupleAdd(id, tuple);
       if (has_text) {
-        content_index_.AddDocument(id, text);
+        MutContentAdd(id, text);
       } else {
-        content_index_.RemoveDocument(id);
+        MutContentRemove(id);
       }
     }
     if (has_text) stats.net_input_bytes += text.size();
-    group_store_.SetChildren(id, child_ids);
+    MutGroupSet(id, child_ids);
     // Lineage: a derived view was produced from its base item by a
     // Content2iDM conversion (paper §8, item 2).
     if (derivation != Derivation::kBase) {
@@ -148,15 +402,15 @@ Result<SourceIndexStats> ReplicaIndexesModule::Walk(
             derivation == Derivation::kXml     ? "convert:xml"
             : derivation == Derivation::kLatex ? "convert:latex"
                                                : "convert";
-        lineage_.Record(id, *base, transformation);
+        MutLineageRecord(id, *base, transformation);
       }
     }
     // Versioning: every observed change advances the dataspace version
     // (paper §8, item 1).
     if (is_new) {
-      versions_.Append(index::ChangeRecord::Op::kAdded, id);
+      MutVersionAppend(index::ChangeRecord::Op::kAdded, id);
     } else if (changed) {
-      versions_.Append(index::ChangeRecord::Op::kUpdated, id);
+      MutVersionAppend(index::ChangeRecord::Op::kUpdated, id);
     }
     stats.times.component_indexing += WallNow() - t2;
 
@@ -205,13 +459,16 @@ Result<SourceIndexStats> ReplicaIndexesModule::IndexSource(
     DataSource& source, const ConverterRegistry& converters,
     const IndexingOptions& options) {
   IDM_ASSIGN_OR_RETURN(ViewPtr root, source.RootView());
-  return Walk(source, converters, root, options, nullptr);
+  IDM_ASSIGN_OR_RETURN(SourceIndexStats stats,
+                       Walk(source, converters, root, options, nullptr));
+  IDM_RETURN_NOT_OK(CommitBatch());
+  return stats;
 }
 
 Result<SyncStats> ReplicaIndexesModule::SyncSource(
     DataSource& source, const ConverterRegistry& converters,
     const IndexingOptions& options) {
-  uint32_t source_id = catalog_.InternSource(source.name());
+  uint32_t source_id = MutInternSource(source.name());
 
   // Snapshot the *base* uris currently attributed to this source. Derived
   // views (converter subgraphs) are not probed individually: they are
@@ -247,10 +504,11 @@ Result<SyncStats> ReplicaIndexesModule::SyncSource(
         sync.RecordFailure(uri);
         continue;
       }
-      SyncStats removed = RemoveSubtree(uri);
+      IDM_ASSIGN_OR_RETURN(SyncStats removed, RemoveSubtree(uri));
       sync.removed += removed.removed;
     }
   }
+  IDM_RETURN_NOT_OK(CommitBatch());
   return sync;
 }
 
@@ -272,10 +530,11 @@ Result<SyncStats> ReplicaIndexesModule::IndexSubtree(
   IDM_ASSIGN_OR_RETURN(SourceIndexStats stats,
                        Walk(source, converters, *view, options, &sync));
   (void)stats;
+  IDM_RETURN_NOT_OK(CommitBatch());
   return sync;
 }
 
-SyncStats ReplicaIndexesModule::RemoveSubtree(const std::string& uri) {
+Result<SyncStats> ReplicaIndexesModule::RemoveSubtree(const std::string& uri) {
   SyncStats stats;
   std::string slash_prefix = uri + "/";
   std::string hash_prefix = uri + "#";
@@ -285,16 +544,17 @@ SyncStats ReplicaIndexesModule::RemoveSubtree(const std::string& uri) {
     const std::string& candidate = entry->uri;
     if (candidate == uri || StartsWith(candidate, slash_prefix) ||
         StartsWith(candidate, hash_prefix)) {
-      catalog_.Remove(id);
-      name_index_.Remove(id);
-      tuple_index_.Remove(id);
-      content_index_.RemoveDocument(id);
-      group_store_.RemoveAllEdgesOf(id);
-      lineage_.Forget(id);
-      versions_.Append(index::ChangeRecord::Op::kRemoved, id);
+      MutCatalogRemove(id);
+      MutNameRemove(id);
+      MutTupleRemove(id);
+      MutContentRemove(id);
+      MutGroupRemoveAll(id);
+      MutLineageForget(id);
+      MutVersionAppend(index::ChangeRecord::Op::kRemoved, id);
       ++stats.removed;
     }
   }
+  IDM_RETURN_NOT_OK(CommitBatch());
   return stats;
 }
 
@@ -364,10 +624,23 @@ Result<SourceIndexStats> SynchronizationManager::RegisterSource(
   DataSource* raw = source.get();
   sources_.push_back(source);
   // Subscribe first so that changes racing the initial scan are not lost.
-  raw->SubscribeChanges([this, raw](const SourceChange& change) {
-    pending_.emplace_back(raw, change);
-  });
+  Subscribe(raw);
   return module_->IndexSource(*raw, converters_, options_);
+}
+
+void SynchronizationManager::AttachSource(std::shared_ptr<DataSource> source) {
+  DataSource* raw = source.get();
+  sources_.push_back(std::move(source));
+  Subscribe(raw);
+}
+
+void SynchronizationManager::Subscribe(DataSource* raw) {
+  raw->SubscribeChanges(
+      [this, raw, alive = std::weak_ptr<char>(alive_)](
+          const SourceChange& change) {
+        if (alive.expired()) return;  // manager is gone; drop the event
+        pending_.emplace_back(raw, change);
+      });
 }
 
 DataSource* SynchronizationManager::FindSource(const std::string& name) const {
@@ -403,7 +676,8 @@ Result<SyncStats> SynchronizationManager::ProcessNotifications() {
     auto [source, change] = pending_.front();
     pending_.pop_front();
     if (change.kind == SourceChange::Kind::kRemoved) {
-      SyncStats removed = module_->RemoveSubtree(change.uri);
+      IDM_ASSIGN_OR_RETURN(SyncStats removed,
+                           module_->RemoveSubtree(change.uri));
       total.removed += removed.removed;
     } else {
       auto stats =
@@ -413,7 +687,8 @@ Result<SyncStats> SynchronizationManager::ProcessNotifications() {
       } else if (stats.status().code() == StatusCode::kNotFound) {
         // The item vanished between the notification and now: the stale
         // "added" collapses into a removal.
-        SyncStats removed = module_->RemoveSubtree(change.uri);
+        IDM_ASSIGN_OR_RETURN(SyncStats removed,
+                             module_->RemoveSubtree(change.uri));
         total.removed += removed.removed;
       } else {
         total.RecordFailure(change.uri);

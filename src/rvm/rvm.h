@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/view_class.h"
+#include "storage/engine.h"
 #include "index/catalog.h"
 #include "index/group_store.h"
 #include "index/inverted_index.h"
@@ -140,7 +141,31 @@ class ReplicaIndexesModule {
   ReplicaIndexesModule() = default;
 
   /// Clock used to timestamp the version log (may be nullptr).
-  void SetClock(Clock* clock) { versions_ = index::VersionLog(clock); }
+  void SetClock(Clock* clock) {
+    clock_ = clock;
+    versions_ = index::VersionLog(clock);
+  }
+
+  /// Attaches a storage engine: from here on every mutation of the index
+  /// structures is staged into the engine's WAL batch before it is applied
+  /// (write-ahead), and the enclosing operation commits the batch. With no
+  /// engine attached (the default) all paths mutate the structures
+  /// directly — the in-memory dataspace is byte-for-byte the old code path.
+  void AttachStorage(storage::StorageEngine* engine) { engine_ = engine; }
+  storage::StorageEngine* storage_engine() const { return engine_; }
+
+  /// Deterministic images of all seven structures plus the engine's commit
+  /// sequence (0 when no engine is attached) — the checkpoint payload.
+  storage::Snapshot ExportSnapshot() const;
+
+  /// Replaces the structures with the images in \p snapshot. On failure the
+  /// module may be left partially restored — callers treat that as a failed
+  /// open, not a recoverable state.
+  Status RestoreSnapshot(const storage::Snapshot& snapshot);
+
+  /// Re-executes recovered WAL mutations against the structures. Call
+  /// before AttachStorage so replay is not re-logged.
+  Status ReplayMutations(const std::vector<storage::Mutation>& mutations);
 
   /// Walks the whole graph of \p source (bounded by \p options), registers
   /// every view in the catalog and feeds all index structures.
@@ -158,8 +183,9 @@ class ReplicaIndexesModule {
                                  const IndexingOptions& options = {});
 
   /// Removes \p uri and everything derived from or below it (uris with the
-  /// "<uri>#..." or "<uri>/..." prefix) from catalog and indexes.
-  SyncStats RemoveSubtree(const std::string& uri);
+  /// "<uri>#..." or "<uri>/..." prefix) from catalog and indexes. Fails
+  /// only when an attached storage engine cannot commit the removals.
+  Result<SyncStats> RemoveSubtree(const std::string& uri);
 
   /// --- read access for the query processor --------------------------------
   const index::Catalog& catalog() const { return catalog_; }
@@ -198,6 +224,32 @@ class ReplicaIndexesModule {
                                 const IndexingOptions& options,
                                 SyncStats* sync);
 
+  /// The mutable view of the structures handed to ApplyMutation.
+  storage::Structures Mutable();
+  /// Commits the staged WAL batch (no-op without an engine / empty batch).
+  Status CommitBatch();
+
+  // Mutation primitives: with an engine attached they log-then-apply via
+  // ApplyMutation; without one they call the structure directly. All reads
+  // stay direct in both modes.
+  uint32_t MutInternSource(const std::string& name);
+  index::DocId MutRegister(const std::string& uri,
+                           const std::string& class_name, uint32_t source,
+                           bool derived);
+  void MutCatalogRemove(index::DocId id);
+  void MutNameAdd(index::DocId id, const std::string& name);
+  void MutNameRemove(index::DocId id);
+  void MutTupleAdd(index::DocId id, const core::TupleComponent& tuple);
+  void MutTupleRemove(index::DocId id);
+  void MutContentAdd(index::DocId id, const std::string& text);
+  void MutContentRemove(index::DocId id);
+  void MutGroupSet(index::DocId id, std::vector<index::DocId> children);
+  void MutGroupRemoveAll(index::DocId id);
+  void MutLineageRecord(index::DocId derived, index::DocId origin,
+                        const std::string& transformation);
+  void MutLineageForget(index::DocId id);
+  void MutVersionAppend(index::ChangeRecord::Op op, index::DocId id);
+
   index::Catalog catalog_;
   index::NameIndex name_index_;
   index::TupleIndex tuple_index_;
@@ -205,6 +257,8 @@ class ReplicaIndexesModule {
   index::GroupStore group_store_;
   index::LineageStore lineage_;
   index::VersionLog versions_;
+  Clock* clock_ = nullptr;
+  storage::StorageEngine* engine_ = nullptr;
 };
 
 class SynchronizationManager {
@@ -219,6 +273,12 @@ class SynchronizationManager {
   /// Registers a data source: analyzes it, triggers initial indexing, and
   /// subscribes to its notification events when supported (paper §5.2).
   Result<SourceIndexStats> RegisterSource(std::shared_ptr<DataSource> source);
+
+  /// Registers a source *without* the initial indexing walk — used after a
+  /// durable restart, where the recovered catalog/indexes already reflect
+  /// the source and only the notification subscription must be re-armed.
+  /// The next Poll() reconciles any drift that happened while down.
+  void AttachSource(std::shared_ptr<DataSource> source);
 
   DataSource* FindSource(const std::string& name) const;
   const std::vector<std::shared_ptr<DataSource>>& sources() const {
@@ -239,11 +299,18 @@ class SynchronizationManager {
   const IndexingOptions& options() const { return options_; }
 
  private:
+  /// Registers the change subscription for an already-tracked source. The
+  /// substrates hold their callbacks forever, so each one captures a weak
+  /// reference to \p alive_ and goes inert once this manager is destroyed
+  /// (sources can outlive the dataspace, e.g. across a durable restart).
+  void Subscribe(DataSource* raw);
+
   ReplicaIndexesModule* module_;
   ConverterRegistry converters_;
   IndexingOptions options_;
   std::vector<std::shared_ptr<DataSource>> sources_;
   std::deque<std::pair<DataSource*, SourceChange>> pending_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 }  // namespace idm::rvm

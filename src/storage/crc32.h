@@ -1,0 +1,17 @@
+// CRC32 (IEEE 802.3 polynomial, the zlib/gzip checksum) used to frame WAL
+// records and seal checkpoint images. Table-driven, no dependencies.
+
+#ifndef IDM_STORAGE_CRC32_H_
+#define IDM_STORAGE_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace idm::storage {
+
+/// CRC32 of \p data. Incremental use: pass the previous crc as \p seed.
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_CRC32_H_

@@ -1,0 +1,215 @@
+#include "storage/engine.h"
+
+#include <algorithm>
+
+namespace idm::storage {
+
+namespace {
+
+/// Parses "checkpoint-<g>.ckpt" / "wal-<g>.log" / CURRENT content.
+bool ParseGen(std::string_view text, uint64_t* gen) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *gen = value;
+  return true;
+}
+
+bool ParseNamedGen(const std::string& name, std::string_view prefix,
+                   std::string_view suffix, uint64_t* gen) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  return ParseGen(std::string_view(name).substr(
+                      prefix.size(), name.size() - prefix.size() - suffix.size()),
+                  gen);
+}
+
+}  // namespace
+
+std::string StorageEngine::CheckpointPath(uint64_t gen) const {
+  return dir_ + "/checkpoint-" + std::to_string(gen) + ".ckpt";
+}
+
+std::string StorageEngine::WalPath(uint64_t gen) const {
+  return dir_ + "/wal-" + std::to_string(gen) + ".log";
+}
+
+std::string StorageEngine::CurrentPath() const { return dir_ + "/CURRENT"; }
+
+Result<StorageEngine::Recovered> StorageEngine::Open(
+    Env* env, const std::string& dir, const StorageOptions& options,
+    Clock* clock) {
+  IDM_RETURN_NOT_OK(env->CreateDir(dir));
+  std::unique_ptr<StorageEngine> engine(
+      new StorageEngine(env, dir, options, clock));
+
+  // Inventory the directory: checkpoint generations present on disk.
+  IDM_ASSIGN_OR_RETURN(std::vector<std::string> names, env->ListDir(dir));
+  std::vector<uint64_t> ckpt_gens;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseNamedGen(name, "checkpoint-", ".ckpt", &gen)) {
+      ckpt_gens.push_back(gen);
+    }
+  }
+  std::sort(ckpt_gens.rbegin(), ckpt_gens.rend());  // newest first
+
+  uint64_t current_gen = 0;
+  bool have_current = false;
+  if (env->Exists(engine->CurrentPath())) {
+    IDM_ASSIGN_OR_RETURN(std::string text,
+                         env->ReadFile(engine->CurrentPath()));
+    have_current = ParseGen(text, &current_gen);
+  }
+
+  // Candidate generations in preference order: the one CURRENT points at,
+  // then every other on-disk checkpoint newest-first, then the empty
+  // baseline (generation 0 has no checkpoint image by construction).
+  std::vector<uint64_t> candidates;
+  if (have_current) candidates.push_back(current_gen);
+  for (uint64_t gen : ckpt_gens) {
+    if (!have_current || gen != current_gen) candidates.push_back(gen);
+  }
+  if (std::find(candidates.begin(), candidates.end(), 0ULL) ==
+      candidates.end()) {
+    candidates.push_back(0);
+  }
+
+  Recovered recovered;
+  std::optional<Snapshot> snapshot;
+  uint64_t chosen_gen = 0;
+  bool fallback = false;
+  bool chosen = false;
+  for (uint64_t gen : candidates) {
+    if (gen == 0) {
+      snapshot.reset();
+      chosen_gen = 0;
+      chosen = true;
+      break;
+    }
+    auto image = env->ReadFile(engine->CheckpointPath(gen));
+    if (!image.ok()) {
+      fallback = true;
+      continue;
+    }
+    auto decoded = Snapshot::Decode(*image);
+    if (!decoded.ok()) {
+      fallback = true;
+      continue;
+    }
+    snapshot = std::move(decoded).value();
+    chosen_gen = gen;
+    chosen = true;
+    break;
+  }
+  if (!chosen) return Status::IoError("no recoverable generation in " + dir);
+  recovered.stats.had_checkpoint = snapshot.has_value();
+  recovered.stats.checkpoint_fallback = fallback;
+  recovered.stats.generation = chosen_gen;
+  recovered.snapshot = std::move(snapshot);
+
+  // Replay the WAL of the chosen generation up to its last intact commit
+  // marker and drop the torn tail.
+  uint64_t base_seq =
+      recovered.snapshot.has_value() ? recovered.snapshot->last_commit_seq : 0;
+  const std::string wal_path = engine->WalPath(chosen_gen);
+  if (env->Exists(wal_path)) {
+    IDM_ASSIGN_OR_RETURN(std::string wal_image, env->ReadFile(wal_path));
+    WalScanResult scan = ScanWal(wal_image);
+    recovered.mutations = std::move(scan.mutations);
+    recovered.stats.replayed_mutations = recovered.mutations.size();
+    recovered.stats.torn_tail_dropped = scan.torn_tail;
+    recovered.stats.dropped_records = scan.dropped_records;
+    if (scan.torn_tail) {
+      IDM_RETURN_NOT_OK(env->Truncate(wal_path, scan.valid_bytes));
+    }
+    base_seq = std::max(base_seq, scan.last_commit_seq);
+  } else {
+    IDM_RETURN_NOT_OK(env->Append(wal_path, ""));
+  }
+  recovered.stats.last_commit_seq = base_seq;
+
+  // Make the chosen generation authoritative and garbage-collect every
+  // other file (orphan tmp files, a newer-but-unreferenced checkpoint, the
+  // retired old generation a crash left behind).
+  if (!have_current || current_gen != chosen_gen) {
+    IDM_RETURN_NOT_OK(engine->SwitchCurrent(chosen_gen));
+  }
+  for (const std::string& name : names) {
+    if (name == "CURRENT") continue;
+    uint64_t gen = 0;
+    bool is_ckpt = ParseNamedGen(name, "checkpoint-", ".ckpt", &gen);
+    bool is_wal = !is_ckpt && ParseNamedGen(name, "wal-", ".log", &gen);
+    if ((is_ckpt || is_wal) && gen == chosen_gen) continue;
+    IDM_RETURN_NOT_OK(env->Delete(dir + "/" + name));
+  }
+
+  engine->generation_ = chosen_gen;
+  engine->commit_seq_ = base_seq;
+  engine->durable_floor_ = base_seq;  // everything recovered is on disk
+  engine->wal_ = std::make_unique<WalWriter>(
+      env, wal_path, options.fsync_policy, options.fsync_interval_micros,
+      options.fsync_bytes, clock);
+  recovered.engine = std::move(engine);
+  return recovered;
+}
+
+Status StorageEngine::Commit() {
+  if (pending_.empty()) return Status::OK();
+  uint64_t seq = commit_seq_ + 1;
+  std::vector<Mutation> batch;
+  batch.swap(pending_);
+  IDM_RETURN_NOT_OK(wal_->AppendBatch(batch, seq));
+  commit_seq_ = seq;
+  ++stats_.commits;
+  stats_.mutations_logged += batch.size();
+  stats_.wal_bytes = wal_->appended_bytes();
+  if (commit_listener_) commit_listener_(seq);
+  return Status::OK();
+}
+
+Status StorageEngine::SwitchCurrent(uint64_t gen) {
+  const std::string tmp = CurrentPath() + ".tmp";
+  IDM_RETURN_NOT_OK(env_->Delete(tmp));
+  IDM_RETURN_NOT_OK(env_->Append(tmp, std::to_string(gen)));
+  IDM_RETURN_NOT_OK(env_->Sync(tmp));
+  return env_->Rename(tmp, CurrentPath());
+}
+
+Status StorageEngine::Checkpoint(const Snapshot& snapshot) {
+  if (!pending_.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint with a staged uncommitted batch");
+  }
+  uint64_t old_gen = generation_;
+  uint64_t gen = generation_ + 1;
+  const std::string tmp = CheckpointPath(gen) + ".tmp";
+
+  IDM_RETURN_NOT_OK(env_->Delete(tmp));
+  IDM_RETURN_NOT_OK(env_->Append(tmp, snapshot.Encode()));
+  IDM_RETURN_NOT_OK(env_->Sync(tmp));
+  IDM_RETURN_NOT_OK(env_->Rename(tmp, CheckpointPath(gen)));
+  IDM_RETURN_NOT_OK(env_->Append(WalPath(gen), ""));
+  IDM_RETURN_NOT_OK(SwitchCurrent(gen));
+  // The old generation is garbage from here on; a crash between these
+  // deletes only leaves orphans for the next Open() to collect.
+  IDM_RETURN_NOT_OK(env_->Delete(CheckpointPath(old_gen)));
+  IDM_RETURN_NOT_OK(env_->Delete(WalPath(old_gen)));
+
+  generation_ = gen;
+  durable_floor_ = std::max(durable_floor_, snapshot.last_commit_seq);
+  wal_ = std::make_unique<WalWriter>(
+      env_, WalPath(gen), options_.fsync_policy, options_.fsync_interval_micros,
+      options_.fsync_bytes, clock_);
+  ++stats_.checkpoints;
+  stats_.wal_bytes = 0;
+  return Status::OK();
+}
+
+}  // namespace idm::storage

@@ -1,0 +1,136 @@
+// The durable storage engine (DESIGN.md §9). Directory layout:
+//
+//   CURRENT                — decimal generation number of the live pair
+//   checkpoint-<g>.ckpt    — sealed Snapshot image (absent for g = 0)
+//   wal-<g>.log            — mutations committed after checkpoint <g>
+//
+// Checkpoint protocol (write tmp → fsync → atomic rename → switch CURRENT
+// → delete the old generation) guarantees that at every instant either the
+// old or the new generation is complete on disk; recovery follows CURRENT
+// and falls back to the newest decodable checkpoint when the pointed-to
+// image is unreadable.
+
+#ifndef IDM_STORAGE_ENGINE_H_
+#define IDM_STORAGE_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "storage/record.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::storage {
+
+struct StorageOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kEveryCommit;
+  /// kInterval: fsync when this much (clock) time passed since the last.
+  Micros fsync_interval_micros = 1'000'000;
+  /// kBytes: fsync when this many unsynced bytes accumulated.
+  uint64_t fsync_bytes = 1ULL << 20;
+  /// NeedsCheckpoint() turns true once the live WAL grows past this.
+  uint64_t checkpoint_after_wal_bytes = 4ULL << 20;
+};
+
+/// What recovery found and did (surfaced via Dataspace::recovery_stats()).
+struct RecoveryStats {
+  bool had_checkpoint = false;
+  bool checkpoint_fallback = false;  ///< CURRENT's image was unreadable
+  uint64_t generation = 0;           ///< generation recovered from
+  uint64_t last_commit_seq = 0;
+  uint64_t replayed_mutations = 0;
+  bool torn_tail_dropped = false;
+  uint64_t dropped_records = 0;  ///< mutations whose commit never landed
+};
+
+class StorageEngine {
+ public:
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t mutations_logged = 0;
+    uint64_t checkpoints = 0;
+    uint64_t wal_bytes = 0;  ///< appended to the live WAL since open
+  };
+
+  /// Everything Open() recovered. The caller restores `snapshot` (when
+  /// present) into its structures, then applies `mutations` in order; the
+  /// engine itself is already positioned after them.
+  struct Recovered {
+    std::unique_ptr<StorageEngine> engine;
+    std::optional<Snapshot> snapshot;
+    std::vector<Mutation> mutations;
+    RecoveryStats stats;
+  };
+
+  /// Opens (creating if needed) the store in \p dir.
+  static Result<Recovered> Open(Env* env, const std::string& dir,
+                                const StorageOptions& options, Clock* clock);
+
+  /// Stages \p m into the current batch (buffered, not yet on disk).
+  void Log(Mutation m) { pending_.push_back(std::move(m)); }
+  size_t pending() const { return pending_.size(); }
+
+  /// Writes the staged batch plus its commit marker as one append and
+  /// applies the fsync policy. Empty batches are a no-op.
+  Status Commit();
+
+  /// Forces all committed batches to the platter regardless of policy.
+  Status SyncNow() { return wal_->SyncNow(); }
+
+  /// Writes \p snapshot as the next generation and retires the old one.
+  /// The pending batch must be empty (commit first).
+  Status Checkpoint(const Snapshot& snapshot);
+
+  bool NeedsCheckpoint() const {
+    return wal_->appended_bytes() >= options_.checkpoint_after_wal_bytes;
+  }
+
+  /// Sequence of the last written commit marker.
+  uint64_t commit_seq() const { return commit_seq_; }
+  /// Sequence of the last commit known durable (checkpointed or fsynced).
+  uint64_t last_durable_seq() const {
+    return std::max(durable_floor_, wal_->last_durable_seq());
+  }
+  uint64_t generation() const { return generation_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Invoked after every successful Commit() with its sequence — the
+  /// crash-matrix oracle snapshots reference state from here.
+  void set_commit_listener(std::function<void(uint64_t)> listener) {
+    commit_listener_ = std::move(listener);
+  }
+
+ private:
+  StorageEngine(Env* env, std::string dir, const StorageOptions& options,
+                Clock* clock)
+      : env_(env), dir_(std::move(dir)), options_(options), clock_(clock) {}
+
+  std::string CheckpointPath(uint64_t gen) const;
+  std::string WalPath(uint64_t gen) const;
+  std::string CurrentPath() const;
+  Status SwitchCurrent(uint64_t gen);
+
+  Env* env_;
+  std::string dir_;
+  StorageOptions options_;
+  Clock* clock_;
+
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<Mutation> pending_;
+  uint64_t commit_seq_ = 0;
+  uint64_t durable_floor_ = 0;  ///< commits made durable by a checkpoint
+  uint64_t generation_ = 0;
+  Stats stats_;
+  std::function<void(uint64_t)> commit_listener_;
+};
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_ENGINE_H_

@@ -1,0 +1,213 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace idm::storage {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// DiskEnv
+
+Env* Env::Default() {
+  static DiskEnv env;
+  return &env;
+}
+
+Status DiskEnv::CreateDir(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("create_directories " + dir + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> DiskEnv::ListDir(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::IoError("list " + dir + ": " + ec.message());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool DiskEnv::Exists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Result<std::string> DiskEnv::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("open " + path + " for read");
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read " + path);
+  return data;
+}
+
+Status DiskEnv::Append(const std::string& path, std::string_view data) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IoError("open " + path + " for append");
+  size_t written = data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != data.size() || close_rc != 0) {
+    return Status::IoError("append to " + path);
+  }
+  return Status::OK();
+}
+
+Status DiskEnv::Sync(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::IoError("open " + path + " for fsync");
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync " + path);
+  return Status::OK();
+}
+
+Status DiskEnv::Truncate(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  if (ec) return Status::IoError("truncate " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Status DiskEnv::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);
+  if (ec) {
+    return Status::IoError("rename " + from + " -> " + to + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status DiskEnv::Delete(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);  // removing a missing file reports no error
+  if (ec) return Status::IoError("delete " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+
+Status MemEnv::CheckOp(const char* op_name) {
+  if (crashed_) return Status::IoError("machine crashed (awaiting reboot)");
+  ++mutating_ops_;
+  if (injector_ != nullptr) {
+    Status verdict = injector_->OnOperation(op_name);
+    if (!verdict.ok()) {
+      Crash();
+      return Status::IoError(std::string("killed during ") + op_name);
+    }
+  }
+  return Status::OK();
+}
+
+void MemEnv::Crash() {
+  // The page cache dies with the machine: of every file's unsynced bytes,
+  // only the scripted writeback prefix reaches the platter.
+  for (auto& [path, file] : files_) {
+    size_t keep = std::min<uint64_t>(crash_writeback_bytes_,
+                                     file.buffered.size());
+    file.durable.append(file.buffered, 0, keep);
+    file.buffered.clear();
+  }
+  crashed_ = true;
+}
+
+void MemEnv::Reboot() { crashed_ = false; }
+
+Status MemEnv::CreateDir(const std::string& dir) {
+  IDM_RETURN_NOT_OK(CheckOp("env.create_dir"));
+  if (std::find(dirs_.begin(), dirs_.end(), dir) == dirs_.end()) {
+    dirs_.push_back(dir);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemEnv::ListDir(const std::string& dir) {
+  if (crashed_) return Status::IoError("machine crashed (awaiting reboot)");
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::vector<std::string> names;
+  for (const auto& [path, file] : files_) {
+    if (path.size() <= prefix.size() || path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;  // map iteration is already sorted
+}
+
+bool MemEnv::Exists(const std::string& path) {
+  return !crashed_ && files_.count(path) > 0;
+}
+
+Result<std::string> MemEnv::ReadFile(const std::string& path) {
+  if (crashed_) return Status::IoError("machine crashed (awaiting reboot)");
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second.durable + it->second.buffered;
+}
+
+Status MemEnv::Append(const std::string& path, std::string_view data) {
+  // The bytes of a killed append are buffered first so the crash writeback
+  // can preserve a prefix of them — that is the mid-record torn tail.
+  if (!crashed_) files_[path].buffered.append(data);
+  Status gate = CheckOp("env.append");
+  if (!gate.ok()) return gate;
+  return Status::OK();
+}
+
+Status MemEnv::Sync(const std::string& path) {
+  IDM_RETURN_NOT_OK(CheckOp("env.sync"));
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  it->second.durable += it->second.buffered;
+  it->second.buffered.clear();
+  return Status::OK();
+}
+
+Status MemEnv::Truncate(const std::string& path, uint64_t size) {
+  IDM_RETURN_NOT_OK(CheckOp("env.truncate"));
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  File& file = it->second;
+  uint64_t visible = file.durable.size() + file.buffered.size();
+  if (size >= visible) return Status::OK();
+  if (size <= file.durable.size()) {
+    file.durable.resize(size);
+    file.buffered.clear();
+  } else {
+    file.buffered.resize(size - file.durable.size());
+  }
+  return Status::OK();
+}
+
+Status MemEnv::Rename(const std::string& from, const std::string& to) {
+  IDM_RETURN_NOT_OK(CheckOp("env.rename"));
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::Delete(const std::string& path) {
+  IDM_RETURN_NOT_OK(CheckOp("env.delete"));
+  files_.erase(path);
+  return Status::OK();
+}
+
+}  // namespace idm::storage

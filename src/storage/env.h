@@ -1,0 +1,126 @@
+// Storage environment: the narrow file-system interface the storage engine
+// is written against. Two implementations:
+//
+//   * DiskEnv — the real file system (POSIX fsync, atomic rename), used
+//     when a Dataspace is opened with a storage_dir;
+//   * MemEnv  — a deterministic in-memory file system with an explicit
+//     durability model for crash testing: appended bytes sit in a volatile
+//     buffer until Sync() makes them durable. A FaultInjector (PR 1) can
+//     kill any mutating operation; the "machine" then loses every
+//     unsynced byte except a scripted writeback prefix (modelling OS
+//     page-cache writeback, which is what produces torn WAL tails), and
+//     every subsequent call fails until Reboot().
+//
+// Metadata operations (create, rename, delete) are modelled as atomic and
+// immediately durable — the standard idealization (see DESIGN.md §9 for
+// the directory-fsync caveat on real file systems).
+
+#ifndef IDM_STORAGE_ENV_H_
+#define IDM_STORAGE_ENV_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/result.h"
+
+namespace idm::storage {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates \p dir (and parents). Existing directories are OK.
+  virtual Status CreateDir(const std::string& dir) = 0;
+  /// File names (not paths) directly inside \p dir, sorted ascending.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+  /// Appends \p data to \p path, creating the file if missing. The bytes
+  /// are NOT durable until Sync(path) returns OK.
+  virtual Status Append(const std::string& path, std::string_view data) = 0;
+  /// Makes all previously appended bytes of \p path durable.
+  virtual Status Sync(const std::string& path) = 0;
+  /// Truncates \p path to \p size bytes (used to drop a torn WAL tail).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+  /// Atomically replaces \p to with \p from.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  /// Deletes \p path. Missing files are OK (idempotent cleanup).
+  virtual Status Delete(const std::string& path) = 0;
+
+  /// The process-wide DiskEnv.
+  static Env* Default();
+};
+
+/// Real file system via <filesystem> + POSIX fsync.
+class DiskEnv : public Env {
+ public:
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Delete(const std::string& path) override;
+};
+
+/// Deterministic in-memory environment with crash injection.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  /// Every mutating operation first consults \p injector (op names
+  /// "env.append", "env.sync", "env.rename", ...). A non-OK verdict kills
+  /// the machine: the op does not happen (bar the writeback prefix of a
+  /// killed append) and every later call fails until Reboot().
+  void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
+
+  /// How many not-yet-synced buffered bytes per file survive a crash (the
+  /// page-cache writeback prefix). 0 = strict "only fsynced data survives";
+  /// a small value cuts mid-record and produces torn WAL tails.
+  void set_crash_writeback_bytes(uint64_t n) { crash_writeback_bytes_ = n; }
+
+  bool crashed() const { return crashed_; }
+  /// Restarts the machine after a crash: volatile buffers are gone, only
+  /// durable bytes remain visible.
+  void Reboot();
+
+  /// Total mutating operations attempted so far (crash-matrix sizing).
+  uint64_t mutating_ops() const { return mutating_ops_; }
+
+  Status CreateDir(const std::string& dir) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+  bool Exists(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  Status Append(const std::string& path, std::string_view data) override;
+  Status Sync(const std::string& path) override;
+  Status Truncate(const std::string& path, uint64_t size) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Delete(const std::string& path) override;
+
+ private:
+  struct File {
+    std::string durable;   ///< survives a crash
+    std::string buffered;  ///< appended but not fsynced; lost on crash
+  };
+
+  /// Injector gate shared by all mutating ops. Returns non-OK (and marks
+  /// the machine crashed) when the op is killed.
+  Status CheckOp(const char* op_name);
+  void Crash();
+
+  std::map<std::string, File> files_;
+  std::vector<std::string> dirs_;
+  FaultInjector* injector_ = nullptr;
+  uint64_t crash_writeback_bytes_ = 0;
+  uint64_t mutating_ops_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_ENV_H_

@@ -1,0 +1,108 @@
+#include "storage/record.h"
+
+#include "core/tuple.h"
+#include "util/codec.h"
+
+namespace idm::storage {
+
+using codec::GetString;
+using codec::GetU32;
+using codec::GetU64;
+using codec::PutString;
+using codec::PutU32;
+using codec::PutU64;
+
+void Mutation::EncodeTo(std::string* out) const {
+  PutU32(out, static_cast<uint32_t>(kind));
+  PutU64(out, a);
+  PutU64(out, b);
+  PutU64(out, c);
+  PutString(out, s1);
+  PutString(out, s2);
+  PutU64(out, ids.size());
+  for (uint64_t id : ids) PutU64(out, id);
+}
+
+bool Mutation::DecodeFrom(std::string_view in, size_t* pos, Mutation* out) {
+  uint32_t kind = 0;
+  if (!GetU32(in, pos, &kind)) return false;
+  if (kind > static_cast<uint32_t>(Kind::kVersionAppend)) return false;
+  out->kind = static_cast<Kind>(kind);
+  if (!GetU64(in, pos, &out->a) || !GetU64(in, pos, &out->b) ||
+      !GetU64(in, pos, &out->c) || !GetString(in, pos, &out->s1) ||
+      !GetString(in, pos, &out->s2)) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!GetU64(in, pos, &n)) return false;
+  if (*pos > in.size() || n > (in.size() - *pos) / 8) return false;
+  out->ids.clear();
+  out->ids.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t id = 0;
+    if (!GetU64(in, pos, &id)) return false;
+    out->ids.push_back(id);
+  }
+  return true;
+}
+
+Result<index::DocId> ApplyMutation(const Mutation& m, const Structures& s) {
+  using Kind = Mutation::Kind;
+  switch (m.kind) {
+    case Kind::kInternSource:
+      return static_cast<index::DocId>(s.catalog->InternSource(m.s1));
+    case Kind::kRegister:
+      return s.catalog->Register(m.s1, m.s2, static_cast<uint32_t>(m.a),
+                                 m.b != 0);
+    case Kind::kCatalogRemove:
+      s.catalog->Remove(m.a);
+      return index::DocId{0};
+    case Kind::kNameAdd:
+      s.names->Add(m.a, m.s1);
+      return index::DocId{0};
+    case Kind::kNameRemove:
+      s.names->Remove(m.a);
+      return index::DocId{0};
+    case Kind::kTupleAdd: {
+      size_t pos = 0;
+      core::TupleComponent tuple;
+      if (!core::TupleComponent::DeserializeFrom(m.s1, &pos, &tuple) ||
+          pos != m.s1.size()) {
+        return Status::ParseError("undecodable tuple image in mutation");
+      }
+      s.tuples->Add(m.a, tuple);
+      return index::DocId{0};
+    }
+    case Kind::kTupleRemove:
+      s.tuples->Remove(m.a);
+      return index::DocId{0};
+    case Kind::kContentAdd:
+      s.content->AddDocument(m.a, m.s1);
+      return index::DocId{0};
+    case Kind::kContentRemove:
+      s.content->RemoveDocument(m.a);
+      return index::DocId{0};
+    case Kind::kGroupSet:
+      s.groups->SetChildren(
+          m.a, std::vector<index::DocId>(m.ids.begin(), m.ids.end()));
+      return index::DocId{0};
+    case Kind::kGroupRemoveAll:
+      s.groups->RemoveAllEdgesOf(m.a);
+      return index::DocId{0};
+    case Kind::kLineageRecord:
+      s.lineage->Record(m.a, m.b, m.s1);
+      return index::DocId{0};
+    case Kind::kLineageForget:
+      s.lineage->Forget(m.a);
+      return index::DocId{0};
+    case Kind::kVersionAppend: {
+      if (m.a > 2) return Status::ParseError("invalid version-log op");
+      s.versions->AppendAt(static_cast<index::ChangeRecord::Op>(m.a), m.b,
+                           static_cast<Micros>(m.c));
+      return index::DocId{0};
+    }
+  }
+  return Status::ParseError("unknown mutation kind");
+}
+
+}  // namespace idm::storage

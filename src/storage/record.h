@@ -1,0 +1,79 @@
+// The logical mutation log. Every change the Replica&Indexes module makes
+// to its structures is expressed as one Mutation record; the SAME
+// ApplyMutation function executes records on the live path (when a storage
+// engine is attached) and during WAL replay, so a recovered dataspace goes
+// through exactly the state transitions of the original run — including
+// DocId assignment order and version-log timestamps — and ends up
+// byte-identical under the deterministic Serialize() images.
+
+#ifndef IDM_STORAGE_RECORD_H_
+#define IDM_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/catalog.h"
+#include "index/group_store.h"
+#include "index/inverted_index.h"
+#include "index/lineage.h"
+#include "index/name_index.h"
+#include "index/tuple_index.h"
+#include "index/version_log.h"
+#include "util/result.h"
+
+namespace idm::storage {
+
+struct Mutation {
+  enum class Kind : uint32_t {
+    kInternSource = 0,    ///< s1=source name
+    kRegister = 1,        ///< s1=uri, s2=class name, a=source id, b=derived
+    kCatalogRemove = 2,   ///< a=id
+    kNameAdd = 3,         ///< a=id, s1=name
+    kNameRemove = 4,      ///< a=id
+    kTupleAdd = 5,        ///< a=id, s1=serialized TupleComponent
+    kTupleRemove = 6,     ///< a=id
+    kContentAdd = 7,      ///< a=id, s1=document text
+    kContentRemove = 8,   ///< a=id
+    kGroupSet = 9,        ///< a=parent id, ids=children
+    kGroupRemoveAll = 10, ///< a=id
+    kLineageRecord = 11,  ///< a=derived id, b=origin id, s1=transformation
+    kLineageForget = 12,  ///< a=id
+    kVersionAppend = 13,  ///< a=op, b=id, c=timestamp micros
+  };
+
+  Kind kind = Kind::kInternSource;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  uint64_t c = 0;
+  std::string s1;
+  std::string s2;
+  std::vector<uint64_t> ids;
+
+  void EncodeTo(std::string* out) const;
+  /// Decodes one mutation starting at \p *pos; advances \p *pos past it.
+  static bool DecodeFrom(std::string_view in, size_t* pos, Mutation* out);
+
+  bool operator==(const Mutation&) const = default;
+};
+
+/// The mutable structures a mutation applies to (the RVM's members).
+struct Structures {
+  index::Catalog* catalog = nullptr;
+  index::NameIndex* names = nullptr;
+  index::TupleIndex* tuples = nullptr;
+  index::InvertedIndex* content = nullptr;
+  index::GroupStore* groups = nullptr;
+  index::LineageStore* lineage = nullptr;
+  index::VersionLog* versions = nullptr;
+};
+
+/// Executes \p m against \p s. Returns the produced id for kInternSource
+/// (source id) and kRegister (DocId); 0 for all other kinds. Fails only on
+/// malformed payloads (e.g. an undecodable tuple image).
+Result<index::DocId> ApplyMutation(const Mutation& m, const Structures& s);
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_RECORD_H_

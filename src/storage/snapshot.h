@@ -1,0 +1,37 @@
+// Checkpoint image: the serialized state of every RVM structure plus the
+// WAL commit sequence it reflects. Encode seals the image with a CRC32 so
+// a torn checkpoint write is detected and recovery falls back to the
+// previous generation.
+
+#ifndef IDM_STORAGE_SNAPSHOT_H_
+#define IDM_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace idm::storage {
+
+struct Snapshot {
+  /// WAL commit sequence this image reflects; replay resumes after it.
+  uint64_t last_commit_seq = 0;
+
+  // One deterministic Serialize() image per RVM structure.
+  std::string catalog;
+  std::string names;
+  std::string tuples;
+  std::string content;
+  std::string groups;
+  std::string lineage;
+  std::string versions;
+
+  std::string Encode() const;
+  static Result<Snapshot> Decode(const std::string& data);
+
+  bool operator==(const Snapshot&) const = default;
+};
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,127 @@
+#include "storage/wal.h"
+
+#include "storage/crc32.h"
+#include "util/codec.h"
+
+namespace idm::storage {
+
+namespace {
+
+constexpr char kTagMutation = 1;
+constexpr char kTagCommit = 2;
+
+}  // namespace
+
+void FrameRecord(std::string_view payload, std::string* out) {
+  codec::PutU32(out, static_cast<uint32_t>(payload.size()));
+  codec::PutU32(out, Crc32(payload));
+  out->append(payload);
+}
+
+WalScanResult ScanWal(std::string_view data) {
+  WalScanResult result;
+  std::vector<Mutation> pending;
+  size_t pos = 0;
+  while (pos < data.size()) {
+    size_t frame_start = pos;
+    uint32_t len = 0, crc = 0;
+    if (!codec::GetU32(data, &pos, &len) || !codec::GetU32(data, &pos, &crc) ||
+        len > data.size() - pos) {
+      result.torn_tail = true;
+      break;
+    }
+    std::string_view payload = data.substr(pos, len);
+    if (Crc32(payload) != crc || payload.empty()) {
+      result.torn_tail = true;
+      break;
+    }
+    pos += len;
+    char tag = payload.front();
+    if (tag == kTagMutation) {
+      Mutation m;
+      size_t mpos = 1;
+      if (!Mutation::DecodeFrom(payload, &mpos, &m) || mpos != payload.size()) {
+        // CRC passed but the payload is gibberish: treat as corruption and
+        // stop at the last intact commit, like any torn tail.
+        result.torn_tail = true;
+        pos = frame_start;
+        break;
+      }
+      pending.push_back(std::move(m));
+    } else if (tag == kTagCommit) {
+      size_t spos = 1;
+      uint64_t seq = 0;
+      if (!codec::GetU64(payload, &spos, &seq) || spos != payload.size()) {
+        result.torn_tail = true;
+        pos = frame_start;
+        break;
+      }
+      for (Mutation& m : pending) result.mutations.push_back(std::move(m));
+      pending.clear();
+      result.last_commit_seq = seq;
+      result.valid_bytes = pos;
+    } else {
+      result.torn_tail = true;
+      pos = frame_start;
+      break;
+    }
+  }
+  if (pos < data.size()) result.torn_tail = true;
+  result.dropped_records = pending.size();
+  if (result.dropped_records > 0) result.torn_tail = true;
+  return result;
+}
+
+Status WalWriter::AppendBatch(const std::vector<Mutation>& batch,
+                              uint64_t commit_seq) {
+  std::string blob;
+  std::string payload;
+  for (const Mutation& m : batch) {
+    payload.clear();
+    payload.push_back(kTagMutation);
+    m.EncodeTo(&payload);
+    FrameRecord(payload, &blob);
+  }
+  payload.clear();
+  payload.push_back(kTagCommit);
+  codec::PutU64(&payload, commit_seq);
+  FrameRecord(payload, &blob);
+
+  IDM_RETURN_NOT_OK(env_->Append(path_, blob));
+  last_appended_seq_ = commit_seq;
+  appended_bytes_ += blob.size();
+  unsynced_bytes_ += blob.size();
+
+  bool sync = false;
+  switch (policy_) {
+    case FsyncPolicy::kEveryCommit:
+      sync = true;
+      break;
+    case FsyncPolicy::kInterval: {
+      Micros now = clock_ != nullptr ? clock_->NowMicros() : 0;
+      if (now - last_sync_at_ >= fsync_interval_micros_) sync = true;
+      break;
+    }
+    case FsyncPolicy::kBytes:
+      if (unsynced_bytes_ >= fsync_bytes_) sync = true;
+      break;
+    case FsyncPolicy::kNever:
+      break;
+  }
+  if (sync) return SyncNow();
+  return Status::OK();
+}
+
+Status WalWriter::SyncNow() {
+  if (unsynced_bytes_ == 0 && last_durable_seq_ == last_appended_seq_) {
+    return Status::OK();
+  }
+  IDM_RETURN_NOT_OK(env_->Sync(path_));
+  last_durable_seq_ = last_appended_seq_;
+  unsynced_bytes_ = 0;
+  ++sync_count_;
+  last_sync_at_ = clock_ != nullptr ? clock_->NowMicros() : 0;
+  return Status::OK();
+}
+
+}  // namespace idm::storage

@@ -1,0 +1,105 @@
+// Write-ahead log framing, group commit, and torn-tail scanning.
+//
+// On-disk layout (DESIGN.md §9): a WAL file is a sequence of frames
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// where the payload's first byte is a tag: 1 = one encoded Mutation,
+// 2 = commit marker carrying the u64 commit sequence. All mutations
+// between two commit markers form one atomic batch; recovery replays
+// only batches whose commit marker is intact. A frame whose length or
+// CRC does not check out marks the torn tail — everything from there on
+// is discarded (the standard ARIES/RocksDB tail rule).
+
+#ifndef IDM_STORAGE_WAL_H_
+#define IDM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/env.h"
+#include "storage/record.h"
+#include "util/clock.h"
+
+namespace idm::storage {
+
+/// When appended commit batches are forced to the platter.
+enum class FsyncPolicy {
+  kEveryCommit,  ///< fsync after every commit marker (durability = commit)
+  kInterval,     ///< fsync when fsync_interval_micros elapsed since the last
+  kBytes,        ///< fsync when fsync_bytes unsynced bytes accumulated
+  kNever,        ///< rely on OS writeback only (crash may lose commits)
+};
+
+/// Frames \p payload and appends the frame to \p out.
+void FrameRecord(std::string_view payload, std::string* out);
+
+/// Result of scanning a WAL image for committed batches.
+struct WalScanResult {
+  /// Mutations of every fully committed batch, in log order.
+  std::vector<Mutation> mutations;
+  /// Sequence of the last intact commit marker (0 = none).
+  uint64_t last_commit_seq = 0;
+  /// Bytes up to and including the last intact commit marker; the engine
+  /// truncates the file here to drop the torn tail.
+  uint64_t valid_bytes = 0;
+  /// True when trailing bytes after the last intact frame were discarded.
+  bool torn_tail = false;
+  /// Mutation records dropped because their commit marker never made it.
+  uint64_t dropped_records = 0;
+};
+
+/// Scans a WAL image. Never fails: corruption terminates the scan at the
+/// last intact commit marker and is reported via torn_tail/dropped_records.
+WalScanResult ScanWal(std::string_view data);
+
+/// Appends commit batches to one WAL file under a group-commit fsync
+/// policy. Each batch — all mutation frames plus the commit marker — is
+/// handed to the Env as a single Append, so a crash can tear at most the
+/// tail of one batch.
+class WalWriter {
+ public:
+  WalWriter(Env* env, std::string path, FsyncPolicy policy,
+            Micros fsync_interval_micros, uint64_t fsync_bytes, Clock* clock)
+      : env_(env),
+        path_(std::move(path)),
+        policy_(policy),
+        fsync_interval_micros_(fsync_interval_micros),
+        fsync_bytes_(fsync_bytes),
+        clock_(clock) {}
+
+  /// Appends one committed batch and applies the fsync policy.
+  Status AppendBatch(const std::vector<Mutation>& batch, uint64_t commit_seq);
+
+  /// Forces everything appended so far to the platter.
+  Status SyncNow();
+
+  /// Sequence of the last commit known durable (fsynced). Under kNever
+  /// this stays 0 even though commits may in fact survive.
+  uint64_t last_durable_seq() const { return last_durable_seq_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t sync_count() const { return sync_count_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  Env* env_;
+  std::string path_;
+  FsyncPolicy policy_;
+  Micros fsync_interval_micros_;
+  uint64_t fsync_bytes_;
+  Clock* clock_;
+
+  uint64_t last_appended_seq_ = 0;
+  uint64_t last_durable_seq_ = 0;
+  uint64_t appended_bytes_ = 0;
+  uint64_t unsynced_bytes_ = 0;
+  uint64_t sync_count_ = 0;
+  Micros last_sync_at_ = 0;
+};
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_WAL_H_

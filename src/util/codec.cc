@@ -1,0 +1,77 @@
+#include "util/codec.h"
+
+#include <cstring>
+
+namespace idm::codec {
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (i * 8)) & 0xFF));
+  }
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+bool GetU32(std::string_view in, size_t* pos, uint32_t* v) {
+  if (*pos > in.size() || in.size() - *pos < 4) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos + i]))
+          << (i * 8);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(std::string_view in, size_t* pos, uint64_t* v) {
+  if (*pos > in.size() || in.size() - *pos < 8) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+          << (i * 8);
+  }
+  *pos += 8;
+  return true;
+}
+
+bool GetI64(std::string_view in, size_t* pos, int64_t* v) {
+  uint64_t u = 0;
+  if (!GetU64(in, pos, &u)) return false;
+  *v = static_cast<int64_t>(u);
+  return true;
+}
+
+bool GetDouble(std::string_view in, size_t* pos, double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(in, pos, &bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool GetString(std::string_view in, size_t* pos, std::string* s) {
+  uint64_t len = 0;
+  if (!GetU64(in, pos, &len)) return false;
+  // Overflow-safe: compare against what actually remains.
+  if (len > in.size() - *pos) return false;
+  s->assign(in.substr(*pos, len));
+  *pos += len;
+  return true;
+}
+
+}  // namespace idm::codec

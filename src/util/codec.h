@@ -1,0 +1,34 @@
+// Little-endian binary codec shared by every on-disk / in-image format in
+// the repository (catalog, version log, index snapshots, WAL records).
+//
+// All Get* readers are bounds- and overflow-safe: a length field larger
+// than the remaining input fails instead of wrapping `pos + len` around
+// SIZE_MAX — a truncated or hostile image is reported, never half-read.
+
+#ifndef IDM_UTIL_CODEC_H_
+#define IDM_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace idm::codec {
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+void PutDouble(std::string* out, double v);
+/// u64 length prefix followed by the raw bytes.
+void PutString(std::string* out, std::string_view s);
+
+bool GetU32(std::string_view in, size_t* pos, uint32_t* v);
+bool GetU64(std::string_view in, size_t* pos, uint64_t* v);
+bool GetI64(std::string_view in, size_t* pos, int64_t* v);
+bool GetDouble(std::string_view in, size_t* pos, double* v);
+bool GetString(std::string_view in, size_t* pos, std::string* s);
+
+}  // namespace idm::codec
+
+#endif  // IDM_UTIL_CODEC_H_

@@ -56,7 +56,7 @@ TEST_F(LineageVersioningTest, RemoveSubtreeForgetsLineage) {
   auto tex = module_.catalog().Find("vfs:/docs/paper.tex");
   ASSERT_TRUE(tex.has_value());
   ASSERT_FALSE(module_.lineage().DerivedFrom(*tex).empty());
-  module_.RemoveSubtree("vfs:/docs/paper.tex");
+  ASSERT_TRUE(module_.RemoveSubtree("vfs:/docs/paper.tex").ok());
   EXPECT_TRUE(module_.lineage().DerivedFrom(*tex).empty());
 }
 

@@ -147,7 +147,8 @@ TEST_F(RvmTest, RemoveSubtreeDropsDerivedViews) {
   FileSystemSource source("Filesystem", fs_);
   ASSERT_TRUE(module_.IndexSource(source, ConverterRegistry::Standard()).ok());
   size_t before = module_.catalog().live_count();
-  SyncStats removed = module_.RemoveSubtree("vfs:/Projects/PIM/paper.tex");
+  SyncStats removed =
+      module_.RemoveSubtree("vfs:/Projects/PIM/paper.tex").value();
   EXPECT_GT(removed.removed, 1u);  // the file + its latex subgraph
   EXPECT_EQ(module_.catalog().live_count(), before - removed.removed);
   EXPECT_FALSE(module_.catalog().Find("vfs:/Projects/PIM/paper.tex").has_value());

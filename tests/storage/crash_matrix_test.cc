@@ -1,0 +1,210 @@
+// The storage tentpole's acceptance test: a scripted dataspace workload is
+// killed at EVERY mutating env operation (mid-record appends, mid-checkpoint
+// renames, post-commit-pre-fsync windows), under several page-cache
+// writeback prefixes and fsync policies. Each crashed run is rebooted and
+// recovered, and the recovered module must be byte-identical — all seven
+// structure images plus the VersionLog epoch — to a never-crashed oracle at
+// the recovered commit sequence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rvm/rvm.h"
+#include "storage/engine.h"
+#include "storage/env.h"
+#include "util/fault.h"
+
+namespace idm::storage {
+namespace {
+
+// One structure-state fingerprint. The engine's commit sequence is compared
+// separately, so it is zeroed out of the image.
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+struct Harness {
+  Harness() : fs(std::make_shared<vfs::VirtualFileSystem>(&clock)) {}
+
+  MemEnv env;
+  SimClock clock;
+  std::shared_ptr<vfs::VirtualFileSystem> fs;
+  rvm::ReplicaIndexesModule module;
+  StorageEngine::Recovered recovered;
+  std::unique_ptr<StorageEngine> engine;
+};
+
+Status SeedFs(vfs::VirtualFileSystem& fs) {
+  IDM_RETURN_NOT_OK(fs.CreateFolder("/Projects/PIM"));
+  IDM_RETURN_NOT_OK(fs.WriteFile("/Projects/PIM/paper.tex",
+                                 "\\documentclass{article}\\begin{document}"
+                                 "\\section{Introduction}Mike Franklin here."
+                                 "\\end{document}"));
+  IDM_RETURN_NOT_OK(
+      fs.WriteFile("/Projects/PIM/notes.txt", "database tuning notes"));
+  return fs.WriteFile("/Projects/binary.jpg", std::string(512, '\x07'));
+}
+
+// The scripted workload: index a VFS source, modify + sync, checkpoint
+// mid-way, add + sync, delete behind the module's back + sync, then an
+// explicit subtree removal. Every step is deterministic (SimClock, fixed
+// content), so two runs agree byte-for-byte at equal commit sequences.
+Status RunWorkload(Harness& r, FsyncPolicy policy,
+                   std::function<void(uint64_t)> listener) {
+  IDM_RETURN_NOT_OK(SeedFs(*r.fs));
+  StorageOptions options;
+  options.fsync_policy = policy;
+  IDM_ASSIGN_OR_RETURN(r.recovered,
+                       StorageEngine::Open(&r.env, "db", options, &r.clock));
+  r.engine = std::move(r.recovered.engine);
+  if (listener) r.engine->set_commit_listener(std::move(listener));
+  r.module.SetClock(&r.clock);
+  r.module.AttachStorage(r.engine.get());
+
+  rvm::FileSystemSource source("Filesystem", r.fs);
+  auto converters = rvm::ConverterRegistry::Standard();
+  IDM_RETURN_NOT_OK(r.module.IndexSource(source, converters).status());
+
+  r.clock.AdvanceSeconds(5);
+  IDM_RETURN_NOT_OK(
+      r.fs->WriteFile("/Projects/PIM/notes.txt", "rewritten tuning notes"));
+  IDM_RETURN_NOT_OK(r.module.SyncSource(source, converters).status());
+
+  IDM_RETURN_NOT_OK(r.engine->Checkpoint(r.module.ExportSnapshot()));
+
+  r.clock.AdvanceSeconds(5);
+  IDM_RETURN_NOT_OK(
+      r.fs->WriteFile("/Projects/PIM/fresh.txt", "fresh dataspace entry"));
+  IDM_RETURN_NOT_OK(r.module.SyncSource(source, converters).status());
+
+  r.clock.AdvanceSeconds(5);
+  IDM_RETURN_NOT_OK(r.fs->Remove("/Projects/binary.jpg"));
+  IDM_RETURN_NOT_OK(r.module.SyncSource(source, converters).status());
+
+  IDM_RETURN_NOT_OK(
+      r.module.RemoveSubtree("vfs:/Projects/PIM/paper.tex").status());
+  return r.engine->SyncNow();
+}
+
+struct RecoveredRun {
+  SimClock clock;
+  rvm::ReplicaIndexesModule module;
+  StorageEngine::Recovered rec;
+};
+
+Status Recover(Env* env, FsyncPolicy policy, RecoveredRun* out) {
+  StorageOptions options;
+  options.fsync_policy = policy;
+  IDM_ASSIGN_OR_RETURN(out->rec,
+                       StorageEngine::Open(env, "db", options, &out->clock));
+  out->module.SetClock(&out->clock);
+  if (out->rec.snapshot.has_value()) {
+    IDM_RETURN_NOT_OK(out->module.RestoreSnapshot(*out->rec.snapshot));
+  }
+  IDM_RETURN_NOT_OK(out->module.ReplayMutations(out->rec.mutations));
+  out->module.AttachStorage(out->rec.engine.get());
+  return Status::OK();
+}
+
+TEST(CrashMatrix, RecoveryMatchesNeverCrashedOracleAtEveryKillPoint) {
+  // --- Oracle: the never-crashed run, fingerprinted at every commit. ------
+  std::map<uint64_t, std::string> images;
+  std::map<uint64_t, uint64_t> epochs;
+  {
+    SimClock clock;
+    rvm::ReplicaIndexesModule empty;
+    empty.SetClock(&clock);
+    images[0] = Image(empty);
+    epochs[0] = empty.epoch();
+  }
+  Harness oracle;
+  Status oracle_status =
+      RunWorkload(oracle, FsyncPolicy::kEveryCommit, [&](uint64_t seq) {
+        images[seq] = Image(oracle.module);
+        epochs[seq] = oracle.module.epoch();
+      });
+  ASSERT_TRUE(oracle_status.ok()) << oracle_status;
+  const uint64_t oracle_commits = oracle.engine->commit_seq();
+  ASSERT_GE(oracle_commits, 4u);  // index + 3 syncs + removal
+  ASSERT_EQ(images.size(), oracle_commits + 1);
+
+  // --- The matrix: kill every op × writeback prefix × fsync policy. -------
+  bool saw_torn_tail = false;
+  bool saw_pre_checkpoint_generation = false;
+  bool saw_post_checkpoint_generation = false;
+  bool saw_lost_volatile_commit = false;
+  for (FsyncPolicy policy : {FsyncPolicy::kEveryCommit, FsyncPolicy::kNever}) {
+    uint64_t total_ops = 0;
+    {
+      Harness dry;
+      Status status = RunWorkload(dry, policy, nullptr);
+      ASSERT_TRUE(status.ok()) << status;
+      total_ops = dry.env.mutating_ops();
+      // The dry run of each policy must agree with the oracle too.
+      EXPECT_EQ(Image(dry.module), images[oracle_commits]);
+    }
+    ASSERT_GT(total_ops, 10u);
+
+    for (uint64_t writeback : {uint64_t{0}, uint64_t{7}}) {
+      for (uint64_t k = 0; k < total_ops; ++k) {
+        SCOPED_TRACE("policy=" + std::to_string(static_cast<int>(policy)) +
+                     " writeback=" + std::to_string(writeback) +
+                     " kill_op=" + std::to_string(k));
+        Harness run;
+        run.env.set_crash_writeback_bytes(writeback);
+        FaultInjector injector(1);
+        injector.ScheduleFault(k, FaultKind::kIoError);
+        run.env.SetFaultInjector(&injector);
+        Status crashed = RunWorkload(run, policy, nullptr);
+        run.env.SetFaultInjector(nullptr);
+        ASSERT_FALSE(crashed.ok()) << "kill point never reached";
+        ASSERT_TRUE(run.env.crashed());
+        run.env.Reboot();
+
+        RecoveredRun after;
+        Status status = Recover(&run.env, policy, &after);
+        ASSERT_TRUE(status.ok()) << status;
+
+        const uint64_t seq = after.rec.stats.last_commit_seq;
+        ASSERT_TRUE(images.count(seq) > 0)
+            << "recovered to unknown commit seq " << seq;
+        // The tentpole invariant: recovered state and epoch are
+        // byte-identical to the oracle at the recovered sequence.
+        EXPECT_EQ(Image(after.module), images[seq]);
+        EXPECT_EQ(after.module.epoch(), epochs[seq]);
+        EXPECT_EQ(after.rec.engine->commit_seq(), seq);
+
+        if (run.engine != nullptr) {
+          // Nothing the crashed engine reported durable may be lost, and
+          // nothing it never committed may materialize.
+          EXPECT_GE(seq, run.engine->last_durable_seq());
+          EXPECT_LE(seq, run.engine->commit_seq());
+          if (policy == FsyncPolicy::kNever &&
+              seq < run.engine->commit_seq()) {
+            saw_lost_volatile_commit = true;  // post-commit-pre-fsync window
+          }
+        }
+        saw_torn_tail |= after.rec.stats.torn_tail_dropped;
+        if (after.rec.stats.generation == 0) {
+          saw_pre_checkpoint_generation = true;
+        } else {
+          saw_post_checkpoint_generation = true;
+        }
+      }
+    }
+  }
+  // The matrix must have exercised all three scripted kill-point classes.
+  EXPECT_TRUE(saw_torn_tail) << "no mid-record crash produced a torn tail";
+  EXPECT_TRUE(saw_pre_checkpoint_generation);
+  EXPECT_TRUE(saw_post_checkpoint_generation);
+  EXPECT_TRUE(saw_lost_volatile_commit)
+      << "no crash landed in the commit-to-fsync window";
+}
+
+}  // namespace
+}  // namespace idm::storage

@@ -1,0 +1,223 @@
+// StorageEngine: open/commit/recover cycles, the checkpoint generation
+// protocol, corruption fallback, torn-tail truncation, and crash recovery
+// at arbitrary points of the checkpoint dance.
+
+#include "storage/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace idm::storage {
+namespace {
+
+Mutation NameAdd(uint64_t id, std::string name) {
+  Mutation m;
+  m.kind = Mutation::Kind::kNameAdd;
+  m.a = id;
+  m.s1 = std::move(name);
+  return m;
+}
+
+Snapshot FakeSnapshot(uint64_t seq, const std::string& marker) {
+  Snapshot s;
+  s.last_commit_seq = seq;
+  s.catalog = "catalog:" + marker;
+  s.names = "names:" + marker;
+  s.tuples = "tuples:" + marker;
+  s.content = "content:" + marker;
+  s.groups = "groups:" + marker;
+  s.lineage = "lineage:" + marker;
+  s.versions = "versions:" + marker;
+  return s;
+}
+
+StorageEngine::Recovered OpenOrDie(Env* env, const std::string& dir,
+                                   const StorageOptions& options,
+                                   Clock* clock) {
+  auto recovered = StorageEngine::Open(env, dir, options, clock);
+  EXPECT_TRUE(recovered.ok()) << recovered.status();
+  return std::move(recovered).value();
+}
+
+TEST(EngineTest, FreshDirectoryStartsEmpty) {
+  MemEnv env;
+  SimClock clock;
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  EXPECT_FALSE(r.snapshot.has_value());
+  EXPECT_TRUE(r.mutations.empty());
+  EXPECT_EQ(r.stats.generation, 0u);
+  EXPECT_EQ(r.engine->commit_seq(), 0u);
+  EXPECT_TRUE(env.Exists("db/CURRENT"));
+  EXPECT_TRUE(env.Exists("db/wal-0.log"));
+}
+
+TEST(EngineTest, CommittedBatchesSurviveReopen) {
+  MemEnv env;
+  SimClock clock;
+  {
+    auto r = OpenOrDie(&env, "db", {}, &clock);
+    r.engine->Log(NameAdd(1, "a"));
+    r.engine->Log(NameAdd(2, "b"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    r.engine->Log(NameAdd(3, "c"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    EXPECT_EQ(r.engine->commit_seq(), 2u);
+    EXPECT_EQ(r.engine->last_durable_seq(), 2u);  // kEveryCommit default
+  }
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  EXPECT_FALSE(r.snapshot.has_value());
+  ASSERT_EQ(r.mutations.size(), 3u);
+  EXPECT_EQ(r.mutations[0].s1, "a");
+  EXPECT_EQ(r.mutations[2].s1, "c");
+  EXPECT_EQ(r.stats.last_commit_seq, 2u);
+  EXPECT_EQ(r.engine->commit_seq(), 2u);  // sequences continue, not restart
+}
+
+TEST(EngineTest, EmptyCommitIsANoOp) {
+  MemEnv env;
+  SimClock clock;
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  ASSERT_TRUE(r.engine->Commit().ok());
+  EXPECT_EQ(r.engine->commit_seq(), 0u);
+  EXPECT_EQ(r.engine->stats().commits, 0u);
+}
+
+TEST(EngineTest, CheckpointRetiresOldGeneration) {
+  MemEnv env;
+  SimClock clock;
+  Snapshot s1;
+  {
+    auto r = OpenOrDie(&env, "db", {}, &clock);
+    r.engine->Log(NameAdd(1, "a"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    s1 = FakeSnapshot(r.engine->commit_seq(), "s1");
+    ASSERT_TRUE(r.engine->Checkpoint(s1).ok());
+    EXPECT_EQ(r.engine->generation(), 1u);
+    r.engine->Log(NameAdd(2, "b"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+  }
+  EXPECT_TRUE(env.Exists("db/checkpoint-1.ckpt"));
+  EXPECT_FALSE(env.Exists("db/wal-0.log"));  // old generation retired
+
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  ASSERT_TRUE(r.snapshot.has_value());
+  EXPECT_EQ(*r.snapshot, s1);
+  ASSERT_EQ(r.mutations.size(), 1u);  // only the WAL suffix after s1
+  EXPECT_EQ(r.mutations[0].s1, "b");
+  EXPECT_EQ(r.stats.generation, 1u);
+  EXPECT_TRUE(r.stats.had_checkpoint);
+  EXPECT_EQ(r.stats.last_commit_seq, 2u);
+}
+
+TEST(EngineTest, CheckpointRequiresCommittedBatch) {
+  MemEnv env;
+  SimClock clock;
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  r.engine->Log(NameAdd(1, "a"));
+  Status status = r.engine->Checkpoint(FakeSnapshot(0, "x"));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, CorruptCheckpointFallsBackInsteadOfFailing) {
+  MemEnv env;
+  SimClock clock;
+  {
+    auto r = OpenOrDie(&env, "db", {}, &clock);
+    r.engine->Log(NameAdd(1, "a"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    ASSERT_TRUE(r.engine->Checkpoint(FakeSnapshot(1, "s1")).ok());
+  }
+  // Bit-rot the live checkpoint: the CRC seal now fails on decode.
+  ASSERT_TRUE(env.Append("db/checkpoint-1.ckpt", "rot").ok());
+  auto r = OpenOrDie(&env, "db", {}, &clock);
+  EXPECT_TRUE(r.stats.checkpoint_fallback);
+  // No older generation survives checkpointing, so the fallback is the
+  // empty baseline — degraded but deterministic, never a crash loop.
+  EXPECT_FALSE(r.snapshot.has_value());
+  EXPECT_EQ(r.stats.generation, 0u);
+}
+
+TEST(EngineTest, TornWalTailIsTruncatedOnRecovery) {
+  MemEnv env;
+  env.set_crash_writeback_bytes(5);
+  SimClock clock;
+  StorageOptions lazy;
+  lazy.fsync_policy = FsyncPolicy::kNever;
+  {
+    auto r = OpenOrDie(&env, "db", lazy, &clock);
+    r.engine->Log(NameAdd(1, "a"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    ASSERT_TRUE(r.engine->SyncNow().ok());  // batch 1 on the platter
+    r.engine->Log(NameAdd(2, "b"));
+    ASSERT_TRUE(r.engine->Commit().ok());  // batch 2 only in page cache
+    // Kill the machine on the next mutating op: 5 bytes of batch 2 reach
+    // the platter as a torn tail.
+    FaultInjector injector(1);
+    injector.ScheduleFault(0, FaultKind::kIoError);
+    env.SetFaultInjector(&injector);
+    EXPECT_FALSE(env.Append("db/poke", "x").ok());
+    env.SetFaultInjector(nullptr);
+  }
+  env.Reboot();
+  auto r = OpenOrDie(&env, "db", lazy, &clock);
+  ASSERT_EQ(r.mutations.size(), 1u);  // batch 2's torn frame was dropped
+  EXPECT_EQ(r.mutations[0].s1, "a");
+  EXPECT_TRUE(r.stats.torn_tail_dropped);
+  EXPECT_EQ(r.stats.last_commit_seq, 1u);
+
+  // The tail was truncated away: a second recovery is clean.
+  auto again = OpenOrDie(&env, "db", lazy, &clock);
+  EXPECT_FALSE(again.stats.torn_tail_dropped);
+  EXPECT_EQ(again.stats.last_commit_seq, 1u);
+}
+
+// Crash at EVERY env operation inside the checkpoint protocol: recovery
+// must always land on a complete generation — either the old one (with its
+// full WAL) or the new checkpoint — never on a half-switched state.
+TEST(EngineTest, CrashAnywhereInCheckpointProtocolRecoversConsistently) {
+  std::set<uint64_t> seen_generations;
+  for (uint64_t k = 0;; ++k) {
+    MemEnv env;
+    SimClock clock;
+    auto r = OpenOrDie(&env, "db", {}, &clock);
+    r.engine->Log(NameAdd(1, "a"));
+    ASSERT_TRUE(r.engine->Commit().ok());
+    Snapshot s1 = FakeSnapshot(r.engine->commit_seq(), "s1");
+
+    FaultInjector injector(1);  // attached fresh: op indices restart at 0
+    injector.ScheduleFault(k, FaultKind::kIoError);
+    env.SetFaultInjector(&injector);
+    Status status = r.engine->Checkpoint(s1);
+    env.SetFaultInjector(nullptr);
+    if (status.ok()) {
+      // k is past the protocol's op count: the whole matrix is covered.
+      EXPECT_GT(seen_generations.count(0), 0u);
+      EXPECT_GT(seen_generations.count(1), 0u);
+      break;
+    }
+    ASSERT_TRUE(env.crashed());
+    env.Reboot();
+    auto recovered = OpenOrDie(&env, "db", {}, &clock);
+    seen_generations.insert(recovered.stats.generation);
+    if (recovered.stats.generation == 0) {
+      // Old generation: the full WAL replays.
+      EXPECT_FALSE(recovered.snapshot.has_value());
+      ASSERT_EQ(recovered.mutations.size(), 1u);
+      EXPECT_EQ(recovered.mutations[0].s1, "a");
+    } else {
+      // New generation: the checkpoint took, the WAL suffix is empty.
+      ASSERT_TRUE(recovered.snapshot.has_value());
+      EXPECT_EQ(*recovered.snapshot, s1);
+      EXPECT_TRUE(recovered.mutations.empty());
+    }
+    EXPECT_EQ(recovered.stats.last_commit_seq, 1u);
+    ASSERT_LT(k, 100u) << "checkpoint protocol unexpectedly long";
+  }
+}
+
+}  // namespace
+}  // namespace idm::storage

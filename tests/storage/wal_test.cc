@@ -1,0 +1,201 @@
+// WAL framing, torn-tail scanning, the MemEnv crash model, and the group
+// commit fsync policies.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/crc32.h"
+#include "storage/env.h"
+#include "util/clock.h"
+#include "util/fault.h"
+
+namespace idm::storage {
+namespace {
+
+Mutation NameAdd(uint64_t id, std::string name) {
+  Mutation m;
+  m.kind = Mutation::Kind::kNameAdd;
+  m.a = id;
+  m.s1 = std::move(name);
+  return m;
+}
+
+std::string WalImage(MemEnv& env, const std::string& path) {
+  auto data = env.ReadFile(path);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return data.ok() ? *data : std::string();
+}
+
+TEST(WalFraming, MutationRoundTrip) {
+  Mutation m;
+  m.kind = Mutation::Kind::kRegister;
+  m.a = 7;
+  m.b = 1;
+  m.s1 = "vfs:/docs/paper.tex";
+  m.s2 = "file";
+  m.ids = {1, 2, 3};
+  std::string bytes;
+  m.EncodeTo(&bytes);
+  Mutation decoded;
+  size_t pos = 0;
+  ASSERT_TRUE(Mutation::DecodeFrom(bytes, &pos, &decoded));
+  EXPECT_EQ(pos, bytes.size());
+  EXPECT_EQ(decoded, m);
+}
+
+TEST(WalFraming, CommittedBatchesScanBack) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "dir/wal-0.log", FsyncPolicy::kEveryCommit, 0, 0,
+                   &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "a"), NameAdd(2, "b")}, 1).ok());
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(3, "c")}, 2).ok());
+
+  WalScanResult scan = ScanWal(WalImage(env, "dir/wal-0.log"));
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.last_commit_seq, 2u);
+  ASSERT_EQ(scan.mutations.size(), 3u);
+  EXPECT_EQ(scan.mutations[2].s1, "c");
+  EXPECT_EQ(scan.dropped_records, 0u);
+}
+
+TEST(WalFraming, TornTailIsDroppedAtEveryCutPoint) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kEveryCommit, 0, 0, &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "a")}, 1).ok());
+  std::string intact = WalImage(env, "w");
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(2, "b")}, 2).ok());
+  std::string full = WalImage(env, "w");
+
+  // Every strict prefix that cuts into batch 2 must recover exactly batch 1.
+  for (size_t cut = intact.size() + 1; cut < full.size(); ++cut) {
+    WalScanResult scan = ScanWal(std::string_view(full).substr(0, cut));
+    EXPECT_TRUE(scan.torn_tail) << "cut=" << cut;
+    EXPECT_EQ(scan.last_commit_seq, 1u) << "cut=" << cut;
+    EXPECT_EQ(scan.valid_bytes, intact.size()) << "cut=" << cut;
+    ASSERT_EQ(scan.mutations.size(), 1u) << "cut=" << cut;
+    EXPECT_EQ(scan.mutations[0].s1, "a");
+  }
+  WalScanResult scan = ScanWal(full);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.last_commit_seq, 2u);
+}
+
+TEST(WalFraming, CorruptedByteInvalidatesFrame) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kEveryCommit, 0, 0, &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "aaaa")}, 1).ok());
+  std::string image = WalImage(env, "w");
+  image[image.size() / 2] ^= 0x40;  // flip one bit mid-log
+  WalScanResult scan = ScanWal(image);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.last_commit_seq, 0u);
+  EXPECT_TRUE(scan.mutations.empty());
+}
+
+TEST(WalFraming, MutationsWithoutCommitAreDropped) {
+  std::string image;
+  std::string payload;
+  payload.push_back(1);  // mutation tag
+  NameAdd(1, "a").EncodeTo(&payload);
+  FrameRecord(payload, &image);  // no commit marker follows
+  WalScanResult scan = ScanWal(image);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.dropped_records, 1u);
+  EXPECT_TRUE(scan.mutations.empty());
+  EXPECT_EQ(scan.valid_bytes, 0u);
+}
+
+// --- MemEnv crash model -----------------------------------------------------
+
+TEST(MemEnvCrash, UnsyncedBytesDieWithTheMachine) {
+  MemEnv env;
+  ASSERT_TRUE(env.Append("f", "durable").ok());
+  ASSERT_TRUE(env.Sync("f").ok());
+  ASSERT_TRUE(env.Append("f", "volatile").ok());
+
+  FaultInjector injector(1);
+  injector.ScheduleFault(0, FaultKind::kIoError);
+  env.SetFaultInjector(&injector);
+  EXPECT_FALSE(env.Append("f", "x").ok());  // the killed op
+  EXPECT_TRUE(env.crashed());
+  EXPECT_FALSE(env.ReadFile("f").ok());  // machine down until reboot
+  env.Reboot();
+  auto data = env.ReadFile("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "durable");  // buffered bytes are gone
+}
+
+TEST(MemEnvCrash, WritebackPrefixSurvivesAsTornTail) {
+  MemEnv env;
+  env.set_crash_writeback_bytes(3);
+  ASSERT_TRUE(env.Append("f", "abc").ok());
+  ASSERT_TRUE(env.Sync("f").ok());
+
+  FaultInjector injector(1);
+  injector.ScheduleFault(0, FaultKind::kIoError);
+  env.SetFaultInjector(&injector);
+  EXPECT_FALSE(env.Append("f", "defgh").ok());
+  env.Reboot();
+  auto data = env.ReadFile("f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, "abcdef");  // 3-byte page-cache writeback: a torn tail
+}
+
+// --- fsync policies ---------------------------------------------------------
+
+TEST(FsyncPolicies, EveryCommitMakesEachBatchDurable) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kEveryCommit, 0, 0, &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "a")}, 1).ok());
+  EXPECT_EQ(writer.last_durable_seq(), 1u);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(2, "b")}, 2).ok());
+  EXPECT_EQ(writer.last_durable_seq(), 2u);
+  EXPECT_EQ(writer.sync_count(), 2u);
+}
+
+TEST(FsyncPolicies, NeverLeavesCommitsVolatile) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kNever, 0, 0, &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "a")}, 1).ok());
+  EXPECT_EQ(writer.last_durable_seq(), 0u);
+  EXPECT_EQ(writer.sync_count(), 0u);
+  ASSERT_TRUE(writer.SyncNow().ok());  // explicit sync still works
+  EXPECT_EQ(writer.last_durable_seq(), 1u);
+}
+
+TEST(FsyncPolicies, IntervalSyncsOnTheSimClock) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kInterval, /*interval=*/1'000'000,
+                   /*bytes=*/0, &clock);
+  // First batch: a full interval has "elapsed" since last_sync_at_ = 0 only
+  // after the clock advances past the epoch-based threshold.
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, "a")}, 1).ok());
+  uint64_t after_first = writer.sync_count();
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(2, "b")}, 2).ok());
+  EXPECT_EQ(writer.sync_count(), after_first);  // same instant: no new sync
+  clock.AdvanceSeconds(2);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(3, "c")}, 3).ok());
+  EXPECT_EQ(writer.sync_count(), after_first + 1);
+  EXPECT_EQ(writer.last_durable_seq(), 3u);
+}
+
+TEST(FsyncPolicies, BytesThresholdGroupsCommits) {
+  MemEnv env;
+  SimClock clock;
+  WalWriter writer(&env, "w", FsyncPolicy::kBytes, 0, /*bytes=*/4096, &clock);
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(1, std::string(100, 'x'))}, 1).ok());
+  EXPECT_EQ(writer.last_durable_seq(), 0u);  // below threshold
+  ASSERT_TRUE(writer.AppendBatch({NameAdd(2, std::string(5000, 'y'))}, 2).ok());
+  EXPECT_EQ(writer.last_durable_seq(), 2u);  // crossed: group-committed
+  EXPECT_EQ(writer.sync_count(), 1u);
+}
+
+}  // namespace
+}  // namespace idm::storage
