@@ -152,6 +152,24 @@ std::string ContentComponent::Prefix(size_t n) const {
   return out;
 }
 
+std::string ContentComponent::GuardedPrefix(size_t n,
+                                            util::ExecContext* ctx) const {
+  if (ctx == nullptr) return Prefix(n);
+  if (provider_ == nullptr || n == 0) return "";
+  std::string out;
+  util::ScopedCharge reservation(ctx);
+  auto reader = provider_->OpenReader();
+  while (out.size() < n) {
+    if (!ctx->TickAlive()) break;  // one step per chunk expansion
+    auto chunk = reader->NextChunk();
+    if (!chunk.has_value()) break;
+    if (!reservation.Add(chunk->size()).ok()) break;
+    out += *chunk;
+  }
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
 std::unique_ptr<ContentReader> ContentComponent::OpenReader() const {
   if (provider_ == nullptr) return std::make_unique<OneShotReader>("");
   return provider_->OpenReader();

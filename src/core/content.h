@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace idm::core {
@@ -65,6 +66,18 @@ class ContentComponent {
 
   /// First min(n, size) symbols. Works on infinite content.
   std::string Prefix(size_t n) const;
+
+  /// Governed Prefix: materializes up to \p n symbols under \p ctx. Each
+  /// produced chunk counts one execution step and charges its byte size to
+  /// the memory budget (released again on return — the reservation guards
+  /// the expansion, the returned string belongs to the caller). Stops early
+  /// — returning the symbols materialized so far, always a prefix — when
+  /// the context's deadline, step or memory budget overruns; the overrun
+  /// is then visible in ctx->status(). This is the lazy-iteration guard
+  /// hook that lets infinite/intensional χ components (paper §4.1, §4.3)
+  /// be expanded inside a bounded query. \p ctx == nullptr degrades to
+  /// Prefix(n).
+  std::string GuardedPrefix(size_t n, util::ExecContext* ctx) const;
 
   /// Opens a fresh single-pass reader.
   std::unique_ptr<ContentReader> OpenReader() const;

@@ -65,6 +65,7 @@ namespace {
 
 std::unordered_set<DocId> Reach(
     const std::vector<DocId>& starts, size_t max_nodes, size_t* expanded,
+    util::ExecContext* ctx,
     const std::function<const std::vector<DocId>*(DocId)>& neighbors) {
   std::unordered_set<DocId> visited;
   std::deque<DocId> queue;
@@ -72,6 +73,7 @@ std::unordered_set<DocId> Reach(
   for (DocId start : starts) queue.push_back(start);
   std::unordered_set<DocId> enqueued(starts.begin(), starts.end());
   while (!queue.empty() && visited.size() < max_nodes) {
+    if (ctx != nullptr && !ctx->TickAlive()) break;  // one step per node
     DocId id = queue.front();
     queue.pop_front();
     ++touched;
@@ -89,17 +91,18 @@ std::unordered_set<DocId> Reach(
 }  // namespace
 
 std::unordered_set<DocId> GroupStore::Descendants(
-    const std::vector<DocId>& roots, size_t max_nodes, size_t* expanded) const {
-  return Reach(roots, max_nodes, expanded, [this](DocId id) {
+    const std::vector<DocId>& roots, size_t max_nodes, size_t* expanded,
+    util::ExecContext* ctx) const {
+  return Reach(roots, max_nodes, expanded, ctx, [this](DocId id) {
     auto it = children_.find(id);
     return it == children_.end() ? nullptr : &it->second;
   });
 }
 
 std::unordered_set<DocId> GroupStore::Ancestors(
-    const std::vector<DocId>& targets, size_t max_nodes,
-    size_t* expanded) const {
-  return Reach(targets, max_nodes, expanded, [this](DocId id) {
+    const std::vector<DocId>& targets, size_t max_nodes, size_t* expanded,
+    util::ExecContext* ctx) const {
+  return Reach(targets, max_nodes, expanded, ctx, [this](DocId id) {
     auto it = parents_.find(id);
     return it == parents_.end() ? nullptr : &it->second;
   });
@@ -107,11 +110,13 @@ std::unordered_set<DocId> GroupStore::Ancestors(
 
 bool GroupStore::ReachedFromAny(DocId start,
                                 const std::unordered_set<DocId>& sources,
-                                size_t max_nodes, size_t* expanded) const {
+                                size_t max_nodes, size_t* expanded,
+                                util::ExecContext* ctx) const {
   std::unordered_set<DocId> visited{start};
   std::deque<DocId> queue{start};
   size_t touched = 0;
   while (!queue.empty() && visited.size() < max_nodes) {
+    if (ctx != nullptr && !ctx->TickAlive()) break;
     DocId id = queue.front();
     queue.pop_front();
     ++touched;

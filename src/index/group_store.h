@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "index/inverted_index.h"  // for DocId
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace idm::index {
@@ -37,24 +38,31 @@ class GroupStore {
   /// the roots themselves unless reached via a cycle. Bounded by
   /// \p max_nodes. `expanded` (optional) reports how many nodes were
   /// touched — the paper's Q8 discussion is about exactly this cost.
+  /// \p ctx (optional) governs the traversal: each expanded node counts
+  /// one step, and a doomed context stops the BFS early — the caller must
+  /// then treat the returned set as incomplete (ctx->status() reports why).
   std::unordered_set<DocId> Descendants(const std::vector<DocId>& roots,
                                         size_t max_nodes = SIZE_MAX,
-                                        size_t* expanded = nullptr) const;
+                                        size_t* expanded = nullptr,
+                                        util::ExecContext* ctx = nullptr) const;
 
   /// All ids that reach \p targets (ancestors), analogous bound.
   std::unordered_set<DocId> Ancestors(const std::vector<DocId>& targets,
                                       size_t max_nodes = SIZE_MAX,
-                                      size_t* expanded = nullptr) const;
+                                      size_t* expanded = nullptr,
+                                      util::ExecContext* ctx = nullptr) const;
 
   /// True iff some member of \p sources reaches \p start by following
   /// child edges — i.e. \p start is a descendant of one of them. Runs a
   /// *backward* BFS over parent edges from \p start with early exit; this
   /// is the primitive behind backward expansion (the paper's proposed
   /// remedy for Q8-style forward-expansion blowup). `expanded` accumulates
-  /// the nodes touched.
+  /// the nodes touched. A doomed \p ctx stops the probe (returning false);
+  /// callers under governance check ctx->status() before trusting it.
   bool ReachedFromAny(DocId start, const std::unordered_set<DocId>& sources,
                       size_t max_nodes = SIZE_MAX,
-                      size_t* expanded = nullptr) const;
+                      size_t* expanded = nullptr,
+                      util::ExecContext* ctx = nullptr) const;
 
   size_t parent_count() const { return children_.size(); }
   size_t edge_count() const { return edges_; }

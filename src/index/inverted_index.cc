@@ -144,9 +144,10 @@ void InvertedIndex::RemoveDocument(DocId id) {
   doc_terms_.erase(it);
 }
 
-std::vector<DocId> InvertedIndex::TermQuery(const std::string& term) const {
+std::vector<DocId> InvertedIndex::TermQuery(const std::string& term,
+                                            util::ExecContext* ctx) const {
   std::vector<std::string> normalized = PhraseTerms(term);
-  if (normalized.size() != 1) return AndQuery(normalized);
+  if (normalized.size() != 1) return AndQuery(normalized, ctx);
   const TermList* list = FindList(normalized[0]);
   if (list == nullptr) return {};
   std::vector<DocId> out;
@@ -154,6 +155,7 @@ std::vector<DocId> InvertedIndex::TermQuery(const std::string& term) const {
   size_t pos = 0;
   DocId doc = 0;
   for (uint32_t i = 0; i < list->doc_count; ++i) {
+    if (ctx != nullptr && !ctx->TickAlive()) break;  // one step per posting
     doc += GetVarint(list->blob, &pos);
     uint64_t count = GetVarint(list->blob, &pos);
     for (uint64_t j = 0; j < count; ++j) GetVarint(list->blob, &pos);
@@ -163,7 +165,7 @@ std::vector<DocId> InvertedIndex::TermQuery(const std::string& term) const {
 }
 
 std::vector<std::pair<DocId, uint32_t>> InvertedIndex::TermQueryWithTf(
-    const std::string& term) const {
+    const std::string& term, util::ExecContext* ctx) const {
   std::vector<std::pair<DocId, uint32_t>> out;
   std::vector<std::string> normalized = PhraseTerms(term);
   if (normalized.size() != 1) return out;  // single terms only
@@ -173,6 +175,7 @@ std::vector<std::pair<DocId, uint32_t>> InvertedIndex::TermQueryWithTf(
   size_t pos = 0;
   DocId doc = 0;
   for (uint32_t i = 0; i < list->doc_count; ++i) {
+    if (ctx != nullptr && !ctx->TickAlive()) break;
     doc += GetVarint(list->blob, &pos);
     uint64_t count = GetVarint(list->blob, &pos);
     for (uint64_t j = 0; j < count; ++j) GetVarint(list->blob, &pos);
@@ -189,11 +192,12 @@ size_t InvertedIndex::DocumentFrequency(const std::string& term) const {
 }
 
 std::vector<DocId> InvertedIndex::AndQuery(
-    const std::vector<std::string>& terms) const {
+    const std::vector<std::string>& terms, util::ExecContext* ctx) const {
   if (terms.empty()) return {};
-  std::vector<DocId> acc = TermQuery(terms[0]);
+  std::vector<DocId> acc = TermQuery(terms[0], ctx);
   for (size_t i = 1; i < terms.size() && !acc.empty(); ++i) {
-    std::vector<DocId> next = TermQuery(terms[i]);
+    if (ctx != nullptr && ctx->doomed()) break;
+    std::vector<DocId> next = TermQuery(terms[i], ctx);
     std::vector<DocId> merged;
     std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
                           std::back_inserter(merged));
@@ -202,11 +206,12 @@ std::vector<DocId> InvertedIndex::AndQuery(
   return acc;
 }
 
-std::vector<DocId> InvertedIndex::OrQuery(
-    const std::vector<std::string>& terms) const {
+std::vector<DocId> InvertedIndex::OrQuery(const std::vector<std::string>& terms,
+                                          util::ExecContext* ctx) const {
   std::vector<DocId> acc;
   for (const std::string& term : terms) {
-    std::vector<DocId> next = TermQuery(term);
+    if (ctx != nullptr && ctx->doomed()) break;
+    std::vector<DocId> next = TermQuery(term, ctx);
     std::vector<DocId> merged;
     std::set_union(acc.begin(), acc.end(), next.begin(), next.end(),
                    std::back_inserter(merged));
@@ -215,10 +220,11 @@ std::vector<DocId> InvertedIndex::OrQuery(
   return acc;
 }
 
-std::vector<DocId> InvertedIndex::PhraseQuery(const std::string& phrase) const {
+std::vector<DocId> InvertedIndex::PhraseQuery(const std::string& phrase,
+                                              util::ExecContext* ctx) const {
   std::vector<std::string> terms = PhraseTerms(phrase);
   if (terms.empty()) return {};
-  if (terms.size() == 1) return TermQuery(terms[0]);
+  if (terms.size() == 1) return TermQuery(terms[0], ctx);
 
   std::vector<std::vector<DecodedPosting>> decoded;
   decoded.reserve(terms.size());
@@ -238,6 +244,7 @@ std::vector<DocId> InvertedIndex::PhraseQuery(const std::string& phrase) const {
 
   std::vector<DocId> out;
   for (const DecodedPosting& first : decoded[0]) {
+    if (ctx != nullptr && !ctx->TickAlive()) break;
     bool all_present = true;
     for (size_t k = 1; k < decoded.size() && all_present; ++k) {
       all_present = find_doc(decoded[k], first.doc) != nullptr;

@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace idm::index {
@@ -35,23 +36,32 @@ class InvertedIndex {
   void RemoveDocument(DocId id);
 
   /// Ids whose text contains \p term (normalized), sorted ascending.
-  std::vector<DocId> TermQuery(const std::string& term) const;
+  ///
+  /// All query methods take an optional ExecContext: under governance each
+  /// decoded posting counts one step and a doomed context stops the scan,
+  /// leaving a truncated (still sorted) result — callers must check
+  /// ctx->status() before treating it as complete.
+  std::vector<DocId> TermQuery(const std::string& term,
+                               util::ExecContext* ctx = nullptr) const;
 
   /// Ids containing *all* terms, sorted ascending.
-  std::vector<DocId> AndQuery(const std::vector<std::string>& terms) const;
+  std::vector<DocId> AndQuery(const std::vector<std::string>& terms,
+                              util::ExecContext* ctx = nullptr) const;
 
   /// Ids containing *any* term, sorted ascending.
-  std::vector<DocId> OrQuery(const std::vector<std::string>& terms) const;
+  std::vector<DocId> OrQuery(const std::vector<std::string>& terms,
+                             util::ExecContext* ctx = nullptr) const;
 
   /// Ids containing the terms of \p phrase at consecutive positions. A
   /// single-term phrase degenerates to TermQuery; an empty phrase matches
   /// nothing.
-  std::vector<DocId> PhraseQuery(const std::string& phrase) const;
+  std::vector<DocId> PhraseQuery(const std::string& phrase,
+                                 util::ExecContext* ctx = nullptr) const;
 
   /// Like TermQuery, but also returns each document's term frequency
   /// (occurrence count) — the raw material for tf-idf ranking.
   std::vector<std::pair<DocId, uint32_t>> TermQueryWithTf(
-      const std::string& term) const;
+      const std::string& term, util::ExecContext* ctx = nullptr) const;
 
   /// Documents containing \p term (document frequency), for idf weights.
   size_t DocumentFrequency(const std::string& term) const;

@@ -84,7 +84,8 @@ void TupleIndex::SortColumn(Column* column) const {
 }
 
 std::vector<DocId> TupleIndex::Scan(const std::string& attribute, CompareOp op,
-                                    const Value& literal) const {
+                                    const Value& literal,
+                                    util::ExecContext* ctx) const {
   const Column* column = FindColumn(attribute);
   if (column == nullptr) return {};
   SortColumn(const_cast<Column*>(column));
@@ -98,8 +99,11 @@ std::vector<DocId> TupleIndex::Scan(const std::string& attribute, CompareOp op,
       [](const Value& v, const auto& e) { return v.Compare(e.first) < 0; });
 
   std::vector<DocId> out;
-  auto emit = [&out](auto begin, auto end) {
-    for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  auto emit = [&out, ctx](auto begin, auto end) {
+    for (auto it = begin; it != end; ++it) {
+      if (ctx != nullptr && !ctx->TickAlive()) return;
+      out.push_back(it->second);
+    }
   };
   switch (op) {
     case CompareOp::kEq: emit(lower, upper); break;

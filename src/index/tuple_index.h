@@ -15,6 +15,7 @@
 
 #include "core/tuple.h"
 #include "index/inverted_index.h"  // for DocId
+#include "util/exec_context.h"
 #include "util/result.h"
 
 namespace idm::index {
@@ -44,8 +45,13 @@ class TupleIndex {
   /// Thread-safety: concurrent Scan calls are safe (the lazy column sort
   /// is guarded); Add/Remove must not run concurrently with Scan — sync
   /// and query never overlap, as everywhere else in the index layer.
+  ///
+  /// Under a governed context (\p ctx non-null) the copy-out loop ticks at
+  /// bounded stride and stops early once the family is doomed; the result
+  /// is then a subset (incomplete — check ctx->status()).
   std::vector<DocId> Scan(const std::string& attribute, CompareOp op,
-                          const core::Value& literal) const;
+                          const core::Value& literal,
+                          util::ExecContext* ctx = nullptr) const;
 
   /// Normalizes an attribute name as described at Add().
   static std::string NormalizeAttribute(const std::string& name);

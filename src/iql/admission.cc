@@ -1,0 +1,53 @@
+#include "iql/admission.h"
+
+#include <chrono>
+
+namespace idm::iql {
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  if (!enabled()) return Ticket(nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (running_ < options_.max_concurrent) {
+    ++running_;
+    ++stats_.admitted;
+    return Ticket(this);
+  }
+  if (queued_ >= options_.max_queue || options_.queue_timeout_micros <= 0) {
+    ++stats_.shed_queue_full;
+    return Status::ResourceExhausted(
+        "query shed: admission queue full (" + std::to_string(queued_) +
+        " waiting, " + std::to_string(running_) + " running)");
+  }
+  ++queued_;
+  bool got_slot = cv_.wait_for(
+      lock, std::chrono::microseconds(options_.queue_timeout_micros),
+      [this] { return running_ < options_.max_concurrent; });
+  --queued_;
+  if (!got_slot) {
+    ++stats_.shed_timeout;
+    return Status::ResourceExhausted(
+        "query shed: no slot within " +
+        std::to_string(options_.queue_timeout_micros) + "us");
+  }
+  ++running_;
+  ++stats_.admitted;
+  return Ticket(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_one();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats = stats_;
+  stats.running = running_;
+  stats.queued = queued_;
+  return stats;
+}
+
+}  // namespace idm::iql

@@ -1,0 +1,99 @@
+// Query admission control (DESIGN.md §10): a concurrency limit with a
+// bounded wait queue in front of Dataspace::Query. Under overload the
+// dataspace stays responsive for the queries it *does* admit by refusing
+// the rest quickly (load shedding) instead of letting every request pile
+// onto the same indexes: a request past the concurrency limit waits in a
+// bounded FIFO queue for at most queue_timeout_micros of wall-clock time,
+// and is rejected with kResourceExhausted (retryable — see IsRetryable)
+// when the queue is full or the wait times out.
+
+#ifndef IDM_IQL_ADMISSION_H_
+#define IDM_IQL_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "util/result.h"
+
+namespace idm::iql {
+
+/// Counting-semaphore admission gate. Thread-safe; disabled by default.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Queries evaluating at once. 0 disables admission control entirely
+    /// (every Admit() succeeds immediately).
+    size_t max_concurrent = 0;
+    /// Requests allowed to wait for a slot; arrivals beyond this are shed
+    /// immediately (queue full).
+    size_t max_queue = 0;
+    /// Longest wall-clock wait for a slot before a queued request is shed.
+    /// 0 = shed immediately when no slot is free.
+    int64_t queue_timeout_micros = 0;
+  };
+
+  struct Stats {
+    uint64_t admitted = 0;         ///< tickets granted
+    uint64_t shed_queue_full = 0;  ///< rejected: wait queue at max_queue
+    uint64_t shed_timeout = 0;     ///< rejected: slot wait timed out
+    size_t running = 0;            ///< tickets currently held
+    size_t queued = 0;             ///< requests currently waiting
+  };
+
+  /// RAII admission slot; releasing it wakes one queued waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    ~Ticket() { Release(); }
+    Ticket(Ticket&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+   private:
+    friend class AdmissionController;
+    explicit Ticket(AdmissionController* controller)
+        : controller_(controller) {}
+    void Release() {
+      if (controller_ != nullptr) controller_->ReleaseSlot();
+      controller_ = nullptr;
+    }
+    AdmissionController* controller_ = nullptr;
+  };
+
+  AdmissionController() = default;
+  explicit AdmissionController(Options options) : options_(options) {}
+
+  bool enabled() const { return options_.max_concurrent > 0; }
+
+  /// Blocks until a slot is free (at most queue_timeout_micros), the queue
+  /// is full (immediate), or the controller is disabled (immediate OK).
+  /// Rejections carry kResourceExhausted.
+  Result<Ticket> Admit();
+
+  Stats stats() const;
+
+ private:
+  void ReleaseSlot();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t running_ = 0;  // guarded by mu_
+  size_t queued_ = 0;   // guarded by mu_
+  Stats stats_;         // counters guarded by mu_
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_ADMISSION_H_

@@ -8,7 +8,8 @@ namespace idm::iql {
 Dataspace::Dataspace(Config config)
     : config_(std::move(config)),
       classes_(core::ClassRegistry::Standard()),
-      cache_(config_.cache) {
+      cache_(config_.cache),
+      admission_(config_.admission) {
   module_.SetClock(&clock_);
   sync_ = std::make_unique<rvm::SynchronizationManager>(
       &module_, rvm::ConverterRegistry::Standard(), config_.indexing);
@@ -100,8 +101,34 @@ Result<rvm::SourceIndexStats> Dataspace::AddSource(
 }
 
 Result<QueryResult> Dataspace::Query(const std::string& iql) const {
+  return Query(iql, QueryOptions());
+}
+
+Result<QueryResult> Dataspace::Query(const std::string& iql,
+                                     const QueryOptions& options) const {
+  // Admission first: a shed query costs one mutex acquisition, not an
+  // evaluation. The ticket is held (RAII) until the result is built.
+  AdmissionController::Ticket ticket;
+  if (!options.bypass_admission && admission_.enabled()) {
+    IDM_ASSIGN_OR_RETURN(ticket, admission_.Admit());
+  }
+
   IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
-  if (!cache_.enabled()) return processor_->Evaluate(parsed);
+
+  // Governed queries run under an ExecContext on the dataspace clock; the
+  // simulated evaluation cost they accumulate becomes simulated time.
+  std::optional<util::ExecContext> ctx;
+  if (options.limits.any()) ctx.emplace(&clock_, options.limits);
+  util::ExecContext* ctx_ptr = ctx.has_value() ? &*ctx : nullptr;
+  auto evaluate = [&]() -> Result<QueryResult> {
+    Result<QueryResult> result = processor_->Evaluate(parsed, ctx_ptr);
+    if (ctx_ptr != nullptr && ctx_ptr->charged_micros() > 0) {
+      clock_.AdvanceMicros(ctx_ptr->charged_micros());
+    }
+    return result;
+  };
+
+  if (!cache_.enabled()) return evaluate();
 
   // Key on the normalized rendering (whitespace/escape variants share one
   // entry) and the current dataspace version: any Append to the VersionLog
@@ -116,7 +143,9 @@ Result<QueryResult> Dataspace::Query(const std::string& iql) const {
       return *std::move(hit);
     }
   }
-  IDM_ASSIGN_OR_RETURN(QueryResult result, processor_->Evaluate(parsed));
+  IDM_ASSIGN_OR_RETURN(QueryResult result, evaluate());
+  // Insert() itself also refuses incomplete results; partial answers must
+  // never satisfy a later ungoverned lookup.
   if (cacheable) cache_.Insert(normalized, epoch, result);
   return result;
 }

@@ -14,10 +14,12 @@
 #include <memory>
 #include <string>
 
+#include "iql/admission.h"
 #include "iql/query_cache.h"
 #include "iql/query_processor.h"
 #include "rvm/rvm.h"
 #include "storage/engine.h"
+#include "util/exec_context.h"
 
 namespace idm::iql {
 
@@ -41,6 +43,10 @@ class Dataspace {
     /// Storage environment; nullptr means the real file system. Tests pass
     /// a MemEnv to run durability and crash scenarios hermetically.
     storage::Env* env = nullptr;
+    /// Admission control in front of Query() (DESIGN.md §10): concurrency
+    /// limit + bounded wait queue with load shedding. Disabled by default
+    /// (max_concurrent == 0) — every query runs immediately, as before.
+    AdmissionController::Options admission;
   };
 
   Dataspace() : Dataspace(Config()) {}
@@ -94,13 +100,36 @@ class Dataspace {
   void AttachSource(std::shared_ptr<rvm::DataSource> source);
 
   /// --- querying -----------------------------------------------------------
+  /// Per-query execution options. Default-constructed options reproduce
+  /// the classic Query(iql) behavior exactly.
+  struct QueryOptions {
+    /// Resource limits for this query. When any limit is set, evaluation
+    /// runs under an ExecContext on the dataspace clock; on overrun the
+    /// query returns OK with meta.complete == false and a prefix partial
+    /// result (see ResultMeta), and the result is not cached. All-zero
+    /// limits (the default) run the ungoverned path, byte-identical to
+    /// the two-argument overload.
+    util::ExecContext::Limits limits;
+    /// Skip the admission gate (internal / maintenance queries).
+    bool bypass_admission = false;
+  };
+
   /// Parses, normalizes and evaluates \p iql. Cacheable queries are served
   /// from / stored into the result cache at the current VersionLog epoch;
   /// a cache hit reports elapsed_micros = 0 (no evaluation ran).
   Result<QueryResult> Query(const std::string& iql) const;
 
+  /// Query with governance: admission control first (kResourceExhausted on
+  /// shed — retryable), then evaluation under the configured limits.
+  Result<QueryResult> Query(const std::string& iql,
+                            const QueryOptions& options) const;
+
   /// Cache observability (hits / misses / stale drops / evictions).
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Admission gate observability (admitted / shed / running / queued).
+  AdmissionController::Stats admission_stats() const {
+    return admission_.stats();
+  }
   /// Drops all cached results (the epoch key makes this unnecessary for
   /// correctness; useful for measurements).
   void ClearQueryCache() { cache_.Clear(); }
@@ -139,12 +168,15 @@ class Dataspace {
   Status InitStorage();
 
   Config config_;
-  SimClock clock_;
+  /// mutable: governed const Query() applies its simulated evaluation cost
+  /// (ExecContext::charged_micros) to the clock after evaluating.
+  mutable SimClock clock_;
   core::ClassRegistry classes_;
   rvm::ReplicaIndexesModule module_;
   std::unique_ptr<rvm::SynchronizationManager> sync_;
   std::unique_ptr<QueryProcessor> processor_;
   mutable QueryCache cache_;  ///< internally synchronized
+  mutable AdmissionController admission_;  ///< internally synchronized
   std::unique_ptr<storage::StorageEngine> engine_;
   storage::RecoveryStats recovery_stats_;
   Status storage_status_;

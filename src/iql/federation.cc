@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "iql/parser.h"
 
@@ -42,8 +43,15 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
                                               const std::string& iql,
                                               const std::string& cache_key,
                                               bool cacheable, Rng* jitter,
-                                              Clock* clock) const {
+                                              Clock* clock,
+                                              util::ExecContext* ctx) const {
   PeerOutcome outcome;
+  if (ctx != nullptr && ctx->doomed()) {
+    // A sibling already overran the family budget: abandon this peer
+    // before shipping anything.
+    outcome.error = ctx->status();
+    return outcome;
+  }
   // Charges simulated network/backoff cost against the outcome (and, in
   // serial mode, incrementally against the clock) and the peer's deadline
   // budget.
@@ -74,13 +82,23 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
     }
   }
 
-  const Micros deadline = options_.per_peer_deadline_micros;
+  // Effective per-peer budget: the configured deadline, clamped to what
+  // remains of the caller's deadline — a federation running out of time
+  // gives each remaining peer only the leftover budget.
+  Micros deadline = options_.per_peer_deadline_micros;
+  if (ctx != nullptr) {
+    Micros remaining = ctx->remaining_micros();
+    if (remaining != std::numeric_limits<Micros>::max() &&
+        (deadline == 0 || remaining < deadline)) {
+      deadline = remaining;
+    }
+  }
   for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
     // Per-peer deadline: abandon the peer rather than let a dead link's
     // round trips dominate the federation's latency.
     if (deadline > 0 &&
         outcome.charged + peer.latency.per_query_micros > deadline) {
-      outcome.error = Status::Unavailable(
+      outcome.error = Status::DeadlineExceeded(
           "peer '" + peer.name + "' exceeded its deadline of " +
           std::to_string(deadline) + "us");
       break;
@@ -102,7 +120,19 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
       }
     }
 
-    auto result = peer.dataspace->Query(iql);
+    Dataspace::QueryOptions peer_options;
+    if (ctx != nullptr) {
+      // The peer evaluates under a deadline derived from what is left of
+      // this peer's budget after the round trips already charged, and
+      // inherits the caller's simulated per-step evaluation cost.
+      if (deadline > 0) {
+        peer_options.limits.deadline_micros =
+            std::max<Micros>(deadline - outcome.charged, 1);
+      }
+      peer_options.limits.micros_per_step = ctx->limits().micros_per_step;
+    }
+    auto result = ctx != nullptr ? peer.dataspace->Query(iql, peer_options)
+                                 : peer.dataspace->Query(iql);
     if (!result.ok()) {
       // Evaluation errors (parse, unsupported operator) are answers of
       // this peer, not link weather: no retry.
@@ -119,6 +149,7 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
     charge(static_cast<Micros>(result->rows.size()) *
            peer.latency.per_result_micros);
     outcome.reached = true;
+    outcome.degraded = !result->meta.complete;
     outcome.rows.reserve(result->rows.size());
     for (size_t r = 0; r < result->rows.size(); ++r) {
       FederatedRow row;
@@ -138,6 +169,11 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
 }
 
 Result<FederatedResult> Federation::Query(const std::string& iql) const {
+  return Query(iql, nullptr);
+}
+
+Result<FederatedResult> Federation::Query(const std::string& iql,
+                                          util::ExecContext* ctx) const {
   if (peers_.empty()) {
     return Status::FailedPrecondition("federation has no peers");
   }
@@ -165,7 +201,7 @@ Result<FederatedResult> Federation::Query(const std::string& iql) const {
           Rng jitter(options_.jitter_seed ^
                      (0x9E3779B97F4A7C15ULL * (i + 1)));
           return QueryPeer(peers_[i], iql, cache_key, cacheable, &jitter,
-                           /*clock=*/nullptr);
+                           /*clock=*/nullptr, ctx);
         });
   } else {
     // Serial: one jitter stream across peers in registration order and
@@ -174,7 +210,7 @@ Result<FederatedResult> Federation::Query(const std::string& iql) const {
     outcomes.reserve(peers_.size());
     for (const Peer& peer : peers_) {
       outcomes.push_back(
-          QueryPeer(peer, iql, cache_key, cacheable, &jitter, clock_));
+          QueryPeer(peer, iql, cache_key, cacheable, &jitter, clock_, ctx));
     }
   }
 
@@ -189,6 +225,7 @@ Result<FederatedResult> Federation::Query(const std::string& iql) const {
     merged.elapsed_micros += outcome.charged;
     merged.retries += outcome.retries;
     if (outcome.cache_hit) ++merged.cache_hits;
+    if (outcome.degraded) ++merged.peers_degraded;
     if (outcome.reached) {
       ++merged.peers_reached;
       merged.rows.insert(merged.rows.end(),

@@ -43,6 +43,7 @@ struct FederatedResult {
   std::vector<FederatedRow> rows;
   size_t peers_reached = 0;
   size_t peers_failed = 0;
+  size_t peers_degraded = 0;   ///< peers that returned a partial result
   size_t retries = 0;          ///< link retries across all peers
   size_t cache_hits = 0;       ///< peers answered from the federation cache
   Micros elapsed_micros = 0;   ///< wall + simulated network cost
@@ -117,6 +118,16 @@ class Federation {
   /// Options::per_peer_deadline_micros of simulated time.
   Result<FederatedResult> Query(const std::string& iql) const;
 
+  /// Governed federated query: each peer's simulated budget is the
+  /// configured per-peer deadline clamped to what remains of \p ctx's
+  /// deadline, and each peer evaluates under a derived Dataspace deadline —
+  /// a slow peer returns a partial result (peers_degraded) rather than
+  /// blowing the caller's budget. A doomed \p ctx abandons the remaining
+  /// peers (counted failed with the doom reason). ctx == nullptr is the
+  /// ungoverned overload above.
+  Result<FederatedResult> Query(const std::string& iql,
+                                util::ExecContext* ctx) const;
+
   /// Federation-side per-peer cache statistics.
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
 
@@ -133,6 +144,7 @@ class Federation {
     std::vector<FederatedRow> rows;
     bool reached = false;
     bool cache_hit = false;
+    bool degraded = false;  ///< peer answered with an incomplete result
     size_t retries = 0;
     Micros charged = 0;  ///< simulated network + backoff cost
     Status error;        ///< why the peer failed (when !reached)
@@ -140,10 +152,12 @@ class Federation {
 
   /// Runs one peer's full ship/retry/deadline loop. \p clock, when set, is
   /// advanced incrementally (serial mode); scatter tasks pass nullptr and
-  /// the accumulated charge is applied at merge time.
+  /// the accumulated charge is applied at merge time. \p ctx (may be null)
+  /// is the caller's governance context; see Query(iql, ctx).
   PeerOutcome QueryPeer(const Peer& peer, const std::string& iql,
                         const std::string& cache_key, bool cacheable,
-                        Rng* jitter, Clock* clock) const;
+                        Rng* jitter, Clock* clock,
+                        util::ExecContext* ctx) const;
 
   Clock* clock_;
   Options options_;

@@ -68,8 +68,18 @@ std::optional<QueryResult> QueryCache::Lookup(const std::string& normalized,
 void QueryCache::Insert(const std::string& normalized, uint64_t epoch,
                         const QueryResult& result) {
   if (!options_.enabled) return;
+  if (!result.meta.complete) return;  // partial results are not the answer
   size_t bytes = ResultBytes(normalized, result);
-  if (bytes > options_.max_bytes) return;
+  size_t entry_cap = options_.max_entry_fraction >= 1.0
+                         ? options_.max_bytes
+                         : static_cast<size_t>(
+                               static_cast<double>(options_.max_bytes) *
+                               options_.max_entry_fraction);
+  if (bytes > entry_cap) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.oversized;
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(normalized);
   if (it != index_.end()) {
@@ -100,7 +110,8 @@ void QueryCache::Clear() {
 
 size_t QueryCache::ResultBytes(const std::string& key,
                                const QueryResult& result) {
-  size_t bytes = sizeof(Entry) + key.size() + result.plan.size();
+  size_t bytes = sizeof(Entry) + key.size() + result.plan.size() +
+                 result.meta.degraded_reason.size();
   for (const std::string& column : result.columns) bytes += column.size() + 8;
   for (const auto& row : result.rows) {
     bytes += sizeof(row) + row.size() * sizeof(index::DocId);

@@ -37,6 +37,12 @@ class QueryCache {
   struct Options {
     bool enabled = true;
     size_t max_bytes = 8U << 20;  ///< LRU byte budget over cached results
+    /// Largest fraction of max_bytes one entry may occupy. A single huge
+    /// result would otherwise evict the whole working set for one entry
+    /// that is unlikely to amortize; such results are rejected and counted
+    /// in Stats::oversized. Values >= 1.0 restore the old behavior (any
+    /// result up to the full budget).
+    double max_entry_fraction = 0.5;
   };
 
   struct Stats {
@@ -44,6 +50,7 @@ class QueryCache {
     uint64_t misses = 0;       ///< includes epoch-stale lookups
     uint64_t stale_drops = 0;  ///< entries invalidated by an epoch advance
     uint64_t evictions = 0;    ///< entries evicted by the byte budget
+    uint64_t oversized = 0;    ///< inserts rejected by max_entry_fraction
     size_t entries = 0;
     size_t bytes = 0;
     double hit_rate() const {
@@ -64,8 +71,10 @@ class QueryCache {
                                     uint64_t epoch);
 
   /// Stores \p result for \p normalized at \p epoch and evicts LRU entries
-  /// beyond the byte budget. Results larger than the whole budget are not
-  /// cached. No-op when disabled.
+  /// beyond the byte budget. Results larger than max_entry_fraction of the
+  /// budget are not cached (Stats::oversized); incomplete (governed
+  /// partial) results are never cached — a later ungoverned run must not
+  /// be answered with a prefix. No-op when disabled.
   void Insert(const std::string& normalized, uint64_t epoch,
               const QueryResult& result);
 

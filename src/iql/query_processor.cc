@@ -63,27 +63,47 @@ struct LiveCache {
 
 class QueryProcessor::Evaluation {
  public:
-  /// Root evaluation of one query.
-  explicit Evaluation(const QueryProcessor& processor)
+  /// Root evaluation of one query. \p ctx (may be null) governs every
+  /// loop this evaluation and its parallel children run.
+  Evaluation(const QueryProcessor& processor, util::ExecContext* ctx)
       : module_(*processor.module_),
         classes_(*processor.classes_),
         clock_(processor.clock_),
         options_(processor.options_),
         pool_(processor.pool_.get()),
-        live_(&own_live_) {}
+        live_(&own_live_),
+        ctx_(ctx),
+        root_(true) {}
 
   /// Child evaluation for a parallel sub-query: shares the parent's pool
   /// and live-id cache but accumulates its own statistics, which the
-  /// parent merges back in input order after the fan-out completes.
+  /// parent merges back in input order after the fan-out completes. Under
+  /// governance the child runs on a Child() context: same family (shared
+  /// deadline, steps, cancellation — the first arm to overrun dooms the
+  /// siblings) with its own memory sub-budget.
   explicit Evaluation(const Evaluation& parent)
       : module_(parent.module_),
         classes_(parent.classes_),
         clock_(parent.clock_),
         options_(parent.options_),
         pool_(parent.pool_),
-        live_(parent.live_) {}
+        live_(parent.live_),
+        root_(false) {
+    if (parent.ctx_ != nullptr) {
+      ctx_owned_ = parent.ctx_->Child();
+      ctx_ = ctx_owned_.get();
+    }
+  }
 
   Result<QueryResult> Run(const Query& query) {
+    ++depth_;
+    Result<QueryResult> result = RunImpl(query);
+    --depth_;
+    return result;
+  }
+
+ private:
+  Result<QueryResult> RunImpl(const Query& query) {
     QueryResult result;
     result.plan = iql::ToString(query);
     switch (query.kind) {
@@ -91,7 +111,14 @@ class QueryProcessor::Evaluation {
         IDM_ASSIGN_OR_RETURN(std::vector<DocId> ids,
                              EvalPred(*query.filter, AllLive()));
         Unary(&result, std::move(ids));
-        RankIfKeywordQuery(*query.filter, &result);
+        if (ctx_ == nullptr || !ctx_->doomed()) {
+          RankIfKeywordQuery(*query.filter, &result);
+        } else if (IsRankable(*query.filter)) {
+          // A ranked result is ordered by score, not by materialization:
+          // a truncated one would not be a prefix of the complete answer.
+          result.rows.clear();
+          result.scores.clear();
+        }
         break;
       }
       case Query::Kind::kPath: {
@@ -108,6 +135,12 @@ class QueryProcessor::Evaluation {
       }
       case Query::Kind::kJoin: {
         IDM_RETURN_NOT_OK(EvalJoin(*query.join, &result));
+        if (ctx_ != nullptr && ctx_->doomed()) {
+          // Join output is sorted after the probe: truncation is not a
+          // prefix. Degrade to the empty prefix.
+          result.rows.clear();
+          result.scores.clear();
+        }
         break;
       }
     }
@@ -172,6 +205,14 @@ class QueryProcessor::Evaluation {
   /// The §5.1 ranking extension: pure keyword/phrase queries get tf-idf
   /// relevance scores and descending-score row order. Terms under a `not`
   /// still contribute nothing (they cannot occur in matching documents).
+  /// True when the filter is a pure keyword query (would get ranked).
+  static bool IsRankable(const PredNode& filter) {
+    std::vector<std::string> phrases;
+    bool rankable = true;
+    CollectPhrases(filter, &phrases, &rankable);
+    return rankable && !phrases.empty();
+  }
+
   void RankIfKeywordQuery(const PredNode& filter, QueryResult* result) {
     std::vector<std::string> phrases;
     bool rankable = true;
@@ -207,8 +248,25 @@ class QueryProcessor::Evaluation {
 
   void Unary(QueryResult* result, std::vector<DocId> ids) {
     result->columns = {""};
+    // Prefix capture (DESIGN.md §10): only the *root* materialization of a
+    // top-level unary query may stop mid-loop and keep what it built — its
+    // input ids are complete (nothing doomed before), so the kept rows are
+    // a prefix of the serial complete result. If the family was doomed
+    // before this loop started, `ids` may itself be an arbitrary subset
+    // (truncated index scans), so the only safe prefix is the empty one.
+    const bool governed = ctx_ != nullptr && root_ && depth_ == 1;
+    if (governed && ctx_->doomed()) return;
     result->rows.reserve(ids.size());
-    for (DocId id : ids) result->rows.push_back({id});
+    for (DocId id : ids) {
+      if (governed) {
+        if (!ctx_->TickAlive()) return;
+        if (!ctx_->ChargeMemory(sizeof(std::vector<DocId>) + sizeof(DocId))
+                 .ok()) {
+          return;
+        }
+      }
+      result->rows.push_back({id});
+    }
   }
 
   const std::vector<DocId>& AllLive() {
@@ -236,6 +294,7 @@ class QueryProcessor::Evaluation {
     return ChunkedConcat(live.size(), [&](size_t begin, size_t end) {
       std::vector<DocId> out;
       for (size_t i = begin; i < end; ++i) {
+        if (ctx_ != nullptr && !ctx_->TickAlive()) break;
         if (WildcardMatch(pattern, module_.names().NameOf(live[i]))) {
           out.push_back(live[i]);
         }
@@ -294,16 +353,18 @@ class QueryProcessor::Evaluation {
     switch (pred.kind) {
       case PredNode::Kind::kPhrase:
         rules_.insert("R1:content-index");
-        return Intersect(module_.content().PhraseQuery(pred.text), universe);
+        return Intersect(module_.content().PhraseQuery(pred.text, ctx_),
+                         universe);
       case PredNode::Kind::kCompare:
         rules_.insert("R3:tuple-index");
         return Intersect(module_.tuples().Scan(pred.attribute, pred.op,
-                                               ResolveLiteral(pred)),
+                                               ResolveLiteral(pred), ctx_),
                          universe);
       case PredNode::Kind::kClassEq: {
         return ChunkedConcat(universe.size(), [&](size_t begin, size_t end) {
           std::vector<DocId> out;
           for (size_t i = begin; i < end; ++i) {
+            if (ctx_ != nullptr && !ctx_->TickAlive()) break;
             DocId id = universe[i];
             const index::CatalogEntry* entry = module_.catalog().Entry(id);
             if (entry != nullptr && ClassMatches(entry->class_name, pred.text)) {
@@ -471,9 +532,10 @@ class QueryProcessor::Evaluation {
           auto probe = [&](size_t begin, size_t end) {
             ChunkOut out;
             for (size_t c = begin; c < end; ++c) {
+              if (ctx_ != nullptr && ctx_->doomed()) break;
               if (module_.groups().ReachedFromAny(name_set[c], sources,
                                                   options_.max_expansion,
-                                                  &out.expanded)) {
+                                                  &out.expanded, ctx_)) {
                 out.matched.push_back(name_set[c]);
               }
             }
@@ -498,11 +560,18 @@ class QueryProcessor::Evaluation {
           rules_.insert("R4:forward-expansion");
           size_t expanded = 0;
           std::unordered_set<DocId> descendants = module_.groups().Descendants(
-              frontier, options_.max_expansion, &expanded);
+              frontier, options_.max_expansion, &expanded, ctx_);
           expanded_ += expanded;
+          // Reserve the descendant set against the memory budget for the
+          // time it is held — forward expansion is the paper's Q8 blowup.
+          util::ScopedCharge descendants_charge(ctx_);
+          if (!descendants_charge.Add(descendants.size() * sizeof(DocId)).ok()) {
+            descendants.clear();
+          }
           matched = ChunkedConcat(name_set.size(), [&](size_t b, size_t e) {
             std::vector<DocId> out;
             for (size_t c = b; c < e; ++c) {
+              if (ctx_ != nullptr && !ctx_->TickAlive()) break;
               if (descendants.count(name_set[c]) > 0) out.push_back(name_set[c]);
             }
             return out;
@@ -513,6 +582,7 @@ class QueryProcessor::Evaluation {
             ChunkedConcat(frontier.size(), [&](size_t b, size_t e) {
               std::vector<DocId> out;
               for (size_t c = b; c < e; ++c) {
+                if (ctx_ != nullptr && !ctx_->TickAlive()) break;
                 const auto& ch = module_.groups().Children(frontier[c]);
                 out.insert(out.end(), ch.begin(), ch.end());
               }
@@ -596,10 +666,14 @@ class QueryProcessor::Evaluation {
     const JoinRef& probe_ref = left_is_build ? join.right_ref : join.left_ref;
 
     std::unordered_map<std::string, std::vector<DocId>> table;
+    util::ScopedCharge table_charge(ctx_);
     for (const auto& row : build.rows) {
+      if (ctx_ != nullptr && !ctx_->TickAlive()) break;
       IDM_ASSIGN_OR_RETURN(std::optional<std::string> key,
                            JoinKey(row[0], build_ref));
-      if (key.has_value()) table[*key].push_back(row[0]);
+      if (!key.has_value()) continue;
+      if (!table_charge.Add(key->size() + sizeof(DocId)).ok()) break;
+      table[*key].push_back(row[0]);
     }
 
     // Probe chunks read the hash table concurrently (it is no longer
@@ -612,6 +686,7 @@ class QueryProcessor::Evaluation {
     auto probe_chunk = [&](size_t begin, size_t end) {
       ProbeOut out;
       for (size_t r = begin; r < end; ++r) {
+        if (ctx_ != nullptr && !ctx_->TickAlive()) break;
         const auto& row = probe.rows[r];
         Result<std::optional<std::string>> key = JoinKey(row[0], probe_ref);
         if (!key.ok()) {
@@ -662,6 +737,10 @@ class QueryProcessor::Evaluation {
   util::ThreadPool* pool_;
   LiveCache* live_;
   LiveCache own_live_;
+  util::ExecContext* ctx_ = nullptr;  ///< null = ungoverned (byte-identical)
+  std::unique_ptr<util::ExecContext> ctx_owned_;  ///< child context, if any
+  bool root_ = false;  ///< true on the query's top-level evaluation
+  int depth_ = 0;      ///< Run() nesting on *this* object (set-op arms)
   size_t expanded_ = 0;
   std::set<std::string> rules_;
 };
@@ -680,15 +759,39 @@ QueryProcessor::QueryProcessor(const rvm::ReplicaIndexesModule* module,
 QueryProcessor::~QueryProcessor() = default;
 
 Result<QueryResult> QueryProcessor::Execute(const std::string& iql) const {
+  return Execute(iql, nullptr);
+}
+
+Result<QueryResult> QueryProcessor::Execute(const std::string& iql,
+                                            util::ExecContext* ctx) const {
   IDM_ASSIGN_OR_RETURN(Query query, ParseQuery(iql));
-  return Evaluate(query);
+  return Evaluate(query, ctx);
 }
 
 Result<QueryResult> QueryProcessor::Evaluate(const Query& query) const {
+  return Evaluate(query, nullptr);
+}
+
+Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
+                                             util::ExecContext* ctx) const {
   Micros start = WallNow();
-  Evaluation evaluation(*this);
-  IDM_ASSIGN_OR_RETURN(QueryResult result, evaluation.Run(query));
+  Evaluation evaluation(*this, ctx);
+  Result<QueryResult> run = evaluation.Run(query);
+  if (!run.ok()) {
+    // A genuine evaluation error while the family was doomed is still an
+    // error; governance never hides real failures.
+    return run.status();
+  }
+  QueryResult result = std::move(*run);
   result.elapsed_micros = WallNow() - start;
+  if (ctx != nullptr) {
+    result.meta.steps_used = ctx->steps_used();
+    result.meta.bytes_peak = ctx->bytes_peak();
+    if (ctx->doomed()) {
+      result.meta.complete = false;
+      result.meta.degraded_reason = ctx->status().ToString();
+    }
+  }
   return result;
 }
 

@@ -40,9 +40,25 @@
 #include "iql/ast.h"
 #include "rvm/rvm.h"
 #include "util/clock.h"
+#include "util/exec_context.h"
 #include "util/thread_pool.h"
 
 namespace idm::iql {
+
+/// Governance outcome of one evaluation (DESIGN.md §10). When a query runs
+/// under an ExecContext that overruns (deadline, steps, memory,
+/// cancellation), the evaluation stops cooperatively and returns an *OK*
+/// result with complete == false instead of an error: partial answers are
+/// answers. The partial-result contract: `rows` is then a prefix of the
+/// serial-order complete result (possibly empty — ranked and join results
+/// degrade to empty, because their output order is not a materialization
+/// order). Incomplete results are never admitted into the QueryCache.
+struct ResultMeta {
+  bool complete = true;         ///< false iff governance stopped the query
+  std::string degraded_reason;  ///< doom status text when !complete
+  uint64_t steps_used = 0;      ///< evaluation steps counted by the context
+  size_t bytes_peak = 0;        ///< memory budget high-water mark (bytes)
+};
 
 /// Result of one query. Unary queries (paths, filters, unions) produce
 /// one-column rows; joins produce one column per binding.
@@ -56,6 +72,7 @@ struct QueryResult {
   size_t expanded_views = 0;  ///< forward-expansion work (intermediate results)
   Micros elapsed_micros = 0;  ///< wall-clock evaluation time
   std::string plan;           ///< normalized query text (plan display)
+  ResultMeta meta;            ///< governance outcome (complete by default)
 
   size_t size() const { return rows.size(); }
   bool ranked() const { return !scores.empty(); }
@@ -98,11 +115,19 @@ class QueryProcessor {
                  Options options);
   ~QueryProcessor();
 
-  /// Parses, plans and evaluates \p iql.
+  /// Parses, plans and evaluates \p iql. The governed overloads thread
+  /// \p ctx through every evaluation loop (bounded-stride checks, see
+  /// util/exec_context.h); parallel arms run under Child() contexts so the
+  /// first overrun cancels the siblings. ctx == nullptr (and the
+  /// two-argument forms) run exactly the ungoverned code paths.
   Result<QueryResult> Execute(const std::string& iql) const;
+  Result<QueryResult> Execute(const std::string& iql,
+                              util::ExecContext* ctx) const;
 
   /// Evaluates an already parsed query.
   Result<QueryResult> Evaluate(const Query& query) const;
+  Result<QueryResult> Evaluate(const Query& query,
+                               util::ExecContext* ctx) const;
 
   const Options& options() const { return options_; }
 

@@ -335,6 +335,15 @@ Result<SourceIndexStats> ReplicaIndexesModule::Walk(
         text = std::move(materialized).value();
         has_text = !text.empty();
       }
+    } else if (!content.empty() && options.infinite_content_prefix > 0) {
+      // Infinite χ: index a bounded prefix so stream views are searchable.
+      std::string prefix =
+          content.GuardedPrefix(options.infinite_content_prefix, nullptr);
+      if (index::LooksLikeText(prefix)) {
+        text = std::move(prefix);
+        has_text = !text.empty();
+      }
+      stats.truncated = true;  // only the prefix of the stream is indexed
     }
     stats.times.data_source_access += WallNow() - t0;
 

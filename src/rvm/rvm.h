@@ -94,6 +94,12 @@ struct IndexingOptions {
   /// materialized and indexed (paper §5.2: "infinite group components are
   /// managed using a stream window").
   size_t infinite_window = 64;
+  /// When > 0, the first this-many bytes of *infinite* content components
+  /// (paper §4.1: lazy/infinite χ) are materialized via
+  /// ContentComponent::GuardedPrefix and full-text indexed, so stream views
+  /// become keyword-searchable up to the window. 0 (the default) keeps the
+  /// classic behavior: infinite content is never touched at sync time.
+  size_t infinite_content_prefix = 0;
   /// When false, Content2iDM converters are not applied at sync time; file
   /// content stays unconverted until some consumer navigates it (the lazy
   /// side of ablation A2 in DESIGN.md).

@@ -22,12 +22,19 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kIoError: return "io error";
     case StatusCode::kConformanceError: return "conformance error";
     case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kDeadlineExceeded: return "deadline exceeded";
+    case StatusCode::kResourceExhausted: return "resource exhausted";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "unknown";
 }
 
 bool IsRetryable(StatusCode code) {
-  return code == StatusCode::kIoError || code == StatusCode::kUnavailable;
+  // kResourceExhausted is load shedding: the request was fine, the system
+  // was busy — retry with backoff. kDeadlineExceeded is not retryable
+  // within the same request: the same budget would overrun the same way.
+  return code == StatusCode::kIoError || code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted;
 }
 
 Status::Status(StatusCode code, std::string message) {

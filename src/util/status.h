@@ -27,13 +27,20 @@ enum class StatusCode : int {
   kIoError = 8,           ///< simulated device / source access failure
   kConformanceError = 9,  ///< resource view violates a resource view class
   kUnavailable = 10,      ///< remote source (IMAP, service call) unreachable
+  kDeadlineExceeded = 11, ///< deadline overrun; retrying the same request
+                          ///< with the same budget would overrun again
+  kResourceExhausted = 12,///< load shed / budget overrun; retryable with
+                          ///< backoff once pressure subsides
+  kCancelled = 13,        ///< caller cooperatively cancelled the work
 };
 
 /// Returns the canonical lower-case name of a code, e.g. "invalid argument".
 const char* StatusCodeToString(StatusCode code);
 
 /// True for codes that denote transient infrastructure trouble worth
-/// retrying (kIoError, kUnavailable), false for answers and caller errors
+/// retrying (kIoError, kUnavailable, and kResourceExhausted — load
+/// shedding clears once pressure subsides), false for answers and caller
+/// errors (kDeadlineExceeded: the same budget would overrun again;
 /// (kNotFound is an answer; kParseError will not parse better next time).
 /// This is the single classification used by the resilience layer (retry,
 /// circuit breaking, partial-failure sync) — keep it next to the error
@@ -84,6 +91,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff this status represents success.
