@@ -1,0 +1,170 @@
+// Observability overhead (DESIGN.md §11).
+//
+// Builds the paper-scale pipeline twice — observability off (the default)
+// and on — and runs the Table 4 query set through Dataspace::Query in both,
+// uncached (the cache is cleared before every run so each measurement is a
+// full parse + evaluate with the instrumentation sites live). Prints the
+// per-query means, the aggregate enabled-vs-disabled delta (the §11
+// contract is <= 2% on the hot path; wall-clock noise on small queries can
+// exceed that per-row, which is why the aggregate is the headline), the
+// rendered Q8 trace tree, and writes BENCH_obs.json.
+//
+// The observed run doubles as an end-to-end assertion: Q8 must leave a
+// query trace whose evaluate arm recorded expansion spans and index
+// probes, and the metrics registry must have counted every query.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "obs/trace.h"
+
+using namespace idm;
+using namespace idm::bench;
+
+namespace {
+
+double MsNow() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ObsRow {
+  std::string name;
+  double off_ms = 0;
+  double on_ms = 0;
+  double delta_pct = 0;
+  size_t trace_spans = 0;
+};
+
+bool WriteObsJson(const std::string& path, const std::vector<ObsRow>& rows,
+                  double aggregate_delta_pct) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\":\"observability\",\"aggregate_delta_pct\":%.2f,",
+               aggregate_delta_pct);
+  std::fprintf(f, "\"rows\":[");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ObsRow& r = rows[i];
+    std::fprintf(f,
+                 "%s{\"name\":\"%s\",\"off_ms\":%.3f,\"on_ms\":%.3f,"
+                 "\"delta_pct\":%.2f,\"trace_spans\":%zu}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.off_ms, r.on_ms,
+                 r.delta_pct, r.trace_spans);
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  return true;
+}
+
+// Mean uncached Query() time over kRuns (after kWarmup discarded runs).
+double MeasureMs(iql::Dataspace& ds, const char* iql, int warmup, int runs) {
+  double total = 0;
+  for (int run = 0; run < warmup + runs; ++run) {
+    ds.ClearQueryCache();
+    double t0 = MsNow();
+    auto result = ds.Query(iql);
+    double elapsed = MsNow() - t0;
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (run >= warmup) total += elapsed;
+  }
+  return total / runs;
+}
+
+}  // namespace
+
+int main() {
+  const workload::DataspaceSpec spec = workload::DataspaceSpec::PaperScale();
+
+  std::fprintf(stderr, "[bench_observability] pipeline with observability OFF\n");
+  Pipeline off_pipeline = BuildPipeline(spec);
+
+  std::fprintf(stderr, "[bench_observability] pipeline with observability ON\n");
+  iql::Dataspace::Config observed;
+  observed.observability.enabled = true;
+  Pipeline on_pipeline = BuildPipeline(spec, observed);
+
+  iql::Dataspace& off = *off_pipeline.ds;
+  iql::Dataspace& on = *on_pipeline.ds;
+
+  constexpr int kWarmup = 2;
+  constexpr int kRuns = 10;
+
+  std::printf("\nObservability overhead, uncached Query() (mean of %d runs)\n",
+              kRuns);
+  Rule(72);
+  std::printf("%-4s %12s %12s %10s %12s\n", "", "off [ms]", "on [ms]",
+              "delta", "trace spans");
+  Rule(72);
+
+  std::vector<ObsRow> rows;
+  double off_total = 0, on_total = 0;
+  for (const PaperQuery& query : Table4Queries()) {
+    ObsRow row;
+    row.name = query.id;
+    row.off_ms = MeasureMs(off, query.iql, kWarmup, kRuns);
+    row.on_ms = MeasureMs(on, query.iql, kWarmup, kRuns);
+    row.delta_pct =
+        row.off_ms > 0 ? (row.on_ms - row.off_ms) / row.off_ms * 100.0 : 0;
+    auto trace = on.LastTrace();
+    if (trace == nullptr) {
+      std::fprintf(stderr, "%s: observed run left no trace\n", query.id);
+      return 1;
+    }
+    row.trace_spans = trace->root().SubtreeSize();
+    off_total += row.off_ms;
+    on_total += row.on_ms;
+    rows.push_back(row);
+    std::printf("%-4s %12.2f %12.2f %9.2f%% %12zu\n", query.id, row.off_ms,
+                row.on_ms, row.delta_pct, row.trace_spans);
+  }
+  Rule(72);
+  const double aggregate_delta =
+      off_total > 0 ? (on_total - off_total) / off_total * 100.0 : 0;
+  std::printf("%-4s %12.2f %12.2f %9.2f%%   (aggregate; contract <= 2%%)\n",
+              "all", off_total, on_total, aggregate_delta);
+
+  // End-to-end trace assertion on Q8, the paper's expansion-heavy query:
+  // the last observed run must show the evaluation arm with index probes.
+  const PaperQuery& q8 = Table4Queries().back();
+  on.ClearQueryCache();
+  if (!on.Query(q8.iql).ok()) return 1;
+  auto trace = on.LastTrace();
+  if (trace == nullptr) {
+    std::fprintf(stderr, "Q8 left no trace\n");
+    return 1;
+  }
+  const obs::TraceSpan& root = trace->root();
+  if (root.FindChild("evaluate") == nullptr ||
+      root.FindChild("cache.lookup") == nullptr ||
+      root.FindDescendant("index.name.lookup") == nullptr) {
+    std::fprintf(stderr, "Q8 trace is missing expected spans:\n%s\n",
+                 trace->ToText().c_str());
+    return 1;
+  }
+  auto stats = on.Stats();
+  const uint64_t queries = stats.metrics.CounterOr("iql.queries");
+  if (queries == 0) {
+    std::fprintf(stderr, "metrics registry counted no queries\n");
+    return 1;
+  }
+
+  std::printf("\nQ8 trace (%zu spans; iql.queries=%llu):\n%s\n",
+              root.SubtreeSize(),
+              static_cast<unsigned long long>(queries),
+              trace->ToText().c_str());
+
+  WriteObsJson("BENCH_obs.json", rows, aggregate_delta);
+  std::printf("wrote BENCH_obs.json\n");
+  return 0;
+}

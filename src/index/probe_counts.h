@@ -1,0 +1,38 @@
+// Per-query index-probe counters (DESIGN.md §11).
+//
+// The index structures themselves stay free of instrumentation state — they
+// are copied and wholesale-replaced on snapshot restore, so atomics inside
+// them would be awkward and the counts would survive restores they should
+// not. Instead the query evaluator accumulates a plain ProbeCounts per
+// evaluation arm and merges arms in input order (exactly like its rule
+// ledger), which keeps the totals deterministic under parallel execution.
+
+#ifndef IDM_INDEX_PROBE_COUNTS_H_
+#define IDM_INDEX_PROBE_COUNTS_H_
+
+#include <cstdint>
+
+namespace idm::index {
+
+/// Counts of index lookups issued while evaluating one query.
+struct ProbeCounts {
+  uint64_t name_lookups = 0;     ///< R2 name-index pattern lookups
+  uint64_t content_phrases = 0;  ///< R1 inverted-index phrase queries
+  uint64_t tuple_scans = 0;      ///< R3 attribute-table scans
+  uint64_t graph_walks = 0;      ///< R4/R6 descendant / reached-from walks
+
+  uint64_t total() const {
+    return name_lookups + content_phrases + tuple_scans + graph_walks;
+  }
+
+  void Merge(const ProbeCounts& other) {
+    name_lookups += other.name_lookups;
+    content_phrases += other.content_phrases;
+    tuple_scans += other.tuple_scans;
+    graph_walks += other.graph_walks;
+  }
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_PROBE_COUNTS_H_

@@ -4,7 +4,9 @@
 
 namespace idm::iql {
 
-Result<AdmissionController::Ticket> AdmissionController::Admit() {
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    int64_t* waited_micros) {
+  if (waited_micros != nullptr) *waited_micros = 0;
   if (!enabled()) return Ticket(nullptr);
   std::unique_lock<std::mutex> lock(mu_);
   if (running_ < options_.max_concurrent) {
@@ -19,10 +21,16 @@ Result<AdmissionController::Ticket> AdmissionController::Admit() {
         " waiting, " + std::to_string(running_) + " running)");
   }
   ++queued_;
+  auto wait_start = std::chrono::steady_clock::now();
   bool got_slot = cv_.wait_for(
       lock, std::chrono::microseconds(options_.queue_timeout_micros),
       [this] { return running_ < options_.max_concurrent; });
+  int64_t waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - wait_start)
+                       .count();
   --queued_;
+  stats_.queue_wait_micros += static_cast<uint64_t>(waited);
+  if (waited_micros != nullptr) *waited_micros = waited;
   if (!got_slot) {
     ++stats_.shed_timeout;
     return Status::ResourceExhausted(

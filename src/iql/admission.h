@@ -39,6 +39,7 @@ class AdmissionController {
     uint64_t shed_timeout = 0;     ///< rejected: slot wait timed out
     size_t running = 0;            ///< tickets currently held
     size_t queued = 0;             ///< requests currently waiting
+    uint64_t queue_wait_micros = 0;  ///< total wall time spent queued
   };
 
   /// RAII admission slot; releasing it wakes one queued waiter.
@@ -78,8 +79,10 @@ class AdmissionController {
 
   /// Blocks until a slot is free (at most queue_timeout_micros), the queue
   /// is full (immediate), or the controller is disabled (immediate OK).
-  /// Rejections carry kResourceExhausted.
-  Result<Ticket> Admit();
+  /// Rejections carry kResourceExhausted. When \p waited_micros is
+  /// non-null it receives the wall time this request spent queued (0 when
+  /// admitted or shed without waiting).
+  Result<Ticket> Admit(int64_t* waited_micros = nullptr);
 
   Stats stats() const;
 

@@ -15,6 +15,22 @@ Dataspace::Dataspace(Config config)
       &module_, rvm::ConverterRegistry::Standard(), config_.indexing);
   processor_ = std::make_unique<QueryProcessor>(&module_, &classes_, &clock_,
                                                 config_.query);
+  if (config_.observability.enabled) {
+    // Created before InitStorage so startup recovery is traced and counted
+    // like any later storage activity. Metric handles are resolved once
+    // here; the per-query path then pays a single null test per site.
+    obs_ = std::make_unique<obs::Observability>(&clock_, config_.observability);
+    obs::MetricsRegistry& reg = obs_->metrics();
+    qmetrics_.queries = reg.counter("iql.queries");
+    qmetrics_.cache_hits = reg.counter("iql.cache.hits");
+    qmetrics_.cache_misses = reg.counter("iql.cache.misses");
+    qmetrics_.degraded = reg.counter("iql.degraded");
+    qmetrics_.shed = reg.counter("iql.shed");
+    qmetrics_.latency_micros = reg.histogram("iql.latency_micros");
+    qmetrics_.queue_wait_micros = reg.histogram("iql.queue_wait_micros");
+    module_.SetObservability(obs_.get());
+    sync_->SetObservability(obs_.get());
+  }
   if (!config_.storage_dir.empty()) {
     storage_status_ = InitStorage();
     if (!storage_status_.ok()) engine_.reset();
@@ -28,32 +44,62 @@ Result<std::unique_ptr<Dataspace>> Dataspace::Open(Config config) {
 }
 
 Status Dataspace::InitStorage() {
-  storage::Env* env =
-      config_.env != nullptr ? config_.env : storage::Env::Default();
-  IDM_ASSIGN_OR_RETURN(
-      storage::StorageEngine::Recovered recovered,
-      storage::StorageEngine::Open(env, config_.storage_dir, config_.storage,
-                                   &clock_));
-  if (recovered.snapshot.has_value()) {
-    IDM_RETURN_NOT_OK(module_.RestoreSnapshot(*recovered.snapshot)
-                          .WithContext("restoring checkpoint"));
-  }
-  // Replay runs with the engine still detached, so recovered mutations are
-  // applied but not re-logged.
-  IDM_RETURN_NOT_OK(
-      module_.ReplayMutations(recovered.mutations).WithContext("WAL replay"));
-  recovery_stats_ = recovered.stats;
-  engine_ = std::move(recovered.engine);
-  module_.AttachStorage(engine_.get());
-  return Status::OK();
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kStorageTrace, "recovery")
+                      : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  Status status = [&]() -> Status {
+    storage::Env* env =
+        config_.env != nullptr ? config_.env : storage::Env::Default();
+    IDM_ASSIGN_OR_RETURN(
+        storage::StorageEngine::Recovered recovered,
+        storage::StorageEngine::Open(env, config_.storage_dir, config_.storage,
+                                     &clock_, root));
+    if (recovered.snapshot.has_value()) {
+      obs::ScopedSpan restore_span(root, "snapshot.restore");
+      IDM_RETURN_NOT_OK(module_.RestoreSnapshot(*recovered.snapshot)
+                            .WithContext("restoring checkpoint"));
+    }
+    // Replay runs with the engine still detached, so recovered mutations are
+    // applied but not re-logged.
+    {
+      obs::ScopedSpan replay_span(root, "wal.replay");
+      if (replay_span) {
+        replay_span.get()->SetAttr(
+            "mutations", static_cast<int64_t>(recovered.mutations.size()));
+      }
+      IDM_RETURN_NOT_OK(module_.ReplayMutations(recovered.mutations)
+                            .WithContext("WAL replay"));
+    }
+    recovery_stats_ = recovered.stats;
+    engine_ = std::move(recovered.engine);
+    module_.AttachStorage(engine_.get());
+    engine_->SetObservability(obs_.get());
+    return Status::OK();
+  }();
+  if (obs_ != nullptr) obs_->FinishTrace(obs::kStorageTrace, std::move(trace));
+  return status;
 }
 
 Status Dataspace::Checkpoint() {
   if (engine_ == nullptr) {
     return Status::FailedPrecondition("dataspace has no storage engine");
   }
-  IDM_RETURN_NOT_OK(engine_->Commit());
-  return engine_->Checkpoint(module_.ExportSnapshot());
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kStorageTrace, "checkpoint")
+                      : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  Status status = [&]() -> Status {
+    IDM_RETURN_NOT_OK(engine_->Commit(root));
+    storage::Snapshot snapshot;
+    {
+      obs::ScopedSpan export_span(root, "snapshot.export");
+      snapshot = module_.ExportSnapshot();
+    }
+    return engine_->Checkpoint(snapshot, root);
+  }();
+  if (obs_ != nullptr) obs_->FinishTrace(obs::kStorageTrace, std::move(trace));
+  return status;
 }
 
 Status Dataspace::SyncStorage() {
@@ -106,14 +152,52 @@ Result<QueryResult> Dataspace::Query(const std::string& iql) const {
 
 Result<QueryResult> Dataspace::Query(const std::string& iql,
                                      const QueryOptions& options) const {
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kQueryTrace, "query") : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  Result<QueryResult> result = QueryTraced(iql, options, root);
+  if (obs_ != nullptr) {
+    qmetrics_.queries->Inc();
+    if (result.ok()) {
+      qmetrics_.latency_micros->Observe(
+          static_cast<uint64_t>(result->elapsed_micros));
+      if (!result->meta.complete) qmetrics_.degraded->Inc();
+    }
+    if (root != nullptr && !result.ok()) {
+      root->SetAttr("error", result.status().message());
+    }
+    obs_->FinishTrace(obs::kQueryTrace, std::move(trace));
+  }
+  return result;
+}
+
+Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
+                                           const QueryOptions& options,
+                                           obs::TraceSpan* root) const {
   // Admission first: a shed query costs one mutex acquisition, not an
   // evaluation. The ticket is held (RAII) until the result is built.
   AdmissionController::Ticket ticket;
   if (!options.bypass_admission && admission_.enabled()) {
-    IDM_ASSIGN_OR_RETURN(ticket, admission_.Admit());
+    obs::ScopedSpan admit_span(root, "admission");
+    int64_t waited = 0;
+    Result<AdmissionController::Ticket> admitted = admission_.Admit(&waited);
+    if (qmetrics_.queue_wait_micros != nullptr) {
+      qmetrics_.queue_wait_micros->Observe(static_cast<uint64_t>(waited));
+    }
+    if (admit_span) {
+      admit_span.get()->SetAttr("waited_micros", waited);
+      admit_span.get()->SetAttr("outcome", admitted.ok() ? "admitted" : "shed");
+    }
+    if (!admitted.ok()) {
+      if (qmetrics_.shed != nullptr) qmetrics_.shed->Inc();
+      return admitted.status();
+    }
+    ticket = std::move(*admitted);
   }
 
+  obs::TraceSpan* parse_span = root == nullptr ? nullptr : root->AddChild("parse");
   IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
+  if (parse_span != nullptr) parse_span->End();
 
   // Governed queries run under an ExecContext on the dataspace clock; the
   // simulated evaluation cost they accumulate becomes simulated time.
@@ -121,7 +205,9 @@ Result<QueryResult> Dataspace::Query(const std::string& iql,
   if (options.limits.any()) ctx.emplace(&clock_, options.limits);
   util::ExecContext* ctx_ptr = ctx.has_value() ? &*ctx : nullptr;
   auto evaluate = [&]() -> Result<QueryResult> {
-    Result<QueryResult> result = processor_->Evaluate(parsed, ctx_ptr);
+    obs::ScopedSpan eval_span(root, "evaluate");
+    Result<QueryResult> result =
+        processor_->Evaluate(parsed, ctx_ptr, eval_span.get());
     if (ctx_ptr != nullptr && ctx_ptr->charged_micros() > 0) {
       clock_.AdvanceMicros(ctx_ptr->charged_micros());
     }
@@ -137,10 +223,19 @@ Result<QueryResult> Dataspace::Query(const std::string& iql,
   const std::string normalized = ToString(parsed);
   const uint64_t epoch = module_.versions().current();
   const bool cacheable = IsCacheable(parsed);
-  if (cacheable) {
-    if (std::optional<QueryResult> hit = cache_.Lookup(normalized, epoch)) {
+  {
+    obs::ScopedSpan lookup_span(root, "cache.lookup");
+    if (!cacheable) {
+      if (lookup_span) lookup_span.get()->SetAttr("outcome", "bypass");
+    } else if (std::optional<QueryResult> hit =
+                   cache_.Lookup(normalized, epoch)) {
       hit->elapsed_micros = 0;  // served from cache; nothing was evaluated
+      if (lookup_span) lookup_span.get()->SetAttr("outcome", "hit");
+      if (qmetrics_.cache_hits != nullptr) qmetrics_.cache_hits->Inc();
       return *std::move(hit);
+    } else {
+      if (lookup_span) lookup_span.get()->SetAttr("outcome", "miss");
+      if (qmetrics_.cache_misses != nullptr) qmetrics_.cache_misses->Inc();
     }
   }
   IDM_ASSIGN_OR_RETURN(QueryResult result, evaluate());
@@ -191,6 +286,26 @@ Result<Dataspace::UpdateResult> Dataspace::ExecuteUpdate(
   // removals are already applied above, so drain the queue.
   IDM_RETURN_NOT_OK(sync_->ProcessNotifications().status());
   return update;
+}
+
+DataspaceStats Dataspace::Stats() const {
+  DataspaceStats stats;
+  stats.cache = cache_.stats();
+  stats.admission = admission_.stats();
+  stats.sync = sync_->totals();
+  stats.mutations = module_.mutation_count();
+  if (engine_ != nullptr) stats.storage = engine_->stats();
+  stats.recovery = recovery_stats_;
+  if (processor_->pool() != nullptr) {
+    stats.pool = processor_->pool()->telemetry();
+  }
+  if (obs_ != nullptr) stats.metrics = obs_->metrics().Snapshot();
+  return stats;
+}
+
+std::shared_ptr<const obs::Trace> Dataspace::LastTrace(
+    const std::string& category) const {
+  return obs_ == nullptr ? nullptr : obs_->LastTrace(category);
 }
 
 const std::string& Dataspace::UriOf(index::DocId id) const {

@@ -7,6 +7,17 @@
 //   ds.AddFileSystem("Filesystem", fs);
 //   ds.AddImap("Email / IMAP", server);
 //   auto result = ds.Query("//PIM//Introduction[class=\"latex_section\"]");
+//
+// Querying has ONE canonical entry point: Query(iql, QueryOptions). The
+// one-argument Query(iql) is sugar for Query(iql, QueryOptions{}) — the
+// default options reproduce the classic ungoverned behavior exactly, and
+// every execution knob (resource limits, admission bypass) is a field of
+// QueryOptions (iql/query_options.h), never a separate overload.
+//
+// Introspection likewise has one surface: Stats() returns a DataspaceStats
+// snapshot covering cache, admission, sync, storage, thread pool, and the
+// metrics registry; LastTrace() returns the most recent span tree when
+// Config::observability is enabled (DESIGN.md §11).
 
 #ifndef IDM_IQL_DATASPACE_H_
 #define IDM_IQL_DATASPACE_H_
@@ -16,12 +27,28 @@
 
 #include "iql/admission.h"
 #include "iql/query_cache.h"
+#include "iql/query_options.h"
 #include "iql/query_processor.h"
+#include "obs/obs.h"
 #include "rvm/rvm.h"
 #include "storage/engine.h"
 #include "util/exec_context.h"
 
 namespace idm::iql {
+
+/// One-call introspection snapshot (DESIGN.md §11): everything the
+/// dataspace knows about itself, collected by Dataspace::Stats(). Plain
+/// values — safe to copy, compare, and ship across threads.
+struct DataspaceStats {
+  QueryCache::Stats cache;                ///< result-cache hits/misses/…
+  AdmissionController::Stats admission;   ///< admitted/shed/queued/…
+  rvm::SyncTotals sync;                   ///< cumulative sync activity
+  uint64_t mutations = 0;                 ///< module mutations since start
+  storage::StorageEngine::Stats storage;  ///< zeros when not durable
+  storage::RecoveryStats recovery;        ///< what startup recovery found
+  util::ThreadPoolTelemetry pool;         ///< zeros when threads <= 1
+  obs::MetricsSnapshot metrics;           ///< empty when observability off
+};
 
 class Dataspace {
  public:
@@ -47,6 +74,11 @@ class Dataspace {
     /// limit + bounded wait queue with load shedding. Disabled by default
     /// (max_concurrent == 0) — every query runs immediately, as before.
     AdmissionController::Options admission;
+    /// Tracing + metrics (DESIGN.md §11). Off by default: with
+    /// enabled == false no Observability object is created, every
+    /// instrumentation site sees a null pointer, and the hot path is
+    /// byte-identical to a build without the feature.
+    obs::Options observability;
   };
 
   Dataspace() : Dataspace(Config()) {}
@@ -100,33 +132,43 @@ class Dataspace {
   void AttachSource(std::shared_ptr<rvm::DataSource> source);
 
   /// --- querying -----------------------------------------------------------
-  /// Per-query execution options. Default-constructed options reproduce
-  /// the classic Query(iql) behavior exactly.
-  struct QueryOptions {
-    /// Resource limits for this query. When any limit is set, evaluation
-    /// runs under an ExecContext on the dataspace clock; on overrun the
-    /// query returns OK with meta.complete == false and a prefix partial
-    /// result (see ResultMeta), and the result is not cached. All-zero
-    /// limits (the default) run the ungoverned path, byte-identical to
-    /// the two-argument overload.
-    util::ExecContext::Limits limits;
-    /// Skip the admission gate (internal / maintenance queries).
-    bool bypass_admission = false;
-  };
+  /// Per-query execution options (iql/query_options.h — shared with
+  /// Federation). The nested name is kept as an alias so existing
+  /// `Dataspace::QueryOptions` spellings keep compiling.
+  using QueryOptions = ::idm::iql::QueryOptions;
 
-  /// Parses, normalizes and evaluates \p iql. Cacheable queries are served
-  /// from / stored into the result cache at the current VersionLog epoch;
-  /// a cache hit reports elapsed_micros = 0 (no evaluation ran).
-  Result<QueryResult> Query(const std::string& iql) const;
-
-  /// Query with governance: admission control first (kResourceExhausted on
-  /// shed — retryable), then evaluation under the configured limits.
+  /// The canonical query entry point: admission control first (when
+  /// configured and not bypassed; kResourceExhausted on shed — retryable),
+  /// then parse, normalize, cache lookup at the current VersionLog epoch,
+  /// and evaluation under the configured limits. A cache hit reports
+  /// elapsed_micros = 0 (no evaluation ran). When Config::observability is
+  /// enabled, every run records a span tree retrievable via LastTrace().
   Result<QueryResult> Query(const std::string& iql,
                             const QueryOptions& options) const;
 
-  /// Cache observability (hits / misses / stale drops / evictions).
+  /// Sugar for Query(iql, QueryOptions{}): the classic ungoverned call.
+  Result<QueryResult> Query(const std::string& iql) const;
+
+  /// --- introspection ------------------------------------------------------
+  /// One-call snapshot of everything the dataspace knows about itself.
+  /// Cheap when observability is off (the metrics snapshot is empty).
+  DataspaceStats Stats() const;
+
+  /// The most recent finished trace in \p category (obs::kQueryTrace,
+  /// obs::kStorageTrace, …), or null when observability is off / nothing
+  /// has been traced yet. The returned tree is immutable and safe to keep
+  /// across later queries.
+  std::shared_ptr<const obs::Trace> LastTrace(
+      const std::string& category = obs::kQueryTrace) const;
+
+  /// The observability sink itself (metrics registry access, manual
+  /// traces); null when Config::observability is disabled.
+  obs::Observability* observability() const { return obs_.get(); }
+
+  /// DEPRECATED: thin shim over Stats().cache — prefer Stats(), which
+  /// returns all subsystem statistics in one snapshot.
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
-  /// Admission gate observability (admitted / shed / running / queued).
+  /// DEPRECATED: thin shim over Stats().admission — prefer Stats().
   AdmissionController::Stats admission_stats() const {
     return admission_.stats();
   }
@@ -167,6 +209,24 @@ class Dataspace {
   /// suffix and attaches the engine to the module.
   Status InitStorage();
 
+  /// Query() body; \p root is the trace root (null when tracing is off)
+  /// that admission / parse / cache.lookup / evaluate spans attach to.
+  Result<QueryResult> QueryTraced(const std::string& iql,
+                                  const QueryOptions& options,
+                                  obs::TraceSpan* root) const;
+
+  /// Metric handles resolved once at construction (null when observability
+  /// is off — the hot path then pays a single pointer test per site).
+  struct QueryMetrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* degraded = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Histogram* latency_micros = nullptr;
+    obs::Histogram* queue_wait_micros = nullptr;
+  };
+
   Config config_;
   /// mutable: governed const Query() applies its simulated evaluation cost
   /// (ExecContext::charged_micros) to the clock after evaluating.
@@ -180,6 +240,8 @@ class Dataspace {
   std::unique_ptr<storage::StorageEngine> engine_;
   storage::RecoveryStats recovery_stats_;
   Status storage_status_;
+  std::unique_ptr<obs::Observability> obs_;  ///< null when disabled
+  QueryMetrics qmetrics_;
 };
 
 }  // namespace idm::iql

@@ -27,6 +27,20 @@ Federation::Federation(Clock* clock, Options options)
 
 Federation::~Federation() = default;
 
+void Federation::SetObservability(obs::Observability* obs) {
+  obs_ = obs;
+  if (obs == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  obs::MetricsRegistry& reg = obs->metrics();
+  metrics_.queries = reg.counter("fed.queries");
+  metrics_.peer_rpcs = reg.counter("fed.peer.rpcs");
+  metrics_.peer_failures = reg.counter("fed.peer.failures");
+  metrics_.retries = reg.counter("fed.retries");
+  metrics_.cache_hits = reg.counter("fed.cache.hits");
+}
+
 Status Federation::AddPeer(std::string name, const Dataspace* peer,
                            PeerLatency latency, FaultInjector* link) {
   if (peer == nullptr) return Status::InvalidArgument("null peer");
@@ -39,12 +53,10 @@ Status Federation::AddPeer(std::string name, const Dataspace* peer,
   return Status::OK();
 }
 
-Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
-                                              const std::string& iql,
-                                              const std::string& cache_key,
-                                              bool cacheable, Rng* jitter,
-                                              Clock* clock,
-                                              util::ExecContext* ctx) const {
+Federation::PeerOutcome Federation::QueryPeer(
+    const Peer& peer, const std::string& iql, const std::string& cache_key,
+    bool cacheable, Rng* jitter, Clock* clock, util::ExecContext* ctx,
+    obs::TraceSpan* span) const {
   PeerOutcome outcome;
   if (ctx != nullptr && ctx->doomed()) {
     // A sibling already overran the family budget: abandon this peer
@@ -68,6 +80,8 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
     if (std::optional<QueryResult> hit = cache_.Lookup(key, epoch)) {
       outcome.reached = true;
       outcome.cache_hit = true;
+      if (metrics_.cache_hits != nullptr) metrics_.cache_hits->Inc();
+      if (span != nullptr) span->SetAttr("outcome", "cache_hit");
       outcome.rows.reserve(hit->rows.size());
       for (size_t r = 0; r < hit->rows.size(); ++r) {
         FederatedRow row;
@@ -104,6 +118,7 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
       break;
     }
     charge(peer.latency.per_query_micros);  // one shipped round trip
+    if (metrics_.peer_rpcs != nullptr) metrics_.peer_rpcs->Inc();
 
     // The network path may fail independently of the peer's evaluator.
     if (peer.link != nullptr) {
@@ -115,6 +130,7 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
           break;
         }
         ++outcome.retries;
+        if (metrics_.retries != nullptr) metrics_.retries->Inc();
         charge(options_.retry.BackoffMicros(attempt, jitter));
         continue;
       }
@@ -165,6 +181,16 @@ Federation::PeerOutcome Federation::QueryPeer(const Peer& peer,
     }
     break;
   }
+  if (span != nullptr) {
+    // The cache-hit path returned above, so "outcome" is still unset here.
+    span->SetAttr("outcome", outcome.reached ? "reached" : "failed");
+    span->SetAttr("rows", static_cast<int64_t>(outcome.rows.size()));
+    span->SetAttr("retries", static_cast<int64_t>(outcome.retries));
+    span->SetAttr("charged_micros", static_cast<int64_t>(outcome.charged));
+  }
+  if (!outcome.reached && metrics_.peer_failures != nullptr) {
+    metrics_.peer_failures->Inc();
+  }
   return outcome;
 }
 
@@ -178,6 +204,11 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
     return Status::FailedPrecondition("federation has no peers");
   }
   Micros start = WallNow();
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kFederationTrace, "federation")
+                      : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  if (metrics_.queries != nullptr) metrics_.queries->Inc();
 
   // Normalize the query text once so cache keys are whitespace/escape
   // insensitive; unparseable or clock-dependent queries bypass the cache
@@ -192,6 +223,18 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
     }
   }
 
+  // One RPC span per peer, pre-created in registration order so the trace
+  // tree is deterministic regardless of scatter scheduling.
+  std::vector<obs::TraceSpan*> peer_spans(peers_.size(), nullptr);
+  if (root != nullptr) {
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      peer_spans[i] = root->AddChild("peer.rpc");
+      if (peer_spans[i] != nullptr) {
+        peer_spans[i]->SetAttr("peer", peers_[i].name);
+      }
+    }
+  }
+
   std::vector<PeerOutcome> outcomes;
   if (pool_ != nullptr) {
     // Scatter: each peer's full ship/retry loop is one task with its own
@@ -200,17 +243,21 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
         pool_.get(), peers_.size(), [&](size_t i) {
           Rng jitter(options_.jitter_seed ^
                      (0x9E3779B97F4A7C15ULL * (i + 1)));
-          return QueryPeer(peers_[i], iql, cache_key, cacheable, &jitter,
-                           /*clock=*/nullptr, ctx);
+          PeerOutcome outcome =
+              QueryPeer(peers_[i], iql, cache_key, cacheable, &jitter,
+                        /*clock=*/nullptr, ctx, peer_spans[i]);
+          if (peer_spans[i] != nullptr) peer_spans[i]->End();
+          return outcome;
         });
   } else {
     // Serial: one jitter stream across peers in registration order and
     // incremental clock charging — the pre-parallel behavior.
     Rng jitter(options_.jitter_seed);
     outcomes.reserve(peers_.size());
-    for (const Peer& peer : peers_) {
-      outcomes.push_back(
-          QueryPeer(peer, iql, cache_key, cacheable, &jitter, clock_, ctx));
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      outcomes.push_back(QueryPeer(peers_[i], iql, cache_key, cacheable,
+                                   &jitter, clock_, ctx, peer_spans[i]));
+      if (peer_spans[i] != nullptr) peer_spans[i]->End();
     }
   }
 
@@ -243,7 +290,20 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
       if (first_error.ok()) first_error = error;
     }
   }
-  if (merged.peers_reached == 0) return first_error;
+  auto finish_trace = [&]() {
+    if (obs_ == nullptr) return;
+    if (root != nullptr) {
+      root->SetAttr("peers_reached",
+                    static_cast<int64_t>(merged.peers_reached));
+      root->SetAttr("peers_failed", static_cast<int64_t>(merged.peers_failed));
+      root->SetAttr("rows", static_cast<int64_t>(merged.rows.size()));
+    }
+    obs_->FinishTrace(obs::kFederationTrace, std::move(trace));
+  };
+  if (merged.peers_reached == 0) {
+    finish_trace();
+    return first_error;
+  }
 
   // Merge order: descending peer-local score, then peer, then uri —
   // deterministic across runs.
@@ -254,6 +314,7 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
               return a.uri < b.uri;
             });
   merged.elapsed_micros += WallNow() - start;
+  finish_trace();
   return merged;
 }
 

@@ -24,6 +24,7 @@
 
 #include "iql/dataspace.h"
 #include "iql/query_cache.h"
+#include "obs/obs.h"
 #include "util/fault.h"
 #include "util/retry.h"
 #include "util/thread_pool.h"
@@ -131,6 +132,11 @@ class Federation {
   /// Federation-side per-peer cache statistics.
   QueryCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Routes federation traces (obs::kFederationTrace — one span per peer
+  /// RPC) and metrics into \p obs; nullptr detaches. The sink must outlive
+  /// the federation. Typically the coordinator dataspace's observability().
+  void SetObservability(obs::Observability* obs);
+
  private:
   struct Peer {
     std::string name;
@@ -156,14 +162,22 @@ class Federation {
   /// is the caller's governance context; see Query(iql, ctx).
   PeerOutcome QueryPeer(const Peer& peer, const std::string& iql,
                         const std::string& cache_key, bool cacheable,
-                        Rng* jitter, Clock* clock,
-                        util::ExecContext* ctx) const;
+                        Rng* jitter, Clock* clock, util::ExecContext* ctx,
+                        obs::TraceSpan* span) const;
 
   Clock* clock_;
   Options options_;
   std::vector<Peer> peers_;
   mutable QueryCache cache_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads <= 1
+  obs::Observability* obs_ = nullptr;
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* peer_rpcs = nullptr;
+    obs::Counter* peer_failures = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* cache_hits = nullptr;
+  } metrics_;
 };
 
 }  // namespace idm::iql

@@ -1,0 +1,48 @@
+// Per-query execution options and result metadata — the shared vocabulary
+// of the single options-driven query entry point (Dataspace::Query and
+// Federation::Query both consume QueryOptions; every result carries a
+// ResultMeta). Split out of dataspace.h / query_processor.h so the facade
+// and the federation agree on one definition.
+
+#ifndef IDM_IQL_QUERY_OPTIONS_H_
+#define IDM_IQL_QUERY_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+#include "util/exec_context.h"
+
+namespace idm::iql {
+
+/// Per-query execution options. Default-constructed options reproduce the
+/// classic un-governed Query(iql) behavior exactly.
+struct QueryOptions {
+  /// Resource limits for this query. When any limit is set, evaluation
+  /// runs under an ExecContext on the dataspace clock; on overrun the
+  /// query returns OK with meta.complete == false and a prefix partial
+  /// result (see ResultMeta), and the result is not cached. All-zero
+  /// limits (the default) run the ungoverned path.
+  util::ExecContext::Limits limits;
+  /// Skip the admission gate (internal / maintenance queries).
+  bool bypass_admission = false;
+};
+
+/// Governance outcome of one evaluation (DESIGN.md §10). When a query runs
+/// under an ExecContext that overruns (deadline, steps, memory,
+/// cancellation), the evaluation stops cooperatively and returns an *OK*
+/// result with complete == false instead of an error: partial answers are
+/// answers. The partial-result contract: `rows` is then a prefix of the
+/// serial-order complete result (possibly empty — ranked and join results
+/// degrade to empty, because their output order is not a materialization
+/// order). Incomplete results are never admitted into the QueryCache.
+struct ResultMeta {
+  bool complete = true;         ///< false iff governance stopped the query
+  std::string degraded_reason;  ///< doom status text when !complete
+  uint64_t steps_used = 0;      ///< evaluation steps counted by the context
+  size_t bytes_peak = 0;        ///< memory budget high-water mark (bytes)
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_QUERY_OPTIONS_H_

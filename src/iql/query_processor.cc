@@ -64,8 +64,10 @@ struct LiveCache {
 class QueryProcessor::Evaluation {
  public:
   /// Root evaluation of one query. \p ctx (may be null) governs every
-  /// loop this evaluation and its parallel children run.
-  Evaluation(const QueryProcessor& processor, util::ExecContext* ctx)
+  /// loop this evaluation and its parallel children run; \p span (may be
+  /// null) collects the evaluation's trace tree.
+  Evaluation(const QueryProcessor& processor, util::ExecContext* ctx,
+             obs::TraceSpan* span)
       : module_(*processor.module_),
         classes_(*processor.classes_),
         clock_(processor.clock_),
@@ -73,6 +75,7 @@ class QueryProcessor::Evaluation {
         pool_(processor.pool_.get()),
         live_(&own_live_),
         ctx_(ctx),
+        span_(span),
         root_(true) {}
 
   /// Child evaluation for a parallel sub-query: shares the parent's pool
@@ -81,13 +84,17 @@ class QueryProcessor::Evaluation {
   /// governance the child runs on a Child() context: same family (shared
   /// deadline, steps, cancellation — the first arm to overrun dooms the
   /// siblings) with its own memory sub-budget.
-  explicit Evaluation(const Evaluation& parent)
+  /// \p span: a pre-created arm span the parent allocated in input order
+  /// before fanning out (so the trace tree is deterministic under
+  /// parallelism); null when untraced.
+  explicit Evaluation(const Evaluation& parent, obs::TraceSpan* span = nullptr)
       : module_(parent.module_),
         classes_(parent.classes_),
         clock_(parent.clock_),
         options_(parent.options_),
         pool_(parent.pool_),
         live_(parent.live_),
+        span_(span),
         root_(false) {
     if (parent.ctx_ != nullptr) {
       ctx_owned_ = parent.ctx_->Child();
@@ -145,6 +152,7 @@ class QueryProcessor::Evaluation {
       }
     }
     result.expanded_views = expanded_;
+    result.probes = probes_;
     if (!rules_.empty()) {
       result.plan += "  [rules:";
       for (const std::string& rule : rules_) result.plan += " " + rule;
@@ -154,6 +162,30 @@ class QueryProcessor::Evaluation {
   }
 
  private:
+  /// Opens a child span and redirects this evaluation's span pointer into
+  /// it for the enclosing scope — nested probes/steps attach underneath.
+  /// A no-op (and no allocation) when the evaluation is untraced.
+  struct SpanScope {
+    SpanScope(Evaluation* eval, const char* name)
+        : eval_(eval), saved_(eval->span_) {
+      span_ = saved_ == nullptr ? nullptr : saved_->AddChild(name);
+      if (span_ != nullptr) eval_->span_ = span_;
+    }
+    ~SpanScope() {
+      if (span_ != nullptr) span_->End();
+      eval_->span_ = saved_;
+    }
+    SpanScope(const SpanScope&) = delete;
+    SpanScope& operator=(const SpanScope&) = delete;
+    obs::TraceSpan* get() const { return span_; }
+    explicit operator bool() const { return span_ != nullptr; }
+
+   private:
+    Evaluation* eval_;
+    obs::TraceSpan* saved_;
+    obs::TraceSpan* span_ = nullptr;
+  };
+
   /// True when this evaluation may fan work out. Nested fan-outs from
   /// worker threads degrade to inline execution inside ThreadPool::RunAll,
   /// so checking the pool here is sufficient.
@@ -279,6 +311,7 @@ class QueryProcessor::Evaluation {
   /// order, so the totals match the serial accumulation).
   void Absorb(Evaluation& child) {
     expanded_ += child.expanded_;
+    probes_.Merge(child.probes_);
     rules_.insert(child.rules_.begin(), child.rules_.end());
   }
 
@@ -287,7 +320,14 @@ class QueryProcessor::Evaluation {
     if (pattern.empty() || pattern == "*") return AllLive();
     if (options_.use_name_index) {
       rules_.insert("R2:name-index");
-      return module_.names().LookupPattern(pattern);
+      ++probes_.name_lookups;
+      obs::ScopedSpan probe_span(span_, "index.name.lookup");
+      std::vector<DocId> ids = module_.names().LookupPattern(pattern);
+      if (probe_span) {
+        probe_span.get()->SetAttr("pattern", pattern);
+        probe_span.get()->SetAttr("matches", static_cast<int64_t>(ids.size()));
+      }
+      return ids;
     }
     // Ablation: full scan with per-view wildcard matching.
     const std::vector<DocId>& live = AllLive();
@@ -339,11 +379,18 @@ class QueryProcessor::Evaluation {
   std::vector<ChildEval> EvalChildrenParallel(
       const std::vector<std::unique_ptr<PredNode>>& children,
       const std::vector<DocId>& universe) {
+    // Arm spans are allocated here, in input order, BEFORE the fan-out —
+    // the trace tree shape is then independent of worker scheduling.
+    std::vector<obs::TraceSpan*> arm_spans(children.size(), nullptr);
+    if (span_ != nullptr) {
+      for (auto& arm_span : arm_spans) arm_span = span_->AddChild("pred");
+    }
     return util::OrderedParallelMap<ChildEval>(
         pool_, children.size(), [&](size_t i) {
-          auto eval = std::make_unique<Evaluation>(*this);
+          auto eval = std::make_unique<Evaluation>(*this, arm_spans[i]);
           Result<std::vector<DocId>> ids =
               eval->EvalPred(*children[i], universe);
+          if (arm_spans[i] != nullptr) arm_spans[i]->End();
           return ChildEval{std::move(ids), std::move(eval)};
         });
   }
@@ -351,15 +398,33 @@ class QueryProcessor::Evaluation {
   Result<std::vector<DocId>> EvalPred(const PredNode& pred,
                                       const std::vector<DocId>& universe) {
     switch (pred.kind) {
-      case PredNode::Kind::kPhrase:
+      case PredNode::Kind::kPhrase: {
         rules_.insert("R1:content-index");
-        return Intersect(module_.content().PhraseQuery(pred.text, ctx_),
-                         universe);
-      case PredNode::Kind::kCompare:
+        ++probes_.content_phrases;
+        obs::ScopedSpan probe_span(span_, "index.content.phrase");
+        std::vector<DocId> ids =
+            Intersect(module_.content().PhraseQuery(pred.text, ctx_), universe);
+        if (probe_span) {
+          probe_span.get()->SetAttr("matches",
+                                    static_cast<int64_t>(ids.size()));
+        }
+        return ids;
+      }
+      case PredNode::Kind::kCompare: {
         rules_.insert("R3:tuple-index");
-        return Intersect(module_.tuples().Scan(pred.attribute, pred.op,
-                                               ResolveLiteral(pred), ctx_),
-                         universe);
+        ++probes_.tuple_scans;
+        obs::ScopedSpan probe_span(span_, "index.tuple.scan");
+        std::vector<DocId> ids =
+            Intersect(module_.tuples().Scan(pred.attribute, pred.op,
+                                            ResolveLiteral(pred), ctx_),
+                      universe);
+        if (probe_span) {
+          probe_span.get()->SetAttr("attribute", pred.attribute);
+          probe_span.get()->SetAttr("matches",
+                                    static_cast<int64_t>(ids.size()));
+        }
+        return ids;
+      }
       case PredNode::Kind::kClassEq: {
         return ChunkedConcat(universe.size(), [&](size_t begin, size_t end) {
           std::vector<DocId> out;
@@ -438,14 +503,22 @@ class QueryProcessor::Evaluation {
     std::vector<ArmEval> arms;
     arms.reserve(query.arms.size());
     if (Parallel() && query.arms.size() > 1) {
+      // Arm spans allocated in input order before the fan-out (see
+      // EvalChildrenParallel for why).
+      std::vector<obs::TraceSpan*> arm_spans(query.arms.size(), nullptr);
+      if (span_ != nullptr) {
+        for (auto& arm_span : arm_spans) arm_span = span_->AddChild("arm");
+      }
       arms = util::OrderedParallelMap<ArmEval>(
           pool_, query.arms.size(), [&](size_t i) {
-            auto eval = std::make_unique<Evaluation>(*this);
+            auto eval = std::make_unique<Evaluation>(*this, arm_spans[i]);
             Result<QueryResult> sub = eval->Run(*query.arms[i]);
+            if (arm_spans[i] != nullptr) arm_spans[i]->End();
             return ArmEval{std::move(sub), std::move(eval)};
           });
     } else {
       for (const auto& arm : query.arms) {
+        SpanScope arm_scope(this, "arm");
         arms.push_back(ArmEval{Run(*arm), nullptr});
         if (!arms.back().result.ok()) break;  // serial early-out
       }
@@ -496,6 +569,12 @@ class QueryProcessor::Evaluation {
     std::vector<DocId> frontier;
     for (size_t i = 0; i < steps.size(); ++i) {
       const PathStep& step = steps[i];
+      SpanScope step_scope(this, "step");
+      if (step_scope) {
+        step_scope.get()->SetAttr("pattern", step.name_pattern);
+        step_scope.get()->SetAttr("descendant",
+                                  step.descendant ? "true" : "false");
+      }
       std::vector<DocId> name_set = NameMatches(step.name_pattern);
       std::vector<DocId> matched;
       if (i == 0) {
@@ -520,6 +599,12 @@ class QueryProcessor::Evaluation {
         }
         if (backward) {
           rules_.insert("R6:backward-expansion");
+          probes_.graph_walks += name_set.size();
+          SpanScope expand_scope(this, "expand.backward");
+          if (expand_scope) {
+            expand_scope.get()->SetAttr("candidates",
+                                        static_cast<int64_t>(name_set.size()));
+          }
           // Per-candidate parent-BFS probes are independent; fan them out
           // and keep per-chunk expansion counts (summed in chunk order).
           std::unordered_set<DocId> sources(frontier.begin(), frontier.end());
@@ -558,10 +643,16 @@ class QueryProcessor::Evaluation {
           }
         } else {
           rules_.insert("R4:forward-expansion");
+          ++probes_.graph_walks;
+          SpanScope expand_scope(this, "expand.forward");
           size_t expanded = 0;
           std::unordered_set<DocId> descendants = module_.groups().Descendants(
               frontier, options_.max_expansion, &expanded, ctx_);
           expanded_ += expanded;
+          if (expand_scope) {
+            expand_scope.get()->SetAttr("expanded",
+                                        static_cast<int64_t>(expanded));
+          }
           // Reserve the descendant set against the memory budget for the
           // time it is held — forward expansion is the paper's Q8 blowup.
           util::ScopedCharge descendants_charge(ctx_);
@@ -596,6 +687,10 @@ class QueryProcessor::Evaluation {
       }
       if (step.predicate != nullptr) {
         IDM_ASSIGN_OR_RETURN(matched, EvalPred(*step.predicate, matched));
+      }
+      if (step_scope) {
+        step_scope.get()->SetAttr("matched",
+                                  static_cast<int64_t>(matched.size()));
       }
       frontier = std::move(matched);
       if (frontier.empty()) break;
@@ -637,11 +732,22 @@ class QueryProcessor::Evaluation {
     if (Parallel()) {
       // The two join inputs are independent sub-queries: evaluate them
       // concurrently in child evaluations, then absorb left-before-right.
-      Evaluation left_eval(*this), right_eval(*this);
+      // Both arm spans are allocated before the fan-out, left first.
+      obs::TraceSpan* left_span =
+          span_ == nullptr ? nullptr : span_->AddChild("join.left");
+      obs::TraceSpan* right_span =
+          span_ == nullptr ? nullptr : span_->AddChild("join.right");
+      Evaluation left_eval(*this, left_span), right_eval(*this, right_span);
       std::optional<Result<QueryResult>> left_res, right_res;
       util::ThreadPool::RunAll(
-          pool_, {[&] { left_res.emplace(left_eval.Run(*join.left)); },
-                  [&] { right_res.emplace(right_eval.Run(*join.right)); }});
+          pool_, {[&] {
+                    left_res.emplace(left_eval.Run(*join.left));
+                    if (left_span != nullptr) left_span->End();
+                  },
+                  [&] {
+                    right_res.emplace(right_eval.Run(*join.right));
+                    if (right_span != nullptr) right_span->End();
+                  }});
       if (!left_res->ok()) return left_res->status();
       if (!right_res->ok()) return right_res->status();
       Absorb(left_eval);
@@ -649,8 +755,14 @@ class QueryProcessor::Evaluation {
       left = std::move(**left_res);
       right = std::move(**right_res);
     } else {
-      IDM_ASSIGN_OR_RETURN(left, Run(*join.left));
-      IDM_ASSIGN_OR_RETURN(right, Run(*join.right));
+      {
+        SpanScope left_scope(this, "join.left");
+        IDM_ASSIGN_OR_RETURN(left, Run(*join.left));
+      }
+      {
+        SpanScope right_scope(this, "join.right");
+        IDM_ASSIGN_OR_RETURN(right, Run(*join.right));
+      }
     }
     if (left.columns.size() != 1 || right.columns.size() != 1) {
       return Status::Unimplemented("nested join inputs must be unary");
@@ -707,6 +819,13 @@ class QueryProcessor::Evaluation {
       }
       return out;
     };
+    SpanScope probe_scope(this, "join.probe");
+    if (probe_scope) {
+      probe_scope.get()->SetAttr("build_rows",
+                                 static_cast<int64_t>(build.rows.size()));
+      probe_scope.get()->SetAttr("probe_rows",
+                                 static_cast<int64_t>(probe.rows.size()));
+    }
     auto ranges = util::ChunkRanges(probe.rows.size(), FanWays(),
                                     options_.min_parallel_chunk);
     std::vector<ProbeOut> parts;
@@ -739,9 +858,11 @@ class QueryProcessor::Evaluation {
   LiveCache own_live_;
   util::ExecContext* ctx_ = nullptr;  ///< null = ungoverned (byte-identical)
   std::unique_ptr<util::ExecContext> ctx_owned_;  ///< child context, if any
+  obs::TraceSpan* span_ = nullptr;  ///< null = untraced (byte-identical)
   bool root_ = false;  ///< true on the query's top-level evaluation
   int depth_ = 0;      ///< Run() nesting on *this* object (set-op arms)
   size_t expanded_ = 0;
+  index::ProbeCounts probes_;
   std::set<std::string> rules_;
 };
 
@@ -774,8 +895,14 @@ Result<QueryResult> QueryProcessor::Evaluate(const Query& query) const {
 
 Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
                                              util::ExecContext* ctx) const {
+  return Evaluate(query, ctx, nullptr);
+}
+
+Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
+                                             util::ExecContext* ctx,
+                                             obs::TraceSpan* span) const {
   Micros start = WallNow();
-  Evaluation evaluation(*this, ctx);
+  Evaluation evaluation(*this, ctx, span);
   Result<QueryResult> run = evaluation.Run(query);
   if (!run.ok()) {
     // A genuine evaluation error while the family was doomed is still an
@@ -791,6 +918,12 @@ Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
       result.meta.complete = false;
       result.meta.degraded_reason = ctx->status().ToString();
     }
+  }
+  if (span != nullptr) {
+    span->SetAttr("rows", static_cast<int64_t>(result.rows.size()));
+    span->SetAttr("expanded", static_cast<int64_t>(result.expanded_views));
+    span->SetAttr("probes", static_cast<int64_t>(result.probes.total()));
+    if (!result.meta.complete) span->SetAttr("degraded", "true");
   }
   return result;
 }

@@ -37,28 +37,16 @@
 #include <vector>
 
 #include "core/view_class.h"
+#include "index/probe_counts.h"
 #include "iql/ast.h"
+#include "iql/query_options.h"
+#include "obs/trace.h"
 #include "rvm/rvm.h"
 #include "util/clock.h"
 #include "util/exec_context.h"
 #include "util/thread_pool.h"
 
 namespace idm::iql {
-
-/// Governance outcome of one evaluation (DESIGN.md §10). When a query runs
-/// under an ExecContext that overruns (deadline, steps, memory,
-/// cancellation), the evaluation stops cooperatively and returns an *OK*
-/// result with complete == false instead of an error: partial answers are
-/// answers. The partial-result contract: `rows` is then a prefix of the
-/// serial-order complete result (possibly empty — ranked and join results
-/// degrade to empty, because their output order is not a materialization
-/// order). Incomplete results are never admitted into the QueryCache.
-struct ResultMeta {
-  bool complete = true;         ///< false iff governance stopped the query
-  std::string degraded_reason;  ///< doom status text when !complete
-  uint64_t steps_used = 0;      ///< evaluation steps counted by the context
-  size_t bytes_peak = 0;        ///< memory budget high-water mark (bytes)
-};
 
 /// Result of one query. Unary queries (paths, filters, unions) produce
 /// one-column rows; joins produce one column per binding.
@@ -73,6 +61,7 @@ struct QueryResult {
   Micros elapsed_micros = 0;  ///< wall-clock evaluation time
   std::string plan;           ///< normalized query text (plan display)
   ResultMeta meta;            ///< governance outcome (complete by default)
+  index::ProbeCounts probes;  ///< index lookups this evaluation issued
 
   size_t size() const { return rows.size(); }
   bool ranked() const { return !scores.empty(); }
@@ -124,12 +113,21 @@ class QueryProcessor {
   Result<QueryResult> Execute(const std::string& iql,
                               util::ExecContext* ctx) const;
 
-  /// Evaluates an already parsed query.
+  /// Evaluates an already parsed query. The three-argument form
+  /// additionally records the evaluation as children of \p span (node
+  /// structure, set-op/join arms, index probes, expansion work); a null
+  /// span runs the untraced path bit-for-bit.
   Result<QueryResult> Evaluate(const Query& query) const;
   Result<QueryResult> Evaluate(const Query& query,
                                util::ExecContext* ctx) const;
+  Result<QueryResult> Evaluate(const Query& query, util::ExecContext* ctx,
+                               obs::TraceSpan* span) const;
 
   const Options& options() const { return options_; }
+
+  /// The evaluation pool (null when threads <= 1) — exposed so the facade
+  /// can sample its telemetry for DataspaceStats.
+  util::ThreadPool* pool() const { return pool_.get(); }
 
  private:
   class Evaluation;

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+namespace idm::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets[i];
+    if (seen > rank) return Histogram::BucketUpperEdge(i);
+  }
+  return Histogram::BucketUpperEdge(kBuckets - 1);
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+size_t Histogram::BucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  size_t bit = static_cast<size_t>(std::bit_width(value));  // in [1, 64]
+  return bit < kBuckets ? bit : kBuckets - 1;
+}
+
+uint64_t Histogram::BucketUpperEdge(size_t i) {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return std::numeric_limits<uint64_t>::max();
+  return (1ULL << i) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = count();
+  snap.sum = sum();
+  for (size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  MergeSnapshot(other.Snapshot());
+}
+
+void Histogram::MergeSnapshot(const HistogramSnapshot& snap) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (snap.buckets[i] > 0) {
+      buckets_[i].fetch_add(snap.buckets[i], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snap.count, std::memory_order_relaxed);
+  sum_.fetch_add(snap.sum, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterOr(const std::string& name,
+                                    uint64_t fallback) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] = value;
+  for (const auto& [name, hist] : other.histograms) {
+    histograms[name].Merge(hist);
+  }
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + JsonEscape(name) + "\":{\"count\":" +
+           std::to_string(hist.count) + ",\"sum\":" + std::to_string(hist.sum) +
+           ",\"buckets\":[";
+    // Trailing empty buckets are elided; cell i is the count of samples in
+    // [2^(i-1), 2^i) as documented on Histogram.
+    size_t last = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      if (hist.buckets[i] > 0) last = i + 1;
+    }
+    for (size_t i = 0; i < last; ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(hist.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name + " = " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += name + " = {count " + std::to_string(hist.count) + ", mean " +
+           std::to_string(static_cast<uint64_t>(hist.mean())) + ", p99 " +
+           std::to_string(hist.Quantile(0.99)) + "}\n";
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  MetricsSnapshot theirs = other.Snapshot();
+  for (const auto& [name, value] : theirs.counters) {
+    counter(name)->Inc(value);
+  }
+  for (const auto& [name, value] : theirs.gauges) {
+    gauge(name)->Set(value);
+  }
+  for (const auto& [name, hist] : theirs.histograms) {
+    histogram(name)->MergeSnapshot(hist);
+  }
+}
+
+}  // namespace idm::obs

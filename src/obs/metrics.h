@@ -1,0 +1,148 @@
+// Lock-cheap metrics for the observability layer (DESIGN.md §11).
+//
+// Three primitives, all safe to hammer from any thread:
+//   Counter    — monotonically increasing u64 (relaxed fetch_add).
+//   Gauge      — last-written i64 level (queue depth, bytes held).
+//   Histogram  — fixed power-of-two buckets over u64 samples; every cell is
+//                an independent relaxed atomic, so concurrent Observe()
+//                calls never lose counts and two histograms merge by plain
+//                bucket-wise addition (the property the thread-sharded
+//                tests exercise).
+//
+// A MetricsRegistry names metrics ("iql.cache.hits") and hands out stable
+// pointers: instrumentation points resolve their metric once at setup and
+// pay one relaxed atomic op per event afterwards — no map lookup, no lock
+// on the hot path. Snapshot() produces a plain-value MetricsSnapshot for
+// the introspection API (Dataspace::Stats()) and the JSON/text exporters.
+
+#ifndef IDM_OBS_METRICS_H_
+#define IDM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace idm::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written level (may go down: queue depth, resident bytes).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Plain-value image of a Histogram at one instant.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 48;
+
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kBuckets> buckets{};  ///< bucket i: values in [2^(i-1), 2^i)
+
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+  /// Upper-bound estimate of the \p q quantile (q in [0, 1]): the inclusive
+  /// upper edge of the bucket holding the q'th sample.
+  uint64_t Quantile(double q) const;
+  /// Folds \p other in bucket-wise (shard merging).
+  void Merge(const HistogramSnapshot& other);
+};
+
+/// Fixed-bucket histogram of u64 samples. Bucket 0 holds the value 0;
+/// bucket i >= 1 holds [2^(i-1), 2^i); the last bucket absorbs overflow.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  void Observe(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  HistogramSnapshot Snapshot() const;
+  /// Adds \p other's cells into this histogram (thread-shard merge).
+  void MergeFrom(const Histogram& other);
+  /// Adds an already-snapshotted histogram's cells into this one.
+  void MergeSnapshot(const HistogramSnapshot& snap);
+
+  /// Bucket index of \p value (exposed for the bucket-boundary tests).
+  static size_t BucketOf(uint64_t value);
+  /// Inclusive upper edge of bucket \p i (max() for the overflow bucket).
+  static uint64_t BucketUpperEdge(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Plain-value image of a whole registry, suitable for copying around,
+/// merging, and exporting. Returned by MetricsRegistry::Snapshot() and
+/// embedded in DataspaceStats.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  uint64_t CounterOr(const std::string& name, uint64_t fallback = 0) const;
+  /// Folds \p other in: counters and histogram cells add, gauges take the
+  /// other side's value (last writer wins, as with Gauge::Set).
+  void Merge(const MetricsSnapshot& other);
+  std::string ToJson() const;
+  std::string ToText() const;
+};
+
+/// Named metric directory. Lookup/creation takes a mutex; returned pointers
+/// are stable for the registry's lifetime, so call sites resolve once and
+/// then touch only their own atomic.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Folds every metric of \p other into same-named metrics here, creating
+  /// them as needed (counters/histograms add, gauges adopt other's value).
+  void MergeFrom(const MetricsRegistry& other);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace idm::obs
+
+#endif  // IDM_OBS_METRICS_H_

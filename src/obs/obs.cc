@@ -1,0 +1,28 @@
+#include "obs/obs.h"
+
+namespace idm::obs {
+
+std::shared_ptr<Trace> Observability::StartTrace(const std::string& category,
+                                                std::string name) {
+  (void)category;
+  if (!options_.trace_queries) return nullptr;
+  return std::make_shared<Trace>(clock_, std::move(name),
+                                 options_.max_trace_spans);
+}
+
+void Observability::FinishTrace(const std::string& category,
+                                std::shared_ptr<Trace> trace) {
+  if (trace == nullptr) return;
+  trace->root()->End();
+  std::lock_guard<std::mutex> lock(mu_);
+  last_[category] = std::move(trace);
+}
+
+std::shared_ptr<const Trace> Observability::LastTrace(
+    const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_.find(category);
+  return it == last_.end() ? nullptr : it->second;
+}
+
+}  // namespace idm::obs

@@ -1,0 +1,74 @@
+// Observability holder: one object owning the metrics registry and the
+// per-category "last trace" slots. A Dataspace constructs one when
+// `Config::observability` is set and threads a raw pointer through its
+// subsystems; a null pointer means "off" and every instrumentation site
+// short-circuits to the pre-observability hot path (the ≤2% contract in
+// DESIGN.md §11 rests on that null check being the *only* added work).
+
+#ifndef IDM_OBS_OBS_H_
+#define IDM_OBS_OBS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace idm::obs {
+
+/// Tuning for one Observability instance (embedded in Dataspace::Config).
+struct Options {
+  /// Master switch. When false the Dataspace behaves exactly as if no
+  /// observability option had been given at all.
+  bool enabled = false;
+  /// Record a span tree per query / storage operation. Metrics stay on
+  /// even when this is off.
+  bool trace_queries = true;
+  /// Span budget per trace; AddChild beyond it returns nullptr and the
+  /// trace is marked truncated().
+  size_t max_trace_spans = 4096;
+};
+
+/// Well-known trace categories (keys of LastTrace).
+inline constexpr char kQueryTrace[] = "query";
+inline constexpr char kStorageTrace[] = "storage";
+inline constexpr char kFederationTrace[] = "federation";
+
+class Observability {
+ public:
+  Observability(const Clock* clock, Options options)
+      : clock_(clock), options_(options) {}
+
+  const Options& options() const { return options_; }
+  const Clock* clock() const { return clock_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Starts a trace for \p category ("query", "storage", ...); returns
+  /// nullptr when tracing is off so callers can pass the result straight
+  /// into span-threading APIs. The trace is not visible via LastTrace
+  /// until FinishTrace publishes it.
+  std::shared_ptr<Trace> StartTrace(const std::string& category,
+                                    std::string name);
+
+  /// Ends the root span and publishes \p trace as the category's last
+  /// trace. Null-safe (no-op on nullptr).
+  void FinishTrace(const std::string& category, std::shared_ptr<Trace> trace);
+
+  /// Most recently finished trace for \p category, or nullptr.
+  std::shared_ptr<const Trace> LastTrace(const std::string& category) const;
+
+ private:
+  const Clock* clock_;
+  Options options_;
+  MetricsRegistry metrics_;
+  mutable std::mutex mu_;  ///< guards last_
+  std::map<std::string, std::shared_ptr<const Trace>> last_;
+};
+
+}  // namespace idm::obs
+
+#endif  // IDM_OBS_OBS_H_

@@ -1,0 +1,179 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace idm::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceSpan* TraceSpan::AddChild(std::string name) {
+  if (!trace_->ReserveSpan()) return nullptr;
+  auto child = std::unique_ptr<TraceSpan>(
+      new TraceSpan(trace_, std::move(name), trace_->NowMicros()));
+  TraceSpan* raw = child.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  children_.push_back(std::move(child));
+  return raw;
+}
+
+void TraceSpan::End() {
+  bool expected = false;
+  if (ended_.compare_exchange_strong(expected, true)) {
+    end_ = trace_->NowMicros();
+  }
+}
+
+void TraceSpan::SetAttr(std::string key, std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void TraceSpan::SetAttr(std::string key, int64_t value) {
+  SetAttr(std::move(key), std::to_string(value));
+}
+
+std::vector<const TraceSpan*> TraceSpan::children() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const TraceSpan*> out;
+  out.reserve(children_.size());
+  for (const auto& child : children_) out.push_back(child.get());
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> TraceSpan::attrs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return attrs_;
+}
+
+std::string TraceSpan::AttrOr(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : attrs_) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
+const TraceSpan* TraceSpan::FindChild(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+const TraceSpan* TraceSpan::FindDescendant(const std::string& name) const {
+  if (name_ == name) return this;
+  for (const TraceSpan* child : children()) {
+    if (const TraceSpan* hit = child->FindDescendant(name)) return hit;
+  }
+  return nullptr;
+}
+
+size_t TraceSpan::SubtreeSize() const {
+  size_t n = 1;
+  for (const TraceSpan* child : children()) n += child->SubtreeSize();
+  return n;
+}
+
+Trace::Trace(const Clock* clock, std::string name, size_t max_spans)
+    : clock_(clock), max_spans_(max_spans == 0 ? 1 : max_spans) {
+  span_count_.store(1, std::memory_order_relaxed);  // the root
+  root_ = std::unique_ptr<TraceSpan>(
+      new TraceSpan(this, std::move(name), NowMicros()));
+}
+
+bool Trace::ReserveSpan() {
+  size_t n = span_count_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= max_spans_) {
+    span_count_.fetch_sub(1, std::memory_order_relaxed);
+    truncated_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Emits one Complete ("X") event per span, pre-order, with timestamps
+// relative to the trace root so two traces of the same operation compare
+// equal regardless of the clock's absolute epoch.
+void JsonDfs(const TraceSpan* span, Micros base, bool* first,
+             std::string* out) {
+  if (!*first) *out += ',';
+  *first = false;
+  *out += "{\"name\":\"" + JsonEscape(span->name()) + "\",\"ph\":\"X\",\"ts\":" +
+          std::to_string(span->start_micros() - base) + ",\"dur\":" +
+          std::to_string(span->duration_micros()) + ",\"pid\":1,\"tid\":1";
+  auto attrs = span->attrs();
+  if (!attrs.empty()) {
+    *out += ",\"args\":{";
+    bool afirst = true;
+    for (const auto& [k, v] : attrs) {
+      if (!afirst) *out += ',';
+      afirst = false;
+      *out += '"' + JsonEscape(k) + "\":\"" + JsonEscape(v) + '"';
+    }
+    *out += '}';
+  }
+  *out += '}';
+  for (const TraceSpan* child : span->children()) {
+    JsonDfs(child, base, first, out);
+  }
+}
+
+void TextDfs(const TraceSpan* span, Micros base, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += span->name() + "  +" + std::to_string(span->start_micros() - base) +
+          "us dur=" + std::to_string(span->duration_micros()) + "us";
+  for (const auto& [k, v] : span->attrs()) {
+    *out += ' ' + k + '=' + v;
+  }
+  *out += '\n';
+  for (const TraceSpan* child : span->children()) {
+    TextDfs(child, base, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Trace::ToJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  JsonDfs(root_.get(), root_->start_micros(), &first, &out);
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Trace::ToText() const {
+  std::string out;
+  TextDfs(root_.get(), root_->start_micros(), 0, &out);
+  if (truncated()) out += "(trace truncated at span budget)\n";
+  return out;
+}
+
+}  // namespace idm::obs

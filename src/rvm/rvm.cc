@@ -227,6 +227,8 @@ void ReplicaIndexesModule::MutLineageForget(DocId id) {
 
 void ReplicaIndexesModule::MutVersionAppend(index::ChangeRecord::Op op,
                                             DocId id) {
+  ++mutation_count_;
+  if (mutation_metric_ != nullptr) mutation_metric_->Inc();
   if (engine_ == nullptr) {
     versions_.Append(op, id);
     return;
@@ -625,6 +627,11 @@ IndexSizes ReplicaIndexesModule::Sizes() const {
   return sizes;
 }
 
+void ReplicaIndexesModule::SetObservability(obs::Observability* obs) {
+  mutation_metric_ =
+      obs == nullptr ? nullptr : obs->metrics().counter("rvm.mutations");
+}
+
 // ---------------------------------------------------------------------------
 // SynchronizationManager
 
@@ -676,6 +683,9 @@ Result<SyncStats> SynchronizationManager::Poll() {
   }
   // Polling observed the current state; queued notifications are subsumed.
   pending_.clear();
+  ++totals_.polls;
+  if (metrics_.polls != nullptr) metrics_.polls->Inc();
+  Account(total);
   return total;
 }
 
@@ -703,8 +713,38 @@ Result<SyncStats> SynchronizationManager::ProcessNotifications() {
         total.RecordFailure(change.uri);
       }
     }
+    ++totals_.notifications;
+    if (metrics_.notifications != nullptr) metrics_.notifications->Inc();
   }
+  Account(total);
   return total;
+}
+
+void SynchronizationManager::Account(const SyncStats& stats) {
+  totals_.added += stats.added;
+  totals_.updated += stats.updated;
+  totals_.removed += stats.removed;
+  totals_.failed += stats.failed;
+  if (metrics_.added != nullptr) {
+    metrics_.added->Inc(stats.added);
+    metrics_.updated->Inc(stats.updated);
+    metrics_.removed->Inc(stats.removed);
+    metrics_.failed->Inc(stats.failed);
+  }
+}
+
+void SynchronizationManager::SetObservability(obs::Observability* obs) {
+  if (obs == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  obs::MetricsRegistry& reg = obs->metrics();
+  metrics_.added = reg.counter("rvm.sync.added");
+  metrics_.updated = reg.counter("rvm.sync.updated");
+  metrics_.removed = reg.counter("rvm.sync.removed");
+  metrics_.failed = reg.counter("rvm.sync.failed");
+  metrics_.polls = reg.counter("rvm.sync.polls");
+  metrics_.notifications = reg.counter("rvm.sync.notifications");
 }
 
 }  // namespace idm::rvm

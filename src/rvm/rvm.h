@@ -142,6 +142,18 @@ struct SyncStats {
   }
 };
 
+/// Cumulative synchronization counters since construction — the
+/// introspection-API view of sync activity (per-round SyncStats are the
+/// operational return values; these never reset).
+struct SyncTotals {
+  uint64_t added = 0;
+  uint64_t updated = 0;
+  uint64_t removed = 0;
+  uint64_t failed = 0;
+  uint64_t polls = 0;           ///< Poll() rounds completed
+  uint64_t notifications = 0;   ///< notification events applied
+};
+
 class ReplicaIndexesModule {
  public:
   ReplicaIndexesModule() = default;
@@ -214,6 +226,14 @@ class ReplicaIndexesModule {
   /// Current per-structure sizes (paper Table 3).
   IndexSizes Sizes() const;
 
+  /// Logical mutations applied since construction (one per version-log
+  /// append, so adds/updates/removes all count once).
+  uint64_t mutation_count() const { return mutation_count_; }
+
+  /// Attaches (or detaches, with nullptr) the metrics sink; resolves the
+  /// rvm.mutations counter once.
+  void SetObservability(obs::Observability* obs);
+
   /// Serializes the durable PDSMS metadata: the resource view catalog and
   /// the version log (the Derby-equivalent state). Index structures are
   /// not exported; after ImportMetadata, re-registering the data sources
@@ -265,6 +285,8 @@ class ReplicaIndexesModule {
   index::VersionLog versions_;
   Clock* clock_ = nullptr;
   storage::StorageEngine* engine_ = nullptr;
+  uint64_t mutation_count_ = 0;
+  obs::Counter* mutation_metric_ = nullptr;
 };
 
 class SynchronizationManager {
@@ -301,6 +323,13 @@ class SynchronizationManager {
   /// Applies queued notifications incrementally.
   Result<SyncStats> ProcessNotifications();
 
+  /// Cumulative sync activity since construction (introspection API).
+  const SyncTotals& totals() const { return totals_; }
+
+  /// Attaches (or detaches, with nullptr) the metrics sink; resolves the
+  /// rvm.sync.* counters once.
+  void SetObservability(obs::Observability* obs);
+
   const ConverterRegistry& converters() const { return converters_; }
   const IndexingOptions& options() const { return options_; }
 
@@ -310,6 +339,8 @@ class SynchronizationManager {
   /// reference to \p alive_ and goes inert once this manager is destroyed
   /// (sources can outlive the dataspace, e.g. across a durable restart).
   void Subscribe(DataSource* raw);
+  /// Folds one round's SyncStats into totals_ and the metric counters.
+  void Account(const SyncStats& stats);
 
   ReplicaIndexesModule* module_;
   ConverterRegistry converters_;
@@ -317,6 +348,18 @@ class SynchronizationManager {
   std::vector<std::shared_ptr<DataSource>> sources_;
   std::deque<std::pair<DataSource*, SourceChange>> pending_;
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+
+  SyncTotals totals_;
+  /// Metric pointers resolved by SetObservability (null = metrics off).
+  struct Metrics {
+    obs::Counter* added = nullptr;
+    obs::Counter* updated = nullptr;
+    obs::Counter* removed = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* polls = nullptr;
+    obs::Counter* notifications = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace idm::rvm

@@ -44,7 +44,7 @@ std::string StorageEngine::CurrentPath() const { return dir_ + "/CURRENT"; }
 
 Result<StorageEngine::Recovered> StorageEngine::Open(
     Env* env, const std::string& dir, const StorageOptions& options,
-    Clock* clock) {
+    Clock* clock, obs::TraceSpan* span) {
   IDM_RETURN_NOT_OK(env->CreateDir(dir));
   std::unique_ptr<StorageEngine> engine(
       new StorageEngine(env, dir, options, clock));
@@ -86,6 +86,7 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
   uint64_t chosen_gen = 0;
   bool fallback = false;
   bool chosen = false;
+  obs::ScopedSpan load_span(span, "checkpoint.load");
   for (uint64_t gen : candidates) {
     if (gen == 0) {
       snapshot.reset();
@@ -109,6 +110,11 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
     break;
   }
   if (!chosen) return Status::IoError("no recoverable generation in " + dir);
+  if (load_span) {
+    load_span.get()->SetAttr("generation", static_cast<int64_t>(chosen_gen));
+    load_span.get()->SetAttr("fallback", fallback ? "true" : "false");
+    load_span.get()->End();  // scan/replay below is not checkpoint loading
+  }
   recovered.stats.had_checkpoint = snapshot.has_value();
   recovered.stats.checkpoint_fallback = fallback;
   recovered.stats.generation = chosen_gen;
@@ -119,6 +125,7 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
   uint64_t base_seq =
       recovered.snapshot.has_value() ? recovered.snapshot->last_commit_seq : 0;
   const std::string wal_path = engine->WalPath(chosen_gen);
+  obs::ScopedSpan scan_span(span, "wal.scan");
   if (env->Exists(wal_path)) {
     IDM_ASSIGN_OR_RETURN(std::string wal_image, env->ReadFile(wal_path));
     WalScanResult scan = ScanWal(wal_image);
@@ -133,21 +140,31 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
   } else {
     IDM_RETURN_NOT_OK(env->Append(wal_path, ""));
   }
+  if (scan_span) {
+    scan_span.get()->SetAttr(
+        "replayed", static_cast<int64_t>(recovered.stats.replayed_mutations));
+    scan_span.get()->SetAttr(
+        "torn_tail", recovered.stats.torn_tail_dropped ? "true" : "false");
+    scan_span.get()->End();
+  }
   recovered.stats.last_commit_seq = base_seq;
 
   // Make the chosen generation authoritative and garbage-collect every
   // other file (orphan tmp files, a newer-but-unreferenced checkpoint, the
   // retired old generation a crash left behind).
-  if (!have_current || current_gen != chosen_gen) {
-    IDM_RETURN_NOT_OK(engine->SwitchCurrent(chosen_gen));
-  }
-  for (const std::string& name : names) {
-    if (name == "CURRENT") continue;
-    uint64_t gen = 0;
-    bool is_ckpt = ParseNamedGen(name, "checkpoint-", ".ckpt", &gen);
-    bool is_wal = !is_ckpt && ParseNamedGen(name, "wal-", ".log", &gen);
-    if ((is_ckpt || is_wal) && gen == chosen_gen) continue;
-    IDM_RETURN_NOT_OK(env->Delete(dir + "/" + name));
+  {
+    obs::ScopedSpan gc_span(span, "gc");
+    if (!have_current || current_gen != chosen_gen) {
+      IDM_RETURN_NOT_OK(engine->SwitchCurrent(chosen_gen));
+    }
+    for (const std::string& name : names) {
+      if (name == "CURRENT") continue;
+      uint64_t gen = 0;
+      bool is_ckpt = ParseNamedGen(name, "checkpoint-", ".ckpt", &gen);
+      bool is_wal = !is_ckpt && ParseNamedGen(name, "wal-", ".log", &gen);
+      if ((is_ckpt || is_wal) && gen == chosen_gen) continue;
+      IDM_RETURN_NOT_OK(env->Delete(dir + "/" + name));
+    }
   }
 
   engine->generation_ = chosen_gen;
@@ -160,18 +177,52 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
   return recovered;
 }
 
-Status StorageEngine::Commit() {
+Status StorageEngine::Commit(obs::TraceSpan* span) {
   if (pending_.empty()) return Status::OK();
   uint64_t seq = commit_seq_ + 1;
   std::vector<Mutation> batch;
   batch.swap(pending_);
-  IDM_RETURN_NOT_OK(wal_->AppendBatch(batch, seq));
+  uint64_t bytes_before = wal_->appended_bytes();
+  uint64_t syncs_before = wal_->sync_count();
+  IDM_RETURN_NOT_OK(wal_->AppendBatch(batch, seq, span));
   commit_seq_ = seq;
   ++stats_.commits;
   stats_.mutations_logged += batch.size();
   stats_.wal_bytes = wal_->appended_bytes();
+  stats_.fsyncs = fsync_floor_ + wal_->sync_count();
+  if (metrics_.commits != nullptr) {
+    metrics_.commits->Inc();
+    metrics_.mutations->Inc(batch.size());
+    metrics_.wal_bytes->Inc(wal_->appended_bytes() - bytes_before);
+    metrics_.fsyncs->Inc(wal_->sync_count() - syncs_before);
+    metrics_.batch_size->Observe(batch.size());
+  }
   if (commit_listener_) commit_listener_(seq);
   return Status::OK();
+}
+
+Status StorageEngine::SyncNow(obs::TraceSpan* span) {
+  uint64_t syncs_before = wal_->sync_count();
+  IDM_RETURN_NOT_OK(wal_->SyncNow(span));
+  stats_.fsyncs = fsync_floor_ + wal_->sync_count();
+  if (metrics_.fsyncs != nullptr) {
+    metrics_.fsyncs->Inc(wal_->sync_count() - syncs_before);
+  }
+  return Status::OK();
+}
+
+void StorageEngine::SetObservability(obs::Observability* obs) {
+  if (obs == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  obs::MetricsRegistry& reg = obs->metrics();
+  metrics_.commits = reg.counter("storage.commits");
+  metrics_.mutations = reg.counter("storage.mutations_logged");
+  metrics_.wal_bytes = reg.counter("storage.wal.appended_bytes");
+  metrics_.fsyncs = reg.counter("storage.wal.fsyncs");
+  metrics_.checkpoints = reg.counter("storage.checkpoints");
+  metrics_.batch_size = reg.histogram("storage.commit.batch_size");
 }
 
 Status StorageEngine::SwitchCurrent(uint64_t gen) {
@@ -182,7 +233,8 @@ Status StorageEngine::SwitchCurrent(uint64_t gen) {
   return env_->Rename(tmp, CurrentPath());
 }
 
-Status StorageEngine::Checkpoint(const Snapshot& snapshot) {
+Status StorageEngine::Checkpoint(const Snapshot& snapshot,
+                                 obs::TraceSpan* span) {
   if (!pending_.empty()) {
     return Status::InvalidArgument(
         "checkpoint with a staged uncommitted batch");
@@ -191,24 +243,40 @@ Status StorageEngine::Checkpoint(const Snapshot& snapshot) {
   uint64_t gen = generation_ + 1;
   const std::string tmp = CheckpointPath(gen) + ".tmp";
 
-  IDM_RETURN_NOT_OK(env_->Delete(tmp));
-  IDM_RETURN_NOT_OK(env_->Append(tmp, snapshot.Encode()));
-  IDM_RETURN_NOT_OK(env_->Sync(tmp));
-  IDM_RETURN_NOT_OK(env_->Rename(tmp, CheckpointPath(gen)));
-  IDM_RETURN_NOT_OK(env_->Append(WalPath(gen), ""));
-  IDM_RETURN_NOT_OK(SwitchCurrent(gen));
-  // The old generation is garbage from here on; a crash between these
-  // deletes only leaves orphans for the next Open() to collect.
-  IDM_RETURN_NOT_OK(env_->Delete(CheckpointPath(old_gen)));
-  IDM_RETURN_NOT_OK(env_->Delete(WalPath(old_gen)));
+  {
+    obs::ScopedSpan write_span(span, "snapshot.write");
+    IDM_RETURN_NOT_OK(env_->Delete(tmp));
+    std::string image = snapshot.Encode();
+    if (write_span) {
+      write_span.get()->SetAttr("bytes", static_cast<int64_t>(image.size()));
+      write_span.get()->SetAttr("generation", static_cast<int64_t>(gen));
+    }
+    IDM_RETURN_NOT_OK(env_->Append(tmp, image));
+    IDM_RETURN_NOT_OK(env_->Sync(tmp));
+    IDM_RETURN_NOT_OK(env_->Rename(tmp, CheckpointPath(gen)));
+  }
+  {
+    obs::ScopedSpan rotate_span(span, "wal.rotate");
+    IDM_RETURN_NOT_OK(env_->Append(WalPath(gen), ""));
+  }
+  {
+    obs::ScopedSpan switch_span(span, "current.switch");
+    IDM_RETURN_NOT_OK(SwitchCurrent(gen));
+    // The old generation is garbage from here on; a crash between these
+    // deletes only leaves orphans for the next Open() to collect.
+    IDM_RETURN_NOT_OK(env_->Delete(CheckpointPath(old_gen)));
+    IDM_RETURN_NOT_OK(env_->Delete(WalPath(old_gen)));
+  }
 
   generation_ = gen;
   durable_floor_ = std::max(durable_floor_, snapshot.last_commit_seq);
+  fsync_floor_ += wal_->sync_count();
   wal_ = std::make_unique<WalWriter>(
       env_, WalPath(gen), options_.fsync_policy, options_.fsync_interval_micros,
       options_.fsync_bytes, clock_);
   ++stats_.checkpoints;
   stats_.wal_bytes = 0;
+  if (metrics_.checkpoints != nullptr) metrics_.checkpoints->Inc();
   return Status::OK();
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "storage/env.h"
 #include "storage/record.h"
 #include "storage/snapshot.h"
@@ -56,6 +57,7 @@ class StorageEngine {
     uint64_t mutations_logged = 0;
     uint64_t checkpoints = 0;
     uint64_t wal_bytes = 0;  ///< appended to the live WAL since open
+    uint64_t fsyncs = 0;     ///< fsyncs issued since open (across rotations)
   };
 
   /// Everything Open() recovered. The caller restores `snapshot` (when
@@ -68,24 +70,28 @@ class StorageEngine {
     RecoveryStats stats;
   };
 
-  /// Opens (creating if needed) the store in \p dir.
+  /// Opens (creating if needed) the store in \p dir. A non-null \p span
+  /// records recovery steps (checkpoint.load, wal.scan, gc) as children.
   static Result<Recovered> Open(Env* env, const std::string& dir,
-                                const StorageOptions& options, Clock* clock);
+                                const StorageOptions& options, Clock* clock,
+                                obs::TraceSpan* span = nullptr);
 
   /// Stages \p m into the current batch (buffered, not yet on disk).
   void Log(Mutation m) { pending_.push_back(std::move(m)); }
   size_t pending() const { return pending_.size(); }
 
   /// Writes the staged batch plus its commit marker as one append and
-  /// applies the fsync policy. Empty batches are a no-op.
-  Status Commit();
+  /// applies the fsync policy. Empty batches are a no-op. A non-null
+  /// \p span records the wal.append (and wal.fsync) as children.
+  Status Commit(obs::TraceSpan* span = nullptr);
 
   /// Forces all committed batches to the platter regardless of policy.
-  Status SyncNow() { return wal_->SyncNow(); }
+  Status SyncNow(obs::TraceSpan* span = nullptr);
 
   /// Writes \p snapshot as the next generation and retires the old one.
-  /// The pending batch must be empty (commit first).
-  Status Checkpoint(const Snapshot& snapshot);
+  /// The pending batch must be empty (commit first). A non-null \p span
+  /// records snapshot.write / wal.rotate / current.switch children.
+  Status Checkpoint(const Snapshot& snapshot, obs::TraceSpan* span = nullptr);
 
   bool NeedsCheckpoint() const {
     return wal_->appended_bytes() >= options_.checkpoint_after_wal_bytes;
@@ -107,6 +113,11 @@ class StorageEngine {
     commit_listener_ = std::move(listener);
   }
 
+  /// Attaches (or detaches, with nullptr) the metrics sink. Resolves the
+  /// storage.* metric pointers once; afterwards each commit pays only the
+  /// null check plus a few relaxed increments.
+  void SetObservability(obs::Observability* obs);
+
  private:
   StorageEngine(Env* env, std::string dir, const StorageOptions& options,
                 Clock* clock)
@@ -127,8 +138,20 @@ class StorageEngine {
   uint64_t commit_seq_ = 0;
   uint64_t durable_floor_ = 0;  ///< commits made durable by a checkpoint
   uint64_t generation_ = 0;
+  uint64_t fsync_floor_ = 0;  ///< fsyncs of retired WAL writers
   Stats stats_;
   std::function<void(uint64_t)> commit_listener_;
+
+  /// Metric pointers resolved by SetObservability (null = metrics off).
+  struct Metrics {
+    obs::Counter* commits = nullptr;
+    obs::Counter* mutations = nullptr;
+    obs::Counter* wal_bytes = nullptr;
+    obs::Counter* fsyncs = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Histogram* batch_size = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace idm::storage

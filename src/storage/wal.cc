@@ -73,7 +73,7 @@ WalScanResult ScanWal(std::string_view data) {
 }
 
 Status WalWriter::AppendBatch(const std::vector<Mutation>& batch,
-                              uint64_t commit_seq) {
+                              uint64_t commit_seq, obs::TraceSpan* span) {
   std::string blob;
   std::string payload;
   for (const Mutation& m : batch) {
@@ -87,7 +87,17 @@ Status WalWriter::AppendBatch(const std::vector<Mutation>& batch,
   codec::PutU64(&payload, commit_seq);
   FrameRecord(payload, &blob);
 
-  IDM_RETURN_NOT_OK(env_->Append(path_, blob));
+  {
+    obs::ScopedSpan append_span(span, "wal.append");
+    if (append_span) {
+      append_span.get()->SetAttr("bytes", static_cast<int64_t>(blob.size()));
+      append_span.get()->SetAttr("mutations",
+                                 static_cast<int64_t>(batch.size()));
+      append_span.get()->SetAttr("commit_seq",
+                                 static_cast<int64_t>(commit_seq));
+    }
+    IDM_RETURN_NOT_OK(env_->Append(path_, blob));
+  }
   last_appended_seq_ = commit_seq;
   appended_bytes_ += blob.size();
   unsynced_bytes_ += blob.size();
@@ -108,13 +118,18 @@ Status WalWriter::AppendBatch(const std::vector<Mutation>& batch,
     case FsyncPolicy::kNever:
       break;
   }
-  if (sync) return SyncNow();
+  if (sync) return SyncNow(span);
   return Status::OK();
 }
 
-Status WalWriter::SyncNow() {
+Status WalWriter::SyncNow(obs::TraceSpan* span) {
   if (unsynced_bytes_ == 0 && last_durable_seq_ == last_appended_seq_) {
     return Status::OK();
+  }
+  obs::ScopedSpan sync_span(span, "wal.fsync");
+  if (sync_span) {
+    sync_span.get()->SetAttr("unsynced_bytes",
+                             static_cast<int64_t>(unsynced_bytes_));
   }
   IDM_RETURN_NOT_OK(env_->Sync(path_));
   last_durable_seq_ = last_appended_seq_;

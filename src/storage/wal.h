@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/trace.h"
 #include "storage/env.h"
 #include "storage/record.h"
 #include "util/clock.h"
@@ -70,11 +71,14 @@ class WalWriter {
         fsync_bytes_(fsync_bytes),
         clock_(clock) {}
 
-  /// Appends one committed batch and applies the fsync policy.
-  Status AppendBatch(const std::vector<Mutation>& batch, uint64_t commit_seq);
+  /// Appends one committed batch and applies the fsync policy. When
+  /// \p span is non-null a "wal.append" child (and "wal.fsync" when the
+  /// policy fires) records the write; null means no tracing (default).
+  Status AppendBatch(const std::vector<Mutation>& batch, uint64_t commit_seq,
+                     obs::TraceSpan* span = nullptr);
 
   /// Forces everything appended so far to the platter.
-  Status SyncNow();
+  Status SyncNow(obs::TraceSpan* span = nullptr);
 
   /// Sequence of the last commit known durable (fsynced). Under kNever
   /// this stays 0 even though commits may in fact survive.

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace idm::util {
@@ -30,9 +31,16 @@ bool ThreadPool::OnWorkerThread() { return t_on_worker; }
 std::future<void> ThreadPool::Submit(std::function<void()> fn) {
   std::packaged_task<void()> task(std::move(fn));
   std::future<void> future = task.get_future();
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (depth > peak && !queue_depth_peak_.compare_exchange_weak(
+                             peak, depth, std::memory_order_relaxed)) {
   }
   cv_.notify_one();
   return future;
@@ -49,7 +57,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    auto start = std::chrono::steady_clock::now();
     task();  // packaged_task captures exceptions into its future
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    busy_micros_.fetch_add(static_cast<uint64_t>(elapsed.count()),
+                           std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -58,9 +72,13 @@ void ThreadPool::RunAll(ThreadPool* pool,
   if (tasks.empty()) return;
   if (pool == nullptr || pool->size() == 0 || OnWorkerThread() ||
       tasks.size() == 1) {
+    if (pool != nullptr) {
+      pool->inline_tasks_.fetch_add(tasks.size(), std::memory_order_relaxed);
+    }
     for (auto& task : tasks) task();
     return;
   }
+  pool->inline_tasks_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::future<void>> futures;
   futures.reserve(tasks.size() - 1);
   for (size_t i = 1; i < tasks.size(); ++i) {
@@ -81,6 +99,16 @@ void ThreadPool::RunAll(ThreadPool* pool,
     }
   }
   if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPoolTelemetry ThreadPool::telemetry() const {
+  ThreadPoolTelemetry t;
+  t.submitted = submitted_.load(std::memory_order_relaxed);
+  t.executed = executed_.load(std::memory_order_relaxed);
+  t.inline_tasks = inline_tasks_.load(std::memory_order_relaxed);
+  t.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  t.busy_micros = busy_micros_.load(std::memory_order_relaxed);
+  return t;
 }
 
 std::vector<std::pair<size_t, size_t>> ChunkRanges(size_t n, size_t ways,

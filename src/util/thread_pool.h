@@ -14,8 +14,10 @@
 #ifndef IDM_UTIL_THREAD_POOL_H_
 #define IDM_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -26,6 +28,18 @@
 #include <vector>
 
 namespace idm::util {
+
+/// Point-in-time counters describing pool load, sampled by
+/// ThreadPool::telemetry(). Always on (plain relaxed atomics underneath —
+/// util sits below the observability layer, so the obs metrics registry
+/// samples these rather than the pool pushing into it).
+struct ThreadPoolTelemetry {
+  uint64_t submitted = 0;        ///< tasks handed to Submit()
+  uint64_t executed = 0;         ///< tasks completed on a worker
+  uint64_t inline_tasks = 0;     ///< RunAll tasks run on the calling thread
+  uint64_t queue_depth_peak = 0; ///< max queue length observed at submit
+  uint64_t busy_micros = 0;      ///< wall time workers spent inside tasks
+};
 
 class ThreadPool {
  public:
@@ -55,6 +69,10 @@ class ThreadPool {
   /// order. Exceptions from tasks are rethrown (first by task index).
   static void RunAll(ThreadPool* pool, std::vector<std::function<void()>> tasks);
 
+  /// Samples the load counters (consistent enough for monitoring; each
+  /// field is read with a relaxed load).
+  ThreadPoolTelemetry telemetry() const;
+
  private:
   void WorkerLoop();
 
@@ -63,6 +81,12 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> executed_{0};
+  std::atomic<uint64_t> inline_tasks_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+  std::atomic<uint64_t> busy_micros_{0};
 };
 
 /// Applies `fn(i)` for every i in [0, n) — in parallel when \p pool allows —

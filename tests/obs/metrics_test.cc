@@ -1,0 +1,236 @@
+// Metrics primitives (DESIGN.md §11): counter/gauge semantics, histogram
+// bucket boundaries, registry pointer stability, snapshot/merge algebra,
+// and — the property the thread-sharded design rests on — that hammering
+// one shared registry from N threads and merging per-thread shards both
+// arrive at the same totals. The threaded cases run under the TSan build
+// (`ctest -L concurrency` with -DIDM_SANITIZE=thread).
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace idm::obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAddAreLevelSemantics) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0);
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Set(-5);  // gauges may go negative (e.g. a drift correction)
+  EXPECT_EQ(g.value(), -5);
+}
+
+// --- histogram bucket geometry ---------------------------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  // The last bucket absorbs everything past the covered range.
+  EXPECT_EQ(Histogram::BucketOf(std::numeric_limits<uint64_t>::max()),
+            Histogram::kBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperEdges) {
+  EXPECT_EQ(Histogram::BucketUpperEdge(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(2), 3u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(11), 2047u);
+  EXPECT_EQ(Histogram::BucketUpperEdge(Histogram::kBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+  // Every representable value falls inside its bucket's edge.
+  for (uint64_t v : {0ull, 1ull, 2ull, 17ull, 1000ull, 123456789ull}) {
+    EXPECT_LE(v, Histogram::BucketUpperEdge(Histogram::BucketOf(v))) << v;
+  }
+}
+
+TEST(HistogramTest, ObserveCountSumAndQuantile) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Observe(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 5050u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+  // Quantile returns the upper edge of the holding bucket: an upper bound.
+  EXPECT_GE(snap.Quantile(0.5), 50u);
+  EXPECT_LE(snap.Quantile(0.5), 63u);  // bucket [32, 64) edge
+  EXPECT_GE(snap.Quantile(1.0), 100u);
+  EXPECT_EQ(HistogramSnapshot{}.Quantile(0.99), 0u);  // empty histogram
+}
+
+TEST(HistogramTest, SnapshotMergeIsBucketwiseAddition) {
+  Histogram a, b;
+  a.Observe(1);
+  a.Observe(1000);
+  b.Observe(1);
+  b.Observe(0);
+  HistogramSnapshot sa = a.Snapshot(), sb = b.Snapshot();
+  sa.Merge(sb);
+  EXPECT_EQ(sa.count, 4u);
+  EXPECT_EQ(sa.sum, 1002u);
+  EXPECT_EQ(sa.buckets[0], 1u);                      // the 0 sample
+  EXPECT_EQ(sa.buckets[Histogram::BucketOf(1)], 2u); // both 1s
+  EXPECT_EQ(sa.buckets[Histogram::BucketOf(1000)], 1u);
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(MetricsRegistryTest, PointersAreStableAndShared) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("iql.queries");
+  Counter* b = reg.counter("iql.queries");
+  EXPECT_EQ(a, b);  // same name resolves to the same cell
+  a->Inc(3);
+  EXPECT_EQ(b->value(), 3u);
+  // Creating many other metrics must not move the first one.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+    reg.histogram("hfiller." + std::to_string(i));
+  }
+  EXPECT_EQ(reg.counter("iql.queries"), a);
+}
+
+TEST(MetricsRegistryTest, SnapshotCapturesAllThreeKinds) {
+  MetricsRegistry reg;
+  reg.counter("c")->Inc(7);
+  reg.gauge("g")->Set(-2);
+  reg.histogram("h")->Observe(5);
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_FALSE(snap.empty());
+  EXPECT_EQ(snap.CounterOr("c"), 7u);
+  EXPECT_EQ(snap.CounterOr("absent", 99), 99u);
+  EXPECT_EQ(snap.gauges.at("g"), -2);
+  EXPECT_EQ(snap.histograms.at("h").count, 1u);
+}
+
+TEST(MetricsSnapshotTest, MergeAddsCountersAndAdoptsGauges) {
+  MetricsRegistry a, b;
+  a.counter("c")->Inc(1);
+  a.gauge("g")->Set(10);
+  b.counter("c")->Inc(2);
+  b.counter("only_b")->Inc(5);
+  b.gauge("g")->Set(20);
+  b.histogram("h")->Observe(3);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.CounterOr("c"), 3u);
+  EXPECT_EQ(merged.CounterOr("only_b"), 5u);
+  EXPECT_EQ(merged.gauges.at("g"), 20);  // last writer wins
+  EXPECT_EQ(merged.histograms.at("h").count, 1u);
+}
+
+TEST(MetricsSnapshotTest, ExportsAreWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("iql.queries")->Inc(2);
+  reg.histogram("iql.latency_micros")->Observe(100);
+  MetricsSnapshot snap = reg.Snapshot();
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"iql.queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("iql.queries"), std::string::npos);
+}
+
+// --- concurrency: shared hammering vs per-thread shard merging --------------
+
+// Both strategies the instrumentation uses must agree: (a) every thread
+// hammers the same registry cells (what the dataspace does), and (b) every
+// thread owns a shard merged afterwards (what an external scraper may do).
+class MetricsConcurrencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsConcurrencyTest, SharedRegistryLosesNoEvents) {
+  const int threads = GetParam();
+  const uint64_t per_thread = 20000;
+  MetricsRegistry reg;
+  Counter* hits = reg.counter("hits");
+  Histogram* lat = reg.histogram("latency");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        hits->Inc();
+        lat->Observe((t + 1) * 10);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(hits->value(), per_thread * threads);
+  HistogramSnapshot snap = lat->Snapshot();
+  EXPECT_EQ(snap.count, per_thread * threads);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < threads; ++t) expected_sum += per_thread * (t + 1) * 10;
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST_P(MetricsConcurrencyTest, ShardMergeEqualsSharedTotals) {
+  const int threads = GetParam();
+  const uint64_t per_thread = 20000;
+  std::vector<std::unique_ptr<MetricsRegistry>> shards;
+  for (int t = 0; t < threads; ++t) {
+    shards.push_back(std::make_unique<MetricsRegistry>());
+  }
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Counter* hits = shards[t]->counter("hits");
+      Histogram* lat = shards[t]->histogram("latency");
+      for (uint64_t i = 0; i < per_thread; ++i) {
+        hits->Inc();
+        lat->Observe(i % 1024);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  MetricsRegistry merged;
+  for (auto& shard : shards) merged.MergeFrom(*shard);
+  MetricsSnapshot snap = merged.Snapshot();
+  EXPECT_EQ(snap.CounterOr("hits"), per_thread * threads);
+  EXPECT_EQ(snap.histograms.at("latency").count, per_thread * threads);
+  // Bucket-wise: every shard saw the same value distribution, so the merged
+  // buckets are exactly threads * one shard's buckets.
+  HistogramSnapshot one;
+  {
+    Histogram h;
+    for (uint64_t i = 0; i < per_thread; ++i) h.Observe(i % 1024);
+    one = h.Snapshot();
+  }
+  for (size_t i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    EXPECT_EQ(snap.histograms.at("latency").buckets[i],
+              one.buckets[i] * static_cast<uint64_t>(threads))
+        << "bucket " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Concurrency, MetricsConcurrencyTest,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "threads_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace idm::obs

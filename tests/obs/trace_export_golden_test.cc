@@ -1,0 +1,126 @@
+// Golden-file coverage for the Chrome trace_event JSON exporter: a span
+// tree built on a SimClock serializes byte-for-byte identically on every
+// run and platform (timestamps are simulated, ts is relative to the root),
+// so the export format is pinned by tests/obs/golden/trace.json. To update
+// the golden after an intentional format change:
+//
+//   IDM_UPDATE_GOLDEN=1 ./obs_test --gtest_filter='*Golden*'
+//
+// A second test runs a real query through an observed Dataspace and checks
+// the export's structural invariants without pinning the evaluator's tree.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "iql/dataspace.h"
+#include "obs/trace.h"
+#include "stream/rss.h"
+#include "util/clock.h"
+
+#ifndef IDM_OBS_GOLDEN_DIR
+#define IDM_OBS_GOLDEN_DIR "tests/obs/golden"
+#endif
+
+namespace idm::obs {
+namespace {
+
+std::string GoldenPath() { return std::string(IDM_OBS_GOLDEN_DIR) + "/trace.json"; }
+
+std::string ReadFileOr(const std::string& path, const std::string& fallback) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fallback;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// The reference tree: two phases under a root, one nested probe, string and
+// integer attributes, and clock movement between and inside spans.
+std::string BuildReferenceJson() {
+  SimClock clock;
+  clock.AdvanceMicros(1000);  // a non-zero epoch: ts stays root-relative
+  Trace trace(&clock, "query");
+  TraceSpan* root = trace.root();
+
+  TraceSpan* parse = root->AddChild("parse");
+  clock.AdvanceMicros(40);
+  parse->End();
+
+  TraceSpan* evaluate = root->AddChild("evaluate");
+  clock.AdvanceMicros(10);
+  TraceSpan* probe = evaluate->AddChild("index.name.lookup");
+  probe->SetAttr("pattern", "tick*");
+  probe->SetAttr("matches", static_cast<int64_t>(12));
+  clock.AdvanceMicros(25);
+  probe->End();
+  evaluate->SetAttr("rows", static_cast<int64_t>(12));
+  clock.AdvanceMicros(5);
+  evaluate->End();
+
+  root->SetAttr("outcome", "ok \"quoted\" \\ and\nnewline");  // escaping
+  clock.AdvanceMicros(20);
+  root->End();
+  return trace.ToJson();
+}
+
+TEST(TraceExportGoldenTest, JsonMatchesGoldenFile) {
+  const std::string json = BuildReferenceJson();
+  const std::string path = GoldenPath();
+  if (std::getenv("IDM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << json;
+    GTEST_SKIP() << "golden regenerated at " << path;
+  }
+  const std::string golden = ReadFileOr(path, "");
+  ASSERT_FALSE(golden.empty())
+      << "missing golden " << path << "; regenerate with IDM_UPDATE_GOLDEN=1";
+  EXPECT_EQ(json, golden) << "trace JSON drifted from " << path
+                          << "; if intentional, rerun with IDM_UPDATE_GOLDEN=1";
+}
+
+TEST(TraceExportGoldenTest, DeterministicAcrossRuns) {
+  EXPECT_EQ(BuildReferenceJson(), BuildReferenceJson());
+}
+
+TEST(TraceExportGoldenTest, DataspaceQueryExportInvariants) {
+  iql::Dataspace::Config config;
+  config.observability.enabled = true;
+  iql::Dataspace ds(config);
+  stream::Feed feed;
+  feed.title = "ticker";
+  feed.link = "http://ticker.example.com/feed";
+  feed.description = "event stream";
+  for (int i = 0; i < 8; ++i) {
+    feed.items.push_back({"tick" + std::to_string(i),
+                          "http://ticker/" + std::to_string(i),
+                          "streamed payload " + std::to_string(i),
+                          ds.clock()->NowMicros()});
+  }
+  auto server = std::make_shared<stream::FeedServer>(feed, ds.clock());
+  ASSERT_TRUE(ds.AddRss("ticker", server).ok());
+  ASSERT_TRUE(ds.Query("//tick1").ok());
+
+  auto trace = ds.LastTrace();
+  ASSERT_NE(trace, nullptr);
+  const std::string json = trace->ToJson();
+  // Chrome trace_event envelope with one Complete event per span.
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cache.lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"evaluate\""), std::string::npos);
+  // Identical query, identical dataspace state => identical export.
+  ds.ClearQueryCache();
+  ASSERT_TRUE(ds.Query("//tick1").ok());
+  EXPECT_EQ(ds.LastTrace()->ToJson(), json);
+}
+
+}  // namespace
+}  // namespace idm::obs
