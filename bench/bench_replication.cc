@@ -1,0 +1,181 @@
+// Sharded-dataspace benchmark (DESIGN.md §12): what does the cluster layer
+// buy, and what does failover cost?
+//
+//   1. Query throughput vs shard count (1/2/4/8): the same 8-source corpus
+//      and query set, routed through a Cluster with scatter-gather fan-out.
+//   2. Time-to-recover: a 3-shard × 2-replica cluster, 20 seeds; each run
+//      kills one primary (seed % 3) and drives the failure detector until
+//      the shard's replica is promoted. Simulated time-to-recover should be
+//      flat across seeds (the detector is deterministic: failure_threshold
+//      probe intervals); the wall numbers measure the promotion machinery
+//      itself (Dataspace::Open on the replica mirror).
+//
+// Results print as a table and land in BENCH_replication.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+using namespace idm;
+using namespace idm::cluster;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct MetricRow {
+  std::string metric;
+  double value;
+  const char* unit;
+};
+
+bool WriteJson(const std::string& path, const std::vector<MetricRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"replication\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"metric\": \"%s\", \"value\": %.6f, \"unit\": "
+                 "\"%s\"}%s\n",
+                 rows[i].metric.c_str(), rows[i].value, rows[i].unit,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s (%zu rows)\n", path.c_str(),
+               rows.size());
+  return true;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[idx];
+}
+
+constexpr size_t kSources = 8;
+const char* kTopics[kSources] = {"alpha",   "bravo", "charlie", "delta",
+                                 "echo",    "fox",   "golf",    "hotel"};
+
+// Registers the fixed 8-source corpus: every source carries shared phrases
+// (cross-shard merges) plus per-source topic documents.
+void Populate(Cluster& cluster) {
+  for (size_t s = 0; s < kSources; ++s) {
+    auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+    (void)fs->CreateFolder("/docs");
+    for (int d = 0; d < 6; ++d) {
+      (void)fs->WriteFile(
+          "/docs/doc" + std::to_string(d) + ".txt",
+          "meeting notes about the " + std::string(kTopics[s]) +
+              " project, revision " + std::to_string(d) +
+              ", filed under dataspace management");
+    }
+    (void)cluster.AddFileSystem("Source" + std::string(kTopics[s]), fs);
+  }
+}
+
+const std::vector<std::string>& QuerySet() {
+  static const std::vector<std::string> queries = {
+      "\"meeting notes\"",          "\"dataspace management\"",
+      "\"alpha project\"",          "\"hotel project\"",
+      "\"filed under dataspace\"",
+  };
+  return queries;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<MetricRow> rows;
+
+  // --- 1. query throughput vs shard count ---------------------------------
+  std::printf("%-28s %12s %12s\n", "config", "queries", "qps");
+  for (size_t shards : {1u, 2u, 4u, 8u}) {
+    Cluster::Config config;
+    config.shards = shards;
+    config.replicas_per_shard = 0;
+    config.node.cache.enabled = false;  // measure evaluation, not the cache
+    config.federation.threads = 4;
+    Cluster cluster(config);
+    if (!cluster.status().ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   cluster.status().ToString().c_str());
+      return 1;
+    }
+    Populate(cluster);
+
+    const int kReps = 40;
+    size_t executed = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const std::string& q : QuerySet()) {
+        auto out = cluster.Query(q, iql::QueryOptions{});
+        if (!out.ok() || !out->meta.complete) {
+          std::fprintf(stderr, "query degraded unexpectedly\n");
+          return 1;
+        }
+        ++executed;
+      }
+    }
+    const double seconds = SecondsSince(t0);
+    const double qps = executed / seconds;
+    std::printf("%-28s %12zu %12.0f\n",
+                (std::to_string(shards) + " shard(s)").c_str(), executed, qps);
+    rows.push_back({"qps_" + std::to_string(shards) + "_shards", qps, "qps"});
+  }
+
+  // --- 2. time-to-recover across the seeded promotion matrix --------------
+  std::vector<double> sim_micros, wall_micros;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Cluster::Config config;
+    config.shards = 3;
+    config.replicas_per_shard = 2;
+    config.seed = seed;
+    Cluster cluster(config);
+    if (!cluster.status().ok()) return 1;
+    Populate(cluster);
+
+    ShardGroup& victim = cluster.shard(seed % 3);
+    victim.KillPrimary();
+    const Micros sim_before = cluster.clock()->NowMicros();
+    auto t0 = std::chrono::steady_clock::now();
+    int ticks = 0;
+    while (victim.promotions() == 0 && ticks < 32) {
+      (void)cluster.Tick();
+      ++ticks;
+    }
+    wall_micros.push_back(SecondsSince(t0) * 1e6);
+    sim_micros.push_back(
+        static_cast<double>(cluster.clock()->NowMicros() - sim_before));
+    if (!victim.primary_alive()) {
+      std::fprintf(stderr, "seed %llu: promotion never happened\n",
+                   static_cast<unsigned long long>(seed));
+      return 1;
+    }
+  }
+  const double sim_p50 = Percentile(sim_micros, 0.50);
+  const double sim_p99 = Percentile(sim_micros, 0.99);
+  const double wall_p50 = Percentile(wall_micros, 0.50);
+  const double wall_p99 = Percentile(wall_micros, 0.99);
+  std::printf("\n%-28s %12s %12s\n", "time-to-recover", "p50", "p99");
+  std::printf("%-28s %12.0f %12.0f\n", "simulated (micros)", sim_p50, sim_p99);
+  std::printf("%-28s %12.0f %12.0f\n", "wall (micros)", wall_p50, wall_p99);
+  rows.push_back({"ttr_sim_micros_p50", sim_p50, "micros"});
+  rows.push_back({"ttr_sim_micros_p99", sim_p99, "micros"});
+  rows.push_back({"ttr_wall_micros_p50", wall_p50, "micros"});
+  rows.push_back({"ttr_wall_micros_p99", wall_p99, "micros"});
+
+  return WriteJson("BENCH_replication.json", rows) ? 0 : 1;
+}

@@ -1,0 +1,247 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace idm::cluster {
+
+uint64_t StableHash(std::string_view key) {
+  uint64_t h = 14695981039346656037ull;  // FNV-1a 64-bit
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+std::string ShardName(size_t index) {
+  return "shard" + std::to_string(index);
+}
+}  // namespace
+
+Cluster::Cluster(Config config) : config_(std::move(config)) {
+  if (config_.observability) {
+    obs::Options options;
+    options.enabled = true;
+    obs_ = std::make_unique<obs::Observability>(&clock_, options);
+  }
+  for (size_t i = 0; i < config_.shards; ++i) AddShardInternal();
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    if (!shard->status().ok()) {
+      status_ = shard->status();
+      break;
+    }
+  }
+}
+
+void Cluster::AddShardInternal() {
+  const size_t index = shards_.size();
+  ShardOptions options;
+  options.replicas = config_.replicas_per_shard;
+  options.node = config_.node;
+  options.storage = config_.storage;
+  options.breaker = config_.breaker;
+  options.probe_interval_micros = config_.probe_interval_micros;
+  options.ship_retry = config_.ship_retry;
+  options.ship_on_commit = config_.ship_on_commit;
+  options.seed = config_.seed + 7919 * (index + 1);
+  shards_.push_back(std::make_unique<ShardGroup>(ShardName(index),
+                                                 std::move(options), &clock_,
+                                                 obs_.get()));
+  // The down-shard stand-in link: shipping a query to a shard without a
+  // serving node always fails, deterministically and without latency, so
+  // the federation counts the shard failed and the merge degrades.
+  auto link = std::make_unique<FaultInjector>(options.seed);
+  FaultConfig always_fail;
+  always_fail.fault_probability = 1.0;
+  always_fail.unavailable_weight = 1.0;
+  always_fail.fault_latency_micros = 0;
+  link->set_config(always_fail);
+  down_links_.push_back(std::move(link));
+}
+
+void Cluster::AddShard() { AddShardInternal(); }
+
+size_t Cluster::ShardOf(const std::string& key) const {
+  auto placed = placements_.find(key);
+  if (placed != placements_.end()) return placed->second;
+  return static_cast<size_t>(StableHash(key) % shards_.size());
+}
+
+Result<rvm::SourceIndexStats> Cluster::AddFileSystem(
+    const std::string& name, std::shared_ptr<vfs::VirtualFileSystem> fs,
+    const std::string& root_path) {
+  return AddSource(
+      std::make_shared<rvm::FileSystemSource>(name, std::move(fs), root_path));
+}
+
+Result<rvm::SourceIndexStats> Cluster::AddSource(
+    std::shared_ptr<rvm::DataSource> source) {
+  const size_t index = ShardOf(source->name());
+  placements_[source->name()] = index;  // pinned across AddShard
+  return shards_[index]->AddSource(std::move(source));
+}
+
+rvm::SyncStats Cluster::PollAll() {
+  rvm::SyncStats merged;
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    Result<rvm::SyncStats> polled = shard->Poll();
+    if (polled.ok()) {
+      merged.Merge(*polled);
+    } else {
+      merged.RecordFailure(shard->name() + ": " + polled.status().ToString());
+    }
+  }
+  return merged;
+}
+
+Status Cluster::Tick() {
+  clock_.AdvanceMicros(config_.probe_interval_micros);
+  Status first;
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    Status status = shard->Tick();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+void Cluster::ShipAll() {
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace("cluster", "ship") : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    obs::ScopedSpan span(root, "ship." + shard->name());
+    Status status = shard->primary_alive() ? shard->Ship() : Status::OK();
+    if (span) {
+      span.get()->SetAttr("ok", static_cast<int64_t>(status.ok() ? 1 : 0));
+      span.get()->SetAttr("shipped_bytes",
+                          static_cast<int64_t>(shard->ship_totals().bytes));
+    }
+  }
+  if (obs_ != nullptr) obs_->FinishTrace("cluster", std::move(trace));
+}
+
+Status Cluster::CheckpointAll() {
+  Status first;
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    if (!shard->primary_alive()) continue;
+    Status status = shard->Checkpoint();
+    if (!status.ok() && first.ok()) first = status;
+  }
+  return first;
+}
+
+void Cluster::RefreshServing() const {
+  uint64_t stamp = shards_.size() * 1'000'003ull;
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    stamp += shard->promotions();
+    stamp += shard->primary_alive() ? 0 : (1ull << 32);
+  }
+  if (stamp == serving_stamp_ && fed_linearizable_ != nullptr) return;
+  serving_stamp_ = stamp;
+  fed_linearizable_ = BuildFederation(iql::ReadMode::kLinearizable);
+  fed_stale_ = BuildFederation(iql::ReadMode::kStaleOk);
+}
+
+std::unique_ptr<iql::Federation> Cluster::BuildFederation(
+    iql::ReadMode mode) const {
+  auto fed = std::make_unique<iql::Federation>(&clock_, config_.federation);
+  if (obs_ != nullptr) fed->SetObservability(obs_.get());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const iql::Dataspace* serving = shards_[i]->ServingFor(mode);
+    FaultInjector* link = nullptr;
+    if (serving == nullptr) {
+      // No serving node under this mode: route to the shard's (dead)
+      // dataspace behind an always-fail link, so the query degrades
+      // instead of silently skipping the shard.
+      serving = shards_[i]->AnyDataspace();
+      link = down_links_[i].get();
+    }
+    if (serving == nullptr) continue;  // shard never opened at all
+    (void)fed->AddPeer(ShardName(i), serving, config_.peer_latency, link);
+  }
+  return fed;
+}
+
+Result<Cluster::QueryOutcome> Cluster::Query(
+    const std::string& iql, const iql::QueryOptions& options) const {
+  RefreshServing();
+  const bool stale = options.read_mode == iql::ReadMode::kStaleOk;
+  iql::Federation* fed =
+      stale ? fed_stale_.get() : fed_linearizable_.get();
+  if (fed == nullptr || fed->peer_count() == 0) {
+    return Status::FailedPrecondition("cluster has no serving shards");
+  }
+
+  // Staleness accounting happens against the serving table used for the
+  // dispatch: the worst lag (in epochs) of any replica that may answer.
+  uint64_t staleness = 0;
+  if (stale) {
+    for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+      const iql::Dataspace* serving =
+          shard->ServingFor(iql::ReadMode::kStaleOk);
+      staleness = std::max(staleness, shard->StalenessOf(serving));
+    }
+  }
+
+  Result<iql::FederatedResult> merged = fed->Query(iql);
+  QueryOutcome out;
+  if (!merged.ok()) {
+    // Every shard failed. Infrastructure failures degrade per the
+    // partial-result contract (an empty answer is an answer during
+    // failover); real query errors (parse, unsupported shape) propagate.
+    if (!merged.status().IsRetryable()) return merged.status();
+    out.meta.complete = false;
+    out.meta.degraded_reason = merged.status().ToString();
+    out.meta.staleness_epochs = staleness;
+    out.shards_failed = shards_.size();
+    return out;
+  }
+  out.merged = std::move(*merged);
+  out.shards_reached = out.merged.peers_reached;
+  out.shards_failed = out.merged.peers_failed;
+  out.meta.complete =
+      out.merged.peers_failed == 0 && out.merged.peers_degraded == 0;
+  if (!out.meta.complete) {
+    out.meta.degraded_reason = out.merged.failures.empty()
+                                   ? "shard returned a partial result"
+                                   : out.merged.failures.front();
+  }
+  out.meta.staleness_epochs = staleness;
+  return out;
+}
+
+Cluster::Stats Cluster::GetStats() const {
+  Stats stats;
+  stats.shards = shards_.size();
+  for (const std::unique_ptr<ShardGroup>& shard : shards_) {
+    ShardStats s;
+    s.name = shard->name();
+    s.primary_alive = shard->primary_alive();
+    iql::Dataspace* primary = shard->primary();
+    if (primary != nullptr) {
+      s.epoch = primary->module().epoch();
+      storage::StorageEngine* engine = primary->storage_engine();
+      if (engine != nullptr) {
+        s.commit_seq = engine->commit_seq();
+        s.durable_seq = engine->last_durable_seq();
+      }
+    }
+    s.promotions = shard->promotions();
+    s.shipping = shard->ship_totals();
+    for (size_t r = 0; r < shard->replica_count(); ++r) {
+      ReplicaNode& node = shard->replica(r);
+      s.replicas.push_back({node.name(), node.generation(), node.applied_seq(),
+                            node.epoch(), node.wal_bytes(),
+                            node.duplicates()});
+    }
+    stats.promotions += s.promotions;
+    stats.shipping.Merge(s.shipping);
+    stats.per_shard.push_back(std::move(s));
+  }
+  if (obs_ != nullptr) stats.metrics = obs_->metrics().Snapshot();
+  return stats;
+}
+
+}  // namespace idm::cluster

@@ -1,0 +1,179 @@
+// The shard router (DESIGN.md §12): partitions sources across N ShardGroups
+// by a stable hash of the source name (with a routing table pinning
+// existing placements across AddShard), fronts Dataspace::Query with the
+// federation's scatter-gather merge, and degrades per the partial-result
+// contract while a shard is failing over instead of erroring.
+//
+//   cluster::Cluster::Config config;
+//   config.shards = 3;
+//   config.replicas_per_shard = 2;
+//   cluster::Cluster cluster(config);
+//   cluster.AddFileSystem("Filesystem", fs);
+//   auto out = cluster.Query("//PIM//notes", {});       // linearizable
+//   iql::QueryOptions stale;
+//   stale.read_mode = iql::ReadMode::kStaleOk;
+//   auto near = cluster.Query("//PIM//notes", stale);   // any replica
+//
+// Read modes: kLinearizable routes to primaries only (a shard without a
+// primary contributes a degraded hole — meta.complete == false — never a
+// stale row); kStaleOk routes to each shard's most-caught-up replica and
+// reports the worst replica lag in ResultMeta::staleness_epochs.
+
+#ifndef IDM_CLUSTER_CLUSTER_H_
+#define IDM_CLUSTER_CLUSTER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/shard.h"
+#include "iql/federation.h"
+
+namespace idm::cluster {
+
+/// Stable FNV-1a hash used by the router (placement must never depend on
+/// process or library state).
+uint64_t StableHash(std::string_view key);
+
+class Cluster {
+ public:
+  struct Config {
+    size_t shards = 1;
+    size_t replicas_per_shard = 0;
+    /// Template for every node in every shard (storage_dir/env overridden
+    /// per node).
+    iql::Dataspace::Config node;
+    storage::StorageOptions storage;
+    CircuitBreaker::Options breaker{/*failure_threshold=*/3,
+                                    /*cooldown_micros=*/2'000'000,
+                                    /*half_open_successes=*/1};
+    Micros probe_interval_micros = 500'000;
+    RetryPolicy ship_retry{/*max_attempts=*/3,
+                           /*initial_backoff_micros=*/10'000,
+                           /*backoff_multiplier=*/2.0,
+                           /*max_backoff_micros=*/200'000,
+                           /*jitter_fraction=*/0.25};
+    bool ship_on_commit = true;
+    /// Scatter-gather options for the query fan-out (threads, per-shard
+    /// deadline, link retry).
+    iql::Federation::Options federation;
+    /// Simulated network cost of shipping a query to a shard.
+    iql::Federation::PeerLatency peer_latency{/*per_query_micros=*/1000,
+                                              /*per_result_micros=*/5};
+    uint64_t seed = 1;
+    /// Cluster-level tracing + metrics (promotions, lag, per-shard spans).
+    bool observability = false;
+  };
+
+  /// Everything one routed query returns: the federation merge plus the
+  /// cluster-level ResultMeta (degradation + staleness).
+  struct QueryOutcome {
+    iql::FederatedResult merged;
+    iql::ResultMeta meta;
+    size_t shards_reached = 0;
+    size_t shards_failed = 0;
+  };
+
+  struct ReplicaStats {
+    std::string name;
+    uint64_t generation = 0;
+    uint64_t applied_seq = 0;
+    uint64_t epoch = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t duplicates = 0;
+  };
+  struct ShardStats {
+    std::string name;
+    bool primary_alive = false;
+    uint64_t commit_seq = 0;
+    uint64_t durable_seq = 0;
+    uint64_t epoch = 0;
+    uint64_t promotions = 0;
+    ShipTotals shipping;
+    std::vector<ReplicaStats> replicas;
+  };
+  struct Stats {
+    size_t shards = 0;
+    uint64_t promotions = 0;
+    ShipTotals shipping;
+    std::vector<ShardStats> per_shard;
+    obs::MetricsSnapshot metrics;  ///< empty when observability off
+  };
+
+  explicit Cluster(Config config);
+
+  /// OK when every shard's initial primary opened; the first open error
+  /// otherwise.
+  const Status& status() const { return status_; }
+
+  size_t shard_count() const { return shards_.size(); }
+  ShardGroup& shard(size_t i) { return *shards_[i]; }
+  /// The cluster-wide simulated clock (probes, backoff, network model).
+  SimClock* clock() { return &clock_; }
+  obs::Observability* observability() const { return obs_.get(); }
+
+  /// Adds an empty shard to the ring. Existing placements are pinned by
+  /// the routing table — only sources added afterwards hash over the
+  /// enlarged ring (no resharding of existing data).
+  void AddShard();
+
+  /// Which shard \p key (a source name) routes to.
+  size_t ShardOf(const std::string& key) const;
+
+  /// --- source registration (routed by source name) ------------------------
+  Result<rvm::SourceIndexStats> AddFileSystem(
+      const std::string& name, std::shared_ptr<vfs::VirtualFileSystem> fs,
+      const std::string& root_path = "/");
+  Result<rvm::SourceIndexStats> AddSource(
+      std::shared_ptr<rvm::DataSource> source);
+
+  /// Polls every shard's sources; down shards are recorded as failures in
+  /// the merged stats rather than failing the round.
+  rvm::SyncStats PollAll();
+  /// One failure-detector round: advances the clock by one probe interval
+  /// and ticks every shard. Returns the first promotion error (a shard
+  /// that is due for promotion but cannot promote).
+  Status Tick();
+  /// Ships every shard's durable suffix (async catch-up after partitions
+  /// heal); per-shard failures are recorded, not fatal.
+  void ShipAll();
+  /// Checkpoints every live shard.
+  Status CheckpointAll();
+
+  /// Routes \p iql to every shard under options.read_mode and merges per
+  /// the federation contract. Shards without a reachable serving node
+  /// degrade the result (meta.complete == false) instead of erroring;
+  /// non-retryable errors (parse, unsupported shape) propagate.
+  Result<QueryOutcome> Query(const std::string& iql,
+                             const iql::QueryOptions& options) const;
+
+  Stats GetStats() const;
+
+ private:
+  void AddShardInternal();
+  void RefreshServing() const;
+  std::unique_ptr<iql::Federation> BuildFederation(iql::ReadMode mode) const;
+
+  Config config_;
+  mutable SimClock clock_;
+  std::unique_ptr<obs::Observability> obs_;
+  Status status_;
+
+  std::vector<std::unique_ptr<ShardGroup>> shards_;
+  /// Always-fail link injectors representing unreachable (down) shards in
+  /// the federations, one per shard.
+  std::vector<std::unique_ptr<FaultInjector>> down_links_;
+  /// Routing table: source name -> shard index, pinned at AddSource time.
+  std::map<std::string, size_t> placements_;
+
+  /// Serving tables (federations) are rebuilt lazily when topology changes
+  /// (shard added / primary promoted).
+  mutable std::unique_ptr<iql::Federation> fed_linearizable_;
+  mutable std::unique_ptr<iql::Federation> fed_stale_;
+  mutable uint64_t serving_stamp_ = ~uint64_t{0};
+};
+
+}  // namespace idm::cluster
+
+#endif  // IDM_CLUSTER_CLUSTER_H_

@@ -1,0 +1,237 @@
+#include "cluster/replication.h"
+
+#include <utility>
+
+#include "storage/wal.h"
+
+namespace idm::cluster {
+
+ReplicaNode::ReplicaNode(std::string name, iql::Dataspace::Config config,
+                         storage::StorageOptions storage)
+    : name_(std::move(name)), storage_(storage) {
+  // The follower serves from memory; its durable mirror is written by the
+  // shipping path below, never by the dataspace itself (an attached engine
+  // would re-log every replayed mutation).
+  config.storage_dir.clear();
+  config.env = nullptr;
+  config_ = std::move(config);
+  serving_ = std::make_unique<iql::Dataspace>(config_);
+}
+
+uint64_t ReplicaNode::epoch() const {
+  return serving_ != nullptr ? serving_->module().epoch() : 0;
+}
+
+std::string ReplicaNode::CkptPath(uint64_t gen) const {
+  return dir_ + "/checkpoint-" + std::to_string(gen) + ".ckpt";
+}
+
+std::string ReplicaNode::WalPath(uint64_t gen) const {
+  return dir_ + "/wal-" + std::to_string(gen) + ".log";
+}
+
+Status ReplicaNode::SwitchCurrent(uint64_t gen) {
+  const std::string tmp = dir_ + "/CURRENT.tmp";
+  IDM_RETURN_NOT_OK(env_.Delete(tmp));
+  IDM_RETURN_NOT_OK(env_.Append(tmp, std::to_string(gen)));
+  IDM_RETURN_NOT_OK(env_.Sync(tmp));
+  return env_.Rename(tmp, dir_ + "/CURRENT");
+}
+
+Status ReplicaNode::InstallCheckpoint(uint64_t gen, const std::string& image) {
+  if (gen <= generation_) {
+    ++duplicates_;  // re-delivered checkpoint: already installed, no-op
+    return Status::OK();
+  }
+  IDM_ASSIGN_OR_RETURN(storage::Snapshot snapshot,
+                       storage::Snapshot::Decode(image));
+  // PR-3 generation protocol on the mirror: image, then the (empty) new
+  // WAL, then the CURRENT switch; a crash in between leaves the previous
+  // generation recoverable.
+  IDM_RETURN_NOT_OK(env_.CreateDir(dir_));
+  IDM_RETURN_NOT_OK(env_.Append(CkptPath(gen), image));
+  IDM_RETURN_NOT_OK(env_.Sync(CkptPath(gen)));
+  IDM_RETURN_NOT_OK(env_.Append(WalPath(gen), ""));
+  IDM_RETURN_NOT_OK(SwitchCurrent(gen));
+  IDM_RETURN_NOT_OK(env_.Delete(CkptPath(generation_)));
+  IDM_RETURN_NOT_OK(env_.Delete(WalPath(generation_)));
+  IDM_RETURN_NOT_OK(serving_->module()
+                        .RestoreSnapshot(snapshot)
+                        .WithContext("replica '" + name_ + "' checkpoint"));
+  generation_ = gen;
+  applied_seq_ = snapshot.last_commit_seq;
+  wal_bytes_ = 0;
+  ++checkpoints_installed_;
+  return Status::OK();
+}
+
+Status ReplicaNode::AppendWal(uint64_t gen, uint64_t from_offset,
+                              std::string_view data) {
+  if (gen != generation_) {
+    return Status::Unavailable("replica '" + name_ + "' follows generation " +
+                               std::to_string(generation_) + ", got " +
+                               std::to_string(gen) + "; checkpoint resync");
+  }
+  if (from_offset > wal_bytes_) {
+    return Status::Unavailable(
+        "replica '" + name_ + "' has " + std::to_string(wal_bytes_) +
+        " WAL bytes, segment starts at " + std::to_string(from_offset));
+  }
+  const uint64_t end = from_offset + data.size();
+  if (end <= wal_bytes_) {
+    ++duplicates_;  // fully re-delivered segment: already applied, no-op
+    return Status::OK();
+  }
+  if (from_offset < wal_bytes_) ++duplicates_;  // overlapping re-delivery
+  std::string_view fresh = data.substr(wal_bytes_ - from_offset);
+
+  // Durable mirror first, then the in-memory apply: a crash between the
+  // two discards the serving state anyway (Recover() rebuilds it from the
+  // mirror), so the mirror is the only state that must be right.
+  IDM_RETURN_NOT_OK(env_.Append(WalPath(generation_), fresh));
+  IDM_RETURN_NOT_OK(env_.Sync(WalPath(generation_)));
+
+  storage::WalScanResult scan = storage::ScanWal(fresh);
+  if (scan.torn_tail || scan.dropped_records > 0 ||
+      scan.valid_bytes != fresh.size()) {
+    return Status::IoError("replica '" + name_ +
+                           "': shipped segment is not commit-aligned");
+  }
+  IDM_RETURN_NOT_OK(serving_->module()
+                        .ReplayMutations(scan.mutations)
+                        .WithContext("replica '" + name_ + "' replay"));
+  wal_bytes_ += fresh.size();
+  if (scan.last_commit_seq > 0) applied_seq_ = scan.last_commit_seq;
+  ++segments_applied_;
+  bytes_applied_ += fresh.size();
+  return Status::OK();
+}
+
+Status ReplicaNode::Recover() {
+  auto fresh = std::make_unique<iql::Dataspace>(config_);
+  IDM_ASSIGN_OR_RETURN(
+      storage::StorageEngine::Recovered rec,
+      storage::StorageEngine::Open(&env_, dir_, storage_, fresh->clock()));
+  if (rec.snapshot.has_value()) {
+    IDM_RETURN_NOT_OK(fresh->module()
+                          .RestoreSnapshot(*rec.snapshot)
+                          .WithContext("replica '" + name_ + "' recovery"));
+  }
+  IDM_RETURN_NOT_OK(fresh->module()
+                        .ReplayMutations(rec.mutations)
+                        .WithContext("replica '" + name_ + "' recovery"));
+  // The engine is discarded: a follower applies, it does not log. Open()
+  // already truncated any torn mirror tail, so wal_bytes_ resumes at a
+  // commit boundary and the shipper re-sends exactly the lost suffix.
+  rec.engine.reset();
+  IDM_ASSIGN_OR_RETURN(std::string wal,
+                       env_.ReadFile(WalPath(rec.stats.generation)));
+  serving_ = std::move(fresh);
+  generation_ = rec.stats.generation;
+  applied_seq_ = rec.stats.last_commit_seq;
+  wal_bytes_ = wal.size();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<iql::Dataspace>> ReplicaNode::Promote() {
+  iql::Dataspace::Config config = config_;
+  config.storage_dir = dir_;
+  config.env = &env_;
+  config.storage = storage_;
+  IDM_ASSIGN_OR_RETURN(std::unique_ptr<iql::Dataspace> primary,
+                       iql::Dataspace::Open(std::move(config)));
+  serving_.reset();  // the node now IS the primary; stop replica serving
+  return primary;
+}
+
+Status WalShipper::Ship(storage::StorageEngine* engine, ReplicaNode* replica,
+                        FaultInjector* link, ShipTotals* totals) {
+  // Generation catch-up: a replica behind the primary's checkpoint installs
+  // the current image, then follows the new WAL from byte 0.
+  if (replica->generation() != engine->generation()) {
+    if (replica->generation() > engine->generation()) {
+      return Status::FailedPrecondition(
+          "replica '" + replica->name() + "' is at generation " +
+          std::to_string(replica->generation()) + ", ahead of the primary");
+    }
+    IDM_ASSIGN_OR_RETURN(std::string image,
+                         engine->env()->ReadFile(engine->LiveCheckpointPath()));
+    const uint64_t gen = engine->generation();
+    IDM_RETURN_NOT_OK(
+        Deliver([&] { return replica->InstallCheckpoint(gen, image); }, link,
+                "replicate.checkpoint", totals));
+    ++totals->checkpoints;
+  }
+
+  // Incremental commit-boundary scan of the live WAL.
+  if (engine != scanned_engine_ || engine->generation() != scanned_generation_) {
+    scanned_engine_ = engine;
+    scanned_generation_ = engine->generation();
+    scanned_bytes_ = 0;
+    commits_.clear();
+  }
+  IDM_ASSIGN_OR_RETURN(std::string wal,
+                       engine->env()->ReadFile(engine->LiveWalPath()));
+  if (wal.size() > scanned_bytes_) {
+    storage::WalScanResult scan =
+        storage::ScanWal(std::string_view(wal).substr(scanned_bytes_));
+    for (const storage::CommitMark& mark : scan.commits) {
+      commits_.push_back({mark.seq, scanned_bytes_ + mark.end_offset});
+    }
+    scanned_bytes_ += scan.valid_bytes;
+  }
+
+  // The shippable prefix ends at the last commit mark known durable: only
+  // fsynced commits replicate, so a replica can never be ahead of what the
+  // primary would itself recover.
+  const uint64_t durable_seq = engine->last_durable_seq();
+  uint64_t boundary = 0;
+  for (auto it = commits_.rbegin(); it != commits_.rend(); ++it) {
+    if (it->seq <= durable_seq) {
+      boundary = it->end_offset;
+      break;
+    }
+  }
+  const uint64_t from = replica->wal_bytes();
+  if (from >= boundary) return Status::OK();  // caught up
+
+  std::string_view slice =
+      std::string_view(wal).substr(from, boundary - from);
+  const uint64_t gen = engine->generation();
+  IDM_RETURN_NOT_OK(
+      Deliver([&] { return replica->AppendWal(gen, from, slice); }, link,
+              "replicate.wal", totals));
+  ++totals->segments;
+  totals->bytes += slice.size();
+  return Status::OK();
+}
+
+Status WalShipper::Deliver(const std::function<Status()>& deliver,
+                           FaultInjector* link, const char* what,
+                           ShipTotals* totals) {
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= retry_.max_attempts; ++attempt) {
+    LinkVerdict verdict;
+    if (link != nullptr) verdict = link->OnLinkOperation(what);
+    if (verdict.dropped) {
+      ++totals->drops;
+      last = Status::Unavailable(std::string(what) +
+                                 " lost to an injected link fault");
+      if (attempt == retry_.max_attempts) break;
+      ++totals->retries;
+      if (clock_ != nullptr) {
+        clock_->AdvanceMicros(retry_.BackoffMicros(attempt, &jitter_));
+      }
+      continue;
+    }
+    IDM_RETURN_NOT_OK(deliver());
+    if (verdict.duplicated) {
+      ++totals->duplicates;
+      IDM_RETURN_NOT_OK(deliver());  // re-delivery must be a no-op
+    }
+    return Status::OK();
+  }
+  return last;
+}
+
+}  // namespace idm::cluster

@@ -1,0 +1,175 @@
+// WAL-shipping replication (DESIGN.md §12): the primary's durable WAL
+// prefix and checkpoint images are streamed to replicas over a
+// fault-injectable link and replayed through the existing ApplyMutation
+// path — live == replay is preserved by construction, because a replica
+// executes exactly the code a crash recovery executes.
+//
+// Two halves:
+//   * ReplicaNode — one follower: an in-memory serving Dataspace plus a
+//     durable mirror of the primary's generation files in its own MemEnv.
+//     Receipt is idempotent (re-delivery of an applied segment is a no-op),
+//     crash recovery reuses StorageEngine::Open on the mirror, and
+//     Promote() turns the mirror into a full durable primary.
+//   * WalShipper — the primary side: enumerates commit-aligned durable
+//     segments of the live WAL (WalScanResult::commits), ships them (plus
+//     the checkpoint image on generation change) through a FaultInjector
+//     link with retry/backoff charged to the SimClock.
+
+#ifndef IDM_CLUSTER_REPLICATION_H_
+#define IDM_CLUSTER_REPLICATION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iql/dataspace.h"
+#include "storage/engine.h"
+#include "storage/env.h"
+#include "util/fault.h"
+#include "util/retry.h"
+
+namespace idm::cluster {
+
+/// One read replica: serving state + durable mirror. Not thread-safe (the
+/// whole replication simulation is single-threaded, like fault injection).
+class ReplicaNode {
+ public:
+  /// \p serving_config configures the follower's in-memory dataspace; its
+  /// storage_dir/env are cleared — the durable mirror lives in this node's
+  /// own MemEnv under "replica", maintained by the shipping path, never by
+  /// the serving dataspace (a follower applies, it does not log).
+  ReplicaNode(std::string name, iql::Dataspace::Config serving_config,
+              storage::StorageOptions storage);
+
+  const std::string& name() const { return name_; }
+  storage::MemEnv* env() { return &env_; }
+
+  /// The serving dataspace (stale_ok reads); null after Promote().
+  const iql::Dataspace* serving() const { return serving_.get(); }
+
+  /// Mirror position: generation being followed, last applied commit
+  /// sequence, and bytes of the generation's WAL already applied.
+  uint64_t generation() const { return generation_; }
+  uint64_t applied_seq() const { return applied_seq_; }
+  uint64_t wal_bytes() const { return wal_bytes_; }
+  /// VersionLog epoch of the serving state (staleness accounting).
+  uint64_t epoch() const;
+
+  /// Installs checkpoint image \p image as generation \p gen (primary
+  /// checkpointed): writes the mirror files under the PR-3 generation
+  /// protocol, retires the old generation, and restores the serving
+  /// dataspace from the image. Re-delivery (gen <= current) is a no-op.
+  Status InstallCheckpoint(uint64_t gen, const std::string& image);
+
+  /// Appends a commit-aligned WAL slice starting at \p from_offset of
+  /// generation \p gen to the durable mirror, then replays its mutations
+  /// into the serving dataspace. Idempotent: a slice ending at or before
+  /// wal_bytes() is a no-op, an overlapping slice applies only its fresh
+  /// tail. A gap (from_offset > wal_bytes()) or generation mismatch
+  /// returns kUnavailable — the shipper resyncs.
+  Status AppendWal(uint64_t gen, uint64_t from_offset, std::string_view data);
+
+  /// Rebuilds serving state from the durable mirror after env().Reboot()
+  /// — exactly the PR-3 recovery path (StorageEngine::Open + restore +
+  /// replay), so a killed replica recovers byte-identically to its own
+  /// durable prefix and re-shipping resumes from wal_bytes().
+  Status Recover();
+
+  /// Turns the mirror into a full durable primary: Dataspace::Open on the
+  /// mirror directory. The node stops serving as a replica afterwards.
+  Result<std::unique_ptr<iql::Dataspace>> Promote();
+
+  /// --- counters ------------------------------------------------------------
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t segments_applied() const { return segments_applied_; }
+  uint64_t bytes_applied() const { return bytes_applied_; }
+  uint64_t checkpoints_installed() const { return checkpoints_installed_; }
+
+ private:
+  std::string CkptPath(uint64_t gen) const;
+  std::string WalPath(uint64_t gen) const;
+  Status SwitchCurrent(uint64_t gen);
+
+  std::string name_;
+  iql::Dataspace::Config config_;  ///< sanitized serving template
+  storage::StorageOptions storage_;
+  storage::MemEnv env_;
+  std::string dir_ = "replica";
+  std::unique_ptr<iql::Dataspace> serving_;
+
+  uint64_t generation_ = 0;
+  uint64_t applied_seq_ = 0;
+  uint64_t wal_bytes_ = 0;
+
+  uint64_t duplicates_ = 0;
+  uint64_t segments_applied_ = 0;
+  uint64_t bytes_applied_ = 0;
+  uint64_t checkpoints_installed_ = 0;
+};
+
+/// What one Ship() round (or a lifetime of rounds) moved.
+struct ShipTotals {
+  uint64_t segments = 0;     ///< WAL slices delivered
+  uint64_t bytes = 0;        ///< WAL bytes delivered
+  uint64_t checkpoints = 0;  ///< checkpoint images delivered
+  uint64_t duplicates = 0;   ///< injected duplicate deliveries
+  uint64_t drops = 0;        ///< sends lost to injected link faults
+  uint64_t retries = 0;      ///< re-sends after a drop
+  uint64_t failed = 0;       ///< Ship() rounds that gave up on a replica
+
+  void Merge(const ShipTotals& other) {
+    segments += other.segments;
+    bytes += other.bytes;
+    checkpoints += other.checkpoints;
+    duplicates += other.duplicates;
+    drops += other.drops;
+    retries += other.retries;
+    failed += other.failed;
+  }
+};
+
+/// Primary-side shipping loop. One shipper per shard; it keeps an
+/// incremental scan cache over the live WAL so each round scans only bytes
+/// appended since the last.
+class WalShipper {
+ public:
+  /// \p clock receives retry backoff (and, via the link injector, injected
+  /// delivery latency); may be nullptr.
+  WalShipper(Clock* clock, RetryPolicy retry, uint64_t jitter_seed)
+      : clock_(clock), retry_(retry), jitter_(jitter_seed) {}
+
+  /// Brings \p replica as close to \p engine's durable prefix as the link
+  /// allows: ships the checkpoint image when the replica is a generation
+  /// behind, then the commit-aligned durable WAL suffix past the replica's
+  /// wal_bytes(). Only fsynced commits ship — under FsyncPolicy::kNever
+  /// replication advances on explicit SyncNow/Checkpoint, by design.
+  /// \p link may be nullptr (a perfect link). Accounting accumulates into
+  /// \p totals even when the round fails — a dropped send is a drop whether
+  /// or not a retry eventually got through.
+  Status Ship(storage::StorageEngine* engine, ReplicaNode* replica,
+              FaultInjector* link, ShipTotals* totals);
+
+ private:
+  /// Sends one message through the link with retry: a dropped send backs
+  /// off (charged to the clock) and re-sends; a duplicated send delivers
+  /// twice (receipt must be idempotent). Receiver-side errors are not
+  /// retried — they mean resync or a crashed replica, not a lost packet.
+  Status Deliver(const std::function<Status()>& deliver, FaultInjector* link,
+                 const char* what, ShipTotals* totals);
+
+  Clock* clock_;
+  RetryPolicy retry_;
+  Rng jitter_;
+
+  /// Incremental scan cache over the live WAL (reset on generation change).
+  const storage::StorageEngine* scanned_engine_ = nullptr;
+  uint64_t scanned_generation_ = 0;
+  uint64_t scanned_bytes_ = 0;
+  std::vector<storage::CommitMark> commits_;
+};
+
+}  // namespace idm::cluster
+
+#endif  // IDM_CLUSTER_REPLICATION_H_

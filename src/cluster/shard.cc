@@ -1,0 +1,247 @@
+#include "cluster/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace idm::cluster {
+
+ShardGroup::ShardGroup(std::string name, ShardOptions options, SimClock* clock,
+                       obs::Observability* obs)
+    : name_(std::move(name)),
+      options_(std::move(options)),
+      clock_(clock),
+      obs_(obs),
+      shipper_(clock, options_.ship_retry, options_.seed) {
+  owned_envs_.push_back(std::make_unique<storage::MemEnv>());
+  primary_env_ = owned_envs_.back().get();
+  iql::Dataspace::Config config = options_.node;
+  config.storage_dir = "primary";
+  config.env = primary_env_;
+  config.storage = options_.storage;
+  Result<std::unique_ptr<iql::Dataspace>> opened =
+      iql::Dataspace::Open(std::move(config));
+  if (opened.ok()) {
+    primary_ = std::move(*opened);
+    primary_alive_ = true;
+    WireCommitListener();
+  } else {
+    status_ = opened.status();
+  }
+  breaker_.emplace(options_.breaker, clock_);
+  for (size_t i = 0; i < options_.replicas; ++i) {
+    replicas_.push_back(std::make_unique<ReplicaNode>(
+        name_ + ".r" + std::to_string(i), options_.node, options_.storage));
+    replica_links_.push_back(nullptr);
+  }
+  if (obs_ != nullptr) {
+    obs::MetricsRegistry& reg = obs_->metrics();
+    promotions_metric_ = reg.counter("cluster.promotions");
+    probe_failures_metric_ = reg.counter("cluster.probe_failures");
+    lag_gauge_ = reg.gauge("cluster." + name_ + ".lag_commits");
+  }
+}
+
+void ShardGroup::WireCommitListener() {
+  if (!options_.ship_on_commit || primary_ == nullptr ||
+      primary_->storage_engine() == nullptr) {
+    return;
+  }
+  primary_->storage_engine()->set_commit_listener([this](uint64_t) {
+    // Semi-sync replication: every fsynced commit is offered to every
+    // replica before the mutating call returns. A failed ship (partitioned
+    // link, crashed replica) is lag, not an error on the write path.
+    last_ship_status_ = Ship();
+  });
+}
+
+Result<rvm::SourceIndexStats> ShardGroup::AddSource(
+    std::shared_ptr<rvm::DataSource> source) {
+  if (!primary_alive_) {
+    return Status::Unavailable("shard '" + name_ + "' has no primary");
+  }
+  sources_.push_back(source);
+  IDM_ASSIGN_OR_RETURN(rvm::SourceIndexStats stats,
+                       primary_->AddSource(std::move(source)));
+  (void)Ship();  // catch policy-deferred fsyncs; failures are lag
+  return stats;
+}
+
+Result<rvm::SyncStats> ShardGroup::Poll() {
+  if (!primary_alive_) {
+    return Status::Unavailable("shard '" + name_ + "' has no primary");
+  }
+  IDM_ASSIGN_OR_RETURN(rvm::SyncStats stats, primary_->sync().Poll());
+  (void)Ship();
+  return stats;
+}
+
+Result<rvm::SyncStats> ShardGroup::ProcessNotifications() {
+  if (!primary_alive_) {
+    return Status::Unavailable("shard '" + name_ + "' has no primary");
+  }
+  IDM_ASSIGN_OR_RETURN(rvm::SyncStats stats,
+                       primary_->sync().ProcessNotifications());
+  (void)Ship();
+  return stats;
+}
+
+Status ShardGroup::Checkpoint() {
+  if (!primary_alive_) {
+    return Status::Unavailable("shard '" + name_ + "' has no primary");
+  }
+  IDM_RETURN_NOT_OK(primary_->Checkpoint());
+  (void)Ship();  // a crashed/partitioned replica is lag, not a write error
+  return Status::OK();
+}
+
+Status ShardGroup::Ship() {
+  if (!primary_alive_ || primary_ == nullptr ||
+      primary_->storage_engine() == nullptr) {
+    return Status::FailedPrecondition("shard '" + name_ +
+                                      "' has no live storage to ship from");
+  }
+  Status first;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    Status shipped =
+        shipper_.Ship(primary_->storage_engine(), replicas_[i].get(),
+                      replica_links_[i], &ship_totals_);
+    if (!shipped.ok()) {
+      ++ship_totals_.failed;
+      if (first.ok()) first = shipped;
+    }
+  }
+  UpdateLagGauge();
+  return first;
+}
+
+void ShardGroup::KillPrimary() {
+  if (!primary_alive_) return;
+  primary_alive_ = false;
+  if (primary_env_ != nullptr) primary_env_->CrashNow();
+}
+
+bool ShardGroup::ProbeOnce() {
+  if (!primary_alive_) return false;
+  if (probe_injector_ != nullptr) {
+    return probe_injector_->OnOperation("probe " + name_).ok();
+  }
+  return true;
+}
+
+Status ShardGroup::Tick() {
+  const bool healthy = ProbeOnce();
+  if (healthy) {
+    breaker_->RecordSuccess();
+    return Status::OK();
+  }
+  breaker_->RecordFailure();
+  if (probe_failures_metric_ != nullptr) probe_failures_metric_->Inc();
+  if (breaker_->state() != CircuitBreaker::State::kClosed) {
+    return Promote();
+  }
+  return Status::OK();
+}
+
+Status ShardGroup::Promote() {
+  // Most caught-up replica wins: by (generation, applied commit sequence),
+  // ties broken by the lowest index — fully deterministic.
+  int best = -1;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (best < 0 ||
+        std::pair(replicas_[i]->generation(), replicas_[i]->applied_seq()) >
+            std::pair(replicas_[best]->generation(),
+                      replicas_[best]->applied_seq())) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    return Status::Unavailable("shard '" + name_ +
+                               "': no replica available to promote");
+  }
+  std::unique_ptr<ReplicaNode> node = std::move(replicas_[best]);
+  replicas_.erase(replicas_.begin() + best);
+  replica_links_.erase(replica_links_.begin() + best);
+
+  Result<std::unique_ptr<iql::Dataspace>> promoted = node->Promote();
+  if (!promoted.ok()) {
+    replicas_.insert(replicas_.begin() + best, std::move(node));
+    replica_links_.insert(replica_links_.begin() + best, nullptr);
+    return promoted.status();
+  }
+
+  // Fence whatever is left of the old primary: even if it was merely
+  // suspected (detector false positive), it must never accept another
+  // write once a replacement exists.
+  if (primary_env_ != nullptr) primary_env_->CrashNow();
+  graveyard_.push_back(std::move(primary_));
+  primary_ = std::move(*promoted);
+  primary_env_ = node->env();
+  retired_.push_back(std::move(node));
+  primary_alive_ = true;
+
+  // The promoted node inherits the cluster's notion of time (its state is
+  // unaffected — mutation timestamps ride in the WAL records).
+  const Micros now = clock_->NowMicros();
+  if (primary_->clock()->NowMicros() < now) {
+    primary_->clock()->AdvanceMicros(now - primary_->clock()->NowMicros());
+  }
+  for (const std::shared_ptr<rvm::DataSource>& source : sources_) {
+    primary_->AttachSource(source);
+  }
+  WireCommitListener();
+  shipper_ = WalShipper(clock_, options_.ship_retry, options_.seed);
+  breaker_.emplace(options_.breaker, clock_);
+  ++promotions_;
+  if (promotions_metric_ != nullptr) promotions_metric_->Inc();
+  UpdateLagGauge();
+  return Status::OK();
+}
+
+const iql::Dataspace* ShardGroup::ServingFor(iql::ReadMode mode) const {
+  if (mode == iql::ReadMode::kLinearizable) {
+    return primary_alive_ ? primary_.get() : nullptr;
+  }
+  const ReplicaNode* best = nullptr;
+  for (const std::unique_ptr<ReplicaNode>& r : replicas_) {
+    if (r->serving() == nullptr) continue;
+    if (best == nullptr || std::pair(r->generation(), r->applied_seq()) >
+                               std::pair(best->generation(),
+                                         best->applied_seq())) {
+      best = r.get();
+    }
+  }
+  if (best != nullptr) return best->serving();
+  return primary_alive_ ? primary_.get() : nullptr;
+}
+
+uint64_t ShardGroup::BestEpoch() const {
+  uint64_t best = 0;
+  if (primary_alive_ && primary_ != nullptr) best = primary_->module().epoch();
+  for (const std::unique_ptr<ReplicaNode>& r : replicas_) {
+    best = std::max(best, r->epoch());
+  }
+  return best;
+}
+
+uint64_t ShardGroup::StalenessOf(const iql::Dataspace* serving) const {
+  if (serving == nullptr) return 0;
+  const uint64_t best = BestEpoch();
+  const uint64_t mine = serving->module().epoch();
+  return best > mine ? best - mine : 0;
+}
+
+void ShardGroup::UpdateLagGauge() {
+  if (lag_gauge_ == nullptr) return;
+  if (!primary_alive_ || primary_ == nullptr ||
+      primary_->storage_engine() == nullptr) {
+    return;
+  }
+  const uint64_t head = primary_->storage_engine()->commit_seq();
+  uint64_t lag = 0;
+  for (const std::unique_ptr<ReplicaNode>& r : replicas_) {
+    lag = std::max(lag, head - std::min(head, r->applied_seq()));
+  }
+  lag_gauge_->Set(static_cast<int64_t>(lag));
+}
+
+}  // namespace idm::cluster

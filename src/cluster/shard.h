@@ -1,0 +1,176 @@
+// One shard = one replication group (DESIGN.md §12): a durable primary
+// Dataspace on its own MemEnv, K ReplicaNodes fed by a WalShipper, a
+// SimClock failure detector (health probes through a CircuitBreaker), and
+// deterministic promotion of the most-caught-up replica when the breaker
+// trips. Semi-synchronous by construction: every fsynced commit is offered
+// to every replica before the mutating call returns (ship-on-commit), so an
+// acknowledged mutation survives failover whenever at least one replica's
+// link was reachable at commit time.
+
+#ifndef IDM_CLUSTER_SHARD_H_
+#define IDM_CLUSTER_SHARD_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/replication.h"
+#include "iql/dataspace.h"
+#include "obs/obs.h"
+#include "util/retry.h"
+
+namespace idm::cluster {
+
+/// Per-shard tuning. The node template configures every dataspace in the
+/// group (primary and replicas alike); its storage_dir/env are overridden
+/// per node.
+struct ShardOptions {
+  size_t replicas = 1;
+  iql::Dataspace::Config node;
+  storage::StorageOptions storage;
+  /// Failure detector: consecutive failed probes to trip, cooldown, and
+  /// probes-to-close are CircuitBreaker semantics on the shared SimClock.
+  CircuitBreaker::Options breaker{/*failure_threshold=*/3,
+                                  /*cooldown_micros=*/2'000'000,
+                                  /*half_open_successes=*/1};
+  /// Simulated time between health probes (one Tick()).
+  Micros probe_interval_micros = 500'000;
+  /// Link-level retry for one shipped message.
+  RetryPolicy ship_retry{/*max_attempts=*/3, /*initial_backoff_micros=*/10'000,
+                         /*backoff_multiplier=*/2.0,
+                         /*max_backoff_micros=*/200'000,
+                         /*jitter_fraction=*/0.25};
+  /// Ship after every commit (semi-sync). Off: replication only advances on
+  /// explicit Ship()/Poll()/Checkpoint() calls (async shipping).
+  bool ship_on_commit = true;
+  uint64_t seed = 1;
+};
+
+class ShardGroup {
+ public:
+  /// \p clock is the cluster-wide simulated clock driving probes, backoff
+  /// and the breaker; \p obs (may be null) receives promotion counters and
+  /// per-shard lag gauges.
+  ShardGroup(std::string name, ShardOptions options, SimClock* clock,
+             obs::Observability* obs = nullptr);
+
+  const std::string& name() const { return name_; }
+  /// Open status of the initial primary (construction error surface).
+  const Status& status() const { return status_; }
+
+  /// The live primary, or null while the shard has no primary (killed and
+  /// not yet promoted, or promotion impossible).
+  iql::Dataspace* primary() { return primary_alive_ ? primary_.get() : nullptr; }
+  const iql::Dataspace* primary() const {
+    return primary_alive_ ? primary_.get() : nullptr;
+  }
+  bool primary_alive() const { return primary_alive_; }
+  /// The primary's MemEnv (crash-matrix hooks on the primary side).
+  storage::MemEnv* primary_env() { return primary_env_; }
+
+  size_t replica_count() const { return replicas_.size(); }
+  ReplicaNode& replica(size_t i) { return *replicas_[i]; }
+  /// Fault injector on the replication link to replica \p i (null = perfect
+  /// link). Must outlive the shard.
+  void set_replica_link(size_t i, FaultInjector* link) {
+    replica_links_[i] = link;
+  }
+  /// Fault injector consulted by health probes (scripting detector
+  /// false-positives); null (default) means probes only fail when the
+  /// primary is actually dead.
+  void set_probe_injector(FaultInjector* injector) {
+    probe_injector_ = injector;
+  }
+
+  /// --- primary-side operations (routed by the Cluster) --------------------
+  Result<rvm::SourceIndexStats> AddSource(
+      std::shared_ptr<rvm::DataSource> source);
+  Result<rvm::SyncStats> Poll();
+  Result<rvm::SyncStats> ProcessNotifications();
+  Status Checkpoint();
+
+  /// Ships the durable suffix to every replica. Per-replica link failures
+  /// are recorded (ship_totals().failed, last_ship_status()) and returned,
+  /// but leave the other replicas shipped — lag, not loss.
+  Status Ship();
+
+  /// Kills the primary machine: unsynced bytes are lost (bar the writeback
+  /// prefix) and the shard serves no linearizable reads until the failure
+  /// detector promotes a replica.
+  void KillPrimary();
+
+  /// One failure-detector step at the current clock time: probe the
+  /// primary, feed the breaker, and promote once the breaker leaves
+  /// kClosed. (The caller advances the clock — Cluster::Tick advances it
+  /// once per probe interval for all shards.) Returns the promotion error
+  /// when promotion was due but impossible (e.g. no replicas).
+  Status Tick();
+
+  /// The dataspace that serves reads under \p mode: the primary for
+  /// kLinearizable (null while the shard has no primary — callers degrade),
+  /// the most-caught-up replica for kStaleOk (falling back to the primary
+  /// when the shard has no replicas).
+  const iql::Dataspace* ServingFor(iql::ReadMode mode) const;
+  /// Always-non-null dataspace of this shard (possibly the dead primary);
+  /// routing plumbing for down-shard federation peers, never queried over
+  /// a healthy link.
+  const iql::Dataspace* AnyDataspace() const { return primary_.get(); }
+
+  /// Best known VersionLog epoch in the group, and how far behind it a
+  /// given serving dataspace is.
+  uint64_t BestEpoch() const;
+  uint64_t StalenessOf(const iql::Dataspace* serving) const;
+
+  /// --- counters ------------------------------------------------------------
+  uint64_t promotions() const { return promotions_; }
+  const ShipTotals& ship_totals() const { return ship_totals_; }
+  const Status& last_ship_status() const { return last_ship_status_; }
+  CircuitBreaker& breaker() { return *breaker_; }
+
+ private:
+  void WireCommitListener();
+  bool ProbeOnce();
+  Status Promote();
+  void UpdateLagGauge();
+
+  std::string name_;
+  ShardOptions options_;
+  SimClock* clock_;
+  obs::Observability* obs_;
+
+  /// Envs are owned here (one per machine that ever was primary): a deposed
+  /// primary's env must outlive its Dataspace, and a promoted replica's env
+  /// stays owned by its retired ReplicaNode.
+  std::vector<std::unique_ptr<storage::MemEnv>> owned_envs_;
+  storage::MemEnv* primary_env_ = nullptr;
+  std::unique_ptr<iql::Dataspace> primary_;
+  bool primary_alive_ = false;
+  Status status_;
+
+  std::vector<std::unique_ptr<ReplicaNode>> replicas_;
+  std::vector<FaultInjector*> replica_links_;
+  /// Deposed primaries and promoted (retired) replica nodes — kept alive
+  /// because federation peers and envs reference them.
+  std::vector<std::unique_ptr<iql::Dataspace>> graveyard_;
+  std::vector<std::unique_ptr<ReplicaNode>> retired_;
+
+  /// Sources registered through this shard, re-attached on promotion.
+  std::vector<std::shared_ptr<rvm::DataSource>> sources_;
+
+  std::optional<CircuitBreaker> breaker_;
+  WalShipper shipper_;
+  ShipTotals ship_totals_;
+  Status last_ship_status_;
+  FaultInjector* probe_injector_ = nullptr;
+
+  uint64_t promotions_ = 0;
+
+  obs::Counter* promotions_metric_ = nullptr;
+  obs::Counter* probe_failures_metric_ = nullptr;
+  obs::Gauge* lag_gauge_ = nullptr;
+};
+
+}  // namespace idm::cluster
+
+#endif  // IDM_CLUSTER_SHARD_H_

@@ -75,6 +75,25 @@ Status Dataspace::InitStorage() {
     engine_ = std::move(recovered.engine);
     module_.AttachStorage(engine_.get());
     engine_->SetObservability(obs_.get());
+    if (obs_ != nullptr) {
+      // Recovery outcomes as metrics: what startup found is part of the
+      // unified introspection surface, not just the RecoveryStats struct.
+      obs::MetricsRegistry& reg = obs_->metrics();
+      reg.gauge("storage.recovery.generation")
+          ->Set(static_cast<int64_t>(recovery_stats_.generation));
+      reg.gauge("storage.recovery.had_checkpoint")
+          ->Set(recovery_stats_.had_checkpoint ? 1 : 0);
+      reg.gauge("storage.recovery.checkpoint_fallback")
+          ->Set(recovery_stats_.checkpoint_fallback ? 1 : 0);
+      reg.gauge("storage.recovery.last_commit_seq")
+          ->Set(static_cast<int64_t>(recovery_stats_.last_commit_seq));
+      reg.counter("storage.recovery.replayed_mutations")
+          ->Inc(recovery_stats_.replayed_mutations);
+      reg.gauge("storage.recovery.torn_tail_dropped")
+          ->Set(recovery_stats_.torn_tail_dropped ? 1 : 0);
+      reg.counter("storage.recovery.dropped_records")
+          ->Inc(recovery_stats_.dropped_records);
+    }
     return Status::OK();
   }();
   if (obs_ != nullptr) obs_->FinishTrace(obs::kStorageTrace, std::move(trace));

@@ -15,6 +15,17 @@
 
 namespace idm::iql {
 
+/// Which node of a replicated shard group may serve a read (DESIGN.md §12).
+/// Meaningful when querying through a cluster::Cluster router; a standalone
+/// Dataspace is its own primary and treats both modes identically.
+enum class ReadMode {
+  kLinearizable,  ///< primary only — never observes a stale epoch; degrades
+                  ///< (per the partial-result contract) while a shard has no
+                  ///< primary during failover
+  kStaleOk,       ///< any replica — may lag the primary; the lag is reported
+                  ///< in ResultMeta::staleness_epochs
+};
+
 /// Per-query execution options. Default-constructed options reproduce the
 /// classic un-governed Query(iql) behavior exactly.
 struct QueryOptions {
@@ -26,6 +37,9 @@ struct QueryOptions {
   util::ExecContext::Limits limits;
   /// Skip the admission gate (internal / maintenance queries).
   bool bypass_admission = false;
+  /// Replica selection when the query is routed through a cluster; a
+  /// standalone Dataspace ignores this field.
+  ReadMode read_mode = ReadMode::kLinearizable;
 };
 
 /// Governance outcome of one evaluation (DESIGN.md §10). When a query runs
@@ -41,6 +55,10 @@ struct ResultMeta {
   std::string degraded_reason;  ///< doom status text when !complete
   uint64_t steps_used = 0;      ///< evaluation steps counted by the context
   size_t bytes_peak = 0;        ///< memory budget high-water mark (bytes)
+  /// Replica lag of the most-stale node that served part of this result, in
+  /// VersionLog epochs behind its shard's best-known epoch. Always 0 for
+  /// ReadMode::kLinearizable and for standalone dataspaces.
+  uint64_t staleness_epochs = 0;
 };
 
 }  // namespace idm::iql

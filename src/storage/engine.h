@@ -107,6 +107,14 @@ class StorageEngine {
   const Stats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
 
+  /// --- replication hooks (DESIGN.md §12) ----------------------------------
+  /// The environment the engine writes through, and the live generation's
+  /// file paths. WAL shipping reads the primary's files through these to
+  /// stream sealed prefixes / checkpoint images to replicas.
+  Env* env() const { return env_; }
+  std::string LiveWalPath() const { return WalPath(generation_); }
+  std::string LiveCheckpointPath() const { return CheckpointPath(generation_); }
+
   /// Invoked after every successful Commit() with its sequence — the
   /// crash-matrix oracle snapshots reference state from here.
   void set_commit_listener(std::function<void(uint64_t)> listener) {

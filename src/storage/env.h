@@ -89,6 +89,13 @@ class MemEnv : public Env {
   /// durable bytes remain visible.
   void Reboot();
 
+  /// Kills the machine outright, without an injector: every unsynced byte
+  /// beyond the writeback prefix is lost and all calls fail until Reboot().
+  /// The cluster layer uses this to fence a dead (or deposed) primary.
+  void CrashNow() {
+    if (!crashed_) Crash();
+  }
+
   /// Total mutating operations attempted so far (crash-matrix sizing).
   uint64_t mutating_ops() const { return mutating_ops_; }
 

@@ -60,6 +60,7 @@ WalScanResult ScanWal(std::string_view data) {
       pending.clear();
       result.last_commit_seq = seq;
       result.valid_bytes = pos;
+      result.commits.push_back({seq, pos});
     } else {
       result.torn_tail = true;
       pos = frame_start;

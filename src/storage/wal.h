@@ -37,10 +37,21 @@ enum class FsyncPolicy {
 /// Frames \p payload and appends the frame to \p out.
 void FrameRecord(std::string_view payload, std::string* out);
 
+/// Byte boundary of one intact commit in a WAL image. Segment enumeration
+/// for WAL shipping (DESIGN.md §12): a shippable prefix always ends at the
+/// end_offset of some commit mark, so replicas only ever receive whole
+/// batches.
+struct CommitMark {
+  uint64_t seq = 0;         ///< commit sequence of the marker
+  uint64_t end_offset = 0;  ///< bytes up to and including the marker
+};
+
 /// Result of scanning a WAL image for committed batches.
 struct WalScanResult {
   /// Mutations of every fully committed batch, in log order.
   std::vector<Mutation> mutations;
+  /// One entry per intact commit marker, in log order.
+  std::vector<CommitMark> commits;
   /// Sequence of the last intact commit marker (0 = none).
   uint64_t last_commit_seq = 0;
   /// Bytes up to and including the last intact commit marker; the engine

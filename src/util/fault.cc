@@ -9,6 +9,9 @@ const char* FaultKindToString(FaultKind kind) {
     case FaultKind::kUnavailable: return "unavailable";
     case FaultKind::kLatencySpike: return "latency spike";
     case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDuplicate: return "duplicate";
   }
   return "unknown";
 }
@@ -41,11 +44,16 @@ Status FaultInjector::OnOperation(const std::string& op_name) {
 
   switch (kind) {
     case FaultKind::kNone:
-    case FaultKind::kTruncate:  // truncation applies to reads, not to ops
-      return Status::OK();
+    case FaultKind::kTruncate:   // truncation applies to reads, not to ops
+    case FaultKind::kDuplicate:  // duplication is a link effect; an op is
+      return Status::OK();       // executed once either way
     case FaultKind::kLatencySpike:
       ++faults_injected_;
       Charge(config_.latency_spike_micros);
+      return Status::OK();
+    case FaultKind::kDelay:  // scripted on a plain op: just extra latency
+      ++faults_injected_;
+      Charge(config_.delay_micros);
       return Status::OK();
     case FaultKind::kIoError:
       ++faults_injected_;
@@ -53,12 +61,70 @@ Status FaultInjector::OnOperation(const std::string& op_name) {
       return Status::IoError("injected fault on " + op_name + " (op #" +
                              std::to_string(index) + ")");
     case FaultKind::kUnavailable:
+    case FaultKind::kPartition:  // scripted on a plain op: an outage
       ++faults_injected_;
       Charge(config_.fault_latency_micros);
       return Status::Unavailable("injected outage on " + op_name + " (op #" +
                                  std::to_string(index) + ")");
   }
   return Status::OK();
+}
+
+LinkVerdict FaultInjector::OnLinkOperation(const std::string& op_name) {
+  (void)op_name;
+  uint64_t index = ops_total_++;
+
+  FaultKind kind = FaultKind::kNone;
+  auto scripted = scripted_.find(index);
+  if (scripted != scripted_.end()) {
+    kind = scripted->second;
+  } else {
+    // Fixed draw count per message (cf. OnOperation): link scenarios stay
+    // comparable when individual probabilities change. An error-configured
+    // injector (fault_probability) also drops — a generic flaky link.
+    bool partition = rng_.Chance(config_.partition_probability);
+    bool duplicate = rng_.Chance(config_.duplicate_probability);
+    bool delay = rng_.Chance(config_.delay_probability);
+    bool error = rng_.Chance(config_.fault_probability);
+    if (partition || error) {
+      kind = FaultKind::kPartition;
+    } else if (duplicate) {
+      kind = FaultKind::kDuplicate;
+    } else if (delay) {
+      kind = FaultKind::kDelay;
+    }
+  }
+
+  LinkVerdict verdict;
+  verdict.kind = kind;
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kTruncate:  // not a link effect
+      break;
+    case FaultKind::kIoError:      // scripted legacy kinds on a link:
+    case FaultKind::kUnavailable:  // the message is lost either way
+    case FaultKind::kPartition:
+      verdict.dropped = true;
+      ++faults_injected_;
+      ++link_drops_;
+      Charge(config_.fault_latency_micros);
+      break;
+    case FaultKind::kLatencySpike:
+    case FaultKind::kDelay:
+      verdict.delay_micros = kind == FaultKind::kDelay
+                                 ? config_.delay_micros
+                                 : config_.latency_spike_micros;
+      ++faults_injected_;
+      ++link_delays_;
+      Charge(verdict.delay_micros);
+      break;
+    case FaultKind::kDuplicate:
+      verdict.duplicated = true;
+      ++faults_injected_;
+      ++link_duplicates_;
+      break;
+  }
+  return verdict;
 }
 
 bool FaultInjector::MaybeTruncate(std::string* content) {

@@ -34,6 +34,10 @@ enum class FaultKind {
   kUnavailable,   ///< op fails with StatusCode::kUnavailable
   kLatencySpike,  ///< op succeeds but charges latency_spike_micros
   kTruncate,      ///< content reads lose their tail (MaybeTruncate)
+  // --- link-level kinds (OnLinkOperation; replication links) ---------------
+  kPartition,     ///< message dropped: the send fails with kUnavailable
+  kDelay,         ///< message delivered after delay_micros of extra latency
+  kDuplicate,     ///< message delivered twice (receipt must be idempotent)
 };
 
 const char* FaultKindToString(FaultKind kind);
@@ -54,6 +58,26 @@ struct FaultConfig {
   double truncate_probability = 0.0;
   /// Fraction of the content kept when truncated (0 ≤ keep < 1).
   double truncate_keep_fraction = 0.5;
+
+  /// --- link-level knobs (consumed only by OnLinkOperation) ----------------
+  /// Per-message probability the link drops the message (kPartition).
+  double partition_probability = 0.0;
+  /// Per-message probability of duplicated delivery (kDuplicate).
+  double duplicate_probability = 0.0;
+  /// Per-message probability of delayed delivery (kDelay).
+  double delay_probability = 0.0;
+  /// Extra latency charged by one delayed delivery.
+  Micros delay_micros = 20000;
+};
+
+/// Outcome of one link-level send (OnLinkOperation). Exactly one of the
+/// fault effects applies per message; injected latency has already been
+/// charged to the clock when the verdict is returned.
+struct LinkVerdict {
+  FaultKind kind = FaultKind::kNone;
+  bool dropped = false;     ///< the message never arrives (partition)
+  bool duplicated = false;  ///< the message arrives twice
+  Micros delay_micros = 0;  ///< extra delivery latency (already charged)
 };
 
 /// Deterministic, clock-charging fault source. Not thread-safe (the whole
@@ -85,6 +109,15 @@ class FaultInjector {
   /// error message.
   Status OnOperation(const std::string& op_name);
 
+  /// The per-message decision point for a replication / network link.
+  /// Shares the op counter and scripted schedule with OnOperation (so
+  /// ScheduleFault/ScheduleOutage script link faults too) but draws its
+  /// own dice from the link knobs: a FaultInjector used only through
+  /// OnOperation consumes exactly the same Rng stream as before the link
+  /// kinds existed. \p op_name only labels nothing here — it is kept for
+  /// symmetry and future tracing.
+  LinkVerdict OnLinkOperation(const std::string& op_name);
+
   /// Applies content truncation with the configured probability. Returns
   /// true when \p content was truncated.
   bool MaybeTruncate(std::string* content);
@@ -94,6 +127,9 @@ class FaultInjector {
   uint64_t faults_injected() const { return faults_injected_; }
   uint64_t truncations() const { return truncations_; }
   Micros latency_injected_micros() const { return latency_injected_micros_; }
+  uint64_t link_drops() const { return link_drops_; }
+  uint64_t link_duplicates() const { return link_duplicates_; }
+  uint64_t link_delays() const { return link_delays_; }
 
  private:
   void Charge(Micros micros);
@@ -106,6 +142,9 @@ class FaultInjector {
   uint64_t faults_injected_ = 0;
   uint64_t truncations_ = 0;
   Micros latency_injected_micros_ = 0;
+  uint64_t link_drops_ = 0;
+  uint64_t link_duplicates_ = 0;
+  uint64_t link_delays_ = 0;
 };
 
 }  // namespace idm

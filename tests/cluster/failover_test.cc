@@ -1,0 +1,244 @@
+// The replication tentpole's acceptance matrix (DESIGN.md §12): the primary
+// of a 1-shard × 2-replica group is killed after every workload round, under
+// every link fault kind on replica 0's link (replica 1's link stays clean),
+// across several seeds. Every combination must promote deterministically
+// (exactly failure_threshold probe intervals after the kill), lose no
+// acknowledged fsynced mutation (the promoted primary is byte-identical to
+// the dead primary's durable state), and degrade — never go stale — on
+// linearizable reads while the shard has no primary.
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace idm::cluster {
+namespace {
+
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  storage::Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+Status SeedFs(vfs::VirtualFileSystem& fs) {
+  IDM_RETURN_NOT_OK(fs.CreateFolder("/Projects/PIM"));
+  IDM_RETURN_NOT_OK(
+      fs.WriteFile("/Projects/PIM/notes.txt", "database tuning notes"));
+  return fs.WriteFile("/Projects/readme.txt", "failover quickstart");
+}
+
+struct LinkFaultCase {
+  const char* name;
+  double partition = 0.0;
+  double duplicate = 0.0;
+  double delay = 0.0;
+};
+
+TEST(ClusterFailover, KillThePrimaryMatrix) {
+  const std::vector<LinkFaultCase> kinds = {
+      {"clean"},
+      {"partition", /*partition=*/0.35},
+      {"duplicate", 0.0, /*duplicate=*/0.5},
+      {"delay", 0.0, 0.0, /*delay=*/0.5},
+  };
+  const std::vector<std::string> payload_words = {"alpha", "bravo", "charlie",
+                                                  "delta"};
+
+  for (const LinkFaultCase& kind : kinds) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      for (size_t kill_round = 1; kill_round <= payload_words.size();
+           ++kill_round) {
+        SCOPED_TRACE(std::string("kind=") + kind.name + " seed=" +
+                     std::to_string(seed) + " kill_round=" +
+                     std::to_string(kill_round));
+
+        Cluster::Config config;
+        config.shards = 1;
+        config.replicas_per_shard = 2;
+        config.seed = seed;
+        Cluster cluster(config);
+        ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+        ShardGroup& shard = cluster.shard(0);
+
+        // The faulty link feeds replica 0 only; replica 1's link stays
+        // clean, so with ship-on-commit every fsynced mutation reaches at
+        // least one replica — the "no acknowledged write lost" premise.
+        FaultInjector link0(seed * 100 + 7, cluster.clock());
+        FaultConfig faults;
+        faults.partition_probability = kind.partition;
+        faults.duplicate_probability = kind.duplicate;
+        faults.delay_probability = kind.delay;
+        faults.fault_latency_micros = 100;
+        link0.set_config(faults);
+        shard.set_replica_link(0, &link0);
+
+        auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+        ASSERT_TRUE(SeedFs(*fs).ok());
+        ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+        for (size_t r = 0; r < kill_round; ++r) {
+          ASSERT_TRUE(fs->WriteFile(
+                            "/Projects/round" + std::to_string(r) + ".txt",
+                            "failover payload " + payload_words[r])
+                          .ok());
+          rvm::SyncStats polled = cluster.PollAll();
+          ASSERT_EQ(polled.failed, 0u);
+        }
+
+        // Everything the primary acknowledged is fsynced (kEveryCommit):
+        // its current image IS its durable prefix.
+        const std::string durable_image = Image(shard.primary()->module());
+        const uint64_t durable_epoch = shard.primary()->module().epoch();
+        shard.KillPrimary();
+        ASSERT_EQ(shard.primary(), nullptr);
+
+        // While the shard has no primary, a linearizable read degrades per
+        // the partial-result contract: an honest hole, never a stale row.
+        Result<Cluster::QueryOutcome> degraded = cluster.Query(
+            "\"failover payload " + payload_words[kill_round - 1] + "\"",
+            iql::QueryOptions{});
+        ASSERT_TRUE(degraded.ok()) << degraded.status();
+        EXPECT_FALSE(degraded->meta.complete);
+        EXPECT_FALSE(degraded->meta.degraded_reason.empty());
+        EXPECT_EQ(degraded->merged.rows.size(), 0u);
+        EXPECT_EQ(degraded->meta.staleness_epochs, 0u);
+
+        // Deterministic promotion: the breaker needs failure_threshold (3)
+        // failed probes, one per Tick, each advancing the clock exactly one
+        // probe interval.
+        const Micros before = cluster.clock()->NowMicros();
+        ASSERT_TRUE(cluster.Tick().ok());
+        ASSERT_TRUE(cluster.Tick().ok());
+        EXPECT_EQ(shard.promotions(), 0u);
+        ASSERT_TRUE(cluster.Tick().ok());
+        EXPECT_EQ(shard.promotions(), 1u);
+        EXPECT_EQ(cluster.clock()->NowMicros() - before,
+                  3 * config.probe_interval_micros);
+
+        // The promoted replica is byte-identical to the dead primary's
+        // durable prefix — same structures, same epoch.
+        ASSERT_TRUE(shard.primary_alive());
+        EXPECT_EQ(Image(shard.primary()->module()), durable_image);
+        EXPECT_EQ(shard.primary()->module().epoch(), durable_epoch);
+
+        // And the shard serves complete linearizable reads again,
+        // including the last acknowledged round.
+        Result<Cluster::QueryOutcome> recovered = cluster.Query(
+            "\"failover payload " + payload_words[kill_round - 1] + "\"",
+            iql::QueryOptions{});
+        ASSERT_TRUE(recovered.ok()) << recovered.status();
+        EXPECT_TRUE(recovered->meta.complete);
+        EXPECT_EQ(recovered->merged.rows.size(), 1u);
+      }
+    }
+  }
+}
+
+TEST(ClusterFailover, MultiShardQueryDegradesAroundTheDeadShard) {
+  Cluster::Config config;
+  config.shards = 3;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  // One source per shard (names picked to hash onto shards 0, 1, 2).
+  const std::vector<std::string> words = {"zero", "one", "two"};
+  for (size_t target = 0; target < 3; ++target) {
+    std::string name;
+    for (int j = 0;; ++j) {
+      name = "Src" + std::to_string(j);
+      if (StableHash(name) % 3 == target && cluster.ShardOf(name) == target) {
+        break;
+      }
+    }
+    auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+    ASSERT_TRUE(fs->CreateFolder("/d").ok());
+    ASSERT_TRUE(
+        fs->WriteFile("/d/doc.txt", "degrade topic " + words[target]).ok());
+    ASSERT_TRUE(cluster.AddFileSystem(name, fs).ok());
+    ASSERT_EQ(cluster.ShardOf(name), target);
+  }
+
+  Result<Cluster::QueryOutcome> healthy =
+      cluster.Query("\"degrade topic\"", iql::QueryOptions{});
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->meta.complete);
+  EXPECT_EQ(healthy->shards_reached, 3u);
+  EXPECT_EQ(healthy->merged.rows.size(), 3u);
+
+  // Kill one shard: the routed query answers from the other two and says
+  // so, instead of erroring or silently pretending completeness.
+  cluster.shard(1).KillPrimary();
+  Result<Cluster::QueryOutcome> partial =
+      cluster.Query("\"degrade topic\"", iql::QueryOptions{});
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_FALSE(partial->meta.complete);
+  EXPECT_EQ(partial->shards_failed, 1u);
+  EXPECT_EQ(partial->merged.rows.size(), 2u);
+  std::set<std::string> peers;
+  for (const iql::FederatedRow& row : partial->merged.rows) {
+    peers.insert(row.peer);
+  }
+  EXPECT_EQ(peers, (std::set<std::string>{"shard0", "shard2"}));
+
+  // Three detector rounds later the shard's replica is primary and the
+  // full answer is back.
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.shard(1).primary_alive());
+  EXPECT_EQ(cluster.shard(1).promotions(), 1u);
+  Result<Cluster::QueryOutcome> healed =
+      cluster.Query("\"degrade topic\"", iql::QueryOptions{});
+  ASSERT_TRUE(healed.ok()) << healed.status();
+  EXPECT_TRUE(healed->meta.complete);
+  EXPECT_EQ(healed->merged.rows.size(), 3u);
+}
+
+TEST(ClusterFailover, DetectorFalsePositiveFencesThenPromotesWithoutLoss) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  ShardGroup& shard = cluster.shard(0);
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  const std::string image = Image(shard.primary()->module());
+  const uint64_t epoch = shard.primary()->module().epoch();
+  storage::MemEnv* suspected_env = shard.primary_env();
+
+  // The primary is perfectly healthy, but three probes in a row are lost.
+  // The detector cannot tell a dead primary from an unreachable one — it
+  // must fence the suspect (it may never accept another write) and promote.
+  FaultInjector probes(3);
+  probes.ScheduleOutage(0, 3, FaultKind::kUnavailable);
+  shard.set_probe_injector(&probes);
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.Tick().ok());
+  EXPECT_EQ(shard.promotions(), 0u);
+  ASSERT_TRUE(cluster.Tick().ok());
+  EXPECT_EQ(shard.promotions(), 1u);
+  EXPECT_TRUE(suspected_env->crashed());  // fenced
+  EXPECT_NE(shard.primary_env(), suspected_env);
+
+  // Because the (live) old primary had shipped every fsynced commit, the
+  // false positive loses nothing.
+  ASSERT_TRUE(shard.primary_alive());
+  EXPECT_EQ(Image(shard.primary()->module()), image);
+  EXPECT_EQ(shard.primary()->module().epoch(), epoch);
+  Result<Cluster::QueryOutcome> out =
+      cluster.Query("\"database tuning notes\"", iql::QueryOptions{});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->meta.complete);
+  EXPECT_EQ(out->merged.rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace idm::cluster

@@ -1,0 +1,132 @@
+// Satellite of the replication tentpole: a REPLICA is killed at every
+// mutating operation of its mirror env (mid-segment appends, mid-checkpoint
+// installs, CURRENT switches), under two page-cache writeback prefixes.
+// Every killed replica must Recover() to a commit boundary of its own
+// durable mirror, resume shipping from there, and end byte-identical to the
+// primary — with the mirror WAL an exact byte copy of the primary's. The
+// recovery path IS the PR-3 crash recovery path (StorageEngine::Open on the
+// mirror), so this matrix is the replica-side twin of the storage crash
+// matrix.
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace idm::cluster {
+namespace {
+
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  storage::Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+struct Rig {
+  std::unique_ptr<Cluster> cluster;
+  std::shared_ptr<vfs::VirtualFileSystem> fs;
+};
+
+// The scripted workload: seed + index, a modify round, a checkpoint (the
+// replica installs an image and switches generations — several distinct
+// kill windows), then two more rounds on the new generation. \p arm runs
+// right after cluster construction, before the first replicated commit —
+// the kill-matrix hook that attaches the injector to the replica's env.
+// The primary-side calls must keep succeeding even while the replica is
+// crashed: a dead replica is lag, never a write error.
+Status RunWorkload(Rig& r, const std::function<void(ReplicaNode&)>& arm) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  r.cluster = std::make_unique<Cluster>(config);
+  IDM_RETURN_NOT_OK(r.cluster->status());
+  if (arm) arm(r.cluster->shard(0).replica(0));
+
+  r.fs = std::make_shared<vfs::VirtualFileSystem>(r.cluster->clock());
+  IDM_RETURN_NOT_OK(r.fs->CreateFolder("/Projects/PIM"));
+  IDM_RETURN_NOT_OK(
+      r.fs->WriteFile("/Projects/PIM/notes.txt", "database tuning notes"));
+  IDM_RETURN_NOT_OK(r.cluster->AddFileSystem("Filesystem", r.fs).status());
+
+  IDM_RETURN_NOT_OK(
+      r.fs->WriteFile("/Projects/PIM/notes.txt", "rewritten tuning notes"));
+  r.cluster->PollAll();
+
+  IDM_RETURN_NOT_OK(r.cluster->CheckpointAll());
+
+  IDM_RETURN_NOT_OK(
+      r.fs->WriteFile("/Projects/PIM/fresh.txt", "fresh dataspace entry"));
+  r.cluster->PollAll();
+  IDM_RETURN_NOT_OK(r.fs->Remove("/Projects/PIM/notes.txt"));
+  r.cluster->PollAll();
+  return Status::OK();
+}
+
+TEST(ReplicaCrashMatrix, KilledReplicaRecoversAndCatchesUpAtEveryKillPoint) {
+  // Dry run: how many mirror-env ops the workload performs, and proof the
+  // clean run already converges (ship-on-commit).
+  uint64_t total_ops = 0;
+  {
+    Rig dry;
+    Status status = RunWorkload(dry, nullptr);
+    ASSERT_TRUE(status.ok()) << status;
+    ShardGroup& shard = dry.cluster->shard(0);
+    total_ops = shard.replica(0).env()->mutating_ops();
+    ASSERT_EQ(Image(shard.replica(0).serving()->module()),
+              Image(shard.primary()->module()));
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  for (uint64_t writeback : {uint64_t{0}, uint64_t{7}}) {
+    for (uint64_t k = 0; k < total_ops; ++k) {
+      SCOPED_TRACE("writeback=" + std::to_string(writeback) + " kill_op=" +
+                   std::to_string(k));
+      FaultInjector injector(1);
+      injector.ScheduleFault(k, FaultKind::kIoError);
+      Rig run;
+      Status status = RunWorkload(run, [&](ReplicaNode& node) {
+        node.env()->set_crash_writeback_bytes(writeback);
+        node.env()->SetFaultInjector(&injector);
+      });
+      // The workload itself must have survived the replica's death.
+      ASSERT_TRUE(status.ok()) << status;
+      ShardGroup& shard = run.cluster->shard(0);
+      ReplicaNode& node = shard.replica(0);
+      node.env()->SetFaultInjector(nullptr);
+      ASSERT_TRUE(node.env()->crashed()) << "kill point never reached";
+
+      // Reboot the machine, recover the mirror, resume shipping.
+      node.env()->Reboot();
+      Status recovered = node.Recover();
+      ASSERT_TRUE(recovered.ok()) << recovered;
+      Status shipped = shard.Ship();
+      ASSERT_TRUE(shipped.ok()) << shipped;
+
+      // Byte-identical to the primary: structures, epoch, sequence — and
+      // the durable mirror WAL is the same bytes as the primary's.
+      iql::Dataspace* primary = shard.primary();
+      EXPECT_EQ(Image(node.serving()->module()), Image(primary->module()));
+      EXPECT_EQ(node.epoch(), primary->module().epoch());
+      EXPECT_EQ(node.applied_seq(), primary->storage_engine()->commit_seq());
+      EXPECT_EQ(node.generation(), primary->storage_engine()->generation());
+      Result<std::string> primary_wal =
+          primary->storage_engine()->env()->ReadFile(
+              primary->storage_engine()->LiveWalPath());
+      Result<std::string> mirror_wal = node.env()->ReadFile(
+          "replica/wal-" + std::to_string(node.generation()) + ".log");
+      ASSERT_TRUE(primary_wal.ok() && mirror_wal.ok());
+      EXPECT_EQ(*mirror_wal, *primary_wal);
+
+      // Re-shipping after catch-up is a no-op (idempotent receipt).
+      const uint64_t bytes_before = node.bytes_applied();
+      ASSERT_TRUE(shard.Ship().ok());
+      EXPECT_EQ(node.bytes_applied(), bytes_before);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace idm::cluster

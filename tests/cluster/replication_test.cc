@@ -1,0 +1,337 @@
+// WAL-shipping replication (DESIGN.md §12): ship-on-commit keeps replicas
+// byte-identical to the primary, checkpoint images cross generations,
+// re-delivery is idempotent, partitions produce lag (reported as staleness)
+// rather than loss, the router pins placements across AddShard, and the
+// single-shard zero-replica configuration stays byte-identical to the plain
+// durable Dataspace path.
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace idm::cluster {
+namespace {
+
+// Structure-state fingerprint, engine sequence excluded (the same oracle
+// the PR-3 crash matrix compares with).
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  storage::Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+Status SeedFs(vfs::VirtualFileSystem& fs) {
+  IDM_RETURN_NOT_OK(fs.CreateFolder("/Projects/PIM"));
+  IDM_RETURN_NOT_OK(fs.WriteFile("/Projects/PIM/paper.tex",
+                                 "\\documentclass{article}\\begin{document}"
+                                 "\\section{Introduction}dataspace vision"
+                                 "\\end{document}"));
+  IDM_RETURN_NOT_OK(
+      fs.WriteFile("/Projects/PIM/notes.txt", "database tuning notes"));
+  return fs.WriteFile("/Projects/readme.txt", "replication quickstart");
+}
+
+void ExpectReplicasMatchPrimary(ShardGroup& shard) {
+  ASSERT_TRUE(shard.primary_alive());
+  const std::string primary_image = Image(shard.primary()->module());
+  const uint64_t primary_epoch = shard.primary()->module().epoch();
+  const uint64_t head = shard.primary()->storage_engine()->commit_seq();
+  for (size_t r = 0; r < shard.replica_count(); ++r) {
+    ReplicaNode& node = shard.replica(r);
+    SCOPED_TRACE(node.name());
+    ASSERT_NE(node.serving(), nullptr);
+    EXPECT_EQ(Image(node.serving()->module()), primary_image);
+    EXPECT_EQ(node.epoch(), primary_epoch);
+    EXPECT_EQ(node.applied_seq(), head);
+  }
+}
+
+TEST(ClusterReplication, ShipOnCommitKeepsReplicasByteIdentical) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 2;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  ASSERT_TRUE(
+      fs->WriteFile("/Projects/PIM/notes.txt", "rewritten tuning notes").ok());
+  cluster.PollAll();
+
+  ShardGroup& shard = cluster.shard(0);
+  EXPECT_GT(shard.primary()->storage_engine()->commit_seq(), 0u);
+  EXPECT_GT(shard.ship_totals().segments, 0u);
+  EXPECT_EQ(shard.ship_totals().failed, 0u);
+  ExpectReplicasMatchPrimary(shard);
+}
+
+TEST(ClusterReplication, CheckpointShipsTheImageAcrossGenerations) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+
+  ShardGroup& shard = cluster.shard(0);
+  ASSERT_TRUE(shard.Checkpoint().ok());
+  EXPECT_GE(shard.primary()->storage_engine()->generation(), 1u);
+  EXPECT_EQ(shard.replica(0).generation(),
+            shard.primary()->storage_engine()->generation());
+  EXPECT_GE(shard.replica(0).checkpoints_installed(), 1u);
+  ExpectReplicasMatchPrimary(shard);
+
+  // The replica follows the new generation's WAL from byte 0.
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/fresh.txt", "fresh entry").ok());
+  cluster.PollAll();
+  ExpectReplicasMatchPrimary(shard);
+  EXPECT_GT(shard.replica(0).wal_bytes(), 0u);
+}
+
+TEST(ClusterReplication, RedeliveryOfAppliedSegmentsIsANoOp) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  cluster.PollAll();
+
+  ShardGroup& shard = cluster.shard(0);
+  ReplicaNode& node = shard.replica(0);
+  ExpectReplicasMatchPrimary(shard);
+
+  storage::StorageEngine* engine = shard.primary()->storage_engine();
+  Result<std::string> wal = engine->env()->ReadFile(engine->LiveWalPath());
+  ASSERT_TRUE(wal.ok());
+  const std::string image_before = Image(node.serving()->module());
+  const uint64_t applied_before = node.applied_seq();
+  const uint64_t duplicates_before = node.duplicates();
+
+  // Full re-delivery of the whole applied WAL: a no-op, counted.
+  ASSERT_TRUE(node.AppendWal(engine->generation(), 0, *wal).ok());
+  EXPECT_EQ(Image(node.serving()->module()), image_before);
+  EXPECT_EQ(node.applied_seq(), applied_before);
+  EXPECT_EQ(node.duplicates(), duplicates_before + 1);
+
+  // Re-delivered checkpoint for a generation already followed: a no-op.
+  ASSERT_TRUE(node.InstallCheckpoint(engine->generation(), "junk").ok());
+  EXPECT_EQ(Image(node.serving()->module()), image_before);
+
+  // A gap is refused (the shipper resyncs), not silently applied.
+  EXPECT_EQ(
+      node.AppendWal(engine->generation(), node.wal_bytes() + 1, "x").code(),
+      StatusCode::kUnavailable);
+}
+
+TEST(ClusterReplication, DuplicatedLinkDeliveriesAreIdempotent) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  FaultInjector link(5, cluster.clock());
+  FaultConfig link_config;
+  link_config.duplicate_probability = 1.0;  // every delivery arrives twice
+  link.set_config(link_config);
+  cluster.shard(0).set_replica_link(0, &link);
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/more.txt", "more content").ok());
+  cluster.PollAll();
+
+  ShardGroup& shard = cluster.shard(0);
+  EXPECT_GT(link.link_duplicates(), 0u);
+  EXPECT_GT(shard.replica(0).duplicates(), 0u);
+  EXPECT_GT(shard.ship_totals().duplicates, 0u);
+  ExpectReplicasMatchPrimary(shard);
+}
+
+TEST(ClusterReplication, PartitionCausesLagNotLossAndStalenessIsReported) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 2;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  cluster.PollAll();
+  ExpectReplicasMatchPrimary(cluster.shard(0));
+
+  // Partition both replica links, then mutate: every ship drops.
+  FaultInjector link0(5), link1(6);
+  FaultConfig partitioned;
+  partitioned.partition_probability = 1.0;
+  partitioned.fault_latency_micros = 0;
+  link0.set_config(partitioned);
+  link1.set_config(partitioned);
+  ShardGroup& shard = cluster.shard(0);
+  shard.set_replica_link(0, &link0);
+  shard.set_replica_link(1, &link1);
+
+  ASSERT_TRUE(
+      fs->WriteFile("/Projects/PIM/partitioned.txt", "written during the cut")
+          .ok());
+  cluster.PollAll();
+  EXPECT_GT(shard.ship_totals().drops, 0u);
+  EXPECT_GT(shard.ship_totals().failed, 0u);
+  const uint64_t head = shard.primary()->storage_engine()->commit_seq();
+  EXPECT_LT(shard.replica(0).applied_seq(), head);
+  EXPECT_LT(shard.replica(1).applied_seq(), head);
+
+  // linearizable: current answer, zero staleness. stale_ok: the lagging
+  // replica serves, and the lag is reported in epochs.
+  iql::QueryOptions linearizable;
+  Result<Cluster::QueryOutcome> fresh =
+      cluster.Query("\"written during the cut\"", linearizable);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  EXPECT_TRUE(fresh->meta.complete);
+  EXPECT_EQ(fresh->meta.staleness_epochs, 0u);
+  EXPECT_EQ(fresh->merged.rows.size(), 1u);
+
+  iql::QueryOptions stale;
+  stale.read_mode = iql::ReadMode::kStaleOk;
+  Result<Cluster::QueryOutcome> lagged =
+      cluster.Query("\"written during the cut\"", stale);
+  ASSERT_TRUE(lagged.ok()) << lagged.status();
+  EXPECT_GT(lagged->meta.staleness_epochs, 0u);
+  EXPECT_EQ(lagged->merged.rows.size(), 0u);  // the replica has not seen it
+
+  // Heal the partition: the next ship round catches both replicas up.
+  FaultConfig healed;
+  link0.set_config(healed);
+  link1.set_config(healed);
+  cluster.ShipAll();
+  ExpectReplicasMatchPrimary(shard);
+  Result<Cluster::QueryOutcome> caught_up =
+      cluster.Query("\"written during the cut\"", stale);
+  ASSERT_TRUE(caught_up.ok()) << caught_up.status();
+  EXPECT_EQ(caught_up->meta.staleness_epochs, 0u);
+  EXPECT_EQ(caught_up->merged.rows.size(), 1u);
+}
+
+TEST(ClusterReplication, SingleShardZeroReplicaMatchesStandaloneDataspace) {
+  // The standalone durable dataspace of PR 3.
+  storage::MemEnv standalone_env;
+  iql::Dataspace::Config dconfig;
+  dconfig.storage_dir = "primary";
+  dconfig.env = &standalone_env;
+  Result<std::unique_ptr<iql::Dataspace>> standalone =
+      iql::Dataspace::Open(dconfig);
+  ASSERT_TRUE(standalone.ok()) << standalone.status();
+  auto standalone_fs =
+      std::make_shared<vfs::VirtualFileSystem>((*standalone)->clock());
+  ASSERT_TRUE(SeedFs(*standalone_fs).ok());
+  ASSERT_TRUE((*standalone)->AddFileSystem("Filesystem", standalone_fs).ok());
+  ASSERT_TRUE(
+      standalone_fs->WriteFile("/Projects/PIM/notes.txt", "second draft").ok());
+  ASSERT_TRUE((*standalone)->sync().Poll().ok());
+
+  // The same workload through a 1-shard, 0-replica cluster.
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 0;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  auto cluster_fs = std::make_shared<vfs::VirtualFileSystem>(
+      cluster.shard(0).primary()->clock());
+  ASSERT_TRUE(SeedFs(*cluster_fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", cluster_fs).ok());
+  ASSERT_TRUE(
+      cluster_fs->WriteFile("/Projects/PIM/notes.txt", "second draft").ok());
+  cluster.PollAll();
+
+  // Byte-identical structures, epoch, AND durable files.
+  iql::Dataspace* routed = cluster.shard(0).primary();
+  EXPECT_EQ(Image(routed->module()), Image((*standalone)->module()));
+  EXPECT_EQ(routed->module().epoch(), (*standalone)->module().epoch());
+  Result<std::string> standalone_wal =
+      standalone_env.ReadFile("primary/wal-0.log");
+  Result<std::string> cluster_wal =
+      cluster.shard(0).primary_env()->ReadFile("primary/wal-0.log");
+  ASSERT_TRUE(standalone_wal.ok() && cluster_wal.ok());
+  EXPECT_EQ(*cluster_wal, *standalone_wal);
+
+  // And the routed query returns what the direct query returns.
+  Result<iql::QueryResult> direct = (*standalone)->Query("\"second draft\"");
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  Result<Cluster::QueryOutcome> merged =
+      cluster.Query("\"second draft\"", iql::QueryOptions{});
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_TRUE(merged->meta.complete);
+  EXPECT_EQ(merged->merged.rows.size(), direct->rows.size());
+}
+
+TEST(ClusterReplication, AddShardPinsPlacementsAndScatterGathersQueries) {
+  Cluster::Config config;
+  config.shards = 2;
+  config.replicas_per_shard = 1;
+  config.federation.threads = 3;  // scatter-gather fan-out (TSan payload)
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+
+  auto fs_a = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(fs_a->CreateFolder("/a").ok());
+  ASSERT_TRUE(fs_a->WriteFile("/a/one.txt", "cluster topic alpha").ok());
+  ASSERT_TRUE(cluster.AddFileSystem("SourceA", fs_a).ok());
+  auto fs_b = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(fs_b->CreateFolder("/b").ok());
+  ASSERT_TRUE(fs_b->WriteFile("/b/two.txt", "cluster topic beta").ok());
+  ASSERT_TRUE(cluster.AddFileSystem("SourceB", fs_b).ok());
+
+  const size_t placed_a = cluster.ShardOf("SourceA");
+  const size_t placed_b = cluster.ShardOf("SourceB");
+
+  cluster.AddShard();
+  ASSERT_EQ(cluster.shard_count(), 3u);
+  // Existing placements are pinned — no resharding on scale-out.
+  EXPECT_EQ(cluster.ShardOf("SourceA"), placed_a);
+  EXPECT_EQ(cluster.ShardOf("SourceB"), placed_b);
+
+  // A source whose name hashes onto the new shard lands there.
+  std::string fresh_name;
+  for (int i = 0;; ++i) {
+    fresh_name = "SourceFresh" + std::to_string(i);
+    if (StableHash(fresh_name) % 3 == 2) break;
+  }
+  auto fs_c = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(fs_c->CreateFolder("/c").ok());
+  ASSERT_TRUE(fs_c->WriteFile("/c/three.txt", "cluster topic gamma").ok());
+  ASSERT_TRUE(cluster.AddSource(std::make_shared<rvm::FileSystemSource>(
+                         fresh_name, fs_c, "/"))
+                  .ok());
+  EXPECT_EQ(cluster.ShardOf(fresh_name), 2u);
+  EXPECT_GT(cluster.shard(2).primary()->module().mutation_count(), 0u);
+
+  // One routed query scatter-gathers across all three shards.
+  Result<Cluster::QueryOutcome> out =
+      cluster.Query("\"cluster topic\"", iql::QueryOptions{});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_TRUE(out->meta.complete);
+  EXPECT_EQ(out->shards_reached, 3u);
+  std::set<std::string> peers;
+  for (const iql::FederatedRow& row : out->merged.rows) {
+    peers.insert(row.peer);
+  }
+  EXPECT_EQ(peers, (std::set<std::string>{"shard0", "shard1", "shard2"}));
+}
+
+}  // namespace
+}  // namespace idm::cluster

@@ -119,6 +119,49 @@ TEST_F(DurableDataspaceTest, CheckpointBoundsReplayOnRestart) {
       (*ds)->module().catalog().Find("vfs:/Projects/PIM/late.txt").has_value());
 }
 
+TEST_F(DurableDataspaceTest, RecoveryOutcomeSurfacesInStatsAndMetrics) {
+  {
+    auto ds = Dataspace::Open(DurableConfig());
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    ASSERT_TRUE((*ds)->AddFileSystem("Filesystem", fs_).ok());
+    ASSERT_TRUE((*ds)->Checkpoint().ok());
+    ASSERT_TRUE(
+        fs_->WriteFile("/Projects/PIM/late.txt", "after the checkpoint").ok());
+    ASSERT_TRUE((*ds)->sync().ProcessNotifications().ok());
+    ASSERT_TRUE((*ds)->SyncStorage().ok());
+  }
+  Dataspace::Config config = DurableConfig();
+  config.observability.enabled = true;
+  auto ds = Dataspace::Open(config);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+
+  // The one-call introspection snapshot carries what recovery found ...
+  DataspaceStats stats = (*ds)->Stats();
+  EXPECT_TRUE(stats.recovery.had_checkpoint);
+  EXPECT_FALSE(stats.recovery.checkpoint_fallback);
+  EXPECT_GE(stats.recovery.generation, 1u);
+  EXPECT_GT(stats.recovery.replayed_mutations, 0u);
+  EXPECT_GT(stats.recovery.last_commit_seq, 0u);
+
+  // ... and the same outcome is exported through the metrics registry, so
+  // a fleet dashboard sees recovery behavior without bespoke plumbing.
+  const auto& gauges = stats.metrics.gauges;
+  const auto& counters = stats.metrics.counters;
+  ASSERT_TRUE(gauges.count("storage.recovery.generation"));
+  EXPECT_EQ(gauges.at("storage.recovery.generation"),
+            static_cast<int64_t>(stats.recovery.generation));
+  ASSERT_TRUE(gauges.count("storage.recovery.had_checkpoint"));
+  EXPECT_EQ(gauges.at("storage.recovery.had_checkpoint"), 1);
+  ASSERT_TRUE(gauges.count("storage.recovery.checkpoint_fallback"));
+  EXPECT_EQ(gauges.at("storage.recovery.checkpoint_fallback"), 0);
+  ASSERT_TRUE(counters.count("storage.recovery.replayed_mutations"));
+  EXPECT_EQ(counters.at("storage.recovery.replayed_mutations"),
+            stats.recovery.replayed_mutations);
+  ASSERT_TRUE(gauges.count("storage.recovery.last_commit_seq"));
+  EXPECT_EQ(gauges.at("storage.recovery.last_commit_seq"),
+            static_cast<int64_t>(stats.recovery.last_commit_seq));
+}
+
 TEST_F(DurableDataspaceTest, ColdRestartAttachesSourceWithoutReindexing) {
   {
     auto ds = Dataspace::Open(DurableConfig());

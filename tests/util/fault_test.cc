@@ -146,6 +146,102 @@ TEST(FaultInjectorTest, FaultKindNames) {
   EXPECT_STREQ(FaultKindToString(FaultKind::kUnavailable), "unavailable");
   EXPECT_STREQ(FaultKindToString(FaultKind::kLatencySpike), "latency spike");
   EXPECT_STREQ(FaultKindToString(FaultKind::kTruncate), "truncate");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kPartition), "partition");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kDelay), "delay");
+  EXPECT_STREQ(FaultKindToString(FaultKind::kDuplicate), "duplicate");
+}
+
+// --- link-level fault kinds (replication links, DESIGN.md §12) -------------
+
+TEST(FaultInjectorTest, LinkFaultsFollowTheLinkKnobs) {
+  SimClock clock;
+  FaultInjector injector(11, &clock);
+  FaultConfig config;
+  config.partition_probability = 0.25;
+  config.duplicate_probability = 0.2;
+  config.delay_probability = 0.1;
+  config.delay_micros = 5000;
+  config.fault_latency_micros = 1000;
+  injector.set_config(config);
+
+  uint64_t drops = 0, duplicates = 0, delays = 0;
+  for (int i = 0; i < 1000; ++i) {
+    LinkVerdict verdict = injector.OnLinkOperation("ship");
+    if (verdict.dropped) ++drops;
+    if (verdict.duplicated) ++duplicates;
+    if (verdict.delay_micros > 0) ++delays;
+  }
+  EXPECT_EQ(drops, injector.link_drops());
+  EXPECT_EQ(duplicates, injector.link_duplicates());
+  EXPECT_EQ(delays, injector.link_delays());
+  // Binomial bands: far outside would indicate a bug, not bad luck.
+  EXPECT_GT(drops, 180u);
+  EXPECT_LT(drops, 320u);
+  EXPECT_GT(duplicates, 90u);
+  EXPECT_GT(delays, 30u);
+  // Every delayed delivery charged its latency, every drop its fault cost.
+  EXPECT_EQ(injector.latency_injected_micros(),
+            static_cast<Micros>(delays * 5000 + drops * 1000));
+  EXPECT_EQ(clock.NowMicros() - SimClock::kDefaultEpochMicros,
+            injector.latency_injected_micros());
+}
+
+TEST(FaultInjectorTest, ScriptedLinkFaults) {
+  FaultInjector injector(1);
+  injector.ScheduleFault(1, FaultKind::kPartition);
+  injector.ScheduleFault(2, FaultKind::kDuplicate);
+  injector.ScheduleFault(3, FaultKind::kDelay);
+
+  EXPECT_EQ(injector.OnLinkOperation("ship").kind, FaultKind::kNone);
+  EXPECT_TRUE(injector.OnLinkOperation("ship").dropped);
+  EXPECT_TRUE(injector.OnLinkOperation("ship").duplicated);
+  LinkVerdict delayed = injector.OnLinkOperation("ship");
+  EXPECT_EQ(delayed.kind, FaultKind::kDelay);
+  EXPECT_GT(delayed.delay_micros, 0);
+  EXPECT_EQ(injector.OnLinkOperation("ship").kind, FaultKind::kNone);
+}
+
+TEST(FaultInjectorTest, OnOperationStreamUnchangedByLinkKnobs) {
+  // FlakySource/ResilientSource pin: configuring the link-level knobs must
+  // not shift the Rng stream OnOperation consumes — an op-level scenario
+  // replays bit-identically whether or not the injector also models a link.
+  std::vector<StatusCode> plain, with_link_knobs;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjector injector(7);
+    FaultConfig config;
+    config.fault_probability = 0.3;
+    config.latency_spike_probability = 0.1;
+    if (run == 1) {
+      config.partition_probability = 0.9;
+      config.duplicate_probability = 0.9;
+      config.delay_probability = 0.9;
+    }
+    injector.set_config(config);
+    auto& codes = run == 0 ? plain : with_link_knobs;
+    for (int i = 0; i < 300; ++i) {
+      codes.push_back(injector.OnOperation("op").code());
+    }
+  }
+  EXPECT_EQ(plain, with_link_knobs);
+}
+
+TEST(FaultInjectorTest, ScriptedLinkKindsOnPlainOpsDegradeConservatively) {
+  SimClock clock;
+  FaultInjector injector(1, &clock);
+  FaultConfig config;
+  config.delay_micros = 7000;
+  injector.set_config(config);
+  injector.ScheduleFault(0, FaultKind::kPartition);
+  injector.ScheduleFault(1, FaultKind::kDelay);
+  injector.ScheduleFault(2, FaultKind::kDuplicate);
+
+  // A partition on a plain op is an outage; a delay is extra latency; a
+  // duplicate is meaningless for an executed-once op and stays a no-op.
+  EXPECT_EQ(injector.OnOperation("op").code(), StatusCode::kUnavailable);
+  Micros before = clock.NowMicros();
+  EXPECT_TRUE(injector.OnOperation("op").ok());
+  EXPECT_EQ(clock.NowMicros() - before, 7000);
+  EXPECT_TRUE(injector.OnOperation("op").ok());
 }
 
 }  // namespace
