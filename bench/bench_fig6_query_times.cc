@@ -158,6 +158,9 @@ int main() {
   std::printf("  final size (forward expansion, paper's explanation): see\n");
   std::printf("  bench_table4_queries for the expanded-views column.\n");
 
-  WriteParallelJson("BENCH_fig6_parallel.json", "fig6_query_times", rows);
+  WriteParallelJson(
+      "BENCH_fig6_parallel.json",
+      MetaFor("fig6_query_times", workload::DataspaceSpec::PaperScale()),
+      rows);
   return all_identical ? 0 : 1;
 }

@@ -1,0 +1,126 @@
+// Declarative workload runner (DESIGN.md §13).
+//
+// Usage: bench_loadgen <spec-file> [--out PATH] [--no-wall] [--threads N]
+//
+// Parses a loadgen workload spec, runs its phase schedule through the
+// orchestrator on the simulated clock, prints the per-phase table, and
+// writes the report to BENCH_loadgen.json (or --out). All latencies are
+// *simulated* microseconds; everything outside the JSON's "wall" object is
+// a pure function of (spec, seed) — running the same spec twice, or with a
+// different --threads, produces byte-identical deterministic fields
+// (--no-wall drops the wall object so whole files can be diffed).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "loadgen/orchestrator.h"
+
+using namespace idm;
+using namespace idm::loadgen;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <spec-file> [--out PATH] [--no-wall] "
+               "[--threads N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string out_path = "BENCH_loadgen.json";
+  bool include_wall = true;
+  size_t threads = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-wall") == 0) {
+      include_wall = false;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (spec_path.empty()) {
+      spec_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (spec_path.empty()) return Usage(argv[0]);
+
+  std::ifstream in(spec_path);
+  if (!in) {
+    std::fprintf(stderr, "bench_loadgen: cannot read %s\n",
+                 spec_path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  auto spec = ParseSpec(text.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "bench_loadgen: %s: %s\n", spec_path.c_str(),
+                 spec.status().ToString().c_str());
+    return 1;
+  }
+
+  Orchestrator::Options options;
+  options.threads = threads;
+  options.verbose = true;
+  Orchestrator orchestrator(options);
+  auto report = orchestrator.Run(*spec);
+  if (!report.ok()) {
+    std::fprintf(stderr, "bench_loadgen: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nworkload %s  seed %llu  scale %s  threads %zu\n",
+              report->workload.c_str(),
+              static_cast<unsigned long long>(report->seed),
+              report->scale.c_str(), report->threads);
+  std::printf("%-18s %8s %8s %8s %8s %8s %10s %10s %10s\n", "phase", "sim_ms",
+              "issued", "served", "shed", "degr", "p50 [us]", "p99 [us]",
+              "p999 [us]");
+  for (int i = 0; i < 96; ++i) std::putchar('-');
+  std::putchar('\n');
+  for (const PhaseReport& p : report->phases) {
+    std::printf("%-18s %8lld %8llu %8llu %8llu %8llu %10lld %10lld %10lld\n",
+                p.name.c_str(),
+                static_cast<long long>((p.sim_end - p.sim_start) / 1000),
+                static_cast<unsigned long long>(p.issued),
+                static_cast<unsigned long long>(p.served),
+                static_cast<unsigned long long>(p.shed_queue_full +
+                                                p.shed_timeout),
+                static_cast<unsigned long long>(p.degraded),
+                static_cast<long long>(p.latency.p50),
+                static_cast<long long>(p.latency.p99),
+                static_cast<long long>(p.latency.p999));
+  }
+  for (int i = 0; i < 96; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("totals: issued %llu, served %llu, shed %llu, degraded %llu, "
+              "failed %llu  (wall %.2fs)\n",
+              static_cast<unsigned long long>(report->total_issued),
+              static_cast<unsigned long long>(report->total_served),
+              static_cast<unsigned long long>(report->total_shed),
+              static_cast<unsigned long long>(report->total_degraded),
+              static_cast<unsigned long long>(report->total_failed),
+              report->wall_seconds);
+
+  if (report->total_failed > 0) {
+    std::fprintf(stderr, "bench_loadgen: %llu ops failed\n",
+                 static_cast<unsigned long long>(report->total_failed));
+  }
+  if (!WriteReportJson(out_path, *report, include_wall)) return 1;
+  return report->total_failed == 0 ? 0 : 1;
+}

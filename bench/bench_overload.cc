@@ -130,14 +130,16 @@ Scenario RunScenario(const iql::Dataspace& ds, int load_x, bool shedding,
   return scenario;
 }
 
-bool WriteGovernanceJson(const std::string& path, double service_ms,
+bool WriteGovernanceJson(const std::string& path, const BenchMeta& meta,
+                         double service_ms,
                          const std::vector<Scenario>& scenarios) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"bench\": \"governance_overload\",\n");
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": %s,\n",
+               meta.bench.c_str(), MetaJson(meta).c_str());
   std::fprintf(f, "  \"service_ms\": %.4f,\n  \"rows\": [\n", service_ms);
   for (size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
@@ -145,10 +147,13 @@ bool WriteGovernanceJson(const std::string& path, double service_ms,
                  "    {\"load_x\": %d, \"shedding\": %s, \"requests\": %d, "
                  "\"served\": %d, \"shed\": %d, \"failed\": %d, "
                  "\"shed_fraction\": %.4f, \"p50_ms\": %.3f, "
-                 "\"p99_ms\": %.3f}%s\n",
+                 "\"p99_ms\": %.3f, \"phase\": \"%s\"}%s\n",
                  s.load_x, s.shedding ? "true" : "false", kRequests, s.served,
                  s.shed, s.failed,
                  static_cast<double>(s.shed) / kRequests, s.p50_ms, s.p99_ms,
+                 (std::to_string(s.load_x) + "x_" +
+                  (s.shedding ? "shed" : "noshed"))
+                     .c_str(),
                  i + 1 < scenarios.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -209,7 +214,11 @@ int main() {
       "every load; without it the backlog pushes tail latency without "
       "bound.\n");
 
-  return WriteGovernanceJson("BENCH_governance.json", service_ms, scenarios)
+  BenchMeta meta =
+      MetaFor("governance_overload", workload::DataspaceSpec::Small());
+  meta.phase = "overload_matrix";
+  return WriteGovernanceJson("BENCH_governance.json", meta, service_ms,
+                             scenarios)
              ? 0
              : 1;
 }

@@ -162,6 +162,9 @@ int main() {
   std::printf("all configurations identical to serial: %s\n",
               all_identical ? "YES" : "NO");
 
-  WriteParallelJson("BENCH_parallel.json", "parallel_scaling", rows);
+  WriteParallelJson(
+      "BENCH_parallel.json",
+      MetaFor("parallel_scaling", workload::DataspaceSpec::PaperScale()),
+      rows);
   return all_identical ? 0 : 1;
 }

@@ -60,7 +60,29 @@ const std::vector<PaperQuery>& Table4Queries() {
   return kQueries;
 }
 
-bool WriteParallelJson(const std::string& path, const std::string& bench,
+BenchMeta MetaFor(const std::string& bench,
+                  const workload::DataspaceSpec& spec) {
+  BenchMeta meta;
+  meta.bench = bench;
+  meta.seed = spec.seed;
+  meta.scale = spec.fs_folders >= workload::DataspaceSpec::PaperScale()
+                                      .fs_folders
+                   ? "paper"
+                   : "small";
+  return meta;
+}
+
+std::string MetaJson(const BenchMeta& meta) {
+  // All fields are bench-controlled identifiers; no JSON escaping needed.
+  std::string json = "{\"bench\": \"" + meta.bench +
+                     "\", \"seed\": " + std::to_string(meta.seed) +
+                     ", \"scale\": \"" + meta.scale + "\"";
+  if (!meta.phase.empty()) json += ", \"phase\": \"" + meta.phase + "\"";
+  json += "}";
+  return json;
+}
+
+bool WriteParallelJson(const std::string& path, const BenchMeta& meta,
                        const std::vector<ParallelBenchRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -69,7 +91,8 @@ bool WriteParallelJson(const std::string& path, const std::string& bench,
   }
   // Row names are bench-controlled identifiers (Q1..Q8 etc.); no JSON
   // string escaping is needed beyond what they already satisfy.
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": %s,\n  \"rows\": [\n",
+               meta.bench.c_str(), MetaJson(meta).c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
     const ParallelBenchRow& r = rows[i];
     std::fprintf(f,

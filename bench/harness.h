@@ -41,6 +41,25 @@ struct PaperQuery {
 /// dataspace; identical shapes and operators).
 const std::vector<PaperQuery>& Table4Queries();
 
+/// Structured run metadata stamped into every BENCH_*.json so a result
+/// file is self-describing: which bench produced it, from which generator
+/// seed, at which scale, and (when the bench is phased) which phase.
+struct BenchMeta {
+  std::string bench;            ///< bench id ("parallel_scaling", …)
+  uint64_t seed = 0;            ///< workload::DataspaceSpec seed
+  std::string scale = "small";  ///< "small" | "paper"
+  std::string phase;            ///< phase/scenario label ("" = unphased)
+};
+
+/// Fills bench/seed/scale from \p spec (scale inferred from the folder
+/// count: PaperScale() ⇔ >= PaperScale().folders).
+BenchMeta MetaFor(const std::string& bench,
+                  const workload::DataspaceSpec& spec);
+
+/// Renders \p meta as a JSON object: {"bench": ..., "seed": N, "scale":
+/// ...} with "phase" included only when non-empty.
+std::string MetaJson(const BenchMeta& meta);
+
 /// One row of the machine-readable parallel-execution report: a
 /// (scenario, configuration) measurement from the scaling/fig6 benches.
 struct ParallelBenchRow {
@@ -55,10 +74,10 @@ struct ParallelBenchRow {
   bool identical_to_serial = true;  ///< differential check outcome
 };
 
-/// Writes \p rows as `{"bench": ..., "rows": [...]}` to \p path (the
-/// driver's BENCH_parallel.json). Returns false and complains on stderr
-/// when the file cannot be written.
-bool WriteParallelJson(const std::string& path, const std::string& bench,
+/// Writes \p rows as `{"bench": ..., "meta": {...}, "rows": [...]}` to
+/// \p path (the driver's BENCH_parallel.json). Returns false and complains
+/// on stderr when the file cannot be written.
+bool WriteParallelJson(const std::string& path, const BenchMeta& meta,
                        const std::vector<ParallelBenchRow>& rows);
 
 /// Bytes → "12.5" MB string.

@@ -1,0 +1,149 @@
+#include "loadgen/actors.h"
+
+#include "workload/generator.h"
+
+namespace idm::loadgen {
+
+const std::vector<CatalogQuery>& QueryCatalog() {
+  // Same query shapes as bench/harness.cc's Table4Queries (kept in sync by
+  // tests/loadgen/orchestrator_test.cc): the paper's evaluation mix.
+  static const std::vector<CatalogQuery> kCatalog = {
+      {"Q1", "\"database\""},
+      {"Q2", "\"database tuning\""},
+      {"Q3", "[size > 420000 and lastmodified < @12.06.2005]"},
+      {"Q4", "//papers//*Vision/*[\"Franklin\"]"},
+      {"Q5", "//VLDB200?//?onclusion*/*[\"systems\"]"},
+      {"Q6",
+       "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])"},
+      {"Q7",
+       "join( //VLDB2006//*[class=\"texref\"] as A, "
+       "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+       "A.name=B.tuple.label)"},
+      {"Q8",
+       "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+       "//papers//*.tex as B, A.name = B.name )"},
+  };
+  return kCatalog;
+}
+
+uint64_t DeriveSeed(uint64_t seed, const std::string& tag, uint64_t index) {
+  // FNV-1a over the tag, folded with the root seed and a SplitMix-style
+  // spread of the index: distinct (tag, index) pairs get independent
+  // streams; identical triples get identical streams on every platform.
+  uint64_t h = seed ^ 0x9E3779B97F4A7C15ULL;
+  for (char c : tag) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h ^ ((index + 1) * 0xD6E8FEB86659FD93ULL);
+}
+
+Op SampleOp(const PhaseSpec& phase, Rng* rng) {
+  Op op;
+  uint64_t total = 0;
+  for (const auto& [kind, weight] : phase.mix) total += weight;
+  uint64_t pick = rng->Uniform(total);
+  for (const auto& [kind, weight] : phase.mix) {
+    if (pick < weight) {
+      op.kind = kind;
+      break;
+    }
+    pick -= weight;
+  }
+  if (op.kind >= OpKind::kQueryQ1 && op.kind <= OpKind::kQueryQ8) {
+    op.query_index = static_cast<size_t>(op.kind) -
+                     static_cast<size_t>(OpKind::kQueryQ1);
+  } else if (op.kind == OpKind::kQueryAny) {
+    op.query_index = rng->Uniform(QueryCatalog().size());
+  }
+  op.salt = rng->Next();
+  return op;
+}
+
+namespace {
+
+/// The note files vfs.write/vfs.remove cycle through: a bounded namespace
+/// so churn produces a mix of creates, overwrites, and removes.
+std::string NotePath(uint64_t salt) {
+  return "/loadgen/notes/note_" + std::to_string(salt % 199) + ".txt";
+}
+
+Status MailSend(const Substrates& subs, Rng* rng, size_t count) {
+  workload::TextGenerator text(rng);
+  for (size_t i = 0; i < count; ++i) {
+    email::Message message;
+    message.from = "loadgen@example.com";
+    message.to.push_back("owner@example.com");
+    message.subject = "[loadgen] " + text.Words(4);
+    // The marker lands in the body too: the content index covers message
+    // bodies, so tests can assert "loadgen" mail became query-visible.
+    message.body = "loadgen " + text.Words(30 + rng->Uniform(50));
+    message.date = subs.ds->clock()->NowMicros();
+    auto uid = subs.imap->Append("INBOX", std::move(message));
+    if (!uid.ok()) return uid.status();
+  }
+  return Status::OK();
+}
+
+Status VfsWrite(const Substrates& subs, Rng* rng, uint64_t salt) {
+  IDM_RETURN_NOT_OK(subs.fs->CreateFolder("/loadgen/notes"));
+  workload::TextGenerator text(rng);
+  return subs.fs->WriteFile(NotePath(salt),
+                            text.Words(20 + rng->Uniform(40)));
+}
+
+Status VfsRemove(const Substrates& subs, uint64_t salt) {
+  std::string path = NotePath(salt);
+  if (!subs.fs->Exists(path)) return Status::OK();  // nothing to churn yet
+  return subs.fs->Remove(path);
+}
+
+}  // namespace
+
+Status ExecuteMutation(const Op& op, const Substrates& subs) {
+  if (subs.ds == nullptr || subs.fs == nullptr || subs.imap == nullptr ||
+      subs.feed == nullptr) {
+    return Status::FailedPrecondition(
+        "mutation before the ingest phase registered the substrates");
+  }
+  Rng rng(op.salt);
+  switch (op.kind) {
+    case OpKind::kMailSend:
+      return MailSend(subs, &rng, 1);
+    case OpKind::kMailBurst:
+      return MailSend(subs, &rng, 2 + rng.Uniform(5));
+    case OpKind::kRssTick: {
+      workload::TextGenerator text(&rng);
+      stream::FeedItem item;
+      item.title = text.Words(5);
+      item.link = "http://dbworld.example.com/item/" +
+                  std::to_string(op.salt % 100000);
+      item.description = text.Words(15);
+      item.date = subs.ds->clock()->NowMicros();
+      subs.feed->Publish(std::move(item));
+      return Status::OK();
+    }
+    case OpKind::kVfsWrite:
+      return VfsWrite(subs, &rng, op.salt);
+    case OpKind::kVfsRemove:
+      return VfsRemove(subs, op.salt);
+    case OpKind::kVfsChurn: {
+      uint64_t dice = rng.Uniform(4);
+      if (dice < 2) return VfsWrite(subs, &rng, rng.Next());
+      if (dice == 2) return VfsRemove(subs, rng.Next());
+      IDM_RETURN_NOT_OK(
+          subs.fs->CreateFolder("/loadgen/dir_" +
+                                std::to_string(rng.Uniform(37))));
+      return VfsWrite(subs, &rng, rng.Next());
+    }
+    case OpKind::kSyncPoll: {
+      auto stats = subs.ds->sync().Poll();
+      return stats.status();
+    }
+    default:
+      return Status::InvalidArgument("not a mutation op: " +
+                                     std::string(OpKindName(op.kind)));
+  }
+}
+
+}  // namespace idm::loadgen

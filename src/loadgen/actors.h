@@ -1,0 +1,74 @@
+// Actors for idm_loadgen (DESIGN.md §13): the op vocabulary, per-actor
+// seeded RNG streams, weighted op sampling, and the substrate mutators.
+//
+// Every simulated user (actor) owns an Rng stream derived from
+// (spec seed, phase name, actor index), so the op sequence each actor
+// generates — kinds, payload sizes, text content — is independent of
+// thread count and of every other actor. Query ops are executed by the
+// orchestrator (possibly in parallel batches: Dataspace::Query is const
+// and internally synchronized); mutation ops are executed serially through
+// ExecuteMutation below, in virtual-arrival order, so substrate state
+// evolves identically run over run.
+
+#ifndef IDM_LOADGEN_ACTORS_H_
+#define IDM_LOADGEN_ACTORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "email/imap.h"
+#include "iql/dataspace.h"
+#include "loadgen/spec.h"
+#include "stream/rss.h"
+#include "util/rng.h"
+#include "vfs/vfs.h"
+
+namespace idm::loadgen {
+
+/// One Table 4 query (same shapes as bench/harness.cc's Table4Queries —
+/// loadgen keeps its own copy because src/ must not depend on bench/).
+struct CatalogQuery {
+  const char* id;   ///< "Q1" … "Q8"
+  const char* iql;
+};
+
+/// The eight Table 4 queries, index 0 == Q1.
+const std::vector<CatalogQuery>& QueryCatalog();
+
+/// Deterministic seed derivation: one independent SplitMix stream per
+/// (root seed, tag, index) triple. Used for actor arrival/op streams.
+uint64_t DeriveSeed(uint64_t seed, const std::string& tag, uint64_t index);
+
+/// A concrete operation instance produced by an actor.
+struct Op {
+  OpKind kind = OpKind::kQueryAny;
+  size_t query_index = 0;  ///< into QueryCatalog() for query.* ops
+  uint64_t salt = 0;       ///< seeds the mutation-content Rng stream
+};
+
+/// Samples the next op from \p phase's weighted mix using \p rng (the
+/// actor's op stream). query.any resolves to a uniform catalog pick here,
+/// so the choice is part of the actor's deterministic stream.
+Op SampleOp(const PhaseSpec& phase, Rng* rng);
+
+/// The substrate handles one run's actors mutate. All owned elsewhere
+/// (the orchestrator); pointers may be null before ingest, in which case
+/// mutations fail with kFailedPrecondition.
+struct Substrates {
+  iql::Dataspace* ds = nullptr;
+  vfs::VirtualFileSystem* fs = nullptr;
+  email::ImapServer* imap = nullptr;
+  stream::FeedServer* feed = nullptr;
+};
+
+/// Executes a non-query op against the substrates. Content is generated
+/// from a fresh Rng seeded with op.salt, so the mutation is a pure
+/// function of the op — not of execution order. Callers serialize calls
+/// (substrates are not thread-safe) and measure the simulated service
+/// time as the SimClock delta around the call.
+Status ExecuteMutation(const Op& op, const Substrates& subs);
+
+}  // namespace idm::loadgen
+
+#endif  // IDM_LOADGEN_ACTORS_H_

@@ -1,0 +1,111 @@
+#include "loadgen/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace idm::loadgen {
+
+namespace {
+
+Micros NearestRank(const std::vector<Micros>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t i = static_cast<size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[i];
+}
+
+}  // namespace
+
+LatencyStats ComputeLatencyStats(std::vector<Micros>* samples) {
+  LatencyStats stats;
+  stats.count = samples->size();
+  if (samples->empty()) return stats;
+  std::sort(samples->begin(), samples->end());
+  stats.p50 = NearestRank(*samples, 0.50);
+  stats.p99 = NearestRank(*samples, 0.99);
+  stats.p999 = NearestRank(*samples, 0.999);
+  stats.max = samples->back();
+  return stats;
+}
+
+void RunReport::Finalize() {
+  total_issued = total_served = total_shed = total_degraded = total_failed =
+      0;
+  for (PhaseReport& phase : phases) {
+    if (!phase.latencies.empty() || phase.latency.count == 0) {
+      phase.latency = ComputeLatencyStats(&phase.latencies);
+      phase.latencies.clear();
+      phase.latencies.shrink_to_fit();
+    }
+    total_issued += phase.issued;
+    total_served += phase.served;
+    total_shed += phase.shed_queue_full + phase.shed_timeout;
+    total_degraded += phase.degraded;
+    total_failed += phase.failed;
+  }
+}
+
+std::string RunReport::ToJson(bool include_wall) const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"bench\": \"loadgen\",\n";
+  out << "  \"meta\": {\"workload\": \"" << workload << "\", \"seed\": "
+      << seed << ", \"scale\": \"" << scale << "\"},\n";
+  out << "  \"totals\": {\"issued\": " << total_issued << ", \"served\": "
+      << total_served << ", \"shed\": " << total_shed << ", \"degraded\": "
+      << total_degraded << ", \"failed\": " << total_failed << "},\n";
+  out << "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    const PhaseReport& p = phases[i];
+    out << "    {\"phase\": \"" << p.name << "\", \"sim_ms\": "
+        << (p.sim_end - p.sim_start) / 1000 << ", \"issued\": " << p.issued
+        << ", \"served\": " << p.served << ", \"shed_queue_full\": "
+        << p.shed_queue_full << ", \"shed_timeout\": " << p.shed_timeout
+        << ", \"degraded\": " << p.degraded << ", \"failed\": " << p.failed
+        << ", \"rows\": " << p.rows << ",\n";
+    out << "     \"p50_us\": " << p.latency.p50 << ", \"p99_us\": "
+        << p.latency.p99 << ", \"p999_us\": " << p.latency.p999
+        << ", \"max_us\": " << p.latency.max << ",\n";
+    out << "     \"mix\": {";
+    bool first = true;
+    for (const auto& [kind, count] : p.mix) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << kind << "\": " << count;
+    }
+    out << "}}" << (i + 1 < phases.size() ? "," : "") << "\n";
+  }
+  out << "  ]";
+  if (include_wall) {
+    out << ",\n  \"wall\": {\"threads\": " << threads
+        << ", \"elapsed_seconds\": ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_seconds);
+    out << buf << ", \"pool_executed\": " << pool.executed
+        << ", \"pool_inline\": " << pool.inline_tasks << ", \"phase_ms\": [";
+    for (size_t i = 0; i < phases.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.1f", phases[i].wall_ms);
+      out << (i ? ", " : "") << buf;
+    }
+    out << "]}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+bool WriteReportJson(const std::string& path, const RunReport& report,
+                     bool include_wall) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[loadgen] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string json = report.ToJson(include_wall);
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "[loadgen] wrote %s (%zu phases)\n", path.c_str(),
+               report.phases.size());
+  return true;
+}
+
+}  // namespace idm::loadgen

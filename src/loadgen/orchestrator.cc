@@ -1,0 +1,431 @@
+#include "loadgen/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <queue>
+#include <tuple>
+
+#include "util/thread_pool.h"
+#include "workload/generator.h"
+
+namespace idm::loadgen {
+
+namespace {
+
+/// Modeled query service cost, in simulated micros. Built only from result
+/// features that the §8 differential suite pins byte-identical across
+/// thread counts; a degraded query is charged its full step budget because
+/// the partial prefix it reached is thread-dependent.
+constexpr Micros kQueryBaseMicros = 150;
+constexpr Micros kMicrosPerRow = 25;
+constexpr Micros kMicrosPerExpandedView = 2;
+constexpr Micros kMicrosPerBudgetedStep = 2;
+
+/// Open-loop query batches execute this many ops per thread-pool fan-out.
+/// A constant (not a function of the thread count) so batch boundaries
+/// cannot even in principle leak into the deterministic outputs.
+constexpr size_t kMaxBatch = 64;
+
+/// Outcome of actually executing one query op, reduced to the
+/// thread-invariant features the latency model consumes.
+struct QueryOutcome {
+  bool failed = false;
+  bool degraded = false;
+  uint64_t rows = 0;
+  uint64_t expanded = 0;
+};
+
+Micros ServiceMicros(const QueryOutcome& outcome, uint64_t step_limit) {
+  if (outcome.degraded) {
+    return kQueryBaseMicros +
+           static_cast<Micros>(step_limit) * kMicrosPerBudgetedStep;
+  }
+  return kQueryBaseMicros +
+         static_cast<Micros>(outcome.rows) * kMicrosPerRow +
+         static_cast<Micros>(outcome.expanded) * kMicrosPerExpandedView;
+}
+
+bool IsQueryOp(OpKind kind) {
+  return kind >= OpKind::kQueryQ1 && kind <= OpKind::kQueryAny;
+}
+
+/// Exponential inter-arrival draw (Poisson process), floored to 1us so
+/// virtual time always advances. Deterministic for a given Rng state.
+Micros ExpMicros(Rng* rng, double rate_per_sec) {
+  double u = rng->NextDouble();
+  double micros = -std::log(1.0 - u) * 1e6 / rate_per_sec;
+  return std::max<Micros>(1, static_cast<Micros>(micros));
+}
+
+/// One scheduled op arrival. Ordered by (time, actor, seq): ties between
+/// actors break deterministically, never by heap internals.
+struct Event {
+  Micros time = 0;
+  size_t actor = 0;
+  uint64_t seq = 0;
+  Op op;
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    return std::tie(a.time, a.actor, a.seq) > std::tie(b.time, b.actor,
+                                                       b.seq);
+  }
+};
+
+/// A query op waiting in the current execution batch.
+struct PendingQuery {
+  Event event;
+  QueryOutcome outcome;  ///< filled by the parallel execution pass
+};
+
+}  // namespace
+
+VirtualAdmissionGate::Decision VirtualAdmissionGate::Offer(Micros now,
+                                                           Micros service) {
+  Decision decision;
+  if (options_.capacity == 0) return decision;  // gate disabled
+  if (slot_free_.size() < options_.capacity) {
+    slot_free_.resize(options_.capacity, 0);
+  }
+  // Waiters whose start time has passed have left the queue.
+  queued_until_.erase(
+      std::remove_if(queued_until_.begin(), queued_until_.end(),
+                     [now](Micros start) { return start <= now; }),
+      queued_until_.end());
+  auto slot = std::min_element(slot_free_.begin(), slot_free_.end());
+  if (*slot <= now) {
+    *slot = now + service;
+    return decision;  // free slot: admitted, no wait
+  }
+  Micros wait = *slot - now;
+  if (queued_until_.size() >= options_.queue) {
+    decision.admitted = false;
+    decision.queue_full = true;
+    return decision;  // shed immediately: queue at capacity
+  }
+  if (wait > options_.timeout) {
+    decision.admitted = false;
+    decision.wait = options_.timeout;  // waited the timeout out, then shed
+    return decision;
+  }
+  // FIFO: this op takes the earliest-freeing slot at the moment it frees.
+  decision.wait = wait;
+  queued_until_.push_back(now + wait);
+  *slot = now + wait + service;
+  return decision;
+}
+
+struct Orchestrator::RunState {
+  Substrates subs;
+  VirtualAdmissionGate gate;
+  util::ThreadPool* pool = nullptr;
+  uint64_t step_limit = 0;
+  SimClock* clock = nullptr;
+
+  explicit RunState(VirtualAdmissionGate::Options gate_options)
+      : gate(gate_options) {}
+
+  QueryOutcome RunQuery(const Op& op) const {
+    QueryOutcome outcome;
+    iql::QueryOptions options;
+    if (step_limit > 0) options.limits.max_steps = step_limit;
+    auto result = subs.ds->Query(QueryCatalog()[op.query_index].iql,
+                                 options);
+    if (!result.ok()) {
+      outcome.failed = true;
+      return outcome;
+    }
+    outcome.degraded = !result->meta.complete;
+    if (!outcome.degraded) {
+      outcome.rows = result->rows.size();
+      outcome.expanded = result->expanded_views;
+    }
+    return outcome;
+  }
+};
+
+Status Orchestrator::RunIngestPhase(const WorkloadSpec& spec,
+                                    const PhaseSpec& phase, RunState* state,
+                                    PhaseReport* report) {
+  (void)phase;  // ingest phases carry no traffic knobs
+  SimClock* clock = state->clock;
+  report->sim_start = clock->NowMicros();
+
+  workload::DataspaceSpec wspec = spec.scale == Scale::kPaper
+                                      ? workload::DataspaceSpec::PaperScale()
+                                      : workload::DataspaceSpec::Small();
+  wspec.seed = spec.seed;
+  workload::BuiltDataspace built = workload::Generate(wspec, clock);
+  fs_ = built.fs;
+  imap_ = built.imap;
+
+  // A small seeded RSS feed so rss.tick traffic has a registered stream
+  // substrate to land on.
+  stream::Feed feed;
+  feed.title = "dbworld";
+  feed.link = "http://dbworld.example.com/feed";
+  feed.description = "calls for papers";
+  Rng feed_rng(DeriveSeed(spec.seed, "rss-seed", 0));
+  workload::TextGenerator feed_text(&feed_rng);
+  for (int i = 0; i < 3; ++i) {
+    feed.items.push_back({feed_text.Words(5),
+                          "http://dbworld.example.com/item/seed" +
+                              std::to_string(i),
+                          feed_text.Words(12), clock->NowMicros()});
+  }
+  feed_ = std::make_shared<stream::FeedServer>(std::move(feed), clock);
+
+  struct SourceAdd {
+    const char* label;
+    std::function<Result<rvm::SourceIndexStats>()> add;
+  };
+  const SourceAdd sources[] = {
+      {"ingest.fs_views",
+       [&] { return ds_->AddFileSystem("Filesystem", fs_); }},
+      {"ingest.mail_views",
+       [&] { return ds_->AddImap("Email / IMAP", imap_); }},
+      {"ingest.rss_views",
+       [&] { return ds_->AddRss("RSS / dbworld", feed_); }},
+  };
+  for (const SourceAdd& source : sources) {
+    Micros before = clock->NowMicros();
+    auto stats = source.add();
+    if (!stats.ok()) return stats.status();
+    report->mix[source.label] = stats->views_total;
+    report->latencies.push_back(clock->NowMicros() - before);
+    ++report->issued;
+    ++report->served;
+  }
+
+  state->subs = {ds_.get(), fs_.get(), imap_.get(), feed_.get()};
+  report->sim_end = clock->NowMicros();
+  return Status::OK();
+}
+
+Status Orchestrator::RunTrafficPhase(const WorkloadSpec& spec,
+                                     const PhaseSpec& phase, RunState* state,
+                                     PhaseReport* report) {
+  SimClock* clock = state->clock;
+  const Micros start = clock->NowMicros();
+  const Micros end = start + phase.duration_ms * 1000;
+  report->sim_start = start;
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::vector<Rng> op_rngs;
+  std::vector<uint64_t> seqs(phase.users, 0);
+  op_rngs.reserve(phase.users);
+  for (size_t a = 0; a < phase.users; ++a) {
+    op_rngs.emplace_back(DeriveSeed(spec.seed, phase.name + "/ops", a));
+  }
+
+  if (phase.arrival == ArrivalKind::kOpen) {
+    // Pre-generate the whole Poisson schedule: arrivals are independent of
+    // completions by definition of an open loop.
+    const double per_actor_rate =
+        phase.rate_per_sec / static_cast<double>(phase.users);
+    for (size_t a = 0; a < phase.users; ++a) {
+      Rng arrivals(DeriveSeed(spec.seed, phase.name + "/arrival", a));
+      Micros t = start + ExpMicros(&arrivals, per_actor_rate);
+      while (t < end) {
+        events.push({t, a, seqs[a]++, SampleOp(phase, &op_rngs[a])});
+        t += ExpMicros(&arrivals, per_actor_rate);
+      }
+    }
+  } else {
+    // Closed loop: each user starts after a deterministic stagger; the
+    // next arrival is scheduled when the previous op completes.
+    for (size_t a = 0; a < phase.users; ++a) {
+      Micros t = start + static_cast<Micros>(a) * 997 + 1;
+      if (t < end) {
+        events.push({t, a, seqs[a]++, SampleOp(phase, &op_rngs[a])});
+      }
+    }
+  }
+
+  std::vector<PendingQuery> batch;
+  const uint64_t step_limit = state->step_limit;
+
+  // Executes the batched query ops concurrently, then threads them through
+  // the virtual gate in arrival order (batch order == pop order == time
+  // order). Returns the completion time of the last batch member, for the
+  // closed loop.
+  auto flush = [&](std::vector<Micros>* completions) {
+    if (batch.empty()) return;
+    std::vector<QueryOutcome> outcomes = util::OrderedParallelMap<QueryOutcome>(
+        state->pool, batch.size(),
+        [&](size_t i) { return state->RunQuery(batch[i].event.op); });
+    if (completions != nullptr) completions->clear();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Event& event = batch[i].event;
+      const QueryOutcome& outcome = outcomes[i];
+      ++report->issued;
+      ++report->mix[OpKindName(event.op.kind)];
+      Micros completion = event.time;
+      if (outcome.failed) {
+        ++report->failed;
+      } else {
+        Micros service = ServiceMicros(outcome, step_limit);
+        auto decision = state->gate.Offer(event.time, service);
+        if (decision.admitted) {
+          ++report->served;
+          if (outcome.degraded) {
+            ++report->degraded;
+          } else {
+            report->rows += outcome.rows;
+          }
+          report->latencies.push_back(decision.wait + service);
+          completion = event.time + decision.wait + service;
+        } else {
+          if (decision.queue_full) {
+            ++report->shed_queue_full;
+          } else {
+            ++report->shed_timeout;
+          }
+          completion = event.time + decision.wait;
+        }
+      }
+      if (completions != nullptr) completions->push_back(completion);
+    }
+    batch.clear();
+  };
+
+  std::vector<Micros> completions;
+  while (!events.empty()) {
+    Event event = events.top();
+    events.pop();
+    const bool closed = phase.arrival == ArrivalKind::kClosed;
+
+    if (IsQueryOp(event.op.kind)) {
+      batch.push_back({event, {}});
+      // Open loop: batch until a mutation (or the cap) forces a flush.
+      // Closed loop: flush now — the completion feeds the next arrival.
+      if (closed || batch.size() >= kMaxBatch) {
+        flush(&completions);
+        if (closed) {
+          Micros next = completions.back() + phase.think_ms * 1000;
+          if (next < end) {
+            events.push({next, event.actor, seqs[event.actor]++,
+                         SampleOp(phase, &op_rngs[event.actor])});
+          }
+        }
+      }
+      continue;
+    }
+
+    // Mutation/sync op: drain the query batch first so the gate sees
+    // offers in time order, then apply serially at virtual arrival time.
+    flush(nullptr);
+    if (event.time > clock->NowMicros()) {
+      clock->AdvanceMicros(event.time - clock->NowMicros());
+    }
+    Status status = ExecuteMutation(event.op, state->subs);
+    ++report->issued;
+    ++report->mix[OpKindName(event.op.kind)];
+    if (status.ok()) {
+      // Mutations count toward served but not toward the latency
+      // percentiles: a full sync.poll costs simulated *seconds* and would
+      // bury the query tail the gate actually bounds. Their cost shows up
+      // as sim clock advance (sim_ms) instead.
+      ++report->served;
+    } else {
+      ++report->failed;
+    }
+    if (closed) {
+      Micros next = clock->NowMicros() + phase.think_ms * 1000;
+      if (next < end) {
+        events.push({next, event.actor, seqs[event.actor]++,
+                     SampleOp(phase, &op_rngs[event.actor])});
+      }
+    }
+  }
+  flush(nullptr);
+
+  if (end > clock->NowMicros()) {
+    clock->AdvanceMicros(end - clock->NowMicros());
+  }
+  report->sim_end = clock->NowMicros();
+  return Status::OK();
+}
+
+Result<RunReport> Orchestrator::Run(const WorkloadSpec& spec) {
+  auto wall_start = std::chrono::steady_clock::now();
+  const size_t threads = options_.threads > 0 ? options_.threads
+                                              : spec.threads;
+
+  iql::Dataspace::Config config;
+  ds_ = std::make_unique<iql::Dataspace>(config);
+  fs_.reset();
+  imap_.reset();
+  feed_.reset();
+
+  VirtualAdmissionGate::Options gate_options;
+  gate_options.capacity = spec.capacity;
+  gate_options.queue = spec.queue;
+  gate_options.timeout = spec.queue_timeout_ms * 1000;
+
+  RunState state(gate_options);
+  state.clock = ds_->clock();
+  state.step_limit = spec.step_limit;
+  util::ThreadPool pool(threads > 1 ? threads : 0);
+  state.pool = threads > 1 ? &pool : nullptr;
+
+  RunReport report;
+  report.workload = spec.name;
+  report.seed = spec.seed;
+  report.scale = spec.scale == Scale::kPaper ? "paper" : "small";
+  report.threads = threads;
+
+  // A schedule with traffic but no ingest phase still needs a dataspace to
+  // aim that traffic at: ingest the configured scale up front.
+  bool has_ingest = false;
+  for (const std::string& name : spec.schedule) {
+    const PhaseSpec* phase = spec.FindPhase(name);
+    if (phase != nullptr && phase->ingest) has_ingest = true;
+  }
+  std::vector<const PhaseSpec*> schedule;
+  PhaseSpec auto_ingest;
+  if (!has_ingest) {
+    auto_ingest.name = "auto_ingest";
+    auto_ingest.ingest = true;
+    schedule.push_back(&auto_ingest);
+  }
+  for (const std::string& name : spec.schedule) {
+    const PhaseSpec* phase = spec.FindPhase(name);
+    if (phase == nullptr) {
+      return Status::InvalidArgument("schedule references unknown phase '" +
+                                     name + "'");
+    }
+    schedule.push_back(phase);
+  }
+
+  for (const PhaseSpec* phase : schedule) {
+    auto phase_wall = std::chrono::steady_clock::now();
+    if (options_.verbose) {
+      std::fprintf(stderr, "[loadgen] phase %s...\n", phase->name.c_str());
+    }
+    report.phases.emplace_back();
+    PhaseReport& phase_report = report.phases.back();
+    phase_report.name = phase->name;
+    Status status = phase->ingest
+                        ? RunIngestPhase(spec, *phase, &state, &phase_report)
+                        : RunTrafficPhase(spec, *phase, &state,
+                                          &phase_report);
+    if (!status.ok()) return status;
+    phase_report.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - phase_wall)
+            .count();
+  }
+
+  report.pool = pool.telemetry();
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  report.Finalize();
+  return report;
+}
+
+}  // namespace idm::loadgen

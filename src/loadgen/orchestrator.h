@@ -1,0 +1,114 @@
+// Phased load orchestrator for idm_loadgen (DESIGN.md §13).
+//
+// The orchestrator turns a WorkloadSpec into a deterministic discrete-event
+// simulation on the dataspace's SimClock — the Genny Orchestrator/PhaseLoop
+// shape, with virtual time in place of wall time:
+//
+//  - Each scheduled phase either ingests the synthetic dataspace
+//    (workload::Generate → AddFileSystem/AddImap/AddRss) or generates
+//    traffic from per-actor seeded RNG streams under an open- or
+//    closed-loop arrival model.
+//  - Events are processed in (time, actor, seq) order. Substrate mutations
+//    run serially at their virtual arrival time; query ops accumulate into
+//    batches that execute concurrently on a util::ThreadPool
+//    (Dataspace::Query is const and internally synchronized), then flow
+//    through the virtual admission gate in arrival order.
+//  - The gate mirrors iql::AdmissionController's policy — capacity slots,
+//    bounded FIFO queue, wait timeout — but measures waits on the SimClock.
+//    The real gate's condition-variable waits are wall-clock and therefore
+//    nondeterministic by construction; the virtual gate makes shed counts
+//    and queue waits a pure function of (spec, seed).
+//
+// Determinism contract: the RunReport's non-wall fields are byte-identical
+// across runs and across thread counts. Query service times are modeled
+// from thread-invariant result features (row count, expansion work — the
+// §8 differential suite pins those byte-identical across threads); degraded
+// queries are charged their step budget, because the partial prefix an
+// overrunning evaluation reaches *is* thread-dependent. Mutation service
+// times are the SimClock access charges the substrates apply themselves.
+
+#ifndef IDM_LOADGEN_ORCHESTRATOR_H_
+#define IDM_LOADGEN_ORCHESTRATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "loadgen/actors.h"
+#include "loadgen/metrics.h"
+#include "loadgen/spec.h"
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::loadgen {
+
+/// Admission control in virtual time: iql::AdmissionController's policy
+/// (capacity concurrent slots, at most `queue` waiters, each waiting at
+/// most `timeout`) evaluated against simulated timestamps. Offers must
+/// arrive in non-decreasing virtual time; slot state persists across
+/// phases, so a recovery phase drains the spike's backlog realistically.
+class VirtualAdmissionGate {
+ public:
+  struct Options {
+    size_t capacity = 0;  ///< 0 disables the gate (every op admitted)
+    size_t queue = 0;
+    Micros timeout = 0;
+  };
+
+  struct Decision {
+    bool admitted = true;
+    bool queue_full = false;  ///< shed reason when !admitted
+    Micros wait = 0;          ///< queue wait (admitted) or time-to-shed
+  };
+
+  explicit VirtualAdmissionGate(Options options) : options_(options) {}
+
+  /// Offers an op arriving at \p now needing \p service simulated micros.
+  /// When admitted, a slot is reserved for [now + wait, now + wait +
+  /// service).
+  Decision Offer(Micros now, Micros service);
+
+ private:
+  Options options_;
+  std::vector<Micros> slot_free_;     ///< per-slot busy-until timestamps
+  std::vector<Micros> queued_until_;  ///< start times of waiting ops
+};
+
+/// Runs workload specs. One orchestrator per run: Run() builds the
+/// dataspace, executes the schedule, and returns the report.
+class Orchestrator {
+ public:
+  struct Options {
+    /// Overrides the spec's `threads` (0 = use the spec). The override is
+    /// an execution detail: it never changes the deterministic outputs.
+    size_t threads = 0;
+    /// Progress lines to stderr.
+    bool verbose = false;
+  };
+
+  Orchestrator() = default;
+  explicit Orchestrator(Options options) : options_(options) {}
+
+  /// Executes \p spec's schedule and returns the finalized report.
+  Result<RunReport> Run(const WorkloadSpec& spec);
+
+  /// The dataspace of the last Run(), kept alive for inspection (tests).
+  iql::Dataspace* dataspace() { return ds_.get(); }
+
+ private:
+  struct RunState;
+
+  Status RunIngestPhase(const WorkloadSpec& spec, const PhaseSpec& phase,
+                        RunState* state, PhaseReport* report);
+  Status RunTrafficPhase(const WorkloadSpec& spec, const PhaseSpec& phase,
+                         RunState* state, PhaseReport* report);
+
+  Options options_;
+  std::unique_ptr<iql::Dataspace> ds_;
+  std::shared_ptr<vfs::VirtualFileSystem> fs_;
+  std::shared_ptr<email::ImapServer> imap_;
+  std::shared_ptr<stream::FeedServer> feed_;
+};
+
+}  // namespace idm::loadgen
+
+#endif  // IDM_LOADGEN_ORCHESTRATOR_H_

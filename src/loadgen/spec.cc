@@ -1,0 +1,392 @@
+#include "loadgen/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace idm::loadgen {
+
+namespace {
+
+const struct {
+  OpKind kind;
+  const char* name;
+} kOpKinds[] = {
+    {OpKind::kQueryQ1, "query.Q1"},   {OpKind::kQueryQ2, "query.Q2"},
+    {OpKind::kQueryQ3, "query.Q3"},   {OpKind::kQueryQ4, "query.Q4"},
+    {OpKind::kQueryQ5, "query.Q5"},   {OpKind::kQueryQ6, "query.Q6"},
+    {OpKind::kQueryQ7, "query.Q7"},   {OpKind::kQueryQ8, "query.Q8"},
+    {OpKind::kQueryAny, "query.any"}, {OpKind::kMailSend, "mail.send"},
+    {OpKind::kMailBurst, "mail.burst"}, {OpKind::kRssTick, "rss.tick"},
+    {OpKind::kVfsWrite, "vfs.write"}, {OpKind::kVfsRemove, "vfs.remove"},
+    {OpKind::kVfsChurn, "vfs.churn"}, {OpKind::kSyncPoll, "sync.poll"},
+};
+
+Status LineError(int line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+/// Splits a physical line into whitespace-separated tokens, dropping a
+/// `#`-to-end-of-line comment. Never throws on arbitrary bytes.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : line) {
+    if (c == '#') break;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+/// Names (workload, phases) stay printable so canonical dumps re-parse:
+/// alphanumerics plus `_ - .`, non-empty.
+bool ValidName(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseU64(const std::string& token, uint64_t* out) {
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return false;  // rejects "-3", "+3", and stray bytes up front
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+/// Canonical number rendering: integers print without a decimal point,
+/// everything else with %g (which re-parses to the same canonical form).
+std::string FormatRate(double rate) {
+  if (rate == std::floor(rate) && std::abs(rate) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(rate));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  return buf;
+}
+
+/// Validates a finished phase block. \p line is the phase declaration line.
+Status ValidatePhase(const PhaseSpec& phase) {
+  if (phase.ingest) {
+    if (phase.duration_ms != 0 || !phase.mix.empty()) {
+      return LineError(phase.line,
+                       "ingest phase '" + phase.name +
+                           "' takes no duration_ms/arrival/op directives");
+    }
+    return Status::OK();
+  }
+  if (phase.duration_ms <= 0) {
+    return LineError(phase.line, "phase '" + phase.name +
+                                     "' needs a positive duration_ms");
+  }
+  if (phase.mix.empty()) {
+    return LineError(phase.line,
+                     "phase '" + phase.name + "' declares no 'op' mix");
+  }
+  if (phase.arrival == ArrivalKind::kOpen && phase.rate_per_sec <= 0) {
+    return LineError(phase.line, "phase '" + phase.name +
+                                     "' needs 'arrival open <rate>'"
+                                     " or 'arrival closed <think_ms>'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* OpKindName(OpKind kind) {
+  for (const auto& entry : kOpKinds) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "?";
+}
+
+bool ParseOpKind(const std::string& text, OpKind* out) {
+  for (const auto& entry : kOpKinds) {
+    if (text == entry.name) {
+      *out = entry.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+const PhaseSpec* WorkloadSpec::FindPhase(const std::string& name) const {
+  for (const PhaseSpec& phase : phases) {
+    if (phase.name == name) return &phase;
+  }
+  return nullptr;
+}
+
+Result<WorkloadSpec> ParseSpec(const std::string& text) {
+  WorkloadSpec spec;
+  bool have_workload = false;
+  PhaseSpec* current = nullptr;  // open phase block, or null at top level
+  std::set<std::string> top_seen;
+  std::vector<std::pair<std::string, int>> schedule;  // name, line
+  int schedule_line = 0;
+
+  std::istringstream stream(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(stream, raw)) {
+    ++line_no;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    const size_t args = tokens.size() - 1;
+
+    // Directives that close an open phase block.
+    if (current != nullptr &&
+        (key == "end" || key == "phase" || key == "schedule")) {
+      if (key == "end" && args != 0) {
+        return LineError(line_no, "'end' takes no arguments");
+      }
+      Status valid = ValidatePhase(*current);
+      if (!valid.ok()) return valid;
+      current = nullptr;
+      if (key == "end") continue;
+      // fall through: `phase`/`schedule` handled at top level below
+    }
+
+    if (current == nullptr) {
+      if (key == "workload") {
+        if (args != 1 || !ValidName(tokens[1])) {
+          return LineError(line_no, "'workload' takes one name");
+        }
+        if (have_workload) {
+          return LineError(line_no, "duplicate 'workload' directive");
+        }
+        spec.name = tokens[1];
+        have_workload = true;
+      } else if (key == "seed" || key == "threads" || key == "capacity" ||
+                 key == "queue" || key == "queue_timeout_ms" ||
+                 key == "step_limit") {
+        uint64_t value = 0;
+        if (args != 1 || !ParseU64(tokens[1], &value)) {
+          return LineError(line_no, "'" + key +
+                                        "' takes one non-negative integer");
+        }
+        if (!top_seen.insert(key).second) {
+          return LineError(line_no, "duplicate '" + key + "' directive");
+        }
+        if (key == "seed") {
+          spec.seed = value;
+        } else if (key == "threads") {
+          if (value == 0) {
+            return LineError(line_no, "'threads' must be at least 1");
+          }
+          spec.threads = static_cast<size_t>(value);
+        } else if (key == "capacity") {
+          spec.capacity = static_cast<size_t>(value);
+        } else if (key == "queue") {
+          spec.queue = static_cast<size_t>(value);
+        } else if (key == "queue_timeout_ms") {
+          spec.queue_timeout_ms = static_cast<int64_t>(value);
+        } else {
+          spec.step_limit = value;
+        }
+      } else if (key == "scale") {
+        if (args != 1 || (tokens[1] != "small" && tokens[1] != "paper")) {
+          return LineError(line_no, "'scale' takes 'small' or 'paper'");
+        }
+        if (!top_seen.insert(key).second) {
+          return LineError(line_no, "duplicate 'scale' directive");
+        }
+        spec.scale = tokens[1] == "small" ? Scale::kSmall : Scale::kPaper;
+      } else if (key == "phase") {
+        if (args != 1 || !ValidName(tokens[1])) {
+          return LineError(line_no, "'phase' takes one name");
+        }
+        for (const PhaseSpec& phase : spec.phases) {
+          if (phase.name == tokens[1]) {
+            return LineError(line_no, "duplicate phase '" + tokens[1] +
+                                          "' (first declared at line " +
+                                          std::to_string(phase.line) + ")");
+          }
+        }
+        spec.phases.emplace_back();
+        current = &spec.phases.back();
+        current->name = tokens[1];
+        current->line = line_no;
+      } else if (key == "schedule") {
+        if (args == 0) {
+          return LineError(line_no, "'schedule' needs at least one phase");
+        }
+        if (schedule_line != 0) {
+          return LineError(line_no, "duplicate 'schedule' directive");
+        }
+        schedule_line = line_no;
+        for (size_t i = 1; i < tokens.size(); ++i) {
+          schedule.emplace_back(tokens[i], line_no);
+        }
+      } else if (key == "end") {
+        return LineError(line_no, "'end' outside a phase block");
+      } else {
+        return LineError(line_no, "unknown directive '" + key + "'");
+      }
+      continue;
+    }
+
+    // Inside a phase block.
+    if (key == "ingest") {
+      if (args != 0) return LineError(line_no, "'ingest' takes no arguments");
+      current->ingest = true;
+    } else if (key == "duration_ms") {
+      uint64_t value = 0;
+      if (args != 1 || !ParseU64(tokens[1], &value) || value == 0) {
+        return LineError(line_no,
+                         "'duration_ms' takes one positive integer");
+      }
+      current->duration_ms = static_cast<int64_t>(value);
+    } else if (key == "arrival") {
+      if (args != 2) {
+        return LineError(line_no,
+                         "'arrival' takes 'open <rate>' or"
+                         " 'closed <think_ms>'");
+      }
+      if (tokens[1] == "open") {
+        double rate = 0;
+        if (!ParseDouble(tokens[2], &rate)) {
+          return LineError(line_no, "bad arrival rate '" + tokens[2] + "'");
+        }
+        if (rate <= 0) {
+          return LineError(line_no, "arrival rate must be positive");
+        }
+        current->arrival = ArrivalKind::kOpen;
+        current->rate_per_sec = rate;
+      } else if (tokens[1] == "closed") {
+        uint64_t think = 0;
+        if (!ParseU64(tokens[2], &think)) {
+          return LineError(line_no,
+                           "'arrival closed' takes a non-negative think"
+                           " time in ms");
+        }
+        current->arrival = ArrivalKind::kClosed;
+        current->think_ms = static_cast<int64_t>(think);
+      } else {
+        return LineError(line_no,
+                         "arrival model must be 'open' or 'closed'");
+      }
+    } else if (key == "users") {
+      uint64_t value = 0;
+      if (args != 1 || !ParseU64(tokens[1], &value) || value == 0) {
+        return LineError(line_no, "'users' takes one positive integer");
+      }
+      current->users = static_cast<size_t>(value);
+    } else if (key == "op") {
+      OpKind kind;
+      uint64_t weight = 0;
+      if (args != 2 || !ParseOpKind(tokens[1], &kind)) {
+        return LineError(line_no, args >= 1 && !tokens[1].empty()
+                                      ? "unknown op kind '" + tokens[1] + "'"
+                                      : "'op' takes '<kind> <weight>'");
+      }
+      if (!ParseU64(tokens[2], &weight) || weight == 0 ||
+          weight > 1u << 20) {
+        return LineError(line_no, "op weight must be in [1, 1048576]");
+      }
+      current->mix.emplace_back(kind, static_cast<uint32_t>(weight));
+    } else {
+      return LineError(line_no, "unknown phase directive '" + key + "'");
+    }
+  }
+
+  if (current != nullptr) {  // trailing `end` is optional
+    Status valid = ValidatePhase(*current);
+    if (!valid.ok()) return valid;
+  }
+  if (!have_workload) {
+    return Status::InvalidArgument("spec has no 'workload' directive");
+  }
+  if (spec.phases.empty()) {
+    return Status::InvalidArgument("spec declares no phases");
+  }
+
+  if (schedule.empty()) {
+    for (const PhaseSpec& phase : spec.phases) {
+      spec.schedule.push_back(phase.name);
+    }
+  } else {
+    for (const auto& [name, line] : schedule) {
+      if (spec.FindPhase(name) == nullptr) {
+        return LineError(line, "schedule references unknown phase '" + name +
+                                   "'");
+      }
+      spec.schedule.push_back(name);
+    }
+  }
+  return spec;
+}
+
+std::string DumpSpec(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "workload " << spec.name << "\n";
+  out << "seed " << spec.seed << "\n";
+  out << "threads " << spec.threads << "\n";
+  out << "scale " << (spec.scale == Scale::kSmall ? "small" : "paper")
+      << "\n";
+  out << "capacity " << spec.capacity << "\n";
+  out << "queue " << spec.queue << "\n";
+  out << "queue_timeout_ms " << spec.queue_timeout_ms << "\n";
+  out << "step_limit " << spec.step_limit << "\n";
+  for (const PhaseSpec& phase : spec.phases) {
+    out << "\nphase " << phase.name << "\n";
+    if (phase.ingest) {
+      out << "  ingest\n";
+    } else {
+      out << "  duration_ms " << phase.duration_ms << "\n";
+      if (phase.arrival == ArrivalKind::kOpen) {
+        out << "  arrival open " << FormatRate(phase.rate_per_sec) << "\n";
+      } else {
+        out << "  arrival closed " << phase.think_ms << "\n";
+      }
+      out << "  users " << phase.users << "\n";
+      for (const auto& [kind, weight] : phase.mix) {
+        out << "  op " << OpKindName(kind) << " " << weight << "\n";
+      }
+    }
+    out << "end\n";
+  }
+  out << "\nschedule";
+  for (const std::string& name : spec.schedule) out << " " << name;
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace idm::loadgen

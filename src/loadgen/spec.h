@@ -1,0 +1,143 @@
+// Declarative workload specs for idm_loadgen (DESIGN.md §13).
+//
+// A workload — simulated users, mixed substrate traffic, named phases with
+// open- and closed-loop arrival models — is fully described in a small
+// line-oriented text file; no C++ is needed per scenario. The format is
+// deliberately tiny (no external YAML dependency): one directive per line,
+// `#` comments, `phase <name> … end` blocks, and an optional `schedule`
+// line that orders the phases.
+//
+//   # steady-state read traffic over the small synthetic dataspace
+//   workload steady_state
+//   seed 42
+//   capacity 2
+//   queue 8
+//   queue_timeout_ms 50
+//
+//   phase ingest
+//     ingest
+//   end
+//
+//   phase steady
+//     duration_ms 2000
+//     arrival open 120        # ops/sec across all users
+//     users 8
+//     op query.Q1 4
+//     op query.any 2
+//     op mail.send 1
+//   end
+//
+//   schedule ingest steady
+//
+// ParseSpec returns line-numbered errors for malformed input (unknown key,
+// bad phase reference, negative rate, …) and never crashes on arbitrary
+// bytes (tests/property/fuzz_parsers_test.cc). DumpSpec renders the
+// canonical form: ParseSpec ∘ DumpSpec is the identity on canonical dumps,
+// which is what the golden-file tests pin.
+
+#ifndef IDM_LOADGEN_SPEC_H_
+#define IDM_LOADGEN_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/result.h"
+
+namespace idm::loadgen {
+
+/// The operation vocabulary actors draw from. Query ops evaluate an iQL
+/// expression through Dataspace::Query; the others mutate a substrate (and
+/// sync.poll reconciles them into the indexes).
+enum class OpKind {
+  kQueryQ1,    ///< Table 4 Q1 … Q8 (the paper's evaluation mix)
+  kQueryQ2,
+  kQueryQ3,
+  kQueryQ4,
+  kQueryQ5,
+  kQueryQ6,
+  kQueryQ7,
+  kQueryQ8,
+  kQueryAny,   ///< uniform pick over the Table 4 catalog
+  kMailSend,   ///< append one message to the IMAP INBOX
+  kMailBurst,  ///< append a burst of 2–6 messages (mailing-list spike)
+  kRssTick,    ///< publish one item on the RSS feed
+  kVfsWrite,   ///< create/overwrite a note file under /loadgen
+  kVfsRemove,  ///< remove a previously written note (no-op when none)
+  kVfsChurn,   ///< mixed create/overwrite/remove
+  kSyncPoll,   ///< SynchronizationManager::Poll — reconcile substrate drift
+};
+
+/// "query.Q1", "mail.burst", … (the spelling used in spec files).
+const char* OpKindName(OpKind kind);
+
+/// Inverse of OpKindName. Returns false for unknown spellings.
+bool ParseOpKind(const std::string& text, OpKind* out);
+
+/// How a phase's actors generate arrivals.
+enum class ArrivalKind {
+  kOpen,    ///< open loop: Poisson arrivals at `rate` ops/sec, regardless of
+            ///< completions — overload shows up as queueing/shedding
+  kClosed,  ///< closed loop: each user issues the next op `think_ms` after
+            ///< the previous one completes (or is shed)
+};
+
+/// Generator scale used by ingest phases (workload::DataspaceSpec).
+enum class Scale { kSmall, kPaper };
+
+/// One named phase: either an ingest phase (generate + register + index the
+/// synthetic dataspace) or a traffic phase (arrival model + op mix).
+struct PhaseSpec {
+  std::string name;
+  int line = 0;  ///< declaration line, for semantic error messages
+  bool ingest = false;
+  int64_t duration_ms = 0;  ///< simulated duration (traffic phases)
+  ArrivalKind arrival = ArrivalKind::kOpen;
+  double rate_per_sec = 0;  ///< aggregate arrival rate (open loop)
+  int64_t think_ms = 0;     ///< per-user think time (closed loop)
+  size_t users = 4;         ///< simulated users (actors), each with its own
+                            ///< seeded RNG stream
+  /// Weighted op mix, in declaration order.
+  std::vector<std::pair<OpKind, uint32_t>> mix;
+};
+
+/// A parsed workload: global knobs + phases + schedule.
+struct WorkloadSpec {
+  std::string name;
+  uint64_t seed = 42;
+  size_t threads = 1;        ///< execution parallelism (does not affect the
+                             ///< deterministic outputs — see DESIGN.md §13)
+  Scale scale = Scale::kSmall;  ///< ingest scale
+  /// Admission gate for query ops, mirroring iql::AdmissionController's
+  /// policy (capacity slots, bounded FIFO queue, wait timeout) but measured
+  /// in *simulated* time so shedding is deterministic. 0 = no gate.
+  size_t capacity = 0;
+  size_t queue = 0;
+  int64_t queue_timeout_ms = 0;
+  /// Per-query step budget (ExecContext::Limits::max_steps); queries that
+  /// overrun degrade per the §10 partial-result contract and are counted
+  /// in the per-phase `degraded` total. 0 = ungoverned.
+  uint64_t step_limit = 0;
+
+  std::vector<PhaseSpec> phases;  ///< in declaration order
+  /// Execution order (phase names). Defaults to declaration order when the
+  /// spec has no `schedule` line; always explicit in the canonical dump.
+  std::vector<std::string> schedule;
+
+  const PhaseSpec* FindPhase(const std::string& name) const;
+};
+
+/// Parses a spec. Errors are kInvalidArgument with "line N: …" messages;
+/// arbitrary bytes never crash the parser.
+Result<WorkloadSpec> ParseSpec(const std::string& text);
+
+/// Canonical rendering: fixed key order, explicit schedule, normalized
+/// numbers. ParseSpec(DumpSpec(s)) succeeds for every valid s and dumps to
+/// the same bytes (the round-trip fixpoint the golden tests pin).
+std::string DumpSpec(const WorkloadSpec& spec);
+
+}  // namespace idm::loadgen
+
+#endif  // IDM_LOADGEN_SPEC_H_

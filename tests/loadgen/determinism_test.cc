@@ -1,0 +1,147 @@
+// Determinism regressions for idm_loadgen (DESIGN.md §13).
+//
+// The loadgen contract: everything outside the report's wall section is a
+// pure function of (spec, seed). Pinned two ways:
+//  - same spec + seed run twice → byte-identical ToJson(false);
+//  - threads 1 vs N → byte-identical ToJson(false) AND identical aggregate
+//    op counts and shed/degraded totals (the thread-count differential).
+// The suite carries the `concurrency` label: under -DIDM_SANITIZE=thread
+// the N-thread runs are the TSan payload for the batched query fan-out.
+
+#include <gtest/gtest.h>
+
+#include "loadgen/orchestrator.h"
+
+namespace idm::loadgen {
+namespace {
+
+// Deliberately busy: open- and closed-loop phases, all substrate op kinds,
+// a tight gate (both shed reasons reachable), and a step limit that
+// degrades the heavy join shapes.
+constexpr const char* kBusySpec = R"(
+workload determinism
+seed 1234
+capacity 2
+queue 4
+queue_timeout_ms 3
+step_limit 1000
+
+phase ingest
+  ingest
+end
+
+phase open_mixed
+  duration_ms 250
+  arrival open 300
+  users 6
+  op query.Q1 2
+  op query.Q8 1
+  op query.any 3
+  op mail.send 1
+  op mail.burst 1
+  op rss.tick 1
+  op vfs.write 1
+  op vfs.remove 1
+  op vfs.churn 1
+end
+
+phase spike
+  duration_ms 150
+  arrival open 3000
+  users 12
+  op query.Q1 1
+  op query.any 2
+end
+
+phase closed_drain
+  duration_ms 250
+  arrival closed 20
+  users 4
+  op query.any 3
+  op sync.poll 1
+end
+
+schedule ingest open_mixed spike closed_drain
+)";
+
+RunReport RunWithThreads(size_t threads) {
+  auto spec = ParseSpec(kBusySpec);
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  Orchestrator::Options options;
+  options.threads = threads;
+  Orchestrator orchestrator(options);
+  auto report = orchestrator.Run(*spec);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *report;
+}
+
+TEST(LoadgenDeterminism, SameSpecSameSeedTwiceIsByteIdentical) {
+  RunReport a = RunWithThreads(2);
+  RunReport b = RunWithThreads(2);
+  EXPECT_EQ(a.ToJson(/*include_wall=*/false),
+            b.ToJson(/*include_wall=*/false));
+}
+
+TEST(LoadgenDeterminism, ThreadCountDoesNotChangeDeterministicOutputs) {
+  RunReport serial = RunWithThreads(1);
+  RunReport parallel = RunWithThreads(4);
+
+  // The wall-free JSON is the whole deterministic surface in one compare.
+  EXPECT_EQ(serial.ToJson(/*include_wall=*/false),
+            parallel.ToJson(/*include_wall=*/false));
+
+  // And the aggregates the differential is really about, spelled out so a
+  // regression names the counter that moved.
+  EXPECT_EQ(serial.total_issued, parallel.total_issued);
+  EXPECT_EQ(serial.total_served, parallel.total_served);
+  EXPECT_EQ(serial.total_shed, parallel.total_shed);
+  EXPECT_EQ(serial.total_degraded, parallel.total_degraded);
+  EXPECT_EQ(serial.total_failed, parallel.total_failed);
+  ASSERT_EQ(serial.phases.size(), parallel.phases.size());
+  for (size_t i = 0; i < serial.phases.size(); ++i) {
+    const PhaseReport& s = serial.phases[i];
+    const PhaseReport& p = parallel.phases[i];
+    EXPECT_EQ(s.mix, p.mix) << "phase " << s.name;
+    EXPECT_EQ(s.rows, p.rows) << "phase " << s.name;
+    EXPECT_EQ(s.shed_queue_full, p.shed_queue_full) << "phase " << s.name;
+    EXPECT_EQ(s.shed_timeout, p.shed_timeout) << "phase " << s.name;
+    EXPECT_EQ(s.latency.p50, p.latency.p50) << "phase " << s.name;
+    EXPECT_EQ(s.latency.p99, p.latency.p99) << "phase " << s.name;
+    EXPECT_EQ(s.latency.p999, p.latency.p999) << "phase " << s.name;
+    EXPECT_EQ(s.sim_end, p.sim_end) << "phase " << s.name;
+  }
+
+  // The busy spec actually exercises the interesting machinery — an
+  // always-zero differential would pin nothing.
+  EXPECT_GT(serial.total_shed, 0u);
+  EXPECT_GT(serial.total_degraded, 0u);
+}
+
+TEST(LoadgenDeterminism, WallSectionIsSegregated) {
+  RunReport report = RunWithThreads(2);
+  std::string with_wall = report.ToJson(/*include_wall=*/true);
+  std::string without = report.ToJson(/*include_wall=*/false);
+  EXPECT_NE(with_wall.find("\"wall\""), std::string::npos);
+  EXPECT_EQ(without.find("\"wall\""), std::string::npos);
+  EXPECT_EQ(without.find("elapsed_seconds"), std::string::npos);
+  // The deterministic fields are a prefix of the wall-bearing render, so
+  // the wall object only ever *adds* information.
+  EXPECT_EQ(with_wall.substr(0, with_wall.find("\"wall\"") - 4),
+            without.substr(0, without.find("\n}\n")));
+}
+
+TEST(LoadgenDeterminism, DifferentSeedsDiverge) {
+  auto spec = ParseSpec(kBusySpec);
+  ASSERT_TRUE(spec.ok());
+  Orchestrator orchestrator;
+  auto a = orchestrator.Run(*spec);
+  ASSERT_TRUE(a.ok());
+  spec->seed = 4321;
+  Orchestrator other;
+  auto b = other.Run(*spec);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->ToJson(false), b->ToJson(false));
+}
+
+}  // namespace
+}  // namespace idm::loadgen

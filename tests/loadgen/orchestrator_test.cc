@@ -1,0 +1,289 @@
+// Orchestrator tests (DESIGN.md §13): the virtual admission gate's policy,
+// end-to-end runs over embedded specs, auto-ingest, mutation visibility
+// through sync, and the catalog staying in sync with the bench harness.
+
+#include "loadgen/orchestrator.h"
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace idm::loadgen {
+namespace {
+
+Result<RunReport> RunSpecText(const std::string& text, size_t threads = 0) {
+  auto spec = ParseSpec(text);
+  if (!spec.ok()) return spec.status();
+  Orchestrator::Options options;
+  options.threads = threads;
+  Orchestrator orchestrator(options);
+  return orchestrator.Run(*spec);
+}
+
+// ---- VirtualAdmissionGate ------------------------------------------------
+
+TEST(VirtualAdmissionGate, DisabledGateAdmitsEverything) {
+  VirtualAdmissionGate gate({/*capacity=*/0, /*queue=*/0, /*timeout=*/0});
+  for (Micros t : {0, 5, 5, 5, 100}) {
+    auto d = gate.Offer(t, 1000);
+    EXPECT_TRUE(d.admitted);
+    EXPECT_EQ(d.wait, 0);
+  }
+}
+
+TEST(VirtualAdmissionGate, FreeSlotAdmitsWithoutWait) {
+  VirtualAdmissionGate gate({2, 4, 1000});
+  EXPECT_EQ(gate.Offer(0, 100).wait, 0);
+  EXPECT_EQ(gate.Offer(0, 100).wait, 0);  // second slot
+}
+
+TEST(VirtualAdmissionGate, QueuedOpWaitsForEarliestSlot) {
+  VirtualAdmissionGate gate({1, 4, 10000});
+  ASSERT_TRUE(gate.Offer(0, 100).admitted);  // slot busy until 100
+  auto d = gate.Offer(10, 100);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait, 90);  // starts at 100, slot then busy until 200
+  auto e = gate.Offer(20, 100);
+  EXPECT_TRUE(e.admitted);
+  EXPECT_EQ(e.wait, 180);  // FIFO behind the first waiter
+}
+
+TEST(VirtualAdmissionGate, FullQueueShedsImmediately) {
+  VirtualAdmissionGate gate({1, 1, 10000});
+  ASSERT_TRUE(gate.Offer(0, 100).admitted);
+  ASSERT_TRUE(gate.Offer(1, 100).admitted);  // the one queue slot
+  auto d = gate.Offer(2, 100);
+  EXPECT_FALSE(d.admitted);
+  EXPECT_TRUE(d.queue_full);
+  EXPECT_EQ(d.wait, 0);  // rejected at arrival, no waiting
+}
+
+TEST(VirtualAdmissionGate, LongWaitShedsAtTimeout) {
+  VirtualAdmissionGate gate({1, 8, 50});
+  ASSERT_TRUE(gate.Offer(0, 1000).admitted);
+  auto d = gate.Offer(10, 100);  // would need to wait 990 > 50
+  EXPECT_FALSE(d.admitted);
+  EXPECT_FALSE(d.queue_full);
+  EXPECT_EQ(d.wait, 50);  // waited the budget out before shedding
+}
+
+TEST(VirtualAdmissionGate, WaitersLeaveTheQueueWhenTheirTurnComes) {
+  VirtualAdmissionGate gate({1, 1, 10000});
+  ASSERT_TRUE(gate.Offer(0, 100).admitted);
+  ASSERT_TRUE(gate.Offer(1, 100).admitted);   // queued until 100
+  ASSERT_FALSE(gate.Offer(2, 100).admitted);  // queue full at t=2
+  // By t=150 the waiter started (at 100): the queue slot is free again.
+  auto d = gate.Offer(150, 100);
+  EXPECT_TRUE(d.admitted);
+  EXPECT_EQ(d.wait, 50);  // slot busy until 200 from the waiter's service
+}
+
+// ---- Orchestrator end-to-end --------------------------------------------
+
+constexpr const char* kSmokeSpec = R"(
+workload smoke
+seed 11
+capacity 2
+queue 4
+queue_timeout_ms 10
+
+phase ingest
+  ingest
+end
+
+phase traffic
+  duration_ms 300
+  arrival open 200
+  users 4
+  op query.any 4
+  op mail.send 1
+  op vfs.write 1
+end
+
+schedule ingest traffic
+)";
+
+TEST(Orchestrator, RunsScheduleAndReports) {
+  auto report = RunSpecText(kSmokeSpec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->workload, "smoke");
+  EXPECT_EQ(report->seed, 11u);
+  EXPECT_EQ(report->scale, "small");
+  ASSERT_EQ(report->phases.size(), 2u);
+
+  const PhaseReport& ingest = report->phases[0];
+  EXPECT_EQ(ingest.name, "ingest");
+  EXPECT_EQ(ingest.served, 3u);  // fs + mail + rss sources
+  EXPECT_GT(ingest.mix.at("ingest.fs_views"), 0u);
+  EXPECT_GT(ingest.mix.at("ingest.mail_views"), 0u);
+  EXPECT_GT(ingest.mix.at("ingest.rss_views"), 0u);
+
+  const PhaseReport& traffic = report->phases[1];
+  EXPECT_EQ(traffic.name, "traffic");
+  // ~200 ops/sec for 300 simulated ms; Poisson, so allow generous slack.
+  EXPECT_GT(traffic.issued, 20u);
+  EXPECT_LT(traffic.issued, 200u);
+  EXPECT_EQ(traffic.issued, traffic.served + traffic.shed_queue_full +
+                                traffic.shed_timeout + traffic.failed);
+  EXPECT_EQ(traffic.failed, 0u);
+  EXPECT_GT(traffic.latency.count, 0u);
+  EXPECT_GE(traffic.latency.p99, traffic.latency.p50);
+  EXPECT_GE(traffic.latency.max, traffic.latency.p999);
+  // The simulated phase lasted at least its configured duration.
+  EXPECT_GE(traffic.sim_end - traffic.sim_start, 300 * 1000);
+
+  EXPECT_EQ(report->total_issued, ingest.issued + traffic.issued);
+}
+
+TEST(Orchestrator, AutoIngestsWhenScheduleHasNoIngestPhase) {
+  auto report = RunSpecText(R"(
+workload bare
+phase traffic
+  duration_ms 100
+  arrival open 100
+  users 2
+  op query.Q4 1
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->phases.size(), 2u);
+  EXPECT_EQ(report->phases[0].name, "auto_ingest");
+  EXPECT_GT(report->phases[0].mix.at("ingest.fs_views"), 0u);
+  EXPECT_EQ(report->phases[1].name, "traffic");
+  EXPECT_EQ(report->phases[1].failed, 0u);
+}
+
+TEST(Orchestrator, ClosedLoopRespectsThinkTime) {
+  auto report = RunSpecText(R"(
+workload closed
+seed 3
+phase think
+  duration_ms 400
+  arrival closed 50
+  users 2
+  op query.Q4 1
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const PhaseReport& think = report->phases.back();
+  // 2 users, one op per ~50ms think + service, 400ms window: ~8 each, and
+  // a closed loop can never exceed duration/think per user.
+  EXPECT_GT(think.issued, 4u);
+  EXPECT_LE(think.issued, 2u * (400 / 50) + 2);
+  EXPECT_EQ(think.failed, 0u);
+}
+
+TEST(Orchestrator, MutationsBecomeQueryVisibleAfterSyncPoll) {
+  // mail.send ops append "[loadgen]" messages; a later sync.poll phase
+  // reconciles them into the indexes; the dataspace must then find them.
+  // Two scheduled phases pin the order — in a mixed phase the single poll
+  // could land before any send.
+  auto spec = ParseSpec(R"(
+workload visibility
+seed 5
+phase send
+  duration_ms 500
+  arrival closed 10
+  users 2
+  op mail.send 1
+end
+phase reconcile
+  duration_ms 200
+  arrival closed 50
+  users 1
+  op sync.poll 1
+end
+schedule send reconcile
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Orchestrator orchestrator;
+  auto report = orchestrator.Run(*spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const PhaseReport& send = report->phases[1];
+  const PhaseReport& reconcile = report->phases.back();
+  ASSERT_GT(send.mix.count("mail.send"), 0u);
+  ASSERT_GT(reconcile.mix.count("sync.poll"), 0u);
+  EXPECT_EQ(send.failed + reconcile.failed, 0u);
+
+  auto found = orchestrator.dataspace()->Query("\"loadgen\"");
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_GT(found->rows.size(), 0u);
+}
+
+TEST(Orchestrator, GateShedsUnderSyntheticOverload) {
+  auto report = RunSpecText(R"(
+workload overload
+seed 42
+capacity 1
+queue 2
+queue_timeout_ms 2
+phase spike
+  duration_ms 200
+  arrival open 4000
+  users 8
+  op query.Q1 1
+  op query.any 1
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const PhaseReport& spike = report->phases.back();
+  EXPECT_GT(spike.shed_queue_full + spike.shed_timeout, 0u);
+  EXPECT_GT(spike.served, 0u);  // the gate still serves at capacity
+  // Served latency stays bounded by wait budget + the largest service.
+  EXPECT_LT(spike.latency.p99, 100000);
+}
+
+TEST(Orchestrator, StepLimitDegradesExpensiveQueries) {
+  auto report = RunSpecText(R"(
+workload governed
+seed 42
+step_limit 300
+phase q
+  duration_ms 300
+  arrival open 100
+  users 4
+  op query.Q1 1
+  op query.Q8 1
+)");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const PhaseReport& q = report->phases.back();
+  EXPECT_GT(q.degraded, 0u);
+  EXPECT_EQ(q.failed, 0u);
+  EXPECT_LT(q.degraded, q.issued);  // cheap shapes still complete
+}
+
+TEST(Orchestrator, ScheduleReferencingUnknownPhaseFails) {
+  auto spec = ParseSpec(R"(
+workload broken
+phase p
+  duration_ms 10
+  arrival open 1
+  op query.any 1
+)");
+  ASSERT_TRUE(spec.ok());
+  spec->schedule.push_back("ghost");  // bypass parse-time validation
+  Orchestrator orchestrator;
+  auto report = orchestrator.Run(*spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+// The loadgen catalog must stay in lockstep with the bench harness's
+// Table 4 set — same ids, same iQL text — so BENCH_loadgen numbers are
+// about the same queries the paper-reproduction benches measure.
+TEST(QueryCatalog, MatchesBenchHarnessTable4) {
+  const auto& catalog = QueryCatalog();
+  const auto& harness = bench::Table4Queries();
+  ASSERT_EQ(catalog.size(), harness.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_STREQ(catalog[i].id, harness[i].id) << "index " << i;
+    EXPECT_STREQ(catalog[i].iql, harness[i].iql) << "query " << catalog[i].id;
+  }
+}
+
+TEST(DeriveSeed, IndependentStreams) {
+  EXPECT_EQ(DeriveSeed(42, "a/ops", 0), DeriveSeed(42, "a/ops", 0));
+  EXPECT_NE(DeriveSeed(42, "a/ops", 0), DeriveSeed(42, "a/ops", 1));
+  EXPECT_NE(DeriveSeed(42, "a/ops", 0), DeriveSeed(42, "b/ops", 0));
+  EXPECT_NE(DeriveSeed(42, "a/ops", 0), DeriveSeed(43, "a/ops", 0));
+}
+
+}  // namespace
+}  // namespace idm::loadgen

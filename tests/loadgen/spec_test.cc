@@ -1,0 +1,271 @@
+// Spec parser tests (DESIGN.md §13): canonical round-trips, the golden
+// dump of a representative spec, and line-numbered rejection of malformed
+// input. The fuzz pass lives in tests/property/fuzz_parsers_test.cc.
+
+#include "loadgen/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::loadgen {
+namespace {
+
+constexpr const char* kFullSpec = R"(# exercises every directive
+workload golden
+seed 7
+threads 4
+scale paper
+capacity 2
+queue 8
+queue_timeout_ms 20
+step_limit 1000
+
+phase ingest
+  ingest
+end
+
+phase steady
+  duration_ms 2000
+  arrival open 120.5
+  users 8
+  op query.Q1 4
+  op query.any 2
+  op mail.send 1
+end
+
+phase drain
+  duration_ms 500
+  arrival closed 25
+  users 3
+  op vfs.churn 1
+  op sync.poll 1
+end
+
+schedule ingest steady drain steady
+)";
+
+TEST(SpecParser, ParsesEveryDirective) {
+  auto spec = ParseSpec(kFullSpec);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "golden");
+  EXPECT_EQ(spec->seed, 7u);
+  EXPECT_EQ(spec->threads, 4u);
+  EXPECT_EQ(spec->scale, Scale::kPaper);
+  EXPECT_EQ(spec->capacity, 2u);
+  EXPECT_EQ(spec->queue, 8u);
+  EXPECT_EQ(spec->queue_timeout_ms, 20);
+  EXPECT_EQ(spec->step_limit, 1000u);
+  ASSERT_EQ(spec->phases.size(), 3u);
+
+  const PhaseSpec& ingest = spec->phases[0];
+  EXPECT_TRUE(ingest.ingest);
+  EXPECT_EQ(ingest.name, "ingest");
+
+  const PhaseSpec& steady = spec->phases[1];
+  EXPECT_FALSE(steady.ingest);
+  EXPECT_EQ(steady.duration_ms, 2000);
+  EXPECT_EQ(steady.arrival, ArrivalKind::kOpen);
+  EXPECT_DOUBLE_EQ(steady.rate_per_sec, 120.5);
+  EXPECT_EQ(steady.users, 8u);
+  ASSERT_EQ(steady.mix.size(), 3u);
+  EXPECT_EQ(steady.mix[0].first, OpKind::kQueryQ1);
+  EXPECT_EQ(steady.mix[0].second, 4u);
+  EXPECT_EQ(steady.mix[2].first, OpKind::kMailSend);
+
+  const PhaseSpec& drain = spec->phases[2];
+  EXPECT_EQ(drain.arrival, ArrivalKind::kClosed);
+  EXPECT_EQ(drain.think_ms, 25);
+  EXPECT_EQ(drain.users, 3u);
+
+  // Schedule allows repeats and preserves order.
+  EXPECT_EQ(spec->schedule,
+            (std::vector<std::string>{"ingest", "steady", "drain", "steady"}));
+}
+
+// The canonical dump is a fixpoint: parse(dump(s)) dumps to the same bytes.
+TEST(SpecParser, DumpRoundTripsToFixpoint) {
+  auto spec = ParseSpec(kFullSpec);
+  ASSERT_TRUE(spec.ok());
+  std::string dump = DumpSpec(*spec);
+  auto reparsed = ParseSpec(dump);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString()
+                             << "\ndump was:\n" << dump;
+  EXPECT_EQ(DumpSpec(*reparsed), dump);
+}
+
+// Golden dump: pins the canonical rendering (key order, normalization,
+// explicit schedule) so incidental parser changes surface as a diff here.
+TEST(SpecParser, GoldenDump) {
+  auto spec = ParseSpec(kFullSpec);
+  ASSERT_TRUE(spec.ok());
+  const std::string kGolden =
+      "workload golden\n"
+      "seed 7\n"
+      "threads 4\n"
+      "scale paper\n"
+      "capacity 2\n"
+      "queue 8\n"
+      "queue_timeout_ms 20\n"
+      "step_limit 1000\n"
+      "\n"
+      "phase ingest\n"
+      "  ingest\n"
+      "end\n"
+      "\n"
+      "phase steady\n"
+      "  duration_ms 2000\n"
+      "  arrival open 120.5\n"
+      "  users 8\n"
+      "  op query.Q1 4\n"
+      "  op query.any 2\n"
+      "  op mail.send 1\n"
+      "end\n"
+      "\n"
+      "phase drain\n"
+      "  duration_ms 500\n"
+      "  arrival closed 25\n"
+      "  users 3\n"
+      "  op vfs.churn 1\n"
+      "  op sync.poll 1\n"
+      "end\n"
+      "\n"
+      "schedule ingest steady drain steady\n";
+  EXPECT_EQ(DumpSpec(*spec), kGolden);
+}
+
+TEST(SpecParser, DefaultsWithoutScheduleOrEnd) {
+  // Trailing `end` is optional; schedule defaults to declaration order.
+  auto spec = ParseSpec(
+      "workload w\nphase a\nduration_ms 10\narrival open 5\nop query.any 1");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->seed, 42u);  // default
+  EXPECT_EQ(spec->schedule, std::vector<std::string>{"a"});
+  EXPECT_EQ(spec->phases[0].users, 4u);  // default
+}
+
+TEST(SpecParser, OpKindNamesRoundTrip) {
+  for (int k = 0; k <= static_cast<int>(OpKind::kSyncPoll); ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    OpKind parsed;
+    ASSERT_TRUE(ParseOpKind(OpKindName(kind), &parsed)) << OpKindName(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  OpKind out;
+  EXPECT_FALSE(ParseOpKind("query.Q9", &out));
+  EXPECT_FALSE(ParseOpKind("", &out));
+}
+
+/// Asserts \p text fails to parse with "line N:" and \p fragment in the
+/// error message.
+void ExpectError(const std::string& text, int line,
+                 const std::string& fragment) {
+  auto spec = ParseSpec(text);
+  ASSERT_FALSE(spec.ok()) << "unexpectedly parsed:\n" << text;
+  EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+  const std::string message = spec.status().ToString();
+  EXPECT_NE(message.find("line " + std::to_string(line) + ":"),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find(fragment), std::string::npos) << message;
+}
+
+TEST(SpecParserErrors, UnknownDirective) {
+  ExpectError("workload w\nbogus 3\n", 2, "unknown directive 'bogus'");
+}
+
+TEST(SpecParserErrors, UnknownPhaseDirective) {
+  ExpectError("workload w\nphase p\nrate 5\n", 3,
+              "unknown phase directive 'rate'");
+}
+
+TEST(SpecParserErrors, UnknownOpKind) {
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival open 1\n"
+              "op query.Q99 1\n",
+              5, "unknown op kind 'query.Q99'");
+}
+
+TEST(SpecParserErrors, BadWeight) {
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival open 1\n"
+              "op query.any 0\n",
+              5, "op weight");
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival open 1\n"
+              "op query.any -3\n",
+              5, "op weight");
+}
+
+TEST(SpecParserErrors, NegativeRate) {
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival open -4\n", 4,
+              "arrival rate must be positive");
+}
+
+TEST(SpecParserErrors, BadArrivalModel) {
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival poisson 4\n", 4,
+              "'open' or 'closed'");
+}
+
+TEST(SpecParserErrors, DuplicatePhase) {
+  ExpectError("workload w\n"
+              "phase p\nduration_ms 5\narrival open 1\nop query.any 1\nend\n"
+              "phase p\n",
+              7, "duplicate phase 'p' (first declared at line 2)");
+}
+
+TEST(SpecParserErrors, DuplicateTopLevelKey) {
+  ExpectError("workload w\nseed 1\nseed 2\n", 3, "duplicate 'seed'");
+}
+
+TEST(SpecParserErrors, MissingDuration) {
+  // Reported against the phase declaration line.
+  ExpectError("workload w\nphase p\narrival open 1\nop query.any 1\nend\n", 2,
+              "needs a positive duration_ms");
+}
+
+TEST(SpecParserErrors, EmptyMix) {
+  ExpectError("workload w\nphase p\nduration_ms 5\narrival open 1\nend\n", 2,
+              "declares no 'op' mix");
+}
+
+TEST(SpecParserErrors, IngestWithTrafficKnobs) {
+  ExpectError("workload w\nphase p\ningest\nduration_ms 5\n", 2,
+              "takes no duration_ms");
+}
+
+TEST(SpecParserErrors, ScheduleUnknownPhase) {
+  ExpectError("workload w\n"
+              "phase p\nduration_ms 5\narrival open 1\nop query.any 1\nend\n"
+              "schedule p ghost\n",
+              7, "schedule references unknown phase 'ghost'");
+}
+
+TEST(SpecParserErrors, EndOutsidePhase) {
+  ExpectError("workload w\nend\n", 2, "'end' outside a phase block");
+}
+
+TEST(SpecParserErrors, MissingWorkload) {
+  auto spec = ParseSpec("seed 3\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().ToString().find("no 'workload' directive"),
+            std::string::npos);
+}
+
+TEST(SpecParserErrors, NoPhases) {
+  auto spec = ParseSpec("workload w\nseed 3\n");
+  ASSERT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().ToString().find("declares no phases"),
+            std::string::npos);
+}
+
+TEST(SpecParserErrors, ZeroThreads) {
+  ExpectError("workload w\nthreads 0\n", 2, "'threads' must be at least 1");
+}
+
+TEST(SpecParser, CommentsAndBlankLinesIgnored) {
+  auto spec = ParseSpec(
+      "# header\n\nworkload w   # trailing\n\r\n"
+      "phase p\n  duration_ms 5\n  arrival open 1\n"
+      "  op query.any 1  # weighted\nend\n");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->name, "w");
+}
+
+}  // namespace
+}  // namespace idm::loadgen

@@ -11,6 +11,7 @@
 #include "email/mime.h"
 #include "iql/parser.h"
 #include "latex/latex.h"
+#include "loadgen/spec.h"
 #include "util/rng.h"
 #include "xml/xml.h"
 
@@ -169,6 +170,68 @@ TEST_P(FuzzSeeds, IqlNormalizationSurvivesWhitespaceVariants) {
     auto again = iql::ParseQuery(normalized);
     ASSERT_TRUE(again.ok()) << normalized;
     EXPECT_EQ(iql::ToString(*again), normalized);
+  }
+}
+
+TEST_P(FuzzSeeds, LoadgenSpecParserNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::string input = FuzzString(
+        &rng, 300,
+        "workload seed phase end op schedule arrival open closed "
+        "duration_ms users query.any mail.send 0123456789 #\n\t -.");
+    auto spec = loadgen::ParseSpec(input);
+    if (spec.ok()) {
+      // Anything accepted must dump canonically and re-parse to the same
+      // canonical bytes (the DumpSpec fixpoint).
+      std::string dump = loadgen::DumpSpec(*spec);
+      auto again = loadgen::ParseSpec(dump);
+      ASSERT_TRUE(again.ok()) << "accepted input:\n" << input
+                              << "\nbut rejected its own dump:\n" << dump;
+      EXPECT_EQ(loadgen::DumpSpec(*again), dump);
+    } else {
+      // Rejections are always line-addressed kInvalidArgument (or the
+      // whole-spec messages, which carry no line prefix).
+      EXPECT_EQ(spec.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+// Byte-level mutations of a known-good spec: flips, deletions, and
+// insertions reach the parser states adjacent to the happy path.
+TEST_P(FuzzSeeds, LoadgenSpecSurvivesMutationsOfValidSpec) {
+  Rng rng(GetParam());
+  const std::string kValid =
+      "workload fuzzbase\nseed 9\ncapacity 2\nqueue 4\nqueue_timeout_ms 5\n"
+      "phase ingest\n  ingest\nend\n"
+      "phase p\n  duration_ms 100\n  arrival open 50\n  users 3\n"
+      "  op query.Q1 2\n  op mail.burst 1\nend\n"
+      "schedule ingest p\n";
+  ASSERT_TRUE(loadgen::ParseSpec(kValid).ok());
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = kValid;
+    size_t edits = 1 + rng.Uniform(4);
+    for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Next() & 0xFF);
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.Uniform(8));
+          break;
+        default:
+          mutated.insert(pos, 1, static_cast<char>(rng.Next() & 0xFF));
+          break;
+      }
+    }
+    auto spec = loadgen::ParseSpec(mutated);
+    if (spec.ok()) {
+      std::string dump = loadgen::DumpSpec(*spec);
+      auto again = loadgen::ParseSpec(dump);
+      ASSERT_TRUE(again.ok()) << dump;
+      EXPECT_EQ(loadgen::DumpSpec(*again), dump);
+    }
   }
 }
 
