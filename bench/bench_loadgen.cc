@@ -116,6 +116,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report->total_degraded),
               static_cast<unsigned long long>(report->total_failed),
               report->wall_seconds);
+  std::printf("cache: %llu hits, %llu misses, survival rate %.2f "
+              "(%llu survived / %llu dropped on epoch bumps)\n",
+              static_cast<unsigned long long>(report->cache_hits),
+              static_cast<unsigned long long>(report->cache_misses),
+              report->cache_survival_rate,
+              static_cast<unsigned long long>(
+                  report->cache_footprint_survived),
+              static_cast<unsigned long long>(report->cache_stale_skipped));
 
   if (report->total_failed > 0) {
     std::fprintf(stderr, "bench_loadgen: %llu ops failed\n",

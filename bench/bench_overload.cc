@@ -130,8 +130,34 @@ Scenario RunScenario(const iql::Dataspace& ds, int load_x, bool shedding,
   return scenario;
 }
 
+/// Fine-grained cache survival under churn (DESIGN.md §14): warm the
+/// result cache with the Table 4 set plus filesystem-scoped selections on
+/// a cache-enabled dataspace, then land one *email* mutation and re-run.
+/// Footprints are source-granular, so the fs-scoped entries survive the
+/// epoch bump (the mail substrate cannot touch them) while anything
+/// global or mail-covering is dropped; the survival rate is the fraction
+/// of epoch-stale validations that kept their entry.
+iql::QueryCache::Stats ProbeCacheSurvival(Pipeline& pipe) {
+  const std::vector<std::string> fs_scoped = {"//*.tex", "//*.doc",
+                                              "//*.ppt", "//*.xls"};
+  auto warm = [&pipe, &fs_scoped] {
+    for (const PaperQuery& q : Table4Queries()) (void)pipe.ds->Query(q.iql);
+    for (const std::string& iql : fs_scoped) (void)pipe.ds->Query(iql);
+  };
+  warm();
+  email::Message m;
+  m.from = "churn@example.com";
+  m.subject = "unrelated mail churn";
+  m.date = pipe.ds->clock()->NowMicros();
+  m.body = "does not touch the filesystem substrate";
+  (void)pipe.built.imap->Append("INBOX", std::move(m));
+  (void)pipe.ds->sync().ProcessNotifications();
+  warm();
+  return pipe.ds->Stats().cache;
+}
+
 bool WriteGovernanceJson(const std::string& path, const BenchMeta& meta,
-                         double service_ms,
+                         double service_ms, const iql::QueryCache::Stats& cache,
                          const std::vector<Scenario>& scenarios) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -140,6 +166,15 @@ bool WriteGovernanceJson(const std::string& path, const BenchMeta& meta,
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": %s,\n",
                meta.bench.c_str(), MetaJson(meta).c_str());
+  std::fprintf(f,
+               "  \"cache\": {\"hits\": %llu, \"misses\": %llu, "
+               "\"stale_skipped\": %llu, \"footprint_survived\": %llu, "
+               "\"survival_rate\": %.4f},\n",
+               static_cast<unsigned long long>(cache.hits),
+               static_cast<unsigned long long>(cache.misses),
+               static_cast<unsigned long long>(cache.stale_skipped),
+               static_cast<unsigned long long>(cache.footprint_survived),
+               cache.survival_rate());
   std::fprintf(f, "  \"service_ms\": %.4f,\n  \"rows\": [\n", service_ms);
   for (size_t i = 0; i < scenarios.size(); ++i) {
     const Scenario& s = scenarios[i];
@@ -214,10 +249,20 @@ int main() {
       "every load; without it the backlog pushes tail latency without "
       "bound.\n");
 
+  // The overload matrix runs cache-disabled; the survival probe gets its
+  // own cache-enabled pipeline over the same corpus.
+  Pipeline cached = BuildPipeline(workload::DataspaceSpec::Small());
+  const iql::QueryCache::Stats cache = ProbeCacheSurvival(cached);
+  std::printf("cache survival after an unrelated write: %llu survived, "
+              "%llu dropped (rate %.2f)\n",
+              static_cast<unsigned long long>(cache.footprint_survived),
+              static_cast<unsigned long long>(cache.stale_skipped),
+              cache.survival_rate());
+
   BenchMeta meta =
       MetaFor("governance_overload", workload::DataspaceSpec::Small());
   meta.phase = "overload_matrix";
-  return WriteGovernanceJson("BENCH_governance.json", meta, service_ms,
+  return WriteGovernanceJson("BENCH_governance.json", meta, service_ms, cache,
                              scenarios)
              ? 0
              : 1;

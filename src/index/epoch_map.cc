@@ -1,0 +1,79 @@
+#include "index/epoch_map.h"
+
+#include <algorithm>
+
+namespace idm::index {
+
+std::string EpochMap::TopPrefix(std::string_view uri) {
+  size_t hash = uri.find('#');
+  if (hash != std::string_view::npos) uri = uri.substr(0, hash);
+  size_t start = 0;
+  size_t colon = uri.find(':');
+  if (colon != std::string_view::npos) {
+    start = colon + 1;
+    if (uri.substr(start, 2) == "//") start += 2;
+    while (start < uri.size() && uri[start] == '/') ++start;
+  }
+  size_t slash = uri.find('/', start);
+  if (slash == std::string_view::npos) return std::string(uri);
+  return std::string(uri.substr(0, slash));
+}
+
+void EpochMap::Note(uint32_t source, std::string_view uri, Version version) {
+  Version& s = by_source_[source];
+  if (version > s) s = version;
+  if (!uri.empty()) {
+    Version& p = by_prefix_[TopPrefix(uri)];
+    if (version > p) p = version;
+  }
+  if (version > global_) global_ = version;
+}
+
+Version EpochMap::SourceEpoch(uint32_t source) const {
+  auto it = by_source_.find(source);
+  return it == by_source_.end() ? 0 : it->second;
+}
+
+Version EpochMap::PrefixEpoch(std::string_view uri) const {
+  auto it = by_prefix_.find(TopPrefix(uri));
+  return it == by_prefix_.end() ? 0 : it->second;
+}
+
+std::vector<uint32_t> EpochMap::SourcesChangedSince(Version since) const {
+  std::vector<uint32_t> out;
+  for (const auto& [source, version] : by_source_) {
+    if (version > since) out.push_back(source);
+  }
+  return out;
+}
+
+bool EpochMap::ChangedOutside(const std::vector<uint32_t>& sources,
+                              Version since) const {
+  for (const auto& [source, version] : by_source_) {
+    if (version > since &&
+        !std::binary_search(sources.begin(), sources.end(), source)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void EpochMap::Clear() {
+  by_source_.clear();
+  by_prefix_.clear();
+  global_ = 0;
+}
+
+void EpochMap::Rebuild(const VersionLog& versions, const Catalog& catalog) {
+  Clear();
+  for (const ChangeRecord& record : versions.ChangesSince(0)) {
+    const CatalogEntry* entry = catalog.Entry(record.id);
+    if (entry != nullptr) {
+      Note(entry->source, entry->uri, record.version);
+    } else if (record.version > global_) {
+      global_ = record.version;  // unknown id: still advances the global epoch
+    }
+  }
+}
+
+}  // namespace idm::index

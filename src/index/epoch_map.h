@@ -1,0 +1,87 @@
+// Fine-grained mutation epochs (DESIGN.md §14). The VersionLog gives one
+// global epoch: any mutation anywhere advances it, which is exact but
+// coarse — a result cached at epoch E is logically invalidated by writes
+// that provably cannot affect it. The EpochMap refines the same version
+// counter along two axes:
+//
+//   - per data source ("substrate"): the last dataspace version that
+//     touched a view owned by source S, and
+//   - per top-level subtree prefix: the last version that touched a view
+//     whose uri lives under that prefix (e.g. "vfs:/projects",
+//     "imap://INBOX") — fragments ("base#sec1") count under their base.
+//
+// The map holds no history — just the newest version per key — so it is
+// O(#sources + #top-level prefixes) and is rebuilt from the VersionLog and
+// the Catalog after a snapshot restore or WAL replay (tombstoned catalog
+// entries keep their source and uri exactly so this reconstruction works).
+//
+// Consumers (query-cache validation, the subscription matcher) use it as a
+// cheap pre-filter: "did anything change since E?" and "did any of *these*
+// substrates change since E?" answer without scanning change records.
+
+#ifndef IDM_INDEX_EPOCH_MAP_H_
+#define IDM_INDEX_EPOCH_MAP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/catalog.h"
+#include "index/version_log.h"
+
+namespace idm::index {
+
+class EpochMap {
+ public:
+  /// The top-level subtree prefix of \p uri: scheme + first path segment,
+  /// with any "#fragment" suffix stripped first ("vfs:/a/b" -> "vfs:/a",
+  /// "imap://INBOX/42" -> "imap://INBOX", "x#sec/para" -> "x").
+  static std::string TopPrefix(std::string_view uri);
+
+  /// Records that \p version touched a view of \p source at \p uri.
+  /// Versions must be non-decreasing (they are: the VersionLog is
+  /// append-only and every mutation path notes its append here).
+  void Note(uint32_t source, std::string_view uri, Version version);
+
+  /// Last version that touched \p source; 0 when it was never touched.
+  Version SourceEpoch(uint32_t source) const;
+
+  /// Last version that touched the subtree \p uri belongs to; 0 when that
+  /// subtree was never touched.
+  Version PrefixEpoch(std::string_view uri) const;
+
+  /// Newest version noted overall (0 = nothing noted). Equals the
+  /// VersionLog's current() whenever the map is kept in lockstep.
+  Version global() const { return global_; }
+
+  /// Source ids with SourceEpoch > \p since, ascending.
+  std::vector<uint32_t> SourcesChangedSince(Version since) const;
+
+  /// True when some source outside the sorted \p sources list changed
+  /// after \p since — i.e. the change set is NOT covered by \p sources.
+  bool ChangedOutside(const std::vector<uint32_t>& sources,
+                      Version since) const;
+
+  size_t source_count() const { return by_source_.size(); }
+  size_t prefix_count() const { return by_prefix_.size(); }
+
+  void Clear();
+
+  /// Reconstructs the map from the full change log: every record's source
+  /// and uri are read from the catalog (tombstoned entries keep both).
+  /// Used after snapshot restore / WAL replay, where mutations bypass the
+  /// live Note() path.
+  void Rebuild(const VersionLog& versions, const Catalog& catalog);
+
+ private:
+  // Ordered maps: SourcesChangedSince must enumerate deterministically.
+  std::map<uint32_t, Version> by_source_;
+  std::map<std::string, Version, std::less<>> by_prefix_;
+  Version global_ = 0;
+};
+
+}  // namespace idm::index
+
+#endif  // IDM_INDEX_EPOCH_MAP_H_

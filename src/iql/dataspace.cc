@@ -1,9 +1,18 @@
 #include "iql/dataspace.h"
 
 #include "iql/parser.h"
+#include "iql/query_footprint.h"
 #include "util/string_util.h"
 
 namespace idm::iql {
+
+namespace {
+
+/// Change-record budget for proving a cached entry alive: beyond this,
+/// scanning costs more than re-evaluating is likely to — give up.
+constexpr size_t kMaxValidationScan = 64;
+
+}  // namespace
 
 Dataspace::Dataspace(Config config)
     : config_(std::move(config)),
@@ -28,6 +37,13 @@ Dataspace::Dataspace(Config config)
     qmetrics_.shed = reg.counter("iql.shed");
     qmetrics_.latency_micros = reg.histogram("iql.latency_micros");
     qmetrics_.queue_wait_micros = reg.histogram("iql.queue_wait_micros");
+    smetrics_.opened = reg.counter("sub.opened");
+    smetrics_.pumps = reg.counter("sub.pumps");
+    smetrics_.deltas = reg.counter("sub.deltas");
+    smetrics_.skipped = reg.counter("sub.skipped");
+    smetrics_.fastpath = reg.counter("sub.fastpath");
+    smetrics_.recomputes = reg.counter("sub.recomputes");
+    smetrics_.degraded = reg.counter("sub.degraded");
     module_.SetObservability(obs_.get());
     sync_->SetObservability(obs_.get());
   }
@@ -242,12 +258,18 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
   const std::string normalized = ToString(parsed);
   const uint64_t epoch = module_.versions().current();
   const bool cacheable = IsCacheable(parsed);
+  // Epoch-stale entries with a scoped footprint get a survival proof
+  // against the fine-grained epochs before being dropped (DESIGN.md §14).
+  const QueryCache::Validator validator =
+      [this](const sub::Footprint& footprint, uint64_t entry_epoch) {
+        return FootprintSurvives(footprint, entry_epoch);
+      };
   {
     obs::ScopedSpan lookup_span(root, "cache.lookup");
     if (!cacheable) {
       if (lookup_span) lookup_span.get()->SetAttr("outcome", "bypass");
     } else if (std::optional<QueryResult> hit =
-                   cache_.Lookup(normalized, epoch)) {
+                   cache_.Lookup(normalized, epoch, validator)) {
       hit->elapsed_micros = 0;  // served from cache; nothing was evaluated
       if (lookup_span) lookup_span.get()->SetAttr("outcome", "hit");
       if (qmetrics_.cache_hits != nullptr) qmetrics_.cache_hits->Inc();
@@ -259,9 +281,158 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
   }
   IDM_ASSIGN_OR_RETURN(QueryResult result, evaluate());
   // Insert() itself also refuses incomplete results; partial answers must
-  // never satisfy a later ungoverned lookup.
-  if (cacheable) cache_.Insert(normalized, epoch, result);
+  // never satisfy a later ungoverned lookup. Complete results are stored
+  // with their dependency footprint so unrelated-substrate writes don't
+  // evict them.
+  if (cacheable && result.meta.complete) {
+    cache_.Insert(normalized, epoch, result, ComputeFootprint(parsed, module_));
+  }
   return result;
+}
+
+void Dataspace::EnsureSubscriptionWiring() {
+  if (sub_wired_) return;
+  sub_wired_ = true;
+  // Every live-path version append becomes one MutationEvent. The listener
+  // is installed on first Subscribe so a dataspace without live queries
+  // never pays the per-mutation fan-out; OnMutation itself drops events
+  // when the registry is empty.
+  module_.SetMutationListener([this](const index::ChangeRecord& record,
+                                     uint32_t source, const std::string& uri,
+                                     const std::string& name) {
+    sub::MutationEvent event;
+    event.version = record.version;
+    event.op = record.op;
+    event.id = record.id;
+    event.source = source;
+    event.uri = uri;
+    event.name = name;
+    subs_.OnMutation(std::move(event));
+  });
+  // Pump after every completed sync round: mutations land in batches
+  // (poll / notification drain), so this is the natural delta boundary.
+  sync_->SetPostSyncHook([this] { PumpSubscriptions(); });
+}
+
+Result<std::shared_ptr<sub::Subscription>> Dataspace::Subscribe(
+    const std::string& iql, sub::SubscribeOptions options) {
+  IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
+  auto query = std::make_shared<::idm::iql::Query>(std::move(parsed));
+  const std::string normalized = ToString(*query);
+  EnsureSubscriptionWiring();
+
+  // The maintenance recompute (and the initial snapshot below): evaluate
+  // under the subscription's own governance limits, charging simulated
+  // evaluation cost to the dataspace clock like any governed Query().
+  sub::EvalFn eval = [this, query,
+                      limits = options.limits]() -> sub::EvalOutcome {
+    sub::EvalOutcome out;
+    std::optional<util::ExecContext> ctx;
+    if (limits.any()) ctx.emplace(&clock_, limits);
+    util::ExecContext* ctx_ptr = ctx.has_value() ? &*ctx : nullptr;
+    Result<QueryResult> result = processor_->Evaluate(*query, ctx_ptr);
+    if (ctx_ptr != nullptr && ctx_ptr->charged_micros() > 0) {
+      clock_.AdvanceMicros(ctx_ptr->charged_micros());
+    }
+    if (!result.ok()) {
+      out.degraded_reason = result.status().ToString();
+      return out;
+    }
+    out.ok = true;
+    out.complete = result->meta.complete;
+    out.degraded_reason = result->meta.degraded_reason;
+    out.rows = std::move(result->rows);
+    return out;
+  };
+
+  // Per-view fast path only for shapes where membership is a function of
+  // the view itself AND the predicate is clock-independent (a now()-window
+  // can silently expire members between events — those shapes recompute).
+  sub::MatchFn match;
+  if (QueryProcessor::SupportsMatchesDoc(*query) && IsCacheable(*query)) {
+    match = [this, query](index::DocId id) {
+      Result<bool> hit = processor_->MatchesDoc(*query, id);
+      return hit.ok() && *hit;
+    };
+  }
+  sub::RefreshFn refresh = [this, query] {
+    return ComputeFootprint(*query, module_);
+  };
+
+  sub::EvalOutcome initial = eval();
+  if (!initial.ok) {
+    return Status::InvalidArgument("subscribe: initial evaluation failed: " +
+                                   initial.degraded_reason);
+  }
+  sub::Footprint footprint = ComputeFootprint(*query, module_);
+  if (smetrics_.opened != nullptr) smetrics_.opened->Inc();
+  return subs_.Subscribe(normalized, std::move(footprint), std::move(eval),
+                         std::move(match), std::move(refresh),
+                         std::move(options), module_.versions().current(),
+                         std::move(initial.rows));
+}
+
+bool Dataspace::Unsubscribe(uint64_t id) { return subs_.Unsubscribe(id); }
+
+sub::SubscriptionManager::PumpStats Dataspace::PumpSubscriptions() {
+  if (subs_.subscription_count() == 0 && subs_.pending_events() == 0) {
+    return {};
+  }
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kSubTrace, "pump") : nullptr;
+  sub::SubscriptionManager::PumpStats stats =
+      subs_.Pump(module_.versions().current());
+  if (obs_ != nullptr) {
+    smetrics_.pumps->Inc();
+    smetrics_.deltas->Inc(stats.deltas);
+    smetrics_.skipped->Inc(stats.skipped);
+    smetrics_.fastpath->Inc(stats.fastpath);
+    smetrics_.recomputes->Inc(stats.recomputes);
+    smetrics_.degraded->Inc(stats.degraded);
+    if (trace != nullptr) {
+      obs::TraceSpan* root = trace->root();
+      root->SetAttr("pumped", static_cast<int64_t>(stats.pumped));
+      root->SetAttr("deltas", static_cast<int64_t>(stats.deltas));
+      root->SetAttr("skipped", static_cast<int64_t>(stats.skipped));
+      root->SetAttr("fastpath", static_cast<int64_t>(stats.fastpath));
+      root->SetAttr("recomputes", static_cast<int64_t>(stats.recomputes));
+    }
+    obs_->FinishTrace(obs::kSubTrace, std::move(trace));
+  }
+  return stats;
+}
+
+bool Dataspace::FootprintSurvives(const sub::Footprint& footprint,
+                                  uint64_t entry_epoch) const {
+  const index::EpochMap& epochs = module_.epochs();
+  // Fine-grained epoch pre-filter: any write inside the footprint's own
+  // substrates kills the entry without a record scan.
+  for (uint32_t source : footprint.substrates) {
+    if (epochs.SourceEpoch(source) > entry_epoch) return false;
+  }
+  // Everything since entry_epoch happened outside the substrates; prove
+  // record by record that no mutation introduced a pattern match. Names
+  // are read from the *current* replica, which is exactly what end-state
+  // equivalence needs: the cached result is served only if the dataspace
+  // now (not transiently) equals the state it was computed against, and a
+  // view whose current name matches a pattern necessarily has a record in
+  // this window bearing it.
+  std::vector<index::ChangeRecord> records =
+      module_.versions().ChangesSince(entry_epoch);
+  if (records.size() > kMaxValidationScan) return false;  // churn: give up
+  for (const index::ChangeRecord& record : records) {
+    if (record.op == index::ChangeRecord::Op::kRemoved) continue;
+    const index::CatalogEntry* entry = module_.catalog().Entry(record.id);
+    if (entry == nullptr) return false;  // unknown id: be conservative
+    sub::MutationEvent event;
+    event.version = record.version;
+    event.op = record.op;
+    event.id = record.id;
+    event.source = entry->source;
+    event.name = module_.names().NameOf(record.id);
+    if (sub::AffectedBy(footprint, event)) return false;
+  }
+  return true;
 }
 
 Result<Dataspace::UpdateResult> Dataspace::ExecuteUpdate(
@@ -312,6 +483,7 @@ DataspaceStats Dataspace::Stats() const {
   stats.cache = cache_.stats();
   stats.admission = admission_.stats();
   stats.sync = sync_->totals();
+  stats.subscriptions = subs_.GetStats();
   stats.mutations = module_.mutation_count();
   if (engine_ != nullptr) stats.storage = engine_->stats();
   stats.recovery = recovery_stats_;

@@ -32,6 +32,7 @@
 #include "obs/obs.h"
 #include "rvm/rvm.h"
 #include "storage/engine.h"
+#include "sub/subscription.h"
 #include "util/exec_context.h"
 
 namespace idm::iql {
@@ -43,6 +44,7 @@ struct DataspaceStats {
   QueryCache::Stats cache;                ///< result-cache hits/misses/…
   AdmissionController::Stats admission;   ///< admitted/shed/queued/…
   rvm::SyncTotals sync;                   ///< cumulative sync activity
+  sub::SubscriptionManager::Stats subscriptions;  ///< live-query activity
   uint64_t mutations = 0;                 ///< module mutations since start
   storage::StorageEngine::Stats storage;  ///< zeros when not durable
   storage::RecoveryStats recovery;        ///< what startup recovery found
@@ -149,6 +151,36 @@ class Dataspace {
   /// Sugar for Query(iql, QueryOptions{}): the classic ungoverned call.
   Result<QueryResult> Query(const std::string& iql) const;
 
+  /// --- live queries (continuous subscriptions, DESIGN.md §14) -------------
+  using SubscribeOptions = sub::SubscribeOptions;
+  using ResultDelta = sub::ResultDelta;
+  using Subscription = sub::Subscription;
+
+  /// Registers \p iql as a continuous query: the result set is evaluated
+  /// once now (delivered as the handle's first, snapshot delta) and then
+  /// maintained incrementally from the mutation stream — every sync round
+  /// pumps buffered changes into ordered ResultDeltas, drainable via
+  /// Subscription::Drain() or pushed through SubscribeOptions::on_delta.
+  /// Maintenance work is charged to the subscription's governance limits;
+  /// a degraded recompute delivers an incomplete delta (partial-result
+  /// contract) and retries on the next pump. Subscriptions do not survive
+  /// a durable restart: re-register after Open() — the recovered state is
+  /// the new initial snapshot.
+  Result<std::shared_ptr<sub::Subscription>> Subscribe(
+      const std::string& iql, sub::SubscribeOptions options = {});
+
+  /// Closes a subscription; the handle stays drainable but receives
+  /// nothing further. False for unknown ids.
+  bool Unsubscribe(uint64_t id);
+
+  /// Applies buffered mutation events to every subscription (one ordered
+  /// delta each). Runs automatically after every sync round; call it
+  /// directly after module-level mutations done behind the facade's back.
+  sub::SubscriptionManager::PumpStats PumpSubscriptions();
+
+  sub::SubscriptionManager& subscriptions() { return subs_; }
+  const sub::SubscriptionManager& subscriptions() const { return subs_; }
+
   /// --- introspection ------------------------------------------------------
   /// One-call snapshot of everything the dataspace knows about itself.
   /// Cheap when observability is off (the metrics snapshot is empty).
@@ -215,6 +247,16 @@ class Dataspace {
                                   const QueryOptions& options,
                                   obs::TraceSpan* root) const;
 
+  /// Proves a cached entry's footprint unaffected by the mutations in
+  /// (entry_epoch, now] — the query-cache survival validator.
+  bool FootprintSurvives(const sub::Footprint& footprint,
+                         uint64_t entry_epoch) const;
+
+  /// Installs the module mutation listener + post-sync pump hook. Lazy
+  /// (first Subscribe): a dataspace that never subscribes never pays the
+  /// per-mutation event fan-out.
+  void EnsureSubscriptionWiring();
+
   /// Metric handles resolved once at construction (null when observability
   /// is off — the hot path then pays a single pointer test per site).
   struct QueryMetrics {
@@ -225,6 +267,17 @@ class Dataspace {
     obs::Counter* shed = nullptr;
     obs::Histogram* latency_micros = nullptr;
     obs::Histogram* queue_wait_micros = nullptr;
+  };
+
+  /// sub.* metric handles (null when observability is off).
+  struct SubMetrics {
+    obs::Counter* opened = nullptr;
+    obs::Counter* pumps = nullptr;
+    obs::Counter* deltas = nullptr;
+    obs::Counter* skipped = nullptr;
+    obs::Counter* fastpath = nullptr;
+    obs::Counter* recomputes = nullptr;
+    obs::Counter* degraded = nullptr;
   };
 
   Config config_;
@@ -242,6 +295,9 @@ class Dataspace {
   Status storage_status_;
   std::unique_ptr<obs::Observability> obs_;  ///< null when disabled
   QueryMetrics qmetrics_;
+  mutable sub::SubscriptionManager subs_;  ///< internally synchronized
+  bool sub_wired_ = false;  ///< mutation listener + pump hook installed
+  SubMetrics smetrics_;
 };
 
 }  // namespace idm::iql

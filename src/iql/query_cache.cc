@@ -42,7 +42,8 @@ bool IsCacheable(const Query& query) {
 }
 
 std::optional<QueryResult> QueryCache::Lookup(const std::string& normalized,
-                                              uint64_t epoch) {
+                                              uint64_t epoch,
+                                              const Validator& validator) {
   if (!options_.enabled) return std::nullopt;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(normalized);
@@ -51,14 +52,25 @@ std::optional<QueryResult> QueryCache::Lookup(const std::string& normalized,
     return std::nullopt;
   }
   if (it->second->epoch != epoch) {
-    // The dataspace changed since this entry was computed: logically
-    // invalidated by the epoch advance; drop it now.
-    bytes_ -= it->second->bytes;
-    lru_.erase(it->second);
-    index_.erase(it);
-    ++stats_.stale_drops;
-    ++stats_.misses;
-    return std::nullopt;
+    // The dataspace changed since this entry was computed. A scoped
+    // footprint gets one chance to prove every intervening mutation
+    // irrelevant; success re-stamps the entry so the proof is never
+    // repeated for the same window.
+    if (validator != nullptr && it->second->footprint.scoped() &&
+        validator(it->second->footprint, it->second->epoch)) {
+      it->second->epoch = epoch;
+      it->second->footprint.epoch = epoch;
+      ++stats_.footprint_survived;
+    } else {
+      // Logically invalidated by the epoch advance; drop it now.
+      bytes_ -= it->second->bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.stale_drops;
+      ++stats_.stale_skipped;
+      ++stats_.misses;
+      return std::nullopt;
+    }
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // touch
   ++stats_.hits;
@@ -66,7 +78,7 @@ std::optional<QueryResult> QueryCache::Lookup(const std::string& normalized,
 }
 
 void QueryCache::Insert(const std::string& normalized, uint64_t epoch,
-                        const QueryResult& result) {
+                        const QueryResult& result, sub::Footprint footprint) {
   if (!options_.enabled) return;
   if (!result.meta.complete) return;  // partial results are not the answer
   size_t bytes = ResultBytes(normalized, result);
@@ -87,7 +99,8 @@ void QueryCache::Insert(const std::string& normalized, uint64_t epoch,
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{normalized, epoch, bytes, result});
+  lru_.push_front(Entry{normalized, epoch, bytes, result,
+                        std::move(footprint)});
   index_[normalized] = lru_.begin();
   bytes_ += bytes;
   EvictLocked();

@@ -10,11 +10,21 @@
 //
 // Queries whose answer depends on the clock rather than the catalog
 // (yesterday()/now() literals) must bypass the cache: IsCacheable().
+//
+// Footprint survival (DESIGN.md §14): entries may carry a dependency
+// footprint. On an epoch-stale lookup the caller-supplied validator gets a
+// chance to prove the intervening mutations could not have touched the
+// entry's source set (fine-grained epochs + change-record scan); a proven
+// entry is re-stamped to the current epoch and served as a hit
+// (Stats::footprint_survived), instead of being dropped
+// (Stats::stale_skipped). Global-footprint entries keep the classic
+// whole-epoch behavior exactly.
 
 #ifndef IDM_IQL_QUERY_CACHE_H_
 #define IDM_IQL_QUERY_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -23,6 +33,7 @@
 
 #include "iql/ast.h"
 #include "iql/query_processor.h"
+#include "sub/footprint.h"
 
 namespace idm::iql {
 
@@ -49,6 +60,12 @@ class QueryCache {
     uint64_t hits = 0;
     uint64_t misses = 0;       ///< includes epoch-stale lookups
     uint64_t stale_drops = 0;  ///< entries invalidated by an epoch advance
+    /// The epoch-stale split (stale_drops == stale_skipped; kept apart so
+    /// the survival rate reads directly): entries actually dropped, vs.
+    /// entries whose footprint proved the epoch advance irrelevant and
+    /// that were re-stamped and served (counted under hits too).
+    uint64_t stale_skipped = 0;
+    uint64_t footprint_survived = 0;
     uint64_t evictions = 0;    ///< entries evicted by the byte budget
     uint64_t oversized = 0;    ///< inserts rejected by max_entry_fraction
     size_t entries = 0;
@@ -57,7 +74,20 @@ class QueryCache {
       uint64_t total = hits + misses;
       return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
+    /// Of the epoch-stale lookups, the fraction saved by footprints.
+    double survival_rate() const {
+      uint64_t total = footprint_survived + stale_skipped;
+      return total == 0 ? 0.0
+                        : static_cast<double>(footprint_survived) / total;
+    }
   };
+
+  /// Proves (true) or declines to prove (false) that a cached entry with
+  /// \p footprint, stored at \p entry_epoch, is still exact at the current
+  /// epoch. Called under the cache lock — must not re-enter the cache.
+  using Validator =
+      std::function<bool(const sub::Footprint& footprint,
+                         uint64_t entry_epoch)>;
 
   QueryCache() = default;
   explicit QueryCache(Options options) : options_(options) {}
@@ -65,18 +95,21 @@ class QueryCache {
   bool enabled() const { return options_.enabled; }
 
   /// Returns the cached result for \p normalized computed at \p epoch, or
-  /// nullopt. An entry stored at an older epoch is dropped (stale) and
-  /// reported as a miss.
+  /// nullopt. An entry stored at an older epoch is offered to \p validator
+  /// (when given): survival re-stamps it to \p epoch and serves it as a
+  /// hit; otherwise it is dropped (stale) and reported as a miss.
   std::optional<QueryResult> Lookup(const std::string& normalized,
-                                    uint64_t epoch);
+                                    uint64_t epoch,
+                                    const Validator& validator = nullptr);
 
   /// Stores \p result for \p normalized at \p epoch and evicts LRU entries
   /// beyond the byte budget. Results larger than max_entry_fraction of the
   /// budget are not cached (Stats::oversized); incomplete (governed
   /// partial) results are never cached — a later ungoverned run must not
-  /// be answered with a prefix. No-op when disabled.
+  /// be answered with a prefix. No-op when disabled. \p footprint (default:
+  /// global) controls how the entry weathers later epoch advances.
   void Insert(const std::string& normalized, uint64_t epoch,
-              const QueryResult& result);
+              const QueryResult& result, sub::Footprint footprint = {});
 
   Stats stats() const;
   void Clear();
@@ -87,6 +120,7 @@ class QueryCache {
     uint64_t epoch = 0;
     size_t bytes = 0;
     QueryResult result;
+    sub::Footprint footprint;  ///< default kGlobal: classic epoch behavior
   };
   using LruList = std::list<Entry>;
 

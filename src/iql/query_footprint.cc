@@ -1,0 +1,142 @@
+#include "iql/query_footprint.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "iql/query_processor.h"
+
+namespace idm::iql {
+namespace {
+
+bool IsMatchAll(const std::string& pattern) {
+  return pattern.empty() || pattern == "*";
+}
+
+bool PredHasClockLiteral(const PredNode& pred) {
+  if (pred.kind == PredNode::Kind::kCompare &&
+      pred.literal_kind != PredNode::LiteralKind::kValue) {
+    return true;
+  }
+  for (const auto& child : pred.children) {
+    if (PredHasClockLiteral(*child)) return true;
+  }
+  return false;
+}
+
+bool QueryHasClockLiteral(const Query& query) {
+  if (query.filter != nullptr && PredHasClockLiteral(*query.filter)) {
+    return true;
+  }
+  for (const PathStep& step : query.steps) {
+    if (step.predicate != nullptr && PredHasClockLiteral(*step.predicate)) {
+      return true;
+    }
+  }
+  for (const auto& arm : query.arms) {
+    if (QueryHasClockLiteral(*arm)) return true;
+  }
+  return false;  // joins never reach here: they are global before this check
+}
+
+/// Anchoring for filter predicates: true when every view satisfying
+/// \p pred matches one of the collected patterns. A name equality anchors
+/// itself; one anchored conjunct anchors an `and` (members satisfy every
+/// conjunct, so the first anchored one suffices — fewest patterns wins);
+/// an `or` is anchored only when every branch is.
+bool CollectPredPatterns(const PredNode& pred,
+                         std::vector<std::string>* patterns) {
+  switch (pred.kind) {
+    case PredNode::Kind::kNameEq:
+      if (IsMatchAll(pred.text)) return false;
+      patterns->push_back(pred.text);
+      return true;
+    case PredNode::Kind::kAnd:
+      for (const auto& child : pred.children) {
+        std::vector<std::string> sub;
+        if (CollectPredPatterns(*child, &sub)) {
+          patterns->insert(patterns->end(), sub.begin(), sub.end());
+          return true;
+        }
+      }
+      return false;
+    case PredNode::Kind::kOr: {
+      std::vector<std::string> sub;
+      for (const auto& child : pred.children) {
+        if (!CollectPredPatterns(*child, &sub)) return false;
+      }
+      if (pred.children.empty()) return false;
+      patterns->insert(patterns->end(), sub.begin(), sub.end());
+      return true;
+    }
+    default:
+      // kNot (complement escapes any pattern), kPhrase/kCompare/kClassEq
+      // (no name constraint).
+      return false;
+  }
+}
+
+/// True when \p query is anchored: members AND structural bridges all
+/// match one of \p patterns. Path steps contribute every step's pattern —
+/// intermediate ("bridge") views must match them too, which is exactly
+/// what makes ancestry rewires visible to the affect test.
+bool CollectQueryPatterns(const Query& query,
+                          std::vector<std::string>* patterns) {
+  switch (query.kind) {
+    case Query::Kind::kPath:
+      if (query.steps.empty()) return false;
+      for (const PathStep& step : query.steps) {
+        if (IsMatchAll(step.name_pattern)) return false;
+        patterns->push_back(step.name_pattern);
+      }
+      return true;
+    case Query::Kind::kFilter:
+      if (query.filter == nullptr) return false;
+      if (QueryProcessor::IsRankedQuery(query)) return false;
+      return CollectPredPatterns(*query.filter, patterns);
+    case Query::Kind::kUnion:
+    case Query::Kind::kIntersect:
+    case Query::Kind::kExcept:
+      if (query.arms.empty()) return false;
+      for (const auto& arm : query.arms) {
+        if (!CollectQueryPatterns(*arm, patterns)) return false;
+      }
+      return true;
+    case Query::Kind::kJoin:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+sub::Footprint ComputeFootprint(const Query& query,
+                                const rvm::ReplicaIndexesModule& module) {
+  sub::Footprint footprint;
+  footprint.epoch = module.epoch();
+
+  std::vector<std::string> patterns;
+  if (!CollectQueryPatterns(query, &patterns) ||
+      QueryHasClockLiteral(query)) {
+    return footprint;  // kGlobal
+  }
+  std::sort(patterns.begin(), patterns.end());
+  patterns.erase(std::unique(patterns.begin(), patterns.end()),
+                 patterns.end());
+
+  std::set<uint32_t> sources;
+  for (const std::string& pattern : patterns) {
+    for (index::DocId id : module.names().LookupPattern(pattern)) {
+      const index::CatalogEntry* entry = module.catalog().Entry(id);
+      if (entry != nullptr && !entry->deleted) sources.insert(entry->source);
+    }
+  }
+
+  footprint.kind = sub::Footprint::Kind::kScoped;
+  footprint.patterns = std::move(patterns);
+  footprint.substrates.assign(sources.begin(), sources.end());
+  return footprint;
+}
+
+}  // namespace idm::iql

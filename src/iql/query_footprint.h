@@ -1,0 +1,34 @@
+// Builds dependency footprints (sub/footprint.h) from parsed iQL queries
+// (DESIGN.md §14). This is the only place that knows both the AST and the
+// footprint algebra; the subscription manager and the query cache consume
+// the result without ever seeing a query tree.
+
+#ifndef IDM_IQL_QUERY_FOOTPRINT_H_
+#define IDM_IQL_QUERY_FOOTPRINT_H_
+
+#include "iql/ast.h"
+#include "rvm/rvm.h"
+#include "sub/footprint.h"
+
+namespace idm::iql {
+
+/// Computes \p query's dependency footprint against the current replica
+/// state. Scoped iff every result member and structural bridge provably
+/// matches one of the collected name patterns:
+///   - paths: every step carries a concrete (non-"", non-"*") pattern;
+///   - filters: un-ranked, with a name conjunct anchoring the result (a
+///     kNameEq at top level, under a top-level `and`, or on *every* arm
+///     of an `or`);
+///   - set operations: every arm anchored (patterns are the union — even
+///     `except` arms, whose mutations can add results);
+///   - joins, ranked keyword filters, and clock-dependent predicates
+///     (now()/yesterday()) are never scoped: they get a global footprint,
+///     which degrades exactly to whole-epoch invalidation.
+/// The substrate set is the sources holding >= 1 live pattern match right
+/// now; the epoch is stamped from module.epoch().
+sub::Footprint ComputeFootprint(const Query& query,
+                                const rvm::ReplicaIndexesModule& module);
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_QUERY_FOOTPRINT_H_

@@ -864,6 +864,8 @@ class QueryProcessor::Evaluation {
   size_t expanded_ = 0;
   index::ProbeCounts probes_;
   std::set<std::string> rules_;
+
+  friend class iql::QueryProcessor;  // MatchesDoc/IsRankedQuery helpers
 };
 
 // ---------------------------------------------------------------------------
@@ -878,6 +880,58 @@ QueryProcessor::QueryProcessor(const rvm::ReplicaIndexesModule* module,
 }
 
 QueryProcessor::~QueryProcessor() = default;
+
+bool QueryProcessor::IsRankedQuery(const Query& query) {
+  return query.kind == Query::Kind::kFilter && query.filter != nullptr &&
+         Evaluation::IsRankable(*query.filter);
+}
+
+bool QueryProcessor::SupportsMatchesDoc(const Query& query) {
+  switch (query.kind) {
+    case Query::Kind::kFilter:
+      // Un-ranked filters test only the view's own name/tuple/content/
+      // class components. Ranked (pure keyword) results are ordered by
+      // corpus-wide idf, so a single view cannot be judged in isolation.
+      return query.filter != nullptr && !Evaluation::IsRankable(*query.filter);
+    case Query::Kind::kPath:
+      // `//name[pred]` — one descendant step has no ancestry constraint:
+      // membership is name-match plus the step predicate on the view.
+      return query.steps.size() == 1 && query.steps[0].descendant;
+    default:
+      return false;
+  }
+}
+
+Result<bool> QueryProcessor::MatchesDoc(const Query& query,
+                                        index::DocId id) const {
+  if (!SupportsMatchesDoc(query)) {
+    return Status::InvalidArgument(
+        "MatchesDoc: query shape is not per-view maintainable");
+  }
+  const index::CatalogEntry* entry = module_->catalog().Entry(id);
+  if (entry == nullptr || entry->deleted) return false;
+  // EvalPred is intersective — EvalPred(p, {id}) == {id} ∩ EvalPred(p, U)
+  // for any universe containing id — so the singleton universe answers
+  // membership exactly (liveness was just checked; predicate leaves only
+  // ever produce live ids, and kNot subtracts from the universe we pass).
+  const PredNode* predicate = nullptr;
+  if (query.kind == Query::Kind::kFilter) {
+    predicate = query.filter.get();
+  } else {
+    const PathStep& step = query.steps[0];
+    const std::string& pattern = step.name_pattern;
+    if (!pattern.empty() && pattern != "*" &&
+        !WildcardMatch(pattern, module_->names().NameOf(id))) {
+      return false;
+    }
+    predicate = step.predicate.get();
+  }
+  if (predicate == nullptr) return true;
+  Evaluation evaluation(*this, nullptr, nullptr);
+  IDM_ASSIGN_OR_RETURN(std::vector<index::DocId> hit,
+                       evaluation.EvalPred(*predicate, {id}));
+  return !hit.empty();
+}
 
 Result<QueryResult> QueryProcessor::Execute(const std::string& iql) const {
   return Execute(iql, nullptr);

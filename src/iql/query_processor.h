@@ -125,6 +125,23 @@ class QueryProcessor {
 
   const Options& options() const { return options_; }
 
+  /// True when \p query is a pure keyword/phrase filter, i.e. one that
+  /// gets tf-idf relevance ranking: its row *order* depends on corpus-wide
+  /// statistics, not just on the matching views.
+  static bool IsRankedQuery(const Query& query);
+
+  /// True when membership of a single view in \p query's result is a
+  /// function of that view's own components alone — un-ranked filters and
+  /// single-descendant-step paths. These shapes support MatchesDoc and
+  /// therefore O(changed views) incremental maintenance (DESIGN.md §14).
+  static bool SupportsMatchesDoc(const Query& query);
+
+  /// Per-view membership oracle for SupportsMatchesDoc shapes: true iff
+  /// the live view \p id is in the query's (unordered) result set right
+  /// now. Dead/unknown ids are simply not members. Unsupported shapes
+  /// return InvalidArgument.
+  Result<bool> MatchesDoc(const Query& query, index::DocId id) const;
+
   /// The evaluation pool (null when threads <= 1) — exposed so the facade
   /// can sample its telemetry for DataspaceStats.
   util::ThreadPool* pool() const { return pool_.get(); }

@@ -55,6 +55,12 @@ Op SampleOp(const PhaseSpec& phase, Rng* rng) {
                      static_cast<size_t>(OpKind::kQueryQ1);
   } else if (op.kind == OpKind::kQueryAny) {
     op.query_index = rng->Uniform(QueryCatalog().size());
+  } else if (op.kind >= OpKind::kSubscribeQ1 &&
+             op.kind <= OpKind::kSubscribeQ8) {
+    op.query_index = static_cast<size_t>(op.kind) -
+                     static_cast<size_t>(OpKind::kSubscribeQ1);
+  } else if (op.kind == OpKind::kSubscribeAny) {
+    op.query_index = rng->Uniform(QueryCatalog().size());
   }
   op.salt = rng->Next();
   return op;

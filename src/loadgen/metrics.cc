@@ -88,6 +88,12 @@ std::string RunReport::ToJson(bool include_wall) const {
       out << (i ? ", " : "") << buf;
     }
     out << "]}";
+    char rate[32];
+    std::snprintf(rate, sizeof(rate), "%.4f", cache_survival_rate);
+    out << ",\n  \"cache\": {\"hits\": " << cache_hits << ", \"misses\": "
+        << cache_misses << ", \"stale_skipped\": " << cache_stale_skipped
+        << ", \"footprint_survived\": " << cache_footprint_survived
+        << ", \"survival_rate\": " << rate << "}";
   }
   out << "\n}\n";
   return out.str();

@@ -51,6 +51,10 @@ bool IsQueryOp(OpKind kind) {
   return kind >= OpKind::kQueryQ1 && kind <= OpKind::kQueryAny;
 }
 
+bool IsSubscribeOp(OpKind kind) {
+  return kind >= OpKind::kSubscribeQ1 && kind <= OpKind::kSubscribeAny;
+}
+
 /// Exponential inter-arrival draw (Poisson process), floored to 1us so
 /// virtual time always advances. Deterministic for a given Rng state.
 Micros ExpMicros(Rng* rng, double rate_per_sec) {
@@ -247,6 +251,9 @@ Status Orchestrator::RunTrafficPhase(const WorkloadSpec& spec,
 
   std::vector<PendingQuery> batch;
   const uint64_t step_limit = state->step_limit;
+  // Standing queries opened by subscribe.* ops: held until the phase ends,
+  // then drained so their deltas land in the phase mix.
+  std::vector<std::shared_ptr<iql::Dataspace::Subscription>> standing;
 
   // Executes the batched query ops concurrently, then threads them through
   // the virtual gate in arrival order (batch order == pop order == time
@@ -315,13 +322,27 @@ Status Orchestrator::RunTrafficPhase(const WorkloadSpec& spec,
       continue;
     }
 
-    // Mutation/sync op: drain the query batch first so the gate sees
-    // offers in time order, then apply serially at virtual arrival time.
+    // Mutation/sync/subscribe op: drain the query batch first so the gate
+    // sees offers in time order, then apply serially at virtual arrival
+    // time.
     flush(nullptr);
     if (event.time > clock->NowMicros()) {
       clock->AdvanceMicros(event.time - clock->NowMicros());
     }
-    Status status = ExecuteMutation(event.op, state->subs);
+    Status status = Status::OK();
+    if (IsSubscribeOp(event.op.kind)) {
+      // Open a standing query and hold it for the rest of the phase; the
+      // deltas it accumulates while churn runs are drained at phase end.
+      auto sub = state->subs.ds->Subscribe(
+          QueryCatalog()[event.op.query_index].iql);
+      if (sub.ok()) {
+        standing.push_back(*sub);
+      } else {
+        status = sub.status();
+      }
+    } else {
+      status = ExecuteMutation(event.op, state->subs);
+    }
     ++report->issued;
     ++report->mix[OpKindName(event.op.kind)];
     if (status.ok()) {
@@ -342,6 +363,16 @@ Status Orchestrator::RunTrafficPhase(const WorkloadSpec& spec,
     }
   }
   flush(nullptr);
+
+  // Close out the phase's standing queries. Every delta delivered while
+  // churn ran (plus each initial snapshot) is folded into the mix so
+  // subscription activity is visible in reports; "sub.delta" stays out of
+  // the latency percentiles for the same reason sync.poll does.
+  for (const auto& sub : standing) {
+    report->mix["sub.delta"] +=
+        static_cast<uint64_t>(sub->Drain().size());
+    state->subs.ds->Unsubscribe(sub->id());
+  }
 
   if (end > clock->NowMicros()) {
     clock->AdvanceMicros(end - clock->NowMicros());
@@ -424,6 +455,12 @@ Result<RunReport> Orchestrator::Run(const WorkloadSpec& spec) {
   report.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
+  const iql::QueryCache::Stats cache = ds_->Stats().cache;
+  report.cache_hits = cache.hits;
+  report.cache_misses = cache.misses;
+  report.cache_stale_skipped = cache.stale_skipped;
+  report.cache_footprint_survived = cache.footprint_survived;
+  report.cache_survival_rate = cache.survival_rate();
   report.Finalize();
   return report;
 }

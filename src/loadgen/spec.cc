@@ -26,6 +26,15 @@ const struct {
     {OpKind::kMailBurst, "mail.burst"}, {OpKind::kRssTick, "rss.tick"},
     {OpKind::kVfsWrite, "vfs.write"}, {OpKind::kVfsRemove, "vfs.remove"},
     {OpKind::kVfsChurn, "vfs.churn"}, {OpKind::kSyncPoll, "sync.poll"},
+    {OpKind::kSubscribeQ1, "subscribe.Q1"},
+    {OpKind::kSubscribeQ2, "subscribe.Q2"},
+    {OpKind::kSubscribeQ3, "subscribe.Q3"},
+    {OpKind::kSubscribeQ4, "subscribe.Q4"},
+    {OpKind::kSubscribeQ5, "subscribe.Q5"},
+    {OpKind::kSubscribeQ6, "subscribe.Q6"},
+    {OpKind::kSubscribeQ7, "subscribe.Q7"},
+    {OpKind::kSubscribeQ8, "subscribe.Q8"},
+    {OpKind::kSubscribeAny, "subscribe.any"},
 };
 
 Status LineError(int line, const std::string& message) {

@@ -68,6 +68,20 @@ enum class OpKind {
   kVfsRemove,  ///< remove a previously written note (no-op when none)
   kVfsChurn,   ///< mixed create/overwrite/remove
   kSyncPoll,   ///< SynchronizationManager::Poll — reconcile substrate drift
+  // Standing queries (DESIGN.md §14): `op subscribe.Q3 2` opens a live
+  // subscription on the Table 4 query and holds it open for the rest of
+  // the phase while churn runs; deltas delivered to it are counted in the
+  // phase report. Kept after kSyncPoll so the kQueryQ1..kQueryAny range
+  // test in the orchestrator stays valid.
+  kSubscribeQ1,   ///< subscribe to Table 4 Q1 … Q8
+  kSubscribeQ2,
+  kSubscribeQ3,
+  kSubscribeQ4,
+  kSubscribeQ5,
+  kSubscribeQ6,
+  kSubscribeQ7,
+  kSubscribeQ8,
+  kSubscribeAny,  ///< uniform pick over the Table 4 catalog
 };
 
 /// "query.Q1", "mail.burst", … (the spelling used in spec files).

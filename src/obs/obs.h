@@ -36,6 +36,7 @@ struct Options {
 inline constexpr char kQueryTrace[] = "query";
 inline constexpr char kStorageTrace[] = "storage";
 inline constexpr char kFederationTrace[] = "federation";
+inline constexpr char kSubTrace[] = "sub";
 
 class Observability {
  public:

@@ -231,17 +231,40 @@ void ReplicaIndexesModule::MutVersionAppend(index::ChangeRecord::Op op,
   if (mutation_metric_ != nullptr) mutation_metric_->Inc();
   if (engine_ == nullptr) {
     versions_.Append(op, id);
-    return;
+  } else {
+    storage::Mutation m;
+    m.kind = storage::Mutation::Kind::kVersionAppend;
+    m.a = static_cast<uint64_t>(op);
+    m.b = id;
+    // The timestamp rides in the record so replay reproduces it exactly
+    // even though the recovering process observes a different clock.
+    m.c = static_cast<uint64_t>(clock_ != nullptr ? clock_->NowMicros() : 0);
+    engine_->Log(m);
+    (void)storage::ApplyMutation(m, Mutable());
   }
-  storage::Mutation m;
-  m.kind = storage::Mutation::Kind::kVersionAppend;
-  m.a = static_cast<uint64_t>(op);
-  m.b = id;
-  // The timestamp rides in the record so replay reproduces it exactly even
-  // though the recovering process observes a different clock.
-  m.c = static_cast<uint64_t>(clock_ != nullptr ? clock_->NowMicros() : 0);
-  engine_->Log(m);
-  (void)storage::ApplyMutation(m, Mutable());
+  // Live-path epoch bookkeeping and change fan-out. Every mutation route
+  // (indexing, sync, notifications, removal) funnels through this append,
+  // so this is the single choke point where fine-grained epochs and the
+  // subscription stream observe writes. The catalog entry is present for
+  // adds/updates and tombstoned (uri and source retained) for removals;
+  // the name replica has already dropped removed ids, so removals carry
+  // an empty name.
+  const index::Version version = versions_.current();
+  const index::CatalogEntry* entry = catalog_.Entry(id);
+  static const std::string kNoUri;
+  const std::string& uri = entry != nullptr ? entry->uri : kNoUri;
+  const uint32_t source = entry != nullptr ? entry->source : 0;
+  epochs_.Note(source, uri, version);
+  if (listener_) {
+    const std::string& name = op == index::ChangeRecord::Op::kRemoved
+                                  ? kNoUri
+                                  : name_index_.NameOf(id);
+    index::ChangeRecord record;
+    record.version = version;
+    record.op = op;
+    record.id = id;
+    listener_(record, source, uri, name);
+  }
 }
 
 storage::Snapshot ReplicaIndexesModule::ExportSnapshot() const {
@@ -280,6 +303,9 @@ Status ReplicaIndexesModule::RestoreSnapshot(const storage::Snapshot& snapshot) 
   group_store_ = std::move(groups);
   lineage_ = std::move(lineage);
   versions_ = std::move(versions);
+  // Restore bypasses MutVersionAppend, so the fine-grained epochs must be
+  // reconstructed from the recovered log + catalog.
+  epochs_.Rebuild(versions_, catalog_);
   return Status::OK();
 }
 
@@ -289,6 +315,9 @@ Status ReplicaIndexesModule::ReplayMutations(
   for (const storage::Mutation& m : mutations) {
     IDM_RETURN_NOT_OK(storage::ApplyMutation(m, structures).status());
   }
+  // Replay applies mutations directly (silent: no listener, no epoch
+  // notes); rebuild the epoch map to match the replayed log.
+  epochs_.Rebuild(versions_, catalog_);
   return Status::OK();
 }
 
@@ -541,8 +570,32 @@ Result<SyncStats> ReplicaIndexesModule::IndexSubtree(
   IDM_ASSIGN_OR_RETURN(SourceIndexStats stats,
                        Walk(source, converters, *view, options, &sync));
   (void)stats;
+  // The walk starts *at* the changed uri, so a freshly created view is
+  // indexed without the full poll that would refresh its parent's child
+  // list — leaving it unreachable by descendant-path expansion until the
+  // next Poll. Patch the missing γ edge through the Mut* choke point so
+  // WAL replay and mutation listeners observe it too.
+  LinkIntoParent(uri);
   IDM_RETURN_NOT_OK(CommitBatch());
   return sync;
+}
+
+void ReplicaIndexesModule::LinkIntoParent(const std::string& uri) {
+  auto id = catalog_.Find(uri);
+  if (!id.has_value() || uri.find('#') != std::string::npos) return;
+  size_t slash = uri.rfind('/');
+  if (slash == std::string::npos || slash == 0) return;
+  // "vfs:/a/b" parents to "vfs:/a"; a top-level "vfs:/a" parents to the
+  // scheme root "vfs:/" (the slash stays when stripping leaves none).
+  auto parent = catalog_.Find(uri.substr(0, slash));
+  if (!parent.has_value()) parent = catalog_.Find(uri.substr(0, slash + 1));
+  if (!parent.has_value() || *parent == *id) return;
+  std::vector<index::DocId> children = group_store_.Children(*parent);
+  for (index::DocId child : children) {
+    if (child == *id) return;
+  }
+  children.push_back(*id);
+  MutGroupSet(*parent, std::move(children));
 }
 
 Result<SyncStats> ReplicaIndexesModule::RemoveSubtree(const std::string& uri) {
@@ -686,6 +739,7 @@ Result<SyncStats> SynchronizationManager::Poll() {
   ++totals_.polls;
   if (metrics_.polls != nullptr) metrics_.polls->Inc();
   Account(total);
+  if (post_sync_) post_sync_();
   return total;
 }
 
@@ -717,6 +771,7 @@ Result<SyncStats> SynchronizationManager::ProcessNotifications() {
     if (metrics_.notifications != nullptr) metrics_.notifications->Inc();
   }
   Account(total);
+  if (post_sync_) post_sync_();
   return total;
 }
 

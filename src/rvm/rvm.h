@@ -23,6 +23,7 @@
 #define IDM_RVM_RVM_H_
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -31,6 +32,7 @@
 #include "core/view_class.h"
 #include "storage/engine.h"
 #include "index/catalog.h"
+#include "index/epoch_map.h"
 #include "index/group_store.h"
 #include "index/inverted_index.h"
 #include "index/lineage.h"
@@ -223,6 +225,23 @@ class ReplicaIndexesModule {
   /// result cached at epoch E is exact for as long as epoch() == E.
   index::Version epoch() const { return versions_.current(); }
 
+  /// Fine-grained mutation epochs (per substrate / per top-level subtree
+  /// prefix, DESIGN.md §14). Kept in lockstep with the version log on the
+  /// live path and rebuilt after snapshot restore / WAL replay.
+  const index::EpochMap& epochs() const { return epochs_; }
+
+  /// Live-path mutation listener: invoked once per version-log append
+  /// (never during restore/replay, which are silent) with the appended
+  /// record, the owning source, the view's uri, and its name component at
+  /// event time — "" for removals, whose name replica entry is already
+  /// gone by the time the version is appended.
+  using MutationListener =
+      std::function<void(const index::ChangeRecord& record, uint32_t source,
+                         const std::string& uri, const std::string& name)>;
+  void SetMutationListener(MutationListener listener) {
+    listener_ = std::move(listener);
+  }
+
   /// Current per-structure sizes (paper Table 3).
   IndexSizes Sizes() const;
 
@@ -271,6 +290,7 @@ class ReplicaIndexesModule {
   void MutContentRemove(index::DocId id);
   void MutGroupSet(index::DocId id, std::vector<index::DocId> children);
   void MutGroupRemoveAll(index::DocId id);
+  void LinkIntoParent(const std::string& uri);
   void MutLineageRecord(index::DocId derived, index::DocId origin,
                         const std::string& transformation);
   void MutLineageForget(index::DocId id);
@@ -283,6 +303,8 @@ class ReplicaIndexesModule {
   index::GroupStore group_store_;
   index::LineageStore lineage_;
   index::VersionLog versions_;
+  index::EpochMap epochs_;
+  MutationListener listener_;
   Clock* clock_ = nullptr;
   storage::StorageEngine* engine_ = nullptr;
   uint64_t mutation_count_ = 0;
@@ -330,6 +352,13 @@ class SynchronizationManager {
   /// rvm.sync.* counters once.
   void SetObservability(obs::Observability* obs);
 
+  /// Hook fired after every completed synchronization round (Poll or
+  /// ProcessNotifications), i.e. at the points where a batch of mutations
+  /// has fully landed — the subscription layer pumps deltas here.
+  void SetPostSyncHook(std::function<void()> hook) {
+    post_sync_ = std::move(hook);
+  }
+
   const ConverterRegistry& converters() const { return converters_; }
   const IndexingOptions& options() const { return options_; }
 
@@ -350,6 +379,7 @@ class SynchronizationManager {
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 
   SyncTotals totals_;
+  std::function<void()> post_sync_;
   /// Metric pointers resolved by SetObservability (null = metrics off).
   struct Metrics {
     obs::Counter* added = nullptr;

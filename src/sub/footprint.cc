@@ -1,0 +1,34 @@
+#include "sub/footprint.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace idm::sub {
+
+bool PatternMatchesName(const std::string& pattern, const std::string& name) {
+  if (pattern.empty() || pattern == "*") return true;
+  // WildcardMatch is case-insensitive and degrades to case-insensitive
+  // equality without metacharacters — the same predicate LookupPattern
+  // applies to its lower-cased keys.
+  return WildcardMatch(pattern, name);
+}
+
+bool AffectedBy(const Footprint& footprint, const MutationEvent& event) {
+  if (!footprint.scoped()) return true;
+  if (std::binary_search(footprint.substrates.begin(),
+                         footprint.substrates.end(), event.source)) {
+    return true;
+  }
+  // Outside the footprint's substrates nothing matched any pattern when it
+  // was built; only a mutation that *introduces* a match can matter, and
+  // an introduction carries the matching name on its own record. Removals
+  // there cannot un-match anything.
+  if (event.op == index::ChangeRecord::Op::kRemoved) return false;
+  for (const std::string& pattern : footprint.patterns) {
+    if (PatternMatchesName(pattern, event.name)) return true;
+  }
+  return false;
+}
+
+}  // namespace idm::sub

@@ -1,0 +1,91 @@
+// Dependency footprints for continuous queries and cached results
+// (DESIGN.md §14). A Footprint is a conservative summary of which
+// mutations can change a query's result set; the matcher AffectedBy()
+// answers "can this change record affect that result?" without
+// re-evaluating the query.
+//
+// Soundness rests on two properties of this codebase, stated here because
+// the matcher depends on them:
+//
+//   1. Source-locality of structure: group (parent/child) edges never
+//      cross data sources — a view's ancestor chain lives entirely in its
+//      own substrate.
+//   2. Uri-encoded ancestry: a view's uri embeds its path, so reparenting
+//      a subtree changes the uris (and hence produces change records) of
+//      every moved view; an ancestry chain cannot be rewired without
+//      change records on the views whose membership could change, or on a
+//      view whose (new) name matches one of the query's name patterns.
+//
+// Given those, a *scoped* footprint — the query's name patterns plus the
+// set of substrates that contained at least one pattern-matching view
+// when the footprint was built — supports this exact test: a change
+// record is irrelevant iff its substrate held no pattern match at build
+// time, every record since then was likewise irrelevant, and the record's
+// own (new) name matches no pattern. Queries this reasoning does not
+// cover (joins, ranked keyword queries with their global idf terms,
+// clock-dependent literals, un-anchored filters) get a *global* footprint:
+// every mutation is assumed to affect them — exactly today's whole-epoch
+// invalidation, so nothing gets less precise.
+
+#ifndef IDM_SUB_FOOTPRINT_H_
+#define IDM_SUB_FOOTPRINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/version_log.h"
+
+namespace idm::sub {
+
+/// One mutation, enriched with what the matcher needs. Built at
+/// version-append time (the live path), where the catalog entry and the
+/// name replica still/already describe the view: for adds and updates
+/// `name` is the view's (new) name; for removals it is empty — the matcher
+/// never needs a removed view's name.
+struct MutationEvent {
+  index::Version version = 0;
+  index::ChangeRecord::Op op = index::ChangeRecord::Op::kAdded;
+  index::DocId id = 0;
+  uint32_t source = 0;   ///< owning substrate (catalog source id)
+  std::string uri;       ///< view uri (kept for prefix epochs/diagnosis)
+  std::string name;      ///< name component at event time ("" for removals)
+};
+
+/// Conservative dependency summary of one query, built at evaluation time.
+struct Footprint {
+  enum class Kind {
+    kScoped,  ///< patterns + substrates support the precise test above
+    kGlobal,  ///< every mutation may affect the result (classic epoch key)
+  };
+
+  Kind kind = Kind::kGlobal;
+  /// The query's name patterns (path step names and conjunctive name
+  /// predicates), verbatim — matching is the name index's own
+  /// case-insensitive wildcard semantics.
+  std::vector<std::string> patterns;
+  /// Sorted source ids that contained >= 1 view matching any pattern when
+  /// the footprint was built. Result members and structural "bridge"
+  /// views always match a pattern, so membership can only change inside
+  /// these substrates — or through a mutation whose new name matches.
+  std::vector<uint32_t> substrates;
+  /// The dataspace version the footprint (and its result) was built at.
+  index::Version epoch = 0;
+
+  bool scoped() const { return kind == Kind::kScoped; }
+};
+
+/// Name-index pattern semantics: case-insensitive, '*'/'?' wildcards,
+/// ""/"*" match everything (mirrors NameIndex::LookupPattern).
+bool PatternMatchesName(const std::string& pattern, const std::string& name);
+
+/// True when \p event can affect a result described by \p footprint.
+/// Global footprints are affected by everything. Scoped footprints are
+/// affected iff the event hits one of the footprint's substrates, or the
+/// event's (new) name matches one of the patterns (a match appearing in a
+/// previously irrelevant substrate).
+bool AffectedBy(const Footprint& footprint, const MutationEvent& event);
+
+}  // namespace idm::sub
+
+#endif  // IDM_SUB_FOOTPRINT_H_

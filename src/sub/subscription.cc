@@ -1,0 +1,321 @@
+#include "sub/subscription.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace idm::sub {
+
+// ---------------------------------------------------------------------------
+// Subscription
+
+std::vector<ResultDelta> Subscription::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ResultDelta> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  return out;
+}
+
+size_t Subscription::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::vector<std::vector<index::DocId>> Subscription::Rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+index::Version Subscription::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+uint64_t Subscription::deltas_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+uint64_t Subscription::overflows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overflows_;
+}
+
+// Requires mu_ held. Overflow collapses the whole queue into one snapshot
+// delta carrying the full current rows: a lagging consumer loses
+// per-write granularity, never state.
+void Subscription::Enqueue(ResultDelta delta, size_t max_queue) {
+  queue_.push_back(std::move(delta));
+  ++delivered_;
+  if (max_queue > 0 && queue_.size() > max_queue) {
+    index::Version newest = queue_.back().version;
+    queue_.clear();
+    ResultDelta snapshot;
+    snapshot.version = newest;
+    snapshot.added = rows_;
+    snapshot.snapshot = true;
+    queue_.push_back(std::move(snapshot));
+    ++overflows_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SubscriptionManager
+
+std::shared_ptr<Subscription> SubscriptionManager::Subscribe(
+    std::string normalized_query, Footprint footprint, EvalFn eval,
+    MatchFn match, RefreshFn refresh, SubscribeOptions options,
+    index::Version version,
+    std::vector<std::vector<index::DocId>> initial_rows) {
+  auto sub = std::shared_ptr<Subscription>(new Subscription());
+  sub->query_ = std::move(normalized_query);
+  sub->footprint_ = std::move(footprint);
+  sub->eval_ = std::move(eval);
+  sub->match_ = std::move(match);
+  sub->refresh_ = std::move(refresh);
+  sub->options_ = std::move(options);
+
+  ResultDelta initial;
+  initial.version = version;
+  initial.added = initial_rows;
+  initial.snapshot = true;
+  {
+    std::lock_guard<std::mutex> sub_lock(sub->mu_);
+    sub->rows_ = std::move(initial_rows);
+    sub->version_ = version;
+    sub->queue_.push_back(initial);
+    ++sub->delivered_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sub->id_ = next_id_++;
+    registry_[sub->id_] = sub;
+    ++stats_.opened;
+    stats_.subscriptions = registry_.size();
+  }
+  if (sub->options_.on_delta) sub->options_.on_delta(initial);
+  return sub;
+}
+
+bool SubscriptionManager::Unsubscribe(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool erased = registry_.erase(id) > 0;
+  stats_.subscriptions = registry_.size();
+  return erased;
+}
+
+void SubscriptionManager::OnMutation(MutationEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry_.empty()) return;  // nobody listening: drop, don't buffer
+  buffer_.push_back(std::move(event));
+  ++stats_.events;
+}
+
+SubscriptionManager::PumpStats SubscriptionManager::Pump(
+    index::Version version) {
+  // Serialize pumps: per-subscription maintenance state (rows, footprint,
+  // needs_refresh) is only ever touched from inside a pump pass.
+  std::lock_guard<std::mutex> pump_lock(pump_mu_);
+  std::vector<MutationEvent> events;
+  std::vector<std::shared_ptr<Subscription>> subs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = std::move(buffer_);
+    buffer_.clear();
+    subs.reserve(registry_.size());
+    for (const auto& [id, sub] : registry_) subs.push_back(sub);
+  }
+
+  PumpStats pump;
+  if (subs.empty()) return pump;
+  bool any_refresh = false;
+  for (const auto& sub : subs) any_refresh |= sub->needs_refresh_;
+  if (events.empty() && !any_refresh) return pump;
+
+  // Subscription-id order (registry_ is ordered): delivery order is a
+  // function of registration order alone, never of evaluation threading.
+  for (const auto& sub : subs) PumpOne(*sub, events, version, &pump);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.pumps;
+    stats_.deltas += pump.deltas;
+    stats_.skipped += pump.skipped;
+    stats_.fastpath += pump.fastpath;
+    stats_.recomputes += pump.recomputes;
+    stats_.degraded += pump.degraded;
+    uint64_t overflows = 0;
+    for (const auto& sub : subs) overflows += sub->overflows();
+    if (overflows > stats_.overflows) stats_.overflows = overflows;
+  }
+  return pump;
+}
+
+void SubscriptionManager::PumpOne(Subscription& sub,
+                                  const std::vector<MutationEvent>& events,
+                                  index::Version version, PumpStats* stats) {
+  ++stats->pumped;
+  std::vector<const MutationEvent*> affecting;
+  for (const MutationEvent& event : events) {
+    if (AffectedBy(sub.footprint_, event)) affecting.push_back(&event);
+  }
+  if (affecting.empty() && !sub.needs_refresh_) {
+    ++stats->skipped;
+    return;
+  }
+
+  ResultDelta delta;
+  delta.version = version;
+  bool deliver = false;
+
+  if (sub.match_ != nullptr && !sub.needs_refresh_) {
+    // Per-view fast path: membership is a function of the view itself, so
+    // only the touched views can move. Coalesce events per view and
+    // compare current membership (match on live state) with maintained
+    // membership — the end-state comparison absorbs add+remove churn
+    // within one pump.
+    ++stats->fastpath;
+    std::map<index::DocId, bool> touched;  // id -> saw a non-remove event
+    for (const MutationEvent* event : affecting) {
+      bool& alive = touched[event->id];
+      alive = event->op != index::ChangeRecord::Op::kRemoved;
+      // Growing the substrate set keeps the footprint invariant: an
+      // affecting event may have introduced the first pattern match in a
+      // previously irrelevant substrate.
+      auto& substrates = sub.footprint_.substrates;
+      auto it = std::lower_bound(substrates.begin(), substrates.end(),
+                                 event->source);
+      if (sub.footprint_.scoped() &&
+          (it == substrates.end() || *it != event->source)) {
+        substrates.insert(it, event->source);
+      }
+    }
+    std::vector<index::DocId> add;
+    std::vector<index::DocId> remove;
+    std::lock_guard<std::mutex> lock(sub.mu_);
+    auto member = [&sub](index::DocId id) {
+      auto it = std::lower_bound(
+          sub.rows_.begin(), sub.rows_.end(), id,
+          [](const std::vector<index::DocId>& row, index::DocId target) {
+            return row[0] < target;
+          });
+      return it != sub.rows_.end() && (*it)[0] == id;
+    };
+    for (const auto& [id, alive] : touched) {
+      bool now = alive && sub.match_(id);
+      bool was = member(id);
+      if (now && !was) {
+        add.push_back(id);
+        delta.added.push_back({id});
+      } else if (!now && was) {
+        remove.push_back(id);
+        delta.removed.push_back({id});
+      } else if (now && was) {
+        delta.updated.push_back({id});
+      }
+    }
+    PatchSortedRows(&sub.rows_, add, remove);
+    sub.version_ = version;
+    sub.footprint_.epoch = version;
+    if (!delta.empty()) {
+      deliver = true;
+      ++stats->deltas;
+      sub.Enqueue(delta, sub.options_.max_queue);
+    }
+  } else {
+    // Recompute path: full re-evaluation under the subscription's
+    // governance limits, diffed against the maintained rows.
+    ++stats->recomputes;
+    EvalOutcome outcome = sub.eval_ ? sub.eval_() : EvalOutcome{};
+    if (!outcome.ok || !outcome.complete) {
+      ++stats->degraded;
+      sub.needs_refresh_ = true;  // retry on the next pump
+      delta.complete = false;
+      delta.degraded_reason = outcome.degraded_reason.empty()
+                                  ? "maintenance recompute degraded"
+                                  : outcome.degraded_reason;
+      std::lock_guard<std::mutex> lock(sub.mu_);
+      sub.version_ = version;
+      deliver = true;
+      ++stats->deltas;
+      sub.Enqueue(delta, sub.options_.max_queue);
+    } else {
+      std::set<index::DocId> event_ids;
+      for (const MutationEvent* event : affecting) event_ids.insert(event->id);
+      std::map<std::vector<index::DocId>, int> counts;
+      std::lock_guard<std::mutex> lock(sub.mu_);
+      for (const auto& row : sub.rows_) ++counts[row];
+      for (const auto& row : outcome.rows) {
+        auto it = counts.find(row);
+        if (it != counts.end() && it->second > 0) {
+          --it->second;
+          // Survivor: report as updated when one of its views mutated.
+          for (index::DocId id : row) {
+            if (event_ids.count(id) > 0) {
+              delta.updated.push_back(row);
+              break;
+            }
+          }
+        } else {
+          delta.added.push_back(row);
+        }
+      }
+      for (const auto& row : sub.rows_) {
+        auto it = counts.find(row);
+        if (it != counts.end() && it->second > 0) {
+          --it->second;
+          delta.removed.push_back(row);
+        }
+      }
+      sub.rows_ = std::move(outcome.rows);
+      sub.version_ = version;
+      sub.needs_refresh_ = false;
+      if (sub.refresh_) {
+        sub.footprint_ = sub.refresh_();
+      }
+      sub.footprint_.epoch = version;
+      if (!delta.empty()) {
+        deliver = true;
+        ++stats->deltas;
+        sub.Enqueue(delta, sub.options_.max_queue);
+      }
+    }
+  }
+
+  if (deliver && sub.options_.on_delta) sub.options_.on_delta(delta);
+}
+
+void SubscriptionManager::PatchSortedRows(
+    std::vector<std::vector<index::DocId>>* rows,
+    const std::vector<index::DocId>& add,
+    const std::vector<index::DocId>& remove) {
+  if (add.empty() && remove.empty()) return;
+  std::vector<std::vector<index::DocId>> out;
+  out.reserve(rows->size() + add.size());
+  auto next = add.begin();
+  for (auto& row : *rows) {
+    index::DocId id = row[0];
+    while (next != add.end() && *next < id) out.push_back({*next++});
+    if (std::binary_search(remove.begin(), remove.end(), id)) continue;
+    out.push_back(std::move(row));
+  }
+  while (next != add.end()) out.push_back({*next++});
+  *rows = std::move(out);
+}
+
+SubscriptionManager::Stats SubscriptionManager::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SubscriptionManager::subscription_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registry_.size();
+}
+
+size_t SubscriptionManager::pending_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+}  // namespace idm::sub

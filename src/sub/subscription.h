@@ -1,0 +1,208 @@
+// Continuous-query subscriptions (DESIGN.md §14). A Subscription is a
+// registered query whose result set is maintained *from the mutation
+// stream* instead of re-run on demand: every write appends a
+// MutationEvent, and a pump pass (after each synchronization round)
+// turns the buffered events into ordered ResultDeltas.
+//
+// The manager is deliberately query-language agnostic — it never sees an
+// AST. The iQL layer injects three capabilities per subscription:
+//
+//   eval     full re-evaluation (the oracle; also the recompute path),
+//   match    optional per-view membership test — present only for query
+//            shapes where membership is a function of the view's own
+//            components (un-ranked filters, single-step paths), enabling
+//            the O(changed views) fast path,
+//   refresh  rebuilds the dependency Footprint after a recompute (the
+//            substrate set is a build-time property).
+//
+// Maintenance strategy per pump, per subscription (in subscription-id
+// order, which makes delivery order independent of evaluation thread
+// count):
+//
+//   1. events ∖ AffectedBy(footprint) → skipped entirely (this is where
+//      fine-grained epochs pay: unrelated-substrate writes cost nothing);
+//   2. per-view capable → coalesce events by view, test membership
+//      end-state vs the maintained rows, patch in place;
+//   3. otherwise → recompute under the subscription's governance limits
+//      and diff against the maintained rows. A degraded (incomplete)
+//      recompute keeps the old rows and emits an incomplete delta — the
+//      partial-result contract, applied to maintenance.
+//
+// Delivery is dual: an optional on_delta callback fires during the pump,
+// and every delta is queued for Subscription::Drain(). A consumer that
+// falls behind (queue overflow) gets the queue collapsed into one
+// snapshot delta (`snapshot = true`, full current rows) — lossy in
+// granularity, never in state.
+
+#ifndef IDM_SUB_SUBSCRIPTION_H_
+#define IDM_SUB_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "index/version_log.h"
+#include "sub/footprint.h"
+#include "util/exec_context.h"
+
+namespace idm::sub {
+
+/// One batch of result-set changes, coalesced per pump. Unary queries
+/// carry one-id rows; joins carry one id per binding. `updated` lists
+/// rows that stayed members while one of their views changed.
+struct ResultDelta {
+  index::Version version = 0;  ///< dataspace version the delta brings you to
+  std::vector<std::vector<index::DocId>> added;
+  std::vector<std::vector<index::DocId>> removed;
+  std::vector<std::vector<index::DocId>> updated;
+  /// True when `added` is the *entire* current result and any prior state
+  /// must be discarded (initial delivery, or resync after overflow).
+  bool snapshot = false;
+  bool complete = true;             ///< false: maintenance was degraded
+  std::string degraded_reason;      ///< why, when !complete
+
+  bool empty() const {
+    return added.empty() && removed.empty() && updated.empty() && !snapshot;
+  }
+};
+
+struct SubscribeOptions {
+  /// Governance limits charged to every maintenance recompute (same
+  /// contract as QueryOptions::limits; none() = ungoverned).
+  util::ExecContext::Limits limits;
+  /// Optional push sink, invoked during the pump (mutation-side thread)
+  /// after the delta is queued. Keep it cheap.
+  std::function<void(const ResultDelta&)> on_delta;
+  /// Drain-queue capacity; overflowing collapses the queue to a snapshot.
+  size_t max_queue = 64;
+};
+
+/// Full re-evaluation outcome, supplied by the query layer.
+struct EvalOutcome {
+  bool ok = false;                  ///< evaluation ran at all
+  bool complete = true;             ///< governance verdict
+  std::string degraded_reason;
+  std::vector<std::vector<index::DocId>> rows;
+};
+
+using EvalFn = std::function<EvalOutcome()>;
+using MatchFn = std::function<bool(index::DocId)>;
+using RefreshFn = std::function<Footprint()>;
+
+class SubscriptionManager;
+
+class Subscription {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& query() const { return query_; }
+  bool per_view() const { return match_ != nullptr; }
+  bool scoped() const { return footprint_.scoped(); }
+
+  /// Removes and returns all queued deltas, oldest first.
+  std::vector<ResultDelta> Drain();
+  size_t pending() const;
+
+  /// Copy of the maintained result rows (current as of the last pump).
+  std::vector<std::vector<index::DocId>> Rows() const;
+  index::Version version() const;
+
+  uint64_t deltas_delivered() const;
+  uint64_t overflows() const;
+
+ private:
+  friend class SubscriptionManager;
+  Subscription() = default;
+
+  void Enqueue(ResultDelta delta, size_t max_queue);
+
+  uint64_t id_ = 0;
+  std::string query_;
+  Footprint footprint_;
+  EvalFn eval_;
+  MatchFn match_;
+  RefreshFn refresh_;
+  SubscribeOptions options_;
+  bool needs_refresh_ = false;  ///< force a recompute on the next pump
+
+  mutable std::mutex mu_;       ///< guards rows_/version_/queue_/counters
+  std::vector<std::vector<index::DocId>> rows_;
+  index::Version version_ = 0;
+  std::deque<ResultDelta> queue_;
+  uint64_t delivered_ = 0;
+  uint64_t overflows_ = 0;
+};
+
+class SubscriptionManager {
+ public:
+  struct PumpStats {
+    size_t pumped = 0;       ///< subscriptions examined
+    size_t deltas = 0;       ///< non-empty deltas delivered
+    size_t skipped = 0;      ///< subscriptions untouched by all events
+    size_t fastpath = 0;     ///< served by per-view membership patching
+    size_t recomputes = 0;   ///< served by full re-evaluation
+    size_t degraded = 0;     ///< recomputes that came back incomplete
+  };
+
+  struct Stats {
+    uint64_t subscriptions = 0;    ///< currently registered
+    uint64_t opened = 0;           ///< lifetime registrations
+    uint64_t events = 0;           ///< mutation events buffered
+    uint64_t pumps = 0;            ///< pump passes that saw work
+    uint64_t deltas = 0;
+    uint64_t skipped = 0;
+    uint64_t fastpath = 0;
+    uint64_t recomputes = 0;
+    uint64_t degraded = 0;
+    uint64_t overflows = 0;
+  };
+
+  /// Registers a continuous query. \p initial_rows is the snapshot the
+  /// query layer just evaluated at \p version; it is delivered to the
+  /// subscriber as a snapshot delta so a fresh consumer starts aligned.
+  /// \p match may be null (no per-view fast path); \p refresh may be null
+  /// (footprint is never rebuilt — correct for global footprints).
+  std::shared_ptr<Subscription> Subscribe(
+      std::string normalized_query, Footprint footprint, EvalFn eval,
+      MatchFn match, RefreshFn refresh, SubscribeOptions options,
+      index::Version version,
+      std::vector<std::vector<index::DocId>> initial_rows);
+
+  /// Deregisters; outstanding handles stay drainable but receive nothing
+  /// further. Returns false for unknown ids.
+  bool Unsubscribe(uint64_t id);
+
+  /// Buffers one mutation for the next pump. Called from the live
+  /// mutation path — cheap (one lock, one move).
+  void OnMutation(MutationEvent event);
+
+  /// Applies all buffered events to every subscription, in subscription-id
+  /// order, delivering at most one delta each, stamped \p version.
+  PumpStats Pump(index::Version version);
+
+  Stats GetStats() const;
+  size_t subscription_count() const;
+  size_t pending_events() const;
+
+ private:
+  void PumpOne(Subscription& sub, const std::vector<MutationEvent>& events,
+               index::Version version, PumpStats* stats);
+  static void PatchSortedRows(std::vector<std::vector<index::DocId>>* rows,
+                              const std::vector<index::DocId>& add,
+                              const std::vector<index::DocId>& remove);
+
+  std::mutex pump_mu_;     ///< serializes Pump passes end-to-end
+  mutable std::mutex mu_;  ///< guards registry_, buffer_, stats_
+  std::map<uint64_t, std::shared_ptr<Subscription>> registry_;
+  std::vector<MutationEvent> buffer_;
+  uint64_t next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace idm::sub
+
+#endif  // IDM_SUB_SUBSCRIPTION_H_

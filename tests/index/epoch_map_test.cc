@@ -1,0 +1,116 @@
+// Fine-grained mutation epochs (DESIGN.md §14): per-substrate and
+// per-subtree-prefix refinements of the VersionLog's global epoch, plus
+// the Rebuild path that reconstructs the map after snapshot restore / WAL
+// replay (where mutations bypass the live Note() hook).
+
+#include "index/epoch_map.h"
+
+#include <gtest/gtest.h>
+
+namespace idm::index {
+namespace {
+
+TEST(EpochMapTest, TopPrefixCutsAtFirstPathSegment) {
+  EXPECT_EQ(EpochMap::TopPrefix("vfs:/a/b/c.txt"), "vfs:/a");
+  EXPECT_EQ(EpochMap::TopPrefix("vfs:/a"), "vfs:/a");
+  EXPECT_EQ(EpochMap::TopPrefix("imap://INBOX/42"), "imap://INBOX");
+  EXPECT_EQ(EpochMap::TopPrefix("imap://INBOX"), "imap://INBOX");
+  // Fragments count under their base view's subtree.
+  EXPECT_EQ(EpochMap::TopPrefix("vfs:/a/b.tex#sec1"), "vfs:/a");
+  EXPECT_EQ(EpochMap::TopPrefix("x#sec/para"), "x");
+  EXPECT_EQ(EpochMap::TopPrefix(""), "");
+}
+
+TEST(EpochMapTest, NoteAdvancesSourcePrefixAndGlobal) {
+  EpochMap map;
+  EXPECT_EQ(map.global(), 0u);
+  EXPECT_EQ(map.SourceEpoch(1), 0u);
+  map.Note(1, "vfs:/projects/a.txt", 5);
+  map.Note(2, "imap://INBOX/1", 7);
+  EXPECT_EQ(map.SourceEpoch(1), 5u);
+  EXPECT_EQ(map.SourceEpoch(2), 7u);
+  EXPECT_EQ(map.SourceEpoch(3), 0u);
+  EXPECT_EQ(map.PrefixEpoch("vfs:/projects/deep/nested"), 5u);
+  EXPECT_EQ(map.PrefixEpoch("imap://INBOX/999"), 7u);
+  EXPECT_EQ(map.PrefixEpoch("vfs:/other"), 0u);
+  EXPECT_EQ(map.global(), 7u);
+  EXPECT_EQ(map.source_count(), 2u);
+  EXPECT_EQ(map.prefix_count(), 2u);
+}
+
+TEST(EpochMapTest, SourcesChangedSinceIsAscendingAndExclusive) {
+  EpochMap map;
+  map.Note(3, "vfs:/c", 10);
+  map.Note(1, "vfs:/a", 20);
+  map.Note(2, "vfs:/b", 30);
+  EXPECT_EQ(map.SourcesChangedSince(0), (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(map.SourcesChangedSince(10), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(map.SourcesChangedSince(20), (std::vector<uint32_t>{2}));
+  EXPECT_TRUE(map.SourcesChangedSince(30).empty());
+}
+
+TEST(EpochMapTest, ChangedOutsideCoversTheScopedValidatorCase) {
+  EpochMap map;
+  map.Note(1, "vfs:/a", 10);
+  map.Note(2, "imap://INBOX", 20);
+  // Everything since 5 is covered by {1, 2}: nothing changed outside.
+  EXPECT_FALSE(map.ChangedOutside({1, 2}, 5));
+  // Source 2 changed at 20 and is not in the footprint: not covered.
+  EXPECT_TRUE(map.ChangedOutside({1}, 5));
+  // But after 20 nothing outside {1} changed.
+  EXPECT_FALSE(map.ChangedOutside({1}, 20));
+  EXPECT_FALSE(map.ChangedOutside({}, 20));
+  EXPECT_TRUE(map.ChangedOutside({}, 0));
+}
+
+TEST(EpochMapTest, RebuildMatchesLiveNotes) {
+  // Drive a VersionLog + Catalog the way the module does, mirroring every
+  // append into a live map; Rebuild from the log must reproduce it —
+  // including epochs of tombstoned entries (their catalog rows keep
+  // source and uri exactly for this reason).
+  VersionLog log;
+  Catalog catalog;
+  uint32_t fs = catalog.InternSource("Filesystem");
+  uint32_t mail = catalog.InternSource("Email");
+  DocId a = catalog.Register("vfs:/projects/a.txt", "file", fs, false);
+  DocId b = catalog.Register("vfs:/notes/b.txt", "file", fs, false);
+  DocId m = catalog.Register("imap://INBOX/1", "emailmessage", mail, false);
+
+  EpochMap live;
+  live.Note(fs, "vfs:/projects/a.txt", log.Append(ChangeRecord::Op::kAdded, a));
+  live.Note(fs, "vfs:/notes/b.txt", log.Append(ChangeRecord::Op::kAdded, b));
+  live.Note(mail, "imap://INBOX/1", log.Append(ChangeRecord::Op::kAdded, m));
+  live.Note(fs, "vfs:/projects/a.txt",
+            log.Append(ChangeRecord::Op::kUpdated, a));
+  catalog.Remove(b);
+  live.Note(fs, "vfs:/notes/b.txt", log.Append(ChangeRecord::Op::kRemoved, b));
+
+  EpochMap rebuilt;
+  rebuilt.Rebuild(log, catalog);
+  EXPECT_EQ(rebuilt.global(), live.global());
+  EXPECT_EQ(rebuilt.SourceEpoch(fs), live.SourceEpoch(fs));
+  EXPECT_EQ(rebuilt.SourceEpoch(mail), live.SourceEpoch(mail));
+  EXPECT_EQ(rebuilt.PrefixEpoch("vfs:/projects/x"),
+            live.PrefixEpoch("vfs:/projects/x"));
+  EXPECT_EQ(rebuilt.PrefixEpoch("vfs:/notes/y"),
+            live.PrefixEpoch("vfs:/notes/y"));
+  EXPECT_EQ(rebuilt.source_count(), live.source_count());
+  EXPECT_EQ(rebuilt.prefix_count(), live.prefix_count());
+
+  // Rebuild replaces, never merges: a second call is idempotent.
+  rebuilt.Rebuild(log, catalog);
+  EXPECT_EQ(rebuilt.source_count(), live.source_count());
+  EXPECT_EQ(rebuilt.global(), live.global());
+}
+
+TEST(EpochMapTest, ClearResets) {
+  EpochMap map;
+  map.Note(1, "vfs:/a", 3);
+  map.Clear();
+  EXPECT_EQ(map.global(), 0u);
+  EXPECT_EQ(map.source_count(), 0u);
+  EXPECT_EQ(map.prefix_count(), 0u);
+}
+
+}  // namespace
+}  // namespace idm::index

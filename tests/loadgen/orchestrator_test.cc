@@ -208,6 +208,64 @@ schedule send reconcile
   EXPECT_GT(found->rows.size(), 0u);
 }
 
+TEST(Orchestrator, StandingSubscriptionsCollectDeltasWhileChurnRuns) {
+  // subscribe.* ops open standing queries that stay registered for the
+  // rest of the phase; vfs churn + sync.poll rounds then deliver deltas,
+  // which the phase folds into its mix as "sub.delta" when it closes.
+  // Open loop: arrivals are pre-generated for the whole duration, so the
+  // mix draws are plentiful even though each sync.poll advances the sim
+  // clock by whole seconds (a closed loop would stop issuing after the
+  // first poll blows past the phase end).
+  auto spec = ParseSpec(R"(
+workload live
+seed 9
+phase churn
+  duration_ms 800
+  arrival open 100
+  users 3
+  op subscribe.any 1
+  op vfs.write 4
+  op sync.poll 1
+end
+)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  Orchestrator orchestrator;
+  auto report = orchestrator.Run(*spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const PhaseReport& churn = report->phases.back();
+  ASSERT_GT(churn.mix.count("subscribe.any"), 0u);
+  EXPECT_EQ(churn.failed, 0u);
+  // Every opened subscription delivered at least its initial snapshot.
+  ASSERT_GT(churn.mix.count("sub.delta"), 0u);
+  EXPECT_GE(churn.mix.at("sub.delta"), churn.mix.at("subscribe.any"));
+  // The phase closed its standing queries on exit.
+  EXPECT_EQ(
+      orchestrator.dataspace()->Stats().subscriptions.subscriptions, 0u);
+}
+
+TEST(Orchestrator, SubscribeRunsAreDeterministic) {
+  constexpr const char* kLiveSpec = R"(
+workload live_det
+seed 13
+phase churn
+  duration_ms 600
+  arrival open 80
+  users 2
+  op subscribe.Q1 1
+  op vfs.churn 3
+  op sync.poll 1
+end
+)";
+  auto first = RunSpecText(kLiveSpec, 1);
+  auto second = RunSpecText(kLiveSpec, 4);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  const PhaseReport& a = first->phases.back();
+  const PhaseReport& b = second->phases.back();
+  EXPECT_EQ(a.issued, b.issued);
+  EXPECT_EQ(a.mix, b.mix);  // including the sub.delta count
+}
+
 TEST(Orchestrator, GateShedsUnderSyntheticOverload) {
   auto report = RunSpecText(R"(
 workload overload

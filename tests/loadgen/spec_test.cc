@@ -30,6 +30,7 @@ phase steady
   op query.Q1 4
   op query.any 2
   op mail.send 1
+  op subscribe.Q3 1
 end
 
 phase drain
@@ -66,10 +67,12 @@ TEST(SpecParser, ParsesEveryDirective) {
   EXPECT_EQ(steady.arrival, ArrivalKind::kOpen);
   EXPECT_DOUBLE_EQ(steady.rate_per_sec, 120.5);
   EXPECT_EQ(steady.users, 8u);
-  ASSERT_EQ(steady.mix.size(), 3u);
+  ASSERT_EQ(steady.mix.size(), 4u);
   EXPECT_EQ(steady.mix[0].first, OpKind::kQueryQ1);
   EXPECT_EQ(steady.mix[0].second, 4u);
   EXPECT_EQ(steady.mix[2].first, OpKind::kMailSend);
+  EXPECT_EQ(steady.mix[3].first, OpKind::kSubscribeQ3);
+  EXPECT_EQ(steady.mix[3].second, 1u);
 
   const PhaseSpec& drain = spec->phases[2];
   EXPECT_EQ(drain.arrival, ArrivalKind::kClosed);
@@ -118,6 +121,7 @@ TEST(SpecParser, GoldenDump) {
       "  op query.Q1 4\n"
       "  op query.any 2\n"
       "  op mail.send 1\n"
+      "  op subscribe.Q3 1\n"
       "end\n"
       "\n"
       "phase drain\n"
@@ -143,7 +147,7 @@ TEST(SpecParser, DefaultsWithoutScheduleOrEnd) {
 }
 
 TEST(SpecParser, OpKindNamesRoundTrip) {
-  for (int k = 0; k <= static_cast<int>(OpKind::kSyncPoll); ++k) {
+  for (int k = 0; k <= static_cast<int>(OpKind::kSubscribeAny); ++k) {
     OpKind kind = static_cast<OpKind>(k);
     OpKind parsed;
     ASSERT_TRUE(ParseOpKind(OpKindName(kind), &parsed)) << OpKindName(kind);

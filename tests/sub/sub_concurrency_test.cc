@@ -1,0 +1,142 @@
+// Delta-delivery determinism across evaluation thread counts (the §8
+// differential contract, extended to live queries): the exact sequence of
+// ResultDeltas a subscriber sees — order, membership, versions — must be
+// byte-identical whether maintenance recomputes run on 1 thread or N.
+// Subscriptions are pumped in id order and diffs are computed against
+// maintained rows, so nothing in the delta stream may depend on
+// evaluation parallelism.
+//
+// This file is also the TSan payload for the subscription path (label
+// `concurrency`): queries race against mutation + pump rounds on a second
+// thread, exercising the manager's locks and the cache's footprint
+// validator under contention.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "iql/dataspace.h"
+
+namespace idm::sub {
+namespace {
+
+std::string Serialize(const ResultDelta& delta) {
+  std::ostringstream out;
+  out << "v" << delta.version << (delta.snapshot ? " snap" : "")
+      << (delta.complete ? "" : " degraded");
+  auto rows = [&](const char* tag,
+                  const std::vector<std::vector<index::DocId>>& rows) {
+    out << " " << tag << "[";
+    for (const auto& row : rows) {
+      for (index::DocId id : row) out << id << ",";
+      out << ";";
+    }
+    out << "]";
+  };
+  rows("add", delta.added);
+  rows("del", delta.removed);
+  rows("upd", delta.updated);
+  return out.str();
+}
+
+/// Runs the fixed scenario at \p threads evaluation threads and returns
+/// the full serialized delta stream of every subscription.
+std::string RunScenario(size_t threads) {
+  iql::Dataspace::Config config;
+  config.query.threads = threads;
+  config.query.min_parallel_chunk = 1;  // force fan-out even on small data
+  iql::Dataspace ds(std::move(config));
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(ds.clock());
+  EXPECT_TRUE(fs->CreateFolder("/work").ok());
+  EXPECT_TRUE(fs->WriteFile("/work/a.tmp", "scratch alpha").ok());
+  EXPECT_TRUE(fs->WriteFile("/work/b.txt", "beta notes").ok());
+  EXPECT_TRUE(ds.AddFileSystem("Filesystem", fs).ok());
+
+  const std::vector<std::string> shapes = {
+      "//*.tmp",                    // fast path
+      "union( //*.tmp, //*.txt )",  // recompute, scoped
+      "\"scratch\"",                // recompute, ranked
+  };
+  std::vector<std::shared_ptr<Subscription>> subs;
+  for (const std::string& iql : shapes) {
+    auto sub = ds.Subscribe(iql);
+    EXPECT_TRUE(sub.ok()) << iql << ": " << sub.status();
+    if (sub.ok()) subs.push_back(*sub);
+  }
+
+  const std::vector<std::function<void()>> rounds = {
+      [&] { EXPECT_TRUE(fs->WriteFile("/work/c.tmp", "scratch gamma").ok()); },
+      [&] { EXPECT_TRUE(fs->WriteFile("/work/d.txt", "delta notes").ok()); },
+      [&] {
+        EXPECT_TRUE(fs->WriteFile("/work/a.tmp", "scratch alpha grew").ok());
+      },
+      [&] { EXPECT_TRUE(fs->Remove("/work/c.tmp").ok()); },
+  };
+  std::string stream;
+  for (const auto& mutate : rounds) {
+    mutate();
+    EXPECT_TRUE(ds.sync().ProcessNotifications().ok());
+    for (size_t i = 0; i < subs.size(); ++i) {
+      for (const ResultDelta& delta : subs[i]->Drain()) {
+        stream += shapes[i] + " | " + Serialize(delta) + "\n";
+      }
+    }
+  }
+  return stream;
+}
+
+TEST(SubConcurrencyTest, DeltaStreamIdenticalAcrossThreadCounts) {
+  const std::string serial = RunScenario(1);
+  EXPECT_FALSE(serial.empty());
+  for (size_t threads : {2, 4}) {
+    EXPECT_EQ(RunScenario(threads), serial)
+        << "delta stream diverged at threads=" << threads;
+  }
+}
+
+TEST(SubConcurrencyTest, QueriesRaceMaintenanceCleanly) {
+  iql::Dataspace::Config config;
+  config.query.threads = 2;
+  iql::Dataspace ds(std::move(config));
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(ds.clock());
+  ASSERT_TRUE(fs->WriteFile("/seed.tmp", "scratch seed").ok());
+  ASSERT_TRUE(ds.AddFileSystem("Filesystem", fs).ok());
+  auto sub = ds.Subscribe("//*.tmp");
+  ASSERT_TRUE(sub.ok()) << sub.status();
+
+  // Reader thread: hammer the cached query (cache lookups run the
+  // footprint validator against the epochs the writer is advancing).
+  std::thread reader([&ds] {
+    for (int i = 0; i < 200; ++i) {
+      auto result = ds.Query("//*.tmp");
+      EXPECT_TRUE(result.ok());
+    }
+  });
+  // Writer (this thread): mutations + sync rounds, each pumping deltas.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(fs->WriteFile("/churn" + std::to_string(i) + ".tmp",
+                              "scratch churn")
+                    .ok());
+    ASSERT_TRUE(ds.sync().ProcessNotifications().ok());
+  }
+  reader.join();
+
+  // Settled state: maintained rows equal a fresh evaluation.
+  for (const ResultDelta& delta : (*sub)->Drain()) (void)delta;
+  auto oracle = ds.Query("//*.tmp");
+  ASSERT_TRUE(oracle.ok());
+  auto maintained = (*sub)->Rows();
+  std::sort(maintained.begin(), maintained.end());
+  auto expected = oracle->rows;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(maintained, expected);
+}
+
+}  // namespace
+}  // namespace idm::sub
