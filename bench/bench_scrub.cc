@@ -1,0 +1,236 @@
+// Integrity scrubbing benchmark (DESIGN.md §15): what does continuous
+// verification cost, and how fast does the self-healing path turn detected
+// damage back into a clean store?
+//
+//   1. index the paper-scale dataspace durably and run one full scrub pass
+//      (verification throughput in bytes/s and frames/s),
+//   2. flip one durable WAL byte at rest and time detect -> quarantine ->
+//      rescue checkpoint on the primary (time-to-repair),
+//   3. damage a replica mirror and time one anti-entropy ScrubAndRepair
+//      sweep back to byte-identical convergence,
+//   4. A/B the foreground query p99 with background scrub slices armed on
+//      every sync round versus scrubbing disabled (the "scrubbing never
+//      moves query p99" contract, measured rather than asserted).
+//
+// Results print as a table and land in BENCH_repair.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cluster/cluster.h"
+#include "storage/env.h"
+
+using namespace idm;
+using namespace idm::bench;
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct MetricRow {
+  std::string metric;
+  double value;
+  const char* unit;
+};
+
+bool WriteRepairJson(const std::string& path,
+                     const std::vector<MetricRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"repair_scrub\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"metric\": \"%s\", \"value\": %.6f, \"unit\": "
+                 "\"%s\"}%s\n",
+                 rows[i].metric.c_str(), rows[i].value, rows[i].unit,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "[bench] wrote %s (%zu rows)\n", path.c_str(),
+               rows.size());
+  return true;
+}
+
+struct Percentiles {
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+Percentiles Summarize(std::vector<double>& samples_ms) {
+  Percentiles p;
+  if (samples_ms.empty()) return p;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  p.p50_ms = samples_ms[samples_ms.size() / 2];
+  p.p99_ms = samples_ms[samples_ms.size() * 99 / 100];
+  return p;
+}
+
+// Foreground query latency while sync rounds churn: with `scrub_on` every
+// round also runs one budgeted verification slice (interval 0 = maximally
+// intrusive scheduling), so any p99 movement the scrubber could cause
+// shows up here.
+Percentiles QueryLatency(bool scrub_on) {
+  storage::MemEnv env;
+  iql::Dataspace::Config config;
+  config.storage_dir = "p99db";
+  config.env = &env;
+  config.scrub.enabled = scrub_on;
+  config.scrub.interval_micros = 0;
+  Pipeline pipeline = BuildPipeline(workload::DataspaceSpec::Small(), config);
+  iql::Dataspace& ds = *pipeline.ds;
+  if (!pipeline.built.fs->CreateFolder("/churn").ok()) return {};
+
+  std::vector<double> samples_ms;
+  samples_ms.reserve(300);
+  for (int i = 0; i < 300; ++i) {
+    Status wrote = pipeline.built.fs->WriteFile(
+        "/churn/note-" + std::to_string(i) + ".txt", "scrub bench churn");
+    if (!wrote.ok() || !ds.sync().ProcessNotifications().ok()) return {};
+    auto t0 = std::chrono::steady_clock::now();
+    auto result = ds.Query("//*.txt");
+    double ms = SecondsSince(t0) * 1e3;
+    if (!result.ok()) return {};
+    samples_ms.push_back(ms);
+  }
+  return Summarize(samples_ms);
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. full-pass verification throughput at paper scale ------------------
+  storage::MemEnv env;
+  iql::Dataspace::Config config;
+  config.storage_dir = "benchdb";
+  config.env = &env;
+  Pipeline pipeline =
+      BuildPipeline(workload::DataspaceSpec::PaperScale(), config);
+  iql::Dataspace& ds = *pipeline.ds;
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto clean = ds.ScrubNow();
+  double pass_seconds = SecondsSince(t0);
+  if (!clean.ok() || !clean->empty()) {
+    std::fprintf(stderr, "FATAL: clean store scrub found defects\n");
+    return 1;
+  }
+  repair::ScrubStats pass = ds.scrubber()->stats();
+  double bytes_per_sec = pass.bytes_verified / pass_seconds;
+  double frames_per_sec = pass.frames_verified / pass_seconds;
+
+  // --- 2. primary time-to-repair: at-rest decay -> rescued generation ------
+  const std::string wal_path = ds.storage_engine()->LiveWalPath();
+  auto wal_bytes = env.ReadFile(wal_path);
+  if (!wal_bytes.ok() || !env.CorruptDurable(wal_path, wal_bytes->size() / 2)) {
+    std::fprintf(stderr, "FATAL: could not decay %s\n", wal_path.c_str());
+    return 1;
+  }
+  t0 = std::chrono::steady_clock::now();
+  auto findings = ds.ScrubNow();
+  double primary_ttr_seconds = SecondsSince(t0);
+  if (!findings.ok() || findings->size() != 1 ||
+      ds.Stats().repair.rescues != 1) {
+    std::fprintf(stderr, "FATAL: primary decay was not contained\n");
+    return 1;
+  }
+
+  // --- 3. replica time-to-repair: one anti-entropy sweep -------------------
+  cluster::Cluster::Config cluster_config;
+  cluster_config.shards = 1;
+  cluster_config.replicas_per_shard = 1;
+  cluster::Cluster cluster(cluster_config);
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  if (!cluster.status().ok() || !fs->CreateFolder("/Projects").ok() ||
+      !fs->WriteFile("/Projects/paper.tex", "anti-entropy bench seed").ok() ||
+      !cluster.AddFileSystem("Filesystem", fs).ok()) {
+    std::fprintf(stderr, "FATAL: cluster setup failed\n");
+    return 1;
+  }
+  cluster::ShardGroup& shard = cluster.shard(0);
+  if (!shard.Checkpoint().ok() ||
+      !fs->WriteFile("/Projects/late.txt", "post-checkpoint suffix").ok()) {
+    std::fprintf(stderr, "FATAL: cluster workload failed\n");
+    return 1;
+  }
+  cluster.PollAll();
+  uint64_t gen = shard.primary()->storage_engine()->generation();
+  std::string mirror_wal = "replica/wal-" + std::to_string(gen) + ".log";
+  auto mirror_bytes = shard.replica(0).env()->ReadFile(mirror_wal);
+  if (!mirror_bytes.ok() ||
+      !shard.replica(0).env()->CorruptDurable(mirror_wal,
+                                              mirror_bytes->size() / 2)) {
+    std::fprintf(stderr, "FATAL: could not decay replica mirror\n");
+    return 1;
+  }
+  t0 = std::chrono::steady_clock::now();
+  Status swept = shard.ScrubAndRepair();
+  double replica_ttr_seconds = SecondsSince(t0);
+  if (!swept.ok() || shard.repair_totals().replica_repairs != 1) {
+    std::fprintf(stderr, "FATAL: replica decay was not repaired\n");
+    return 1;
+  }
+
+  // --- 4. query p99, scrubber on vs off -------------------------------------
+  Percentiles with_scrub = QueryLatency(true);
+  Percentiles without = QueryLatency(false);
+  if (with_scrub.p99_ms == 0 || without.p99_ms == 0) {
+    std::fprintf(stderr, "FATAL: p99 measurement failed\n");
+    return 1;
+  }
+  double p99_ratio = with_scrub.p99_ms / without.p99_ms;
+
+  // --- report ---------------------------------------------------------------
+  std::printf("\nIntegrity scrubbing: verification cost and repair speed\n");
+  Rule(74);
+  std::printf("  %-44s %12.3f s\n", "full scrub pass (paper-scale store)",
+              pass_seconds);
+  std::printf("  %-44s %12s\n", "bytes verified",
+              Mb(pass.bytes_verified).c_str());
+  std::printf("  %-44s %12.1f MB/s\n", "scrub throughput",
+              bytes_per_sec / 1e6);
+  std::printf("  %-44s %12.0f frames/s\n", "frame verification rate",
+              frames_per_sec);
+  Rule(74);
+  std::printf("  %-44s %12.3f s\n",
+              "primary TTR (detect + quarantine + rescue)", primary_ttr_seconds);
+  std::printf("  %-44s %12.3f s\n", "replica TTR (one anti-entropy sweep)",
+              replica_ttr_seconds);
+  Rule(74);
+  std::printf("  %-44s %9.3f ms  (p50 %.3f ms)\n", "query p99, scrubber off",
+              without.p99_ms, without.p50_ms);
+  std::printf("  %-44s %9.3f ms  (p50 %.3f ms)\n", "query p99, scrubber on",
+              with_scrub.p99_ms, with_scrub.p50_ms);
+  std::printf("  %-44s %11.2fx\n", "p99 ratio (on / off)", p99_ratio);
+  if (p99_ratio > 1.25) {
+    std::printf("  WARNING: background scrubbing moved query p99 by more "
+                "than 25%%\n");
+  }
+
+  WriteRepairJson(
+      "BENCH_repair.json",
+      {{"scrub_pass_seconds", pass_seconds, "s"},
+       {"scrub_bytes_verified", static_cast<double>(pass.bytes_verified),
+        "bytes"},
+       {"scrub_bytes_per_sec", bytes_per_sec, "bytes/s"},
+       {"scrub_frames_per_sec", frames_per_sec, "frames/s"},
+       {"primary_ttr_seconds", primary_ttr_seconds, "s"},
+       {"replica_ttr_seconds", replica_ttr_seconds, "s"},
+       {"query_p50_ms_scrub_off", without.p50_ms, "ms"},
+       {"query_p99_ms_scrub_off", without.p99_ms, "ms"},
+       {"query_p50_ms_scrub_on", with_scrub.p50_ms, "ms"},
+       {"query_p99_ms_scrub_on", with_scrub.p99_ms, "ms"},
+       {"query_p99_ratio", p99_ratio, "x"}});
+  return 0;
+}

@@ -2,9 +2,23 @@
 
 #include <utility>
 
+#include "storage/quarantine.h"
 #include "storage/wal.h"
 
 namespace idm::cluster {
+
+namespace {
+
+/// Deterministic in-flight damage for a link-corrupted send: one flipped
+/// bit midway through the payload, so the receiver's CRC checks must catch
+/// it (every payload byte is covered by a frame length, CRC, or seal).
+std::string CorruptCopy(std::string_view payload) {
+  std::string damaged(payload);
+  if (!damaged.empty()) damaged[damaged.size() / 2] ^= 0x40;
+  return damaged;
+}
+
+}  // namespace
 
 ReplicaNode::ReplicaNode(std::string name, iql::Dataspace::Config config,
                          storage::StorageOptions storage)
@@ -43,8 +57,23 @@ Status ReplicaNode::InstallCheckpoint(uint64_t gen, const std::string& image) {
     ++duplicates_;  // re-delivered checkpoint: already installed, no-op
     return Status::OK();
   }
-  IDM_ASSIGN_OR_RETURN(storage::Snapshot snapshot,
-                       storage::Snapshot::Decode(image));
+  // Verify before anything durable changes: an image whose seal is broken
+  // (link corruption, or a damaged source) is preserved as evidence and
+  // rejected permanently — re-sending the same bytes rereads the same
+  // damage, so the sender must re-read its source, not retry.
+  Result<storage::Snapshot> snapshot = storage::Snapshot::Decode(image);
+  if (!snapshot.ok()) {
+    ++rejected_deliveries_;
+    IDM_RETURN_NOT_OK(
+        Stash("checkpoint-" + std::to_string(gen) + ".ckpt.shipment", image,
+              "shipped checkpoint failed its seal check: " +
+                  snapshot.status().ToString(),
+              nullptr));
+    return Status::DataLoss("replica '" + name_ +
+                            "': shipped checkpoint for generation " +
+                            std::to_string(gen) +
+                            " failed verification; bytes quarantined");
+  }
   // PR-3 generation protocol on the mirror: image, then the (empty) new
   // WAL, then the CURRENT switch; a crash in between leaves the previous
   // generation recoverable.
@@ -56,10 +85,10 @@ Status ReplicaNode::InstallCheckpoint(uint64_t gen, const std::string& image) {
   IDM_RETURN_NOT_OK(env_.Delete(CkptPath(generation_)));
   IDM_RETURN_NOT_OK(env_.Delete(WalPath(generation_)));
   IDM_RETURN_NOT_OK(serving_->module()
-                        .RestoreSnapshot(snapshot)
+                        .RestoreSnapshot(*snapshot)
                         .WithContext("replica '" + name_ + "' checkpoint"));
   generation_ = gen;
-  applied_seq_ = snapshot.last_commit_seq;
+  applied_seq_ = snapshot->last_commit_seq;
   wal_bytes_ = 0;
   ++checkpoints_installed_;
   return Status::OK();
@@ -85,18 +114,33 @@ Status ReplicaNode::AppendWal(uint64_t gen, uint64_t from_offset,
   if (from_offset < wal_bytes_) ++duplicates_;  // overlapping re-delivery
   std::string_view fresh = data.substr(wal_bytes_ - from_offset);
 
+  // Verify BEFORE the mirror append: a slice that fails its frame CRCs or
+  // is not commit-aligned must never become durable replica state —
+  // replaying garbage is how silent divergence starts, and once the bytes
+  // are in the mirror a crash recovery would re-read them. The rejection
+  // is permanent (kDataLoss, not a retryable link fault): re-sending the
+  // same bytes rereads the same damage, so the shipper re-fetches from the
+  // untouched mirror boundary instead.
+  storage::WalScanResult scan = storage::ScanWal(fresh);
+  if (scan.torn_tail || scan.dropped_records > 0 ||
+      scan.valid_bytes != fresh.size()) {
+    ++rejected_deliveries_;
+    IDM_RETURN_NOT_OK(
+        Stash("wal-" + std::to_string(generation_) + ".log.shipment", fresh,
+              "shipped WAL segment failed frame CRC / commit alignment",
+              nullptr));
+    return Status::DataLoss(
+        "replica '" + name_ + "': shipped WAL segment [" +
+        std::to_string(wal_bytes_) + ", " + std::to_string(end) +
+        ") failed verification; bytes quarantined, mirror untouched");
+  }
+
   // Durable mirror first, then the in-memory apply: a crash between the
   // two discards the serving state anyway (Recover() rebuilds it from the
   // mirror), so the mirror is the only state that must be right.
   IDM_RETURN_NOT_OK(env_.Append(WalPath(generation_), fresh));
   IDM_RETURN_NOT_OK(env_.Sync(WalPath(generation_)));
 
-  storage::WalScanResult scan = storage::ScanWal(fresh);
-  if (scan.torn_tail || scan.dropped_records > 0 ||
-      scan.valid_bytes != fresh.size()) {
-    return Status::IoError("replica '" + name_ +
-                           "': shipped segment is not commit-aligned");
-  }
   IDM_RETURN_NOT_OK(serving_->module()
                         .ReplayMutations(scan.mutations)
                         .WithContext("replica '" + name_ + "' replay"));
@@ -133,6 +177,167 @@ Status ReplicaNode::Recover() {
   return Status::OK();
 }
 
+Result<repair::DigestLadder> ReplicaNode::MirrorLadder() {
+  std::string ckpt;
+  if (generation_ > 0) {
+    if (auto image = env_.ReadFile(CkptPath(generation_)); image.ok()) {
+      ckpt = std::move(*image);
+    }
+    // An unreadable image at gen > 0 leaves ckpt empty: the ladder's
+    // checkpoint rung is then 0, which disagrees with any healthy peer —
+    // exactly the signal that forces a reseed.
+  }
+  std::string wal;
+  if (auto image = env_.ReadFile(WalPath(generation_)); image.ok()) {
+    wal = std::move(*image);
+  }
+  return repair::BuildLadder(generation_, ckpt, wal);
+}
+
+Result<AntiEntropyReport> ReplicaNode::SyncWithLadder(
+    const repair::DigestLadder& remote) {
+  AntiEntropyReport report;
+  if (generation_ != remote.generation) {
+    if (generation_ > remote.generation) {
+      return Status::FailedPrecondition(
+          "replica '" + name_ + "' is at generation " +
+          std::to_string(generation_) + ", ahead of the peer's " +
+          std::to_string(remote.generation));
+    }
+    // Behind a whole generation: the mirror's artifacts are about to be
+    // replaced wholesale by InstallCheckpoint — nothing to repair here.
+    report.behind = true;
+    report.refetch_from = wal_bytes_;
+    return report;
+  }
+  std::string wal;
+  if (auto image = env_.ReadFile(WalPath(generation_)); image.ok()) {
+    wal = std::move(*image);
+  }
+  IDM_ASSIGN_OR_RETURN(repair::DigestLadder local, MirrorLadder());
+  repair::LadderDelta delta = repair::CompareLadders(local, remote);
+  if (delta.checkpoint_mismatch) {
+    IDM_RETURN_NOT_OK(
+        Reseed("anti-entropy: base image disagrees with the peer", &report));
+    return report;
+  }
+  if (delta.diverged) {
+    IDM_RETURN_NOT_OK(RewindWal(
+        wal, delta.matched_end_offset,
+        "anti-entropy: WAL diverges from the peer past commit " +
+            std::to_string(delta.matched_seq),
+        &report));
+    return report;
+  }
+  // The mirror only ever receives whole verified batches, so any trailing
+  // bytes that do not form intact frames are damage, never an in-flight
+  // tail. Without this check a short ladder from a damaged suffix would
+  // masquerade as "behind" and the damaged range would never be re-shipped.
+  const uint64_t intact =
+      local.rungs.empty() ? 0 : local.rungs.back().end_offset;
+  if (intact < wal.size()) {
+    IDM_RETURN_NOT_OK(
+        RewindWal(wal, intact,
+                  "anti-entropy: mirror WAL unreadable past byte " +
+                      std::to_string(intact),
+                  &report));
+    return report;
+  }
+  if (delta.local_behind) {
+    report.behind = true;
+  } else {
+    report.clean = true;
+  }
+  report.refetch_from = wal_bytes_;
+  return report;
+}
+
+Result<AntiEntropyReport> ReplicaNode::ScrubMirror() {
+  AntiEntropyReport report;
+  if (generation_ > 0) {
+    Result<std::string> image = env_.ReadFile(CkptPath(generation_));
+    std::string defect;
+    if (!image.ok()) {
+      defect = "checkpoint image unreadable: " + image.status().ToString();
+    } else if (!repair::VerifyCheckpoint(*image, nullptr, &defect)) {
+      defect = "checkpoint seal: " + defect;
+    }
+    if (!defect.empty()) {
+      IDM_RETURN_NOT_OK(Reseed("mirror scrub: " + defect, &report));
+      return report;
+    }
+  }
+  std::string wal;
+  if (auto image = env_.ReadFile(WalPath(generation_)); image.ok()) {
+    wal = std::move(*image);
+  }
+  storage::WalScanResult scan = storage::ScanWal(wal);
+  if (scan.torn_tail || scan.dropped_records > 0 ||
+      scan.valid_bytes != wal.size()) {
+    IDM_RETURN_NOT_OK(RewindWal(wal, scan.valid_bytes,
+                                "mirror scrub: WAL unreadable past byte " +
+                                    std::to_string(scan.valid_bytes),
+                                &report));
+    return report;
+  }
+  report.clean = true;
+  report.refetch_from = wal_bytes_;
+  return report;
+}
+
+Status ReplicaNode::Stash(const std::string& artifact, std::string_view bytes,
+                          const std::string& reason,
+                          AntiEntropyReport* report) {
+  storage::QuarantineManager stash(&env_, dir_);
+  IDM_RETURN_NOT_OK(stash.Load());
+  IDM_RETURN_NOT_OK(stash.PreserveBytes(artifact, bytes, reason));
+  ++quarantined_;
+  if (report != nullptr) report->quarantined = artifact;
+  return Status::OK();
+}
+
+Status ReplicaNode::RewindWal(std::string_view wal, uint64_t keep,
+                              const std::string& reason,
+                              AntiEntropyReport* report) {
+  const std::string artifact = "wal-" + std::to_string(generation_) + ".log";
+  IDM_RETURN_NOT_OK(Stash(artifact, wal, reason, report));
+  const std::string path = WalPath(generation_);
+  IDM_RETURN_NOT_OK(env_.Delete(path));
+  IDM_RETURN_NOT_OK(env_.Append(path, wal.substr(0, keep)));
+  IDM_RETURN_NOT_OK(env_.Sync(path));
+  ++repairs_;
+  report->repaired = true;
+  report->refetch_from = keep;
+  // Recover() rebuilds the serving dataspace from the repaired mirror —
+  // never patch serving state in place, or the range the shipper re-sends
+  // would apply twice.
+  return Recover();
+}
+
+Status ReplicaNode::Reseed(const std::string& reason,
+                           AntiEntropyReport* report) {
+  if (auto image = env_.ReadFile(CkptPath(generation_)); image.ok()) {
+    IDM_RETURN_NOT_OK(
+        Stash("checkpoint-" + std::to_string(generation_) + ".ckpt", *image,
+              reason, report));
+  }
+  if (auto image = env_.ReadFile(WalPath(generation_)); image.ok()) {
+    IDM_RETURN_NOT_OK(Stash("wal-" + std::to_string(generation_) + ".log",
+                            *image, reason, report));
+  }
+  IDM_RETURN_NOT_OK(env_.Delete(CkptPath(generation_)));
+  IDM_RETURN_NOT_OK(env_.Delete(WalPath(generation_)));
+  IDM_RETURN_NOT_OK(env_.Delete(dir_ + "/CURRENT"));
+  serving_ = std::make_unique<iql::Dataspace>(config_);
+  generation_ = 0;
+  applied_seq_ = 0;
+  wal_bytes_ = 0;
+  ++reseeds_;
+  report->reseeded = true;
+  report->refetch_from = 0;
+  return Status::OK();
+}
+
 Result<std::unique_ptr<iql::Dataspace>> ReplicaNode::Promote() {
   iql::Dataspace::Config config = config_;
   config.storage_dir = dir_;
@@ -156,10 +361,23 @@ Status WalShipper::Ship(storage::StorageEngine* engine, ReplicaNode* replica,
     }
     IDM_ASSIGN_OR_RETURN(std::string image,
                          engine->env()->ReadFile(engine->LiveCheckpointPath()));
+    // Never ship damage: a primary whose checkpoint seal no longer checks
+    // out reports kDataLoss (permanent — the shard's quarantine + rescue
+    // path is the recovery) instead of seeding replicas with garbage.
+    std::string defect;
+    if (!repair::VerifyCheckpoint(image, nullptr, &defect)) {
+      return Status::DataLoss("primary checkpoint '" +
+                              engine->LiveCheckpointPath() +
+                              "' failed its seal check before shipping: " +
+                              defect);
+    }
     const uint64_t gen = engine->generation();
-    IDM_RETURN_NOT_OK(
-        Deliver([&] { return replica->InstallCheckpoint(gen, image); }, link,
-                "replicate.checkpoint", totals));
+    IDM_RETURN_NOT_OK(Deliver(
+        [&](bool corrupted) {
+          return replica->InstallCheckpoint(
+              gen, corrupted ? CorruptCopy(image) : image);
+        },
+        link, "replicate.checkpoint", totals));
     ++totals->checkpoints;
   }
 
@@ -181,6 +399,22 @@ Status WalShipper::Ship(storage::StorageEngine* engine, ReplicaNode* replica,
     scanned_bytes_ += scan.valid_bytes;
   }
 
+  // Every commit the engine calls durable must be reachable through intact
+  // frames. A scan that stops short of one is at-rest damage on the
+  // primary's live WAL — never an in-flight tail, which by definition holds
+  // no durable commit. Permanent verdict: the shard's repair path
+  // (quarantine the evidence, rescue-checkpoint to a clean generation) is
+  // the recovery, not a retry over the same bytes.
+  const uint64_t wal_durable = engine->wal_durable_seq();
+  const uint64_t last_scanned_seq = commits_.empty() ? 0 : commits_.back().seq;
+  if (last_scanned_seq < wal_durable) {
+    return Status::DataLoss("primary WAL '" + engine->LiveWalPath() +
+                            "' is unreadable past commit " +
+                            std::to_string(last_scanned_seq) +
+                            " though commit " + std::to_string(wal_durable) +
+                            " is durable");
+  }
+
   // The shippable prefix ends at the last commit mark known durable: only
   // fsynced commits replicate, so a replica can never be ahead of what the
   // primary would itself recover.
@@ -198,15 +432,19 @@ Status WalShipper::Ship(storage::StorageEngine* engine, ReplicaNode* replica,
   std::string_view slice =
       std::string_view(wal).substr(from, boundary - from);
   const uint64_t gen = engine->generation();
-  IDM_RETURN_NOT_OK(
-      Deliver([&] { return replica->AppendWal(gen, from, slice); }, link,
-              "replicate.wal", totals));
+  IDM_RETURN_NOT_OK(Deliver(
+      [&](bool corrupted) {
+        if (!corrupted) return replica->AppendWal(gen, from, slice);
+        const std::string damaged = CorruptCopy(slice);
+        return replica->AppendWal(gen, from, damaged);
+      },
+      link, "replicate.wal", totals));
   ++totals->segments;
   totals->bytes += slice.size();
   return Status::OK();
 }
 
-Status WalShipper::Deliver(const std::function<Status()>& deliver,
+Status WalShipper::Deliver(const std::function<Status(bool)>& deliver,
                            FaultInjector* link, const char* what,
                            ShipTotals* totals) {
   Status last = Status::OK();
@@ -224,10 +462,27 @@ Status WalShipper::Deliver(const std::function<Status()>& deliver,
       }
       continue;
     }
-    IDM_RETURN_NOT_OK(deliver());
+    Status received = deliver(verdict.corrupted);
+    if (verdict.corrupted) ++totals->corruptions;
+    if (received.code() == StatusCode::kDataLoss) ++totals->rejections;
+    if (verdict.corrupted && !received.ok()) {
+      // The receiver refused bytes the *link* damaged (it quarantined the
+      // evidence and touched nothing durable); the local copy is fine, so
+      // a clean re-send is the repair. Contrast with a clean-send
+      // kDataLoss below, which is permanent — the source bytes themselves
+      // are damaged and re-sending rereads the same damage.
+      last = received;
+      if (attempt == retry_.max_attempts) break;
+      ++totals->retries;
+      if (clock_ != nullptr) {
+        clock_->AdvanceMicros(retry_.BackoffMicros(attempt, &jitter_));
+      }
+      continue;
+    }
+    IDM_RETURN_NOT_OK(received);
     if (verdict.duplicated) {
       ++totals->duplicates;
-      IDM_RETURN_NOT_OK(deliver());  // re-delivery must be a no-op
+      IDM_RETURN_NOT_OK(deliver(false));  // re-delivery must be a no-op
     }
     return Status::OK();
   }

@@ -25,12 +25,25 @@
 #include <vector>
 
 #include "iql/dataspace.h"
+#include "repair/integrity.h"
 #include "storage/engine.h"
 #include "storage/env.h"
 #include "util/fault.h"
 #include "util/retry.h"
 
 namespace idm::cluster {
+
+/// What one anti-entropy round against a healthy peer decided for a mirror
+/// (DESIGN.md §15): at most one of repaired/reseeded is set, and any
+/// quarantined evidence is named so callers can surface it loudly.
+struct AntiEntropyReport {
+  bool clean = false;     ///< mirror agrees with the remote prefix
+  bool behind = false;    ///< agrees but shorter/older — shipping catches up
+  bool repaired = false;  ///< damaged WAL suffix quarantined, clean prefix kept
+  bool reseeded = false;  ///< base image damaged: mirror reset to generation 0
+  uint64_t refetch_from = 0;  ///< mirror WAL offset re-shipping resumes from
+  std::string quarantined;    ///< artifact named in the manifest ("" = none)
+};
 
 /// One read replica: serving state + durable mirror. Not thread-safe (the
 /// whole replication simulation is single-threaded, like fault injection).
@@ -68,8 +81,31 @@ class ReplicaNode {
   /// into the serving dataspace. Idempotent: a slice ending at or before
   /// wal_bytes() is a no-op, an overlapping slice applies only its fresh
   /// tail. A gap (from_offset > wal_bytes()) or generation mismatch
-  /// returns kUnavailable — the shipper resyncs.
+  /// returns kUnavailable — the shipper resyncs. A slice that fails its
+  /// frame CRCs is rejected *before* it touches the mirror: the bytes are
+  /// preserved in quarantine and the verdict is kDataLoss — permanent, not
+  /// a link fault, because re-sending the same bytes rereads the same
+  /// damage; the shipper re-fetches from the mirror boundary instead.
   Status AppendWal(uint64_t gen, uint64_t from_offset, std::string_view data);
+
+  /// Digest ladder over the mirror's current generation artifacts
+  /// (anti-entropy request half: what this replica believes it has).
+  Result<repair::DigestLadder> MirrorLadder();
+
+  /// One anti-entropy round against a healthy peer's ladder: locates the
+  /// first divergence, quarantines exactly the damaged mirror suffix (or
+  /// the base image), and rewinds so normal shipping re-fetches precisely
+  /// the lost range. Repair always goes through Recover() — the serving
+  /// state is rebuilt from the repaired mirror, never patched in place, so
+  /// a re-shipped range can never double-apply.
+  Result<AntiEntropyReport> SyncWithLadder(const repair::DigestLadder& remote);
+
+  /// Replica-local at-rest scrub: verifies the mirror's checkpoint seal and
+  /// WAL frame CRCs without a peer. Damage is contained exactly as in
+  /// SyncWithLadder (quarantine + rewind + Recover, or reseed); the lag it
+  /// opens reads as kUnavailable to gap-checking callers until the shipper
+  /// closes it — degraded, never silently divergent.
+  Result<AntiEntropyReport> ScrubMirror();
 
   /// Rebuilds serving state from the durable mirror after env().Reboot()
   /// — exactly the PR-3 recovery path (StorageEngine::Open + restore +
@@ -86,11 +122,30 @@ class ReplicaNode {
   uint64_t segments_applied() const { return segments_applied_; }
   uint64_t bytes_applied() const { return bytes_applied_; }
   uint64_t checkpoints_installed() const { return checkpoints_installed_; }
+  uint64_t rejected_deliveries() const { return rejected_deliveries_; }
+  uint64_t quarantined() const { return quarantined_; }
+  uint64_t repairs() const { return repairs_; }
+  uint64_t reseeds() const { return reseeds_; }
 
  private:
   std::string CkptPath(uint64_t gen) const;
   std::string WalPath(uint64_t gen) const;
   Status SwitchCurrent(uint64_t gen);
+  /// Preserves \p bytes in the mirror's quarantine stash under \p artifact.
+  /// A fresh QuarantineManager is loaded per call: Recover()/Promote() open
+  /// a StorageEngine over the same directory whose manager may also append
+  /// to the manifest, so a cached instance could hand out stale ids.
+  Status Stash(const std::string& artifact, std::string_view bytes,
+               const std::string& reason, AntiEntropyReport* report);
+  /// Quarantines the full mirror WAL as evidence, rewrites the live file
+  /// with its verified prefix [0, keep), and rebuilds serving state via
+  /// Recover() so re-shipping resumes exactly at \p keep.
+  Status RewindWal(std::string_view wal, uint64_t keep,
+                   const std::string& reason, AntiEntropyReport* report);
+  /// Quarantines the generation's artifacts and resets the mirror to
+  /// generation 0 — the next Ship() reinstalls the peer's checkpoint (the
+  /// "last sealed-good generation" degraded path when the base is gone).
+  Status Reseed(const std::string& reason, AntiEntropyReport* report);
 
   std::string name_;
   iql::Dataspace::Config config_;  ///< sanitized serving template
@@ -107,6 +162,10 @@ class ReplicaNode {
   uint64_t segments_applied_ = 0;
   uint64_t bytes_applied_ = 0;
   uint64_t checkpoints_installed_ = 0;
+  uint64_t rejected_deliveries_ = 0;
+  uint64_t quarantined_ = 0;
+  uint64_t repairs_ = 0;
+  uint64_t reseeds_ = 0;
 };
 
 /// What one Ship() round (or a lifetime of rounds) moved.
@@ -116,8 +175,10 @@ struct ShipTotals {
   uint64_t checkpoints = 0;  ///< checkpoint images delivered
   uint64_t duplicates = 0;   ///< injected duplicate deliveries
   uint64_t drops = 0;        ///< sends lost to injected link faults
-  uint64_t retries = 0;      ///< re-sends after a drop
+  uint64_t retries = 0;      ///< re-sends after a drop or a corrupted send
   uint64_t failed = 0;       ///< Ship() rounds that gave up on a replica
+  uint64_t corruptions = 0;  ///< sends damaged in flight by the link
+  uint64_t rejections = 0;   ///< deliveries the receiver refused as kDataLoss
 
   void Merge(const ShipTotals& other) {
     segments += other.segments;
@@ -127,6 +188,8 @@ struct ShipTotals {
     drops += other.drops;
     retries += other.retries;
     failed += other.failed;
+    corruptions += other.corruptions;
+    rejections += other.rejections;
   }
 };
 
@@ -147,17 +210,25 @@ class WalShipper {
   /// replication advances on explicit SyncNow/Checkpoint, by design.
   /// \p link may be nullptr (a perfect link). Accounting accumulates into
   /// \p totals even when the round fails — a dropped send is a drop whether
-  /// or not a retry eventually got through.
+  /// or not a retry eventually got through. Local artifacts are verified
+  /// before they ship: a primary whose checkpoint seal or durable WAL
+  /// frames no longer check out gets kDataLoss (never ships damage) — the
+  /// shard's ScrubAndRepair quarantines and rescues it.
   Status Ship(storage::StorageEngine* engine, ReplicaNode* replica,
               FaultInjector* link, ShipTotals* totals);
 
  private:
   /// Sends one message through the link with retry: a dropped send backs
   /// off (charged to the clock) and re-sends; a duplicated send delivers
-  /// twice (receipt must be idempotent). Receiver-side errors are not
-  /// retried — they mean resync or a crashed replica, not a lost packet.
-  Status Deliver(const std::function<Status()>& deliver, FaultInjector* link,
-                 const char* what, ShipTotals* totals);
+  /// twice (receipt must be idempotent); a corrupted send (\p corrupted
+  /// true) delivers damaged bytes the receiver's CRCs must catch — its
+  /// kDataLoss rejection is retried with a clean re-send, since the local
+  /// bytes are fine and the link was at fault. Receiver-side errors on a
+  /// *clean* send are never retried: kDataLoss there means the source or
+  /// mirror bytes are damaged (permanent — anti-entropy is the recovery),
+  /// and kUnavailable means resync or a crashed replica, not a lost packet.
+  Status Deliver(const std::function<Status(bool corrupted)>& deliver,
+                 FaultInjector* link, const char* what, ShipTotals* totals);
 
   Clock* clock_;
   RetryPolicy retry_;

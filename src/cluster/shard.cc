@@ -37,6 +37,8 @@ ShardGroup::ShardGroup(std::string name, ShardOptions options, SimClock* clock,
     obs::MetricsRegistry& reg = obs_->metrics();
     promotions_metric_ = reg.counter("cluster.promotions");
     probe_failures_metric_ = reg.counter("cluster.probe_failures");
+    repairs_metric_ = reg.counter("cluster.repairs");
+    reseeds_metric_ = reg.counter("cluster.reseeds");
     lag_gauge_ = reg.gauge("cluster." + name_ + ".lag_commits");
   }
 }
@@ -110,6 +112,62 @@ Status ShardGroup::Ship() {
       if (first.ok()) first = shipped;
     }
   }
+  UpdateLagGauge();
+  return first;
+}
+
+Status ShardGroup::ScrubAndRepair() {
+  if (!primary_alive_ || primary_ == nullptr ||
+      primary_->storage_engine() == nullptr) {
+    return Status::FailedPrecondition("shard '" + name_ +
+                                      "' has no live storage to scrub");
+  }
+  ++repair_totals_.sweeps;
+
+  // 1. Primary store: a full scrub pass. Findings are contained inside
+  //    ScrubNow — evidence copied to quarantine, then a rescue checkpoint
+  //    rotates to a clean generation cut from the authoritative in-memory
+  //    state, which also resets the shipper's view of the damaged WAL.
+  IDM_ASSIGN_OR_RETURN(std::vector<repair::ScrubFinding> findings,
+                       primary_->ScrubNow());
+  repair_totals_.primary_defects += findings.size();
+
+  // 2. Anti-entropy: the primary's digest ladder against every mirror.
+  //    Each damaged replica quarantines exactly its bad suffix (or base
+  //    image) and rewinds; a clean or merely-behind replica is untouched.
+  storage::StorageEngine* engine = primary_->storage_engine();
+  std::string ckpt;
+  if (engine->generation() > 0) {
+    IDM_ASSIGN_OR_RETURN(
+        ckpt, engine->env()->ReadFile(engine->LiveCheckpointPath()));
+  }
+  IDM_ASSIGN_OR_RETURN(std::string wal,
+                       engine->env()->ReadFile(engine->LiveWalPath()));
+  repair::DigestLadder ladder =
+      repair::BuildLadder(engine->generation(), ckpt, wal);
+  Status first;
+  for (std::unique_ptr<ReplicaNode>& replica : replicas_) {
+    Result<AntiEntropyReport> report = replica->SyncWithLadder(ladder);
+    if (!report.ok()) {
+      if (first.ok()) first = report.status();
+      continue;
+    }
+    if (report->repaired) {
+      ++repair_totals_.replica_repairs;
+      if (repairs_metric_ != nullptr) repairs_metric_->Inc();
+    } else if (report->reseeded) {
+      ++repair_totals_.replica_reseeds;
+      if (reseeds_metric_ != nullptr) reseeds_metric_->Inc();
+    } else {
+      ++repair_totals_.replicas_clean;
+    }
+  }
+
+  // 3. Re-fetch: normal shipping closes exactly the gap each repair opened
+  //    (the rewound mirror reports its boundary; the reseeded mirror
+  //    reinstalls the checkpoint). Link failures here are lag, as always.
+  Status shipped = Ship();
+  if (first.ok()) first = shipped;
   UpdateLagGauge();
   return first;
 }

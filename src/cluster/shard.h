@@ -47,6 +47,15 @@ struct ShardOptions {
   uint64_t seed = 1;
 };
 
+/// Cumulative outcome of ScrubAndRepair() sweeps over one shard.
+struct RepairTotals {
+  uint64_t sweeps = 0;           ///< ScrubAndRepair() rounds run
+  uint64_t primary_defects = 0;  ///< scrubber findings on the primary store
+  uint64_t replica_repairs = 0;  ///< replicas that rewound a damaged suffix
+  uint64_t replica_reseeds = 0;  ///< replicas whose base image was rebuilt
+  uint64_t replicas_clean = 0;   ///< replica checks that verified clean
+};
+
 class ShardGroup {
  public:
   /// \p clock is the cluster-wide simulated clock driving probes, backoff
@@ -92,8 +101,17 @@ class ShardGroup {
 
   /// Ships the durable suffix to every replica. Per-replica link failures
   /// are recorded (ship_totals().failed, last_ship_status()) and returned,
-  /// but leave the other replicas shipped — lag, not loss.
+  /// but leave the other replicas shipped — lag, not loss. A kDataLoss
+  /// verdict here means damaged bytes were *refused* somewhere, never
+  /// applied; ScrubAndRepair() is the recovery.
   Status Ship();
+
+  /// One anti-entropy sweep (DESIGN.md §15): scrub the primary store
+  /// (quarantine + rescue checkpoint via Dataspace::ScrubNow), exchange the
+  /// primary's digest ladder with every replica so each quarantines and
+  /// rewinds exactly its damaged range, then ship to close the gaps the
+  /// repairs opened. Deterministic: same damage, same sweep, same repairs.
+  Status ScrubAndRepair();
 
   /// Kills the primary machine: unsynced bytes are lost (bar the writeback
   /// prefix) and the shard serves no linearizable reads until the failure
@@ -126,6 +144,7 @@ class ShardGroup {
   uint64_t promotions() const { return promotions_; }
   const ShipTotals& ship_totals() const { return ship_totals_; }
   const Status& last_ship_status() const { return last_ship_status_; }
+  const RepairTotals& repair_totals() const { return repair_totals_; }
   CircuitBreaker& breaker() { return *breaker_; }
 
  private:
@@ -162,12 +181,15 @@ class ShardGroup {
   WalShipper shipper_;
   ShipTotals ship_totals_;
   Status last_ship_status_;
+  RepairTotals repair_totals_;
   FaultInjector* probe_injector_ = nullptr;
 
   uint64_t promotions_ = 0;
 
   obs::Counter* promotions_metric_ = nullptr;
   obs::Counter* probe_failures_metric_ = nullptr;
+  obs::Counter* repairs_metric_ = nullptr;
+  obs::Counter* reseeds_metric_ = nullptr;
   obs::Gauge* lag_gauge_ = nullptr;
 };
 

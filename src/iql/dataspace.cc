@@ -44,6 +44,9 @@ Dataspace::Dataspace(Config config)
     smetrics_.fastpath = reg.counter("sub.fastpath");
     smetrics_.recomputes = reg.counter("sub.recomputes");
     smetrics_.degraded = reg.counter("sub.degraded");
+    rmetrics_.defects = reg.counter("repair.defects");
+    rmetrics_.quarantined = reg.counter("repair.quarantined");
+    rmetrics_.rescues = reg.counter("repair.rescues");
     module_.SetObservability(obs_.get());
     sync_->SetObservability(obs_.get());
   }
@@ -109,6 +112,13 @@ Status Dataspace::InitStorage() {
           ->Set(recovery_stats_.torn_tail_dropped ? 1 : 0);
       reg.counter("storage.recovery.dropped_records")
           ->Inc(recovery_stats_.dropped_records);
+      reg.counter("storage.recovery.quarantined_files")
+          ->Inc(recovery_stats_.quarantined_files);
+    }
+    if (config_.scrub.enabled) {
+      scrubber_ = std::make_unique<repair::Scrubber>(engine_.get(), &clock_,
+                                                     config_.scrub);
+      EnsurePostSyncHook();
     }
     return Status::OK();
   }();
@@ -311,7 +321,85 @@ void Dataspace::EnsureSubscriptionWiring() {
   });
   // Pump after every completed sync round: mutations land in batches
   // (poll / notification drain), so this is the natural delta boundary.
-  sync_->SetPostSyncHook([this] { PumpSubscriptions(); });
+  EnsurePostSyncHook();
+}
+
+void Dataspace::EnsurePostSyncHook() {
+  if (post_sync_hooked_) return;
+  post_sync_hooked_ = true;
+  sync_->SetPostSyncHook([this] { PostSync(); });
+}
+
+void Dataspace::PostSync() {
+  if (sub_wired_) PumpSubscriptions();
+  if (scrubber_ != nullptr) {
+    std::vector<repair::ScrubFinding> findings = scrubber_->MaybeScrub();
+    // Containment failure here has nowhere to return to — record it the
+    // way recovery failures are recorded, and keep the store read-serving.
+    Status contained = ContainFindings(findings);
+    if (!contained.ok() && storage_status_.ok()) {
+      storage_status_ = contained.WithContext("scrub containment");
+    }
+  }
+}
+
+Status Dataspace::ContainFindings(
+    const std::vector<repair::ScrubFinding>& findings) {
+  if (findings.empty() || engine_ == nullptr) return Status::OK();
+  std::shared_ptr<obs::Trace> trace =
+      obs_ != nullptr ? obs_->StartTrace(obs::kRepairTrace, "contain")
+                      : nullptr;
+  obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
+  Status status = [&]() -> Status {
+    for (const repair::ScrubFinding& finding : findings) {
+      obs::ScopedSpan q_span(root, "quarantine");
+      if (q_span) {
+        q_span.get()->SetAttr("artifact", finding.artifact);
+        q_span.get()->SetAttr("defect", finding.defect);
+      }
+      // Copy, not move: the live file stays in place until the rescue
+      // checkpoint retires its generation — recovery must keep working if
+      // we crash mid-containment.
+      IDM_RETURN_NOT_OK(engine_->quarantine()
+                            ->CopyAside(finding.artifact, finding.defect)
+                            .WithContext("quarantining " + finding.artifact));
+      last_defect_ = finding.defect;
+      if (rmetrics_.defects != nullptr) {
+        rmetrics_.defects->Inc();
+        rmetrics_.quarantined->Inc();
+      }
+    }
+    // Rescue: the in-memory structures are authoritative (every committed
+    // mutation was applied to them before it hit the damaged platter), so
+    // a fresh checkpoint generation rebuilt from them is byte-good. The
+    // damaged generation's files are deleted by the rotation — their
+    // evidence copies are already in quarantine.
+    obs::ScopedSpan rescue_span(root, "rescue.checkpoint");
+    IDM_RETURN_NOT_OK(engine_->Commit(rescue_span ? rescue_span.get() : root));
+    storage::Snapshot snapshot = module_.ExportSnapshot();
+    IDM_RETURN_NOT_OK(
+        engine_->Checkpoint(snapshot, rescue_span ? rescue_span.get() : root)
+            .WithContext("rescue checkpoint"));
+    ++rescues_;
+    if (rmetrics_.rescues != nullptr) rmetrics_.rescues->Inc();
+    return Status::OK();
+  }();
+  if (obs_ != nullptr) obs_->FinishTrace(obs::kRepairTrace, std::move(trace));
+  return status;
+}
+
+Result<std::vector<repair::ScrubFinding>> Dataspace::ScrubNow() {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("dataspace has no storage engine");
+  }
+  if (scrubber_ == nullptr) {
+    // On-demand scrubbing works without background scheduling configured.
+    scrubber_ = std::make_unique<repair::Scrubber>(engine_.get(), &clock_,
+                                                   config_.scrub);
+  }
+  std::vector<repair::ScrubFinding> findings = scrubber_->ScrubPass();
+  IDM_RETURN_NOT_OK(ContainFindings(findings));
+  return findings;
 }
 
 Result<std::shared_ptr<sub::Subscription>> Dataspace::Subscribe(
@@ -487,6 +575,15 @@ DataspaceStats Dataspace::Stats() const {
   stats.mutations = module_.mutation_count();
   if (engine_ != nullptr) stats.storage = engine_->stats();
   stats.recovery = recovery_stats_;
+  if (scrubber_ != nullptr) stats.repair.scrub = scrubber_->stats();
+  if (engine_ != nullptr && engine_->quarantine() != nullptr) {
+    const storage::QuarantineManager& q = *engine_->quarantine();
+    stats.repair.quarantined = q.count();
+    stats.repair.quarantined_bytes = q.total_bytes();
+    stats.repair.last_quarantined = q.last_artifact();
+  }
+  stats.repair.rescues = rescues_;
+  stats.repair.last_defect = last_defect_;
   if (processor_->pool() != nullptr) {
     stats.pool = processor_->pool()->telemetry();
   }

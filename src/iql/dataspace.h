@@ -30,12 +30,25 @@
 #include "iql/query_options.h"
 #include "iql/query_processor.h"
 #include "obs/obs.h"
+#include "repair/scrubber.h"
 #include "rvm/rvm.h"
 #include "storage/engine.h"
 #include "sub/subscription.h"
 #include "util/exec_context.h"
 
 namespace idm::iql {
+
+/// Integrity / self-healing activity (DESIGN.md §15). All zeros until a
+/// scrub runs or something is quarantined; `last_quarantined` names the
+/// most recent contained artifact — the "degrade loudly" surface.
+struct RepairStats {
+  repair::ScrubStats scrub;          ///< scrubber activity since start
+  uint64_t quarantined = 0;          ///< artifacts in the quarantine stash
+  uint64_t quarantined_bytes = 0;    ///< evidence bytes preserved
+  uint64_t rescues = 0;              ///< rescue checkpoints taken
+  std::string last_quarantined;      ///< most recent artifact ("" = none)
+  std::string last_defect;           ///< what its failed check reported
+};
 
 /// One-call introspection snapshot (DESIGN.md §11): everything the
 /// dataspace knows about itself, collected by Dataspace::Stats(). Plain
@@ -48,6 +61,7 @@ struct DataspaceStats {
   uint64_t mutations = 0;                 ///< module mutations since start
   storage::StorageEngine::Stats storage;  ///< zeros when not durable
   storage::RecoveryStats recovery;        ///< what startup recovery found
+  RepairStats repair;                     ///< scrub/quarantine/self-heal
   util::ThreadPoolTelemetry pool;         ///< zeros when threads <= 1
   obs::MetricsSnapshot metrics;           ///< empty when observability off
 };
@@ -81,6 +95,12 @@ class Dataspace {
     /// instrumentation site sees a null pointer, and the hot path is
     /// byte-identical to a build without the feature.
     obs::Options observability;
+    /// Background integrity scrubbing (DESIGN.md §15). Off by default: no
+    /// Scrubber is constructed and the write/sync path is byte-identical
+    /// to a build without it. Enabled, every sync round runs at most one
+    /// interval-gated, ExecContext-budgeted verification slice; a verified
+    /// defect is contained (quarantine + rescue checkpoint) immediately.
+    repair::ScrubOptions scrub;
   };
 
   Dataspace() : Dataspace(Config()) {}
@@ -109,6 +129,18 @@ class Dataspace {
   /// Forces every committed batch to the platter (fsync), regardless of
   /// the configured fsync policy.
   Status SyncStorage();
+
+  /// --- integrity (DESIGN.md §15) ------------------------------------------
+  /// Runs one full scrub pass over the live generation NOW (works even
+  /// with Config::scrub disabled) and contains every verified defect:
+  /// damaged artifact copied into quarantine, then a rescue checkpoint
+  /// rotates to a clean generation rebuilt from the authoritative
+  /// in-memory state. Returns the findings (empty = store verified clean);
+  /// fails only when containment itself cannot write.
+  Result<std::vector<repair::ScrubFinding>> ScrubNow();
+
+  /// The background scrubber (null when storage or Config::scrub is off).
+  repair::Scrubber* scrubber() { return scrubber_.get(); }
 
   /// The simulated clock shared by all sources registered through this
   /// dataspace (timestamps, latency models, yesterday()).
@@ -257,6 +289,17 @@ class Dataspace {
   /// per-mutation event fan-out.
   void EnsureSubscriptionWiring();
 
+  /// Installs the single post-sync hook (once). The hook fans out to the
+  /// subscription pump and the scrub tick, whichever are armed — the two
+  /// features share the SynchronizationManager's one slot.
+  void EnsurePostSyncHook();
+  /// The post-sync fan-out body.
+  void PostSync();
+
+  /// Contains \p findings: evidence into quarantine, rescue checkpoint,
+  /// stats + metrics + a kRepairTrace trace. No-op for an empty list.
+  Status ContainFindings(const std::vector<repair::ScrubFinding>& findings);
+
   /// Metric handles resolved once at construction (null when observability
   /// is off — the hot path then pays a single pointer test per site).
   struct QueryMetrics {
@@ -298,6 +341,18 @@ class Dataspace {
   mutable sub::SubscriptionManager subs_;  ///< internally synchronized
   bool sub_wired_ = false;  ///< mutation listener + pump hook installed
   SubMetrics smetrics_;
+
+  /// repair.* metric handles (null when observability is off).
+  struct RepairMetrics {
+    obs::Counter* defects = nullptr;
+    obs::Counter* quarantined = nullptr;
+    obs::Counter* rescues = nullptr;
+  };
+  std::unique_ptr<repair::Scrubber> scrubber_;  ///< null when scrub off
+  bool post_sync_hooked_ = false;
+  uint64_t rescues_ = 0;
+  std::string last_defect_;
+  RepairMetrics rmetrics_;
 };
 
 }  // namespace idm::iql

@@ -37,6 +37,7 @@ inline constexpr char kQueryTrace[] = "query";
 inline constexpr char kStorageTrace[] = "storage";
 inline constexpr char kFederationTrace[] = "federation";
 inline constexpr char kSubTrace[] = "sub";
+inline constexpr char kRepairTrace[] = "repair";
 
 class Observability {
  public:

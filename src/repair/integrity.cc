@@ -1,0 +1,157 @@
+#include "repair/integrity.h"
+
+#include <algorithm>
+
+#include "storage/crc32.h"
+#include "storage/snapshot.h"
+#include "util/codec.h"
+
+namespace idm::repair {
+
+namespace {
+
+constexpr char kTagMutation = 1;  // mirrors wal.cc framing
+constexpr char kTagCommit = 2;
+
+}  // namespace
+
+uint64_t VerifyWal(std::string_view image, WalVerifyCursor* cursor,
+                   util::ExecContext* ctx, uint64_t bytes_per_step) {
+  if (bytes_per_step == 0) bytes_per_step = 1;
+  const uint64_t start = cursor->offset;
+  uint64_t budget_debt = 0;  // bytes examined but not yet charged
+  while (!cursor->halted && cursor->offset < image.size()) {
+    if (ctx != nullptr && budget_debt >= bytes_per_step) {
+      uint64_t steps = budget_debt / bytes_per_step;
+      budget_debt %= bytes_per_step;
+      if (!ctx->Tick(steps).ok()) return cursor->offset - start;
+    }
+    size_t pos = static_cast<size_t>(cursor->offset);
+    uint32_t len = 0, crc = 0;
+    if (!codec::GetU32(image, &pos, &len) || !codec::GetU32(image, &pos, &crc) ||
+        len > image.size() - pos) {
+      // Mid-frame end of image: either an in-flight append or a truncation.
+      // The caller judges via WalIsDamaged; the walk itself just stops.
+      break;
+    }
+    std::string_view payload = image.substr(pos, len);
+    if (storage::Crc32(payload) != crc || payload.empty()) {
+      cursor->halted = true;
+      cursor->defect = "wal frame CRC mismatch at offset " +
+                       std::to_string(cursor->offset);
+      break;
+    }
+    char tag = payload.front();
+    if (tag == kTagCommit) {
+      size_t spos = 1;
+      uint64_t seq = 0;
+      if (!codec::GetU64(payload, &spos, &seq) || spos != payload.size()) {
+        cursor->halted = true;
+        cursor->defect = "malformed commit marker at offset " +
+                         std::to_string(cursor->offset);
+        break;
+      }
+      cursor->last_commit_seq = seq;
+    } else if (tag != kTagMutation) {
+      cursor->halted = true;
+      cursor->defect = "unknown frame tag at offset " +
+                       std::to_string(cursor->offset);
+      break;
+    }
+    cursor->offset = pos + len;
+    ++cursor->frames_verified;
+    budget_debt += 8 + len;
+  }
+  return cursor->offset - start;
+}
+
+bool WalIsDamaged(const WalVerifyCursor& cursor, uint64_t image_size,
+                  uint64_t required_seq) {
+  (void)image_size;
+  // Only meaningful once the walk finished (halted, or offset reached the
+  // end / the first mid-frame byte). Commits the engine calls durable must
+  // all be walkable; anything short of that — CRC halt, truncation, a
+  // clean-looking but short log — is damage. A halt past required_seq is
+  // an unsynced in-flight tail, which is not the device's fault.
+  return cursor.last_commit_seq < required_seq;
+}
+
+bool VerifyCheckpoint(std::string_view image, uint32_t* crc,
+                      std::string* defect) {
+  auto decoded = storage::Snapshot::Decode(std::string(image));
+  if (!decoded.ok()) {
+    if (defect != nullptr) *defect = decoded.status().ToString();
+    return false;
+  }
+  if (crc != nullptr) *crc = storage::Crc32(image);
+  return true;
+}
+
+DigestLadder BuildLadder(uint64_t generation, std::string_view checkpoint,
+                         std::string_view wal) {
+  DigestLadder ladder;
+  ladder.generation = generation;
+  ladder.checkpoint_bytes = checkpoint.size();
+  ladder.checkpoint_crc = checkpoint.empty() ? 0 : storage::Crc32(checkpoint);
+
+  // Walk intact frames, cutting a rung at every commit marker. The range
+  // CRC covers the raw bytes since the previous rung, so a flipped bit
+  // anywhere in a batch changes exactly that batch's rung.
+  uint64_t range_start = 0;
+  size_t pos = 0;
+  while (pos < wal.size()) {
+    uint32_t len = 0, crc = 0;
+    if (!codec::GetU32(wal, &pos, &len) || !codec::GetU32(wal, &pos, &crc) ||
+        len > wal.size() - pos) {
+      break;
+    }
+    std::string_view payload = wal.substr(pos, len);
+    if (storage::Crc32(payload) != crc || payload.empty()) break;
+    pos += len;
+    char tag = payload.front();
+    if (tag == kTagCommit) {
+      size_t spos = 1;
+      uint64_t seq = 0;
+      if (!codec::GetU64(payload, &spos, &seq) || spos != payload.size()) break;
+      DigestRung rung;
+      rung.seq = seq;
+      rung.end_offset = pos;
+      rung.crc = storage::Crc32(
+          wal.substr(static_cast<size_t>(range_start), pos - range_start));
+      ladder.rungs.push_back(rung);
+      range_start = pos;
+    } else if (tag != kTagMutation) {
+      break;
+    }
+  }
+  return ladder;
+}
+
+LadderDelta CompareLadders(const DigestLadder& local,
+                           const DigestLadder& remote) {
+  LadderDelta delta;
+  if (local.generation != remote.generation) {
+    delta.generation_mismatch = true;
+    return delta;
+  }
+  if (local.checkpoint_crc != remote.checkpoint_crc ||
+      local.checkpoint_bytes != remote.checkpoint_bytes) {
+    delta.checkpoint_mismatch = true;
+    return delta;
+  }
+  size_t agree = 0;
+  size_t shared = std::min(local.rungs.size(), remote.rungs.size());
+  while (agree < shared && local.rungs[agree] == remote.rungs[agree]) ++agree;
+  if (agree > 0) {
+    delta.matched_seq = local.rungs[agree - 1].seq;
+    delta.matched_end_offset = local.rungs[agree - 1].end_offset;
+  }
+  if (agree < shared) {
+    delta.diverged = true;  // a rung both sides have differs: damage
+  } else if (local.rungs.size() < remote.rungs.size()) {
+    delta.local_behind = true;  // clean prefix, remote has more
+  }
+  return delta;
+}
+
+}  // namespace idm::repair

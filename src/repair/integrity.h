@@ -1,0 +1,109 @@
+// Integrity verification primitives (the "detect" third of DESIGN.md §15's
+// detect → quarantine → repair). Pure functions over artifact bytes — no
+// clock, no Rng, no I/O — so every verdict is a deterministic function of
+// the bytes examined:
+//
+//   * VerifyWal       — resumable frame-by-frame CRC walk over a WAL image,
+//                       budgeted via an ExecContext so the scrubber can
+//                       verify a multi-megabyte log in p99-neutral slices;
+//   * VerifyCheckpoint— seal check of one checkpoint image;
+//   * BuildLadder     — the anti-entropy digest ladder: per-commit-range
+//                       CRC rungs over (generation, seq range, bytes) that
+//                       primary and replicas exchange to locate exactly the
+//                       damaged range instead of re-shipping everything;
+//   * CompareLadders  — first divergence between two ladders.
+
+#ifndef IDM_REPAIR_INTEGRITY_H_
+#define IDM_REPAIR_INTEGRITY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/exec_context.h"
+
+namespace idm::repair {
+
+/// Resumable cursor + verdict of a frame walk over one WAL image. The walk
+/// stops at the first frame that fails its length or CRC check; whether
+/// that constitutes *corruption* depends on context the walker cannot see:
+/// an unsynced in-flight tail also ends in a non-frame. The caller judges —
+/// sealed segments and the durable prefix of the live WAL must walk clean
+/// through every commit the engine calls durable (see WalIsDamaged).
+struct WalVerifyCursor {
+  uint64_t offset = 0;           ///< next unexamined byte
+  uint64_t last_commit_seq = 0;  ///< last intact commit marker walked over
+  uint64_t frames_verified = 0;
+  bool halted = false;           ///< hit a frame that does not check out
+  std::string defect;            ///< what failed, when halted
+};
+
+/// Walks frames of \p image from \p cursor->offset, advancing the cursor.
+/// Charges one ExecContext step per \p bytes_per_step bytes examined (via
+/// Tick) and returns early — cursor mid-image, halted == false — when the
+/// budget runs out; call again with a fresh budget to resume. A null \p ctx
+/// walks to the end (or the first bad frame) in one call. Returns the
+/// number of bytes examined by this call.
+uint64_t VerifyWal(std::string_view image, WalVerifyCursor* cursor,
+                   util::ExecContext* ctx, uint64_t bytes_per_step = 4096);
+
+/// True when a finished walk proves damage: the walk halted (or the image
+/// ended mid-frame) before reaching \p required_seq — commits the engine
+/// already calls durable are unreadable. A halt *after* required_seq is an
+/// in-flight tail, not corruption.
+bool WalIsDamaged(const WalVerifyCursor& cursor, uint64_t image_size,
+                  uint64_t required_seq);
+
+/// Seal-checks one checkpoint image (Snapshot::Decode). Returns true and
+/// sets \p crc (CRC32 of the raw image — the ladder's checkpoint rung) on
+/// success; returns false with \p defect set when the seal is broken.
+bool VerifyCheckpoint(std::string_view image, uint32_t* crc,
+                      std::string* defect);
+
+/// One rung of the digest ladder: the CRC of the WAL byte range
+/// (prev rung's end_offset, end_offset], which is exactly one committed
+/// batch. Two stores agree on a prefix of commits iff their rungs agree.
+struct DigestRung {
+  uint64_t seq = 0;         ///< commit sequence the range ends at
+  uint64_t end_offset = 0;  ///< WAL byte offset after this commit's marker
+  uint32_t crc = 0;         ///< CRC32 of the range's raw bytes
+  bool operator==(const DigestRung&) const = default;
+};
+
+/// Compact integrity summary of one generation, cheap to exchange: a
+/// replica sends its ladder, the primary answers with the bytes past the
+/// last agreeing rung.
+struct DigestLadder {
+  uint64_t generation = 0;
+  uint32_t checkpoint_crc = 0;    ///< 0 when the generation has no image
+  uint64_t checkpoint_bytes = 0;
+  std::vector<DigestRung> rungs;  ///< one per intact commit, in log order
+};
+
+/// Builds the ladder for one generation's on-disk artifacts. Only intact
+/// frames contribute rungs: a damaged WAL yields a short ladder, which is
+/// precisely what makes the divergence findable.
+DigestLadder BuildLadder(uint64_t generation, std::string_view checkpoint,
+                         std::string_view wal);
+
+/// Where two ladders stop agreeing.
+struct LadderDelta {
+  bool generation_mismatch = false;   ///< different generations: reinstall
+  bool checkpoint_mismatch = false;   ///< same gen, different base image
+  bool diverged = false;              ///< some rung differs outright
+  uint64_t matched_seq = 0;           ///< last commit both sides agree on
+  uint64_t matched_end_offset = 0;    ///< its byte offset in the WAL
+  /// True when \p local simply has fewer rungs than \p remote and agrees on
+  /// all it has — the healthy "replica is behind" case.
+  bool local_behind = false;
+};
+
+/// Compares \p local (the store asking for repair) against \p remote (the
+/// healthy peer). matched_* bound the bytes that need no re-shipping.
+LadderDelta CompareLadders(const DigestLadder& local,
+                           const DigestLadder& remote);
+
+}  // namespace idm::repair
+
+#endif  // IDM_REPAIR_INTEGRITY_H_

@@ -1,0 +1,101 @@
+// Background integrity scrubber (DESIGN.md §15). Detection only: the
+// scrubber walks the live generation's artifacts — checkpoint image first,
+// then the WAL frame-by-frame — re-verifying every CRC, and reports
+// findings; containment (quarantine + rescue) belongs to the owner
+// (Dataspace::ScrubNow, ShardGroup::ScrubAndRepair), because only the
+// owner knows whether in-memory state is authoritative.
+//
+// Determinism rules:
+//   * scheduled purely on the injected Clock (a SimClock in tests): a
+//     slice runs iff interval_micros elapsed since the last — never on
+//     wall time, never on a thread;
+//   * budgeted per slice through a fresh ExecContext (max_steps =
+//     steps_per_slice, one step per bytes_per_step bytes), so one slice
+//     does O(budget) work regardless of store size and scrubbing cannot
+//     move query p99;
+//   * verdicts are pure functions of the bytes examined (repair/integrity);
+//     the scrubber draws no randomness and consumes no Rng stream;
+//   * disabled (the default) it is never constructed — the hot path is
+//     byte-identical to a build without it.
+
+#ifndef IDM_REPAIR_SCRUBBER_H_
+#define IDM_REPAIR_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repair/integrity.h"
+#include "storage/engine.h"
+#include "util/clock.h"
+
+namespace idm::repair {
+
+struct ScrubOptions {
+  bool enabled = false;
+  /// Minimum clock time between two budgeted slices.
+  Micros interval_micros = 1'000'000;
+  /// ExecContext step budget per slice; one step covers bytes_per_step.
+  uint64_t steps_per_slice = 256;
+  uint64_t bytes_per_step = 4096;
+};
+
+/// One verified-bad artifact, named for the quarantine manifest.
+struct ScrubFinding {
+  std::string artifact;  ///< file name relative to the store dir
+  std::string defect;    ///< which check failed
+};
+
+struct ScrubStats {
+  uint64_t slices = 0;          ///< budgeted slices executed
+  uint64_t passes = 0;          ///< full store passes completed
+  uint64_t bytes_verified = 0;
+  uint64_t frames_verified = 0;
+  uint64_t defects_found = 0;
+};
+
+class Scrubber {
+ public:
+  /// \p engine outlives the scrubber; \p clock drives scheduling.
+  Scrubber(storage::StorageEngine* engine, const Clock* clock,
+           const ScrubOptions& options);
+
+  /// Runs one budgeted slice when the interval elapsed (cheap no-op
+  /// otherwise). Returns the findings of any artifact whose verification
+  /// *completed* bad this slice — an unfinished walk keeps its cursor and
+  /// resumes next slice.
+  std::vector<ScrubFinding> MaybeScrub();
+
+  /// Runs slices back-to-back until one full pass over the live generation
+  /// completes (scrub-on-demand; tests, repair entry points). Ignores the
+  /// interval but keeps the per-slice budget, so governance accounting
+  /// stays honest.
+  std::vector<ScrubFinding> ScrubPass();
+
+  const ScrubStats& stats() const { return stats_; }
+  const ScrubOptions& options() const { return options_; }
+
+ private:
+  enum class Phase { kCheckpoint, kWal, kDone };
+
+  /// Runs exactly one budgeted slice. Returns completed-bad findings.
+  std::vector<ScrubFinding> Slice();
+  void RestartPass();
+
+  storage::StorageEngine* engine_;
+  const Clock* clock_;
+  ScrubOptions options_;
+  ScrubStats stats_;
+
+  Micros last_slice_at_ = 0;
+
+  // Pass cursor. Valid for cursor_generation_ only: a checkpoint rotation
+  // under the scrubber restarts the pass on the new generation.
+  uint64_t cursor_generation_ = 0;
+  Phase phase_ = Phase::kCheckpoint;
+  WalVerifyCursor wal_cursor_;
+};
+
+}  // namespace idm::repair
+
+#endif  // IDM_REPAIR_SCRUBBER_H_

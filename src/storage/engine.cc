@@ -149,21 +149,43 @@ Result<StorageEngine::Recovered> StorageEngine::Open(
   }
   recovered.stats.last_commit_seq = base_seq;
 
+  engine->quarantine_ = std::make_unique<QuarantineManager>(env, dir);
+  IDM_RETURN_NOT_OK(engine->quarantine_->Load());
+
   // Make the chosen generation authoritative and garbage-collect every
-  // other file (orphan tmp files, a newer-but-unreferenced checkpoint, the
-  // retired old generation a crash left behind).
+  // other file. Retired older generations and orphan tmp files are plain
+  // garbage and are deleted; files of a generation NEWER than the chosen
+  // one are evidence — either an undecodable checkpoint we fell back past
+  // or a complete-but-unreferenced generation a crash left mid-dance —
+  // and are quarantined (moved aside, manifest-registered), never deleted.
   {
     obs::ScopedSpan gc_span(span, "gc");
     if (!have_current || current_gen != chosen_gen) {
       IDM_RETURN_NOT_OK(engine->SwitchCurrent(chosen_gen));
     }
+    uint64_t quarantined_before = engine->quarantine_->count();
     for (const std::string& name : names) {
-      if (name == "CURRENT") continue;
+      if (name == "CURRENT" || name == QuarantineManager::kDirName) continue;
       uint64_t gen = 0;
       bool is_ckpt = ParseNamedGen(name, "checkpoint-", ".ckpt", &gen);
       bool is_wal = !is_ckpt && ParseNamedGen(name, "wal-", ".log", &gen);
       if ((is_ckpt || is_wal) && gen == chosen_gen) continue;
+      if ((is_ckpt || is_wal) && gen > chosen_gen) {
+        IDM_RETURN_NOT_OK(engine->quarantine_->MoveAside(
+            name, fallback ? "orphaned newer generation (fallback past "
+                             "undecodable checkpoint)"
+                           : "orphaned newer generation (crash mid-"
+                             "checkpoint dance)"));
+        continue;
+      }
       IDM_RETURN_NOT_OK(env->Delete(dir + "/" + name));
+    }
+    recovered.stats.quarantined_files =
+        engine->quarantine_->count() - quarantined_before;
+    if (gc_span && recovered.stats.quarantined_files > 0) {
+      gc_span.get()->SetAttr(
+          "quarantined",
+          static_cast<int64_t>(recovered.stats.quarantined_files));
     }
   }
 

@@ -21,6 +21,7 @@
 
 #include "obs/obs.h"
 #include "storage/env.h"
+#include "storage/quarantine.h"
 #include "storage/record.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -48,6 +49,7 @@ struct RecoveryStats {
   uint64_t replayed_mutations = 0;
   bool torn_tail_dropped = false;
   uint64_t dropped_records = 0;  ///< mutations whose commit never landed
+  uint64_t quarantined_files = 0;  ///< orphans moved aside by recovery GC
 };
 
 class StorageEngine {
@@ -103,6 +105,12 @@ class StorageEngine {
   uint64_t last_durable_seq() const {
     return std::max(durable_floor_, wal_->last_durable_seq());
   }
+  /// Last durable commit present in the live WAL itself (excludes the
+  /// checkpoint's durable floor). The scrubber's cleanliness bar: a frame
+  /// walk over the live WAL must reach this commit; bytes past it are an
+  /// unsynced in-flight tail, not damage. 0 under FsyncPolicy::kNever —
+  /// nothing is promised durable, so nothing can be called corrupt.
+  uint64_t wal_durable_seq() const { return wal_->last_durable_seq(); }
   uint64_t generation() const { return generation_; }
   const Stats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
@@ -114,6 +122,12 @@ class StorageEngine {
   Env* env() const { return env_; }
   std::string LiveWalPath() const { return WalPath(generation_); }
   std::string LiveCheckpointPath() const { return CheckpointPath(generation_); }
+
+  /// --- integrity hooks (DESIGN.md §15) ------------------------------------
+  /// The store's quarantine stash. Never null after Open(); recovery GC and
+  /// the repair layer register contained artifacts through the same
+  /// manifest, so Stats().repair sees one ledger.
+  QuarantineManager* quarantine() const { return quarantine_.get(); }
 
   /// Invoked after every successful Commit() with its sequence — the
   /// crash-matrix oracle snapshots reference state from here.
@@ -142,6 +156,7 @@ class StorageEngine {
   Clock* clock_;
 
   std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<QuarantineManager> quarantine_;
   std::vector<Mutation> pending_;
   uint64_t commit_seq_ = 0;
   uint64_t durable_floor_ = 0;  ///< commits made durable by a checkpoint

@@ -100,12 +100,22 @@ Status DiskEnv::Delete(const std::string& path) {
 // ---------------------------------------------------------------------------
 // MemEnv
 
-Status MemEnv::CheckOp(const char* op_name) {
+namespace {
+// Deterministic damage placement: the byte/bit hit by a silent corruption
+// is a pure function of the op ordinal, not an Rng draw — a scripted
+// kBitFlip replays bit-identically and consumes no randomness.
+size_t DamageOffset(uint64_t ordinal, size_t size) {
+  return static_cast<size_t>((ordinal * 1315423911ull) % size);
+}
+}  // namespace
+
+Status MemEnv::CheckOp(const char* op_name, FaultKind* corruption) {
   if (crashed_) return Status::IoError("machine crashed (awaiting reboot)");
   ++mutating_ops_;
   if (injector_ != nullptr) {
-    Status verdict = injector_->OnOperation(op_name);
-    if (!verdict.ok()) {
+    EnvVerdict verdict = injector_->OnEnvOperation(op_name);
+    if (corruption != nullptr) *corruption = verdict.corruption;
+    if (!verdict.status.ok()) {
       Crash();
       return Status::IoError(std::string("killed during ") + op_name);
     }
@@ -165,18 +175,64 @@ Status MemEnv::Append(const std::string& path, std::string_view data) {
   // The bytes of a killed append are buffered first so the crash writeback
   // can preserve a prefix of them — that is the mid-record torn tail.
   if (!crashed_) files_[path].buffered.append(data);
-  Status gate = CheckOp("env.append");
+  FaultKind corruption = FaultKind::kNone;
+  Status gate = CheckOp("env.append", &corruption);
   if (!gate.ok()) return gate;
+  if (corruption != FaultKind::kNone && !data.empty()) {
+    // The device accepted the write and lied: damage lands in the slice
+    // just buffered, silently. Deterministic placement (see DamageOffset).
+    std::string& buffered = files_[path].buffered;
+    size_t start = buffered.size() - data.size();
+    if (corruption == FaultKind::kBitFlip) {
+      size_t at = start + DamageOffset(mutating_ops_, data.size());
+      buffered[at] = static_cast<char>(buffered[at] ^
+                                       (1u << (mutating_ops_ % 8)));
+    } else if (corruption == FaultKind::kTruncate) {
+      // Half the slice reaches the medium; the rest was never written.
+      buffered.resize(start + data.size() / 2);
+    }
+  }
   return Status::OK();
 }
 
 Status MemEnv::Sync(const std::string& path) {
-  IDM_RETURN_NOT_OK(CheckOp("env.sync"));
+  FaultKind corruption = FaultKind::kNone;
+  IDM_RETURN_NOT_OK(CheckOp("env.sync", &corruption));
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound("no such file: " + path);
-  it->second.durable += it->second.buffered;
-  it->second.buffered.clear();
+  File& file = it->second;
+  if (corruption != FaultKind::kNone && !file.buffered.empty()) {
+    // Writeback mangles the bytes being sealed durable; fsync reports OK.
+    if (corruption == FaultKind::kBitFlip) {
+      size_t at = DamageOffset(mutating_ops_, file.buffered.size());
+      file.buffered[at] = static_cast<char>(file.buffered[at] ^
+                                            (1u << (mutating_ops_ % 8)));
+    } else if (corruption == FaultKind::kTruncate) {
+      file.buffered.resize(file.buffered.size() / 2);
+    }
+  }
+  file.durable += file.buffered;
+  file.buffered.clear();
   return Status::OK();
+}
+
+bool MemEnv::CorruptDurable(const std::string& path, uint64_t offset) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  std::string& durable = it->second.durable;
+  if (offset >= durable.size()) return false;
+  durable[offset] = static_cast<char>(durable[offset] ^ 0x40);
+  return true;
+}
+
+bool MemEnv::TruncateDurable(const std::string& path, uint64_t size) {
+  auto it = files_.find(path);
+  if (it == files_.end()) return false;
+  File& file = it->second;
+  if (size > file.durable.size()) return false;
+  file.durable.resize(size);
+  file.buffered.clear();
+  return true;
 }
 
 Status MemEnv::Truncate(const std::string& path, uint64_t size) {

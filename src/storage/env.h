@@ -76,7 +76,10 @@ class MemEnv : public Env {
   /// Every mutating operation first consults \p injector (op names
   /// "env.append", "env.sync", "env.rename", ...). A non-OK verdict kills
   /// the machine: the op does not happen (bar the writeback prefix of a
-  /// killed append) and every later call fails until Reboot().
+  /// killed append) and every later call fails until Reboot(). A silent
+  /// corruption verdict (kBitFlip / kTruncate, scripted or drawn from the
+  /// env knobs) lets the op report OK while damaging the bytes it wrote —
+  /// the device lied; only a later CRC check can tell.
   void SetFaultInjector(FaultInjector* injector) { injector_ = injector; }
 
   /// How many not-yet-synced buffered bytes per file survive a crash (the
@@ -99,6 +102,17 @@ class MemEnv : public Env {
   /// Total mutating operations attempted so far (crash-matrix sizing).
   uint64_t mutating_ops() const { return mutating_ops_; }
 
+  /// --- at-rest damage hooks (corruption-matrix tooling) -------------------
+  /// Media decay after the fact: flips one bit of \p path's durable bytes
+  /// at \p offset. Not an operation — consults no injector, counts toward
+  /// nothing; the next reader simply sees the damaged byte. Returns false
+  /// when \p path is missing or \p offset is past its durable size.
+  bool CorruptDurable(const std::string& path, uint64_t offset);
+  /// Media decay: cuts \p path's durable bytes to \p size (buffered bytes
+  /// are dropped — the tail is gone, not pending). Same non-operation
+  /// semantics as CorruptDurable.
+  bool TruncateDurable(const std::string& path, uint64_t size);
+
   Status CreateDir(const std::string& dir) override;
   Result<std::vector<std::string>> ListDir(const std::string& dir) override;
   bool Exists(const std::string& path) override;
@@ -116,8 +130,11 @@ class MemEnv : public Env {
   };
 
   /// Injector gate shared by all mutating ops. Returns non-OK (and marks
-  /// the machine crashed) when the op is killed.
-  Status CheckOp(const char* op_name);
+  /// the machine crashed) when the op is killed. When the injector hands
+  /// down silent damage, \p corruption (if non-null) receives the kind;
+  /// only the byte-writing ops (Append, Sync) pass it — a corrupted rename
+  /// has no bytes to damage.
+  Status CheckOp(const char* op_name, FaultKind* corruption = nullptr);
   void Crash();
 
   std::map<std::string, File> files_;

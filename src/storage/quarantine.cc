@@ -1,0 +1,153 @@
+#include "storage/quarantine.h"
+
+#include <algorithm>
+
+namespace idm::storage {
+
+namespace {
+
+constexpr std::string_view kManifestName = "MANIFEST";
+constexpr std::string_view kVersionTag = "v1";
+
+// Parses the decimal field at *pos up to the next '|'; advances *pos past it.
+bool ParseField(const std::string& line, size_t* pos, std::string_view* out) {
+  if (*pos > line.size()) return false;
+  size_t bar = line.find('|', *pos);
+  if (bar == std::string::npos) return false;
+  *out = std::string_view(line).substr(*pos, bar - *pos);
+  *pos = bar + 1;
+  return true;
+}
+
+bool ParseU64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+std::string Sanitize(const std::string& text) {
+  std::string out = text;
+  std::replace(out.begin(), out.end(), '\n', ' ');
+  return out;
+}
+
+}  // namespace
+
+QuarantineManager::QuarantineManager(Env* env, std::string store_dir)
+    : env_(env), store_dir_(std::move(store_dir)) {}
+
+std::string QuarantineManager::StashName(uint64_t id,
+                                         const std::string& artifact) const {
+  return "q" + std::to_string(id) + "-" + artifact;
+}
+
+Status QuarantineManager::Load() {
+  entries_.clear();
+  total_bytes_ = 0;
+  next_id_ = 1;
+  last_artifact_.clear();
+  const std::string manifest = DirPath() + "/" + std::string(kManifestName);
+  if (!env_->Exists(manifest)) return Status::OK();
+  IDM_ASSIGN_OR_RETURN(std::string text, env_->ReadFile(manifest));
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) break;  // torn tail from a crash mid-append
+    std::string line = text.substr(start, nl - start);
+    start = nl + 1;
+    size_t pos = 0;
+    std::string_view tag, id_text, bytes_text, stored_as, artifact;
+    if (!ParseField(line, &pos, &tag) || tag != kVersionTag) continue;
+    if (!ParseField(line, &pos, &id_text)) continue;
+    if (!ParseField(line, &pos, &bytes_text)) continue;
+    if (!ParseField(line, &pos, &stored_as)) continue;
+    if (!ParseField(line, &pos, &artifact)) continue;
+    Entry entry;
+    if (!ParseU64(id_text, &entry.id)) continue;
+    if (!ParseU64(bytes_text, &entry.bytes)) continue;
+    entry.stored_as = std::string(stored_as);
+    entry.artifact = std::string(artifact);
+    entry.reason = line.substr(pos);  // reason is the unescaped rest
+    next_id_ = std::max(next_id_, entry.id + 1);
+    total_bytes_ += entry.bytes;
+    last_artifact_ = entry.artifact;
+    entries_.push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status QuarantineManager::Register(std::string_view stored_as,
+                                   std::string_view artifact, uint64_t bytes,
+                                   const std::string& reason) {
+  Entry entry;
+  entry.id = next_id_++;
+  entry.bytes = bytes;
+  entry.stored_as = std::string(stored_as);
+  entry.artifact = std::string(artifact);
+  entry.reason = Sanitize(reason);
+  const std::string manifest = DirPath() + "/" + std::string(kManifestName);
+  std::string line;
+  line.reserve(64 + entry.stored_as.size() + entry.artifact.size() +
+               entry.reason.size());
+  line += kVersionTag;
+  line += '|';
+  line += std::to_string(entry.id);
+  line += '|';
+  line += std::to_string(entry.bytes);
+  line += '|';
+  line += entry.stored_as;
+  line += '|';
+  line += entry.artifact;
+  line += '|';
+  line += entry.reason;
+  line += '\n';
+  IDM_RETURN_NOT_OK(env_->Append(manifest, line));
+  IDM_RETURN_NOT_OK(env_->Sync(manifest));
+  total_bytes_ += entry.bytes;
+  last_artifact_ = entry.artifact;
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status QuarantineManager::MoveAside(const std::string& artifact,
+                                    const std::string& reason) {
+  const std::string from = store_dir_ + "/" + artifact;
+  uint64_t bytes = 0;
+  if (auto data = env_->ReadFile(from); data.ok()) bytes = data->size();
+  IDM_RETURN_NOT_OK(env_->CreateDir(DirPath()));
+  const std::string stored_as = StashName(next_id_, artifact);
+  IDM_RETURN_NOT_OK(env_->Rename(from, DirPath() + "/" + stored_as));
+  return Register(stored_as, artifact, bytes, reason);
+}
+
+Status QuarantineManager::CopyAside(const std::string& artifact,
+                                    const std::string& reason) {
+  const std::string from = store_dir_ + "/" + artifact;
+  IDM_ASSIGN_OR_RETURN(std::string data, env_->ReadFile(from));
+  IDM_RETURN_NOT_OK(env_->CreateDir(DirPath()));
+  const std::string stored_as = StashName(next_id_, artifact);
+  const std::string to = DirPath() + "/" + stored_as;
+  IDM_RETURN_NOT_OK(env_->Delete(to));
+  IDM_RETURN_NOT_OK(env_->Append(to, data));
+  IDM_RETURN_NOT_OK(env_->Sync(to));
+  return Register(stored_as, artifact, data.size(), reason);
+}
+
+Status QuarantineManager::PreserveBytes(const std::string& artifact,
+                                        std::string_view bytes,
+                                        const std::string& reason) {
+  IDM_RETURN_NOT_OK(env_->CreateDir(DirPath()));
+  const std::string stored_as = StashName(next_id_, artifact);
+  const std::string to = DirPath() + "/" + stored_as;
+  IDM_RETURN_NOT_OK(env_->Delete(to));
+  IDM_RETURN_NOT_OK(env_->Append(to, bytes));
+  IDM_RETURN_NOT_OK(env_->Sync(to));
+  return Register(stored_as, artifact, bytes.size(), reason);
+}
+
+}  // namespace idm::storage

@@ -1,0 +1,88 @@
+// Quarantine: the containment half of the integrity layer (DESIGN.md §15).
+//
+// A corrupt artifact is never deleted — deletion destroys the evidence and
+// forecloses forensic recovery of bytes a CRC happened to damage. Instead it
+// is moved (or copied) into `<store_dir>/quarantine/`, registered in an
+// append-only MANIFEST, and counted, so `Dataspace::Stats().repair` can name
+// exactly what was contained and recovery/GC never mistakes the stash for
+// live state.
+//
+// The manifest is line-oriented (`v1|id|bytes|stored_as|artifact|reason`,
+// reason last so it may contain anything but a newline) and crash-tolerant:
+// a torn final line from a crash mid-append is skipped on Load(). Lives in
+// storage rather than src/repair/ because StorageEngine::Open itself
+// quarantines orphaned newer-generation files during degraded recovery.
+
+#ifndef IDM_STORAGE_QUARANTINE_H_
+#define IDM_STORAGE_QUARANTINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/result.h"
+
+namespace idm::storage {
+
+class QuarantineManager {
+ public:
+  /// One contained artifact, as recorded in the manifest.
+  struct Entry {
+    uint64_t id = 0;           ///< monotone per-store quarantine ordinal
+    uint64_t bytes = 0;        ///< size of the preserved evidence
+    std::string stored_as;     ///< file name inside quarantine/
+    std::string artifact;      ///< original name, e.g. "wal-3.log"
+    std::string reason;        ///< what check failed, human-readable
+  };
+
+  /// Manages `<store_dir>/quarantine/` through \p env (not owned).
+  QuarantineManager(Env* env, std::string store_dir);
+
+  /// Reads the manifest back (missing = empty store; torn tail skipped).
+  /// Idempotent; called once right after construction.
+  Status Load();
+
+  /// Moves `<store_dir>/<artifact>` into the stash (atomic rename — the
+  /// bytes are preserved exactly) and appends a manifest entry.
+  Status MoveAside(const std::string& artifact, const std::string& reason);
+
+  /// Copies the artifact's current bytes into the stash, leaving the live
+  /// file in place — used when the live file is about to be rebuilt by a
+  /// rescue checkpoint and the damaged original is the evidence.
+  Status CopyAside(const std::string& artifact, const std::string& reason);
+
+  /// Preserves loose bytes that never landed in a file (e.g. a corrupt
+  /// shipped WAL chunk rejected before it reached the mirror).
+  Status PreserveBytes(const std::string& artifact, std::string_view bytes,
+                       const std::string& reason);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  uint64_t count() const { return entries_.size(); }
+  uint64_t total_bytes() const { return total_bytes_; }
+  /// Name of the most recently quarantined artifact ("" when none) — the
+  /// "degrade loudly" surface: Stats().repair names this.
+  const std::string& last_artifact() const { return last_artifact_; }
+
+  /// `<store_dir>/quarantine` — recovery GC must skip this name.
+  std::string DirPath() const { return store_dir_ + "/" + kDirName; }
+
+  static constexpr const char* kDirName = "quarantine";
+
+ private:
+  Status Register(std::string_view stored_as, std::string_view artifact,
+                  uint64_t bytes, const std::string& reason);
+  std::string StashName(uint64_t id, const std::string& artifact) const;
+
+  Env* env_;
+  std::string store_dir_;
+  std::vector<Entry> entries_;
+  uint64_t next_id_ = 1;
+  uint64_t total_bytes_ = 0;
+  std::string last_artifact_;
+};
+
+}  // namespace idm::storage
+
+#endif  // IDM_STORAGE_QUARANTINE_H_

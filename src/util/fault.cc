@@ -12,6 +12,7 @@ const char* FaultKindToString(FaultKind kind) {
     case FaultKind::kPartition: return "partition";
     case FaultKind::kDelay: return "delay";
     case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kBitFlip: return "bit flip";
   }
   return "unknown";
 }
@@ -45,6 +46,7 @@ Status FaultInjector::OnOperation(const std::string& op_name) {
   switch (kind) {
     case FaultKind::kNone:
     case FaultKind::kTruncate:   // truncation applies to reads, not to ops
+    case FaultKind::kBitFlip:    // silent corruption is an env/link effect
     case FaultKind::kDuplicate:  // duplication is a link effect; an op is
       return Status::OK();       // executed once either way
     case FaultKind::kLatencySpike:
@@ -86,8 +88,14 @@ LinkVerdict FaultInjector::OnLinkOperation(const std::string& op_name) {
     bool duplicate = rng_.Chance(config_.duplicate_probability);
     bool delay = rng_.Chance(config_.delay_probability);
     bool error = rng_.Chance(config_.fault_probability);
+    // Corruption draw is guarded behind its knob: a link configured without
+    // it consumes exactly the pre-corruption Rng stream.
+    bool corrupt = config_.link_corrupt_probability > 0.0 &&
+                   rng_.Chance(config_.link_corrupt_probability);
     if (partition || error) {
       kind = FaultKind::kPartition;
+    } else if (corrupt) {
+      kind = FaultKind::kBitFlip;
     } else if (duplicate) {
       kind = FaultKind::kDuplicate;
     } else if (delay) {
@@ -122,6 +130,80 @@ LinkVerdict FaultInjector::OnLinkOperation(const std::string& op_name) {
       verdict.duplicated = true;
       ++faults_injected_;
       ++link_duplicates_;
+      break;
+    case FaultKind::kBitFlip:
+      verdict.corrupted = true;
+      ++faults_injected_;
+      ++link_corruptions_;
+      break;
+  }
+  return verdict;
+}
+
+EnvVerdict FaultInjector::OnEnvOperation(const std::string& op_name) {
+  uint64_t index = ops_total_++;
+
+  FaultKind kind = FaultKind::kNone;
+  auto scripted = scripted_.find(index);
+  if (scripted != scripted_.end()) {
+    kind = scripted->second;
+  } else {
+    // Same three unconditional dice as OnOperation, in the same order, so
+    // an env that moves from OnOperation to OnEnvOperation replays every
+    // pre-existing crash scenario bit-identically.
+    bool error_fault = rng_.Chance(config_.fault_probability);
+    bool unavailable = rng_.Chance(config_.unavailable_weight);
+    bool spike = rng_.Chance(config_.latency_spike_probability);
+    // Corruption dice exist only when their knobs are armed.
+    bool flip = config_.bitflip_probability > 0.0 &&
+                rng_.Chance(config_.bitflip_probability);
+    bool cut = config_.env_truncate_probability > 0.0 &&
+               rng_.Chance(config_.env_truncate_probability);
+    if (flip) {
+      kind = FaultKind::kBitFlip;
+    } else if (cut) {
+      kind = FaultKind::kTruncate;
+    } else if (error_fault) {
+      kind = unavailable ? FaultKind::kUnavailable : FaultKind::kIoError;
+    } else if (spike) {
+      kind = FaultKind::kLatencySpike;
+    }
+  }
+
+  EnvVerdict verdict;
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kDuplicate:  // not a device effect
+      break;
+    case FaultKind::kBitFlip:
+    case FaultKind::kTruncate:
+      // The device lies: the op reports OK, the bytes are damaged. The env
+      // applies the damage; readers only find out when a CRC fails.
+      verdict.corruption = kind;
+      ++faults_injected_;
+      ++env_corruptions_;
+      break;
+    case FaultKind::kLatencySpike:
+      ++faults_injected_;
+      Charge(config_.latency_spike_micros);
+      break;
+    case FaultKind::kDelay:
+      ++faults_injected_;
+      Charge(config_.delay_micros);
+      break;
+    case FaultKind::kIoError:
+      ++faults_injected_;
+      Charge(config_.fault_latency_micros);
+      verdict.status = Status::IoError("injected fault on " + op_name +
+                                       " (op #" + std::to_string(index) + ")");
+      break;
+    case FaultKind::kUnavailable:
+    case FaultKind::kPartition:
+      ++faults_injected_;
+      Charge(config_.fault_latency_micros);
+      verdict.status = Status::Unavailable("injected outage on " + op_name +
+                                           " (op #" + std::to_string(index) +
+                                           ")");
       break;
   }
   return verdict;

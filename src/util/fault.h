@@ -38,6 +38,8 @@ enum class FaultKind {
   kPartition,     ///< message dropped: the send fails with kUnavailable
   kDelay,         ///< message delivered after delay_micros of extra latency
   kDuplicate,     ///< message delivered twice (receipt must be idempotent)
+  // --- silent-corruption kinds (OnEnvOperation / OnLinkOperation) ----------
+  kBitFlip,       ///< bytes land/arrive damaged; the op itself reports OK
 };
 
 const char* FaultKindToString(FaultKind kind);
@@ -68,6 +70,19 @@ struct FaultConfig {
   double delay_probability = 0.0;
   /// Extra latency charged by one delayed delivery.
   Micros delay_micros = 20000;
+  /// Per-message probability the link damages payload bytes in flight
+  /// (kBitFlip): the message is delivered, the receiver's CRC must catch
+  /// it. Drawn only when > 0 so existing link Rng streams stay pinned.
+  double link_corrupt_probability = 0.0;
+
+  /// --- env-level corruption knobs (consumed only by OnEnvOperation) -------
+  /// Per-write probability the device silently flips a bit in the bytes
+  /// being persisted (kBitFlip). Drawn only when > 0: an injector used
+  /// with both knobs at 0 consumes exactly the pre-corruption Rng stream.
+  double bitflip_probability = 0.0;
+  /// Per-write probability the device silently drops the tail of the bytes
+  /// being persisted (kTruncate). Drawn only when > 0.
+  double env_truncate_probability = 0.0;
 };
 
 /// Outcome of one link-level send (OnLinkOperation). Exactly one of the
@@ -77,7 +92,18 @@ struct LinkVerdict {
   FaultKind kind = FaultKind::kNone;
   bool dropped = false;     ///< the message never arrives (partition)
   bool duplicated = false;  ///< the message arrives twice
+  bool corrupted = false;   ///< the message arrives with damaged bytes
   Micros delay_micros = 0;  ///< extra delivery latency (already charged)
+};
+
+/// Outcome of one storage-device operation (OnEnvOperation). `status` is the
+/// loud half (the op errors, the simulated machine crashes — the PR 3 crash
+/// model); `corruption` is the silent half: the op reports OK but the bytes
+/// it persisted are damaged (kBitFlip) or cut short (kTruncate). Silent
+/// damage is what the scrubber exists to find.
+struct EnvVerdict {
+  Status status;
+  FaultKind corruption = FaultKind::kNone;
 };
 
 /// Deterministic, clock-charging fault source. Not thread-safe (the whole
@@ -118,6 +144,15 @@ class FaultInjector {
   /// symmetry and future tracing.
   LinkVerdict OnLinkOperation(const std::string& op_name);
 
+  /// The per-operation decision point for a storage device (Env). Shares
+  /// the op counter, scripted schedule, and error dice with OnOperation —
+  /// with the corruption knobs at 0 it consumes exactly the same Rng
+  /// stream, so every pre-existing crash scenario replays unchanged — but
+  /// additionally surfaces silent-corruption verdicts: scripted kBitFlip /
+  /// kTruncate (which OnOperation treats as OK no-ops) and, when the env
+  /// knobs are > 0, probabilistic draws guarded behind those knobs.
+  EnvVerdict OnEnvOperation(const std::string& op_name);
+
   /// Applies content truncation with the configured probability. Returns
   /// true when \p content was truncated.
   bool MaybeTruncate(std::string* content);
@@ -130,6 +165,8 @@ class FaultInjector {
   uint64_t link_drops() const { return link_drops_; }
   uint64_t link_duplicates() const { return link_duplicates_; }
   uint64_t link_delays() const { return link_delays_; }
+  uint64_t link_corruptions() const { return link_corruptions_; }
+  uint64_t env_corruptions() const { return env_corruptions_; }
 
  private:
   void Charge(Micros micros);
@@ -145,6 +182,8 @@ class FaultInjector {
   uint64_t link_drops_ = 0;
   uint64_t link_duplicates_ = 0;
   uint64_t link_delays_ = 0;
+  uint64_t link_corruptions_ = 0;
+  uint64_t env_corruptions_ = 0;
 };
 
 }  // namespace idm

@@ -25,6 +25,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "deadline exceeded";
     case StatusCode::kResourceExhausted: return "resource exhausted";
     case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kDataLoss: return "data loss";
   }
   return "unknown";
 }
@@ -33,6 +34,8 @@ bool IsRetryable(StatusCode code) {
   // kResourceExhausted is load shedding: the request was fine, the system
   // was busy — retry with backoff. kDeadlineExceeded is not retryable
   // within the same request: the same budget would overrun the same way.
+  // kDataLoss is permanent: the bytes on the other end are provably
+  // damaged, so a retry rereads the same damage — repair, don't retry.
   return code == StatusCode::kIoError || code == StatusCode::kUnavailable ||
          code == StatusCode::kResourceExhausted;
 }

@@ -32,6 +32,9 @@ enum class StatusCode : int {
   kResourceExhausted = 12,///< load shed / budget overrun; retryable with
                           ///< backoff once pressure subsides
   kCancelled = 13,        ///< caller cooperatively cancelled the work
+  kDataLoss = 14,         ///< bytes verified corrupt (CRC/seal failure);
+                          ///< permanent — retrying rereads the same damage;
+                          ///< repair (quarantine + re-fetch) is the recovery
 };
 
 /// Returns the canonical lower-case name of a code, e.g. "invalid argument".
@@ -100,6 +103,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,0 +1,255 @@
+// The integrity tentpole's during-ship cells, exact-range re-fetch
+// accounting, and subscriptions across a quarantine-triggered rebuild plus
+// promotion (DESIGN.md §15). In-flight link corruption must be rejected by
+// the receiver's CRCs before anything durable changes — evidence
+// quarantined as a ".shipment" artifact, mirror untouched — and retried
+// with a clean re-send, since the link (not the source) was at fault.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "repair/integrity.h"
+
+namespace idm::cluster {
+namespace {
+
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  storage::Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+Status SeedFs(vfs::VirtualFileSystem& fs) {
+  IDM_RETURN_NOT_OK(fs.CreateFolder("/Projects/PIM"));
+  IDM_RETURN_NOT_OK(
+      fs.WriteFile("/Projects/PIM/paper.tex", "anti-entropy manuscript"));
+  return fs.WriteFile("/Projects/PIM/notes.txt", "digest ladder notes");
+}
+
+void ExpectReplicasMatchPrimary(ShardGroup& shard) {
+  ASSERT_TRUE(shard.primary_alive());
+  const std::string primary_image = Image(shard.primary()->module());
+  const uint64_t head = shard.primary()->storage_engine()->commit_seq();
+  for (size_t r = 0; r < shard.replica_count(); ++r) {
+    ReplicaNode& node = shard.replica(r);
+    SCOPED_TRACE(node.name());
+    ASSERT_NE(node.serving(), nullptr);
+    EXPECT_EQ(Image(node.serving()->module()), primary_image);
+    EXPECT_EQ(node.applied_seq(), head);
+  }
+}
+
+bool QuarantineHolds(storage::MemEnv* env, const std::string& needle) {
+  Result<std::vector<std::string>> names = env->ListDir("replica/quarantine");
+  if (!names.ok()) return false;
+  for (const std::string& name : *names) {
+    if (name.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(AntiEntropy, InFlightWalCorruptionIsRejectedQuarantinedAndResent) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  cluster.PollAll();
+  ShardGroup& shard = cluster.shard(0);
+  ExpectReplicasMatchPrimary(shard);
+
+  // The very next send arrives bit-flipped.
+  FaultInjector link(42, cluster.clock());
+  link.ScheduleFault(0, FaultKind::kBitFlip);
+  shard.set_replica_link(0, &link);
+  const ShipTotals before = shard.ship_totals();
+
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/fresh.txt", "in-flight victim").ok());
+  rvm::SyncStats polled = cluster.PollAll();
+  ASSERT_EQ(polled.failed, 0u);
+
+  // The receiver's frame CRCs caught the damage before anything durable
+  // changed: rejection counted, evidence preserved, then a clean re-send
+  // converged the mirror — the write path never saw an error.
+  const ShipTotals& totals = shard.ship_totals();
+  EXPECT_GE(totals.corruptions, before.corruptions + 1);
+  EXPECT_GE(totals.rejections, before.rejections + 1);
+  EXPECT_GE(totals.retries, before.retries + 1);
+  EXPECT_EQ(totals.failed, before.failed);
+  ReplicaNode& node = shard.replica(0);
+  EXPECT_EQ(node.rejected_deliveries(), 1u);
+  EXPECT_GE(node.quarantined(), 1u);
+  EXPECT_TRUE(QuarantineHolds(node.env(), ".shipment"));
+  ExpectReplicasMatchPrimary(shard);
+
+  // Byte-identical mirror: the rejected slice left no residue.
+  storage::StorageEngine* engine = shard.primary()->storage_engine();
+  Result<std::string> primary_wal =
+      engine->env()->ReadFile(engine->LiveWalPath());
+  ASSERT_TRUE(primary_wal.ok());
+  Result<std::string> mirror_wal = node.env()->ReadFile(
+      "replica/wal-" + std::to_string(engine->generation()) + ".log");
+  ASSERT_TRUE(mirror_wal.ok());
+  EXPECT_EQ(*mirror_wal, *primary_wal);
+}
+
+TEST(AntiEntropy, InFlightCheckpointCorruptionIsRejectedAndResent) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  cluster.PollAll();
+  ShardGroup& shard = cluster.shard(0);
+
+  FaultInjector link(7, cluster.clock());
+  link.ScheduleFault(0, FaultKind::kBitFlip);
+  shard.set_replica_link(0, &link);
+
+  // The checkpoint image ships as the first send, damaged in flight: the
+  // seal check rejects it, the image re-ships clean, the mirror installs
+  // generation 1 exactly once.
+  ASSERT_TRUE(shard.Checkpoint().ok());
+  ReplicaNode& node = shard.replica(0);
+  EXPECT_EQ(node.rejected_deliveries(), 1u);
+  EXPECT_EQ(node.checkpoints_installed(), 1u);
+  EXPECT_EQ(node.generation(), 1u);
+  EXPECT_TRUE(QuarantineHolds(node.env(), "checkpoint-1.ckpt.shipment"));
+  EXPECT_GE(shard.ship_totals().rejections, 1u);
+  ExpectReplicasMatchPrimary(shard);
+}
+
+TEST(AntiEntropy, RepairRefetchesExactlyTheDamagedRange) {
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  ShardGroup& shard = cluster.shard(0);
+  ASSERT_TRUE(shard.Checkpoint().ok());
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/one.txt", "first suffix batch").ok());
+  cluster.PollAll();
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/two.txt", "second suffix batch").ok());
+  cluster.PollAll();
+  ReplicaNode& node = shard.replica(0);
+  const uint64_t full_bytes = node.wal_bytes();
+  ASSERT_GT(full_bytes, 0u);
+
+  // At-rest flip in the mirror WAL. The digest ladder over the damaged
+  // bytes tells us the verified prefix — exactly where re-shipping must
+  // resume.
+  ASSERT_TRUE(node.env()->CorruptDurable("replica/wal-1.log", full_bytes / 2));
+  Result<std::string> ckpt = node.env()->ReadFile("replica/checkpoint-1.ckpt");
+  ASSERT_TRUE(ckpt.ok());
+  Result<std::string> damaged_wal = node.env()->ReadFile("replica/wal-1.log");
+  ASSERT_TRUE(damaged_wal.ok());
+  repair::DigestLadder ladder = repair::BuildLadder(1, *ckpt, *damaged_wal);
+  const uint64_t intact =
+      ladder.rungs.empty() ? 0 : ladder.rungs.back().end_offset;
+  ASSERT_LT(intact, full_bytes);
+
+  const uint64_t shipped_before = shard.ship_totals().bytes;
+  Status swept = shard.ScrubAndRepair();
+  ASSERT_TRUE(swept.ok()) << swept;
+
+  // Exactly the damaged range [intact, full) was re-fetched — not the whole
+  // WAL, not a whole checkpoint.
+  EXPECT_EQ(shard.ship_totals().bytes - shipped_before, full_bytes - intact);
+  EXPECT_EQ(shard.ship_totals().checkpoints, 1u);  // still only the original
+  EXPECT_EQ(node.repairs(), 1u);
+  EXPECT_EQ(node.wal_bytes(), full_bytes);
+  ExpectReplicasMatchPrimary(shard);
+
+  // Byte-identical convergence.
+  storage::StorageEngine* engine = shard.primary()->storage_engine();
+  Result<std::string> primary_wal =
+      engine->env()->ReadFile(engine->LiveWalPath());
+  ASSERT_TRUE(primary_wal.ok());
+  Result<std::string> mirror_wal = node.env()->ReadFile("replica/wal-1.log");
+  ASSERT_TRUE(mirror_wal.ok());
+  EXPECT_EQ(*mirror_wal, *primary_wal);
+}
+
+TEST(AntiEntropy, SubscriptionsSurviveQuarantineRebuildAndPromotion) {
+  // Satellite: a replica that went through quarantine + rewind is later
+  // promoted; a subscription opened on the promoted primary must get one
+  // clean snapshot delta (never a gap), and incremental maintenance must
+  // continue from exactly that point.
+  Cluster::Config config;
+  config.shards = 1;
+  config.replicas_per_shard = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.status().ok()) << cluster.status();
+  auto fs = std::make_shared<vfs::VirtualFileSystem>(cluster.clock());
+  ASSERT_TRUE(SeedFs(*fs).ok());
+  ASSERT_TRUE(cluster.AddFileSystem("Filesystem", fs).ok());
+  ShardGroup& shard = cluster.shard(0);
+  ASSERT_TRUE(shard.Checkpoint().ok());
+  ASSERT_TRUE(fs->WriteFile("/Projects/PIM/late.txt", "pre-damage entry").ok());
+  cluster.PollAll();
+  ReplicaNode& node = shard.replica(0);
+  ASSERT_GT(node.wal_bytes(), 0u);
+
+  // Damage the mirror, heal it through one sweep.
+  ASSERT_TRUE(
+      node.env()->CorruptDurable("replica/wal-1.log", node.wal_bytes() / 2));
+  ASSERT_TRUE(shard.ScrubAndRepair().ok());
+  ASSERT_EQ(node.repairs(), 1u);
+  ExpectReplicasMatchPrimary(shard);
+
+  // Kill the primary; the healed replica is the only candidate.
+  shard.KillPrimary();
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_TRUE(cluster.Tick().ok());
+  ASSERT_EQ(shard.promotions(), 1u);
+  ASSERT_TRUE(shard.primary_alive());
+
+  // A subscription on the promoted primary starts from a clean snapshot
+  // delta computed on the rebuilt state — complete, no gap to fill.
+  auto sub = shard.primary()->Subscribe("//*.txt");
+  ASSERT_TRUE(sub.ok()) << sub.status();
+  auto drained = (*sub)->Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_TRUE(drained[0].snapshot);
+  EXPECT_EQ(drained[0].added.size(), (*sub)->Rows().size());
+
+  auto sorted = [](std::vector<std::vector<index::DocId>> rows) {
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  };
+  auto oracle = shard.primary()->Query("//*.txt");
+  ASSERT_TRUE(oracle.ok()) << oracle.status();
+  EXPECT_EQ(sorted((*sub)->Rows()), sorted(oracle->rows));
+
+  // Maintenance continues as ordinary deltas — the rebuild never forces the
+  // subscription to resynchronize.
+  ASSERT_TRUE(
+      fs->WriteFile("/Projects/PIM/post.txt", "post-promotion entry").ok());
+  cluster.PollAll();
+  drained = (*sub)->Drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_FALSE(drained[0].snapshot);
+  EXPECT_EQ(drained[0].added.size(), 1u);
+  EXPECT_TRUE(drained[0].removed.empty());
+  auto after = shard.primary()->Query("//*.txt");
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(sorted((*sub)->Rows()), sorted(after->rows));
+}
+
+}  // namespace
+}  // namespace idm::cluster

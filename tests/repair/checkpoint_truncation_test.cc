@@ -1,0 +1,227 @@
+// Satellite to the integrity tentpole: checkpoint images cut short at EVERY
+// byte boundary — including mid-CRC-seal — must never be half-applied.
+// Recovery either restores the full image (only at the exact durable size)
+// or falls back to the last sealed-good generation, registering the damaged
+// artifacts in the quarantine manifest. A second matrix extends the PR-3
+// crash matrix with *silent* writeback damage (scripted kTruncate/kBitFlip
+// on env operations): the workload completes believing all is well, and
+// recovery must still land byte-identical to the oracle at the recovered
+// sequence — divergence below the oracle head is only legal when recovery
+// reported the damage loudly.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rvm/rvm.h"
+#include "storage/engine.h"
+#include "storage/env.h"
+#include "util/fault.h"
+
+namespace idm::storage {
+namespace {
+
+std::string Image(const rvm::ReplicaIndexesModule& module) {
+  Snapshot s = module.ExportSnapshot();
+  s.last_commit_seq = 0;
+  return s.Encode();
+}
+
+struct Harness {
+  Harness() : fs(std::make_shared<vfs::VirtualFileSystem>(&clock)) {}
+
+  MemEnv env;
+  SimClock clock;
+  std::shared_ptr<vfs::VirtualFileSystem> fs;
+  rvm::ReplicaIndexesModule module;
+  StorageEngine::Recovered recovered;
+  std::unique_ptr<StorageEngine> engine;
+};
+
+// Small deterministic workload with a mid-way checkpoint: generation 1
+// holds a sealed image plus a non-empty post-checkpoint WAL suffix.
+Status RunWorkload(Harness& r, std::function<void(uint64_t)> listener) {
+  IDM_RETURN_NOT_OK(r.fs->CreateFolder("/Projects"));
+  IDM_RETURN_NOT_OK(r.fs->WriteFile("/Projects/paper.tex", "iDM manuscript"));
+  IDM_RETURN_NOT_OK(r.fs->WriteFile("/Projects/notes.txt", "tuning notes"));
+  IDM_ASSIGN_OR_RETURN(
+      r.recovered, StorageEngine::Open(&r.env, "db", StorageOptions(), &r.clock));
+  r.engine = std::move(r.recovered.engine);
+  if (listener) r.engine->set_commit_listener(std::move(listener));
+  r.module.SetClock(&r.clock);
+  r.module.AttachStorage(r.engine.get());
+
+  rvm::FileSystemSource source("Filesystem", r.fs);
+  auto converters = rvm::ConverterRegistry::Standard();
+  IDM_RETURN_NOT_OK(r.module.IndexSource(source, converters).status());
+
+  IDM_RETURN_NOT_OK(r.engine->Checkpoint(r.module.ExportSnapshot()));
+
+  r.clock.AdvanceSeconds(5);
+  IDM_RETURN_NOT_OK(r.fs->WriteFile("/Projects/late.txt", "post-checkpoint"));
+  IDM_RETURN_NOT_OK(r.module.SyncSource(source, converters).status());
+  return r.engine->SyncNow();
+}
+
+struct RecoveredRun {
+  SimClock clock;
+  rvm::ReplicaIndexesModule module;
+  StorageEngine::Recovered rec;
+};
+
+Status Recover(Env* env, RecoveredRun* out) {
+  IDM_ASSIGN_OR_RETURN(
+      out->rec, StorageEngine::Open(env, "db", StorageOptions(), &out->clock));
+  out->module.SetClock(&out->clock);
+  if (out->rec.snapshot.has_value()) {
+    IDM_RETURN_NOT_OK(out->module.RestoreSnapshot(*out->rec.snapshot));
+  }
+  IDM_RETURN_NOT_OK(out->module.ReplayMutations(out->rec.mutations));
+  out->module.AttachStorage(out->rec.engine.get());
+  return Status::OK();
+}
+
+TEST(CheckpointTruncation, EveryByteBoundaryRecoversOrFallsBackLoudly) {
+  // Golden store: generation 1 with a sealed checkpoint + WAL suffix.
+  Harness golden;
+  Status status = RunWorkload(golden, nullptr);
+  ASSERT_TRUE(status.ok()) << status;
+  const std::string full_image = Image(golden.module);
+  const uint64_t full_seq = golden.engine->commit_seq();
+  ASSERT_EQ(golden.engine->generation(), 1u);
+
+  std::map<std::string, std::string> files;
+  Result<std::vector<std::string>> names = golden.env.ListDir("db");
+  ASSERT_TRUE(names.ok()) << names.status();
+  for (const std::string& name : *names) {
+    Result<std::string> bytes = golden.env.ReadFile("db/" + name);
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    files[name] = *bytes;
+  }
+  const std::string ckpt_name = "checkpoint-1.ckpt";
+  ASSERT_TRUE(files.count(ckpt_name));
+  ASSERT_TRUE(files.count("wal-1.log"));
+  const size_t ckpt_size = files[ckpt_name].size();
+  ASSERT_GT(ckpt_size, 8u);
+
+  const std::string empty_image = [] {
+    SimClock clock;
+    rvm::ReplicaIndexesModule empty;
+    empty.SetClock(&clock);
+    return Image(empty);
+  }();
+
+  for (size_t cut = 0; cut <= ckpt_size; ++cut) {
+    SCOPED_TRACE("checkpoint truncated to " + std::to_string(cut) + " of " +
+                 std::to_string(ckpt_size) + " bytes");
+    MemEnv env;
+    for (const auto& [name, bytes] : files) {
+      const std::string content =
+          name == ckpt_name ? bytes.substr(0, cut) : bytes;
+      ASSERT_TRUE(env.Append("db/" + name, content).ok());
+      ASSERT_TRUE(env.Sync("db/" + name).ok());
+    }
+
+    RecoveredRun after;
+    Status recovered = Recover(&env, &after);
+    ASSERT_TRUE(recovered.ok()) << recovered;
+
+    if (cut == ckpt_size) {
+      // The intact control cell: byte-identical, nothing quarantined.
+      EXPECT_EQ(Image(after.module), full_image);
+      EXPECT_EQ(after.rec.engine->commit_seq(), full_seq);
+      EXPECT_FALSE(after.rec.stats.checkpoint_fallback);
+      EXPECT_EQ(after.rec.stats.quarantined_files, 0u);
+    } else {
+      // Any shorter image fails its seal: recovery falls back to the empty
+      // baseline (generation 0 was retired at rotation) and quarantines the
+      // damaged generation's artifacts — never half-applies the image.
+      EXPECT_TRUE(after.rec.stats.checkpoint_fallback);
+      EXPECT_FALSE(after.rec.stats.had_checkpoint);
+      EXPECT_EQ(after.rec.stats.generation, 0u);
+      EXPECT_EQ(after.rec.stats.last_commit_seq, 0u);
+      EXPECT_EQ(Image(after.module), empty_image);
+      EXPECT_GE(after.rec.stats.quarantined_files, 2u);  // ckpt + its wal
+      ASSERT_NE(after.rec.engine->quarantine(), nullptr);
+      EXPECT_EQ(after.rec.engine->quarantine()->count(),
+                after.rec.stats.quarantined_files);
+    }
+  }
+}
+
+TEST(CheckpointTruncation, SilentWritebackDamageNeverDivergesSilently) {
+  // Oracle images at every commit sequence.
+  std::map<uint64_t, std::string> images;
+  {
+    SimClock clock;
+    rvm::ReplicaIndexesModule empty;
+    empty.SetClock(&clock);
+    images[0] = Image(empty);
+  }
+  Harness oracle;
+  Status oracle_status = RunWorkload(oracle, [&](uint64_t seq) {
+    images[seq] = Image(oracle.module);
+  });
+  ASSERT_TRUE(oracle_status.ok()) << oracle_status;
+  const uint64_t oracle_commits = oracle.engine->commit_seq();
+  ASSERT_GE(oracle_commits, 2u);
+
+  uint64_t total_ops = 0;
+  {
+    Harness dry;
+    Status status = RunWorkload(dry, nullptr);
+    ASSERT_TRUE(status.ok()) << status;
+    total_ops = dry.env.mutating_ops();
+    EXPECT_EQ(Image(dry.module), images[oracle_commits]);
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  bool saw_divergence_reported = false;
+  for (FaultKind kind : {FaultKind::kTruncate, FaultKind::kBitFlip}) {
+    for (uint64_t k = 0; k < total_ops; ++k) {
+      SCOPED_TRACE("kind=" + std::string(FaultKindToString(kind)) +
+                   " damage_op=" + std::to_string(k));
+      Harness run;
+      FaultInjector injector(1);
+      injector.ScheduleFault(k, kind);
+      run.env.SetFaultInjector(&injector);
+      // Silent damage: the device lies, the workload completes believing
+      // every byte landed.
+      Status completed = RunWorkload(run, nullptr);
+      run.env.SetFaultInjector(nullptr);
+      ASSERT_TRUE(completed.ok()) << completed;
+      ASSERT_FALSE(run.env.crashed());
+
+      RecoveredRun after;
+      Status status = Recover(&run.env, &after);
+      ASSERT_TRUE(status.ok()) << status;
+
+      const uint64_t seq = after.rec.stats.last_commit_seq;
+      ASSERT_TRUE(images.count(seq) > 0)
+          << "recovered to unknown commit seq " << seq;
+      EXPECT_EQ(Image(after.module), images[seq]);
+      EXPECT_EQ(after.rec.engine->commit_seq(), seq);
+
+      // Zero silent divergence: recovering below the oracle head is legal
+      // only when recovery said so out loud — a dropped/torn WAL range, a
+      // checkpoint fallback, or a quarantined artifact.
+      if (seq < oracle_commits) {
+        EXPECT_TRUE(after.rec.stats.torn_tail_dropped ||
+                    after.rec.stats.dropped_records > 0 ||
+                    after.rec.stats.checkpoint_fallback ||
+                    after.rec.stats.quarantined_files > 0)
+            << "lost commits [" << seq + 1 << ", " << oracle_commits
+            << "] without any loud signal";
+        saw_divergence_reported = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_divergence_reported)
+      << "no damage point ever cost a commit — matrix too weak";
+}
+
+}  // namespace
+}  // namespace idm::storage

@@ -1,0 +1,114 @@
+// QuarantineManager (DESIGN.md §15, the "contain" third): corrupt artifacts
+// are moved or copied aside — never deleted — registered in an append-only
+// manifest that survives reload and tolerates its own torn tail, and named
+// loudly via last_artifact().
+
+#include "storage/quarantine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "storage/env.h"
+
+namespace idm::storage {
+namespace {
+
+TEST(QuarantineTest, MoveAsidePreservesBytesAndRemovesTheLiveFile) {
+  MemEnv env;
+  ASSERT_TRUE(env.Append("db/wal-7.log", "damaged frame bytes").ok());
+  ASSERT_TRUE(env.Sync("db/wal-7.log").ok());
+
+  QuarantineManager q(&env, "db");
+  ASSERT_TRUE(q.Load().ok());
+  ASSERT_TRUE(q.MoveAside("wal-7.log", "frame CRC mismatch at offset 12").ok());
+
+  EXPECT_FALSE(env.ReadFile("db/wal-7.log").ok()) << "live file must be gone";
+  Result<std::string> stash = env.ReadFile("db/quarantine/q1-wal-7.log");
+  ASSERT_TRUE(stash.ok()) << stash.status();
+  EXPECT_EQ(*stash, "damaged frame bytes");
+  EXPECT_EQ(q.count(), 1u);
+  EXPECT_EQ(q.total_bytes(), std::string("damaged frame bytes").size());
+  EXPECT_EQ(q.last_artifact(), "wal-7.log");
+}
+
+TEST(QuarantineTest, CopyAsideLeavesTheLiveFileInPlace) {
+  MemEnv env;
+  ASSERT_TRUE(env.Append("db/checkpoint-2.ckpt", "sealed image").ok());
+  ASSERT_TRUE(env.Sync("db/checkpoint-2.ckpt").ok());
+
+  QuarantineManager q(&env, "db");
+  ASSERT_TRUE(q.Load().ok());
+  ASSERT_TRUE(q.CopyAside("checkpoint-2.ckpt", "seal broken").ok());
+
+  Result<std::string> live = env.ReadFile("db/checkpoint-2.ckpt");
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(*live, "sealed image");
+  Result<std::string> stash = env.ReadFile("db/quarantine/q1-checkpoint-2.ckpt");
+  ASSERT_TRUE(stash.ok());
+  EXPECT_EQ(*stash, "sealed image");
+}
+
+TEST(QuarantineTest, PreserveBytesStoresEvidenceThatNeverHadAFile) {
+  MemEnv env;
+  QuarantineManager q(&env, "replica");
+  ASSERT_TRUE(q.Load().ok());
+  ASSERT_TRUE(q.PreserveBytes("wal-1.log.shipment", "rejected slice",
+                              "shipped segment failed frame CRC")
+                  .ok());
+  Result<std::string> stash =
+      env.ReadFile("replica/quarantine/q1-wal-1.log.shipment");
+  ASSERT_TRUE(stash.ok());
+  EXPECT_EQ(*stash, "rejected slice");
+}
+
+TEST(QuarantineTest, ManifestReloadsWithMonotoneIdsAcrossManagers) {
+  MemEnv env;
+  {
+    QuarantineManager q(&env, "db");
+    ASSERT_TRUE(q.Load().ok());
+    ASSERT_TRUE(q.PreserveBytes("a", "one", "r1").ok());
+    ASSERT_TRUE(q.PreserveBytes("b", "two", "r2").ok());
+  }
+  QuarantineManager reloaded(&env, "db");
+  ASSERT_TRUE(reloaded.Load().ok());
+  ASSERT_EQ(reloaded.count(), 2u);
+  EXPECT_EQ(reloaded.entries()[0].id, 1u);
+  EXPECT_EQ(reloaded.entries()[0].artifact, "a");
+  EXPECT_EQ(reloaded.entries()[1].reason, "r2");
+  EXPECT_EQ(reloaded.total_bytes(), 6u);
+  EXPECT_EQ(reloaded.last_artifact(), "b");
+
+  // Ids keep counting after reload — a third manager sees all three.
+  ASSERT_TRUE(reloaded.PreserveBytes("c", "three", "r3").ok());
+  EXPECT_EQ(reloaded.entries()[2].id, 3u);
+  Result<std::string> stash = env.ReadFile("db/quarantine/q3-c");
+  ASSERT_TRUE(stash.ok());
+}
+
+TEST(QuarantineTest, TornManifestTailFromACrashIsSkippedOnLoad) {
+  MemEnv env;
+  {
+    QuarantineManager q(&env, "db");
+    ASSERT_TRUE(q.Load().ok());
+    ASSERT_TRUE(q.PreserveBytes("intact", "bytes", "ok entry").ok());
+  }
+  // A crash mid-append leaves a final line without its newline.
+  ASSERT_TRUE(env.Append("db/quarantine/MANIFEST", "v1|2|4|q2-x|x|torn").ok());
+  ASSERT_TRUE(env.Sync("db/quarantine/MANIFEST").ok());
+
+  QuarantineManager reloaded(&env, "db");
+  ASSERT_TRUE(reloaded.Load().ok());
+  ASSERT_EQ(reloaded.count(), 1u);
+  EXPECT_EQ(reloaded.entries()[0].artifact, "intact");
+
+  // Registration still works after the torn tail: the next append starts a
+  // fresh, well-terminated line.
+  ASSERT_TRUE(reloaded.PreserveBytes("next", "more", "after torn tail").ok());
+  QuarantineManager again(&env, "db");
+  ASSERT_TRUE(again.Load().ok());
+  EXPECT_EQ(again.count(), 2u);
+}
+
+}  // namespace
+}  // namespace idm::storage
