@@ -1,9 +1,20 @@
 // Microbenchmarks of the index substrate (google-benchmark): inverted
 // index build/lookup, tuple-index range scans, name-index wildcard lookups,
 // group-store reachability. These are the primitives behind Fig. 5/6.
+//
+// After the google-benchmark tables, main() measures the engine axis —
+// merge-based postings scans (the interpreter's primitive) vs the
+// block-compressed decoders (the VM's, DESIGN.md §16) — at 10x the micro
+// scale and writes the rows to BENCH_micro_parallel.json in the
+// BENCH_parallel.json row schema.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench/harness.h"
 #include "core/view_class.h"
 #include "index/catalog.h"
 #include "index/group_store.h"
@@ -57,6 +68,30 @@ void BM_InvertedIndexTerm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_InvertedIndexTerm)->Arg(1000)->Arg(10000);
+
+// Blocked decoders (the VM's primitives) against the same index shapes as
+// the merge-based benchmarks above.
+void BM_InvertedIndexPhraseBlocked(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), 120);
+  index::InvertedIndex idx;
+  for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+  benchmark::DoNotOptimize(idx.PhraseDocs("the data"));  // build blocks
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.PhraseDocs("the data"));
+  }
+}
+BENCHMARK(BM_InvertedIndexPhraseBlocked)->Arg(1000)->Arg(10000);
+
+void BM_InvertedIndexTermBlocked(benchmark::State& state) {
+  auto docs = MakeDocs(static_cast<size_t>(state.range(0)), 120);
+  index::InvertedIndex idx;
+  for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+  benchmark::DoNotOptimize(idx.TermDocs("database"));  // build blocks
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.TermDocs("database"));
+  }
+}
+BENCHMARK(BM_InvertedIndexTermBlocked)->Arg(1000)->Arg(10000);
 
 void BM_TupleIndexScan(benchmark::State& state) {
   index::TupleIndex idx;
@@ -118,6 +153,105 @@ void BM_CatalogRegister(benchmark::State& state) {
 }
 BENCHMARK(BM_CatalogRegister)->Arg(1000)->Arg(10000);
 
+double MsNow() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The engine axis at 10x the micro scale: merge-based scans (interpreter
+// primitive) vs blocked decoders (VM primitive), p50 over repeated runs,
+// results verified identical pairwise.
+int EmitEngineAxis() {
+  constexpr size_t kDocs = 100000;  // 10x the largest google-benchmark arg
+  constexpr int kRuns = 9;
+  auto docs = MakeDocs(kDocs, 120);
+  index::InvertedIndex idx;
+  for (DocId id = 0; id < docs.size(); ++id) idx.AddDocument(id, docs[id]);
+
+  struct Scenario {
+    const char* name;
+    std::function<std::vector<DocId>()> interp;
+    std::function<std::vector<DocId>()> vm;
+  };
+  const std::vector<Scenario> kScenarios = {
+      {"term", [&] { return idx.TermQuery("database"); },
+       [&] { return idx.TermDocs("database"); }},
+      {"and2", [&] { return idx.AndQuery({"database", "data"}); },
+       [&] { return idx.AndDocs({"database", "data"}); }},
+      {"and3", [&] { return idx.AndQuery({"database", "data", "the"}); },
+       [&] { return idx.AndDocs({"database", "data", "the"}); }},
+      {"phrase2", [&] { return idx.PhraseQuery("the data"); },
+       [&] { return idx.PhraseDocs("the data"); }},
+  };
+
+  std::printf("\nEngine axis at %zu docs (p50 of %d runs)\n", kDocs, kRuns);
+  bench::Rule(64);
+  std::printf("%-8s %14s %14s %10s %6s\n", "", "interp [ms]", "vm [ms]",
+              "speedup", "same");
+  bench::Rule(64);
+  std::vector<bench::ParallelBenchRow> rows;
+  bool all_same = true;
+  for (const Scenario& scenario : kScenarios) {
+    std::vector<DocId> expect = scenario.interp();
+    bool same = scenario.vm() == expect;  // also builds the blocks
+    all_same = all_same && same;
+    double p50s[2];
+    const std::function<std::vector<DocId>()>* fns[2] = {&scenario.interp,
+                                                         &scenario.vm};
+    for (int e = 0; e < 2; ++e) {
+      std::vector<double> times;
+      for (int run = 0; run < kRuns; ++run) {
+        double t0 = MsNow();
+        std::vector<DocId> got = (*fns[e])();
+        times.push_back(MsNow() - t0);
+        same = same && got == expect;
+      }
+      p50s[e] = bench::Median(times);
+    }
+    std::printf("%-8s %14.4f %14.4f %9.2fx %6s\n", scenario.name, p50s[0],
+                p50s[1], p50s[1] > 0 ? p50s[0] / p50s[1] : 0,
+                same ? "YES" : "NO");
+    for (int e = 0; e < 2; ++e) {
+      bench::ParallelBenchRow row;
+      row.name = scenario.name;
+      row.mode = "engine";
+      row.engine = e == 0 ? "interp" : "vm";
+      row.threads = 1;
+      row.serial_ms = p50s[0];
+      row.mean_ms = p50s[e];
+      row.p50_ms = p50s[e];
+      row.speedup = p50s[e] > 0 ? p50s[0] / p50s[e] : 0;
+      row.ops_per_sec = p50s[e] > 0 ? 1000.0 / p50s[e] : 0;
+      row.identical_to_serial = same;
+      rows.push_back(row);
+    }
+  }
+  bench::Rule(64);
+  std::printf("postings memory: blocked %s MB <= uncompressed %s MB: %s\n",
+              bench::Mb(idx.CompressedPostingsBytes()).c_str(),
+              bench::Mb(idx.UncompressedPostingsBytes()).c_str(),
+              idx.CompressedPostingsBytes() <= idx.UncompressedPostingsBytes()
+                  ? "YES"
+                  : "NO");
+
+  bench::BenchMeta meta;
+  meta.bench = "micro_index";
+  meta.seed = 99;
+  meta.scale = "10x";
+  bench::WriteParallelJson("BENCH_micro_parallel.json", meta, rows);
+  return all_same &&
+                 idx.CompressedPostingsBytes() <= idx.UncompressedPostingsBytes()
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return EmitEngineAxis();
+}

@@ -1,5 +1,6 @@
 #include "bench/harness.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/string_util.h"
@@ -96,13 +97,15 @@ bool WriteParallelJson(const std::string& path, const BenchMeta& meta,
   for (size_t i = 0; i < rows.size(); ++i) {
     const ParallelBenchRow& r = rows[i];
     std::fprintf(f,
-                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"threads\": %zu, "
-                 "\"serial_ms\": %.4f, \"mean_ms\": %.4f, \"speedup\": %.3f, "
+                 "    {\"name\": \"%s\", \"mode\": \"%s\", \"engine\": \"%s\", "
+                 "\"threads\": %zu, "
+                 "\"serial_ms\": %.4f, \"mean_ms\": %.4f, \"p50_ms\": %.4f, "
+                 "\"speedup\": %.3f, "
                  "\"ops_per_sec\": %.2f, \"cache_hit_rate\": %.3f, "
                  "\"identical_to_serial\": %s}%s\n",
-                 r.name.c_str(), r.mode.c_str(), r.threads, r.serial_ms,
-                 r.mean_ms, r.speedup, r.ops_per_sec, r.cache_hit_rate,
-                 r.identical_to_serial ? "true" : "false",
+                 r.name.c_str(), r.mode.c_str(), r.engine.c_str(), r.threads,
+                 r.serial_ms, r.mean_ms, r.p50_ms, r.speedup, r.ops_per_sec,
+                 r.cache_hit_rate, r.identical_to_serial ? "true" : "false",
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -110,6 +113,14 @@ bool WriteParallelJson(const std::string& path, const BenchMeta& meta,
   std::fprintf(stderr, "[harness] wrote %s (%zu rows)\n", path.c_str(),
                rows.size());
   return true;
+}
+
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1 ? samples[mid]
+                                 : (samples[mid - 1] + samples[mid]) / 2;
 }
 
 std::string Mb(uint64_t bytes) { return BytesToMb(bytes); }

@@ -29,6 +29,10 @@ uint64_t GetVarint(const std::string& in, size_t* pos) {
   return value;
 }
 
+/// Postings per block: small enough that decoding one block for phrase
+/// verification is cheap, large enough that skip pointers pay off.
+constexpr uint32_t kBlockDocs = 128;
+
 }  // namespace
 
 void InvertedIndex::AppendRecord(TermList* list, DocId doc,
@@ -92,6 +96,45 @@ const InvertedIndex::TermList* InvertedIndex::FindList(
   return it == term_ids_.end() ? nullptr : &lists_[it->second];
 }
 
+InvertedIndex::InvertedIndex(const InvertedIndex& other)
+    : term_ids_(other.term_ids_),
+      lists_(other.lists_),
+      doc_terms_(other.doc_terms_),
+      total_tokens_(other.total_tokens_) {}
+
+InvertedIndex& InvertedIndex::operator=(const InvertedIndex& other) {
+  if (this == &other) return *this;
+  term_ids_ = other.term_ids_;
+  lists_ = other.lists_;
+  doc_terms_ = other.doc_terms_;
+  total_tokens_ = other.total_tokens_;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  blocks_.clear();
+  return *this;
+}
+
+InvertedIndex::InvertedIndex(InvertedIndex&& other) noexcept
+    : term_ids_(std::move(other.term_ids_)),
+      lists_(std::move(other.lists_)),
+      doc_terms_(std::move(other.doc_terms_)),
+      total_tokens_(other.total_tokens_) {}
+
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
+  if (this == &other) return *this;
+  term_ids_ = std::move(other.term_ids_);
+  lists_ = std::move(other.lists_);
+  doc_terms_ = std::move(other.doc_terms_);
+  total_tokens_ = other.total_tokens_;
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  blocks_.clear();
+  return *this;
+}
+
+void InvertedIndex::DropBlocks(uint32_t tid) {
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  blocks_.erase(tid);
+}
+
 void InvertedIndex::AddDocument(DocId id, const std::string& text) {
   if (doc_terms_.count(id) > 0) RemoveDocument(id);
 
@@ -119,6 +162,7 @@ void InvertedIndex::AddDocument(DocId id, const std::string& text) {
       postings.insert(it, DecodedPosting{id, positions});
       Encode(postings, &list);
     }
+    DropBlocks(tid);
     term_ids.push_back(tid);
   }
   std::sort(term_ids.begin(), term_ids.end());
@@ -140,6 +184,7 @@ void InvertedIndex::RemoveDocument(DocId id) {
       postings.erase(doc_it);
     }
     Encode(postings, &list);
+    DropBlocks(tid);
   }
   doc_terms_.erase(it);
 }
@@ -378,6 +423,321 @@ Result<InvertedIndex> InvertedIndex::Deserialize(const std::string& data) {
   }
   if (pos != data.size()) return Status::ParseError("trailing bytes");
   return index;
+}
+
+// --- blocked query path ----------------------------------------------------
+
+InvertedIndex::BlockIndex InvertedIndex::BuildBlocks(const TermList& list) {
+  BlockIndex index;
+  if (list.doc_count == 0) return index;
+  index.blocks.reserve((list.doc_count + kBlockDocs - 1) / kBlockDocs);
+
+  std::vector<DocId> run;
+  run.reserve(kBlockDocs);
+  size_t run_offset = 0;
+
+  auto flush = [&]() {
+    if (run.empty()) return;
+    PostingBlock block;
+    block.first = run.front();
+    block.last = run.back();
+    block.count = static_cast<uint32_t>(run.size());
+    block.record_offset = static_cast<uint32_t>(run_offset);
+    // Delta-varint form first; switch to a bitset when it is smaller (a
+    // dense run of near-consecutive ids packs to one bit per slot).
+    std::string varints;
+    DocId prev = block.first;
+    for (size_t i = 1; i < run.size(); ++i) {
+      PutVarint(&varints, run[i] - prev);
+      prev = run[i];
+    }
+    const uint64_t span = block.last - block.first + 1;
+    const size_t bitset_bytes = static_cast<size_t>((span + 7) / 8);
+    if (bitset_bytes < varints.size()) {
+      block.dense = true;
+      block.docs.assign(bitset_bytes, '\0');
+      for (DocId doc : run) {
+        uint64_t bit = doc - block.first;
+        block.docs[bit >> 3] |= static_cast<char>(1u << (bit & 7));
+      }
+      ++index.dense_count;
+    } else {
+      block.docs = std::move(varints);
+    }
+    index.bytes += block.docs.size();
+    index.blocks.push_back(std::move(block));
+    run.clear();
+  };
+
+  size_t pos = 0;
+  DocId doc = 0;
+  index.tf.reserve(list.doc_count);
+  for (uint32_t i = 0; i < list.doc_count; ++i) {
+    size_t record_start = pos;
+    doc += GetVarint(list.blob, &pos);
+    uint64_t count = GetVarint(list.blob, &pos);
+    for (uint64_t j = 0; j < count; ++j) GetVarint(list.blob, &pos);
+    if (run.empty()) run_offset = record_start;
+    run.push_back(doc);
+    index.tf.push_back(static_cast<uint32_t>(count));
+    if (run.size() == kBlockDocs) flush();
+  }
+  flush();
+  index.bytes += index.tf.size() * sizeof(uint32_t);
+  return index;
+}
+
+void InvertedIndex::AppendBlockDocs(const PostingBlock& block,
+                                    std::vector<DocId>* out) {
+  if (block.dense) {
+    for (size_t byte = 0; byte < block.docs.size(); ++byte) {
+      uint8_t bits = static_cast<uint8_t>(block.docs[byte]);
+      while (bits != 0) {
+        int bit = __builtin_ctz(bits);
+        out->push_back(block.first + (byte << 3) + bit);
+        bits &= bits - 1;
+      }
+    }
+    return;
+  }
+  DocId doc = block.first;
+  out->push_back(doc);
+  size_t pos = 0;
+  for (uint32_t i = 1; i < block.count; ++i) {
+    doc += GetVarint(block.docs, &pos);
+    out->push_back(doc);
+  }
+}
+
+const InvertedIndex::BlockIndex* InvertedIndex::BlockedFor(
+    uint32_t tid) const {
+  {
+    std::lock_guard<std::mutex> lock(blocks_mu_);
+    auto it = blocks_.find(tid);
+    if (it != blocks_.end()) return it->second.get();
+  }
+  auto built = std::make_unique<BlockIndex>(BuildBlocks(lists_[tid]));
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  auto [it, inserted] = blocks_.emplace(tid, std::move(built));
+  if (inserted) blocks_built_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.get();
+}
+
+bool InvertedIndex::PositionCursor::Advance(DocId doc,
+                                            std::vector<uint32_t>* out) {
+  const std::vector<PostingBlock>& skip = blocks->blocks;
+  while (block < skip.size() && skip[block].last < doc) {
+    ++block;
+    entered = false;
+  }
+  if (block >= skip.size()) return false;
+  const PostingBlock& here = skip[block];
+  if (doc < here.first) return false;
+  if (!entered) {
+    // The skip pointer bounds the decode to this block's records.
+    pos = here.record_offset;
+    record = 0;
+    entered = true;
+    decoded = false;
+  }
+  // A record already streamed past the target means the doc is absent.
+  if (decoded && current >= doc) return false;
+  while (record < here.count) {
+    DocId delta = GetVarint(list->blob, &pos);
+    // Doc deltas are relative to the PREVIOUS record, which for the
+    // block's first record lives outside the block; its absolute id is
+    // the skip entry's `first`.
+    current = (record == 0) ? here.first : current + delta;
+    ++record;
+    decoded = true;
+    uint64_t count = GetVarint(list->blob, &pos);
+    if (current == doc) {
+      out->clear();
+      out->reserve(count);
+      uint32_t position = 0;
+      for (uint64_t j = 0; j < count; ++j) {
+        position += static_cast<uint32_t>(GetVarint(list->blob, &pos));
+        out->push_back(position);
+      }
+      return true;
+    }
+    for (uint64_t j = 0; j < count; ++j) GetVarint(list->blob, &pos);
+    if (current > doc) return false;
+  }
+  return false;
+}
+
+std::vector<DocId> InvertedIndex::IntersectWithBlocks(
+    const std::vector<DocId>& acc, const BlockIndex& blocks) const {
+  std::vector<DocId> out;
+  if (acc.empty() || blocks.blocks.empty()) return out;
+  std::vector<DocId> scratch;
+  auto acc_it = acc.begin();
+  for (const PostingBlock& block : blocks.blocks) {
+    // Skip pointers: fast-forward past blocks wholly below the accumulator
+    // cursor and stop once blocks start past its end.
+    if (block.last < *acc_it) {
+      blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (block.first > acc.back()) {
+      blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    scratch.clear();
+    AppendBlockDocs(block, &scratch);
+    auto lo = std::lower_bound(acc_it, acc.end(), block.first);
+    auto hi = std::upper_bound(lo, acc.end(), block.last);
+    std::set_intersection(lo, hi, scratch.begin(), scratch.end(),
+                          std::back_inserter(out));
+    acc_it = hi;
+    if (acc_it == acc.end()) break;
+  }
+  return out;
+}
+
+std::vector<DocId> InvertedIndex::TermDocs(const std::string& term) const {
+  std::vector<std::string> normalized = PhraseTerms(term);
+  if (normalized.size() != 1) return AndDocs(normalized);
+  auto it = term_ids_.find(normalized[0]);
+  if (it == term_ids_.end()) return {};
+  const BlockIndex* blocks = BlockedFor(it->second);
+  std::vector<DocId> out;
+  out.reserve(lists_[it->second].doc_count);
+  for (const PostingBlock& block : blocks->blocks) AppendBlockDocs(block, &out);
+  return out;
+}
+
+std::vector<std::pair<DocId, uint32_t>> InvertedIndex::TermTfDocs(
+    const std::string& term) const {
+  std::vector<std::string> normalized = PhraseTerms(term);
+  if (normalized.size() != 1) return {};  // single terms only
+  auto it = term_ids_.find(normalized[0]);
+  if (it == term_ids_.end()) return {};
+  const BlockIndex* blocks = BlockedFor(it->second);
+  std::vector<DocId> docs;
+  docs.reserve(lists_[it->second].doc_count);
+  for (const PostingBlock& block : blocks->blocks) AppendBlockDocs(block, &docs);
+  std::vector<std::pair<DocId, uint32_t>> out;
+  out.reserve(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    out.emplace_back(docs[i], blocks->tf[i]);
+  }
+  return out;
+}
+
+std::vector<DocId> InvertedIndex::AndDocs(
+    const std::vector<std::string>& terms) const {
+  if (terms.empty()) return {};
+  // Resolve all terms first (a missing term empties the intersection),
+  // then fold starting from the rarest list — the accumulator can only
+  // shrink, so the block-skip intersection does the least possible work.
+  std::vector<uint32_t> tids;
+  tids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    for (const std::string& token : PhraseTerms(term)) {
+      auto it = term_ids_.find(token);
+      if (it == term_ids_.end()) return {};
+      tids.push_back(it->second);
+    }
+  }
+  if (tids.empty()) return {};
+  std::sort(tids.begin(), tids.end(), [this](uint32_t a, uint32_t b) {
+    return lists_[a].doc_count < lists_[b].doc_count;
+  });
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  std::vector<DocId> acc;
+  const BlockIndex* first = BlockedFor(tids[0]);
+  acc.reserve(lists_[tids[0]].doc_count);
+  for (const PostingBlock& block : first->blocks) AppendBlockDocs(block, &acc);
+  for (size_t i = 1; i < tids.size() && !acc.empty(); ++i) {
+    acc = IntersectWithBlocks(acc, *BlockedFor(tids[i]));
+  }
+  return acc;
+}
+
+std::vector<DocId> InvertedIndex::PhraseDocs(const std::string& phrase) const {
+  std::vector<std::string> terms = PhraseTerms(phrase);
+  if (terms.empty()) return {};
+  if (terms.size() == 1) return TermDocs(terms[0]);
+
+  std::vector<uint32_t> tids;
+  tids.reserve(terms.size());
+  for (const std::string& term : terms) {
+    auto it = term_ids_.find(term);
+    if (it == term_ids_.end()) return {};  // a missing term kills the phrase
+    tids.push_back(it->second);
+  }
+
+  // Candidate docs: block-skip intersection of all term doc sets, rarest
+  // first. Only the survivors ever have positions decoded — the classic
+  // PhraseQuery decodes every position of every term up front.
+  std::vector<DocId> candidates = AndDocs(terms);
+  if (candidates.empty()) return candidates;
+
+  // One forward-only cursor per term: candidates are sorted, so each
+  // record in each list is decoded at most once across the whole phrase.
+  std::vector<PositionCursor> cursors(tids.size());
+  for (size_t k = 0; k < tids.size(); ++k) {
+    cursors[k].list = &lists_[tids[k]];
+    cursors[k].blocks = BlockedFor(tids[k]);
+  }
+  std::vector<std::vector<uint32_t>> positions(tids.size());
+  std::vector<DocId> out;
+  for (DocId doc : candidates) {
+    bool have_all = true;
+    for (size_t k = 0; k < tids.size() && have_all; ++k) {
+      have_all = cursors[k].Advance(doc, &positions[k]);
+    }
+    if (!have_all) continue;  // defensive: candidates came from these lists
+    bool matched = false;
+    for (uint32_t start : positions[0]) {
+      bool consecutive = true;
+      for (size_t k = 1; k < tids.size(); ++k) {
+        if (!std::binary_search(positions[k].begin(), positions[k].end(),
+                                start + static_cast<uint32_t>(k))) {
+          consecutive = false;
+          break;
+        }
+      }
+      if (consecutive) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) out.push_back(doc);
+  }
+  return out;
+}
+
+InvertedIndex::BlockStats InvertedIndex::block_stats() const {
+  BlockStats stats;
+  stats.built_lists = blocks_built_.load(std::memory_order_relaxed);
+  stats.skipped_blocks = blocks_skipped_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  for (const auto& [tid, index] : blocks_) {
+    stats.block_bytes += index->bytes;
+    stats.bitset_blocks += index->dense_count;
+    stats.varint_blocks += index->blocks.size() - index->dense_count;
+  }
+  return stats;
+}
+
+size_t InvertedIndex::CompressedPostingsBytes() const {
+  size_t total = 0;
+  for (const TermList& list : lists_) total += list.blob.size();
+  std::lock_guard<std::mutex> lock(blocks_mu_);
+  for (const auto& [tid, index] : blocks_) {
+    total += index->bytes + index->blocks.size() * sizeof(PostingBlock);
+  }
+  return total;
+}
+
+size_t InvertedIndex::UncompressedPostingsBytes() const {
+  size_t postings = 0;
+  for (const TermList& list : lists_) postings += list.doc_count;
+  return postings * sizeof(DocId) +
+         static_cast<size_t>(total_tokens_) * sizeof(uint32_t);
 }
 
 size_t InvertedIndex::MemoryUsage() const {

@@ -10,11 +10,25 @@
 // records. Appending documents in increasing id order extends blobs in
 // place; out-of-order inserts and removals decode+re-encode the affected
 // term lists (rare in the PDSMS write path, which bulk-loads per source).
+//
+// Block acceleration (DESIGN.md §16): on top of the blob each term lazily
+// gets an immutable block index — runs of up to kBlockDocs doc ids, each
+// block re-encoded as delta varints or a bitset (whichever is smaller)
+// with its [first, last] doc range acting as a skip pointer and the byte
+// offset of its first blob record kept for targeted position decoding.
+// TermDocs/AndDocs/PhraseDocs answer from blocks with block-wise
+// range-skipping intersection and decode positions only for intersection
+// survivors; results are identical to the ExecContext-free TermQuery/
+// AndQuery/PhraseQuery. Blocks are a query-side cache: mutations drop the
+// affected terms' blocks, and nothing about Serialize()'s format changes.
 
 #ifndef IDM_INDEX_INVERTED_INDEX_H_
 #define IDM_INDEX_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +43,14 @@ using DocId = uint64_t;
 
 class InvertedIndex {
  public:
+  InvertedIndex() = default;
+  // Copies and moves carry the postings but not the lazily built block
+  // cache (mutex/atomic members are not copyable; blocks rebuild on demand).
+  InvertedIndex(const InvertedIndex& other);
+  InvertedIndex& operator=(const InvertedIndex& other);
+  InvertedIndex(InvertedIndex&& other) noexcept;
+  InvertedIndex& operator=(InvertedIndex&& other) noexcept;
+
   /// Indexes \p text under \p id. Re-adding an id replaces its old text.
   void AddDocument(DocId id, const std::string& text);
 
@@ -66,6 +88,42 @@ class InvertedIndex {
   /// Documents containing \p term (document frequency), for idf weights.
   size_t DocumentFrequency(const std::string& term) const;
 
+  /// --- blocked (compressed, skip-pointer) query path ----------------------
+  /// Same answers as the ungoverned TermQuery/AndQuery/PhraseQuery, served
+  /// from the per-term block indexes. No ExecContext parameter on purpose:
+  /// governed evaluation must tick per posting in blob order and therefore
+  /// takes the classic methods; the blocked path is the fast lane for
+  /// ungoverned (complete-result) execution. Thread-safe against other
+  /// readers; not against concurrent mutation (like every query method).
+  std::vector<DocId> TermDocs(const std::string& term) const;
+  std::vector<DocId> AndDocs(const std::vector<std::string>& terms) const;
+  std::vector<DocId> PhraseDocs(const std::string& phrase) const;
+  /// Same pairs as TermQueryWithTf, zipped from the block index and its
+  /// tf sidecar — ranking without re-skipping the blob's position
+  /// varints. Ranking never ticks (in either engine), so this has no
+  /// governed counterpart.
+  std::vector<std::pair<DocId, uint32_t>> TermTfDocs(
+      const std::string& term) const;
+
+  /// Block-cache activity counters (stats.vm.* feeds from these).
+  struct BlockStats {
+    uint64_t built_lists = 0;    ///< term block indexes built so far
+    uint64_t varint_blocks = 0;  ///< blocks resident in delta-varint form
+    uint64_t bitset_blocks = 0;  ///< blocks resident in bitset form
+    uint64_t block_bytes = 0;    ///< resident block bytes (docs payload)
+    uint64_t skipped_blocks = 0; ///< blocks skipped by range disjointness
+  };
+  BlockStats block_stats() const;
+
+  /// Bytes of the compressed postings representation actually resident:
+  /// varint blobs plus whatever block indexes have been built.
+  size_t CompressedPostingsBytes() const;
+
+  /// Bytes a raw uncompressed postings layout would occupy (8 bytes per
+  /// posting doc id + 4 bytes per position) — the Table 3 style baseline
+  /// the compressed representation is measured against.
+  size_t UncompressedPostingsBytes() const;
+
   size_t doc_count() const { return doc_terms_.size(); }
   size_t term_count() const { return lists_.size(); }
   uint64_t total_tokens() const { return total_tokens_; }
@@ -91,6 +149,28 @@ class InvertedIndex {
     std::vector<uint32_t> positions;
   };
 
+  /// One block of up to kBlockDocs consecutive postings of a term.
+  /// [first, last] is the skip pointer; record_offset points at the block's
+  /// first record in TermList::blob so position payloads can be decoded for
+  /// exactly this block's docs without touching the rest of the list.
+  struct PostingBlock {
+    DocId first = 0;
+    DocId last = 0;
+    uint32_t count = 0;
+    uint32_t record_offset = 0;
+    bool dense = false;  ///< docs is a bitset over [first, last], else varints
+    std::string docs;    ///< doc payload only — no positions
+  };
+  struct BlockIndex {
+    std::vector<PostingBlock> blocks;
+    /// Term frequency per doc, in list order across blocks — a sidecar
+    /// captured during the build walk so ranking never re-skips the
+    /// blob's position varints. Counted in `bytes`.
+    std::vector<uint32_t> tf;
+    size_t bytes = 0;       ///< docs + tf payload bytes across blocks
+    size_t dense_count = 0; ///< how many blocks chose the bitset form
+  };
+
   uint32_t InternTerm(const std::string& term);
   const TermList* FindList(const std::string& raw_term) const;
   static std::vector<DecodedPosting> Decode(const TermList& list);
@@ -99,11 +179,48 @@ class InvertedIndex {
   static void AppendRecord(TermList* list, DocId doc,
                            const std::vector<uint32_t>& positions);
 
+  static BlockIndex BuildBlocks(const TermList& list);
+  static void AppendBlockDocs(const PostingBlock& block,
+                              std::vector<DocId>* out);
+  /// Lazily builds (and caches) the block index of term id \p tid.
+  const BlockIndex* BlockedFor(uint32_t tid) const;
+  void DropBlocks(uint32_t tid);
+  /// Streaming position reader over one term's blob: Advance() moves
+  /// forward-only through the record stream (docs must be requested in
+  /// ascending order), decoding each record at most once and skipping
+  /// whole blocks the target is past. Positions are decoded only for the
+  /// requested doc; every other record's are varint-skipped.
+  struct PositionCursor {
+    const TermList* list = nullptr;
+    const BlockIndex* blocks = nullptr;
+    size_t block = 0;      ///< index into blocks->blocks
+    uint32_t record = 0;   ///< records consumed in the current block
+    size_t pos = 0;        ///< blob offset of the next record
+    DocId current = 0;     ///< last decoded doc (valid when decoded)
+    bool entered = false;  ///< pos/record primed for blocks[block]
+    bool decoded = false;  ///< current holds a decoded doc
+
+    /// Positions of \p doc, or false when the doc is not in the list (or
+    /// the cursor has already streamed past it).
+    bool Advance(DocId doc, std::vector<uint32_t>* out);
+  };
+  /// acc ∩ term-docs via block-range skipping; counts skipped blocks.
+  std::vector<DocId> IntersectWithBlocks(const std::vector<DocId>& acc,
+                                         const BlockIndex& blocks) const;
+
   std::unordered_map<std::string, uint32_t> term_ids_;
   std::vector<TermList> lists_;
   // doc -> term ids it contributed (for removal/replacement).
   std::unordered_map<DocId, std::vector<uint32_t>> doc_terms_;
   uint64_t total_tokens_ = 0;
+
+  /// Lazily built block indexes, keyed by term id. The mutex serializes
+  /// concurrent readers racing to build the same term; mutations (which
+  /// never run concurrently with queries) drop entries for changed terms.
+  mutable std::mutex blocks_mu_;
+  mutable std::unordered_map<uint32_t, std::unique_ptr<BlockIndex>> blocks_;
+  mutable std::atomic<uint64_t> blocks_built_{0};
+  mutable std::atomic<uint64_t> blocks_skipped_{0};
 };
 
 }  // namespace idm::index

@@ -197,10 +197,40 @@ Result<QueryResult> Dataspace::Query(const std::string& iql) const {
 
 Result<QueryResult> Dataspace::Query(const std::string& iql,
                                      const QueryOptions& options) const {
+  return TracedQuery([&](obs::TraceSpan* root) {
+    return QueryTraced(iql, options, root);
+  });
+}
+
+Result<PreparedQuery> Dataspace::Prepare(const std::string& iql) const {
+  IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
+  auto query = std::make_shared<const ::idm::iql::Query>(std::move(parsed));
+  std::shared_ptr<const PlanProgram> plan = processor_->Plan(*query);
+  return PreparedQuery(this, std::move(query), std::move(plan));
+}
+
+Result<QueryResult> Dataspace::Execute(const PreparedQuery& prepared,
+                                       const QueryOptions& options) const {
+  if (!prepared.valid()) {
+    return Status::FailedPrecondition("empty PreparedQuery");
+  }
+  if (prepared.dataspace_ != this) {
+    return Status::InvalidArgument(
+        "PreparedQuery belongs to a different dataspace");
+  }
+  return TracedQuery([&](obs::TraceSpan* root) -> Result<QueryResult> {
+    AdmissionController::Ticket ticket;
+    IDM_RETURN_NOT_OK(Admit(options, root, &ticket));
+    return EvalPlanned(prepared.query(), prepared.plan(), options, root);
+  });
+}
+
+Result<QueryResult> Dataspace::TracedQuery(
+    const std::function<Result<QueryResult>(obs::TraceSpan*)>& body) const {
   std::shared_ptr<obs::Trace> trace =
       obs_ != nullptr ? obs_->StartTrace(obs::kQueryTrace, "query") : nullptr;
   obs::TraceSpan* root = trace == nullptr ? nullptr : trace->root();
-  Result<QueryResult> result = QueryTraced(iql, options, root);
+  Result<QueryResult> result = body(root);
   if (obs_ != nullptr) {
     qmetrics_.queries->Inc();
     if (result.ok()) {
@@ -216,34 +246,54 @@ Result<QueryResult> Dataspace::Query(const std::string& iql,
   return result;
 }
 
+Status Dataspace::Admit(const QueryOptions& options, obs::TraceSpan* root,
+                        AdmissionController::Ticket* ticket) const {
+  // Admission first: a shed query costs one mutex acquisition, not an
+  // evaluation. The ticket is held (RAII) until the result is built.
+  if (options.bypass_admission || !admission_.enabled()) return Status::OK();
+  obs::ScopedSpan admit_span(root, "admission");
+  int64_t waited = 0;
+  Result<AdmissionController::Ticket> admitted = admission_.Admit(&waited);
+  if (qmetrics_.queue_wait_micros != nullptr) {
+    qmetrics_.queue_wait_micros->Observe(static_cast<uint64_t>(waited));
+  }
+  if (admit_span) {
+    admit_span.get()->SetAttr("waited_micros", waited);
+    admit_span.get()->SetAttr("outcome", admitted.ok() ? "admitted" : "shed");
+  }
+  if (!admitted.ok()) {
+    if (qmetrics_.shed != nullptr) qmetrics_.shed->Inc();
+    return admitted.status();
+  }
+  *ticket = std::move(*admitted);
+  return Status::OK();
+}
+
 Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
                                            const QueryOptions& options,
                                            obs::TraceSpan* root) const {
-  // Admission first: a shed query costs one mutex acquisition, not an
-  // evaluation. The ticket is held (RAII) until the result is built.
   AdmissionController::Ticket ticket;
-  if (!options.bypass_admission && admission_.enabled()) {
-    obs::ScopedSpan admit_span(root, "admission");
-    int64_t waited = 0;
-    Result<AdmissionController::Ticket> admitted = admission_.Admit(&waited);
-    if (qmetrics_.queue_wait_micros != nullptr) {
-      qmetrics_.queue_wait_micros->Observe(static_cast<uint64_t>(waited));
-    }
-    if (admit_span) {
-      admit_span.get()->SetAttr("waited_micros", waited);
-      admit_span.get()->SetAttr("outcome", admitted.ok() ? "admitted" : "shed");
-    }
-    if (!admitted.ok()) {
-      if (qmetrics_.shed != nullptr) qmetrics_.shed->Inc();
-      return admitted.status();
-    }
-    ticket = std::move(*admitted);
-  }
+  IDM_RETURN_NOT_OK(Admit(options, root, &ticket));
 
   obs::TraceSpan* parse_span = root == nullptr ? nullptr : root->AddChild("parse");
   IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
   if (parse_span != nullptr) parse_span->End();
 
+  obs::TraceSpan* plan_span = root == nullptr ? nullptr : root->AddChild("plan");
+  std::unique_ptr<PlanProgram> plan = processor_->Plan(parsed);
+  if (plan_span != nullptr) {
+    plan_span->SetAttr("key", plan->cache_key);
+    plan_span->SetAttr("ops", static_cast<int64_t>(plan->ops.size()));
+    plan_span->End();
+  }
+
+  return EvalPlanned(parsed, *plan, options, root);
+}
+
+Result<QueryResult> Dataspace::EvalPlanned(const ::idm::iql::Query& parsed,
+                                           const PlanProgram& plan,
+                                           const QueryOptions& options,
+                                           obs::TraceSpan* root) const {
   // Governed queries run under an ExecContext on the dataspace clock; the
   // simulated evaluation cost they accumulate becomes simulated time.
   std::optional<util::ExecContext> ctx;
@@ -252,7 +302,7 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
   auto evaluate = [&]() -> Result<QueryResult> {
     obs::ScopedSpan eval_span(root, "evaluate");
     Result<QueryResult> result =
-        processor_->Evaluate(parsed, ctx_ptr, eval_span.get());
+        processor_->Evaluate(parsed, plan, ctx_ptr, eval_span.get());
     if (ctx_ptr != nullptr && ctx_ptr->charged_micros() > 0) {
       clock_.AdvanceMicros(ctx_ptr->charged_micros());
     }
@@ -261,11 +311,14 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
 
   if (!cache_.enabled()) return evaluate();
 
-  // Key on the normalized rendering (whitespace/escape variants share one
-  // entry) and the current dataspace version: any Append to the VersionLog
-  // — sync, notification, delete — advances the epoch and logically
-  // invalidates every entry at once.
-  const std::string normalized = ToString(parsed);
+  // Key on the plan's *canonical* key (DESIGN.md §16) and the current
+  // dataspace version: semantically identical spellings — whitespace and
+  // escape variants, reordered and/or conjuncts, reordered union/intersect
+  // arms — share one entry, and any Append to the VersionLog (sync,
+  // notification, delete) advances the epoch and logically invalidates
+  // every entry at once. (The cached result carries the diagnostics —
+  // plan text, probe counts — of the spelling that populated the entry.)
+  const std::string& key = plan.cache_key;
   const uint64_t epoch = module_.versions().current();
   const bool cacheable = IsCacheable(parsed);
   // Epoch-stale entries with a scoped footprint get a survival proof
@@ -279,7 +332,7 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
     if (!cacheable) {
       if (lookup_span) lookup_span.get()->SetAttr("outcome", "bypass");
     } else if (std::optional<QueryResult> hit =
-                   cache_.Lookup(normalized, epoch, validator)) {
+                   cache_.Lookup(key, epoch, validator)) {
       hit->elapsed_micros = 0;  // served from cache; nothing was evaluated
       if (lookup_span) lookup_span.get()->SetAttr("outcome", "hit");
       if (qmetrics_.cache_hits != nullptr) qmetrics_.cache_hits->Inc();
@@ -295,7 +348,7 @@ Result<QueryResult> Dataspace::QueryTraced(const std::string& iql,
   // with their dependency footprint so unrelated-substrate writes don't
   // evict them.
   if (cacheable && result.meta.complete) {
-    cache_.Insert(normalized, epoch, result, ComputeFootprint(parsed, module_));
+    cache_.Insert(key, epoch, result, ComputeFootprint(parsed, module_));
   }
   return result;
 }
@@ -404,21 +457,38 @@ Result<std::vector<repair::ScrubFinding>> Dataspace::ScrubNow() {
 
 Result<std::shared_ptr<sub::Subscription>> Dataspace::Subscribe(
     const std::string& iql, sub::SubscribeOptions options) {
-  IDM_ASSIGN_OR_RETURN(::idm::iql::Query parsed, ParseQuery(iql));
-  auto query = std::make_shared<::idm::iql::Query>(std::move(parsed));
-  const std::string normalized = ToString(*query);
+  IDM_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(iql));
+  return Subscribe(prepared, std::move(options));
+}
+
+Result<std::shared_ptr<sub::Subscription>> Dataspace::Subscribe(
+    const PreparedQuery& prepared, sub::SubscribeOptions options) {
+  if (!prepared.valid()) {
+    return Status::FailedPrecondition("empty PreparedQuery");
+  }
+  if (prepared.dataspace_ != this) {
+    return Status::InvalidArgument(
+        "PreparedQuery belongs to a different dataspace");
+  }
+  // Plan once, recompute many: the handle's query AST and compiled
+  // program are shared (immutably) by the initial snapshot and every
+  // later maintenance recompute.
+  std::shared_ptr<const ::idm::iql::Query> query = prepared.query_;
+  std::shared_ptr<const PlanProgram> plan = prepared.plan_;
+  const std::string& normalized = plan->normalized;
   EnsureSubscriptionWiring();
 
   // The maintenance recompute (and the initial snapshot below): evaluate
   // under the subscription's own governance limits, charging simulated
   // evaluation cost to the dataspace clock like any governed Query().
-  sub::EvalFn eval = [this, query,
+  sub::EvalFn eval = [this, query, plan,
                       limits = options.limits]() -> sub::EvalOutcome {
     sub::EvalOutcome out;
     std::optional<util::ExecContext> ctx;
     if (limits.any()) ctx.emplace(&clock_, limits);
     util::ExecContext* ctx_ptr = ctx.has_value() ? &*ctx : nullptr;
-    Result<QueryResult> result = processor_->Evaluate(*query, ctx_ptr);
+    Result<QueryResult> result =
+        processor_->Evaluate(*query, *plan, ctx_ptr, nullptr);
     if (ctx_ptr != nullptr && ctx_ptr->charged_micros() > 0) {
       clock_.AdvanceMicros(ctx_ptr->charged_micros());
     }
@@ -588,6 +658,8 @@ DataspaceStats Dataspace::Stats() const {
     stats.pool = processor_->pool()->telemetry();
   }
   if (obs_ != nullptr) stats.metrics = obs_->metrics().Snapshot();
+  stats.engine = processor_->engine_stats();
+  stats.postings = module_.content().block_stats();
   return stats;
 }
 

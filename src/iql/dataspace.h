@@ -22,10 +22,13 @@
 #ifndef IDM_IQL_DATASPACE_H_
 #define IDM_IQL_DATASPACE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
+#include "index/inverted_index.h"
 #include "iql/admission.h"
+#include "iql/prepared_query.h"
 #include "iql/query_cache.h"
 #include "iql/query_options.h"
 #include "iql/query_processor.h"
@@ -64,6 +67,8 @@ struct DataspaceStats {
   RepairStats repair;                     ///< scrub/quarantine/self-heal
   util::ThreadPoolTelemetry pool;         ///< zeros when threads <= 1
   obs::MetricsSnapshot metrics;           ///< empty when observability off
+  QueryProcessor::EngineStats engine;     ///< plan/interp/vm dispatch (§16)
+  index::InvertedIndex::BlockStats postings;  ///< block-compression activity
 };
 
 class Dataspace {
@@ -183,6 +188,20 @@ class Dataspace {
   /// Sugar for Query(iql, QueryOptions{}): the classic ungoverned call.
   Result<QueryResult> Query(const std::string& iql) const;
 
+  /// --- prepared queries (DESIGN.md §16) -----------------------------------
+  /// Parses, normalizes, and compiles \p iql once into a reusable handle:
+  /// Execute(prepared) runs the full Query() path (admission, governance,
+  /// result cache, tracing) with parse + plan already paid, and
+  /// PreparedQuery::Explain() renders the stable bytecode listing.
+  /// Query(iql, options) itself is a thin Prepare + Execute wrapper, and
+  /// the result cache is keyed on the plan's canonical key, so prepared
+  /// and ad-hoc executions of the same query share cache entries.
+  Result<PreparedQuery> Prepare(const std::string& iql) const;
+
+  /// Executes a handle obtained from this dataspace's Prepare().
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const QueryOptions& options = {}) const;
+
   /// --- live queries (continuous subscriptions, DESIGN.md §14) -------------
   using SubscribeOptions = sub::SubscribeOptions;
   using ResultDelta = sub::ResultDelta;
@@ -200,6 +219,11 @@ class Dataspace {
   /// the new initial snapshot.
   Result<std::shared_ptr<sub::Subscription>> Subscribe(
       const std::string& iql, sub::SubscribeOptions options = {});
+
+  /// Same, from an already prepared handle: the compiled plan is reused
+  /// for the initial snapshot and for every maintenance recompute.
+  Result<std::shared_ptr<sub::Subscription>> Subscribe(
+      const PreparedQuery& prepared, sub::SubscribeOptions options = {});
 
   /// Closes a subscription; the handle stays drainable but receives
   /// nothing further. False for unknown ids.
@@ -229,13 +253,6 @@ class Dataspace {
   /// traces); null when Config::observability is disabled.
   obs::Observability* observability() const { return obs_.get(); }
 
-  /// DEPRECATED: thin shim over Stats().cache — prefer Stats(), which
-  /// returns all subsystem statistics in one snapshot.
-  QueryCache::Stats cache_stats() const { return cache_.stats(); }
-  /// DEPRECATED: thin shim over Stats().admission — prefer Stats().
-  AdmissionController::Stats admission_stats() const {
-    return admission_.stats();
-  }
   /// Drops all cached results (the epoch key makes this unnecessary for
   /// correctness; useful for measurements).
   void ClearQueryCache() { cache_.Clear(); }
@@ -274,8 +291,29 @@ class Dataspace {
   Status InitStorage();
 
   /// Query() body; \p root is the trace root (null when tracing is off)
-  /// that admission / parse / cache.lookup / evaluate spans attach to.
+  /// that admission / parse / plan / cache.lookup / evaluate spans attach
+  /// to.
   Result<QueryResult> QueryTraced(const std::string& iql,
+                                  const QueryOptions& options,
+                                  obs::TraceSpan* root) const;
+
+  /// Shared trace + query-metrics wrapper around one execution — used by
+  /// Query() and Execute(PreparedQuery) so both surfaces are observed
+  /// identically.
+  Result<QueryResult> TracedQuery(
+      const std::function<Result<QueryResult>(obs::TraceSpan*)>& body) const;
+
+  /// Admission gate (when configured and not bypassed). On admission
+  /// \p ticket holds the slot until the result is built; on shed returns
+  /// kResourceExhausted.
+  Status Admit(const QueryOptions& options, obs::TraceSpan* root,
+               AdmissionController::Ticket* ticket) const;
+
+  /// The tail of the query path for an already parsed + planned query:
+  /// governed evaluation plus result-cache lookup/insert keyed on the
+  /// plan's canonical key.
+  Result<QueryResult> EvalPlanned(const ::idm::iql::Query& parsed,
+                                  const PlanProgram& plan,
                                   const QueryOptions& options,
                                   obs::TraceSpan* root) const;
 

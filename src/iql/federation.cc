@@ -218,7 +218,9 @@ Result<FederatedResult> Federation::Query(const std::string& iql,
   if (cache_.enabled()) {
     auto parsed = ParseQuery(iql);
     if (parsed.ok() && IsCacheable(*parsed)) {
-      cache_key = ToString(*parsed);
+      // The same canonical key the local result cache uses (DESIGN.md
+      // §16): reordered conjuncts / set-op arms share per-peer entries.
+      cache_key = CanonicalQueryKey(*parsed);
       cacheable = true;
     }
   }

@@ -1,0 +1,44 @@
+// Lowers parsed + rule-optimized iQL (the logical algebra of ast.h) into
+// flat PlanPrograms (plan.h) for the VM. Lowering mirrors the interpreter's
+// evaluation structure exactly — serial and/or chains become accumulator
+// register chains with short-circuit jumps, pool-backed processors lower
+// multi-child and/or nodes and set-operator arms to parallel sub-programs —
+// so the VM's observable behavior (rows, scores, rule firings, governance
+// tick schedule at threads=1) is byte-identical to the tree walker's.
+
+#ifndef IDM_IQL_PLANNER_H_
+#define IDM_IQL_PLANNER_H_
+
+#include <memory>
+
+#include "iql/ast.h"
+#include "iql/plan.h"
+
+namespace idm::iql {
+
+class Planner {
+ public:
+  /// \p parallel: whether the executing processor owns a thread pool
+  /// (QueryProcessor::Options::threads > 1). The flag is static per
+  /// processor, so it is compiled into the program shape the same way the
+  /// interpreter's Parallel() check selects its evaluation structure.
+  explicit Planner(bool parallel) : parallel_(parallel) {}
+
+  /// Compiles \p query into a root program (normalized text, canonical
+  /// cache key and fingerprint filled in). Never fails: shapes the
+  /// evaluator rejects (nested join inputs, set ops over joins) lower
+  /// fine and produce the interpreter's runtime error when executed.
+  std::unique_ptr<PlanProgram> Lower(const Query& query) const;
+
+ private:
+  std::unique_ptr<PlanProgram> LowerQueryProgram(const Query& query) const;
+  std::unique_ptr<PlanProgram> LowerPredProgram(const PredNode& pred) const;
+  uint16_t LowerPred(const PredNode& pred, uint16_t universe,
+                     PlanProgram* program) const;
+
+  bool parallel_;
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_PLANNER_H_

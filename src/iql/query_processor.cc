@@ -3,14 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "index/analyzer.h"
 #include "iql/parser.h"
+#include "iql/plan.h"
+#include "iql/planner.h"
+#include "iql/vm.h"
 #include "util/string_util.h"
 
 namespace idm::iql {
@@ -874,6 +879,16 @@ QueryProcessor::QueryProcessor(const rvm::ReplicaIndexesModule* module,
                                const core::ClassRegistry* classes,
                                Clock* clock, Options options)
     : module_(module), classes_(classes), clock_(clock), options_(options) {
+  if (const char* env = std::getenv("IDM_QUERY_ENGINE"); env != nullptr) {
+    std::string name = env;
+    if (name == "interp") {
+      options_.engine = Engine::kInterp;
+    } else if (name == "vm") {
+      options_.engine = Engine::kVm;
+    } else if (name == "both") {
+      options_.engine = Engine::kBoth;
+    }
+  }
   if (options_.threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.threads);
   }
@@ -955,9 +970,153 @@ Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
 Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
                                              util::ExecContext* ctx,
                                              obs::TraceSpan* span) const {
+  switch (options_.engine) {
+    case Engine::kInterp:
+      return RunInterp(query, ctx, span);
+    case Engine::kVm:
+      return RunVm(query, nullptr, ctx, span);
+    case Engine::kBoth:
+      return RunBoth(query, nullptr, ctx, span);
+  }
+  return Status::Internal("unknown query engine");
+}
+
+Result<QueryResult> QueryProcessor::Evaluate(const Query& query,
+                                             const PlanProgram& program,
+                                             util::ExecContext* ctx,
+                                             obs::TraceSpan* span) const {
+  switch (options_.engine) {
+    case Engine::kInterp:
+      return RunInterp(query, ctx, span);
+    case Engine::kVm:
+      return RunVm(query, &program, ctx, span);
+    case Engine::kBoth:
+      return RunBoth(query, &program, ctx, span);
+  }
+  return Status::Internal("unknown query engine");
+}
+
+std::unique_ptr<PlanProgram> QueryProcessor::Plan(const Query& query) const {
+  plans_.fetch_add(1, std::memory_order_relaxed);
+  return Planner(pool_ != nullptr && pool_->size() > 0).Lower(query);
+}
+
+QueryProcessor::EngineStats QueryProcessor::engine_stats() const {
+  EngineStats stats;
+  stats.plans = plans_.load(std::memory_order_relaxed);
+  stats.interp_runs = interp_runs_.load(std::memory_order_relaxed);
+  stats.vm_runs = vm_runs_.load(std::memory_order_relaxed);
+  stats.both_runs = both_runs_.load(std::memory_order_relaxed);
+  stats.mismatches = mismatches_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Result<QueryResult> QueryProcessor::RunInterp(const Query& query,
+                                              util::ExecContext* ctx,
+                                              obs::TraceSpan* span) const {
+  interp_runs_.fetch_add(1, std::memory_order_relaxed);
   Micros start = WallNow();
   Evaluation evaluation(*this, ctx, span);
-  Result<QueryResult> run = evaluation.Run(query);
+  return Finish(evaluation.Run(query), start, ctx, span);
+}
+
+Result<QueryResult> QueryProcessor::RunVm(const Query& query,
+                                          const PlanProgram* program,
+                                          util::ExecContext* ctx,
+                                          obs::TraceSpan* span) const {
+  vm_runs_.fetch_add(1, std::memory_order_relaxed);
+  Micros start = WallNow();
+  std::unique_ptr<PlanProgram> owned;
+  if (program == nullptr) {
+    owned = Plan(query);
+    program = owned.get();
+  }
+  Vm::Env env{module_, classes_, clock_, &options_, pool_.get()};
+  return Finish(Vm::Run(env, *program, ctx, span), start, ctx, span);
+}
+
+namespace {
+
+/// Differential check for kBoth: every observable field except wall-clock
+/// time must agree. Strict mode (threads <= 1, where even governed doom
+/// points are deterministic) also compares incomplete results row-for-row;
+/// under parallel evaluation a doomed run's partial prefix depends on
+/// thread timing, so only then an incomplete pair is exempt.
+Status CompareEngines(const Result<QueryResult>& interp,
+                      const Result<QueryResult>& vm, bool strict) {
+  auto fail = [](const std::string& what) {
+    return Status::Internal("engine mismatch (interp vs vm): " + what);
+  };
+  if (interp.ok() != vm.ok()) {
+    return fail(interp.ok() ? "vm errored: " + vm.status().ToString()
+                            : "interp errored: " + interp.status().ToString());
+  }
+  if (!interp.ok()) {
+    if (interp.status().ToString() != vm.status().ToString()) {
+      return fail("errors differ: " + interp.status().ToString() + " vs " +
+                  vm.status().ToString());
+    }
+    return Status::OK();
+  }
+  const QueryResult& a = *interp;
+  const QueryResult& b = *vm;
+  if (!strict && (!a.meta.complete || !b.meta.complete)) return Status::OK();
+  if (a.meta.complete != b.meta.complete) return fail("meta.complete");
+  if (a.columns != b.columns) return fail("columns");
+  if (a.rows != b.rows) {
+    std::ostringstream os;
+    os << "rows (" << a.rows.size() << " vs " << b.rows.size() << ")";
+    return fail(os.str());
+  }
+  if (a.scores != b.scores) return fail("scores");
+  if (a.expanded_views != b.expanded_views) return fail("expanded_views");
+  if (a.plan != b.plan) {
+    return fail("plan: \"" + a.plan + "\" vs \"" + b.plan + "\"");
+  }
+  if (a.probes.name_lookups != b.probes.name_lookups ||
+      a.probes.content_phrases != b.probes.content_phrases ||
+      a.probes.tuple_scans != b.probes.tuple_scans ||
+      a.probes.graph_walks != b.probes.graph_walks) {
+    return fail("probe counts");
+  }
+  if (strict && a.meta.steps_used != b.meta.steps_used) {
+    std::ostringstream os;
+    os << "steps_used (" << a.meta.steps_used << " vs " << b.meta.steps_used
+       << ")";
+    return fail(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryResult> QueryProcessor::RunBoth(const Query& query,
+                                            const PlanProgram* program,
+                                            util::ExecContext* ctx,
+                                            obs::TraceSpan* span) const {
+  both_runs_.fetch_add(1, std::memory_order_relaxed);
+  // The interpreter is the primary: it gets the caller's context and span,
+  // and its result (or error) is what the caller sees. The VM runs second
+  // under a fresh context with the same clock and limits — at threads = 1
+  // both engines issue identical tick sequences, so even §10 degraded
+  // prefixes must match byte-for-byte.
+  Result<QueryResult> interp = RunInterp(query, ctx, span);
+  std::unique_ptr<util::ExecContext> vm_ctx;
+  if (ctx != nullptr) {
+    vm_ctx = std::make_unique<util::ExecContext>(ctx->clock(), ctx->limits());
+  }
+  Result<QueryResult> vm = RunVm(query, program, vm_ctx.get(), nullptr);
+  Status diff = CompareEngines(interp, vm, options_.threads <= 1);
+  if (!diff.ok()) {
+    mismatches_.fetch_add(1, std::memory_order_relaxed);
+    return diff;
+  }
+  return interp;
+}
+
+Result<QueryResult> QueryProcessor::Finish(Result<QueryResult> run,
+                                           Micros start, util::ExecContext* ctx,
+                                           obs::TraceSpan* span) const {
   if (!run.ok()) {
     // A genuine evaluation error while the family was doomed is still an
     // error; governance never hides real failures.

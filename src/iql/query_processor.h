@@ -32,6 +32,8 @@
 #ifndef IDM_IQL_QUERY_PROCESSOR_H_
 #define IDM_IQL_QUERY_PROCESSOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +49,8 @@
 #include "util/thread_pool.h"
 
 namespace idm::iql {
+
+struct PlanProgram;  // iql/plan.h
 
 /// Result of one query. Unary queries (paths, filters, unions) produce
 /// one-column rows; joins produce one column per binding.
@@ -76,6 +80,13 @@ class QueryProcessor {
     kBackward,  ///< always BFS up from the candidates
   };
 
+  /// Which execution engine evaluates queries (DESIGN.md §16).
+  enum class Engine {
+    kInterp,  ///< tree-walking interpreter (the original evaluator)
+    kVm,      ///< planner + bytecode VM over batched postings (default)
+    kBoth,    ///< run both, assert byte-identical results (differential)
+  };
+
   struct Options {
     /// Cap on nodes touched by forward expansion per step.
     size_t max_expansion = 5U << 20;
@@ -92,6 +103,9 @@ class QueryProcessor {
     /// Minimum items per chunk before an element-wise scan is split
     /// across the pool (fan-out overhead guard).
     size_t min_parallel_chunk = 256;
+    /// Execution engine. The IDM_QUERY_ENGINE environment variable
+    /// ("interp" | "vm" | "both") overrides this at construction time.
+    Engine engine = Engine::kVm;
   };
 
   /// All pointers must outlive the processor. \p clock provides now() /
@@ -123,7 +137,31 @@ class QueryProcessor {
   Result<QueryResult> Evaluate(const Query& query, util::ExecContext* ctx,
                                obs::TraceSpan* span) const;
 
+  /// Compiles \p query into a bytecode program (iql/plan.h): normalized
+  /// text, canonical cache key, fingerprint and ops. Deterministic — the
+  /// same query and processor configuration always produce the same
+  /// program, so callers (PreparedQuery, the subscription engine) may plan
+  /// once and execute many times.
+  std::unique_ptr<PlanProgram> Plan(const Query& query) const;
+
+  /// Evaluates a pre-compiled \p program for \p query, honoring the
+  /// engine option exactly like the plain overload (the interpreter path
+  /// still walks \p query; the VM path executes \p program).
+  Result<QueryResult> Evaluate(const Query& query, const PlanProgram& program,
+                               util::ExecContext* ctx,
+                               obs::TraceSpan* span) const;
+
   const Options& options() const { return options_; }
+
+  /// Engine-dispatch counters (cumulative since construction).
+  struct EngineStats {
+    uint64_t plans = 0;        ///< programs compiled by Plan()
+    uint64_t interp_runs = 0;  ///< interpreter evaluations
+    uint64_t vm_runs = 0;      ///< VM evaluations
+    uint64_t both_runs = 0;    ///< differential double-evaluations
+    uint64_t mismatches = 0;   ///< divergences detected in kBoth mode
+  };
+  EngineStats engine_stats() const;
 
   /// True when \p query is a pure keyword/phrase filter, i.e. one that
   /// gets tf-idf relevance ranking: its row *order* depends on corpus-wide
@@ -149,11 +187,31 @@ class QueryProcessor {
  private:
   class Evaluation;
 
+  /// The three engine paths behind Evaluate(): RunInterp walks the tree,
+  /// RunVm executes \p program (compiling on the spot when null), RunBoth
+  /// runs both and compares. All share the Finish() epilogue.
+  Result<QueryResult> RunInterp(const Query& query, util::ExecContext* ctx,
+                                obs::TraceSpan* span) const;
+  Result<QueryResult> RunVm(const Query& query, const PlanProgram* program,
+                            util::ExecContext* ctx,
+                            obs::TraceSpan* span) const;
+  Result<QueryResult> RunBoth(const Query& query, const PlanProgram* program,
+                              util::ExecContext* ctx,
+                              obs::TraceSpan* span) const;
+  Result<QueryResult> Finish(Result<QueryResult> run, Micros start,
+                             util::ExecContext* ctx,
+                             obs::TraceSpan* span) const;
+
   const rvm::ReplicaIndexesModule* module_;
   const core::ClassRegistry* classes_;
   Clock* clock_;
   Options options_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads <= 1
+  mutable std::atomic<uint64_t> plans_{0};
+  mutable std::atomic<uint64_t> interp_runs_{0};
+  mutable std::atomic<uint64_t> vm_runs_{0};
+  mutable std::atomic<uint64_t> both_runs_{0};
+  mutable std::atomic<uint64_t> mismatches_{0};
 };
 
 }  // namespace idm::iql

@@ -1,0 +1,46 @@
+// Bytecode VM (DESIGN.md §16): executes the PlanPrograms the Planner
+// lowers, vector-at-a-time — every register holds one batch of sorted
+// candidate view ids, shared (not copied) between ops that merely forward
+// it. The VM is behavior-compatible with the tree-walking interpreter by
+// construction: governed runs issue the same index calls with the same
+// ExecContext in the same order (identical tick schedule and §10 prefix
+// degradation at threads = 1), parallel sub-programs fan out over the same
+// pool with the same input-order merges, and rule/probe/span bookkeeping
+// matches the interpreter's names. Ungoverned runs take the fast lane:
+// phrase predicates are answered from the inverted index's block-compressed
+// postings (skip-pointer intersection, positions decoded only for
+// survivors) instead of full posting-list decodes.
+
+#ifndef IDM_IQL_VM_H_
+#define IDM_IQL_VM_H_
+
+#include "iql/plan.h"
+#include "iql/query_processor.h"
+#include "obs/trace.h"
+#include "util/exec_context.h"
+
+namespace idm::iql {
+
+class Vm {
+ public:
+  /// Everything a program needs to execute; all pointers must outlive the
+  /// call (they are the owning QueryProcessor's own members).
+  struct Env {
+    const rvm::ReplicaIndexesModule* module;
+    const core::ClassRegistry* classes;
+    Clock* clock;
+    const QueryProcessor::Options* options;
+    util::ThreadPool* pool;  ///< null when threads <= 1
+  };
+
+  /// Runs the root \p program. Like Evaluation::Run this returns the raw
+  /// result — elapsed time, governance meta and root span attributes are
+  /// filled in by QueryProcessor::Evaluate's shared epilogue.
+  static Result<QueryResult> Run(const Env& env, const PlanProgram& program,
+                                 util::ExecContext* ctx,
+                                 obs::TraceSpan* span);
+};
+
+}  // namespace idm::iql
+
+#endif  // IDM_IQL_VM_H_

@@ -128,16 +128,31 @@ struct Orchestrator::RunState {
   util::ThreadPool* pool = nullptr;
   uint64_t step_limit = 0;
   SimClock* clock = nullptr;
+  /// Catalog queries prepared once per run (parse + plan paid at ingest,
+  /// not per issued op) — the Prepare/Execute pattern from DESIGN.md §16.
+  std::vector<iql::PreparedQuery> prepared;
 
   explicit RunState(VirtualAdmissionGate::Options gate_options)
       : gate(gate_options) {}
+
+  void PrepareCatalog() {
+    prepared.clear();
+    prepared.reserve(QueryCatalog().size());
+    for (const CatalogQuery& entry : QueryCatalog()) {
+      auto handle = subs.ds->Prepare(entry.iql);
+      prepared.push_back(handle.ok() ? *std::move(handle)
+                                     : iql::PreparedQuery());
+    }
+  }
 
   QueryOutcome RunQuery(const Op& op) const {
     QueryOutcome outcome;
     iql::QueryOptions options;
     if (step_limit > 0) options.limits.max_steps = step_limit;
-    auto result = subs.ds->Query(QueryCatalog()[op.query_index].iql,
-                                 options);
+    Result<iql::QueryResult> result =
+        op.query_index < prepared.size() && prepared[op.query_index].valid()
+            ? prepared[op.query_index].Execute(options)
+            : subs.ds->Query(QueryCatalog()[op.query_index].iql, options);
     if (!result.ok()) {
       outcome.failed = true;
       return outcome;
@@ -205,6 +220,7 @@ Status Orchestrator::RunIngestPhase(const WorkloadSpec& spec,
   }
 
   state->subs = {ds_.get(), fs_.get(), imap_.get(), feed_.get()};
+  state->PrepareCatalog();
   report->sim_end = clock->NowMicros();
   return Status::OK();
 }

@@ -26,6 +26,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kResourceExhausted: return "resource exhausted";
     case StatusCode::kCancelled: return "cancelled";
     case StatusCode::kDataLoss: return "data loss";
+    case StatusCode::kInternal: return "internal";
   }
   return "unknown";
 }

@@ -35,6 +35,9 @@ enum class StatusCode : int {
   kDataLoss = 14,         ///< bytes verified corrupt (CRC/seal failure);
                           ///< permanent — retrying rereads the same damage;
                           ///< repair (quarantine + re-fetch) is the recovery
+  kInternal = 15,         ///< invariant violation inside the system itself
+                          ///< (e.g. engine differential mismatch); a bug,
+                          ///< not a caller or environment problem
 };
 
 /// Returns the canonical lower-case name of a code, e.g. "invalid argument".
@@ -106,6 +109,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -79,8 +79,8 @@ TEST_F(GovernanceTest, DeadlineYieldsUncachedPrefixPartialResult) {
   EXPECT_GE(ds_->clock()->NowMicros() - before, 50000);
 
   // The partial result must not have been admitted into the query cache.
-  EXPECT_EQ(ds_->cache_stats().entries, 0u);
-  EXPECT_EQ(ds_->cache_stats().hits, 0u);
+  EXPECT_EQ(ds_->Stats().cache.entries, 0u);
+  EXPECT_EQ(ds_->Stats().cache.hits, 0u);
 
   // The ungoverned run evaluates from scratch and is complete...
   auto full = ds_->Query(q);
@@ -95,7 +95,7 @@ TEST_F(GovernanceTest, DeadlineYieldsUncachedPrefixPartialResult) {
   // the full answer, not the prefix.
   auto again = ds_->Query(q);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(ds_->cache_stats().hits, 1u);
+  EXPECT_EQ(ds_->Stats().cache.hits, 1u);
   EXPECT_TRUE(again->meta.complete);
   EXPECT_EQ(again->size(), full->size());
 }
@@ -235,14 +235,14 @@ TEST(AdmissionDataspaceTest, QueuedQueriesAllCompleteUnderConcurrency) {
   }
   for (std::thread& client : clients) client.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_GE(ds.admission_stats().admitted, 6u);
-  EXPECT_EQ(ds.admission_stats().running, 0u);
+  EXPECT_GE(ds.Stats().admission.admitted, 6u);
+  EXPECT_EQ(ds.Stats().admission.running, 0u);
 
   // Internal/maintenance traffic can bypass the gate.
   Dataspace::QueryOptions bypass;
   bypass.bypass_admission = true;
   ASSERT_TRUE(ds.Query("//doc*", bypass).ok());
-  EXPECT_GE(ds.admission_stats().admitted, 6u);
+  EXPECT_GE(ds.Stats().admission.admitted, 6u);
 }
 
 // --- governed federation ---------------------------------------------------

@@ -207,7 +207,7 @@ TEST_F(ParallelDifferentialTest, CacheOnMatchesCacheOff) {
     ASSERT_TRUE(replay.ok()) << query;
     ExpectSameResult(*fresh, *replay, query, /*threads=*/1);
   }
-  EXPECT_GT(ds_->cache_stats().hits, 0u);
+  EXPECT_GT(ds_->Stats().cache.hits, 0u);
 
   // And against a cache-off dataspace view: clear, re-ask, compare.
   ds_->ClearQueryCache();

@@ -1,0 +1,660 @@
+// Differential tests for the compiled query engine (DESIGN.md §16).
+//
+// Contract under test: the bytecode VM is byte-identical to the
+// tree-walking interpreter on every observable surface — columns, rows
+// (order included), tf-idf scores (bitwise), expanded_views, probe
+// counts, the plan/rule annotation, and (at threads = 1) even the
+// governed step schedule and §10 degraded partial-result prefixes.
+// Coverage: the Table 4 analog catalog, a seeded random query generator
+// over the workload vocabulary (the fuzz corpus), thread counts 1/2/4/8,
+// cache on/off, and step budgets.
+//
+// The suite also pins the Prepare/Explain handle API: golden Explain()
+// listings for the Table 4 shapes, plan-keyed result-cache sharing across
+// reordered conjuncts (the §16 cache-key fix), and the PreparedQuery
+// lifecycle.
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/inverted_index.h"
+#include "iql/dataspace.h"
+#include "iql/parser.h"
+#include "iql/plan.h"
+#include "iql/prepared_query.h"
+#include "iql/query_processor.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace idm::iql {
+namespace {
+
+using Engine = QueryProcessor::Engine;
+
+/// Pins (or clears) IDM_QUERY_ENGINE for a scope, so the suite asserts the
+/// same engine behavior regardless of how the outer ctest run sweeps the
+/// environment knob.
+class EngineEnvGuard {
+ public:
+  explicit EngineEnvGuard(const char* value) {
+    const char* old = std::getenv("IDM_QUERY_ENGINE");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    if (value == nullptr) {
+      unsetenv("IDM_QUERY_ENGINE");
+    } else {
+      setenv("IDM_QUERY_ENGINE", value, 1);
+    }
+  }
+  ~EngineEnvGuard() {
+    if (had_) {
+      setenv("IDM_QUERY_ENGINE", saved_.c_str(), 1);
+    } else {
+      unsetenv("IDM_QUERY_ENGINE");
+    }
+  }
+  EngineEnvGuard(const EngineEnvGuard&) = delete;
+  EngineEnvGuard& operator=(const EngineEnvGuard&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+/// The Table 4 analog queries (same strings as bench/harness.cc and
+/// loadgen's QueryCatalog).
+const std::vector<std::string>& Table4Queries() {
+  static const std::vector<std::string> kQueries = {
+      "\"database\"",
+      "\"database tuning\"",
+      "[size > 420000 and lastmodified < @12.06.2005]",
+      "//papers//*Vision/*[\"Franklin\"]",
+      "//VLDB200?//?onclusion*/*[\"systems\"]",
+      "union( //VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])",
+      "join( //VLDB2006//*[class=\"texref\"] as A, "
+      "//VLDB2006//*[class=\"environment\"]//figure* as B, "
+      "A.name=B.tuple.label)",
+      "join ( //*[class = \"emailmessage\"]//*.tex as A, "
+      "//papers//*.tex as B, A.name = B.name )",
+  };
+  return kQueries;
+}
+
+/// Extra shapes that reach operators the Table 4 mix misses.
+const std::vector<std::string>& ExtraQueries() {
+  static const std::vector<std::string> kQueries = {
+      "\"systems\"",
+      "//papers//*.tex",
+      "//*[class=\"latex_section\"]",
+      "[size > 1000 and size < 40000]",
+      "//*[name=\"*.tex\" and not \"Franklin\"]",
+      "//*[\"database\" or \"systems\"]",
+      "//*[\"database\" and \"tuning\" and \"systems\"]",
+      "intersect(\"database\", \"systems\")",
+      "except(\"database\", \"tuning\")",
+      "intersect(//papers//*, union(\"database\", \"systems\"))",
+      "//INBOX//*",
+  };
+  return kQueries;
+}
+
+// --- seeded random query generator (the fuzz grammar) ----------------------
+// Vocabulary drawn from the workload generator's corpus so predicates hit
+// real postings, names, classes, and attributes.
+
+std::string RandomWord(Rng* rng) {
+  static const char* kWords[] = {"database", "systems",   "tuning",
+                                 "indexing", "documents", "Franklin",
+                                 "vision",   "query",     "processing"};
+  return kWords[rng->Uniform(sizeof(kWords) / sizeof(kWords[0]))];
+}
+
+std::string RandomPhrase(Rng* rng) {
+  std::string out = RandomWord(rng);
+  if (rng->Uniform(3) == 0) out += " " + RandomWord(rng);
+  return "\"" + out + "\"";
+}
+
+std::string RandomName(Rng* rng) {
+  static const char* kNames[] = {"*",         "papers",   "*.tex",
+                                 "VLDB200?",  "figure*",  "INBOX",
+                                 "*Vision",   "?onclusion*"};
+  return kNames[rng->Uniform(sizeof(kNames) / sizeof(kNames[0]))];
+}
+
+std::string RandomClass(Rng* rng) {
+  static const char* kClasses[] = {"latex_section", "emailmessage", "texref",
+                                   "environment", "file"};
+  return kClasses[rng->Uniform(sizeof(kClasses) / sizeof(kClasses[0]))];
+}
+
+std::string RandomPred(Rng* rng, int depth) {
+  switch (rng->Uniform(depth >= 2 ? 5 : 7)) {
+    case 0:
+      return RandomPhrase(rng);
+    case 1:
+      return "size > " + std::to_string(100 + rng->Uniform(50000));
+    case 2:
+      return "class=\"" + RandomClass(rng) + "\"";
+    case 3:
+      return "name=\"" + RandomName(rng) + "\"";
+    case 4:
+      return "lastmodified < @12.06.2005";
+    case 5: {
+      const char* op = rng->Uniform(2) == 0 ? " and " : " or ";
+      std::string out = RandomPred(rng, depth + 1);
+      size_t n = 1 + rng->Uniform(2);
+      for (size_t i = 0; i < n; ++i) out += op + RandomPred(rng, depth + 1);
+      return out;
+    }
+    default:
+      return "not " + RandomPred(rng, depth + 1);
+  }
+}
+
+std::string RandomPath(Rng* rng) {
+  std::string out;
+  size_t steps = 1 + rng->Uniform(3);
+  for (size_t i = 0; i < steps; ++i) {
+    out += (i == 0 || rng->Uniform(2) == 0) ? "//" : "/";
+    out += RandomName(rng);
+    if (rng->Uniform(3) == 0) out += "[" + RandomPred(rng, 1) + "]";
+  }
+  return out;
+}
+
+std::string RandomQuery(Rng* rng, int depth) {
+  switch (rng->Uniform(depth >= 1 ? 2 : 4)) {
+    case 0:
+      return "[" + RandomPred(rng, 0) + "]";
+    case 1:
+      return RandomPath(rng);
+    case 2: {
+      static const char* kOps[] = {"union", "intersect", "except"};
+      return std::string(kOps[rng->Uniform(3)]) + "(" +
+             RandomQuery(rng, depth + 1) + ", " + RandomQuery(rng, depth + 1) +
+             ")";
+    }
+    default:
+      return "join(" + RandomPath(rng) + " as A, " + RandomPath(rng) +
+             " as B, A.name=B.name)";
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+class VmDifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Pin the shared dataspace to the VM engine so cache / prepared /
+    // golden assertions are stable under outer IDM_QUERY_ENGINE sweeps.
+    EngineEnvGuard guard("vm");
+    ds_ = new Dataspace();
+    workload::BuiltDataspace built =
+        workload::Generate(workload::DataspaceSpec::Small(), ds_->clock());
+    built_ = new workload::BuiltDataspace(std::move(built));
+    ASSERT_TRUE(ds_->AddFileSystem("Filesystem", built_->fs).ok());
+    ASSERT_TRUE(ds_->AddImap("Email / IMAP", built_->imap).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete built_;
+    built_ = nullptr;
+    delete ds_;
+    ds_ = nullptr;
+  }
+
+  static std::unique_ptr<QueryProcessor> MakeProcessor(size_t threads,
+                                                       Engine engine) {
+    EngineEnvGuard guard(nullptr);  // the explicit option must win
+    QueryProcessor::Options options;
+    options.engine = engine;
+    options.threads = threads;
+    // Force chunked scans onto the pool even at Small scale.
+    options.min_parallel_chunk = threads > 1 ? 8 : 256;
+    return std::make_unique<QueryProcessor>(&ds_->module(), &ds_->classes(),
+                                            ds_->clock(), options);
+  }
+
+  static void ExpectSameResult(const QueryResult& interp,
+                               const QueryResult& vm, const std::string& query,
+                               size_t threads) {
+    SCOPED_TRACE("query=" + query + " threads=" + std::to_string(threads));
+    EXPECT_EQ(interp.columns, vm.columns);
+    EXPECT_EQ(interp.rows, vm.rows);  // order included
+    EXPECT_EQ(interp.scores, vm.scores);  // bitwise: same accumulation order
+    EXPECT_EQ(interp.expanded_views, vm.expanded_views);
+    EXPECT_EQ(interp.plan, vm.plan);  // includes the [rules: ...] ledger
+    EXPECT_EQ(interp.probes.name_lookups, vm.probes.name_lookups);
+    EXPECT_EQ(interp.probes.content_phrases, vm.probes.content_phrases);
+    EXPECT_EQ(interp.probes.tuple_scans, vm.probes.tuple_scans);
+    EXPECT_EQ(interp.probes.graph_walks, vm.probes.graph_walks);
+  }
+
+  static Dataspace* ds_;
+  static workload::BuiltDataspace* built_;
+};
+
+Dataspace* VmDifferentialTest::ds_ = nullptr;
+workload::BuiltDataspace* VmDifferentialTest::built_ = nullptr;
+
+// --- engine differential ----------------------------------------------------
+
+TEST_F(VmDifferentialTest, VmMatchesInterpOnCatalogAllThreadCounts) {
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    std::unique_ptr<QueryProcessor> interp =
+        MakeProcessor(threads, Engine::kInterp);
+    std::unique_ptr<QueryProcessor> vm = MakeProcessor(threads, Engine::kVm);
+    for (const auto& queries : {Table4Queries(), ExtraQueries()}) {
+      for (const std::string& query : queries) {
+        Result<QueryResult> a = interp->Execute(query);
+        Result<QueryResult> b = vm->Execute(query);
+        ASSERT_EQ(a.ok(), b.ok()) << query;
+        if (!a.ok()) continue;
+        ExpectSameResult(*a, *b, query, threads);
+      }
+    }
+    EXPECT_GT(interp->engine_stats().interp_runs, 0u);
+    EXPECT_GT(vm->engine_stats().vm_runs, 0u);
+    EXPECT_EQ(vm->engine_stats().interp_runs, 0u);
+  }
+}
+
+TEST_F(VmDifferentialTest, FuzzGeneratedQueriesAgree) {
+  size_t parsed_count = 0;
+  for (size_t threads : {1u, 4u}) {
+    std::unique_ptr<QueryProcessor> interp =
+        MakeProcessor(threads, Engine::kInterp);
+    std::unique_ptr<QueryProcessor> vm = MakeProcessor(threads, Engine::kVm);
+    Rng rng(0xC0FFEE ^ threads);
+    for (int i = 0; i < 150; ++i) {
+      std::string text = RandomQuery(&rng, 0);
+      SCOPED_TRACE("fuzz[" + std::to_string(i) + "] " + text);
+      Result<Query> query = ParseQuery(text);
+      if (!query.ok()) continue;  // generator can overrun parser limits
+      ++parsed_count;
+      Result<QueryResult> a = interp->Evaluate(*query);
+      Result<QueryResult> b = vm->Evaluate(*query);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (!a.ok()) {
+        EXPECT_EQ(a.status().ToString(), b.status().ToString());
+        continue;
+      }
+      ExpectSameResult(*a, *b, text, threads);
+    }
+  }
+  EXPECT_GT(parsed_count, 200u);  // the grammar must mostly parse
+}
+
+TEST_F(VmDifferentialTest, GovernedStepBudgetsDegradeIdentically) {
+  // At threads = 1 the engines issue identical tick sequences, so the
+  // doom point — and therefore the §10 degraded partial-result prefix and
+  // the step counter — must match exactly, for every budget.
+  std::unique_ptr<QueryProcessor> interp = MakeProcessor(1, Engine::kInterp);
+  std::unique_ptr<QueryProcessor> vm = MakeProcessor(1, Engine::kVm);
+  for (uint64_t budget : {1u, 7u, 33u, 250u, 5000u}) {
+    for (const std::string& query : Table4Queries()) {
+      SCOPED_TRACE("budget=" + std::to_string(budget) + " query=" + query);
+      util::ExecContext::Limits limits;
+      limits.max_steps = budget;
+      util::ExecContext actx(ds_->clock(), limits);
+      util::ExecContext bctx(ds_->clock(), limits);
+      Result<QueryResult> a = interp->Execute(query, &actx);
+      Result<QueryResult> b = vm->Execute(query, &bctx);
+      ASSERT_EQ(a.ok(), b.ok());
+      if (!a.ok()) continue;
+      EXPECT_EQ(a->meta.complete, b->meta.complete);
+      EXPECT_EQ(a->meta.steps_used, b->meta.steps_used);
+      EXPECT_EQ(a->rows, b->rows);  // identical degraded prefix
+      EXPECT_EQ(a->scores, b->scores);
+    }
+  }
+}
+
+TEST_F(VmDifferentialTest, BothModeAssertsAgreementInline) {
+  std::unique_ptr<QueryProcessor> both = MakeProcessor(1, Engine::kBoth);
+  for (const std::string& query : Table4Queries()) {
+    Result<QueryResult> result = both->Execute(query);
+    EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  }
+  // Governed both-mode: the comparator also checks degraded prefixes.
+  util::ExecContext::Limits limits;
+  limits.max_steps = 40;
+  util::ExecContext ctx(ds_->clock(), limits);
+  Result<QueryResult> governed = both->Execute("\"database\"", &ctx);
+  ASSERT_TRUE(governed.ok()) << governed.status().ToString();
+  QueryProcessor::EngineStats stats = both->engine_stats();
+  EXPECT_GT(stats.both_runs, 0u);
+  EXPECT_EQ(stats.mismatches, 0u);
+}
+
+TEST_F(VmDifferentialTest, EngineKnobSelectsEngine) {
+  {
+    std::unique_ptr<QueryProcessor> p = MakeProcessor(1, Engine::kInterp);
+    ASSERT_TRUE(p->Execute("\"database\"").ok());
+    EXPECT_EQ(p->engine_stats().interp_runs, 1u);
+    EXPECT_EQ(p->engine_stats().vm_runs, 0u);
+  }
+  {
+    std::unique_ptr<QueryProcessor> p = MakeProcessor(1, Engine::kVm);
+    ASSERT_TRUE(p->Execute("\"database\"").ok());
+    EXPECT_EQ(p->engine_stats().vm_runs, 1u);
+    EXPECT_EQ(p->engine_stats().interp_runs, 0u);
+    EXPECT_GT(p->engine_stats().plans, 0u);
+  }
+  {
+    // The environment overrides the option at construction time.
+    EngineEnvGuard guard("interp");
+    QueryProcessor::Options options;
+    options.engine = Engine::kVm;
+    QueryProcessor p(&ds_->module(), &ds_->classes(), ds_->clock(), options);
+    ASSERT_TRUE(p.Execute("\"database\"").ok());
+    EXPECT_EQ(p.engine_stats().interp_runs, 1u);
+    EXPECT_EQ(p.engine_stats().vm_runs, 0u);
+  }
+}
+
+// --- block-compressed postings ---------------------------------------------
+
+TEST_F(VmDifferentialTest, BlockedPostingsMatchGovernedScans) {
+  const index::InvertedIndex& content = ds_->module().content();
+  for (const char* term : {"database", "systems", "tuning", "nosuchterm"}) {
+    SCOPED_TRACE(term);
+    EXPECT_EQ(content.TermDocs(term), content.TermQuery(term));
+  }
+  EXPECT_EQ(content.AndDocs({"database", "tuning"}),
+            content.AndQuery({"database", "tuning"}));
+  EXPECT_EQ(content.AndDocs({"database", "systems", "tuning"}),
+            content.AndQuery({"database", "systems", "tuning"}));
+  for (const char* phrase :
+       {"database tuning", "database systems", "the", "no such phrase here"}) {
+    SCOPED_TRACE(phrase);
+    EXPECT_EQ(content.PhraseDocs(phrase), content.PhraseQuery(phrase));
+  }
+  for (const char* term : {"database", "systems", "nosuchterm"}) {
+    SCOPED_TRACE(term);
+    EXPECT_EQ(content.TermTfDocs(term), content.TermQueryWithTf(term));
+  }
+  index::InvertedIndex::BlockStats stats = content.block_stats();
+  EXPECT_GT(stats.built_lists, 0u);
+  // The acceptance bound: block-accelerated postings must not cost more
+  // memory than the uncompressed (docid + position arrays) baseline.
+  EXPECT_LE(content.CompressedPostingsBytes(),
+            content.UncompressedPostingsBytes());
+}
+
+// --- plan-keyed result cache (the §16 cache-key fix) -----------------------
+
+TEST_F(VmDifferentialTest, ReorderedConjunctsShareOneCacheEntry) {
+  // Two spellings of the Table 4 Q3 analog: same conjunction, reordered.
+  const std::string spelling_a =
+      "[size > 420001 and lastmodified < @12.06.2005]";
+  const std::string spelling_b =
+      "[lastmodified < @12.06.2005 and size > 420001]";
+  QueryCache::Stats before = ds_->Stats().cache;
+  Result<QueryResult> a = ds_->Query(spelling_a);
+  Result<QueryResult> b = ds_->Query(spelling_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows, b->rows);
+  QueryCache::Stats after = ds_->Stats().cache;
+  EXPECT_EQ(after.misses, before.misses + 1);  // only the first evaluated
+  EXPECT_EQ(after.hits, before.hits + 1);      // the reordering hit
+  EXPECT_EQ(b->elapsed_micros, 0);             // served from cache
+}
+
+TEST_F(VmDifferentialTest, ReorderedSetOpArmsShareOneCacheEntry) {
+  const std::string spelling_a =
+      "union(//VLDB2005//*[\"documents\"], //VLDB2006//*[\"documents\"])";
+  const std::string spelling_b =
+      "union(//VLDB2006//*[\"documents\"], //VLDB2005//*[\"documents\"])";
+  QueryCache::Stats before = ds_->Stats().cache;
+  Result<QueryResult> a = ds_->Query(spelling_a);
+  Result<QueryResult> b = ds_->Query(spelling_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->rows, b->rows);
+  QueryCache::Stats after = ds_->Stats().cache;
+  EXPECT_EQ(after.hits, before.hits + 1);
+}
+
+TEST_F(VmDifferentialTest, CanonicalKeysDistinguishNonEquivalentQueries) {
+  auto key = [](const std::string& text) {
+    Result<Query> query = ParseQuery(text);
+    EXPECT_TRUE(query.ok()) << text;
+    return CanonicalQueryKey(*query);
+  };
+  // Commutative reorderings collapse...
+  EXPECT_EQ(key("[\"database\" and \"tuning\"]"),
+            key("[\"tuning\" and \"database\"]"));
+  EXPECT_EQ(key("intersect(\"a b\", \"c\")"), key("intersect(\"c\", \"a b\")"));
+  // ...but except arms beyond the first, and join input order, must not.
+  EXPECT_NE(key("except(\"database\", \"tuning\")"),
+            key("except(\"tuning\", \"database\")"));
+  EXPECT_NE(key("[\"database\" or \"tuning\"]"),
+            key("[\"database\" and \"tuning\"]"));
+}
+
+// --- PreparedQuery lifecycle -----------------------------------------------
+
+TEST_F(VmDifferentialTest, PreparedQueryExecutesLikeQuery) {
+  Result<PreparedQuery> prepared = ds_->Prepare("//papers//*.tex");
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->valid());
+  Result<QueryResult> via_handle = prepared->Execute();
+  Result<QueryResult> via_text = ds_->Query("//papers//*.tex");
+  ASSERT_TRUE(via_handle.ok() && via_text.ok());
+  EXPECT_EQ(via_handle->rows, via_text->rows);
+  EXPECT_EQ(prepared->fingerprint(), Fingerprint64(prepared->cache_key()));
+  EXPECT_EQ(prepared->normalized(), "//papers//*.tex");
+  // Prepared and ad-hoc executions share cache entries (plan-keyed).
+  QueryCache::Stats before = ds_->Stats().cache;
+  ASSERT_TRUE(prepared->Execute().ok());
+  EXPECT_EQ(ds_->Stats().cache.hits, before.hits + 1);
+  // The footprint names what the query reads (scoped: name patterns).
+  sub::Footprint footprint = prepared->Footprint();
+  EXPECT_TRUE(footprint.scoped());
+  EXPECT_FALSE(footprint.patterns.empty());
+}
+
+TEST_F(VmDifferentialTest, PreparedQueryRejectsMisuse) {
+  PreparedQuery empty;
+  EXPECT_FALSE(empty.valid());
+  EXPECT_FALSE(empty.Execute().ok());
+  EXPECT_FALSE(ds_->Execute(empty).ok());
+  // A handle from one dataspace cannot execute against another.
+  Dataspace other;
+  Result<PreparedQuery> prepared = other.Prepare("\"database\"");
+  ASSERT_TRUE(prepared.ok());
+  Result<QueryResult> cross = ds_->Execute(*prepared);
+  EXPECT_FALSE(cross.ok());
+  // Parse errors surface at Prepare, not Execute.
+  EXPECT_FALSE(ds_->Prepare("union(").ok());
+}
+
+TEST_F(VmDifferentialTest, SubscribeAcceptsPreparedQuery) {
+  Dataspace local;
+  Result<PreparedQuery> prepared = local.Prepare("\"database\"");
+  ASSERT_TRUE(prepared.ok());
+  auto subscription = local.Subscribe(*prepared);
+  ASSERT_TRUE(subscription.ok());
+  EXPECT_TRUE(local.Unsubscribe((*subscription)->id()));
+}
+
+// --- Explain goldens --------------------------------------------------------
+
+// Golden Explain() listings for every Table 4 shape. The fixture pins the
+// engine to "vm" and the dataspace processor is serial (threads = 1), so
+// the plan shape — and the FNV-1a fingerprint of the canonical key — is
+// stable across platforms. Goldens index into Table4Queries() by position.
+TEST_F(VmDifferentialTest, ExplainGoldensForTable4Shapes) {
+  const std::vector<std::string> kGoldens = {
+      // Q1: ranked keyword.
+      R"(query: "database"
+key: filter:"database"
+fingerprint: 0x6f7df765cda280be
+engine: vm
+program: filter regs=2 ranked
+  0: r0 = live
+  1: r1 = phrase "database" & r0
+  2: materialize r1 governed
+  3: rank-or-clear
+)",
+      // Q2: ranked phrase.
+      R"(query: "database tuning"
+key: filter:"database tuning"
+fingerprint: 0x83b36aafeff805d9
+engine: vm
+program: filter regs=2 ranked
+  0: r0 = live
+  1: r1 = phrase "database tuning" & r0
+  2: materialize r1 governed
+  3: rank-or-clear
+)",
+      // Q3: attribute conjunction — note the canonical key sorts the
+      // conjuncts, and the program short-circuits via if-empty.
+      R"(query: (size > 420000 and lastmodified < @12.06.2005)
+key: filter:and(lastmodified < @12.06.2005, size > 420000)
+fingerprint: 0xc0a6c0eff7924f5f
+engine: vm
+program: filter regs=4
+  0: r0 = live
+  1: r1 = r0
+  2: r2 = tuple-scan size > 420000 & r1
+  3: r1 = r2
+  4: if-empty r1 goto 7
+  5: r3 = tuple-scan lastmodified < 12/06/2005 00:00 & r1
+  6: r1 = r3
+  7: materialize r1 governed
+)",
+      // Q4: path with descendant, child step, and phrase predicate.
+      R"(query: //papers//*Vision/*["Franklin"]
+key: path://papers//*Vision/*["Franklin"]
+fingerprint: 0x9b4cd29a39c5c62b
+engine: vm
+program: path regs=5
+  0: r1 = name-match "papers"
+  1: r0 = r1
+  2: if-empty r0 goto 10
+  3: r2 = name-match "*Vision"
+  4: r0 = expand frontier=r0 names=r2
+  5: if-empty r0 goto 10
+  6: r3 = name-match "*"
+  7: r0 = step-child frontier=r0 names=r3
+  8: r4 = phrase "Franklin" & r0
+  9: r0 = r4
+  10: materialize r0 governed
+)",
+      // Q5: wildcard-heavy path.
+      R"(query: //VLDB200?//?onclusion*/*["systems"]
+key: path://VLDB200?//?onclusion*/*["systems"]
+fingerprint: 0x9fe03a5213cef88f
+engine: vm
+program: path regs=5
+  0: r1 = name-match "VLDB200?"
+  1: r0 = r1
+  2: if-empty r0 goto 10
+  3: r2 = name-match "?onclusion*"
+  4: r0 = expand frontier=r0 names=r2
+  5: if-empty r0 goto 10
+  6: r3 = name-match "*"
+  7: r0 = step-child frontier=r0 names=r3
+  8: r4 = phrase "systems" & r0
+  9: r0 = r4
+  10: materialize r0 governed
+)",
+      // Q6: union of two paths (sub-programs).
+      R"(query: union(//VLDB2005//*["documents"], //VLDB2006//*["documents"])
+key: union(path://VLDB2005//*["documents"], path://VLDB2006//*["documents"])
+fingerprint: 0x11b6b046055cff7e
+engine: vm
+program: union regs=1
+  0: r0 = union subs[0..2)
+  1: materialize r0 governed
+  sub[0]: path regs=4
+    0: r1 = name-match "VLDB2005"
+    1: r0 = r1
+    2: if-empty r0 goto 7
+    3: r2 = name-match "*"
+    4: r0 = expand frontier=r0 names=r2
+    5: r3 = phrase "documents" & r0
+    6: r0 = r3
+    7: materialize r0
+  sub[1]: path regs=4
+    0: r1 = name-match "VLDB2006"
+    1: r0 = r1
+    2: if-empty r0 goto 7
+    3: r2 = name-match "*"
+    4: r0 = expand frontier=r0 names=r2
+    5: r3 = phrase "documents" & r0
+    6: r0 = r3
+    7: materialize r0
+)",
+      // Q7: join on name = tuple attribute.
+      R"(query: join(//VLDB2006//*[class="texref"] as A, //VLDB2006//*[class="environment"]//figure* as B, A.name=B.tuple.label)
+key: join(path://VLDB2006//*[class="texref"] as A, path://VLDB2006//*[class="environment"]//figure* as B, A.name=B.tuple.label)
+fingerprint: 0xfff64da5b60b56cb
+engine: vm
+program: join regs=0
+  0: hash-join A.name = B.tuple.label
+  left (A): path regs=4
+    0: r1 = name-match "VLDB2006"
+    1: r0 = r1
+    2: if-empty r0 goto 7
+    3: r2 = name-match "*"
+    4: r0 = expand frontier=r0 names=r2
+    5: r3 = class-filter "texref" over r0
+    6: r0 = r3
+    7: materialize r0
+  right (B): path regs=5
+    0: r1 = name-match "VLDB2006"
+    1: r0 = r1
+    2: if-empty r0 goto 10
+    3: r2 = name-match "*"
+    4: r0 = expand frontier=r0 names=r2
+    5: r3 = class-filter "environment" over r0
+    6: r0 = r3
+    7: if-empty r0 goto 10
+    8: r4 = name-match "figure*"
+    9: r0 = expand frontier=r0 names=r4
+    10: materialize r0
+)",
+      // Q8: join on name = name.
+      R"(query: join(//*[class="emailmessage"]//*.tex as A, //papers//*.tex as B, A.name=B.name)
+key: join(path://*[class="emailmessage"]//*.tex as A, path://papers//*.tex as B, A.name=B.name)
+fingerprint: 0xdb81c60c67b22b16
+engine: vm
+program: join regs=0
+  0: hash-join A.name = B.name
+  left (A): path regs=4
+    0: r1 = name-match "*"
+    1: r0 = r1
+    2: r2 = class-filter "emailmessage" over r0
+    3: r0 = r2
+    4: if-empty r0 goto 7
+    5: r3 = name-match "*.tex"
+    6: r0 = expand frontier=r0 names=r3
+    7: materialize r0
+  right (B): path regs=3
+    0: r1 = name-match "papers"
+    1: r0 = r1
+    2: if-empty r0 goto 5
+    3: r2 = name-match "*.tex"
+    4: r0 = expand frontier=r0 names=r2
+    5: materialize r0
+)",
+  };
+  ASSERT_EQ(kGoldens.size(), Table4Queries().size());
+  for (size_t i = 0; i < kGoldens.size(); ++i) {
+    SCOPED_TRACE("Q" + std::to_string(i + 1));
+    Result<PreparedQuery> prepared = ds_->Prepare(Table4Queries()[i]);
+    ASSERT_TRUE(prepared.ok());
+    EXPECT_EQ(prepared->Explain(), kGoldens[i]);
+  }
+}
+
+}  // namespace
+}  // namespace idm::iql

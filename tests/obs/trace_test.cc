@@ -322,8 +322,8 @@ TEST_F(DataspaceTraceTest, StatsUnifiesTheSubsystemCounters) {
   ASSERT_EQ(stats.metrics.histograms.count("iql.latency_micros"), 1u);
   EXPECT_EQ(stats.metrics.histograms.at("iql.latency_micros").count, 1u);
   // The deprecated shims agree with the unified snapshot.
-  EXPECT_EQ(ds.cache_stats().misses, stats.cache.misses);
-  EXPECT_EQ(ds.admission_stats().admitted, stats.admission.admitted);
+  EXPECT_EQ(ds.Stats().cache.misses, stats.cache.misses);
+  EXPECT_EQ(ds.Stats().admission.admitted, stats.admission.admitted);
 }
 
 }  // namespace

@@ -91,7 +91,7 @@ TEST_P(QueryCacheModelTest, RandomInterleavingsMatchRecomputeOracle) {
       continue;
     }
     const std::string& query = kQueries[rng.Uniform(kQueries.size())];
-    QueryCache::Stats before = ds_->cache_stats();
+    QueryCache::Stats before = ds_->Stats().cache;
     auto got = ds_->Query(query);
     auto expect = Oracle(query);
     ASSERT_TRUE(got.ok()) << query << ": " << got.status().ToString();
@@ -102,7 +102,7 @@ TEST_P(QueryCacheModelTest, RandomInterleavingsMatchRecomputeOracle) {
     EXPECT_EQ(expect->scores, got->scores) << query;
     EXPECT_EQ(expect->expanded_views, got->expanded_views) << query;
     // A hit reports zero evaluation time (the marker the bench uses).
-    QueryCache::Stats after = ds_->cache_stats();
+    QueryCache::Stats after = ds_->Stats().cache;
     if (after.hits > before.hits) {
       EXPECT_EQ(got->elapsed_micros, 0u) << query;
     }
@@ -115,20 +115,20 @@ TEST_P(QueryCacheModelTest, HitNeverServedAcrossEpochBump) {
   for (int round = 0; round < 20; ++round) {
     // Populate (miss or hit, either way the entry is current afterwards).
     ASSERT_TRUE(ds_->Query(query).ok());
-    QueryCache::Stats warm = ds_->cache_stats();
+    QueryCache::Stats warm = ds_->Stats().cache;
     // Replay at the same epoch: must be a hit.
     ASSERT_TRUE(ds_->Query(query).ok());
-    QueryCache::Stats replay = ds_->cache_stats();
+    QueryCache::Stats replay = ds_->Stats().cache;
     EXPECT_EQ(replay.hits, warm.hits + 1) << "epoch-stable replay must hit";
 
     // Bump the epoch, then re-ask: must NOT be a hit (stale drop + miss).
     uint64_t before = Epoch();
     Mutate(&rng, static_cast<size_t>(round));
     ASSERT_GT(Epoch(), before);
-    QueryCache::Stats pre = ds_->cache_stats();
+    QueryCache::Stats pre = ds_->Stats().cache;
     auto got = ds_->Query(query);
     ASSERT_TRUE(got.ok());
-    QueryCache::Stats post = ds_->cache_stats();
+    QueryCache::Stats post = ds_->Stats().cache;
     EXPECT_EQ(post.hits, pre.hits) << "stale entry served across epoch bump";
     EXPECT_EQ(post.misses, pre.misses + 1);
     EXPECT_EQ(post.stale_drops, pre.stale_drops + 1);
@@ -145,9 +145,9 @@ TEST_P(QueryCacheModelTest, NormalizedVariantsShareOneEntry) {
   const std::string canonical = "union( //work//*.txt , \"database\" )";
   const std::string variant = "union(//work//*.txt,\"database\")";
   ASSERT_TRUE(ds_->Query(canonical).ok());
-  QueryCache::Stats before = ds_->cache_stats();
+  QueryCache::Stats before = ds_->Stats().cache;
   ASSERT_TRUE(ds_->Query(variant).ok());
-  QueryCache::Stats after = ds_->cache_stats();
+  QueryCache::Stats after = ds_->Stats().cache;
   EXPECT_EQ(after.hits, before.hits + 1)
       << "whitespace variant missed the normalized entry";
   EXPECT_EQ(after.entries, before.entries);
@@ -158,10 +158,10 @@ TEST_P(QueryCacheModelTest, ClockDependentQueriesBypassTheCache) {
   auto parsed = ParseQuery(query);
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(IsCacheable(*parsed));
-  QueryCache::Stats before = ds_->cache_stats();
+  QueryCache::Stats before = ds_->Stats().cache;
   ASSERT_TRUE(ds_->Query(query).ok());
   ASSERT_TRUE(ds_->Query(query).ok());
-  QueryCache::Stats after = ds_->cache_stats();
+  QueryCache::Stats after = ds_->Stats().cache;
   EXPECT_EQ(after.hits, before.hits);
   EXPECT_EQ(after.entries, before.entries);
   // now() advances with the clock; it must bypass too.
@@ -193,7 +193,7 @@ TEST_P(QueryCacheModelTest, ByteBudgetEvictsLeastRecentlyUsed) {
     ASSERT_TRUE(got.ok() && expect.ok());
     EXPECT_EQ(expect->rows, got->rows) << query;
   }
-  QueryCache::Stats stats = small.cache_stats();
+  QueryCache::Stats stats = small.Stats().cache;
   EXPECT_GT(stats.evictions, 0u) << "2 KB budget never evicted";
   EXPECT_LE(stats.bytes, 2048u);
 }

@@ -201,7 +201,7 @@ TEST_F(DurableDataspaceTest, QueryCacheStaysExactAcrossEpochs) {
   auto second = (*ds)->Query("\"database tuning\"");
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->elapsed_micros, 0);  // served from the cache
-  EXPECT_GE((*ds)->cache_stats().hits, 1u);
+  EXPECT_GE((*ds)->Stats().cache.hits, 1u);
   // A durable mutation advances the epoch: the stale entry is never served.
   ASSERT_TRUE(fs_->Remove("/Projects/PIM/notes.txt").ok());
   ASSERT_TRUE((*ds)->sync().ProcessNotifications().ok());
